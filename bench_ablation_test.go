@@ -1,0 +1,62 @@
+package mba
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+// the per-node probability cache, ESTIMATE-p averaging depth, weight
+// winsorization, the adjacent-only lattice, and mark-and-recapture
+// thinning. Run with:
+//
+//	go test -bench=Ablation -benchtime 1x
+
+import (
+	"testing"
+
+	"mba/internal/experiments"
+	"mba/internal/workload"
+)
+
+// ablationExperiment runs an ablation at test scale: ablations compare
+// estimator variants against each other, which the small platform
+// resolves quickly; the paper-reproduction benchmarks keep the full
+// bench-scale platform.
+func ablationExperiment(b *testing.B, id string, fn func(experiments.Options) (experiments.Table, error)) {
+	b.Helper()
+	opts := experiments.Options{
+		Scale:  workload.Test,
+		Seed:   1,
+		Trials: 3,
+		Budget: 20000,
+	}
+	if _, err := workload.Get(opts.Scale); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logAndPersist(b, tab)
+		}
+	}
+}
+
+func BenchmarkAblationProbabilityCache(b *testing.B) {
+	ablationExperiment(b, "ablation-pcache", experiments.AblationProbabilityCache)
+}
+
+func BenchmarkAblationPEstimates(b *testing.B) {
+	ablationExperiment(b, "ablation-pestimates", experiments.AblationPEstimates)
+}
+
+func BenchmarkAblationWeightClip(b *testing.B) {
+	ablationExperiment(b, "ablation-clip", experiments.AblationWeightClip)
+}
+
+func BenchmarkAblationLattice(b *testing.B) {
+	ablationExperiment(b, "ablation-lattice", experiments.AblationLattice)
+}
+
+func BenchmarkAblationThinning(b *testing.B) {
+	ablationExperiment(b, "ablation-thinning", experiments.AblationThinning)
+}

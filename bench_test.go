@@ -1,0 +1,194 @@
+package mba
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation at workload.Bench scale (250k simulated users,
+// the full keyword catalog, Jan 1 – Oct 31 window):
+//
+//	go test -bench=. -benchmem
+//
+// One benchmark iteration runs the full experiment; the regenerated
+// table is logged (use -v) and written under bench_results/ as both
+// text and CSV. Set MBA_BENCH_SCALE=test for a quick pass or =large
+// for the stress platform.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"mba/internal/experiments"
+	"mba/internal/workload"
+)
+
+// benchOptions resolves the experiment options for the bench run.
+func benchOptions(b *testing.B) experiments.Options {
+	scale := workload.Bench
+	switch os.Getenv("MBA_BENCH_SCALE") {
+	case "test":
+		scale = workload.Test
+	case "large":
+		scale = workload.Large
+	}
+	opts := experiments.Options{
+		Scale:  scale,
+		Seed:   1,
+		Trials: 3,
+		Budget: 60000,
+	}
+	if v := os.Getenv("MBA_BENCH_TRIALS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			opts.Trials = n
+		}
+	}
+	_ = b
+	return opts
+}
+
+// benchExperiment runs one experiment per iteration and persists the
+// regenerated table on the first.
+func benchExperiment(b *testing.B, id string, fn func(experiments.Options) (experiments.Table, error)) {
+	b.Helper()
+	opts := benchOptions(b)
+	// Force platform generation outside the timed region.
+	if _, err := workload.Get(opts.Scale); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logAndPersist(b, tab)
+		}
+	}
+}
+
+// logAndPersist logs a regenerated table and writes it to
+// bench_results/.
+func logAndPersist(b *testing.B, tab experiments.Table) {
+	b.Helper()
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	b.Log("\n" + buf.String())
+	if err := persist(tab); err != nil {
+		b.Logf("persist %s: %v", tab.ID, err)
+	}
+}
+
+// persist writes the table under bench_results/ as text and CSV.
+func persist(tab experiments.Table) error {
+	dir := "bench_results"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var txt bytes.Buffer
+	tab.Format(&txt)
+	if err := os.WriteFile(filepath.Join(dir, tab.ID+".txt"), txt.Bytes(), 0o644); err != nil {
+		return err
+	}
+	var csv bytes.Buffer
+	if err := tab.WriteCSV(&csv); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, tab.ID+".csv"), csv.Bytes(), 0o644)
+}
+
+// One benchmark per table/figure of the paper's evaluation.
+
+func BenchmarkTable2SubgraphStats(b *testing.B) { benchExperiment(b, "table2", experiments.Table2) }
+func BenchmarkTable3Improvement(b *testing.B)   { benchExperiment(b, "table3", experiments.Table3) }
+func BenchmarkFigure2AvgFollowersSubgraphs(b *testing.B) {
+	benchExperiment(b, "figure2", experiments.Figure2)
+}
+func BenchmarkFigure3CountSubgraphs(b *testing.B) { benchExperiment(b, "figure3", experiments.Figure3) }
+func BenchmarkFigure4IntraEdgeRemoval(b *testing.B) {
+	benchExperiment(b, "figure4", experiments.Figure4)
+}
+func BenchmarkFigure5TimeInterval(b *testing.B) { benchExperiment(b, "figure5", experiments.Figure5) }
+func BenchmarkFigure7KeywordFrequencies(b *testing.B) {
+	benchExperiment(b, "figure7", experiments.Figure7)
+}
+func BenchmarkFigure8AvgFollowers(b *testing.B) { benchExperiment(b, "figure8", experiments.Figure8) }
+func BenchmarkFigure9Convergence(b *testing.B)  { benchExperiment(b, "figure9", experiments.Figure9) }
+func BenchmarkFigure10Count(b *testing.B)       { benchExperiment(b, "figure10", experiments.Figure10) }
+func BenchmarkFigure11DisplayName(b *testing.B) {
+	benchExperiment(b, "figure11", experiments.Figure11)
+}
+func BenchmarkFigure12GPlusDisplayName(b *testing.B) {
+	benchExperiment(b, "figure12", experiments.Figure12)
+}
+func BenchmarkFigure13GPlusCountMale(b *testing.B) {
+	benchExperiment(b, "figure13", experiments.Figure13)
+}
+func BenchmarkFigure14TumblrLikes(b *testing.B) {
+	benchExperiment(b, "figure14", experiments.Figure14)
+}
+
+// Example of the headline result, runnable as a test for CI-style
+// verification at test scale: MA-TARW answers AVG(followers) within a
+// reasonable error at a fraction of the crawl cost.
+func TestQuickstartFacade(t *testing.T) {
+	p, err := workload.Get(workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := WrapPlatform(p)
+	q := Avg("privacy", Followers)
+	truth, err := plat.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := plat.Estimate(q, Options{Algorithm: MASRW, Budget: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cost == 0 || est.Cost > 20000 {
+		t.Errorf("cost = %d", est.Cost)
+	}
+	rel := abs(est.Value-truth) / truth
+	t.Logf("facade MA-SRW: est=%.1f truth=%.1f relerr=%.3f cost=%d virtual=%v",
+		est.Value, truth, rel, est.Cost, est.VirtualDuration)
+	if rel > 0.2 {
+		t.Errorf("relative error %.3f too high", rel)
+	}
+	if est.VirtualDuration <= 0 {
+		t.Error("virtual duration not computed")
+	}
+	if len(est.Trajectory) == 0 {
+		t.Error("no trajectory")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	p, err := workload.Get(workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := WrapPlatform(p)
+	if _, err := plat.Estimate(Query{}, Options{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := plat.Estimate(Count("no-such-keyword"), Options{Budget: 100}); err == nil {
+		t.Error("unknown keyword should fail to find seeds")
+	}
+	for _, a := range []Algorithm{MATARW, MASRW, MR} {
+		if a.String() == "" {
+			t.Error("empty algorithm name")
+		}
+	}
+	q := TimeWindow(Count("privacy"), 10, 50)
+	if q.Window.From != 240 || q.Window.To != 1200 {
+		t.Errorf("TimeWindow = %+v", q.Window)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

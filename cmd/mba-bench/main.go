@@ -1,0 +1,113 @@
+// Command mba-bench regenerates the paper's tables and figures against
+// the simulated workload platforms and writes them as aligned text and
+// CSV.
+//
+// Usage:
+//
+//	mba-bench [-scale test|bench|large] [-trials N] [-budget N]
+//	          [-out DIR] [-only table2,figure8,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mba/internal/experiments"
+	"mba/internal/workload"
+)
+
+func main() {
+	scale := flag.String("scale", "bench", "platform scale: test, bench, or large")
+	trials := flag.Int("trials", 2, "trials per configuration (median aggregated)")
+	budget := flag.Int("budget", 60000, "per-run API-call budget")
+	out := flag.String("out", "bench_results", "output directory")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed:   *seed,
+		Trials: *trials,
+		Budget: *budget,
+		Log:    os.Stderr,
+	}
+	switch *scale {
+	case "test":
+		opts.Scale = workload.Test
+	case "bench":
+		opts.Scale = workload.Bench
+	case "large":
+		opts.Scale = workload.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(experiments.Options) (experiments.Table, error){
+		"table2": experiments.Table2, "table3": experiments.Table3,
+		"figure2": experiments.Figure2, "figure3": experiments.Figure3,
+		"figure4": experiments.Figure4, "figure5": experiments.Figure5,
+		"figure7": experiments.Figure7, "figure8": experiments.Figure8,
+		"figure9": experiments.Figure9, "figure10": experiments.Figure10,
+		"figure11": experiments.Figure11, "figure12": experiments.Figure12,
+		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
+	}
+	order := []string{
+		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
+		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
+	}
+	selected := order
+	if *only != "" {
+		selected = nil
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, id := range selected {
+		fmt.Fprintf(os.Stderr, "=== %s (scale=%s)\n", id, *scale)
+		tab, err := runners[id](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Format(os.Stdout)
+		fmt.Println()
+		if err := writeOutputs(*out, tab); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeOutputs(dir string, tab experiments.Table) error {
+	txt, err := os.Create(filepath.Join(dir, tab.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	tab.Format(txt)
+	if err := txt.Close(); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tab.WriteCSV(csv); err != nil {
+		csv.Close()
+		return err
+	}
+	return csv.Close()
+}

@@ -1,0 +1,194 @@
+// Command mba-gen generates a synthetic microblog platform and prints
+// its structural statistics: social-graph shape (degrees, clustering,
+// modularity), per-keyword cascade statistics (adopters, recall, edge
+// taxonomy), and the exact ground truths of the standard aggregates —
+// useful for judging simulation fidelity before running experiments.
+//
+// Usage:
+//
+//	mba-gen [-scale test|bench|large | -users N] [-seed N] [-keyword K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mba/internal/graph"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/workload"
+)
+
+func main() {
+	scale := flag.String("scale", "", "use a workload scale: test, bench, or large")
+	users := flag.Int("users", 20000, "platform size (ignored with -scale)")
+	seed := flag.Int64("seed", 1, "generation seed (ignored with -scale)")
+	keyword := flag.String("keyword", "", "detail one keyword (default: summary of all)")
+	saveTo := flag.String("save", "", "write the generated platform snapshot to a file")
+	loadFrom := flag.String("load", "", "load a platform snapshot instead of generating")
+	flag.Parse()
+
+	var p *platform.Platform
+	var err error
+	if *loadFrom != "" {
+		f, ferr := os.Open(*loadFrom)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "mba-gen:", ferr)
+			os.Exit(1)
+		}
+		p, err = platform.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mba-gen:", err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case p != nil:
+		// loaded from snapshot
+	default:
+		switch *scale {
+		case "":
+			cfg := platform.DefaultConfig()
+			cfg.NumUsers = *users
+			cfg.Seed = *seed
+			p, err = platform.New(cfg)
+		case "test":
+			p, err = workload.Get(workload.Test)
+		case "bench":
+			p, err = workload.Get(workload.Bench)
+		case "large":
+			p, err = workload.Get(workload.Large)
+		default:
+			err = fmt.Errorf("unknown scale %q", *scale)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-gen:", err)
+		os.Exit(1)
+	}
+	if *saveTo != "" {
+		f, ferr := os.Create(*saveTo)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "mba-gen:", ferr)
+			os.Exit(1)
+		}
+		if err := p.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "mba-gen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mba-gen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveTo)
+	}
+
+	printSocialStats(p)
+	if *keyword != "" {
+		printKeywordDetail(p, *keyword)
+		return
+	}
+	fmt.Println("\nKeyword cascades:")
+	fmt.Printf("  %-16s %9s %7s %7s %7s %8s\n", "keyword", "adopters", "recall", "%intra", "%cross", "avg-deg")
+	for _, kc := range p.Config().Keywords {
+		sub, err := p.TermSubgraph(kc.Name)
+		if err != nil {
+			continue
+		}
+		casc := p.Cascade(kc.Name)
+		recall := 0.0
+		if sub.NumNodes() > 0 {
+			recall = float64(len(sub.LargestComponent())) / float64(sub.NumNodes())
+		}
+		st := levelgraph.Analyze(sub, casc.First, model.Day)
+		fmt.Printf("  %-16s %9d %6.0f%% %6.0f%% %6.0f%% %8.1f\n",
+			kc.Name, sub.NumNodes(), 100*recall, 100*st.IntraFrac(), 100*st.CrossFrac(), sub.AvgDegree())
+	}
+}
+
+func printSocialStats(p *platform.Platform) {
+	g := p.Social
+	fmt.Printf("Platform: %d users, %d social edges (avg degree %.1f)\n",
+		g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	labels := make(map[int64]int, p.NumUsers())
+	for i, u := range p.Users {
+		labels[int64(i)] = u.Community
+	}
+	fmt.Printf("Communities: %d planted, modularity %.3f\n",
+		p.Config().NumCommunities, g.Modularity(labels))
+	fmt.Printf("Connected components: %d\n", len(g.Components()))
+	fmt.Printf("Clustering (sampled): %.3f\n", sampledClustering(g, 2000))
+}
+
+// sampledClustering estimates the mean local clustering coefficient
+// from a deterministic sample of nodes.
+func sampledClustering(g *graph.Graph, sample int) float64 {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	step := len(nodes)/sample + 1
+	var sum float64
+	var n int
+	for i := 0; i < len(nodes); i += step {
+		u := nodes[i]
+		ns := g.Neighbors(u)
+		d := len(ns)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				if g.HasEdge(ns[a], ns[b]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(d*(d-1))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func printKeywordDetail(p *platform.Platform, kw string) {
+	sub, err := p.TermSubgraph(kw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-gen:", err)
+		os.Exit(1)
+	}
+	casc := p.Cascade(kw)
+	fmt.Printf("\nKeyword %q: %d adopters, %d subgraph edges\n", kw, sub.NumNodes(), sub.NumEdges())
+	for _, q := range []query.Query{
+		query.CountQuery(kw),
+		query.AvgQuery(kw, query.Followers),
+		query.AvgQuery(kw, query.DisplayNameLength),
+		query.SumQuery(kw, query.KeywordPostCount),
+	} {
+		truth, err := p.GroundTruth(q)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-70s = %.2f\n", q.String(), truth)
+	}
+	fmt.Println("\n  Edge taxonomy per interval:")
+	fmt.Printf("  %-4s %7s %7s %7s %7s\n", "T", "levels", "%intra", "%adj", "%cross")
+	for _, ti := range levelgraph.CandidateIntervals() {
+		st := levelgraph.Analyze(sub, casc.First, ti)
+		tot := float64(st.Edges)
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("  %-4s %7d %6.0f%% %6.0f%% %6.0f%%\n",
+			levelgraph.IntervalName(ti), st.Levels,
+			100*st.IntraFrac(), 100*float64(st.AdjEdges)/tot, 100*st.CrossFrac())
+	}
+}

@@ -1,0 +1,118 @@
+// Command mba answers one aggregate query over a simulated microblog
+// platform through the rate-limited API, reporting the estimate, the
+// exact ground truth, the query cost, and the wall-clock time the run
+// would need on the real platform under its rate limit.
+//
+// Usage:
+//
+//	mba -agg avg -measure followers -keyword privacy \
+//	    [-algo tarw|srw|mr] [-preset twitter|gplus|tumblr] \
+//	    [-budget 30000] [-users 20000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mba"
+	"mba/internal/stats"
+)
+
+func main() {
+	agg := flag.String("agg", "avg", "aggregate: count, sum, or avg")
+	measureName := flag.String("measure", "followers", "measure: followers, display-name, age, posts, likes, mean-likes")
+	keyword := flag.String("keyword", "privacy", "keyword selection condition")
+	algo := flag.String("algo", "tarw", "algorithm: tarw, srw, or mr")
+	presetName := flag.String("preset", "twitter", "API preset: twitter, gplus, or tumblr")
+	budget := flag.Int("budget", 30000, "API-call budget")
+	users := flag.Int("users", 20000, "simulated platform size")
+	seed := flag.Int64("seed", 1, "random seed (platform and walk)")
+	maleOnly := flag.Bool("male-only", false, "restrict to profiles exposing male gender")
+	fromDay := flag.Int("from-day", 0, "window start day (inclusive)")
+	toDay := flag.Int("to-day", 0, "window end day (exclusive; 0 = unbounded)")
+	flag.Parse()
+
+	cfg := mba.DefaultPlatformConfig()
+	cfg.NumUsers = *users
+	cfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating %d-user platform...\n", cfg.NumUsers)
+	p, err := mba.NewPlatform(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	measures := map[string]mba.Measure{
+		"followers":    mba.Followers,
+		"display-name": mba.DisplayNameLength,
+		"age":          mba.Age,
+		"posts":        mba.KeywordPostCount,
+		"likes":        mba.KeywordPostLikes,
+		"mean-likes":   mba.KeywordPostMeanLikes,
+	}
+	m, ok := measures[*measureName]
+	if !ok {
+		fatal(fmt.Errorf("unknown measure %q", *measureName))
+	}
+
+	var q mba.Query
+	switch strings.ToLower(*agg) {
+	case "count":
+		q = mba.Count(*keyword)
+	case "sum":
+		q = mba.Sum(*keyword, m)
+	case "avg":
+		q = mba.Avg(*keyword, m)
+	default:
+		fatal(fmt.Errorf("unknown aggregate %q", *agg))
+	}
+	if *maleOnly {
+		q.Where = append(q.Where, mba.MaleOnly)
+	}
+	if *toDay > 0 {
+		q = mba.TimeWindow(q, *fromDay, *toDay)
+	}
+
+	opts := mba.Options{Budget: *budget, Seed: *seed}
+	switch strings.ToLower(*algo) {
+	case "tarw":
+		opts.Algorithm = mba.MATARW
+	case "srw":
+		opts.Algorithm = mba.MASRW
+	case "mr":
+		opts.Algorithm = mba.MR
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	switch strings.ToLower(*presetName) {
+	case "twitter":
+		opts.Preset = mba.Twitter
+	case "gplus":
+		opts.Preset = mba.GPlus
+	case "tumblr":
+		opts.Preset = mba.Tumblr
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *presetName))
+	}
+
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query:      %s\n", q)
+	fmt.Printf("algorithm:  %s over %s API\n", opts.Algorithm, *presetName)
+	est, err := p.Estimate(q, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("estimate:   %.2f\n", est.Value)
+	fmt.Printf("truth:      %.2f (relative error %.1f%%)\n", truth, 100*stats.RelativeError(est.Value, truth))
+	fmt.Printf("query cost: %d API calls (%d samples)\n", est.Cost, est.Samples)
+	fmt.Printf("rate-limit: would take ~%v on the real platform\n", est.VirtualDuration)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mba:", err)
+	os.Exit(1)
+}

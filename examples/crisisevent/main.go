@@ -1,0 +1,83 @@
+// Crisis event: measure the size and shape of a sudden spike — the
+// Boston-Marathon-style scenario of the paper's Figure 7. The keyword
+// "boston" carries medium baseline chatter with one singular spike at
+// simulation day 104 (Apr 15, 2013). By the time an analyst asks, the
+// search API's one-week window has long since scrolled past the event;
+// timeline sampling is the only way back.
+//
+//	go run ./examples/crisisevent
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mba"
+)
+
+func main() {
+	cfg := mba.DefaultPlatformConfig()
+	cfg.Seed = 99
+	cfg.NumUsers = 30000
+	fmt.Println("generating platform...")
+	p, err := mba.NewPlatform(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground-truth weekly mention curve (what the streaming API would
+	// have shown, had we subscribed in advance).
+	days, err := p.Sim().MentionsPerDay("boston")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWeekly 'boston' mention volume (ground truth):")
+	maxWeek := 0
+	var weeks []int
+	for d := 0; d+7 <= len(days); d += 7 {
+		sum := 0
+		for j := d; j < d+7; j++ {
+			sum += days[j]
+		}
+		weeks = append(weeks, sum)
+		if sum > maxWeek {
+			maxWeek = sum
+		}
+	}
+	for i, w := range weeks {
+		bar := 0
+		if maxWeek > 0 {
+			bar = w * 50 / maxWeek
+		}
+		marker := ""
+		if i == 104/7 {
+			marker = "  <- Apr 15"
+		}
+		fmt.Printf("  w%02d %6d %s%s\n", i, w, strings.Repeat("#", bar), marker)
+	}
+
+	// Estimate, via timeline sampling, how many users engaged during
+	// the crisis week versus a quiet week in March.
+	crisis := mba.TimeWindow(mba.Count("boston"), 104, 111)
+	quiet := mba.TimeWindow(mba.Count("boston"), 70, 77)
+	for _, c := range []struct {
+		label string
+		q     mba.Query
+	}{
+		{"crisis week (Apr 15-21)", crisis},
+		{"quiet week  (Mar 12-18)", quiet},
+	} {
+		truth, err := p.GroundTruth(c.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := p.Estimate(c.q, mba.Options{Algorithm: mba.MASRW, Budget: 25000, Seed: 4})
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		fmt.Printf("\n%s: ≈ %.0f users mentioned boston (truth %.0f, %d calls)",
+			c.label, est.Value, truth, est.Cost)
+	}
+	fmt.Println()
+}

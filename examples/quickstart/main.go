@@ -1,0 +1,60 @@
+// Quickstart: generate a simulated microblog platform, ask one
+// aggregate question through its rate-limited API, and compare the
+// estimate against the exact ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mba"
+)
+
+func main() {
+	// A 20k-user platform tracking the paper's three keywords
+	// (privacy, new york, boston). Generation is deterministic in the
+	// seed.
+	cfg := mba.DefaultPlatformConfig()
+	cfg.Seed = 42
+	p, err := mba.NewPlatform(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's running example: AVG(number of followers) of users
+	// who mentioned "privacy".
+	q := mba.Avg("privacy", mba.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Estimate it through the simulated Twitter API with MA-TARW,
+	// spending at most 20,000 API calls.
+	est, err := p.Estimate(q, mba.Options{
+		Algorithm: mba.MATARW,
+		Budget:    20000,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query:     %s\n", q)
+	fmt.Printf("estimate:  %.1f followers\n", est.Value)
+	fmt.Printf("truth:     %.1f followers\n", truth)
+	fmt.Printf("cost:      %d API calls over %d walk instances\n", est.Cost, est.Samples)
+	fmt.Printf("real time: ~%v under Twitter's 180 calls / 15 min limit\n", est.VirtualDuration)
+
+	// A COUNT with MA-SRW for comparison.
+	qc := mba.Count("privacy")
+	truthC, _ := p.GroundTruth(qc)
+	estC, err := p.Estimate(qc, mba.Options{Algorithm: mba.MASRW, Budget: 20000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery:     %s\n", qc)
+	fmt.Printf("estimate:  %.0f users (truth %.0f) after %d calls\n", estC.Value, truthC, estC.Cost)
+}

@@ -1,0 +1,3 @@
+module mba
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package api implements the restricted data-access model of §2 of the
+// paper. A Server exposes exactly the three query types real microblog
+// APIs offer — SEARCH, USER CONNECTIONS, USER TIMELINE — with
+// per-platform page sizes, a recency-limited search window, optional
+// private users, and optional transient faults. A Client layers
+// caching, call accounting (the paper's efficiency measure is the
+// number of API calls), an optional hard budget, and virtual
+// rate-limit timing on top.
+//
+// Estimators never touch internal/platform directly; everything they
+// learn flows through this interface, so their reported query costs
+// are faithful to the paper's cost model.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mba/internal/model"
+	"mba/internal/platform"
+)
+
+// Sentinel errors surfaced by the Server.
+var (
+	// ErrPrivate indicates the user hid their connections/timeline.
+	ErrPrivate = errors.New("api: user is private")
+	// ErrTransient models a retryable service hiccup (HTTP 5xx).
+	ErrTransient = errors.New("api: transient service error")
+	// ErrBudgetExhausted is returned by Client methods once the call
+	// budget is spent.
+	ErrBudgetExhausted = errors.New("api: query budget exhausted")
+	// ErrUnknownUser indicates an out-of-range user ID.
+	ErrUnknownUser = errors.New("api: unknown user")
+)
+
+// Preset captures the interface parameters of a real platform.
+type Preset struct {
+	Name string
+	// SearchWindow is how far back SEARCH reaches (1 week on Twitter).
+	SearchWindow model.Tick
+	// SearchMaxResults caps the number of users SEARCH returns
+	// ("other microblogs restrict search to top-k results where k could
+	// be in the low thousands").
+	SearchMaxResults int
+	// SearchPageSize, TimelinePageSize, ConnectionsPageSize control how
+	// many API calls a logical query costs. Google+'s activity search
+	// returns at most 20 results per call versus 200 for Twitter's
+	// timeline API — the reason Figures 12–13 show much higher absolute
+	// costs on Google+.
+	SearchPageSize      int
+	TimelinePageSize    int
+	ConnectionsPageSize int
+	// RateLimitCalls per RateLimitWindow defines the virtual wall-clock
+	// cost of a call (180 calls / 15 min on Twitter).
+	RateLimitCalls  int
+	RateLimitWindow time.Duration
+}
+
+// Twitter returns the Twitter REST API preset from §3.2.
+func Twitter() Preset {
+	return Preset{
+		Name:                "twitter",
+		SearchWindow:        model.Week,
+		SearchMaxResults:    3000,
+		SearchPageSize:      100,
+		TimelinePageSize:    200,
+		ConnectionsPageSize: 5000,
+		RateLimitCalls:      180,
+		RateLimitWindow:     15 * time.Minute,
+	}
+}
+
+// GPlus returns the Google+ preset from §6.1 (20 results per call,
+// 10,000 queries/day courtesy limit).
+func GPlus() Preset {
+	return Preset{
+		Name:                "gplus",
+		SearchWindow:        model.Week,
+		SearchMaxResults:    3000,
+		SearchPageSize:      20,
+		TimelinePageSize:    20,
+		ConnectionsPageSize: 100,
+		RateLimitCalls:      10000,
+		RateLimitWindow:     24 * time.Hour,
+	}
+}
+
+// Tumblr returns the Tumblr preset from §6.1 (one request per 10 s).
+func Tumblr() Preset {
+	return Preset{
+		Name:                "tumblr",
+		SearchWindow:        2 * model.Week,
+		SearchMaxResults:    3000,
+		SearchPageSize:      20,
+		TimelinePageSize:    20,
+		ConnectionsPageSize: 20,
+		RateLimitCalls:      1,
+		RateLimitWindow:     10 * time.Second,
+	}
+}
+
+// Faults configures failure injection on a Server.
+type Faults struct {
+	// PrivateProb makes a user permanently private.
+	PrivateProb float64
+	// TransientProb makes any single call fail retryably.
+	TransientProb float64
+	// Seed drives the deterministic fault draws.
+	Seed int64
+}
+
+// Server serves the restricted interface over a generated platform.
+type Server struct {
+	p       *platform.Platform
+	preset  Preset
+	private map[int64]bool
+	faults  Faults
+	frng    *rand.Rand
+}
+
+// NewServer wraps a platform with a preset interface and optional
+// fault injection.
+func NewServer(p *platform.Platform, preset Preset, faults Faults) *Server {
+	s := &Server{
+		p:       p,
+		preset:  preset,
+		private: make(map[int64]bool),
+		faults:  faults,
+		frng:    rand.New(rand.NewSource(faults.Seed ^ 0x5eed)),
+	}
+	if faults.PrivateProb > 0 {
+		for id := 0; id < p.NumUsers(); id++ {
+			if s.frng.Float64() < faults.PrivateProb {
+				s.private[int64(id)] = true
+			}
+		}
+	}
+	return s
+}
+
+// Preset returns the interface parameters in force.
+func (s *Server) Preset() Preset { return s.preset }
+
+func (s *Server) maybeFault() error {
+	if s.faults.TransientProb > 0 && s.frng.Float64() < s.faults.TransientProb {
+		return ErrTransient
+	}
+	return nil
+}
+
+func (s *Server) checkUser(u int64) error {
+	if u < 0 || int(u) >= s.p.NumUsers() {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, u)
+	}
+	return nil
+}
+
+// pages returns the number of API calls needed to page through n items
+// (minimum 1 — even an empty result consumes a call).
+func pages(n, pageSize int) int {
+	if pageSize <= 0 || n <= 0 {
+		return 1
+	}
+	return (n + pageSize - 1) / pageSize
+}
+
+// Search returns users who posted the keyword within the preset's
+// search window before the platform horizon, most recent first, capped
+// at SearchMaxResults. The second return is the number of API calls
+// the query consumed.
+func (s *Server) Search(keyword string) ([]int64, int, error) {
+	if err := s.maybeFault(); err != nil {
+		return nil, 1, err
+	}
+	c := s.p.Cascade(keyword)
+	if c == nil {
+		return nil, 1, nil
+	}
+	from := s.p.Horizon - s.preset.SearchWindow
+	type hit struct {
+		u    int64
+		last model.Tick
+	}
+	var hits []hit
+	for u, posts := range c.Posts {
+		var latest model.Tick = -1
+		for _, post := range posts {
+			if post.Time >= from && post.Time > latest {
+				latest = post.Time
+			}
+		}
+		if latest >= 0 {
+			hits = append(hits, hit{u: u, last: latest})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].last != hits[j].last {
+			return hits[i].last > hits[j].last
+		}
+		return hits[i].u < hits[j].u
+	})
+	if s.preset.SearchMaxResults > 0 && len(hits) > s.preset.SearchMaxResults {
+		hits = hits[:s.preset.SearchMaxResults]
+	}
+	out := make([]int64, len(hits))
+	for i, h := range hits {
+		out[i] = h.u
+	}
+	return out, pages(len(out), s.preset.SearchPageSize), nil
+}
+
+// Connections returns all of u's neighbors in the undirected social
+// graph, plus the call cost (one call per ConnectionsPageSize
+// neighbors, as with Twitter's follower/following APIs).
+func (s *Server) Connections(u int64) ([]int64, int, error) {
+	if err := s.checkUser(u); err != nil {
+		return nil, 1, err
+	}
+	if err := s.maybeFault(); err != nil {
+		return nil, 1, err
+	}
+	if s.private[u] {
+		return nil, 1, ErrPrivate
+	}
+	ns := s.p.Social.Neighbors(u)
+	out := append([]int64(nil), ns...)
+	return out, pages(len(out), s.preset.ConnectionsPageSize), nil
+}
+
+// Timeline returns u's visible timeline (profile plus keyword posts
+// under the platform's cap) and the call cost of paging through the
+// user's full post history.
+func (s *Server) Timeline(u int64) (model.Timeline, int, error) {
+	if err := s.checkUser(u); err != nil {
+		return model.Timeline{}, 1, err
+	}
+	if err := s.maybeFault(); err != nil {
+		return model.Timeline{}, 1, err
+	}
+	if s.private[u] {
+		return model.Timeline{}, 1, ErrPrivate
+	}
+	tl := s.p.Timeline(u)
+	visible := tl.Profile.PostCount
+	if cap := s.p.Config().TimelineCap; cap > 0 && visible > cap {
+		visible = cap
+	}
+	return tl, pages(visible, s.preset.TimelinePageSize), nil
+}
+
+// IsPrivate reports whether fault injection marked u private (test and
+// diagnostics hook; estimators learn it only via ErrPrivate).
+func (s *Server) IsPrivate(u int64) bool { return s.private[u] }

@@ -1,0 +1,377 @@
+package api
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mba/internal/model"
+	"mba/internal/platform"
+)
+
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p, err := platform.New(platform.Config{
+		Seed:                  7,
+		NumUsers:              2000,
+		NumCommunities:        15,
+		IntraEdgesPerUser:     4,
+		InterEdgesPerUser:     1,
+		HorizonDays:           90,
+		TimelineCap:           3200,
+		BackgroundPostsPerDay: 1,
+		Keywords: []platform.KeywordConfig{
+			{Name: "privacy", SeedsPerDay: 1.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPages(t *testing.T) {
+	cases := []struct{ n, ps, want int }{
+		{0, 10, 1},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{100, 10, 10},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := pages(c.n, c.ps); got != c.want {
+			t.Errorf("pages(%d,%d) = %d, want %d", c.n, c.ps, got, c.want)
+		}
+	}
+}
+
+func TestSearchRecencyWindow(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	hits, cost, err := srv.Search("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < 1 {
+		t.Errorf("cost = %d, want >= 1", cost)
+	}
+	from := p.Horizon - Twitter().SearchWindow
+	c := p.Cascade("privacy")
+	for _, u := range hits {
+		recent := false
+		for _, post := range c.Posts[u] {
+			if post.Time >= from {
+				recent = true
+			}
+		}
+		if !recent {
+			t.Fatalf("search returned user %d with no recent post", u)
+		}
+	}
+	// Every recent poster should be present (below the cap).
+	want := 0
+	for _, posts := range c.Posts {
+		for _, post := range posts {
+			if post.Time >= from {
+				want++
+				break
+			}
+		}
+	}
+	if len(hits) != want {
+		t.Errorf("search hits = %d, want %d", len(hits), want)
+	}
+	// Unknown keyword: empty but still costs a call.
+	hits, cost, err = srv.Search("nope")
+	if err != nil || len(hits) != 0 || cost != 1 {
+		t.Errorf("unknown keyword: hits=%v cost=%d err=%v", hits, cost, err)
+	}
+}
+
+func TestSearchOrderingAndCap(t *testing.T) {
+	p := testPlatform(t)
+	preset := Twitter()
+	preset.SearchMaxResults = 3
+	srv := NewServer(p, preset, Faults{})
+	hits, _, err := srv.Search("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 3 {
+		t.Errorf("cap not applied: %d hits", len(hits))
+	}
+}
+
+func TestConnectionsMatchSocialGraph(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	ns, cost, err := srv.Connections(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Social.Neighbors(5)
+	if len(ns) != len(want) {
+		t.Fatalf("connections = %d, want %d", len(ns), len(want))
+	}
+	for i := range ns {
+		if ns[i] != want[i] {
+			t.Fatalf("connection mismatch at %d", i)
+		}
+	}
+	if cost != 1 {
+		t.Errorf("cost = %d, want 1 for small neighbor list", cost)
+	}
+	// Result must be a copy: mutating it must not corrupt the graph.
+	if len(ns) > 0 {
+		ns[0] = -999
+		if p.Social.Neighbors(5)[0] == -999 {
+			t.Error("Connections exposed internal graph storage")
+		}
+	}
+	if _, _, err := srv.Connections(-1); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("want ErrUnknownUser, got %v", err)
+	}
+	if _, _, err := srv.Connections(1 << 40); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("want ErrUnknownUser, got %v", err)
+	}
+}
+
+func TestConnectionsPaging(t *testing.T) {
+	p := testPlatform(t)
+	preset := Twitter()
+	preset.ConnectionsPageSize = 2
+	srv := NewServer(p, preset, Faults{})
+	var hub int64 = -1
+	for _, u := range p.Social.Nodes() {
+		if p.Social.Degree(u) >= 5 {
+			hub = u
+			break
+		}
+	}
+	if hub < 0 {
+		t.Skip("no hub found")
+	}
+	_, cost, err := srv.Connections(hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := (p.Social.Degree(hub) + 1) / 2
+	if cost != wantPages {
+		t.Errorf("cost = %d, want %d", cost, wantPages)
+	}
+}
+
+func TestTimelineCost(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	tl, cost, err := srv.Timeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Profile.ID != 3 {
+		t.Errorf("profile ID = %d", tl.Profile.ID)
+	}
+	if cost < 1 {
+		t.Errorf("cost = %d", cost)
+	}
+	// Google+ paging should cost ~10x Twitter's for the same user.
+	gsrv := NewServer(p, GPlus(), Faults{})
+	_, gcost, err := gsrv.Timeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcost < cost {
+		t.Errorf("gplus cost %d should be >= twitter cost %d", gcost, cost)
+	}
+}
+
+func TestPrivateUsers(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{PrivateProb: 0.2, Seed: 3})
+	private := 0
+	for u := int64(0); u < 100; u++ {
+		if srv.IsPrivate(u) {
+			private++
+			if _, _, err := srv.Connections(u); !errors.Is(err, ErrPrivate) {
+				t.Fatalf("want ErrPrivate for connections of %d", u)
+			}
+			if _, _, err := srv.Timeline(u); !errors.Is(err, ErrPrivate) {
+				t.Fatalf("want ErrPrivate for timeline of %d", u)
+			}
+		}
+	}
+	if private == 0 {
+		t.Error("no private users with PrivateProb=0.2")
+	}
+}
+
+func TestTransientFaultsAndClientRetry(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 0.3, Seed: 4})
+	cl := NewClient(srv, 0)
+	// With retries, calls should almost always succeed.
+	failures := 0
+	for u := int64(0); u < 50; u++ {
+		if _, err := cl.Connections(u); err != nil {
+			failures++
+		}
+	}
+	if failures > 5 {
+		t.Errorf("too many failures despite retry: %d", failures)
+	}
+	if cl.Cost() < 50 {
+		t.Errorf("cost = %d, want >= 50 (retries are charged)", cl.Cost())
+	}
+}
+
+func TestClientCaching(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 0)
+	if _, err := cl.Connections(1); err != nil {
+		t.Fatal(err)
+	}
+	c1 := cl.Cost()
+	if _, err := cl.Connections(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost() != c1 {
+		t.Error("cached connections call was charged")
+	}
+	if _, err := cl.Timeline(1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cl.Cost()
+	if _, err := cl.Timeline(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost() != c2 {
+		t.Error("cached timeline call was charged")
+	}
+	if _, err := cl.Search("privacy"); err != nil {
+		t.Fatal(err)
+	}
+	c3 := cl.Cost()
+	if _, err := cl.Search("privacy"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost() != c3 {
+		t.Error("cached search was charged")
+	}
+}
+
+func TestClientPrivateCaching(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{PrivateProb: 1, Seed: 5})
+	cl := NewClient(srv, 0)
+	if _, err := cl.Connections(1); !errors.Is(err, ErrPrivate) {
+		t.Fatal("want ErrPrivate")
+	}
+	c1 := cl.Cost()
+	if _, err := cl.Timeline(1); !errors.Is(err, ErrPrivate) {
+		t.Fatal("want ErrPrivate")
+	}
+	if cl.Cost() != c1 {
+		t.Error("private status should be cached across call types")
+	}
+}
+
+func TestClientBudget(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 3)
+	var err error
+	for u := int64(0); u < 10; u++ {
+		if _, err = cl.Connections(u); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if cl.Cost() > 3 {
+		t.Errorf("cost %d exceeds budget 3", cl.Cost())
+	}
+	if !cl.Exhausted() {
+		t.Error("Exhausted should report true")
+	}
+	if cl.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", cl.Remaining())
+	}
+	unlimited := NewClient(srv, 0)
+	if unlimited.Remaining() != -1 {
+		t.Error("unlimited Remaining should be -1")
+	}
+}
+
+func TestVirtualDuration(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 0)
+	for u := int64(0); u < 30; u++ {
+		cl.Connections(u)
+	}
+	if cl.Cost() == 0 {
+		t.Fatal("no cost accumulated")
+	}
+	d := cl.VirtualDuration()
+	// 30 calls under 180/15min = one window.
+	if d != 15*time.Minute {
+		t.Errorf("duration = %v, want 15m", d)
+	}
+	// Tumblr is 1 per 10s.
+	tsrv := NewServer(p, Tumblr(), Faults{})
+	tcl := NewClient(tsrv, 0)
+	tcl.Connections(1)
+	tcl.Connections(2)
+	if tcl.VirtualDuration() < 20*time.Second {
+		t.Errorf("tumblr duration = %v, want >= 20s", tcl.VirtualDuration())
+	}
+}
+
+func TestResetCostKeepsCache(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 0)
+	cl.Connections(1)
+	cl.ResetCost()
+	if cl.Cost() != 0 {
+		t.Error("ResetCost failed")
+	}
+	cl.Connections(1)
+	if cl.Cost() != 0 {
+		t.Error("cache lost after ResetCost")
+	}
+}
+
+func TestTimelineMatchesPlatformVisibility(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	c := p.Cascade("privacy")
+	for u := range c.First {
+		tl, _, err := srv.Timeline(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Timeline(u)
+		if len(tl.Posts) != len(want.Posts) {
+			t.Fatalf("timeline posts differ for %d", u)
+		}
+		if _, ok := tl.FirstMention("privacy"); !ok {
+			t.Fatalf("adopter %d has no visible mention", u)
+		}
+		break
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := model.Window{}
+	if !w.Contains(0) || !w.Contains(1e6) {
+		t.Error("zero window should contain everything")
+	}
+	w = model.Window{From: 10, To: 20}
+	if w.Contains(9) || !w.Contains(10) || !w.Contains(19) || w.Contains(20) {
+		t.Error("half-open window semantics broken")
+	}
+}

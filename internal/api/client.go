@@ -1,0 +1,183 @@
+package api
+
+import (
+	"errors"
+	"time"
+
+	"mba/internal/model"
+)
+
+// Client wraps a Server with response caching, call accounting, retry
+// of transient faults, and an optional hard budget. All estimators in
+// internal/core consume this type; Client.Cost() is the query cost the
+// paper's experiments plot on their y-axes.
+//
+// Caching reflects what any sane crawler does: results for a user are
+// kept locally, so revisiting a node during a random walk costs
+// nothing. The paper's "single cache" optimization for ESTIMATE-p
+// (§5.2) falls out of this for free.
+type Client struct {
+	srv *Server
+	// Budget is the maximum number of API calls; 0 means unlimited.
+	Budget int
+	// MaxRetries bounds transparent retries of ErrTransient (each retry
+	// consumes budget).
+	MaxRetries int
+
+	calls int
+
+	connCache map[int64][]int64
+	tlCache   map[int64]model.Timeline
+	privCache map[int64]bool
+	searches  map[string][]int64
+}
+
+// NewClient returns a caching client over srv with the given budget
+// (0 = unlimited).
+func NewClient(srv *Server, budget int) *Client {
+	return &Client{
+		srv:        srv,
+		Budget:     budget,
+		MaxRetries: 3,
+		connCache:  make(map[int64][]int64),
+		tlCache:    make(map[int64]model.Timeline),
+		privCache:  make(map[int64]bool),
+		searches:   make(map[string][]int64),
+	}
+}
+
+// Cost returns the number of API calls issued so far.
+func (c *Client) Cost() int { return c.calls }
+
+// Remaining returns the remaining budget, or -1 if unlimited.
+func (c *Client) Remaining() int {
+	if c.Budget <= 0 {
+		return -1
+	}
+	r := c.Budget - c.calls
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Exhausted reports whether the budget is spent.
+func (c *Client) Exhausted() bool { return c.Budget > 0 && c.calls >= c.Budget }
+
+// ResetCost zeroes the call counter but keeps the cache (used when a
+// harness wants to charge setup separately).
+func (c *Client) ResetCost() { c.calls = 0 }
+
+// VirtualDuration translates the accumulated call count into the
+// wall-clock time the run would need on the real platform under its
+// rate limit — e.g., Twitter's 180 calls per 15 minutes.
+func (c *Client) VirtualDuration() time.Duration {
+	p := c.srv.Preset()
+	if p.RateLimitCalls <= 0 {
+		return 0
+	}
+	windows := (c.calls + p.RateLimitCalls - 1) / p.RateLimitCalls
+	return time.Duration(windows) * p.RateLimitWindow
+}
+
+// Preset exposes the server's interface parameters.
+func (c *Client) Preset() Preset { return c.srv.Preset() }
+
+func (c *Client) charge(n int) error {
+	if c.Budget > 0 && c.calls+n > c.Budget {
+		c.calls = c.Budget
+		return ErrBudgetExhausted
+	}
+	c.calls += n
+	return nil
+}
+
+// withRetry runs fn, retrying transient errors up to MaxRetries times.
+// Every attempt's cost is charged.
+func (c *Client) withRetry(fn func() (int, error)) error {
+	var err error
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		var cost int
+		cost, err = fn()
+		if chargeErr := c.charge(cost); chargeErr != nil {
+			return chargeErr
+		}
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+// Search returns seed users who recently posted the keyword (cached).
+func (c *Client) Search(keyword string) ([]int64, error) {
+	if hits, ok := c.searches[keyword]; ok {
+		return hits, nil
+	}
+	var hits []int64
+	err := c.withRetry(func() (int, error) {
+		var cost int
+		var err error
+		hits, cost, err = c.srv.Search(keyword)
+		return cost, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.searches[keyword] = hits
+	return hits, nil
+}
+
+// Connections returns u's neighbors (cached). Private users return
+// ErrPrivate; the (negative) result is cached too, so the probe is
+// charged only once.
+func (c *Client) Connections(u int64) ([]int64, error) {
+	if c.privCache[u] {
+		return nil, ErrPrivate
+	}
+	if ns, ok := c.connCache[u]; ok {
+		return ns, nil
+	}
+	var ns []int64
+	err := c.withRetry(func() (int, error) {
+		var cost int
+		var err error
+		ns, cost, err = c.srv.Connections(u)
+		return cost, err
+	})
+	if errors.Is(err, ErrPrivate) {
+		c.privCache[u] = true
+		return nil, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.connCache[u] = ns
+	return ns, nil
+}
+
+// Timeline returns u's visible timeline (cached).
+func (c *Client) Timeline(u int64) (model.Timeline, error) {
+	if c.privCache[u] {
+		return model.Timeline{}, ErrPrivate
+	}
+	if tl, ok := c.tlCache[u]; ok {
+		return tl, nil
+	}
+	var tl model.Timeline
+	err := c.withRetry(func() (int, error) {
+		var cost int
+		var err error
+		tl, cost, err = c.srv.Timeline(u)
+		return cost, err
+	})
+	if errors.Is(err, ErrPrivate) {
+		c.privCache[u] = true
+		return model.Timeline{}, err
+	}
+	if err != nil {
+		return model.Timeline{}, err
+	}
+	c.tlCache[u] = tl
+	return tl, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// TestDebugEstimatePBias compares ESTIMATE-p against the exact p̄
+// computed by dynamic programming over the true level graph: per-node,
+// the estimator mean should match p̄ (unbiasedness), and the induced
+// 1/p̂ weights explain any COUNT bias.
+func TestDebugEstimatePBias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := testPlatform(t)
+	interval := 2 * model.Week
+	c := p.Cascade("privacy")
+	term, _ := p.TermSubgraph("privacy")
+	lvl := func(u int64) int { return levelgraph.LevelOf(c.First[u], interval) }
+	up := func(u int64) (out []int64) {
+		for _, v := range term.Neighbors(u) {
+			if lvl(v) < lvl(u) {
+				out = append(out, v)
+			}
+		}
+		return
+	}
+	down := func(u int64) (out []int64) {
+		for _, v := range term.Neighbors(u) {
+			if lvl(v) > lvl(u) {
+				out = append(out, v)
+			}
+		}
+		return
+	}
+
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	s, _ := NewSession(api.NewClient(srv, 0), query.CountQuery("privacy"), interval)
+	seeds, err := s.Seeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact DP for p̄.
+	nodes := term.Nodes()
+	byLevelDesc := append([]int64(nil), nodes...)
+	sort.Slice(byLevelDesc, func(i, j int) bool { return lvl(byLevelDesc[i]) > lvl(byLevelDesc[j]) })
+	sSize := float64(seeds.Size())
+	pBar := make(map[int64]float64, len(nodes))
+	for _, u := range byLevelDesc {
+		var acc float64
+		if seeds.Contains(u) {
+			acc = 1 / sSize
+		}
+		for _, v := range down(u) {
+			acc += pBar[v] / float64(len(up(v)))
+		}
+		pBar[u] = acc
+	}
+
+	// Pick supported nodes across levels and compare.
+	tw := &tarw{
+		s:     s,
+		rng:   rand.New(rand.NewSource(1)),
+		seeds: seeds,
+		opts:  TARWOptions{PEstimates: 1, DisableRootCache: true}.withDefaults(),
+		pUp:   make(map[int64]*pStat),
+		pDown: make(map[int64]*pStat),
+	}
+	tw.opts.PEstimates = 1
+
+	var supported []int64
+	for _, u := range nodes {
+		if pBar[u] > 0 && len(up(u)) > 0 { // skip trivial seeds
+			supported = append(supported, u)
+		}
+	}
+	sort.Slice(supported, func(i, j int) bool { return lvl(supported[i]) < lvl(supported[j]) })
+
+	checkEvery := len(supported) / 12
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	var ratioSum float64
+	var count int
+	for i := 0; i < len(supported); i += checkEvery {
+		u := supported[i]
+		const runs = 400
+		var sum float64
+		zeros := 0
+		for r := 0; r < runs; r++ {
+			est, err := tw.samplePUp(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est
+			if est == 0 {
+				zeros++
+			}
+		}
+		mean := sum / runs
+		ratio := mean / pBar[u]
+		ratioSum += ratio
+		count++
+		t.Logf("u=%6d level=%3d exact=%.3e mean(p̂)=%.3e ratio=%.2f zeros=%d/%d",
+			u, lvl(u), pBar[u], mean, ratio, zeros, runs)
+	}
+	t.Logf("mean ratio over %d nodes = %.3f (1.0 = unbiased)", count, ratioSum/float64(count))
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// TestDebugTARWSupport quantifies, with full knowledge of the platform,
+// how much of the term subgraph the bottom-top and top-bottom phases of
+// MA-TARW can reach (p̄ > 0 / p̃ > 0), and what the exact
+// Hansen–Hurwitz mass is. It documents the support structure the
+// estimator deviation notes in matarw.go rely on.
+func TestDebugTARWSupport(t *testing.T) {
+	for _, interval := range []model.Tick{model.Day, 2 * model.Day, model.Week, model.Month} {
+		t.Run(levelgraph.IntervalName(interval), func(t *testing.T) {
+			debugSupport(t, interval)
+		})
+	}
+}
+
+func debugSupport(t *testing.T, interval model.Tick) {
+	p := testPlatform(t)
+	c := p.Cascade("privacy")
+	term, err := p.TermSubgraph("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := func(u int64) int { return levelgraph.LevelOf(c.First[u], interval) }
+
+	// Seeds as the estimator would see them.
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	s, _ := NewSession(api.NewClient(srv, 0), query.CountQuery("privacy"), interval)
+	seeds, err := s.Seeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := term.Nodes()
+	// Order nodes by level descending (bottom first) for the up DP.
+	byLevelDesc := append([]int64(nil), nodes...)
+	sort.Slice(byLevelDesc, func(i, j int) bool { return lvl(byLevelDesc[i]) > lvl(byLevelDesc[j]) })
+
+	up := func(u int64) (out []int64) {
+		for _, v := range term.Neighbors(u) {
+			if lvl(v) < lvl(u) {
+				out = append(out, v)
+			}
+		}
+		return
+	}
+	down := func(u int64) (out []int64) {
+		for _, v := range term.Neighbors(u) {
+			if lvl(v) > lvl(u) {
+				out = append(out, v)
+			}
+		}
+		return
+	}
+
+	sSize := float64(seeds.Size())
+	pBar := make(map[int64]float64, len(nodes))
+	for _, u := range byLevelDesc { // bottom-up order: down-neighbors first
+		var acc float64
+		if seeds.Contains(u) {
+			acc = 1 / sSize
+		}
+		for _, v := range down(u) {
+			acc += pBar[v] / float64(len(up(v)))
+		}
+		pBar[u] = acc
+	}
+	// Top-down order for p̃.
+	byLevelAsc := append([]int64(nil), nodes...)
+	sort.Slice(byLevelAsc, func(i, j int) bool { return lvl(byLevelAsc[i]) < lvl(byLevelAsc[j]) })
+	pTil := make(map[int64]float64, len(nodes))
+	for _, u := range byLevelAsc {
+		ups := up(u)
+		if len(ups) == 0 {
+			pTil[u] = pBar[u]
+			continue
+		}
+		var acc float64
+		for _, v := range ups {
+			acc += pTil[v] / float64(len(down(v)))
+		}
+		pTil[u] = acc
+	}
+
+	var upSupport, downSupport, both int
+	var upMass, downMass float64
+	for _, u := range nodes {
+		if pBar[u] > 0 {
+			upSupport++
+			upMass++
+		}
+		if pTil[u] > 0 {
+			downSupport++
+			downMass++
+		}
+		if pBar[u] > 0 || pTil[u] > 0 {
+			both++
+		}
+	}
+	n := len(nodes)
+	var deadEnds, deadSeeds, isolated int
+	var downDegSum, levelDegSum float64
+	for _, u := range nodes {
+		d := len(down(u))
+		downDegSum += float64(d)
+		levelDegSum += float64(d + len(up(u)))
+		if d == 0 {
+			deadEnds++
+			if seeds.Contains(u) {
+				deadSeeds++
+			}
+		}
+		if d+len(up(u)) == 0 {
+			isolated++
+		}
+	}
+	t.Logf("term nodes=%d edges=%d seeds=%d", n, term.NumEdges(), seeds.Size())
+	t.Logf("level-degree avg=%.2f down-degree avg=%.2f deadEnds=%d (seeds %d) isolated=%d",
+		levelDegSum/float64(n), downDegSum/float64(n), deadEnds, deadSeeds, isolated)
+	t.Logf("p̄>0: %d (%.1f%%), p̃>0: %d (%.1f%%), union: %d (%.1f%%)",
+		upSupport, 100*float64(upSupport)/float64(n),
+		downSupport, 100*float64(downSupport)/float64(n),
+		both, 100*float64(both)/float64(n))
+	// Exact expected per-walk phase sums: E[Σ_{u∈Ū} 1/p̄(u)] = |support(p̄)|.
+	// So the diagnostics above directly bound what COUNT each phase can see.
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+)
+
+// TestDebugTARWByInterval measures MA-TARW accuracy as a function of
+// the level interval T — the practical trade-off behind §4.2.3: finer
+// T gives better subgraph support but deeper lattices (noisier
+// ESTIMATE-p); coarser T gives shallow lattices but can fragment the
+// level DAG.
+func TestDebugTARWByInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := testPlatform(t)
+	qc := query.CountQuery("privacy")
+	qa := query.AvgQuery("privacy", query.Followers)
+	truthC, _ := p.GroundTruth(qc)
+	truthA, _ := p.GroundTruth(qa)
+	for _, pe := range []int{20} {
+		for _, interval := range []model.Tick{2 * model.Day, model.Week, 2 * model.Week, model.Month} {
+			for trial := int64(0); trial < 2; trial++ {
+				srv := api.NewServer(p, api.Twitter(), api.Faults{})
+				s, _ := NewSession(api.NewClient(srv, 40000), qc, interval)
+				res, err := RunTARW(s, TARWOptions{Seed: 100 + trial, MaxWalks: 800, PEstimates: pe})
+				if err != nil {
+					t.Fatalf("T=%v: %v", interval, err)
+				}
+				srv2 := api.NewServer(p, api.Twitter(), api.Faults{})
+				s2, _ := NewSession(api.NewClient(srv2, 40000), qa, interval)
+				res2, err := RunTARW(s2, TARWOptions{Seed: 200 + trial, MaxWalks: 800, PEstimates: pe})
+				if err != nil {
+					t.Fatalf("T=%v: %v", interval, err)
+				}
+				t.Logf("pe=%-2d T=%-3s trial=%d COUNT est=%8.0f (truth %.0f, relerr %5.2f) cost=%d | AVG relerr %5.3f zero=%d",
+					pe, levelgraph.IntervalName(interval), trial,
+					res.Estimate, truthC, stats.RelativeError(res.Estimate, truthC), res.Cost,
+					stats.RelativeError(res2.Estimate, truthA), res.ZeroProbPaths)
+			}
+		}
+	}
+}
+
+var _ = platform.Config{}

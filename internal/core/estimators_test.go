@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mba/internal/query"
+)
+
+func TestEstimateFromChainAvg(t *testing.T) {
+	// Hand-built chain: nodes with degree d and value v; the
+	// degree-reweighted AVG is Σ(v·m/d)/Σ(m/d).
+	chain := []srwSample{
+		{u: 1, degree: 2, match: true, value: 10},
+		{u: 2, degree: 4, match: true, value: 20},
+		{u: 3, degree: 1, match: false, value: 99}, // non-matching excluded
+	}
+	opts := SRWOptions{NaiveMR: true}.withDefaults() // skip burn-in trimming
+	got, ok := estimateFromChain(query.Avg, chain, opts)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	want := (10.0/2 + 20.0/4) / (1.0/2 + 1.0/4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AVG = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateFromChainCountNeedsCollision(t *testing.T) {
+	opts := SRWOptions{NaiveMR: true}.withDefaults()
+	chain := []srwSample{
+		{u: 1, degree: 2, match: true, value: 1},
+		{u: 2, degree: 2, match: true, value: 1},
+	}
+	if _, ok := estimateFromChain(query.Count, chain, opts); ok {
+		t.Error("COUNT without collisions should not be ok")
+	}
+	chain = append(chain, srwSample{u: 1, degree: 2, match: true, value: 1})
+	if _, ok := estimateFromChain(query.Count, chain, opts); !ok {
+		t.Error("COUNT with a collision should be ok")
+	}
+}
+
+func TestEstimateFromChainSumScalesWithCount(t *testing.T) {
+	opts := SRWOptions{NaiveMR: true}.withDefaults()
+	var chain []srwSample
+	// Uniform-degree population of 3 distinct nodes visited repeatedly:
+	// SUM should come out near n̂ × mean(value).
+	vals := map[int64]float64{1: 10, 2: 20, 3: 30}
+	seq := []int64{1, 2, 3, 1, 2, 3, 2, 1, 3, 2}
+	for _, u := range seq {
+		chain = append(chain, srwSample{u: u, degree: 2, match: true, value: vals[u]})
+	}
+	sum, ok := estimateFromChain(query.Sum, chain, opts)
+	if !ok {
+		t.Fatal("no SUM estimate")
+	}
+	cnt, _ := estimateFromChain(query.Count, chain, opts)
+	avg, _ := estimateFromChain(query.Avg, chain, opts)
+	if math.Abs(sum-cnt*avg) > 1e-9 {
+		t.Errorf("SUM %v != COUNT %v × AVG %v", sum, cnt, avg)
+	}
+}
+
+func TestEstimateFromChainEmpty(t *testing.T) {
+	opts := SRWOptions{}.withDefaults()
+	if _, ok := estimateFromChain(query.Avg, nil, opts); ok {
+		t.Error("empty chain should not be ok")
+	}
+	// Chain with only zero-degree entries carries no mass.
+	chain := []srwSample{{u: 1, degree: 0, match: true, value: 5}}
+	if _, ok := estimateFromChain(query.Avg, chain, opts); ok {
+		t.Error("zero-degree-only chain should not be ok")
+	}
+}
+
+func TestTarwEstimateCalibration(t *testing.T) {
+	// The calibration scales SUM/COUNT by seedTotal / mean(seedEsts).
+	sums := []float64{100, 140}
+	cnts := []float64{10, 14}
+	seeds := []float64{4, 6} // mean 5; true seed total 10 -> calib ×2
+	got, ok := tarwEstimate(query.Count, 10, sums, cnts, seeds)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-24) > 1e-12 { // mean(cnts)=12 × 2
+		t.Errorf("calibrated COUNT = %v, want 24", got)
+	}
+	got, _ = tarwEstimate(query.Sum, 10, sums, cnts, seeds)
+	if math.Abs(got-240) > 1e-12 {
+		t.Errorf("calibrated SUM = %v, want 240", got)
+	}
+	// AVG is a pure ratio: calibration must cancel.
+	got, _ = tarwEstimate(query.Avg, 10, sums, cnts, seeds)
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("AVG = %v, want 10", got)
+	}
+}
+
+func TestTarwEstimateWithoutSeedMass(t *testing.T) {
+	// Walks that never weighed a seed: raw means are used.
+	got, ok := tarwEstimate(query.Count, 10, []float64{50}, []float64{5}, []float64{0})
+	if !ok || got != 5 {
+		t.Errorf("uncalibrated COUNT = %v ok=%v, want 5", got, ok)
+	}
+	if _, ok := tarwEstimate(query.Count, 10, nil, nil, nil); ok {
+		t.Error("no walks should not be ok")
+	}
+	if _, ok := tarwEstimate(query.Avg, 10, []float64{5}, []float64{0}, []float64{1}); ok {
+		t.Error("AVG with zero count mass should not be ok")
+	}
+}
+
+func TestRunSRWCustomGraphOverride(t *testing.T) {
+	// A custom oracle that yields only the term view must change the
+	// walk's behaviour (here: identical to TermView by construction).
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	s := newSession(t, p, q, 8000)
+	res, err := RunSRW(s, SRWOptions{
+		Seed:  21,
+		Graph: s.TermNeighbors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Estimate) {
+		t.Error("custom-graph run produced no estimate")
+	}
+	if res.Cost > 8000 {
+		t.Errorf("budget exceeded: %d", res.Cost)
+	}
+}
+
+func TestSRWOptionsDefaults(t *testing.T) {
+	o := SRWOptions{}.withDefaults()
+	if o.Thin != 5 || o.EmitEvery != 50 || o.GewekeThreshold != 0.1 || o.MaxSteps != 100000 {
+		t.Errorf("defaults: %+v", o)
+	}
+	n := SRWOptions{NaiveMR: true}.withDefaults()
+	if n.Thin != 1 {
+		t.Errorf("NaiveMR should force thin=1, got %d", n.Thin)
+	}
+}
+
+func TestTARWOptionsDefaults(t *testing.T) {
+	o := TARWOptions{}.withDefaults()
+	if o.PEstimates != 3 || o.EmitEvery != 1 || o.MaxWalks != 4000 ||
+		o.MaxLatticeDepth != 40 || o.WeightClip != 10 || o.PilotSteps != 50 {
+		t.Errorf("defaults: %+v", o)
+	}
+}

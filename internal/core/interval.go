@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/walk"
+)
+
+// PilotResult records what a pilot walk measured for one candidate
+// interval (§4.2.3): the estimated level count h, the mean down-degree
+// d ("pick-ups after the current interval"), the Eq. 3 model
+// conductance, and the pick-up-rule score used for selection.
+type PilotResult struct {
+	Interval    model.Tick
+	H           int
+	D           float64
+	Conductance float64
+	Score       float64
+}
+
+// IntervalSelection configures SelectIntervalOpts.
+type IntervalSelection struct {
+	// Candidates defaults to the Figure 5 grid (2H … 1M).
+	Candidates []model.Tick
+	// PilotSteps is the walk length per pilot (default 50, the paper's
+	// "smaller budget (e.g., 50 samples)").
+	PilotSteps int
+	// PilotWalks averages several pilot walks per candidate (default 3)
+	// to stabilize the h and d estimates.
+	PilotWalks int
+	// MaxDepth, when positive, excludes candidates whose observed level
+	// count exceeds it. MA-TARW uses this: ESTIMATE-p multiplies one
+	// branching ratio per level, so very deep lattices make the
+	// probability estimates numerically wild (see EXPERIMENTS.md).
+	MaxDepth int
+}
+
+func (sel IntervalSelection) withDefaults() IntervalSelection {
+	if len(sel.Candidates) == 0 {
+		sel.Candidates = levelgraph.CandidateIntervals()
+	}
+	if sel.PilotSteps <= 0 {
+		sel.PilotSteps = 50
+	}
+	if sel.PilotWalks <= 0 {
+		sel.PilotWalks = 3
+	}
+	return sel
+}
+
+// SelectInterval implements the practical design of §4.2.3 with
+// default selection parameters; see SelectIntervalOpts.
+func SelectInterval(s *Session, candidates []model.Tick, pilotSteps int, seed int64) (model.Tick, []PilotResult, error) {
+	return SelectIntervalOpts(s, IntervalSelection{Candidates: candidates, PilotSteps: pilotSteps}, seed)
+}
+
+// SelectIntervalOpts implements the practical design of §4.2.3: for
+// each candidate T it performs small pilot random walks over the
+// level-by-level subgraph, computes h and d from the partial topology
+// the walks reveal, scores the candidate by how close d lands to the
+// conductance-optimal d*(h) of Corollary 4.1, and selects the best
+// (see levelgraph.IntervalStats.PickupDistance for why this rule
+// stands in for ranking the raw Eq. 3 values). The pilot results for
+// all candidates are returned for reporting (Figure 5 plots measured
+// cost against this ranking).
+//
+// Pilot API calls are charged to the session's client like any others.
+func SelectIntervalOpts(s *Session, sel IntervalSelection, seed int64) (model.Tick, []PilotResult, error) {
+	sel = sel.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	seeds, err := s.Seeds()
+	if err != nil {
+		return 0, nil, err
+	}
+	original := s.Interval
+
+	// One pilot phase over the term-induced subgraph reveals a sample
+	// of nodes (with their first-mention times and the first-mention
+	// times of all their neighbors). Every candidate T is then scored
+	// by re-bucketing that same sample — the API cost of the pilots is
+	// paid once, not once per candidate.
+	visited, err := s.pilotSample(seeds, sel.PilotWalks, sel.PilotSteps, rng)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	var results []PilotResult
+	var stats []levelgraph.IntervalStats
+	for _, t := range sel.Candidates {
+		s.SetInterval(t)
+		h, d, err := s.bucketStats(visited)
+		if err != nil {
+			s.SetInterval(original)
+			return 0, results, err
+		}
+		st := levelgraph.IntervalStats{Interval: t, H: h, D: d, N: pilotN}
+		if sel.MaxDepth <= 0 || h <= sel.MaxDepth {
+			stats = append(stats, st)
+		}
+		results = append(results, PilotResult{
+			Interval:    t,
+			H:           h,
+			D:           d,
+			Conductance: st.Conductance(),
+			Score:       st.PickupDistance(),
+		})
+	}
+	best, ok := levelgraph.SelectInterval(stats)
+	if !ok {
+		// No admissible candidate under the depth cap (or all scores
+		// infinite): fall back to the shallowest candidate observed.
+		shallowest := results[0]
+		for _, pr := range results[1:] {
+			if pr.H < shallowest.H {
+				shallowest = pr
+			}
+		}
+		s.SetInterval(shallowest.Interval)
+		return shallowest.Interval, results, nil
+	}
+	s.SetInterval(best.Interval)
+	return best.Interval, results, nil
+}
+
+// pilotN is the node-count placeholder fed to the conductance model.
+// The true subgraph size is unknown during the pilot (estimating it is
+// exactly the expensive M&R problem the paper avoids); since every
+// candidate shares the same subgraph, any common constant preserves
+// the ranking within a regime.
+const pilotN = 100000
+
+// pilotSample walks the term-induced subgraph and returns the distinct
+// nodes visited (their neighborhoods get expanded and cached along the
+// way). The walk restarts from a fresh seed when stuck; budget
+// exhaustion returns the partial sample.
+func (s *Session) pilotSample(seeds SeedSet, walks, steps int, rng *rand.Rand) ([]int64, error) {
+	seen := make(map[int64]bool)
+	var visited []int64
+	note := func(u int64) {
+		if !seen[u] {
+			seen[u] = true
+			visited = append(visited, u)
+		}
+	}
+	for wk := 0; wk < walks; wk++ {
+		start, err := s.PickSeed(seeds, rng)
+		if errors.Is(err, api.ErrBudgetExhausted) {
+			return visited, nil
+		}
+		if err != nil {
+			return visited, err
+		}
+		w := walk.NewSimple(walk.GraphFunc(s.TermNeighbors), start, rng)
+		note(start)
+		for i := 0; i < steps; i++ {
+			u, err := w.Step()
+			switch {
+			case errors.Is(err, walk.ErrStuck):
+				ns, serr := s.PickSeed(seeds, rng)
+				if serr != nil {
+					return visited, nil
+				}
+				w.Jump(ns)
+				continue
+			case errors.Is(err, api.ErrBudgetExhausted):
+				return visited, nil
+			case err != nil:
+				return visited, err
+			}
+			note(u)
+		}
+	}
+	return visited, nil
+}
+
+// bucketStats re-buckets the pilot sample at the session's current
+// interval and returns the revealed (h, d): h from the span of
+// observed first-mention levels, d as the mean down-degree — the
+// "pick-ups after the current time interval" of §4.2.3. All data comes
+// from the client cache, so this costs no API calls.
+func (s *Session) bucketStats(visited []int64) (h int, d float64, err error) {
+	minLvl, maxLvl := int(^uint(0)>>1), -1
+	var degSum float64
+	var degN int
+	for _, u := range visited {
+		lvl, err := s.Level(u)
+		if err != nil {
+			continue // node dropped from the subgraph view; skip
+		}
+		if lvl < minLvl {
+			minLvl = lvl
+		}
+		if lvl > maxLvl {
+			maxLvl = lvl
+		}
+		downs, err := s.DownNeighbors(u)
+		if err != nil {
+			return 1, 0, err
+		}
+		degSum += float64(len(downs))
+		degN++
+	}
+	if degN == 0 || maxLvl < minLvl {
+		return 1, 0, nil
+	}
+	return maxLvl - minLvl + 1, degSum / float64(degN), nil
+}
+
+// selectInterval is the Algorithm 3 line-1 hook used by RunTARW. The
+// depth cap keeps the selected lattice shallow enough for stable
+// ESTIMATE-p products.
+func (t *tarw) selectInterval() error {
+	_, _, err := SelectIntervalOpts(t.s, IntervalSelection{
+		PilotSteps: t.opts.PilotSteps,
+		MaxDepth:   t.opts.MaxLatticeDepth,
+	}, t.rng.Int63())
+	return err
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+func TestPilotSampleVisitsTermNodes(t *testing.T) {
+	p := testPlatform(t)
+	s := newSession(t, p, query.CountQuery("privacy"), 0)
+	seeds, err := s.Seeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	visited, err := s.pilotSample(seeds, 2, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) < 10 {
+		t.Fatalf("pilot visited only %d nodes", len(visited))
+	}
+	seen := make(map[int64]bool)
+	for _, u := range visited {
+		if seen[u] {
+			t.Fatal("pilot sample contains duplicates")
+		}
+		seen[u] = true
+		ok, err := s.Qualified(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("pilot visited unqualified node %d", u)
+		}
+	}
+}
+
+func TestBucketStatsRespondsToInterval(t *testing.T) {
+	p := testPlatform(t)
+	s := newSession(t, p, query.CountQuery("privacy"), 0)
+	seeds, _ := s.Seeds()
+	rng := rand.New(rand.NewSource(2))
+	visited, err := s.pilotSample(seeds, 2, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInterval(model.Day)
+	hDay, _, err := s.bucketStats(visited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInterval(model.Month)
+	hMonth, _, err := s.bucketStats(visited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hMonth >= hDay {
+		t.Errorf("coarser interval should shrink h: day=%d month=%d", hDay, hMonth)
+	}
+	// Re-bucketing costs nothing: the data is cached.
+	cost := s.Client.Cost()
+	s.SetInterval(model.Week)
+	if _, _, err := s.bucketStats(visited); err != nil {
+		t.Fatal(err)
+	}
+	if s.Client.Cost() != cost {
+		t.Error("bucketStats issued API calls")
+	}
+}
+
+func TestSelectIntervalDepthCap(t *testing.T) {
+	p := testPlatform(t)
+	s := newSession(t, p, query.CountQuery("privacy"), 0)
+	// With a tiny depth cap only the coarsest candidates qualify.
+	best, pilots, err := SelectIntervalOpts(s, IntervalSelection{MaxDepth: 12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pilots) != len(levelgraph.CandidateIntervals()) {
+		t.Fatalf("pilot results = %d", len(pilots))
+	}
+	for _, pr := range pilots {
+		if pr.Interval == best && pr.H > 12 {
+			t.Errorf("selected interval %v has depth %d > cap", best, pr.H)
+		}
+	}
+}
+
+func TestSelectIntervalFallbackWhenNothingAdmissible(t *testing.T) {
+	p := testPlatform(t)
+	s := newSession(t, p, query.CountQuery("privacy"), 0)
+	// Depth cap 1 excludes everything; the fallback picks the
+	// shallowest candidate rather than failing.
+	best, pilots, err := SelectIntervalOpts(s, IntervalSelection{MaxDepth: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 {
+		t.Fatal("no interval selected")
+	}
+	minH := pilots[0].H
+	for _, pr := range pilots {
+		if pr.H < minH {
+			minH = pr.H
+		}
+	}
+	for _, pr := range pilots {
+		if pr.Interval == best && pr.H != minH {
+			t.Errorf("fallback should pick the shallowest candidate (h=%d), got h=%d", minH, pr.H)
+		}
+	}
+}
+
+func TestSelectIntervalChargesOnePilotPhase(t *testing.T) {
+	p := testPlatform(t)
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	s, _ := NewSession(api.NewClient(srv, 0), query.CountQuery("privacy"), model.Day)
+	_, _, err := SelectInterval(s, nil, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := s.Client.Cost()
+	// A second selection re-uses the cached sample region heavily.
+	_, _, err = SelectInterval(s, nil, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Client.Cost() > afterFirst*2 {
+		t.Errorf("second selection too expensive: %d -> %d", afterFirst, s.Client.Cost())
+	}
+	if afterFirst == 0 {
+		t.Error("pilot phase should cost something")
+	}
+	t.Logf("pilot phase cost: %d calls", afterFirst)
+}
+
+func TestAdjacentOraclesSubsetDirectional(t *testing.T) {
+	p := testPlatform(t)
+	s := newSession(t, p, query.CountQuery("privacy"), 0)
+	seeds, _ := s.Seeds()
+	checked := 0
+	for _, u := range seeds.Hits {
+		upAdj, err := s.UpAdjacent(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upAll, err := s.UpNeighbors(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(upAdj) > len(upAll) {
+			t.Fatal("adjacent ups exceed all ups")
+		}
+		myLvl, _ := s.Level(u)
+		for _, v := range upAdj {
+			if lvl, _ := s.Level(v); lvl != myLvl-1 {
+				t.Fatalf("UpAdjacent returned node at level %d (mine %d)", lvl, myLvl)
+			}
+		}
+		downAdj, err := s.DownAdjacent(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range downAdj {
+			if lvl, _ := s.Level(v); lvl != myLvl+1 {
+				t.Fatalf("DownAdjacent returned node at level %d (mine %d)", lvl, myLvl)
+			}
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+}

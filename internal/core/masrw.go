@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"mba/internal/api"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/walk"
+)
+
+// Point is one trajectory sample: the estimate available after
+// spending Cost API calls.
+type Point struct {
+	Cost     int
+	Estimate float64
+}
+
+// Result is the outcome of one estimation run.
+type Result struct {
+	// Estimate is the final aggregate estimate (NaN when the run never
+	// produced one, e.g. M&R before its first collision).
+	Estimate float64
+	// Cost is the total number of API calls spent.
+	Cost int
+	// Samples is the number of walk samples (SRW steps or TARW walks).
+	Samples int
+	// Trajectory records intermediate estimates for convergence plots
+	// (Figure 9) and cost-at-error-threshold extraction (Figures 2–14).
+	Trajectory []Point
+	// ZeroProbPaths counts TARW probability estimates that came back
+	// zero and were skipped (diagnostic; see ESTIMATE-p discussion).
+	ZeroProbPaths int
+}
+
+// SRWOptions configures RunSRW.
+type SRWOptions struct {
+	// View picks the conceptual graph (social, term-induced, or
+	// level-by-level — the last is Algorithm 1, MA-SRW).
+	View GraphView
+	// Seed drives the walker's randomness.
+	Seed int64
+	// Thin is the spacing between samples fed to the mark-and-recapture
+	// size estimator for COUNT/SUM (reduces sample correlation).
+	// Default 5. NaiveMR forces 1.
+	Thin int
+	// EmitEvery is the trajectory granularity in steps (default 50).
+	EmitEvery int
+	// MaxSteps optionally bounds the number of walk steps (0 = until
+	// the client budget runs out).
+	MaxSteps int
+	// NaiveMR disables thinning and burn-in discarding for the size
+	// estimator, reproducing the paper's M&R baseline behaviour.
+	NaiveMR bool
+	// GewekeThreshold is the burn-in criterion (default 0.1, the
+	// paper's choice).
+	GewekeThreshold float64
+	// Graph optionally overrides the neighbor oracle (and the degrees
+	// used for reweighting). Used by the Figure 4 ablation, which walks
+	// a level-by-level graph with only a fraction of intra-level edges
+	// removed. When set, View is ignored.
+	Graph func(u int64) ([]int64, error)
+}
+
+func (o SRWOptions) withDefaults() SRWOptions {
+	if o.Thin == 0 {
+		o.Thin = 5
+	}
+	if o.NaiveMR {
+		o.Thin = 1
+	}
+	if o.EmitEvery == 0 {
+		o.EmitEvery = 50
+	}
+	if o.GewekeThreshold == 0 {
+		o.GewekeThreshold = 0.1
+	}
+	if o.MaxSteps == 0 {
+		// Safety cap: once the client cache covers the walk's region,
+		// steps are free and a budget-only loop would never end.
+		o.MaxSteps = 100000
+	}
+	return o
+}
+
+// srwSample is one chain entry.
+type srwSample struct {
+	u      int64
+	degree int
+	match  bool
+	value  float64
+}
+
+// RunSRW estimates the session's query with a simple random walk over
+// the chosen graph view. With View == LevelView this is Algorithm 1
+// (MA-SRW); with TermView/SocialView it is the corresponding baseline
+// of Figures 2–3. AVG uses the degree-reweighted ratio estimator;
+// COUNT and SUM additionally use mark-and-recapture size estimation
+// (the only option available to a topology-oblivious walk, §5.1).
+//
+// The walk runs until the client budget is exhausted (or MaxSteps).
+// Budget exhaustion is not an error: the result carries whatever
+// estimate the spent budget bought.
+func RunSRW(s *Session, opts SRWOptions) (Result, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var res Result
+	seeds, err := s.Seeds()
+	if err != nil {
+		return res, err
+	}
+	start, err := s.PickSeed(seeds, rng)
+	if err != nil {
+		res.Cost = s.Client.Cost()
+		return res, err
+	}
+
+	oracle := opts.Graph
+	if oracle == nil {
+		oracle = s.Neighbors(opts.View)
+	}
+	w := walk.NewSimple(walk.GraphFunc(oracle), start, rng)
+
+	var chain []srwSample
+	// Trajectory checkpoints start EmitEvery apart and grow ~5% per
+	// emission, keeping the estimate-recomputation cost (O(chain) per
+	// checkpoint) near-linear over long walks.
+	nextEmit := opts.EmitEvery
+	finalize := func() Result {
+		res.Cost = s.Client.Cost()
+		res.Samples = len(chain)
+		res.Estimate = math.NaN()
+		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
+			res.Estimate = est
+		}
+		return res
+	}
+
+	for {
+		if opts.MaxSteps > 0 && len(chain) >= opts.MaxSteps {
+			break
+		}
+		if s.Client.Exhausted() {
+			break
+		}
+		u, err := w.Step()
+		switch {
+		case errors.Is(err, api.ErrBudgetExhausted):
+			return finalize(), nil
+		case errors.Is(err, walk.ErrStuck):
+			// Restart from a fresh seed (an isolated node or a dead end
+			// after private-user filtering).
+			ns, serr := s.PickSeed(seeds, rng)
+			if errors.Is(serr, api.ErrBudgetExhausted) {
+				return finalize(), nil
+			}
+			if serr != nil {
+				return finalize(), serr
+			}
+			w.Jump(ns)
+			continue
+		case err != nil:
+			return finalize(), err
+		}
+
+		deg, match, value, err := s.sampleFacts(u, oracle)
+		if errors.Is(err, api.ErrBudgetExhausted) {
+			return finalize(), nil
+		}
+		if err != nil {
+			return finalize(), err
+		}
+		chain = append(chain, srwSample{u: u, degree: deg, match: match, value: value})
+
+		if len(chain) >= nextEmit {
+			if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
+				res.Trajectory = append(res.Trajectory, Point{Cost: s.Client.Cost(), Estimate: est})
+			}
+			growth := nextEmit / 20
+			if growth < opts.EmitEvery {
+				growth = opts.EmitEvery
+			}
+			nextEmit += growth
+		}
+	}
+	return finalize(), nil
+}
+
+// sampleFacts returns the oracle-degree, match flag and value of u.
+// The degree must match the graph the walk transitions on, since the
+// ratio estimator reweights by the stationary distribution of that
+// graph.
+func (s *Session) sampleFacts(u int64, oracle func(int64) ([]int64, error)) (deg int, match bool, value float64, err error) {
+	ns, err := oracle(u)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	m, v, err := s.MatchValue(u)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	return len(ns), m, v, nil
+}
+
+// estimateFromChain turns the walk chain into an aggregate estimate.
+func estimateFromChain(agg query.Aggregate, chain []srwSample, opts SRWOptions) (float64, bool) {
+	if len(chain) == 0 {
+		return 0, false
+	}
+	work := chain
+	if !opts.NaiveMR {
+		// Discard the Geweke burn-in prefix (threshold 0.1, the paper's
+		// criterion) before estimating.
+		vals := make([]float64, len(chain))
+		for i, c := range chain {
+			if c.match {
+				vals[i] = c.value
+			}
+		}
+		step := len(chain) / 10
+		if step < 1 {
+			step = 1
+		}
+		cut := stats.GewekeBurnIn(vals, opts.GewekeThreshold, step)
+		if cut < len(chain) {
+			work = chain[cut:]
+		}
+	}
+
+	var sumFMd, sumMd, sumInvD float64
+	size := walk.NewSizeEstimator()
+	for i, c := range work {
+		if c.degree <= 0 {
+			continue
+		}
+		d := float64(c.degree)
+		if c.match {
+			sumFMd += c.value / d
+			sumMd += 1 / d
+		}
+		sumInvD += 1 / d
+		if i%opts.Thin == 0 {
+			size.Add(c.u, c.degree)
+		}
+	}
+	if sumInvD == 0 {
+		return 0, false
+	}
+
+	switch agg {
+	case query.Avg:
+		if sumMd == 0 {
+			return 0, false
+		}
+		return sumFMd / sumMd, true
+	case query.Count:
+		n, ok := size.Estimate()
+		if !ok {
+			return 0, false
+		}
+		return n * (sumMd / sumInvD), true
+	case query.Sum:
+		n, ok := size.Estimate()
+		if !ok {
+			return 0, false
+		}
+		return n * (sumFMd / sumInvD), true
+	}
+	return 0, false
+}
+
+// RunMR runs the paper's mark-and-recapture COUNT baseline: the same
+// level-by-level walk, but with the Katzir estimator fed every
+// (correlated) step and no burn-in discarding — the straightforward
+// adaptation of [15] the paper compares against in Figures 10 and 13.
+func RunMR(s *Session, opts SRWOptions) (Result, error) {
+	opts.NaiveMR = true
+	return RunSRW(s, opts)
+}

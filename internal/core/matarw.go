@@ -1,0 +1,491 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"mba/internal/api"
+	"mba/internal/query"
+)
+
+// TARWOptions configures RunTARW (Algorithm 3, MA-TARW).
+type TARWOptions struct {
+	// Seed drives the walker's randomness.
+	Seed int64
+	// PEstimates is the number of independent ESTIMATE-p runs averaged
+	// per node (default 3). The paper uses a single recursive estimate;
+	// averaging a few reduces both the chance of an all-zero
+	// probability estimate and the reciprocal bias E[1/p̂] > 1/p̄ that
+	// a single noisy estimate induces. Extra runs mostly hit
+	// already-cached neighborhoods, so the API cost is minimal.
+	PEstimates int
+	// EmitEvery is the trajectory granularity in completed walks
+	// (default 1 — every completed walk).
+	EmitEvery int
+	// MaxWalks optionally bounds the number of bottom-top-bottom walks
+	// (0 = until the client budget runs out).
+	MaxWalks int
+	// DisableRootCache turns off the probability cache — the
+	// generalization of the paper's §5.2 "single cache" that memoizes
+	// per-node running-mean ESTIMATE-p values across walks. Disabled,
+	// every probability is a single fresh recursive draw (the literal
+	// Algorithm 2). On by default; the ablation benchmark flips this.
+	DisableRootCache bool
+	// SelectInterval enables the pilot-walk time-interval selection of
+	// §4.2.3 before the main walks (Algorithm 3, line 1).
+	SelectInterval bool
+	// PilotSteps is the per-candidate pilot budget when SelectInterval
+	// is on (default 50 samples, the paper's choice).
+	PilotSteps int
+	// MaxLatticeDepth bounds the level count of the interval
+	// SelectInterval may pick (default 40); deeper lattices make the
+	// recursive probability estimates numerically unstable.
+	MaxLatticeDepth int
+	// AdjacentOnly restricts the lattice to adjacent-level edges (the
+	// topology the paper's §5 analysis assumes; its real subgraphs have
+	// under 1–3% cross-level edges, Table 2). On a pure adjacent-level
+	// lattice the bottom-top walk conserves probability mass per level,
+	// which keeps the visit probabilities — and hence the
+	// Hansen–Hurwitz weights — well conditioned. On by default; set
+	// AllowCrossLevel to walk cross-level edges too.
+	AllowCrossLevel bool
+	// WeightClip winsorizes the Hansen–Hurwitz weights 1/p̂ at
+	// WeightClip × s (s = seed count). Visit probabilities in a real
+	// (irregular) level DAG are badly skewed, and an occasional
+	// astronomically-weighted node would otherwise dominate the
+	// estimate for thousands of walks; clipping trades a small,
+	// bounded downward bias for an enormous variance reduction
+	// (standard winsorized importance sampling). Default 10; negative
+	// disables clipping (the paper's literal estimator).
+	WeightClip float64
+}
+
+func (o TARWOptions) withDefaults() TARWOptions {
+	if o.PEstimates == 0 {
+		o.PEstimates = 3
+	}
+	if o.EmitEvery == 0 {
+		o.EmitEvery = 1
+	}
+	if o.PilotSteps == 0 {
+		o.PilotSteps = 50
+	}
+	if o.MaxWalks == 0 {
+		// Safety cap mirroring SRWOptions.MaxSteps: cached walks are
+		// free, so a budget-only loop could spin forever.
+		o.MaxWalks = 4000
+	}
+	if o.MaxLatticeDepth == 0 {
+		o.MaxLatticeDepth = 40
+	}
+	if o.WeightClip == 0 {
+		o.WeightClip = 10
+	}
+	return o
+}
+
+// pStat accumulates independent ESTIMATE-p draws for one node.
+type pStat struct {
+	sum float64
+	n   int
+}
+
+// tarw carries one run's state.
+type tarw struct {
+	s     *Session
+	rng   *rand.Rand
+	seeds SeedSet
+	opts  TARWOptions
+	// pUp/pDown memoize per-node probability estimates as running
+	// means of independent recursive draws (capped at PEstimates).
+	// This generalizes the paper's §5.2 "single cache" for root nodes
+	// to every node: reused means are still unbiased (they average
+	// unbiased draws), recursive draws that hit a cached node stop
+	// early (so estimate chains shorten as the run progresses), and
+	// the averaging shrinks the reciprocal noise of 1/p̂ that a single
+	// draw would inject into the Hansen–Hurwitz weights.
+	pUp, pDown map[int64]*pStat
+	zeroPaths  int
+}
+
+// RunTARW estimates the session's query with the topology-aware
+// bottom-top-bottom random walk of §5. Each walk instance starts at a
+// search seed, climbs to a root following up-edges uniformly, then
+// descends to a dead end following down-edges uniformly. For every
+// node passed, the visit probability p̄/p̃ is estimated unbiasedly with
+// the recursive ESTIMATE-p procedure (Algorithm 2), enabling
+// Hansen–Hurwitz estimation of SUM and COUNT without mark-and-recapture
+// and without any burn-in.
+func RunTARW(s *Session, opts TARWOptions) (Result, error) {
+	opts = opts.withDefaults()
+	t := &tarw{
+		s:     s,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		opts:  opts,
+		pUp:   make(map[int64]*pStat),
+		pDown: make(map[int64]*pStat),
+	}
+
+	var res Result
+	seeds, err := s.Seeds()
+	if err != nil {
+		return res, err
+	}
+	t.seeds = seeds
+
+	if opts.SelectInterval {
+		if err := t.selectInterval(); err != nil && !errors.Is(err, api.ErrBudgetExhausted) {
+			return res, err
+		}
+	}
+
+	// Per-walk estimates of SUM(f·match), COUNT(match), and the
+	// calibration control COUNT(seed) whose true total is known.
+	var sumEsts, cntEsts, seedEsts []float64
+	sSize := float64(seeds.Size())
+	finalize := func() Result {
+		res.Cost = s.Client.Cost()
+		res.Samples = len(sumEsts)
+		res.ZeroProbPaths = t.zeroPaths
+		res.Estimate = math.NaN()
+		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
+			res.Estimate = est
+		}
+		return res
+	}
+
+	for {
+		if opts.MaxWalks > 0 && len(sumEsts) >= opts.MaxWalks {
+			break
+		}
+		if s.Client.Exhausted() {
+			break
+		}
+		sumEst, cntEst, seedEst, err := t.oneWalk()
+		if errors.Is(err, api.ErrBudgetExhausted) {
+			return finalize(), nil
+		}
+		if errors.Is(err, errWalkSkipped) {
+			continue
+		}
+		if err != nil {
+			return finalize(), err
+		}
+		sumEsts = append(sumEsts, sumEst)
+		cntEsts = append(cntEsts, cntEst)
+		seedEsts = append(seedEsts, seedEst)
+
+		if len(sumEsts)%opts.EmitEvery == 0 {
+			if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
+				res.Trajectory = append(res.Trajectory, Point{Cost: s.Client.Cost(), Estimate: est})
+			}
+		}
+	}
+	return finalize(), nil
+}
+
+// errWalkSkipped marks a walk that produced no usable probability
+// estimates (all zero); the driver just starts another walk.
+var errWalkSkipped = errors.New("core: walk skipped")
+
+// oneWalk performs one bottom-top-bottom instance and returns the
+// per-walk Hansen–Hurwitz estimates of SUM(f·match), COUNT(match), and
+// COUNT(seed) — the calibration control.
+func (t *tarw) oneWalk() (sumEst, cntEst, seedEst float64, err error) {
+	start, err := t.s.PickSeed(t.seeds, t.rng)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Bottom-top phase: Ū.
+	up := []int64{start}
+	cur := start
+	for {
+		ups, err := t.up(cur)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(ups) == 0 {
+			break
+		}
+		cur = ups[t.rng.Intn(len(ups))]
+		up = append(up, cur)
+	}
+
+	// Top-bottom phase: Ũ (nodes strictly below the root).
+	var down []int64
+	for {
+		downs, err := t.down(cur)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(downs) == 0 {
+			break
+		}
+		cur = downs[t.rng.Intn(len(downs))]
+		down = append(down, cur)
+	}
+
+	// Hansen–Hurwitz estimation. For each phase, E[Σ_{u∈phase} f(u)/p(u)]
+	// equals the population total over the phase's support (every node
+	// with p > 0 contributes p · f/p), so each phase sum is itself a
+	// SUM estimate and the walk's estimate averages the two phases.
+	// Note this normalization differs from a literal reading of
+	// Algorithm 3 line 7 (which divides by |Ri|, the walk length):
+	// dividing an already-unbiased total by the path length would
+	// shrink SUM/COUNT by a factor of ~2(h−1). For AVG the
+	// normalization cancels, which is why the paper's AVG experiments
+	// are insensitive to the distinction.
+	//
+	// Nodes whose probability estimate comes back zero are skipped and
+	// counted in ZeroProbPaths (an unlucky but legitimate draw of the
+	// unbiased ESTIMATE-p; 1/p̂ is undefined at zero).
+	//
+	// Alongside SUM(f·match) and COUNT(match) the walk accumulates
+	// COUNT(seed) with the same weights: the true number of seeds is
+	// known exactly (the search result), so the final estimates are
+	// calibrated ratios in which shared multiplicative errors —
+	// winsorization loss, support deficiency, reciprocal bias — cancel
+	// (the classic survey-sampling ratio estimator with a known
+	// auxiliary total).
+	var sumAcc, cntAcc, seedAcc float64
+	contributed := false
+	maxWeight := -1.0
+	if t.opts.WeightClip > 0 {
+		maxWeight = t.opts.WeightClip * float64(t.seeds.Size())
+	}
+	addNode := func(u int64, p float64) error {
+		if p <= 0 {
+			t.zeroPaths++
+			return nil
+		}
+		match, value, err := t.s.MatchValue(u)
+		if err != nil {
+			return err
+		}
+		w := 1 / p
+		if maxWeight > 0 && w > maxWeight {
+			w = maxWeight
+		}
+		if match {
+			sumAcc += value * w
+			cntAcc += w
+		}
+		if t.seeds.Contains(u) {
+			seedAcc += w
+		}
+		contributed = true
+		return nil
+	}
+
+	for _, u := range up {
+		p, err := t.settledEstimate(t.pUp, u, t.samplePUp)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := addNode(u, p); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for _, u := range down {
+		p, err := t.settledEstimate(t.pDown, u, t.samplePDown)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := addNode(u, p); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if !contributed {
+		return 0, 0, 0, errWalkSkipped
+	}
+	return sumAcc / 2, cntAcc / 2, seedAcc / 2, nil
+}
+
+// cachedEstimate implements the running-mean probability cache: draws
+// one fresh sample per call until the node has accumulated PEstimates
+// draws, then serves the settled mean. With caching disabled it always
+// takes a single fresh draw (the paper's literal Algorithm 2).
+func (t *tarw) cachedEstimate(cache map[int64]*pStat, u int64, draw func(int64) (float64, error)) (float64, error) {
+	if t.opts.DisableRootCache {
+		return draw(u)
+	}
+	st := cache[u]
+	if st == nil {
+		st = &pStat{}
+		cache[u] = st
+	}
+	if st.n < t.opts.PEstimates {
+		p, err := draw(u)
+		if err != nil {
+			return 0, err
+		}
+		st.sum += p
+		st.n++
+	}
+	return st.sum / float64(st.n), nil
+}
+
+// settledEstimate tops a node's cache up to the full PEstimates draws
+// and returns the settled mean. Walk-path nodes use this: their
+// reciprocals 1/p̂ enter the Hansen–Hurwitz estimate, and an unlucky
+// single draw frozen in the cache would otherwise contribute a huge
+// weight to every future walk through the node.
+func (t *tarw) settledEstimate(cache map[int64]*pStat, u int64, draw func(int64) (float64, error)) (float64, error) {
+	if t.opts.DisableRootCache {
+		var sum float64
+		for i := 0; i < t.opts.PEstimates; i++ {
+			p, err := draw(u)
+			if err != nil {
+				return 0, err
+			}
+			sum += p
+		}
+		return sum / float64(t.opts.PEstimates), nil
+	}
+	st := cache[u]
+	if st == nil {
+		st = &pStat{}
+		cache[u] = st
+	}
+	for st.n < t.opts.PEstimates {
+		p, err := draw(u)
+		if err != nil {
+			return 0, err
+		}
+		st.sum += p
+		st.n++
+	}
+	return st.sum / float64(st.n), nil
+}
+
+// estimatePUp returns the cached-mean ESTIMATE-p estimate of p̄(u),
+// the probability the bottom-top phase passes u.
+func (t *tarw) estimatePUp(u int64) (float64, error) {
+	return t.cachedEstimate(t.pUp, u, t.samplePUp)
+}
+
+// samplePUp is Algorithm 2: one recursive unbiased sample of p̄(u).
+// The recursion follows a random down-path; levels strictly increase,
+// so it terminates within the level count.
+//
+// Relative to the paper we add the start-probability term 1/s for any
+// node in the seed set (not only bottom nodes): the up-phase starts at
+// a uniform seed, and a seed can have down-neighbors when search
+// returns users above the last level. When seeds are exactly the
+// bottom nodes this reduces to the paper's base case.
+func (t *tarw) samplePUp(u int64) (float64, error) {
+	var base float64
+	if t.seeds.Contains(u) {
+		base = 1 / float64(t.seeds.Size())
+	}
+	downs, err := t.down(u)
+	if err != nil {
+		return 0, err
+	}
+	if len(downs) == 0 {
+		return base, nil
+	}
+	v := downs[t.rng.Intn(len(downs))]
+	upsV, err := t.up(v)
+	if err != nil {
+		return 0, err
+	}
+	if len(upsV) == 0 {
+		// Cannot happen in a consistent level assignment (u is an
+		// up-neighbor of v); guard against cache inconsistencies.
+		return base, nil
+	}
+	// Recurse through the cache: a settled child mean both stops the
+	// recursion early and Rao-Blackwellizes the draw.
+	pv, err := t.estimatePUp(v)
+	if err != nil {
+		return 0, err
+	}
+	return base + float64(len(downs))*pv/float64(len(upsV)), nil
+}
+
+// estimatePDown returns the cached-mean estimate of p̃(u), the
+// probability the top-bottom phase passes u.
+func (t *tarw) estimatePDown(u int64) (float64, error) {
+	return t.cachedEstimate(t.pDown, u, t.samplePDown)
+}
+
+// samplePDown mirrors Algorithm 2 in the downward direction:
+// p̃(u) = Σ_{v∈∇(u)} p̃(v)/|∆(v)|, with p̃ = p̄ at roots (the paper's
+// §5.2 root reuse falls out of the shared probability cache).
+func (t *tarw) samplePDown(u int64) (float64, error) {
+	ups, err := t.up(u)
+	if err != nil {
+		return 0, err
+	}
+	if len(ups) == 0 {
+		return t.estimatePUp(u)
+	}
+	v := ups[t.rng.Intn(len(ups))]
+	downsV, err := t.down(v)
+	if err != nil {
+		return 0, err
+	}
+	if len(downsV) == 0 {
+		return 0, nil // inconsistent cache guard; see samplePUp
+	}
+	pv, err := t.estimatePDown(v)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(ups)) * pv / float64(len(downsV)), nil
+}
+
+// tarwEstimate combines per-walk estimates into the final answer. SUM
+// and COUNT are calibrated against the known seed total: the raw
+// Hansen–Hurwitz means are scaled by s/mean(seedEsts), cancelling the
+// multiplicative errors the walk shares between target and control
+// (support deficiency, winsorization, reciprocal bias). If the walks
+// somehow never weighed a seed, the raw means are used.
+func tarwEstimate(agg query.Aggregate, seedTotal float64, sumEsts, cntEsts, seedEsts []float64) (float64, bool) {
+	if len(sumEsts) == 0 {
+		return 0, false
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	calib := 1.0
+	if sm := mean(seedEsts); sm > 0 && seedTotal > 0 {
+		calib = seedTotal / sm
+	}
+	switch agg {
+	case query.Sum:
+		return calib * mean(sumEsts), true
+	case query.Count:
+		return calib * mean(cntEsts), true
+	case query.Avg:
+		c := mean(cntEsts)
+		if c == 0 {
+			return 0, false
+		}
+		return mean(sumEsts) / c, true
+	}
+	return 0, false
+}
+
+// up and down dispatch to the adjacent-only or full lattice oracles
+// per the AllowCrossLevel option.
+func (t *tarw) up(u int64) ([]int64, error) {
+	if t.opts.AllowCrossLevel {
+		return t.s.UpNeighbors(u)
+	}
+	return t.s.UpAdjacent(u)
+}
+
+func (t *tarw) down(u int64) ([]int64, error) {
+	if t.opts.AllowCrossLevel {
+		return t.s.DownNeighbors(u)
+	}
+	return t.s.DownAdjacent(u)
+}

@@ -1,0 +1,320 @@
+// Package core implements MICROBLOG-ANALYZER itself (§3–§5 of the
+// paper): the GRAPH-BUILDER views that expose the social graph, the
+// term-induced subgraph, and the level-by-level subgraph on the fly
+// through the rate-limited API, and the two GRAPH-WALKER algorithms —
+// MA-SRW (Algorithm 1: simple random walk over the level-by-level
+// subgraph) and MA-TARW (Algorithms 2–3: topology-aware bottom-top-
+// bottom walk with unbiased selection-probability estimation). The
+// mark-and-recapture COUNT baseline (M&R) lives here too.
+//
+// Everything a walker learns flows through api.Client, so Client.Cost
+// is the faithful query-cost measure the paper plots.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mba/internal/api"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// ErrNoSeeds indicates the search API returned no qualified seed user.
+var ErrNoSeeds = errors.New("core: search returned no qualified seed users")
+
+// GraphView selects which conceptual graph the walker traverses.
+type GraphView int
+
+// Graph views: the full social graph, the term-induced subgraph of
+// §4.1, and the level-by-level subgraph of §4.2.
+const (
+	SocialView GraphView = iota
+	TermView
+	LevelView
+)
+
+func (v GraphView) String() string {
+	switch v {
+	case SocialView:
+		return "social"
+	case TermView:
+		return "term-induced"
+	case LevelView:
+		return "level-by-level"
+	default:
+		return fmt.Sprintf("GraphView(%d)", int(v))
+	}
+}
+
+// nodeInfo caches per-user facts derived from one timeline fetch.
+// The raw first-mention time is kept (rather than its level bucket) so
+// changing the interval T never invalidates anything.
+type nodeInfo struct {
+	reachable bool       // timeline accessible (not private)
+	qualified bool       // keyword appears in the visible timeline
+	first     model.Tick // first visible mention (valid when qualified)
+	matches   bool       // satisfies the full query condition
+	value     float64
+}
+
+// Session binds a query to an API client and exposes the on-the-fly
+// graph views. It memoizes per-user qualification so the underlying
+// (already cached) API calls are never re-interpreted.
+type Session struct {
+	Client *api.Client
+	Query  query.Query
+	// Interval is the level-by-level time interval T (§4.2.3); defaults
+	// to one day when zero.
+	Interval model.Tick
+
+	info map[int64]*nodeInfo
+}
+
+// NewSession validates the query and returns a session with interval T.
+func NewSession(client *api.Client, q query.Query, interval model.Tick) (*Session, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = model.Day
+	}
+	return &Session{
+		Client:   client,
+		Query:    q,
+		Interval: interval,
+		info:     make(map[int64]*nodeInfo),
+	}, nil
+}
+
+// SetInterval changes T. Levels are derived from cached first-mention
+// times on demand, so this is free.
+func (s *Session) SetInterval(t model.Tick) {
+	if t <= 0 {
+		return
+	}
+	s.Interval = t
+}
+
+// node fetches (or recalls) user u's derived facts. Budget exhaustion
+// is returned as an error; private users yield reachable=false with a
+// nil error.
+func (s *Session) node(u int64) (*nodeInfo, error) {
+	if in, ok := s.info[u]; ok {
+		return in, nil
+	}
+	tl, err := s.Client.Timeline(u)
+	switch {
+	case errors.Is(err, api.ErrPrivate):
+		in := &nodeInfo{}
+		s.info[u] = in
+		return in, nil
+	case err != nil:
+		return nil, err
+	}
+	in := &nodeInfo{reachable: true}
+	if first, ok := tl.FirstMention(s.Query.Keyword); ok {
+		in.qualified = true
+		in.first = first
+		in.matches = s.Query.Matches(tl)
+		if in.matches {
+			in.value = s.Query.Value(tl)
+		}
+	}
+	s.info[u] = in
+	return in, nil
+}
+
+// levelOf buckets a node's cached first mention at the session interval.
+func (s *Session) levelOf(in *nodeInfo) int {
+	return levelgraph.LevelOf(in.first, s.Interval)
+}
+
+// Qualified reports whether u belongs to the term-induced subgraph.
+func (s *Session) Qualified(u int64) (bool, error) {
+	in, err := s.node(u)
+	if err != nil {
+		return false, err
+	}
+	return in.reachable && in.qualified, nil
+}
+
+// Level returns u's level index (first-mention bucket).
+func (s *Session) Level(u int64) (int, error) {
+	in, err := s.node(u)
+	if err != nil {
+		return 0, err
+	}
+	if !in.reachable || !in.qualified {
+		return 0, fmt.Errorf("core: user %d is not in the term subgraph", u)
+	}
+	return s.levelOf(in), nil
+}
+
+// MatchValue returns (matches full condition, f(u)) for u.
+func (s *Session) MatchValue(u int64) (bool, float64, error) {
+	in, err := s.node(u)
+	if err != nil {
+		return false, 0, err
+	}
+	return in.matches, in.value, nil
+}
+
+// SocialNeighbors returns u's reachable connections (the raw social
+// graph view).
+func (s *Session) SocialNeighbors(u int64) ([]int64, error) {
+	ns, err := s.Client.Connections(u)
+	if errors.Is(err, api.ErrPrivate) {
+		return nil, nil
+	}
+	return ns, err
+}
+
+// TermNeighbors returns u's neighbors inside the term-induced
+// subgraph: connections whose visible timeline mentions the keyword.
+// Each candidate costs a (cached) timeline probe — exactly the cost
+// the paper's on-the-fly subgraph construction pays.
+func (s *Session) TermNeighbors(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(_, _ int) bool { return true })
+}
+
+// LevelNeighbors returns u's neighbors in the level-by-level subgraph:
+// qualified connections in a different level (intra-level edges are
+// removed per §4.2.1).
+func (s *Session) LevelNeighbors(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(lvl, myLevel int) bool {
+		return lvl != myLevel
+	})
+}
+
+// UpNeighbors returns qualified neighbors in strictly earlier levels
+// (toward the paper's "top"; the walk's bottom-top phase follows these).
+func (s *Session) UpNeighbors(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(lvl, myLevel int) bool {
+		return lvl < myLevel
+	})
+}
+
+// DownNeighbors returns qualified neighbors in strictly later levels.
+func (s *Session) DownNeighbors(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(lvl, myLevel int) bool {
+		return lvl > myLevel
+	})
+}
+
+// UpAdjacent returns qualified neighbors exactly one level earlier.
+// MA-TARW's adjacent-only mode walks this lattice: the paper's §5
+// analysis assumes adjacent-level edges (cross-level edges are under
+// 1–3% of its real subgraphs, Table 2), and on a pure adjacent-level
+// lattice the bottom-top walk conserves probability mass per level,
+// keeping the Hansen–Hurwitz weights well conditioned.
+func (s *Session) UpAdjacent(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(lvl, myLevel int) bool {
+		return lvl == myLevel-1
+	})
+}
+
+// DownAdjacent returns qualified neighbors exactly one level later.
+func (s *Session) DownAdjacent(u int64) ([]int64, error) {
+	return s.filterNeighbors(u, func(lvl, myLevel int) bool {
+		return lvl == myLevel+1
+	})
+}
+
+func (s *Session) filterNeighbors(u int64, keep func(lvl, myLevel int) bool) ([]int64, error) {
+	me, err := s.node(u)
+	if err != nil {
+		return nil, err
+	}
+	if !me.reachable || !me.qualified {
+		return nil, nil
+	}
+	ns, err := s.Client.Connections(u)
+	if errors.Is(err, api.ErrPrivate) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, v := range ns {
+		in, err := s.node(v)
+		if err != nil {
+			return nil, err
+		}
+		if in.reachable && in.qualified && keep(s.levelOf(in), s.levelOf(me)) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Neighbors returns the oracle for a graph view (walk.Graph adapter).
+func (s *Session) Neighbors(view GraphView) func(u int64) ([]int64, error) {
+	switch view {
+	case SocialView:
+		return s.SocialNeighbors
+	case TermView:
+		return s.TermNeighbors
+	default:
+		return s.LevelNeighbors
+	}
+}
+
+// SeedSet describes the seed users found through the search API
+// (§3.1: "seed users can be easily identified through the limited
+// search API"). Search hits posted the keyword recently, so they are
+// qualified by construction; qualification is still verified lazily
+// when a seed is picked (a hit can be private, or its mention hidden
+// by the timeline cap).
+type SeedSet struct {
+	Hits []int64
+	set  map[int64]bool
+}
+
+// Contains reports whether u is one of the search-returned seeds — the
+// membership test behind ESTIMATE-p's base case (p(u) = 1/s for seeds,
+// 0 for other bottom nodes).
+func (ss SeedSet) Contains(u int64) bool { return ss.set[u] }
+
+// Size returns s, the number of candidate seed users.
+func (ss SeedSet) Size() int { return len(ss.Hits) }
+
+// Seeds performs the search query and returns the seed set.
+func (s *Session) Seeds() (SeedSet, error) {
+	hits, err := s.Client.Search(s.Query.Keyword)
+	if err != nil {
+		return SeedSet{}, err
+	}
+	if len(hits) == 0 {
+		return SeedSet{}, ErrNoSeeds
+	}
+	set := make(map[int64]bool, len(hits))
+	for _, u := range hits {
+		set[u] = true
+	}
+	return SeedSet{Hits: hits, set: set}, nil
+}
+
+// PickSeed draws uniform seeds until one qualifies (is reachable and
+// has a visible keyword mention). It fails with ErrNoSeeds if a bounded
+// number of draws all fail.
+func (s *Session) PickSeed(ss SeedSet, rng *rand.Rand) (int64, error) {
+	attempts := 4 * len(ss.Hits)
+	if attempts < 16 {
+		attempts = 16
+	}
+	for i := 0; i < attempts; i++ {
+		u := ss.Hits[rng.Intn(len(ss.Hits))]
+		ok, err := s.Qualified(u)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return u, nil
+		}
+	}
+	return 0, ErrNoSeeds
+}

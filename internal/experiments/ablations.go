@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// The ablations quantify the design choices DESIGN.md §5 calls out.
+// Each returns a Table like the paper experiments and is exposed as a
+// benchmark in bench_ablation_test.go.
+
+// ablationRun executes MA-TARW with the given options and reports
+// (relative error, cost) medians over opts.Trials runs.
+func ablationRun(o Options, q query.Query, truth float64, tarw core.TARWOptions) (relErr float64, cost int, err error) {
+	p, err := workload.Get(o.Scale)
+	if err != nil {
+		return 0, 0, err
+	}
+	var errs []float64
+	var costs []float64
+	for trial := 0; trial < o.Trials; trial++ {
+		tarw.Seed = o.Seed + int64(trial)*104729
+		res, err := run(p, runSpec{algo: MATARW, q: q, interval: o.Interval, budget: o.Budget, tarw: tarw})
+		if err != nil {
+			return 0, 0, err
+		}
+		errs = append(errs, stats.RelativeError(res.Estimate, truth))
+		costs = append(costs, float64(res.Cost))
+	}
+	me, _ := stats.Median(errs)
+	mc, _ := stats.Median(costs)
+	return me, int(mc), nil
+}
+
+// AblationProbabilityCache compares MA-TARW with the per-node
+// probability cache (the §5.2 generalization) against the literal
+// Algorithm 2 (fresh recursive draws every time).
+func AblationProbabilityCache(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation-pcache",
+		Title:   "MA-TARW probability cache on/off (AVG(followers), privacy)",
+		Columns: []string{"Variant", "MedianRelErr", "MedianCost"},
+	}
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"cache on (default)", false}, {"cache off (literal Alg. 2)", true}} {
+		opts.logf("ablation-pcache: %s", v.name)
+		re, cost, err := ablationRun(opts, q, truth, core.TARWOptions{DisableRootCache: v.disable})
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{v.name, fmt.Sprintf("%.3f", re), fmt.Sprintf("%d", cost)})
+	}
+	return t, nil
+}
+
+// AblationPEstimates sweeps the per-node ESTIMATE-p averaging count.
+func AblationPEstimates(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation-pestimates",
+		Title:   "MA-TARW ESTIMATE-p averaging count (AVG(followers), privacy)",
+		Columns: []string{"PEstimates", "MedianRelErr", "MedianCost"},
+	}
+	for _, pe := range []int{1, 3, 10, 30} {
+		opts.logf("ablation-pestimates: %d", pe)
+		re, cost, err := ablationRun(opts, q, truth, core.TARWOptions{PEstimates: pe})
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", pe), fmt.Sprintf("%.3f", re), fmt.Sprintf("%d", cost)})
+	}
+	return t, nil
+}
+
+// AblationWeightClip sweeps the Hansen–Hurwitz winsorization bound for
+// COUNT, where the bias/variance trade is sharpest.
+func AblationWeightClip(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	q := query.CountQuery("privacy")
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation-clip",
+		Title:   "MA-TARW weight winsorization (COUNT, privacy; calibrated)",
+		Columns: []string{"Clip (×s)", "MedianRelErr", "MedianCost"},
+	}
+	for _, clip := range []float64{-1, 5, 20, 100, 500} {
+		name := fmt.Sprintf("%.0f", clip)
+		if clip < 0 {
+			name = "off"
+		}
+		opts.logf("ablation-clip: %s", name)
+		re, cost, err := ablationRun(opts, q, truth, core.TARWOptions{
+			WeightClip: clip, AllowCrossLevel: true, PEstimates: 5,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.3f", re), fmt.Sprintf("%d", cost)})
+	}
+	return t, nil
+}
+
+// AblationLattice compares the adjacent-only lattice against the full
+// cross-level lattice for both AVG and COUNT.
+func AblationLattice(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation-lattice",
+		Title:   "MA-TARW adjacent-only vs cross-level lattice (privacy)",
+		Columns: []string{"Aggregate", "Lattice", "MedianRelErr", "MedianCost"},
+	}
+	for _, agg := range []struct {
+		name string
+		q    query.Query
+	}{
+		{"AVG(followers)", query.AvgQuery("privacy", query.Followers)},
+		{"COUNT", query.CountQuery("privacy")},
+	} {
+		truth, err := p.GroundTruth(agg.q)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, lat := range []struct {
+			name  string
+			cross bool
+		}{{"adjacent-only", false}, {"cross-level", true}} {
+			opts.logf("ablation-lattice: %s %s", agg.name, lat.name)
+			re, cost, err := ablationRun(opts, agg.q, truth, core.TARWOptions{AllowCrossLevel: lat.cross})
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{agg.name, lat.name, fmt.Sprintf("%.3f", re), fmt.Sprintf("%d", cost)})
+		}
+	}
+	return t, nil
+}
+
+// AblationThinning sweeps the sample spacing fed to the Katzir size
+// estimator in MA-SRW's COUNT path (the difference between our MA-SRW
+// COUNT and the naive M&R baseline).
+func AblationThinning(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	q := query.CountQuery("privacy")
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ablation-thinning",
+		Title:   "MA-SRW mark-and-recapture thinning (COUNT, privacy)",
+		Columns: []string{"Thin", "MedianRelErr", "MedianCost"},
+	}
+	for _, thin := range []int{1, 2, 5, 10, 20} {
+		opts.logf("ablation-thinning: %d", thin)
+		var errs, costs []float64
+		for trial := 0; trial < opts.Trials; trial++ {
+			srv := api.NewServer(p, api.Twitter(), api.Faults{})
+			s, err := core.NewSession(api.NewClient(srv, opts.Budget), q, opts.Interval)
+			if err != nil {
+				return Table{}, fmt.Errorf("thinning setup: %v", err)
+			}
+			r, err := core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: opts.Seed + int64(trial)*31, Thin: thin})
+			if err != nil {
+				return Table{}, err
+			}
+			errs = append(errs, stats.RelativeError(r.Estimate, truth))
+			costs = append(costs, float64(r.Cost))
+		}
+		me, _ := stats.Median(errs)
+		mc, _ := stats.Median(costs)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", thin), fmt.Sprintf("%.3f", me), fmt.Sprintf("%d", int(mc))})
+	}
+	return t, nil
+}

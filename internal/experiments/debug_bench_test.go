@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// TestDebugBenchTARW inspects MA-TARW behaviour on the bench platform:
+// pilot interval statistics, selected T, and the convergence
+// trajectory for AVG(followers) and COUNT on privacy and new york.
+func TestDebugBenchTARW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p, err := workload.Get(workload.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kw := range []string{"privacy", "new york"} {
+		cnt, _ := p.GroundTruth(query.CountQuery(kw))
+		t.Logf("%s: adopters=%v", kw, cnt)
+		debugCount(t, p, kw)
+		q := query.AvgQuery(kw, query.Followers)
+		truth, _ := p.GroundTruth(q)
+
+		srv := api.NewServer(p, api.Twitter(), api.Faults{})
+		s, _ := core.NewSession(api.NewClient(srv, 0), q, model.Day)
+		best, pilots, err := core.SelectInterval(s, nil, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range pilots {
+			t.Logf("  pilot T=%-3s h=%-4d d=%-7.2f score=%.3f phi=%.3g",
+				levelgraph.IntervalName(pr.Interval), pr.H, pr.D, pr.Score, pr.Conductance)
+		}
+		t.Logf("  selected T=%s", levelgraph.IntervalName(best))
+
+		// Baseline MA-SRW at T=1 day for the cost bar.
+		srvS, _ := api.NewServer(p, api.Twitter(), api.Faults{}), 0
+		sS, _ := core.NewSession(api.NewClient(srvS, 120000), q, model.Day)
+		resS, err := core.RunSRW(sS, core.SRWOptions{View: core.LevelView, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("  MA-SRW AVG est=%.1f relerr=%.3f cost=%d samples=%d",
+			resS.Estimate, stats.RelativeError(resS.Estimate, truth), resS.Cost, resS.Samples)
+		for i := 0; i < len(resS.Trajectory); i += len(resS.Trajectory)/5 + 1 {
+			pt := resS.Trajectory[i]
+			t.Logf("    traj cost=%6d est=%8.1f relerr=%.3f", pt.Cost, pt.Estimate, stats.RelativeError(pt.Estimate, truth))
+		}
+
+		for _, fixed := range []model.Tick{0, model.Month, 2 * model.Month} {
+			srv2 := api.NewServer(p, api.Twitter(), api.Faults{})
+			interval := fixed
+			sel := false
+			if fixed == 0 {
+				interval = model.Day
+				sel = true
+			}
+			s2, _ := core.NewSession(api.NewClient(srv2, 60000), q, interval)
+			res, err := core.RunTARW(s2, core.TARWOptions{Seed: 5, SelectInterval: sel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := "auto"
+			if fixed != 0 {
+				name = levelgraph.IntervalName(fixed)
+			}
+			t.Logf("  TARW[T=%s] AVG est=%.1f truth=%.1f relerr=%.3f cost=%d walks=%d zero=%d (final T=%s)",
+				name, res.Estimate, truth, stats.RelativeError(res.Estimate, truth),
+				res.Cost, res.Samples, res.ZeroProbPaths, levelgraph.IntervalName(s2.Interval))
+			if len(res.Trajectory) > 0 {
+				for i := 0; i < len(res.Trajectory); i += len(res.Trajectory)/5 + 1 {
+					pt := res.Trajectory[i]
+					t.Logf("    traj cost=%6d est=%8.1f relerr=%.3f", pt.Cost, pt.Estimate, stats.RelativeError(pt.Estimate, truth))
+				}
+			}
+		}
+	}
+}
+
+// debugCount compares the COUNT estimators at bench scale.
+func debugCount(t *testing.T, p *platform.Platform, kw string) {
+	q := query.CountQuery(kw)
+	truth, _ := p.GroundTruth(q)
+	runOne := func(name string, f func(s *core.Session) (core.Result, error), interval model.Tick) {
+		srv := api.NewServer(p, api.Twitter(), api.Faults{})
+		s, _ := core.NewSession(api.NewClient(srv, 120000), q, interval)
+		res, err := f(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("  COUNT %-8s est=%8.0f truth=%.0f relerr=%.3f cost=%d", name, res.Estimate, truth, stats.RelativeError(res.Estimate, truth), res.Cost)
+		for i := 0; i < len(res.Trajectory); i += len(res.Trajectory)/4 + 1 {
+			pt := res.Trajectory[i]
+			t.Logf("    traj cost=%6d est=%8.0f relerr=%.3f", pt.Cost, pt.Estimate, stats.RelativeError(pt.Estimate, truth))
+		}
+	}
+	runOne("MA-SRW", func(s *core.Session) (core.Result, error) {
+		return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: 5})
+	}, model.Day)
+	runOne("M&R", func(s *core.Session) (core.Result, error) {
+		return core.RunMR(s, core.SRWOptions{View: core.LevelView, Seed: 5})
+	}, model.Day)
+	runOne("TARW", func(s *core.Session) (core.Result, error) {
+		return core.RunTARW(s, core.TARWOptions{Seed: 5, AllowCrossLevel: true, WeightClip: 500, PEstimates: 5})
+	}, model.Month)
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mba/internal/core"
+	"mba/internal/workload"
+)
+
+// fastOpts keeps experiment smoke tests quick: the small platform, a
+// tight budget, and a single trial.
+func fastOpts() Options {
+	return Options{
+		Scale:  workload.Test,
+		Seed:   7,
+		Trials: 1,
+		Budget: 15000,
+		Errors: []float64{0.10, 0.25},
+	}
+}
+
+func TestCostAtError(t *testing.T) {
+	traj := []core.Point{
+		{Cost: 100, Estimate: 50},  // err 0.50
+		{Cost: 200, Estimate: 105}, // err 0.05
+		{Cost: 300, Estimate: 130}, // err 0.30
+		{Cost: 400, Estimate: 102}, // err 0.02
+		{Cost: 500, Estimate: 98},  // err 0.02
+	}
+	if got := CostAtError(traj, 100, 0.10); got != 400 {
+		t.Errorf("CostAtError(0.10) = %d, want 400 (last excursion at 300)", got)
+	}
+	if got := CostAtError(traj, 100, 0.40); got != 200 {
+		t.Errorf("CostAtError(0.40) = %d, want 200", got)
+	}
+	if got := CostAtError(traj, 100, 0.01); got != -1 {
+		t.Errorf("CostAtError(0.01) = %d, want -1", got)
+	}
+	if got := CostAtError(nil, 100, 0.1); got != -1 {
+		t.Errorf("empty trajectory = %d, want -1", got)
+	}
+	costs := CostAtErrors(traj, 100, []float64{0.4, 0.1})
+	if costs[0] != 200 || costs[1] != 400 {
+		t.Errorf("CostAtErrors = %v", costs)
+	}
+}
+
+func TestMedianCost(t *testing.T) {
+	if got := medianCost([]int{100, 300, 200}); got != 200 {
+		t.Errorf("median = %d, want 200", got)
+	}
+	if got := medianCost([]int{100, -1, -1}); got != -1 {
+		t.Errorf("majority unreached = %d, want -1", got)
+	}
+	if got := medianCost([]int{100, -1}); got != 100 {
+		t.Errorf("half reached = %d, want 100", got)
+	}
+	if got := medianCost(nil); got != -1 {
+		t.Errorf("empty = %d, want -1", got)
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x,y"}, {"2", `q"z`}},
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "x,y") {
+		t.Errorf("Format output missing content:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"x,y"`) || !strings.Contains(got, `"q""z"`) {
+		t.Errorf("CSV escaping wrong:\n%s", got)
+	}
+}
+
+func TestEdgeHashStable(t *testing.T) {
+	a := edgeHash(3, 9, 42)
+	b := edgeHash(9, 3, 42)
+	if a != b {
+		t.Error("edgeHash not symmetric")
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("edgeHash out of range: %v", a)
+	}
+	if edgeHash(3, 9, 43) == a {
+		t.Error("salt has no effect")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	tab, err := Table2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(workload.Table2Keywords()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(workload.Table2Keywords()))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	tab, err := Figure7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != (workload.HorizonDays+6)/7 {
+		t.Errorf("weeks = %d", len(tab.Rows))
+	}
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	tab, err := Figure2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 error levels", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	t.Log("\n" + buf.String())
+}
+
+func TestFigure9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	tab, err := Figure9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no trajectory rows")
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		seen[row[0]] = true
+	}
+	if !seen["MA-SRW"] || !seen["MA-TARW"] {
+		t.Errorf("missing algo trajectories: %v", seen)
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	opts := fastOpts()
+	opts.Budget = 6000
+	tab, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 removal fractions", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	opts := fastOpts()
+	opts.Budget = 6000
+	tab, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*7 {
+		t.Fatalf("rows = %d, want 21 (3 keywords x 7 intervals)", len(tab.Rows))
+	}
+}
+
+func TestAblationLatticeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	opts := fastOpts()
+	opts.Budget = 6000
+	tab, err := AblationLattice(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestCountComparisonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("walk experiment")
+	}
+	opts := fastOpts()
+	opts.Budget = 8000
+	tab, err := Figure10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 4 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"mba/internal/api"
+	"mba/internal/query"
+)
+
+// Figure12 reproduces Figure 12: AVG(display-name length) on Google+.
+// The Google+ preset returns at most 20 results per call (vs 200 for
+// Twitter's timeline API), which is why the paper observes much higher
+// absolute query costs than on Twitter.
+func Figure12(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	// Paging inflates costs ~4-10x; give the runs headroom.
+	opts.Budget *= 4
+	return headToHead(opts, "figure12",
+		"Google+: AVG(display-name length) — MA-SRW vs MA-TARW",
+		api.GPlus(),
+		func(kw string) query.Query { return query.AvgQuery(kw, query.DisplayNameLength) })
+}
+
+// Figure13 reproduces Figure 13: COUNT of male users who posted
+// privacy, on Google+ (gender is generally missing from Twitter
+// profiles, which is why the paper runs this condition on Google+).
+func Figure13(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	opts.Budget *= 4
+	q := query.CountQuery("privacy")
+	q.Where = []query.Predicate{query.MaleOnly}
+	return countComparison(opts, "figure13",
+		"Google+: COUNT(male users), privacy — MA-SRW vs MA-TARW vs M&R",
+		api.GPlus(), q)
+}
+
+// Figure14 reproduces Figure 14: the average number of likes received
+// by posts mentioning the keyword, on Tumblr.
+func Figure14(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	opts.Budget *= 2
+	return headToHead(opts, "figure14",
+		"Tumblr: AVG(likes per keyword post) — MA-SRW vs MA-TARW",
+		api.Tumblr(),
+		func(kw string) query.Query { return query.AvgQuery(kw, query.KeywordPostMeanLikes) })
+}
+
+// All runs every experiment in paper order and returns the tables.
+// Failures abort with the partial results so a long harness run never
+// silently drops completed work.
+func All(opts Options) ([]Table, error) {
+	runners := []struct {
+		name string
+		fn   func(Options) (Table, error)
+	}{
+		{"table2", Table2},
+		{"table3", Table3},
+		{"figure2", Figure2},
+		{"figure3", Figure3},
+		{"figure4", Figure4},
+		{"figure5", Figure5},
+		{"figure7", Figure7},
+		{"figure8", Figure8},
+		{"figure9", Figure9},
+		{"figure10", Figure10},
+		{"figure11", Figure11},
+		{"figure12", Figure12},
+		{"figure13", Figure13},
+		{"figure14", Figure14},
+	}
+	var out []Table
+	for _, r := range runners {
+		opts.logf("=== %s", r.name)
+		t, err := r.fn(opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

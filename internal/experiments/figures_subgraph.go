@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/levelgraph"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/workload"
+)
+
+// Figure2 reproduces Figure 2: query cost versus relative error for
+// AVG(followers) of users who mentioned `privacy`, comparing simple
+// random walks over the full social graph, the term-induced subgraph,
+// and the level-by-level subgraph.
+func Figure2(opts Options) (Table, error) {
+	return subgraphComparison(opts, "figure2",
+		"AVG(followers), privacy: SRW over social vs term-induced vs level-by-level",
+		query.AvgQuery("privacy", query.Followers))
+}
+
+// Figure3 reproduces Figure 3: the same subgraph comparison for
+// COUNT(users who mentioned privacy); COUNT forces the walks to pair
+// with mark-and-recapture size estimation.
+func Figure3(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	opts.Budget *= 2 // COUNT needs mark-and-recapture collisions
+	return subgraphComparison(opts, "figure3",
+		"COUNT(users), privacy: SRW over social vs term-induced vs level-by-level",
+		query.CountQuery("privacy"))
+}
+
+func subgraphComparison(opts Options, id, title string, q query.Query) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"RelErr", "SocialGraph", "TermInduced", "LevelByLevel"},
+	}
+	curves := make(map[Algo][]int)
+	for _, algo := range []Algo{SRWSocial, SRWTerm, MASRW} {
+		opts.logf("%s: %s", id, algo)
+		costs, err := costCurve(p, runSpec{algo: algo, q: q, interval: opts.Interval, budget: opts.Budget}, truth, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		curves[algo] = costs
+	}
+	for i, e := range opts.Errors {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", e),
+			fmtCost(curves[SRWSocial][i]),
+			fmtCost(curves[SRWTerm][i]),
+			fmtCost(curves[MASRW][i]),
+		})
+	}
+	return t, nil
+}
+
+// Figure4 reproduces Figure 4: the query cost to reach 5% relative
+// error on AVG(followers) as a growing fraction of intra-level edges
+// is removed from the term-induced subgraph, for three keywords.
+func Figure4(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	keywords := []string{"privacy", "boston", "new york"}
+	t := Table{
+		ID:      "figure4",
+		Title:   "Query cost (5% error, AVG(followers)) vs fraction of intra-level edges removed",
+		Columns: append([]string{"FracRemoved"}, keywords...),
+	}
+	target := Options{
+		Scale:    opts.Scale,
+		Seed:     opts.Seed,
+		Trials:   opts.Trials,
+		Budget:   opts.Budget,
+		Errors:   []float64{0.05},
+		Interval: opts.Interval,
+		Log:      opts.Log,
+	}
+	cols := make([][]string, len(fracs))
+	for i := range cols {
+		cols[i] = []string{fmt.Sprintf("%.1f", fracs[i])}
+	}
+	for _, kw := range keywords {
+		q := query.AvgQuery(kw, query.Followers)
+		truth, err := p.GroundTruth(q)
+		if err != nil {
+			return Table{}, err
+		}
+		for i, frac := range fracs {
+			opts.logf("figure4: %s frac=%.1f", kw, frac)
+			spec := runSpec{
+				algo:     MASRW,
+				q:        q,
+				interval: opts.Interval,
+				budget:   opts.Budget,
+				graph:    partialLevelOracle(frac, opts.Interval, opts.Seed),
+			}
+			costs, err := costCurve(p, spec, truth, target)
+			if err != nil {
+				return Table{}, err
+			}
+			cols[i] = append(cols[i], fmtCost(costs[0]))
+		}
+	}
+	t.Rows = cols
+	return t, nil
+}
+
+// partialLevelOracle builds a neighbor oracle over the term-induced
+// subgraph with only removeFrac of the intra-level edges removed
+// (chosen by a stable per-edge hash, so both endpoints agree).
+func partialLevelOracle(removeFrac float64, interval model.Tick, salt int64) func(s *core.Session) func(u int64) ([]int64, error) {
+	return func(s *core.Session) func(u int64) ([]int64, error) {
+		return func(u int64) ([]int64, error) {
+			ns, err := s.TermNeighbors(u)
+			if err != nil {
+				return nil, err
+			}
+			myLvl, err := s.Level(u)
+			if err != nil {
+				return nil, nil
+			}
+			var out []int64
+			for _, v := range ns {
+				lvl, err := s.Level(v)
+				if err != nil {
+					return nil, err
+				}
+				if lvl != myLvl || edgeHash(u, v, salt) >= removeFrac {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		}
+	}
+}
+
+// edgeHash maps an undirected edge to a stable value in [0,1).
+func edgeHash(u, v, salt int64) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	for i, x := range []int64{u, v, salt} {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(uint64(x) >> (8 * b))
+		}
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Figure5 reproduces Figure 5: for each keyword, the pilot-walk
+// statistics and selection score of every candidate interval T
+// (2H…1M), alongside the measured query cost for MA-SRW at that T to
+// reach 5% error — the consistency between ranking and measured cost
+// is the figure's claim.
+func Figure5(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	keywords := []string{"privacy", "boston", "new york"}
+	t := Table{
+		ID:      "figure5",
+		Title:   "Impact of time interval T on query cost (10% error, AVG(followers))",
+		Columns: []string{"Keyword", "T", "pilot h", "pilot d", "score", "cost@10%"},
+	}
+	// A 10% target keeps the measured costs away from both the cheap
+	// floor and the budget ceiling, so the ordering is legible.
+	target := opts
+	target.Errors = []float64{0.10}
+	for _, kw := range keywords {
+		q := query.AvgQuery(kw, query.Followers)
+		truth, err := p.GroundTruth(q)
+		if err != nil {
+			return Table{}, err
+		}
+		// One pilot pass reports the per-candidate statistics.
+		pilots, err := pilotStats(p, q, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, pr := range pilots {
+			opts.logf("figure5: %s T=%s", kw, levelgraph.IntervalName(pr.Interval))
+			costs, err := costCurve(p, runSpec{algo: MASRW, q: q, interval: pr.Interval, budget: opts.Budget}, truth, target)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				kw,
+				levelgraph.IntervalName(pr.Interval),
+				fmt.Sprintf("%d", pr.H),
+				fmt.Sprintf("%.2f", pr.D),
+				fmt.Sprintf("%.2f", pr.Score),
+				fmtCost(costs[0]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// pilotStats runs the §4.2.3 pilot walks once and returns the
+// per-candidate measurements.
+func pilotStats(p *platform.Platform, q query.Query, opts Options) ([]core.PilotResult, error) {
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	s, err := core.NewSession(api.NewClient(srv, 0), q, opts.Interval)
+	if err != nil {
+		return nil, err
+	}
+	_, pilots, err := core.SelectInterval(s, nil, 50, opts.Seed)
+	return pilots, err
+}

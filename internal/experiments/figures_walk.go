@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// tarwSpec builds the MA-TARW run spec used across the walk figures:
+// Algorithm 3 with the pilot-based interval selection enabled. The
+// estimator profile follows the aggregate: AVG runs on the
+// adjacent-level lattice with tight weight winsorization (the ratio
+// form cancels the clipping), while COUNT/SUM need the full
+// cross-level lattice for support and a loose clip so the Hansen–
+// Hurwitz mass is preserved (see EXPERIMENTS.md).
+func tarwSpec(q query.Query, preset api.Preset, opts Options) runSpec {
+	tarw := core.TARWOptions{SelectInterval: true}
+	if q.Agg != query.Avg {
+		tarw.AllowCrossLevel = true
+		tarw.WeightClip = 100
+		tarw.PEstimates = 5
+	}
+	return runSpec{
+		algo:     MATARW,
+		q:        q,
+		preset:   preset,
+		interval: opts.Interval,
+		budget:   opts.Budget,
+		tarw:     tarw,
+	}
+}
+
+// headToHead builds the common "error grid × {MA-SRW, MA-TARW} for two
+// keywords" layout of Figures 8, 11, 12 and 14.
+func headToHead(opts Options, id, title string, preset api.Preset, mkQuery func(kw string) query.Query) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	keywords := []string{"privacy", "new york"}
+	t := Table{
+		ID:    id,
+		Title: title,
+		Columns: []string{
+			"RelErr",
+			"privacy MA-SRW", "privacy MA-TARW",
+			"new york MA-SRW", "new york MA-TARW",
+		},
+	}
+	type curve struct{ srw, tarw []int }
+	curves := make(map[string]curve)
+	for _, kw := range keywords {
+		q := mkQuery(kw)
+		truth, err := p.GroundTruth(q)
+		if err != nil {
+			return Table{}, err
+		}
+		opts.logf("%s: %s MA-SRW", id, kw)
+		srw, err := costCurve(p, runSpec{algo: MASRW, q: q, preset: preset, interval: opts.Interval, budget: opts.Budget}, truth, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		opts.logf("%s: %s MA-TARW", id, kw)
+		tarw, err := costCurve(p, tarwSpec(q, preset, opts), truth, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		curves[kw] = curve{srw: srw, tarw: tarw}
+	}
+	for i, e := range opts.Errors {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", e),
+			fmtCost(curves["privacy"].srw[i]), fmtCost(curves["privacy"].tarw[i]),
+			fmtCost(curves["new york"].srw[i]), fmtCost(curves["new york"].tarw[i]),
+		})
+	}
+	return t, nil
+}
+
+// countComparison builds the "error grid × {MA-SRW, MA-TARW, M&R}"
+// layout of Figures 10 and 13.
+func countComparison(opts Options, id, title string, preset api.Preset, q query.Query) (Table, error) {
+	opts = opts.withDefaults()
+	opts.Budget *= 2 // COUNT needs mark-and-recapture collisions
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"RelErr", "MA-SRW", "MA-TARW", "M&R"},
+	}
+	curves := make(map[Algo][]int)
+	for _, algo := range []Algo{MASRW, MATARW, MR} {
+		opts.logf("%s: %s", id, algo)
+		spec := runSpec{algo: algo, q: q, preset: preset, interval: opts.Interval, budget: opts.Budget}
+		if algo == MATARW {
+			spec = tarwSpec(q, preset, opts)
+		}
+		costs, err := costCurve(p, spec, truth, opts)
+		if err != nil {
+			return Table{}, err
+		}
+		curves[algo] = costs
+	}
+	for i, e := range opts.Errors {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", e),
+			fmtCost(curves[MASRW][i]),
+			fmtCost(curves[MATARW][i]),
+			fmtCost(curves[MR][i]),
+		})
+	}
+	return t, nil
+}
+
+// Figure7 reproduces Figure 7: the daily mention frequency of the
+// three figure keywords over the observation window (weekly sums keep
+// the text rendering compact; the CSV has the same rows).
+func Figure7(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	keywords := []string{"privacy", "boston", "new york"}
+	t := Table{
+		ID:      "figure7",
+		Title:   "Keyword mention frequency per week",
+		Columns: append([]string{"Week"}, keywords...),
+	}
+	series := make(map[string][]int)
+	weeks := 0
+	for _, kw := range keywords {
+		days, err := p.MentionsPerDay(kw)
+		if err != nil {
+			return Table{}, err
+		}
+		var wk []int
+		for d := 0; d < len(days); d += 7 {
+			sum := 0
+			for j := d; j < d+7 && j < len(days); j++ {
+				sum += days[j]
+			}
+			wk = append(wk, sum)
+		}
+		series[kw] = wk
+		weeks = len(wk)
+	}
+	for w := 0; w < weeks; w++ {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, kw := range keywords {
+			row = append(row, fmt.Sprintf("%d", series[kw][w]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure8 reproduces Figure 8: query cost vs relative error for
+// AVG(followers), MA-SRW against MA-TARW, on privacy and new york.
+func Figure8(opts Options) (Table, error) {
+	return headToHead(opts, "figure8",
+		"Twitter: AVG(followers) — MA-SRW vs MA-TARW",
+		api.Twitter(),
+		func(kw string) query.Query { return query.AvgQuery(kw, query.Followers) })
+}
+
+// Figure9 reproduces Figure 9: the estimate trajectory (estimated
+// AVG(followers) of privacy users versus query cost) for one MA-SRW
+// and one MA-TARW run, against the true value.
+func Figure9(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	budget := opts.Budget
+	t := Table{
+		ID:      "figure9",
+		Title:   fmt.Sprintf("Twitter: estimated AVG(followers) vs query cost (truth %.1f)", truth),
+		Columns: []string{"Algo", "Cost", "Estimate", "RelErr"},
+	}
+	for _, algo := range []Algo{MASRW, MATARW} {
+		opts.logf("figure9: %s", algo)
+		spec := runSpec{algo: algo, q: q, interval: opts.Interval, budget: budget, seed: opts.Seed}
+		if algo == MATARW {
+			spec = tarwSpec(q, api.Twitter(), opts)
+			spec.budget = budget
+			spec.seed = opts.Seed
+		}
+		res, err := run(p, spec)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, pt := range res.Trajectory {
+			t.Rows = append(t.Rows, []string{
+				string(algo),
+				fmt.Sprintf("%d", pt.Cost),
+				fmt.Sprintf("%.1f", pt.Estimate),
+				fmt.Sprintf("%.3f", stats.RelativeError(pt.Estimate, truth)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Figure10 reproduces Figure 10: COUNT(users who mentioned privacy) —
+// MA-SRW vs MA-TARW vs the M&R baseline.
+func Figure10(opts Options) (Table, error) {
+	return countComparison(opts, "figure10",
+		"Twitter: COUNT(users), privacy — MA-SRW vs MA-TARW vs M&R",
+		api.Twitter(), query.CountQuery("privacy"))
+}
+
+// Figure11 reproduces Figure 11: AVG(display-name length) on Twitter —
+// a low-variance measure, so far fewer queries are needed than for
+// AVG(followers).
+func Figure11(opts Options) (Table, error) {
+	return headToHead(opts, "figure11",
+		"Twitter: AVG(display-name length) — MA-SRW vs MA-TARW",
+		api.Twitter(),
+		func(kw string) query.Query { return query.AvgQuery(kw, query.DisplayNameLength) })
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mba/internal/levelgraph"
+	"mba/internal/query"
+	"mba/internal/workload"
+)
+
+// Table2 reproduces the paper's Table 2: statistics of the
+// term-induced and level-by-level subgraphs for seven keywords —
+// largest-connected-component recall, the average number of common
+// neighbors at the endpoints of intra-level versus other edges, and
+// the percentage of intra- and cross-level edges (at the experiment
+// interval, 1 day as in the paper's running example).
+func Table2(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "table2",
+		Title: "Statistics: term-induced & level-by-level subgraphs",
+		Columns: []string{
+			"Keyword", "Recall", "AvgCommonNbrs(intra)", "AvgCommonNbrs(other)", "%intra", "%cross",
+		},
+	}
+	for _, kw := range workload.Table2Keywords() {
+		opts.logf("table2: %s", kw)
+		sub, err := p.TermSubgraph(kw)
+		if err != nil {
+			return Table{}, err
+		}
+		casc := p.Cascade(kw)
+		recall := 0.0
+		if sub.NumNodes() > 0 {
+			recall = float64(len(sub.LargestComponent())) / float64(sub.NumNodes())
+		}
+		var intraCN, otherCN, intraN, otherN float64
+		st := levelgraph.Analyze(sub, casc.First, opts.Interval)
+		sub.Edges(func(u, v int64) bool {
+			cn := float64(sub.CommonNeighbors(u, v))
+			lu := levelgraph.LevelOf(casc.First[u], opts.Interval)
+			lv := levelgraph.LevelOf(casc.First[v], opts.Interval)
+			if levelgraph.Classify(lu, lv) == levelgraph.Intra {
+				intraCN += cn
+				intraN++
+			} else {
+				otherCN += cn
+				otherN++
+			}
+			return true
+		})
+		avg := func(sum, n float64) string {
+			if n == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", sum/n)
+		}
+		t.Rows = append(t.Rows, []string{
+			kw,
+			fmt.Sprintf("%.0f%%", 100*recall),
+			avg(intraCN, intraN),
+			avg(otherCN, otherN),
+			fmt.Sprintf("%.0f%%", 100*st.IntraFrac()),
+			fmt.Sprintf("%.0f%%", 100*st.CrossFrac()),
+		})
+	}
+	return t, nil
+}
+
+// Table3 reproduces the paper's Table 3: the average percentage
+// query-cost improvement of MA-TARW over MA-SRW (for AVG(followers)
+// and COUNT) and over the M&R baseline (COUNT), at 5% relative error,
+// across seven keywords.
+func Table3(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "table3",
+		Title: "Average % query-cost improvement of MA-TARW (at 5% error)",
+		Columns: []string{
+			"Keyword", "vs MA-SRW (AVG)", "vs MA-SRW (COUNT)", "vs M&R (COUNT)",
+		},
+	}
+	const target = 0.05
+	curve := func(algo Algo, q query.Query, truth float64) (int, error) {
+		o := opts
+		o.Errors = []float64{target}
+		budget := opts.Budget
+		if q.Agg == query.Count {
+			budget *= 2 // COUNT needs mark-and-recapture collisions
+		}
+		spec := runSpec{algo: algo, q: q, interval: opts.Interval, budget: budget}
+		if algo == MATARW {
+			spec = tarwSpec(q, spec.preset, o)
+			spec.budget = budget
+		}
+		costs, err := costCurve(p, spec, truth, o)
+		if err != nil {
+			return -1, err
+		}
+		return costs[0], nil
+	}
+	improvement := func(base, tarw int) string {
+		// Unreached bounds are conservatively treated as costing the
+		// full budget.
+		if base < 0 {
+			base = opts.Budget
+		}
+		if tarw < 0 {
+			tarw = opts.Budget
+		}
+		if base == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", 100*float64(base-tarw)/float64(base))
+	}
+	for _, kw := range workload.Table3Keywords() {
+		opts.logf("table3: %s", kw)
+		qAvg := query.AvgQuery(kw, query.Followers)
+		qCnt := query.CountQuery(kw)
+		truthAvg, err := p.GroundTruth(qAvg)
+		if err != nil {
+			return Table{}, err
+		}
+		truthCnt, err := p.GroundTruth(qCnt)
+		if err != nil {
+			return Table{}, err
+		}
+		srwAvg, err := curve(MASRW, qAvg, truthAvg)
+		if err != nil {
+			return Table{}, err
+		}
+		tarwAvg, err := curve(MATARW, qAvg, truthAvg)
+		if err != nil {
+			return Table{}, err
+		}
+		srwCnt, err := curve(MASRW, qCnt, truthCnt)
+		if err != nil {
+			return Table{}, err
+		}
+		tarwCnt, err := curve(MATARW, qCnt, truthCnt)
+		if err != nil {
+			return Table{}, err
+		}
+		mrCnt, err := curve(MR, qCnt, truthCnt)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			kw,
+			improvement(srwAvg, tarwAvg),
+			improvement(srwCnt, tarwCnt),
+			improvement(mrCnt, tarwCnt),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,362 @@
+// Package graph implements the undirected-graph machinery behind
+// MICROBLOG-ANALYZER: an adjacency store for the social graph and its
+// subgraphs, connected components (to measure the recall of the
+// term-induced subgraph, Table 2 of the paper), graph conductance
+// (Eq. 1, which drives the level-by-level design of §4), modularity
+// (the paper's community-tightness measure), and common-neighbor
+// statistics (Table 2, column 2).
+//
+// Node identifiers are int64 user IDs. The graph is simple: self loops
+// and parallel edges are rejected at insert time.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph over int64 node IDs.
+// The zero value is not ready to use; call New.
+type Graph struct {
+	adj   map[int64][]int64 // sorted neighbor lists
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[int64][]int64)}
+}
+
+// NewWithCapacity returns an empty graph sized for n nodes.
+func NewWithCapacity(n int) *Graph {
+	return &Graph{adj: make(map[int64][]int64, n)}
+}
+
+// AddNode ensures u exists (possibly isolated). It is a no-op if u is
+// already present.
+func (g *Graph) AddNode(u int64) {
+	if _, ok := g.adj[u]; !ok {
+		g.adj[u] = nil
+	}
+}
+
+// HasNode reports whether u is in the graph.
+func (g *Graph) HasNode(u int64) bool {
+	_, ok := g.adj[u]
+	return ok
+}
+
+// insertSorted inserts v into the sorted slice s if absent, reporting
+// whether it inserted.
+func insertSorted(s []int64, v int64) ([]int64, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// AddEdge inserts the undirected edge {u,v}. Adding an existing edge is
+// a no-op; self loops are rejected with an error.
+func (g *Graph) AddEdge(u, v int64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop on node %d", u)
+	}
+	su, inserted := insertSorted(g.adj[u], v)
+	g.adj[u] = su
+	if !inserted {
+		return nil
+	}
+	sv, _ := insertSorted(g.adj[v], u)
+	g.adj[v] = sv
+	g.edges++
+	return nil
+}
+
+// HasEdge reports whether the edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int64) bool {
+	s := g.adj[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Neighbors returns u's neighbor list in ascending order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int64) []int64 { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int64) int { return len(g.adj[u]) }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []int64 {
+	out := make([]int64, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges calls fn once per undirected edge with u < v. It stops early if
+// fn returns false.
+func (g *Graph) Edges(fn func(u, v int64) bool) {
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CommonNeighbors returns the number of common neighbors of u and v,
+// exploiting the sorted neighbor lists.
+func (g *Graph) CommonNeighbors(u, v int64) int {
+	a, b := g.adj[u], g.adj[v]
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Subgraph returns the subgraph induced by the node set keep.
+func (g *Graph) Subgraph(keep map[int64]bool) *Graph {
+	sub := NewWithCapacity(len(keep))
+	for u := range keep {
+		if g.HasNode(u) {
+			sub.AddNode(u)
+		}
+	}
+	for u := range keep {
+		for _, v := range g.adj[u] {
+			if u < v && keep[v] {
+				sub.AddEdge(u, v) //nolint:errcheck // u!=v by construction
+			}
+		}
+	}
+	return sub
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewWithCapacity(len(g.adj))
+	for u, ns := range g.adj {
+		c.adj[u] = append([]int64(nil), ns...)
+	}
+	c.edges = g.edges
+	return c
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present, reporting
+// whether an edge was removed.
+func (g *Graph) RemoveEdge(u, v int64) bool {
+	rm := func(s []int64, x int64) ([]int64, bool) {
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+		if i < len(s) && s[i] == x {
+			return append(s[:i], s[i+1:]...), true
+		}
+		return s, false
+	}
+	su, ok := rm(g.adj[u], v)
+	if !ok {
+		return false
+	}
+	g.adj[u] = su
+	sv, _ := rm(g.adj[v], u)
+	g.adj[v] = sv
+	g.edges--
+	return true
+}
+
+// Components returns the connected components of g as slices of node
+// IDs, largest first. Node order inside a component is ascending.
+func (g *Graph) Components() [][]int64 {
+	seen := make(map[int64]bool, len(g.adj))
+	var comps [][]int64
+	for u := range g.adj {
+		if seen[u] {
+			continue
+		}
+		var comp []int64
+		stack := []int64{u}
+		seen[u] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for _, v := range g.adj[x] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// LargestComponent returns the node set of the largest connected
+// component (empty map for an empty graph).
+func (g *Graph) LargestComponent() map[int64]bool {
+	comps := g.Components()
+	out := make(map[int64]bool)
+	if len(comps) == 0 {
+		return out
+	}
+	for _, u := range comps[0] {
+		out[u] = true
+	}
+	return out
+}
+
+// volume returns sum of degrees over the node set.
+func (g *Graph) volume(set map[int64]bool) int {
+	var vol int
+	for u := range set {
+		vol += len(g.adj[u])
+	}
+	return vol
+}
+
+// CutConductance returns the conductance of the cut (S, V\S) per Eq. 1
+// of the paper: crossing-edge count divided by min(vol(S), vol(V\S)).
+// It returns 0 when either side has zero volume.
+func (g *Graph) CutConductance(s map[int64]bool) float64 {
+	volS := g.volume(s)
+	volAll := 2 * g.edges
+	volComp := volAll - volS
+	den := volS
+	if volComp < den {
+		den = volComp
+	}
+	if den == 0 {
+		return 0
+	}
+	var crossing int
+	for u := range s {
+		for _, v := range g.adj[u] {
+			if !s[v] {
+				crossing++
+			}
+		}
+	}
+	return float64(crossing) / float64(den)
+}
+
+// ExactConductance computes min-cut conductance by enumerating all
+// 2^(n-1) proper cuts. It is exponential and intended for tests and
+// tiny illustrative graphs; it returns an error above maxNodes.
+func (g *Graph) ExactConductance(maxNodes int) (float64, error) {
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n > maxNodes {
+		return 0, fmt.Errorf("graph: %d nodes exceeds brute-force limit %d", n, maxNodes)
+	}
+	if n < 2 || g.edges == 0 {
+		return 0, fmt.Errorf("graph: conductance undefined for n=%d, m=%d", n, g.edges)
+	}
+	best := -1.0
+	s := make(map[int64]bool, n)
+	// Fix node 0 on one side to halve the enumeration.
+	for mask := 1; mask < 1<<(n-1); mask++ {
+		for k := range s {
+			delete(s, k)
+		}
+		for b := 0; b < n-1; b++ {
+			if mask&(1<<b) != 0 {
+				s[nodes[b+1]] = true
+			}
+		}
+		phi := g.CutConductance(s)
+		if phi == 0 {
+			continue // degenerate side (zero volume)
+		}
+		if best < 0 || phi < best {
+			best = phi
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("graph: no proper cut found")
+	}
+	return best, nil
+}
+
+// Modularity returns Newman's modularity Q of the node partition given
+// as a community label per node. Nodes absent from labels form no
+// community and contribute nothing.
+func (g *Graph) Modularity(labels map[int64]int) float64 {
+	m2 := float64(2 * g.edges)
+	if m2 == 0 {
+		return 0
+	}
+	intra := make(map[int]float64) // edges inside community (doubled)
+	degSum := make(map[int]float64)
+	for u, ns := range g.adj {
+		cu, ok := labels[u]
+		if !ok {
+			continue
+		}
+		degSum[cu] += float64(len(ns))
+		for _, v := range ns {
+			if cv, ok := labels[v]; ok && cv == cu {
+				intra[cu]++
+			}
+		}
+	}
+	var q float64
+	for c, in := range intra {
+		q += in/m2 - (degSum[c]/m2)*(degSum[c]/m2)
+	}
+	for c, d := range degSum {
+		if _, ok := intra[c]; !ok {
+			q -= (d / m2) * (d / m2)
+		}
+	}
+	return q
+}
+
+// AvgDegree returns the mean degree (0 for empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// DegreeHistogram returns degree -> node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, ns := range g.adj {
+		h[len(ns)]++
+	}
+	return h
+}

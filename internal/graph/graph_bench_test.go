@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the adjacency store that every walk step and
+// qualification probe touches. Run with:
+//
+//	go test ./internal/graph -bench=. -benchmem
+
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(int64(i))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Int63n(int64(n)), rng.Int63n(int64(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewWithCapacity(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Int63n(1<<16), rng.Int63n(1<<16)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := randomGraph(10000, 100000, 2)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(rng.Int63n(10000), rng.Int63n(10000))
+	}
+}
+
+func BenchmarkCommonNeighbors(b *testing.B) {
+	g := randomGraph(10000, 200000, 4)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CommonNeighbors(rng.Int63n(10000), rng.Int63n(10000))
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := randomGraph(20000, 100000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Components()
+	}
+}
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := randomGraph(20000, 200000, 7)
+	keep := make(map[int64]bool, 5000)
+	rng := rand.New(rand.NewSource(8))
+	for len(keep) < 5000 {
+		keep[rng.Int63n(20000)] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Subgraph(keep)
+	}
+}
+
+func BenchmarkCutConductance(b *testing.B) {
+	g := randomGraph(20000, 200000, 9)
+	s := make(map[int64]bool, 10000)
+	rng := rand.New(rand.NewSource(10))
+	for len(s) < 10000 {
+		s[rng.Int63n(20000)] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CutConductance(s)
+	}
+}

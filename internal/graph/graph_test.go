@@ -1,0 +1,410 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New()
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(int64(i), int64(i+1)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func complete(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(int64(i), int64(j)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil { // duplicate, reversed
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("edge should exist in both directions")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("phantom edge")
+	}
+	if err := g.AddEdge(5, 5); err == nil {
+		t.Error("self loop should error")
+	}
+	g.AddNode(9)
+	if !g.HasNode(9) || g.Degree(9) != 0 {
+		t.Error("AddNode failed")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	for _, v := range []int64{5, 3, 9, 1, 7} {
+		g.AddEdge(0, v)
+	}
+	ns := g.Neighbors(0)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("neighbors not sorted: %v", ns)
+		}
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("degree = %d, want 5", g.Degree(0))
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := complete(4)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge should report true")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge still present after removal")
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("double removal should report false")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := complete(5)
+	count := 0
+	g.Edges(func(u, v int64) bool {
+		if u >= v {
+			t.Errorf("Edges emitted u >= v: %d %d", u, v)
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("edge count = %d, want 10", count)
+	}
+	// Early stop.
+	count = 0
+	g.Edges(func(u, v int64) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop count = %d, want 3", count)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := New()
+	// Triangle 0-1-2 plus pendant 3 on 0.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if got := g.CommonNeighbors(0, 1); got != 1 { // node 2
+		t.Errorf("CommonNeighbors(0,1) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(1, 3); got != 1 { // node 0
+		t.Errorf("CommonNeighbors(1,3) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(2, 3); got != 1 {
+		t.Errorf("CommonNeighbors(2,3) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(0, 99); got != 0 {
+		t.Errorf("CommonNeighbors with absent node = %d, want 0", got)
+	}
+	kn := complete(6)
+	if got := kn.CommonNeighbors(0, 1); got != 4 {
+		t.Errorf("K6 CommonNeighbors = %d, want 4", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(10, 11)
+	g.AddNode(100)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 {
+		t.Errorf("largest size = %d, want 3", len(comps[0]))
+	}
+	lcc := g.LargestComponent()
+	if len(lcc) != 3 || !lcc[1] || !lcc[2] || !lcc[3] {
+		t.Errorf("largest component = %v", lcc)
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	g := New()
+	if comps := g.Components(); len(comps) != 0 {
+		t.Errorf("empty graph components = %v", comps)
+	}
+	if lcc := g.LargestComponent(); len(lcc) != 0 {
+		t.Errorf("empty graph LCC = %v", lcc)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := complete(5)
+	keep := map[int64]bool{0: true, 1: true, 2: true}
+	sub := g.Subgraph(keep)
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Errorf("subgraph n=%d m=%d, want 3/3", sub.NumNodes(), sub.NumEdges())
+	}
+	if sub.HasNode(4) {
+		t.Error("subgraph contains excluded node")
+	}
+	// Keep set with node not in g.
+	sub2 := g.Subgraph(map[int64]bool{0: true, 777: true})
+	if sub2.NumNodes() != 1 || sub2.NumEdges() != 0 {
+		t.Errorf("subgraph with foreign node n=%d m=%d", sub2.NumNodes(), sub2.NumEdges())
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := complete(4)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("Clone shares state with original")
+	}
+	if c.NumEdges() != g.NumEdges()-1 {
+		t.Error("clone edge count wrong")
+	}
+}
+
+func TestCutConductance(t *testing.T) {
+	// Two triangles joined by one bridge edge: the natural cut has
+	// conductance 1/7 (1 crossing edge, min volume = 7).
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	g.AddEdge(2, 3) // bridge
+	s := map[int64]bool{0: true, 1: true, 2: true}
+	if phi := g.CutConductance(s); math.Abs(phi-1.0/7.0) > 1e-12 {
+		t.Errorf("cut conductance = %v, want 1/7", phi)
+	}
+	// Empty side.
+	if phi := g.CutConductance(map[int64]bool{}); phi != 0 {
+		t.Errorf("empty cut = %v, want 0", phi)
+	}
+}
+
+func TestExactConductance(t *testing.T) {
+	// Two triangles + bridge: minimum conductance cut is the bridge cut.
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	g.AddEdge(2, 3)
+	phi, err := g.ExactConductance(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1.0/7.0) > 1e-12 {
+		t.Errorf("exact conductance = %v, want 1/7", phi)
+	}
+	// Complete graph K4: conductance is minimized by the balanced cut:
+	// crossing=4, min volume=6 -> 2/3.
+	k4 := complete(4)
+	phi, err = k4.ExactConductance(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-2.0/3.0) > 1e-12 {
+		t.Errorf("K4 conductance = %v, want 2/3", phi)
+	}
+	// Limit enforcement.
+	if _, err := complete(12).ExactConductance(10); err == nil {
+		t.Error("expected limit error")
+	}
+	// Undefined cases.
+	if _, err := New().ExactConductance(10); err == nil {
+		t.Error("expected error for empty graph")
+	}
+}
+
+func TestModularity(t *testing.T) {
+	// Two triangles + bridge, communities = the two triangles.
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	g.AddEdge(2, 3)
+	labels := map[int64]int{0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+	q := g.Modularity(labels)
+	// Q = sum_c (in_c/2m - (deg_c/2m)^2) = (6/14 - (7/14)^2)*2 = 6/7 - 1/2.
+	want := 6.0/7.0 - 0.5
+	if math.Abs(q-want) > 1e-12 {
+		t.Errorf("modularity = %v, want %v", q, want)
+	}
+	// Random-ish split should have lower modularity than the planted one.
+	bad := map[int64]int{0: 0, 3: 0, 1: 1, 4: 1, 2: 0, 5: 1}
+	if g.Modularity(bad) >= q {
+		t.Error("shuffled partition should have lower modularity")
+	}
+	if New().Modularity(labels) != 0 {
+		t.Error("empty graph modularity should be 0")
+	}
+}
+
+func TestAvgDegreeAndHistogram(t *testing.T) {
+	g := path(4) // degrees 1,2,2,1
+	if got := g.AvgDegree(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("AvgDegree = %v, want 1.5", got)
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if New().AvgDegree() != 0 {
+		t.Error("empty AvgDegree should be 0")
+	}
+}
+
+// Property: adjacency is always symmetric and degree sum = 2m.
+func TestSymmetryProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := New()
+		for _, p := range pairs {
+			u, v := int64(p[0]), int64(p[1])
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		degSum := 0
+		for _, u := range g.Nodes() {
+			degSum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return degSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: components partition the node set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(pairs [][2]uint8, extra []uint8) bool {
+		g := New()
+		for _, p := range pairs {
+			if p[0] != p[1] {
+				g.AddEdge(int64(p[0]), int64(p[1]))
+			}
+		}
+		for _, x := range extra {
+			g.AddNode(int64(x))
+		}
+		seen := make(map[int64]bool)
+		total := 0
+		for _, comp := range g.Components() {
+			for _, u := range comp {
+				if seen[u] {
+					return false // overlap
+				}
+				seen[u] = true
+			}
+			total += len(comp)
+		}
+		return total == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cut conductance lies in [0,1] for any subset.
+func TestConductanceRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	for i := 0; i < 200; i++ {
+		u, v := rng.Int63n(40), rng.Int63n(40)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		s := make(map[int64]bool)
+		for _, u := range g.Nodes() {
+			if rng.Intn(2) == 0 {
+				s[u] = true
+			}
+		}
+		phi := g.CutConductance(s)
+		if phi < 0 || phi > 1 {
+			t.Fatalf("conductance out of range: %v", phi)
+		}
+	}
+}
+
+func TestExactConductanceMatchesCutScan(t *testing.T) {
+	// Cross-check brute force against scanning cuts manually on a random
+	// small graph.
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	for i := 0; i < 14; i++ {
+		u, v := rng.Int63n(7), rng.Int63n(7)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	if g.NumEdges() == 0 || len(g.Components()) != 1 {
+		t.Skip("degenerate random graph")
+	}
+	phi, err := g.ExactConductance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<len(nodes)-1; mask++ {
+		s := make(map[int64]bool)
+		for b := range nodes {
+			if mask&(1<<b) != 0 {
+				s[nodes[b]] = true
+			}
+		}
+		if p := g.CutConductance(s); p > 0 && p < best {
+			best = p
+		}
+	}
+	if math.Abs(phi-best) > 1e-12 {
+		t.Errorf("ExactConductance = %v, scan = %v", phi, best)
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cycle(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(int64(i), int64((i+1)%n))
+	}
+	return g
+}
+
+func TestLazySecondEigenvalueComplete(t *testing.T) {
+	// K_n: transition eigenvalues are 1 and -1/(n-1); lazy: 1 and
+	// (1 - 1/(n-1))/2. For n=6: (1 - 0.2)/2 = 0.4.
+	g := complete(6)
+	rng := rand.New(rand.NewSource(1))
+	l2, err := g.LazySecondEigenvalue(rng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2-0.4) > 0.02 {
+		t.Errorf("K6 lazy lambda2 = %v, want ~0.4", l2)
+	}
+}
+
+func TestLazySecondEigenvalueCycle(t *testing.T) {
+	// C_n: walk eigenvalues cos(2πk/n); lazy second = (1+cos(2π/n))/2.
+	n := 20
+	g := cycle(n)
+	want := (1 + math.Cos(2*math.Pi/float64(n))) / 2
+	rng := rand.New(rand.NewSource(2))
+	l2, err := g.LazySecondEigenvalue(rng, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2-want) > 0.01 {
+		t.Errorf("C20 lazy lambda2 = %v, want %v", l2, want)
+	}
+}
+
+func TestSpectralGapOrdersTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// An expander-ish complete graph mixes far faster than a barbell.
+	fast, err := complete(12).SpectralGap(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowG := New()
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			slowG.AddEdge(int64(i), int64(j))
+			slowG.AddEdge(int64(10+i), int64(10+j))
+		}
+	}
+	slowG.AddEdge(5, 10)
+	slow, err := slowG.SpectralGap(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow >= fast {
+		t.Errorf("barbell gap %v should be below complete-graph gap %v", slow, fast)
+	}
+}
+
+func TestSpectralErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := New().LazySecondEigenvalue(rng, 10); err == nil {
+		t.Error("empty graph should error")
+	}
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4) // disconnected
+	if _, err := g.LazySecondEigenvalue(rng, 10); err == nil {
+		t.Error("disconnected graph should error")
+	}
+	if _, err := g.SweepConductance(rng, 10); err == nil {
+		t.Error("disconnected sweep should error")
+	}
+}
+
+func TestMixingTimeUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tK, err := complete(10).MixingTimeUpper(rng, 200, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tC, err := cycle(40).MixingTimeUpper(rng, 600, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tK <= 0 || tC <= 0 {
+		t.Fatal("mixing bounds must be positive")
+	}
+	if tC < 5*tK {
+		t.Errorf("cycle should mix much slower: K10=%v C40=%v", tK, tC)
+	}
+	// Bad eps falls back to 0.25 rather than panicking.
+	if _, err := complete(10).MixingTimeUpper(rng, 50, -3); err != nil {
+		t.Errorf("bad eps: %v", err)
+	}
+}
+
+func TestSweepConductanceUpperBoundsExact(t *testing.T) {
+	// Two triangles + bridge: exact conductance 1/7; the sweep must
+	// find a cut at least that good... no — the sweep upper-bounds the
+	// minimum, and on this graph the spectral ordering finds the bridge
+	// cut exactly.
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	g.AddEdge(2, 3)
+	rng := rand.New(rand.NewSource(6))
+	sweep, err := g.SweepConductance(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ExactConductance(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep < exact-1e-9 {
+		t.Errorf("sweep %v below exact minimum %v (impossible)", sweep, exact)
+	}
+	if math.Abs(sweep-exact) > 1e-9 {
+		t.Errorf("sweep %v should find the bridge cut %v on this graph", sweep, exact)
+	}
+	// Cheeger: phi^2/2 <= gap <= 2 phi.
+	gap, err := g.SpectralGap(rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < exact*exact/2-0.02 || gap > 2*exact+0.02 {
+		t.Errorf("Cheeger violated: gap=%v phi=%v", gap, exact)
+	}
+}
+
+func TestSweepConductanceOnCommunityGraph(t *testing.T) {
+	// Random graph with two planted communities: sweep should find a
+	// cut close to the planted one.
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	for c := 0; c < 2; c++ {
+		base := int64(c * 50)
+		for i := 0; i < 150; i++ {
+			u := base + rng.Int63n(50)
+			v := base + rng.Int63n(50)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(rng.Int63n(50), 50+rng.Int63n(50))
+	}
+	if len(g.Components()) != 1 {
+		t.Skip("random graph disconnected")
+	}
+	sweep, err := g.SweepConductance(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted cut has ~5 crossing edges over volume ~300.
+	planted := make(map[int64]bool)
+	for _, u := range g.Nodes() {
+		if u < 50 {
+			planted[u] = true
+		}
+	}
+	phiPlanted := g.CutConductance(planted)
+	if sweep > 3*phiPlanted {
+		t.Errorf("sweep %v far above planted cut %v", sweep, phiPlanted)
+	}
+}

@@ -1,0 +1,156 @@
+package levelgraph
+
+import (
+	"math"
+	"sort"
+
+	"mba/internal/model"
+)
+
+// ModelParams describes the idealized level-by-level graph of Theorem
+// 4.1: n nodes spread evenly over h levels, each node with d
+// adjacent-level edges and k intra-level edges.
+type ModelParams struct {
+	N int     // total nodes
+	H int     // levels
+	D float64 // adjacent-level degree
+	K float64 // intra-level degree
+}
+
+// horizontalCut is the conductance of the cut separating two adjacent
+// levels, from the proof sketch of Theorem 4.1:
+// φ_h = 2d / (2d(h−1) + hk), which reduces to 1/(h−1) when k = 0.
+func (m ModelParams) horizontalCut() float64 {
+	if m.H < 2 || m.D <= 0 {
+		return 0
+	}
+	return 2 * m.D / (2*m.D*float64(m.H-1) + float64(m.H)*m.K)
+}
+
+// Conductance evaluates the model conductance φ(G) of Theorem 4.1
+// (Eq. 2). The piecewise form follows the paper's four regimes in d and
+// k relative to n/2h and n/h.
+func (m ModelParams) Conductance() float64 {
+	if m.H < 1 || m.N <= 0 || m.D <= 0 {
+		return 0
+	}
+	if m.H == 1 {
+		// Degenerate single level: only intra edges exist; treat the
+		// model as a k-regular graph whose conductance we bound by 1.
+		if m.K > 0 {
+			return 1
+		}
+		return 0
+	}
+	n := float64(m.N)
+	h := float64(m.H)
+	d, k := m.D, m.K
+	half := n / (2 * h)
+	full := n / h
+	hc := m.horizontalCut()
+
+	var phi float64
+	switch {
+	case d <= half && k <= half:
+		phi = h / ((k + d) * (h - 1) * n)
+	case d <= half && k > half && k < full:
+		phi = math.Min((2*k*h-n)/(k*h+d*n), hc)
+	case d > half && d < full && k <= half:
+		phi = math.Min((2*d*h-n)/(k*h+d*n), hc)
+	default:
+		phi = math.Min((k-half)*(2*d*h-n)/(k*h+d*n), hc)
+	}
+	// The closed forms are only meaningful for d, k < n/h (a node cannot
+	// have more same/adjacent-level neighbors than a level holds);
+	// clamp so out-of-domain parameters still rank sanely.
+	return math.Max(0, math.Min(1, phi))
+}
+
+// ConductanceNoIntra evaluates φ(G') of Theorem 4.1 (Eq. 3): the model
+// conductance after removing all intra-level edges. It equals
+// Conductance with K = 0.
+func (m ModelParams) ConductanceNoIntra() float64 {
+	m2 := m
+	m2.K = 0
+	return m2.Conductance()
+}
+
+// OptimalDegree returns the conductance-maximizing adjacent-level
+// degree d*(h) of Corollary 4.1: d = (2h−1)(2h−2) / (h(2h−9)).
+// It is meaningful only for h ≥ 5 (the denominator changes sign at
+// h = 4.5); smaller h returns +Inf to signal "more levels needed".
+func OptimalDegree(h int) float64 {
+	den := float64(h) * float64(2*h-9)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return float64(2*h-1) * float64(2*h-2) / den
+}
+
+// IntervalStats carries the pilot-walk measurements for one candidate
+// interval T: the observed level count and the mean down-degree — the
+// paper's "average number of followers who pick up the hashtag after
+// the current time interval" (§4.2.3).
+type IntervalStats struct {
+	Interval model.Tick
+	H        int
+	D        float64
+	// N is a (rough) node-count estimate; only its consistency across
+	// candidates matters for the conductance ranking.
+	N int
+}
+
+// Conductance scores the candidate via Eq. 3 (the level-by-level graph
+// has no intra edges by construction).
+func (s IntervalStats) Conductance() float64 {
+	return ModelParams{N: s.N, H: s.H, D: s.D}.ConductanceNoIntra()
+}
+
+// PickupDistance scores how far the measured pick-up degree d is from
+// the conductance-optimal d*(h) of Corollary 4.1, on a log scale
+// (|log(d/d*)|, so halving and doubling are equally bad). Candidates
+// with no optimum (h < 5, where Eq. 5's denominator is non-positive)
+// or no measured pick-ups score +Inf.
+//
+// This is the selection rule §4.2.3's "Practical Design" paragraph
+// motivates: "the average number of followers who 'pick up' the
+// hashtag after the current time interval should be close to its
+// optimal value d as shown in (5)". We use it (rather than ranking the
+// Eq. 3 values directly) because Eq. 3, evaluated as printed,
+// increases monotonically as d shrinks and therefore always prefers
+// the finest interval — see EXPERIMENTS.md for the discussion.
+func (s IntervalStats) PickupDistance() float64 {
+	opt := OptimalDegree(s.H)
+	if math.IsInf(opt, 1) || s.D <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(math.Log(s.D / opt))
+}
+
+// RankIntervals orders candidates by increasing pick-up distance (best
+// first). Ties break toward longer intervals — shallower lattices mean
+// shorter walks and lower-variance ESTIMATE-p products.
+func RankIntervals(stats []IntervalStats) []IntervalStats {
+	out := append([]IntervalStats(nil), stats...)
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].PickupDistance(), out[j].PickupDistance()
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Interval > out[j].Interval
+	})
+	return out
+}
+
+// SelectInterval returns the best candidate under the pick-up rule, or
+// false if stats is empty or no candidate has a finite score.
+func SelectInterval(stats []IntervalStats) (IntervalStats, bool) {
+	if len(stats) == 0 {
+		return IntervalStats{}, false
+	}
+	best := RankIntervals(stats)[0]
+	if math.IsInf(best.PickupDistance(), 1) {
+		return best, false
+	}
+	return best, true
+}

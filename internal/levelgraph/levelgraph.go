@@ -1,0 +1,207 @@
+// Package levelgraph implements the level-by-level subgraph design of
+// §4 of the paper: organizing the term-induced subgraph into levels by
+// the time each user first mentioned the keyword (bucketed at interval
+// T), classifying edges as intra-level / adjacent-level / cross-level,
+// removing the intra-level edges that trap random walks inside tight
+// communities, and the conductance model of Theorem 4.1 that guides
+// the choice of T (§4.2.3).
+//
+// Levels are indexed by time bucket: level 0 holds the earliest
+// mentioners ("top" in the paper's Figure 6), and larger indices are
+// later ("bottom", where the search API seeds live).
+package levelgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mba/internal/graph"
+	"mba/internal/model"
+)
+
+// LevelOf buckets a first-mention time into a level index for interval T.
+func LevelOf(first model.Tick, t model.Tick) int {
+	if t <= 0 {
+		return 0
+	}
+	return int(first / t)
+}
+
+// EdgeClass is the ternary edge taxonomy of §4.2.1.
+type EdgeClass int
+
+// Edge classes. Intra-level edges connect same-bucket users and are
+// detrimental to sampling; adjacent- and cross-level edges are
+// beneficial.
+const (
+	Intra EdgeClass = iota
+	Adjacent
+	Cross
+)
+
+func (c EdgeClass) String() string {
+	switch c {
+	case Intra:
+		return "intra-level"
+	case Adjacent:
+		return "adjacent-level"
+	case Cross:
+		return "cross-level"
+	default:
+		return fmt.Sprintf("EdgeClass(%d)", int(c))
+	}
+}
+
+// Classify returns the taxonomy class of an edge between users at the
+// given levels.
+func Classify(levelU, levelV int) EdgeClass {
+	d := levelU - levelV
+	if d < 0 {
+		d = -d
+	}
+	switch d {
+	case 0:
+		return Intra
+	case 1:
+		return Adjacent
+	default:
+		return Cross
+	}
+}
+
+// Stats summarizes a term-induced subgraph's edge taxonomy for a given
+// interval (Table 2 reports the intra and cross fractions).
+type Stats struct {
+	Interval                         model.Tick
+	Nodes, Edges                     int
+	IntraEdges, AdjEdges, CrossEdges int
+	// Levels is the number of non-empty levels.
+	Levels int
+	// AvgAdjDegree is the mean number of adjacent-level neighbors per
+	// node — the model's d.
+	AvgAdjDegree float64
+	// AvgIntraDegree is the mean number of intra-level neighbors per
+	// node — the model's k.
+	AvgIntraDegree float64
+}
+
+// IntraFrac returns the fraction of intra-level edges.
+func (s Stats) IntraFrac() float64 {
+	if s.Edges == 0 {
+		return 0
+	}
+	return float64(s.IntraEdges) / float64(s.Edges)
+}
+
+// CrossFrac returns the fraction of cross-level edges.
+func (s Stats) CrossFrac() float64 {
+	if s.Edges == 0 {
+		return 0
+	}
+	return float64(s.CrossEdges) / float64(s.Edges)
+}
+
+// Analyze computes the edge taxonomy of the term-induced subgraph term
+// under first-mention times first and interval t.
+func Analyze(term *graph.Graph, first map[int64]model.Tick, t model.Tick) Stats {
+	s := Stats{Interval: t, Nodes: term.NumNodes(), Edges: term.NumEdges()}
+	levels := make(map[int]bool)
+	for _, ft := range first {
+		levels[LevelOf(ft, t)] = true
+	}
+	s.Levels = len(levels)
+	term.Edges(func(u, v int64) bool {
+		switch Classify(LevelOf(first[u], t), LevelOf(first[v], t)) {
+		case Intra:
+			s.IntraEdges++
+		case Adjacent:
+			s.AdjEdges++
+		default:
+			s.CrossEdges++
+		}
+		return true
+	})
+	if s.Nodes > 0 {
+		s.AvgAdjDegree = 2 * float64(s.AdjEdges+s.CrossEdges) / float64(s.Nodes)
+		s.AvgIntraDegree = 2 * float64(s.IntraEdges) / float64(s.Nodes)
+	}
+	return s
+}
+
+// Build returns the level-by-level subgraph: term with every
+// intra-level edge removed (§4.2.1's key idea). All nodes are kept,
+// including any left isolated.
+func Build(term *graph.Graph, first map[int64]model.Tick, t model.Tick) *graph.Graph {
+	return BuildPartial(term, first, t, 1, nil)
+}
+
+// BuildPartial removes only the given fraction of intra-level edges,
+// chosen uniformly at random — the ablation of Figure 4. frac is
+// clamped to [0,1]; rng may be nil when frac is 0 or 1.
+func BuildPartial(term *graph.Graph, first map[int64]model.Tick, t model.Tick, frac float64, rng *rand.Rand) *graph.Graph {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	out := term.Clone()
+	if frac == 0 {
+		return out
+	}
+	type edge struct{ u, v int64 }
+	var intra []edge
+	term.Edges(func(u, v int64) bool {
+		if Classify(LevelOf(first[u], t), LevelOf(first[v], t)) == Intra {
+			intra = append(intra, edge{u, v})
+		}
+		return true
+	})
+	sort.Slice(intra, func(i, j int) bool {
+		if intra[i].u != intra[j].u {
+			return intra[i].u < intra[j].u
+		}
+		return intra[i].v < intra[j].v
+	})
+	remove := int(math.Round(frac * float64(len(intra))))
+	if remove < len(intra) && rng != nil {
+		rng.Shuffle(len(intra), func(i, j int) { intra[i], intra[j] = intra[j], intra[i] })
+	}
+	if remove > len(intra) {
+		remove = len(intra)
+	}
+	for _, e := range intra[:remove] {
+		out.RemoveEdge(e.u, e.v)
+	}
+	return out
+}
+
+// CandidateIntervals is the paper's Figure 5 grid: 2 hours … 1 month.
+func CandidateIntervals() []model.Tick {
+	return []model.Tick{
+		2 * model.Hour,
+		4 * model.Hour,
+		12 * model.Hour,
+		model.Day,
+		2 * model.Day,
+		model.Week,
+		model.Month,
+	}
+}
+
+// IntervalName renders a candidate interval in the paper's notation
+// (2H, 4H, 12H, 1D, 2D, 1W, 1M).
+func IntervalName(t model.Tick) string {
+	switch {
+	case t%model.Month == 0:
+		return fmt.Sprintf("%dM", t/model.Month)
+	case t%model.Week == 0:
+		return fmt.Sprintf("%dW", t/model.Week)
+	case t%model.Day == 0:
+		return fmt.Sprintf("%dD", t/model.Day)
+	default:
+		return fmt.Sprintf("%dH", t)
+	}
+}

@@ -1,0 +1,370 @@
+package levelgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mba/internal/graph"
+	"mba/internal/model"
+)
+
+func TestLevelOf(t *testing.T) {
+	cases := []struct {
+		first model.Tick
+		intv  model.Tick
+		want  int
+	}{
+		{0, model.Day, 0},
+		{23, model.Day, 0},
+		{24, model.Day, 1},
+		{49, model.Day, 2},
+		{100 * model.Day, model.Week, 14},
+		{5, 0, 0}, // degenerate interval
+	}
+	for _, c := range cases {
+		if got := LevelOf(c.first, c.intv); got != c.want {
+			t.Errorf("LevelOf(%d,%d) = %d, want %d", c.first, c.intv, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(3, 3) != Intra {
+		t.Error("same level should be Intra")
+	}
+	if Classify(3, 4) != Adjacent || Classify(4, 3) != Adjacent {
+		t.Error("adjacent levels should be Adjacent")
+	}
+	if Classify(1, 5) != Cross || Classify(5, 1) != Cross {
+		t.Error("distant levels should be Cross")
+	}
+	for _, c := range []EdgeClass{Intra, Adjacent, Cross, EdgeClass(9)} {
+		if c.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+// testTermGraph builds a small term subgraph with known taxonomy:
+// levels by day; nodes 0,1 on day 0; 2,3 on day 1; 4 on day 3.
+func testTermGraph() (*graph.Graph, map[int64]model.Tick) {
+	g := graph.New()
+	first := map[int64]model.Tick{
+		0: 1, 1: 2, // level 0
+		2: 25, 3: 30, // level 1
+		4: 3 * model.Day, // level 3
+	}
+	g.AddEdge(0, 1) // intra
+	g.AddEdge(2, 3) // intra
+	g.AddEdge(0, 2) // adjacent
+	g.AddEdge(1, 3) // adjacent
+	g.AddEdge(0, 4) // cross (0->3)
+	return g, first
+}
+
+func TestAnalyze(t *testing.T) {
+	g, first := testTermGraph()
+	s := Analyze(g, first, model.Day)
+	if s.Nodes != 5 || s.Edges != 5 {
+		t.Fatalf("nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.IntraEdges != 2 || s.AdjEdges != 2 || s.CrossEdges != 1 {
+		t.Errorf("taxonomy = %d/%d/%d, want 2/2/1", s.IntraEdges, s.AdjEdges, s.CrossEdges)
+	}
+	if s.Levels != 3 {
+		t.Errorf("levels = %d, want 3", s.Levels)
+	}
+	if math.Abs(s.IntraFrac()-0.4) > 1e-12 {
+		t.Errorf("IntraFrac = %v, want 0.4", s.IntraFrac())
+	}
+	if math.Abs(s.CrossFrac()-0.2) > 1e-12 {
+		t.Errorf("CrossFrac = %v, want 0.2", s.CrossFrac())
+	}
+	// d = 2*(adj+cross)/n = 6/5; k = 2*intra/n = 4/5.
+	if math.Abs(s.AvgAdjDegree-1.2) > 1e-12 {
+		t.Errorf("AvgAdjDegree = %v", s.AvgAdjDegree)
+	}
+	if math.Abs(s.AvgIntraDegree-0.8) > 1e-12 {
+		t.Errorf("AvgIntraDegree = %v", s.AvgIntraDegree)
+	}
+	if (Stats{}).IntraFrac() != 0 || (Stats{}).CrossFrac() != 0 {
+		t.Error("empty stats fractions should be 0")
+	}
+}
+
+func TestBuildRemovesExactlyIntraEdges(t *testing.T) {
+	g, first := testTermGraph()
+	lvl := Build(g, first, model.Day)
+	if lvl.NumEdges() != 3 {
+		t.Fatalf("level graph edges = %d, want 3", lvl.NumEdges())
+	}
+	if lvl.HasEdge(0, 1) || lvl.HasEdge(2, 3) {
+		t.Error("intra edges survived")
+	}
+	if !lvl.HasEdge(0, 2) || !lvl.HasEdge(1, 3) || !lvl.HasEdge(0, 4) {
+		t.Error("non-intra edges removed")
+	}
+	if lvl.NumNodes() != g.NumNodes() {
+		t.Error("nodes dropped")
+	}
+	// Original untouched.
+	if g.NumEdges() != 5 {
+		t.Error("Build mutated input graph")
+	}
+}
+
+func TestBuildPartial(t *testing.T) {
+	g, first := testTermGraph()
+	rng := rand.New(rand.NewSource(1))
+	half := BuildPartial(g, first, model.Day, 0.5, rng)
+	if half.NumEdges() != 4 { // 5 - round(0.5*2) = 4
+		t.Errorf("half removal edges = %d, want 4", half.NumEdges())
+	}
+	none := BuildPartial(g, first, model.Day, 0, nil)
+	if none.NumEdges() != 5 {
+		t.Errorf("zero removal edges = %d, want 5", none.NumEdges())
+	}
+	all := BuildPartial(g, first, model.Day, 1.5, nil) // clamped
+	if all.NumEdges() != 3 {
+		t.Errorf("full removal edges = %d, want 3", all.NumEdges())
+	}
+	neg := BuildPartial(g, first, model.Day, -1, nil)
+	if neg.NumEdges() != 5 {
+		t.Errorf("negative frac edges = %d, want 5", neg.NumEdges())
+	}
+}
+
+func TestIntervalNames(t *testing.T) {
+	cases := map[model.Tick]string{
+		2 * model.Hour:  "2H",
+		12 * model.Hour: "12H",
+		model.Day:       "1D",
+		2 * model.Day:   "2D",
+		model.Week:      "1W",
+		model.Month:     "1M",
+	}
+	for tick, want := range cases {
+		if got := IntervalName(tick); got != want {
+			t.Errorf("IntervalName(%d) = %q, want %q", tick, got, want)
+		}
+	}
+	if len(CandidateIntervals()) != 7 {
+		t.Errorf("candidate grid size = %d, want 7 (Fig. 5)", len(CandidateIntervals()))
+	}
+}
+
+func TestHorizontalCutReducesWithIntra(t *testing.T) {
+	base := ModelParams{N: 10000, H: 20, D: 4, K: 0}
+	if got := base.horizontalCut(); math.Abs(got-1.0/19.0) > 1e-12 {
+		t.Errorf("k=0 horizontal cut = %v, want 1/(h-1)", got)
+	}
+	withK := base
+	withK.K = 6
+	if withK.horizontalCut() >= base.horizontalCut() {
+		t.Error("intra edges should reduce the horizontal-cut conductance")
+	}
+}
+
+func TestConductanceConsistency(t *testing.T) {
+	// Eq. 2 with K=0 must equal Eq. 3.
+	for _, m := range []ModelParams{
+		{N: 10000, H: 50, D: 2},
+		{N: 10000, H: 10, D: 600}, // d in (n/2h, n/h) regime
+		{N: 1000, H: 5, D: 10},
+	} {
+		m.K = 0
+		if a, b := m.Conductance(), m.ConductanceNoIntra(); math.Abs(a-b) > 1e-15 {
+			t.Errorf("Eq2(k=0)=%v != Eq3=%v for %+v", a, b, m)
+		}
+	}
+}
+
+func TestConductanceDecreasesWithIntraEdges(t *testing.T) {
+	// Theorem 4.1's message: adding intra-level edges reduces model
+	// conductance across regimes.
+	for _, m := range []ModelParams{
+		{N: 10000, H: 50, D: 2},
+		{N: 10000, H: 20, D: 5},
+		{N: 2000, H: 10, D: 3},
+	} {
+		prev := m.ConductanceNoIntra()
+		if prev <= 0 {
+			t.Fatalf("zero baseline conductance for %+v", m)
+		}
+		for _, k := range []float64{1, 5, 20} {
+			mk := m
+			mk.K = k
+			cur := mk.Conductance()
+			if cur > prev+1e-15 {
+				t.Errorf("conductance increased with k=%v for %+v: %v > %v", k, m, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestConductanceDegenerate(t *testing.T) {
+	if (ModelParams{N: 100, H: 0, D: 2}).Conductance() != 0 {
+		t.Error("h=0 should be 0")
+	}
+	if (ModelParams{N: 100, H: 5, D: 0}).Conductance() != 0 {
+		t.Error("d=0 should be 0")
+	}
+	if (ModelParams{N: 0, H: 5, D: 2}).Conductance() != 0 {
+		t.Error("n=0 should be 0")
+	}
+	if (ModelParams{N: 100, H: 1, D: 2, K: 3}).Conductance() != 1 {
+		t.Error("h=1 with intra edges should return 1")
+	}
+	if (ModelParams{N: 100, H: 1, D: 2}).Conductance() != 0 {
+		t.Error("h=1 without intra edges should return 0")
+	}
+}
+
+func TestOptimalDegree(t *testing.T) {
+	// Corollary 4.1's worked example: h=5 -> d = 9*8/(5*1) = 14.4.
+	if got := OptimalDegree(5); math.Abs(got-14.4) > 1e-12 {
+		t.Errorf("OptimalDegree(5) = %v, want 14.4", got)
+	}
+	// Paper: d = 2.13 at h = 50, 2.06 at h = 100 (2 decimals).
+	if got := OptimalDegree(50); math.Abs(got-2.13) > 0.005 {
+		t.Errorf("OptimalDegree(50) = %v, want ~2.13", got)
+	}
+	if got := OptimalDegree(100); math.Abs(got-2.06) > 0.005 {
+		t.Errorf("OptimalDegree(100) = %v, want ~2.06", got)
+	}
+	// Limit d -> 2 as h -> inf.
+	if got := OptimalDegree(100000); math.Abs(got-2) > 0.001 {
+		t.Errorf("OptimalDegree(1e5) = %v, want ~2", got)
+	}
+	// h < 5: undefined, +Inf.
+	if !math.IsInf(OptimalDegree(4), 1) {
+		t.Error("OptimalDegree(4) should be +Inf")
+	}
+}
+
+func TestPickupDistance(t *testing.T) {
+	// d exactly at the optimum scores 0.
+	s := IntervalStats{H: 5, D: 14.4}
+	if got := s.PickupDistance(); math.Abs(got) > 1e-12 {
+		t.Errorf("distance at optimum = %v, want 0", got)
+	}
+	// Halving and doubling are symmetric.
+	lo := IntervalStats{H: 5, D: 7.2}.PickupDistance()
+	hi := IntervalStats{H: 5, D: 28.8}.PickupDistance()
+	if math.Abs(lo-hi) > 1e-12 {
+		t.Errorf("log distance not symmetric: %v vs %v", lo, hi)
+	}
+	// h < 5 (no optimum) and d = 0 score +Inf.
+	if !math.IsInf(IntervalStats{H: 3, D: 2}.PickupDistance(), 1) {
+		t.Error("h<5 should score +Inf")
+	}
+	if !math.IsInf(IntervalStats{H: 50, D: 0}.PickupDistance(), 1) {
+		t.Error("d=0 should score +Inf")
+	}
+}
+
+func TestRankAndSelectIntervals(t *testing.T) {
+	stats := []IntervalStats{
+		{Interval: model.Day, H: 300, D: 0.3, N: 100000},   // far below d*≈2
+		{Interval: model.Week, H: 43, D: 2.1, N: 100000},   // near optimal
+		{Interval: model.Month, H: 10, D: 20, N: 100000},   // far above d*≈3.1
+		{Interval: 2 * model.Month, H: 4, D: 9, N: 100000}, // no optimum
+	}
+	ranked := RankIntervals(stats)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].PickupDistance() > ranked[i].PickupDistance() {
+			t.Fatal("ranking not in increasing pick-up distance order")
+		}
+	}
+	best, ok := SelectInterval(stats)
+	if !ok {
+		t.Fatal("SelectInterval failed")
+	}
+	if best.Interval != model.Week {
+		t.Errorf("selected %v, want the near-optimal week", best.Interval)
+	}
+	if _, ok := SelectInterval(nil); ok {
+		t.Error("empty candidates should not select")
+	}
+	// All-infinite candidates cannot be selected.
+	if _, ok := SelectInterval([]IntervalStats{{Interval: model.Day, H: 2, D: 1}}); ok {
+		t.Error("all-inf candidates should not select")
+	}
+	// Ties break toward longer intervals.
+	tied := []IntervalStats{
+		{Interval: model.Day, H: 50, D: 2.13},
+		{Interval: model.Week, H: 50, D: 2.13},
+	}
+	if best, _ := SelectInterval(tied); best.Interval != model.Week {
+		t.Error("tie should prefer the longer interval")
+	}
+	// Input slice must not be reordered.
+	if stats[0].Interval != model.Day {
+		t.Error("RankIntervals mutated input")
+	}
+}
+
+// Property: Build output never contains an intra-level edge and always
+// preserves all non-intra edges.
+func TestBuildTaxonomyProperty(t *testing.T) {
+	f := func(pairs [][2]uint8, days []uint8) bool {
+		g := graph.New()
+		first := make(map[int64]model.Tick)
+		for i, d := range days {
+			first[int64(i)] = model.Tick(d) * model.Day
+			g.AddNode(int64(i))
+		}
+		n := len(days)
+		if n == 0 {
+			return true
+		}
+		for _, p := range pairs {
+			u, v := int64(p[0])%int64(n), int64(p[1])%int64(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		lvl := Build(g, first, model.Day)
+		okAll := true
+		lvl.Edges(func(u, v int64) bool {
+			if Classify(LevelOf(first[u], model.Day), LevelOf(first[v], model.Day)) == Intra {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		if !okAll {
+			return false
+		}
+		// Count non-intra edges in the original.
+		nonIntra := 0
+		g.Edges(func(u, v int64) bool {
+			if Classify(LevelOf(first[u], model.Day), LevelOf(first[v], model.Day)) != Intra {
+				nonIntra++
+			}
+			return true
+		})
+		return lvl.NumEdges() == nonIntra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: model conductance is always in [0, 1] for sane parameters.
+func TestModelConductanceRangeProperty(t *testing.T) {
+	f := func(nRaw uint16, hRaw, dRaw, kRaw uint8) bool {
+		n := int(nRaw)%50000 + 100
+		h := int(hRaw)%200 + 2
+		d := float64(dRaw%50) + 0.5
+		k := float64(kRaw % 50)
+		phi := ModelParams{N: n, H: h, D: d, K: k}.Conductance()
+		return phi >= 0 && phi <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package model defines the plain data types shared by the simulated
+// microblog platform (internal/platform), the rate-limited access API
+// (internal/api), and the aggregate-query layer (internal/query):
+// simulation time, user profiles, and posts.
+//
+// Simulation time is a Tick — whole hours since the start of the
+// simulated observation window (the paper's window is Jan 1 – Oct 31,
+// 2013, i.e. 304 days). Using hours keeps every time-interval setting
+// from §4.2.3 of the paper (1 hour … 1 month) exactly representable.
+package model
+
+import "fmt"
+
+// Tick is a simulation timestamp in whole hours since the start of the
+// observation window.
+type Tick int64
+
+// HoursPerDay etc. convert between the paper's interval units and Ticks.
+const (
+	Hour  Tick = 1
+	Day   Tick = 24
+	Week  Tick = 7 * Day
+	Month Tick = 30 * Day
+)
+
+// FormatTick renders a tick as "d<day>h<hour>" for logs and tables.
+func FormatTick(t Tick) string {
+	return fmt.Sprintf("d%dh%d", int64(t/Day), int64(t%Day))
+}
+
+// Window is a half-open time interval [From, To). The zero Window is
+// interpreted as unbounded (matches every tick).
+type Window struct {
+	From, To Tick
+}
+
+// IsZero reports whether w is the unbounded zero window.
+func (w Window) IsZero() bool { return w.From == 0 && w.To == 0 }
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t Tick) bool {
+	if w.IsZero() {
+		return true
+	}
+	return t >= w.From && t < w.To
+}
+
+// Gender is a user profile attribute. The paper's Figure 13 aggregates
+// over "male users who posted privacy" on Google+.
+type Gender uint8
+
+// Gender values. Unknown models platforms (like Twitter) where gender
+// is generally missing from profiles.
+const (
+	GenderUnknown Gender = iota
+	GenderMale
+	GenderFemale
+)
+
+func (g Gender) String() string {
+	switch g {
+	case GenderMale:
+		return "male"
+	case GenderFemale:
+		return "female"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile is the user-profile information a USER TIMELINE query returns
+// alongside the posts (§2 of the paper folds profile access into the
+// timeline query).
+type Profile struct {
+	ID          int64
+	DisplayName string
+	Gender      Gender
+	Age         int
+	Followers   int // follower count as displayed on the profile
+	Likes       int // total likes received (Tumblr-style blogs)
+	PostCount   int // total posts ever published (drives timeline paging)
+}
+
+// DisplayNameLength returns the rune length of the display name — the
+// low-variance measure of the paper's Figures 11–12.
+func (p Profile) DisplayNameLength() int { return len([]rune(p.DisplayName)) }
+
+// Post is a single keyword-bearing micropost. Background posts that do
+// not mention any tracked keyword are accounted for only via
+// Profile.PostCount (they affect timeline paging cost and the
+// 3200-post visibility cap, not aggregate answers).
+type Post struct {
+	Author  int64
+	Time    Tick
+	Keyword string
+	Likes   int // likes/favourites this post received
+	Length  int // body length in characters
+}
+
+// Timeline is the result of a USER TIMELINE query: profile plus every
+// retrievable keyword post, oldest first.
+type Timeline struct {
+	Profile Profile
+	Posts   []Post
+	// Truncated reports that the platform's timeline cap (3200 on
+	// Twitter) hid part of the user's history, so Posts may be missing
+	// old entries.
+	Truncated bool
+}
+
+// FirstMention returns the time of the oldest visible post mentioning
+// keyword, and whether one exists.
+func (t Timeline) FirstMention(keyword string) (Tick, bool) {
+	for _, p := range t.Posts {
+		if p.Keyword == keyword {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// MentionTimes returns the times of all visible posts mentioning
+// keyword, oldest first.
+func (t Timeline) MentionTimes(keyword string) []Tick {
+	var out []Tick
+	for _, p := range t.Posts {
+		if p.Keyword == keyword {
+			out = append(out, p.Time)
+		}
+	}
+	return out
+}
+
+// KeywordPosts returns the visible posts mentioning keyword, optionally
+// restricted to a window.
+func (t Timeline) KeywordPosts(keyword string, w Window) []Post {
+	var out []Post
+	for _, p := range t.Posts {
+		if p.Keyword == keyword && w.Contains(p.Time) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

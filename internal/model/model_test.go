@@ -1,0 +1,120 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickUnits(t *testing.T) {
+	if Day != 24*Hour || Week != 7*Day || Month != 30*Day {
+		t.Error("tick unit relations broken")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[Tick]string{
+		0:           "d0h0",
+		23:          "d0h23",
+		24:          "d1h0",
+		49:          "d2h1",
+		304 * Day:   "d304h0",
+		Week + Hour: "d7h1",
+	}
+	for tick, want := range cases {
+		if got := FormatTick(tick); got != want {
+			t.Errorf("FormatTick(%d) = %q, want %q", tick, got, want)
+		}
+	}
+}
+
+func TestWindowSemantics(t *testing.T) {
+	var zero Window
+	if !zero.IsZero() {
+		t.Error("zero window should report IsZero")
+	}
+	for _, tick := range []Tick{0, 1, 1e6} {
+		if !zero.Contains(tick) {
+			t.Errorf("zero window should contain %d", tick)
+		}
+	}
+	w := Window{From: 10, To: 20}
+	if w.IsZero() {
+		t.Error("non-zero window reported zero")
+	}
+	for tick, want := range map[Tick]bool{9: false, 10: true, 15: true, 19: true, 20: false} {
+		if got := w.Contains(tick); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", tick, got, want)
+		}
+	}
+}
+
+func TestProfileDisplayNameLength(t *testing.T) {
+	cases := map[string]int{
+		"":          0,
+		"Ana":       3,
+		"Ana Belle": 9,
+		"héllo":     5, // rune length, not byte length
+	}
+	for name, want := range cases {
+		p := Profile{DisplayName: name}
+		if got := p.DisplayNameLength(); got != want {
+			t.Errorf("DisplayNameLength(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestGenderString(t *testing.T) {
+	if GenderMale.String() != "male" || GenderFemale.String() != "female" || GenderUnknown.String() != "unknown" {
+		t.Error("gender names wrong")
+	}
+	if Gender(42).String() != "unknown" {
+		t.Error("invalid gender should render unknown")
+	}
+}
+
+func TestTimelineQueries(t *testing.T) {
+	tl := Timeline{
+		Posts: []Post{
+			{Keyword: "a", Time: 5, Likes: 1},
+			{Keyword: "b", Time: 7, Likes: 2},
+			{Keyword: "a", Time: 9, Likes: 3},
+		},
+	}
+	first, ok := tl.FirstMention("a")
+	if !ok || first != 5 {
+		t.Errorf("FirstMention = %d,%v", first, ok)
+	}
+	if _, ok := tl.FirstMention("z"); ok {
+		t.Error("FirstMention of absent keyword")
+	}
+	if times := tl.MentionTimes("a"); len(times) != 2 || times[0] != 5 || times[1] != 9 {
+		t.Errorf("MentionTimes = %v", times)
+	}
+	ps := tl.KeywordPosts("a", Window{})
+	if len(ps) != 2 {
+		t.Errorf("KeywordPosts unbounded = %d", len(ps))
+	}
+	ps = tl.KeywordPosts("a", Window{From: 6, To: 10})
+	if len(ps) != 1 || ps[0].Time != 9 {
+		t.Errorf("KeywordPosts windowed = %v", ps)
+	}
+	if ps := tl.KeywordPosts("z", Window{}); ps != nil {
+		t.Errorf("absent keyword posts = %v", ps)
+	}
+}
+
+// Property: window containment is consistent with its bounds.
+func TestWindowProperty(t *testing.T) {
+	f := func(from, length uint16, probe uint32) bool {
+		w := Window{From: Tick(from), To: Tick(from) + Tick(length)}
+		tick := Tick(probe)
+		want := tick >= w.From && tick < w.To
+		if w.IsZero() {
+			want = true
+		}
+		return w.Contains(tick) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

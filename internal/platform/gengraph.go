@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"math/rand"
+
+	"mba/internal/graph"
+)
+
+// assignCommunities partitions users 0..n-1 into c communities with
+// Zipf-distributed sizes (exponent 1), returning the community index
+// per user. Every community receives at least one user.
+func assignCommunities(rng *rand.Rand, n, c int) []int {
+	weights := make([]float64, c)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	sizes := make([]int, c)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = 1
+		assigned++
+	}
+	// Distribute the remainder proportionally with randomized rounding.
+	for assigned < n {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				sizes[i]++
+				assigned++
+				break
+			}
+		}
+	}
+	comm := make([]int, 0, n)
+	for i, s := range sizes {
+		for j := 0; j < s; j++ {
+			comm = append(comm, i)
+		}
+	}
+	return comm
+}
+
+// generateSocialGraph builds the undirected social graph: Barabási–
+// Albert preferential attachment inside each community (mIntra edges
+// per arriving node) with Holme–Kim triadic closure (each PA edge is
+// followed, with probability triadic, by an edge to a random neighbor
+// of the new contact, giving realistic clustering), plus
+// Poisson(interPerUser/2 * n) random cross-community edges with
+// degree-biased endpoints. Finally, stray components are stitched to
+// the giant component so the graph is connected, matching the paper's
+// observation that "the vast majority of users in a microblogging
+// service are linked in a connected graph".
+func generateSocialGraph(rng *rand.Rand, communities []int, mIntra int, interPerUser, triadic float64) *graph.Graph {
+	n := len(communities)
+	g := graph.NewWithCapacity(n)
+	for u := 0; u < n; u++ {
+		g.AddNode(int64(u))
+	}
+
+	numComm := 0
+	for _, c := range communities {
+		if c+1 > numComm {
+			numComm = c + 1
+		}
+	}
+	members := make([][]int64, numComm)
+	for u, c := range communities {
+		members[c] = append(members[c], int64(u))
+	}
+
+	// Degree-biased endpoint pool per community (repeated-endpoint
+	// trick: every edge endpoint appears once, so uniform draws are
+	// degree-proportional). Iteration is by community index so the
+	// whole construction is deterministic in the RNG seed.
+	globalPool := make([]int64, 0, 2*n*mIntra)
+	for _, ms := range members {
+		pool := make([]int64, 0, 2*len(ms)*mIntra)
+		for i, u := range ms {
+			m := mIntra
+			if i < m {
+				m = i
+			}
+			targets := make([]int64, 0, m)
+			for attempts := 0; len(targets) < m && attempts < 50*m; attempts++ {
+				var v int64
+				if len(pool) == 0 || rng.Float64() < 0.1 {
+					v = ms[rng.Intn(i)]
+				} else {
+					v = pool[rng.Intn(len(pool))]
+				}
+				if v == u {
+					continue
+				}
+				dup := false
+				for _, w := range targets {
+					if w == v {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					targets = append(targets, v)
+				}
+			}
+			for _, v := range targets {
+				if err := g.AddEdge(u, v); err == nil {
+					pool = append(pool, u, v)
+				}
+				// Triadic closure: also befriend a friend of the new
+				// contact (Holme–Kim), densifying local neighborhoods.
+				if rng.Float64() < triadic {
+					ns := g.Neighbors(v)
+					if len(ns) > 0 {
+						w := ns[rng.Intn(len(ns))]
+						if w != u && !g.HasEdge(u, w) {
+							if err := g.AddEdge(u, w); err == nil {
+								pool = append(pool, u, w)
+							}
+						}
+					}
+				}
+			}
+			if i == 0 {
+				pool = append(pool, u)
+			}
+		}
+		globalPool = append(globalPool, pool...)
+	}
+
+	// Cross-community edges.
+	interEdges := int(float64(n) * interPerUser / 2)
+	for i := 0; i < interEdges; i++ {
+		u := int64(rng.Intn(n))
+		var v int64
+		found := false
+		for attempt := 0; attempt < 20; attempt++ {
+			if len(globalPool) > 0 && rng.Float64() < 0.7 {
+				v = globalPool[rng.Intn(len(globalPool))]
+			} else {
+				v = int64(rng.Intn(n))
+			}
+			if v != u && communities[u] != communities[v] && !g.HasEdge(u, v) {
+				found = true
+				break
+			}
+		}
+		if found {
+			if err := g.AddEdge(u, v); err == nil {
+				globalPool = append(globalPool, u, v)
+			}
+		}
+	}
+
+	// Stitch any leftover components to the giant one.
+	comps := g.Components()
+	if len(comps) > 1 {
+		giant := comps[0]
+		for _, comp := range comps[1:] {
+			u := comp[rng.Intn(len(comp))]
+			v := giant[rng.Intn(len(giant))]
+			g.AddEdge(u, v) //nolint:errcheck // distinct components, u != v
+		}
+	}
+	return g
+}

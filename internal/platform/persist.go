@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mba/internal/graph"
+	"mba/internal/model"
+)
+
+// Snapshot is the serializable form of a generated platform. Saving a
+// platform freezes the exact dataset an experiment ran against, so
+// results can be reproduced or shared without re-running generation
+// (and independently of future generator changes).
+type snapshot struct {
+	Version  int
+	Cfg      Config
+	Users    []User
+	Edges    [][2]int64
+	Cascades map[string]*Cascade
+	Horizon  model.Tick
+}
+
+const snapshotVersion = 1
+
+// Save writes the platform to w in gob encoding.
+func (p *Platform) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Cfg:      p.cfg,
+		Users:    p.Users,
+		Cascades: p.Cascades,
+		Horizon:  p.Horizon,
+	}
+	snap.Edges = make([][2]int64, 0, p.Social.NumEdges())
+	p.Social.Edges(func(u, v int64) bool {
+		snap.Edges = append(snap.Edges, [2]int64{u, v})
+		return true
+	})
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a platform previously written with Save.
+func Load(r io.Reader) (*Platform, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("platform: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("platform: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.Users) == 0 {
+		return nil, fmt.Errorf("platform: snapshot has no users")
+	}
+	g := graph.NewWithCapacity(len(snap.Users))
+	for i := range snap.Users {
+		g.AddNode(int64(i))
+	}
+	for _, e := range snap.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("platform: snapshot edge %v: %w", e, err)
+		}
+	}
+	return &Platform{
+		cfg:      snap.Cfg,
+		Users:    snap.Users,
+		Social:   g,
+		Cascades: snap.Cascades,
+		Horizon:  snap.Horizon,
+	}, nil
+}
+
+// encodeSnapshotForTest exposes raw snapshot encoding to the version
+// test without widening the public API.
+func encodeSnapshotForTest(w io.Writer, snap snapshot) error {
+	return gob.NewEncoder(w).Encode(snap)
+}

@@ -1,0 +1,338 @@
+// Package platform implements the simulated microblogging service that
+// stands in for the paper's live Twitter/Google+/Tumblr targets (see
+// DESIGN.md §2 for the substitution rationale). It generates:
+//
+//   - a scale-free social graph with planted communities (preferential
+//     attachment inside communities plus sparse inter-community links),
+//     reproducing the heavy-tailed degrees and the tightly connected
+//     communities that make the raw graph "unfriendly" for random walks
+//     (§4.1 of the paper);
+//   - user profiles (display name, gender, age, follower count, likes,
+//     background posting rate);
+//   - keyword cascades: exogenous mentions arriving per a keyword
+//     frequency profile (Fig. 7) plus contagion along social edges where
+//     ~90% of follower adoptions happen within one hour (the paper cites
+//     Sysomos: 92% of retweets occur within 1 hour of the original).
+//
+// The package also computes exact ground-truth aggregates, playing the
+// role of the paper's streaming-API ground truth.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mba/internal/graph"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// Config parameterizes platform generation. Zero fields are filled with
+// the defaults of DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; the same Config generates the same
+	// platform.
+	Seed int64
+	// NumUsers is the total user population.
+	NumUsers int
+	// NumCommunities is the number of planted communities.
+	NumCommunities int
+	// IntraEdgesPerUser is the preferential-attachment edge count each
+	// user creates inside its community.
+	IntraEdgesPerUser int
+	// TriadicClosure is the probability that each preferential-
+	// attachment edge is followed by a triad-closing edge to a random
+	// neighbor of the new contact (Holme–Kim). Real social graphs have
+	// clustering coefficients around 0.1–0.3 — far above pure BA — and
+	// the paper's central premise (tightly connected communities that
+	// trap random walks, §4.1) depends on it.
+	TriadicClosure float64
+	// InterEdgesPerUser is the expected number of cross-community edges
+	// per user.
+	InterEdgesPerUser float64
+	// HorizonDays is the length of the observation window (the paper
+	// uses Jan 1 – Oct 31 2013 ≈ 304 days).
+	HorizonDays int
+	// TimelineCap limits how many most-recent posts a timeline query can
+	// see (3200 on Twitter); 0 means unlimited.
+	TimelineCap int
+	// BackgroundPostsPerDay is the mean background posting rate.
+	BackgroundPostsPerDay float64
+	// GenderKnownProb is the probability a profile exposes gender
+	// (generally missing on Twitter, usually present on Google+).
+	GenderKnownProb float64
+	// Keywords configures the cascades to simulate.
+	Keywords []KeywordConfig
+}
+
+// DefaultConfig returns a mid-sized platform with the paper's three
+// headline keywords.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		NumUsers:              20000,
+		NumCommunities:        80,
+		IntraEdgesPerUser:     6,
+		InterEdgesPerUser:     1.5,
+		HorizonDays:           304,
+		TimelineCap:           3200,
+		BackgroundPostsPerDay: 1.2,
+		GenderKnownProb:       0.2,
+		Keywords: []KeywordConfig{
+			KeywordPrivacy(),
+			KeywordNewYork(),
+			KeywordBoston(),
+		},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NumUsers == 0 {
+		c.NumUsers = d.NumUsers
+	}
+	if c.NumCommunities == 0 {
+		c.NumCommunities = d.NumCommunities
+	}
+	if c.IntraEdgesPerUser == 0 {
+		c.IntraEdgesPerUser = d.IntraEdgesPerUser
+	}
+	if c.TriadicClosure == 0 {
+		c.TriadicClosure = 0.5
+	}
+	if c.InterEdgesPerUser == 0 {
+		c.InterEdgesPerUser = d.InterEdgesPerUser
+	}
+	if c.HorizonDays == 0 {
+		c.HorizonDays = d.HorizonDays
+	}
+	if c.BackgroundPostsPerDay == 0 {
+		c.BackgroundPostsPerDay = d.BackgroundPostsPerDay
+	}
+	if c.Keywords == nil {
+		c.Keywords = d.Keywords
+	}
+	return c
+}
+
+// User is the platform's internal per-user record.
+type User struct {
+	Profile   model.Profile
+	Community int
+	// PostRate is the background posting rate in posts/hour.
+	PostRate float64
+}
+
+// Platform is a fully generated microblog service.
+type Platform struct {
+	cfg   Config
+	Users []User
+	// Social is the undirected social graph (follower/followee collapsed
+	// to undirected, as §3.2 of the paper does).
+	Social *graph.Graph
+	// Cascades maps keyword -> simulated cascade.
+	Cascades map[string]*Cascade
+	// Horizon is the end of the observation window.
+	Horizon model.Tick
+}
+
+// Cascade is the outcome of simulating one keyword's spread.
+type Cascade struct {
+	Keyword string
+	// First maps user -> time of the user's first mention.
+	First map[int64]model.Tick
+	// Posts maps user -> that user's keyword posts, oldest first.
+	Posts map[int64][]model.Post
+}
+
+// Adopters returns the IDs of users who mentioned the keyword, sorted.
+func (c *Cascade) Adopters() []int64 {
+	out := make([]int64, 0, len(c.First))
+	for u := range c.First {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// New generates a platform from cfg. Generation is deterministic in
+// cfg (including Seed).
+func New(cfg Config) (*Platform, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumUsers < 2 {
+		return nil, fmt.Errorf("platform: NumUsers = %d, need >= 2", cfg.NumUsers)
+	}
+	if cfg.NumCommunities < 1 || cfg.NumCommunities > cfg.NumUsers {
+		return nil, fmt.Errorf("platform: NumCommunities = %d out of range", cfg.NumCommunities)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	p := &Platform{
+		cfg:      cfg,
+		Cascades: make(map[string]*Cascade, len(cfg.Keywords)),
+		Horizon:  model.Tick(cfg.HorizonDays) * model.Day,
+	}
+	communities := assignCommunities(rng, cfg.NumUsers, cfg.NumCommunities)
+	p.Social = generateSocialGraph(rng, communities, cfg.IntraEdgesPerUser, cfg.InterEdgesPerUser, cfg.TriadicClosure)
+	p.Users = generateUsers(rng, communities, p.Social, cfg, p.Horizon)
+
+	for _, kc := range cfg.Keywords {
+		kc = kc.withDefaults(cfg.HorizonDays)
+		if err := kc.validate(); err != nil {
+			return nil, err
+		}
+		casc := simulateCascade(rand.New(rand.NewSource(cfg.Seed^hashKeyword(kc.Name))), p, kc)
+		p.Cascades[kc.Name] = casc
+		// Fold keyword posts into the profile post counts so timeline
+		// paging cost reflects them.
+		for u, posts := range casc.Posts {
+			p.Users[u].Profile.PostCount += len(posts)
+		}
+	}
+	return p, nil
+}
+
+// hashKeyword derives a stable per-keyword seed perturbation (FNV-1a).
+func hashKeyword(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// Config returns the generating configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// NumUsers returns the population size.
+func (p *Platform) NumUsers() int { return len(p.Users) }
+
+// Cascade returns the cascade for a keyword, or nil if untracked.
+func (p *Platform) Cascade(keyword string) *Cascade { return p.Cascades[keyword] }
+
+// fullTimeline assembles user u's complete (uncapped) keyword-post
+// timeline across all cascades, oldest first.
+func (p *Platform) fullTimeline(u int64) []model.Post {
+	var posts []model.Post
+	for _, c := range p.Cascades {
+		posts = append(posts, c.Posts[u]...)
+	}
+	sort.Slice(posts, func(i, j int) bool { return posts[i].Time < posts[j].Time })
+	return posts
+}
+
+// Timeline returns what a USER TIMELINE query observes for user u:
+// profile plus the keyword posts still visible under the timeline cap.
+// A keyword post is hidden when more than TimelineCap posts (background
+// plus keyword) were published after it — the Twitter 3200-post effect
+// discussed in §2 of the paper.
+func (p *Platform) Timeline(u int64) model.Timeline {
+	user := p.Users[u]
+	posts := p.fullTimeline(u)
+	t := model.Timeline{Profile: user.Profile}
+	cap := p.cfg.TimelineCap
+	if cap <= 0 || user.Profile.PostCount <= cap {
+		t.Posts = posts
+		return t
+	}
+	// Background posts arrive uniformly at user.PostRate per hour;
+	// estimate how many land after each keyword post to decide
+	// visibility of that post.
+	for i, post := range posts {
+		bgAfter := int(user.PostRate * float64(p.Horizon-post.Time))
+		kwAfter := len(posts) - i - 1
+		if bgAfter+kwAfter < cap {
+			t.Posts = posts[i:]
+			t.Truncated = i > 0
+			return t
+		}
+	}
+	t.Truncated = len(posts) > 0
+	return t
+}
+
+// GroundTruth computes the exact aggregate answer from the full store
+// (no timeline cap), playing the role of the paper's streaming-API
+// ground truth. It returns an error for malformed queries or AVG over
+// an empty matching set.
+func (p *Platform) GroundTruth(q query.Query) (float64, error) {
+	return p.groundTruth(q, false)
+}
+
+// GroundTruthVisible is GroundTruth computed over capped timelines —
+// what a perfect crawler of the TIMELINE interface could reconstruct.
+// Comparing it with GroundTruth quantifies the truncation bias the
+// paper argues is negligible.
+func (p *Platform) GroundTruthVisible(q query.Query) (float64, error) {
+	return p.groundTruth(q, true)
+}
+
+func (p *Platform) groundTruth(q query.Query, visibleOnly bool) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	var count, sum float64
+	for id := range p.Users {
+		u := int64(id)
+		var t model.Timeline
+		if visibleOnly {
+			t = p.Timeline(u)
+		} else {
+			t = model.Timeline{Profile: p.Users[u].Profile, Posts: p.fullTimeline(u)}
+		}
+		if !q.Matches(t) {
+			continue
+		}
+		count++
+		sum += q.Value(t)
+	}
+	switch q.Agg {
+	case query.Count:
+		return count, nil
+	case query.Sum:
+		return sum, nil
+	case query.Avg:
+		if count == 0 {
+			return 0, fmt.Errorf("platform: AVG over empty matching set for %s", q)
+		}
+		return sum / count, nil
+	}
+	return 0, fmt.Errorf("platform: unknown aggregate %v", q.Agg)
+}
+
+// TermSubgraph returns the term-induced subgraph for a keyword: the
+// social subgraph induced by users whose full timelines mention the
+// keyword (§4.1). It is used for ground-truth subgraph statistics
+// (Table 2); estimators discover it on the fly through the API instead.
+func (p *Platform) TermSubgraph(keyword string) (*graph.Graph, error) {
+	c := p.Cascades[keyword]
+	if c == nil {
+		return nil, fmt.Errorf("platform: keyword %q not simulated", keyword)
+	}
+	keep := make(map[int64]bool, len(c.First))
+	for u := range c.First {
+		keep[u] = true
+	}
+	return p.Social.Subgraph(keep), nil
+}
+
+// MentionsPerDay returns a histogram of keyword mentions per day over
+// the horizon — the data behind Fig. 7.
+func (p *Platform) MentionsPerDay(keyword string) ([]int, error) {
+	c := p.Cascades[keyword]
+	if c == nil {
+		return nil, fmt.Errorf("platform: keyword %q not simulated", keyword)
+	}
+	days := make([]int, p.cfg.HorizonDays)
+	for _, posts := range c.Posts {
+		for _, post := range posts {
+			d := int(post.Time / model.Day)
+			if d >= 0 && d < len(days) {
+				days[d]++
+			}
+		}
+	}
+	return days, nil
+}

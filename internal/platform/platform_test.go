@@ -1,0 +1,427 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// smallConfig is a fast platform for unit tests.
+func smallConfig() Config {
+	return Config{
+		Seed:                  42,
+		NumUsers:              3000,
+		NumCommunities:        20,
+		IntraEdgesPerUser:     5,
+		InterEdgesPerUser:     1.2,
+		HorizonDays:           120,
+		TimelineCap:           3200,
+		BackgroundPostsPerDay: 1.0,
+		GenderKnownProb:       0.5,
+		Keywords: []KeywordConfig{
+			{Name: "privacy", SeedsPerDay: 0.8, Spikes: []Spike{{Day: 60, DurationDays: 5, Multiplier: 12}}},
+		},
+	}
+}
+
+func mustPlatform(t *testing.T, cfg Config) *Platform {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumUsers: 1, NumCommunities: 1, Keywords: []KeywordConfig{{Name: "x", SeedsPerDay: 1}}}); err == nil {
+		t.Error("NumUsers=1 should error")
+	}
+	cfg := smallConfig()
+	cfg.NumCommunities = cfg.NumUsers + 1
+	if _, err := New(cfg); err == nil {
+		t.Error("too many communities should error")
+	}
+	cfg = smallConfig()
+	cfg.Keywords = []KeywordConfig{{Name: "", SeedsPerDay: 1}}
+	if _, err := New(cfg); err == nil {
+		t.Error("empty keyword should error")
+	}
+	cfg = smallConfig()
+	cfg.Keywords = []KeywordConfig{{Name: "x", SeedsPerDay: 0}}
+	if _, err := New(cfg); err == nil {
+		t.Error("zero seed rate should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p1 := mustPlatform(t, smallConfig())
+	p2 := mustPlatform(t, smallConfig())
+	if p1.Social.NumEdges() != p2.Social.NumEdges() {
+		t.Errorf("edge counts differ: %d vs %d", p1.Social.NumEdges(), p2.Social.NumEdges())
+	}
+	c1, c2 := p1.Cascades["privacy"], p2.Cascades["privacy"]
+	if len(c1.First) != len(c2.First) {
+		t.Fatalf("adopter counts differ: %d vs %d", len(c1.First), len(c2.First))
+	}
+	for u, tk := range c1.First {
+		if c2.First[u] != tk {
+			t.Fatalf("first mention differs for user %d", u)
+		}
+	}
+	if p1.Users[17].Profile.DisplayName != p2.Users[17].Profile.DisplayName {
+		t.Error("profiles differ across identical seeds")
+	}
+}
+
+func TestSocialGraphConnectedAndSized(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	if p.Social.NumNodes() != p.NumUsers() {
+		t.Errorf("nodes = %d, want %d", p.Social.NumNodes(), p.NumUsers())
+	}
+	comps := p.Social.Components()
+	if len(comps) != 1 {
+		t.Errorf("social graph has %d components, want 1", len(comps))
+	}
+	avg := p.Social.AvgDegree()
+	if avg < 5 || avg > 30 {
+		t.Errorf("avg degree = %v, want within [5,30]", avg)
+	}
+}
+
+func TestSocialGraphCommunityStructure(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	labels := make(map[int64]int, p.NumUsers())
+	for i, u := range p.Users {
+		labels[int64(i)] = u.Community
+	}
+	q := p.Social.Modularity(labels)
+	if q < 0.3 {
+		t.Errorf("modularity = %v, want >= 0.3 (planted communities)", q)
+	}
+}
+
+func TestDegreeHeavyTail(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	maxDeg := 0
+	for _, u := range p.Social.Nodes() {
+		if d := p.Social.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 4*p.Social.AvgDegree() {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, p.Social.AvgDegree())
+	}
+}
+
+func TestCascadeBasicShape(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	c := p.Cascades["privacy"]
+	if c == nil {
+		t.Fatal("cascade missing")
+	}
+	frac := float64(len(c.First)) / float64(p.NumUsers())
+	if frac < 0.005 || frac > 0.5 {
+		t.Errorf("adopter fraction = %.3f, want selective but nonempty", frac)
+	}
+	for u, first := range c.First {
+		posts := c.Posts[u]
+		if len(posts) == 0 {
+			t.Fatalf("adopter %d has no posts", u)
+		}
+		if posts[0].Time != first {
+			t.Fatalf("first post time %d != First %d", posts[0].Time, first)
+		}
+		for i := 1; i < len(posts); i++ {
+			if posts[i].Time < posts[i-1].Time {
+				t.Fatalf("posts out of order for user %d", u)
+			}
+		}
+		for _, post := range posts {
+			if post.Keyword != "privacy" || post.Author != u {
+				t.Fatalf("bad post metadata: %+v", post)
+			}
+			if post.Time >= p.Horizon {
+				t.Fatalf("post beyond horizon")
+			}
+		}
+	}
+}
+
+func TestTermSubgraphRecall(t *testing.T) {
+	// The paper's Table 2 reports LCC recall between 81% and 97%.
+	p := mustPlatform(t, smallConfig())
+	sub, err := p.TermSubgraph("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != len(p.Cascades["privacy"].First) {
+		t.Errorf("subgraph nodes = %d, want %d", sub.NumNodes(), len(p.Cascades["privacy"].First))
+	}
+	lcc := sub.LargestComponent()
+	recall := float64(len(lcc)) / float64(sub.NumNodes())
+	if recall < 0.6 {
+		t.Errorf("LCC recall = %.2f, want >= 0.6 (paper: 0.81-0.97)", recall)
+	}
+	t.Logf("adopters=%d recall=%.2f", sub.NumNodes(), recall)
+	if _, err := p.TermSubgraph("nope"); err == nil {
+		t.Error("unknown keyword should error")
+	}
+}
+
+func TestMentionsPerDaySpikes(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	days, err := p.MentionsPerDay("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 120 {
+		t.Fatalf("days = %d, want 120", len(days))
+	}
+	var before, during float64
+	for d := 40; d < 60; d++ {
+		before += float64(days[d])
+	}
+	for d := 60; d < 65; d++ {
+		during += float64(days[d])
+	}
+	before /= 20
+	during /= 5
+	if during < 2*before {
+		t.Errorf("spike not visible: before=%.1f during=%.1f", before, during)
+	}
+	if _, err := p.MentionsPerDay("nope"); err == nil {
+		t.Error("unknown keyword should error")
+	}
+}
+
+func TestGroundTruthCountAndAvg(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	c := p.Cascades["privacy"]
+	count, err := p.GroundTruth(query.CountQuery("privacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != len(c.First) {
+		t.Errorf("COUNT = %v, want %d", count, len(c.First))
+	}
+	avg, err := p.GroundTruth(query.AvgQuery("privacy", query.Followers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for u := range c.First {
+		sum += float64(p.Users[u].Profile.Followers)
+	}
+	want := sum / float64(len(c.First))
+	if math.Abs(avg-want) > 1e-9 {
+		t.Errorf("AVG followers = %v, want %v", avg, want)
+	}
+	// SUM of keyword post counts = total posts.
+	sumPosts, err := p.GroundTruth(query.SumQuery("privacy", query.KeywordPostCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPosts int
+	for _, ps := range c.Posts {
+		totalPosts += len(ps)
+	}
+	if int(sumPosts) != totalPosts {
+		t.Errorf("SUM posts = %v, want %d", sumPosts, totalPosts)
+	}
+}
+
+func TestGroundTruthWindowAndPredicate(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	w := model.Window{From: 0, To: 60 * model.Day}
+	full, _ := p.GroundTruth(query.CountQuery("privacy"))
+	q := query.CountQuery("privacy")
+	q.Window = w
+	windowed, err := p.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowed <= 0 || windowed >= full {
+		t.Errorf("windowed COUNT = %v, full = %v; want 0 < windowed < full", windowed, full)
+	}
+	qm := query.CountQuery("privacy")
+	qm.Where = []query.Predicate{query.MaleOnly}
+	males, err := p.GroundTruth(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if males <= 0 || males >= full {
+		t.Errorf("male COUNT = %v, full = %v", males, full)
+	}
+}
+
+func TestGroundTruthErrors(t *testing.T) {
+	p := mustPlatform(t, smallConfig())
+	if _, err := p.GroundTruth(query.Query{}); err == nil {
+		t.Error("invalid query should error")
+	}
+	// AVG over empty set.
+	q := query.AvgQuery("privacy", query.Followers)
+	q.Window = model.Window{From: 1, To: 2} // almost surely empty
+	if _, err := p.GroundTruth(q); err == nil {
+		// Could legitimately be non-empty; check emptiness first.
+		cq := query.CountQuery("privacy")
+		cq.Window = q.Window
+		if c, _ := p.GroundTruth(cq); c == 0 {
+			t.Error("AVG over empty set should error")
+		}
+	}
+}
+
+func TestTimelineVisibility(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimelineCap = 50 // aggressive cap to force truncation
+	cfg.BackgroundPostsPerDay = 3
+	p := mustPlatform(t, cfg)
+	c := p.Cascades["privacy"]
+	truncated := 0
+	for u := range c.First {
+		tl := p.Timeline(u)
+		if tl.Profile.ID != u {
+			t.Fatalf("timeline profile mismatch")
+		}
+		if tl.Truncated {
+			truncated++
+		}
+		if len(tl.Posts) > len(c.Posts[u]) {
+			t.Fatalf("visible posts exceed actual posts")
+		}
+	}
+	if truncated == 0 {
+		t.Error("aggressive cap should truncate some timelines")
+	}
+	// With no cap, nothing is truncated and all posts are visible.
+	cfg.TimelineCap = 0
+	p2 := mustPlatform(t, cfg)
+	for u := range p2.Cascades["privacy"].First {
+		tl := p2.Timeline(u)
+		if tl.Truncated {
+			t.Fatal("uncapped timeline reported truncated")
+		}
+		if len(tl.Posts) != len(p2.Cascades["privacy"].Posts[u]) {
+			t.Fatal("uncapped timeline missing posts")
+		}
+	}
+}
+
+func TestGroundTruthVisibleCloseToFull(t *testing.T) {
+	// With the realistic 3200 cap the truncation bias should be small —
+	// the paper's §2 argument.
+	p := mustPlatform(t, smallConfig())
+	full, _ := p.GroundTruth(query.CountQuery("privacy"))
+	vis, err := p.GroundTruthVisible(query.CountQuery("privacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-vis)/full > 0.05 {
+		t.Errorf("visibility bias too large: full=%v visible=%v", full, vis)
+	}
+}
+
+func TestIntraLevelEdgesShareNeighbors(t *testing.T) {
+	// The paper's Table 2 (column 2) reports that endpoints of
+	// intra-level (same-bucket) edges share significantly more common
+	// neighbors than endpoints of other edges — the structural fact
+	// behind the edge taxonomy of §4.2.1. Use a larger platform so the
+	// statistic is stable.
+	cfg := smallConfig()
+	cfg.NumUsers = 8000
+	cfg.NumCommunities = 40
+	p := mustPlatform(t, cfg)
+	c := p.Cascades["privacy"]
+	sub, _ := p.TermSubgraph("privacy")
+	var intraCN, intraTotal, otherCN, otherTotal float64
+	sub.Edges(func(u, v int64) bool {
+		cn := float64(sub.CommonNeighbors(u, v))
+		if c.First[u]/model.Day == c.First[v]/model.Day {
+			intraTotal++
+			intraCN += cn
+		} else {
+			otherTotal++
+			otherCN += cn
+		}
+		return true
+	})
+	if intraTotal < 20 || otherTotal < 20 {
+		t.Skip("not enough edges to compare")
+	}
+	intraAvg := intraCN / intraTotal
+	otherAvg := otherCN / otherTotal
+	t.Logf("avg common neighbors: intra-level=%.2f other=%.2f (edges %d/%d)",
+		intraAvg, otherAvg, int(intraTotal), int(otherTotal))
+	if intraAvg <= otherAvg {
+		t.Errorf("intra-level edges should share more common neighbors: %.2f vs %.2f",
+			intraAvg, otherAvg)
+	}
+}
+
+func TestAssignCommunitiesCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	comm := assignCommunities(rng, 1000, 10)
+	if len(comm) != 1000 {
+		t.Fatalf("len = %d", len(comm))
+	}
+	seen := make(map[int]int)
+	for _, c := range comm {
+		if c < 0 || c >= 10 {
+			t.Fatalf("community out of range: %d", c)
+		}
+		seen[c]++
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d communities populated", len(seen))
+	}
+	// Zipf sizes: community 0 should be the largest.
+	if seen[0] <= seen[9] {
+		t.Errorf("sizes not skewed: c0=%d c9=%d", seen[0], seen[9])
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, 3.5))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Errorf("poisson mean = %v, want 3.5", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) should be 0")
+	}
+	if poisson(rng, -1) != 0 {
+		t.Error("poisson(<0) should be 0")
+	}
+}
+
+func TestHashKeywordStable(t *testing.T) {
+	if hashKeyword("privacy") != hashKeyword("privacy") {
+		t.Error("hash not stable")
+	}
+	if hashKeyword("privacy") == hashKeyword("boston") {
+		t.Error("hash collision between test keywords")
+	}
+	if hashKeyword("x") < 0 {
+		t.Error("hash should be non-negative")
+	}
+}
+
+func TestRandomDisplayName(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		name := randomDisplayName(rng)
+		if len(name) < 2 || len(name) > 40 {
+			t.Fatalf("display name %q has unreasonable length", name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"mba/internal/graph"
+	"mba/internal/model"
+)
+
+// Display names are assembled from syllables so their length follows a
+// realistic distribution (the paper's Figures 11–12 aggregate
+// display-name length precisely because it is a low-variance measure).
+var nameSyllables = []string{
+	"al", "an", "ar", "bel", "ben", "cal", "car", "dan", "del", "el",
+	"fen", "gar", "hal", "in", "jo", "ka", "lan", "lee", "ma", "mi",
+	"na", "nor", "o", "pe", "qui", "ra", "ri", "sa", "so", "ta",
+	"tor", "u", "vi", "wen", "xi", "ya", "zo",
+}
+
+func randomDisplayName(rng *rand.Rand) string {
+	words := 1 + rng.Intn(2)
+	name := ""
+	for w := 0; w < words; w++ {
+		if w > 0 {
+			name += " "
+		}
+		syl := 2 + rng.Intn(3)
+		for s := 0; s < syl; s++ {
+			part := nameSyllables[rng.Intn(len(nameSyllables))]
+			if s == 0 {
+				part = string(part[0]-'a'+'A') + part[1:]
+			}
+			name += part
+		}
+	}
+	if rng.Float64() < 0.25 {
+		name += strconv.Itoa(rng.Intn(100))
+	}
+	return name
+}
+
+// generateUsers fills in per-user profiles. Follower counts are the
+// user's undirected degree inflated by a lognormal factor, preserving
+// the heavy tail (the paper's AVG(followers) experiments hinge on the
+// high variance of this attribute). Background posting rates are
+// lognormal around cfg.BackgroundPostsPerDay.
+func generateUsers(rng *rand.Rand, communities []int, g *graph.Graph, cfg Config, horizon model.Tick) []User {
+	users := make([]User, len(communities))
+	for i := range users {
+		id := int64(i)
+		deg := g.Degree(id)
+		followFactor := math.Exp(rng.NormFloat64() * 0.8) // lognormal, median 1
+		followers := int(float64(deg)*(1+2*followFactor)) + rng.Intn(3)
+
+		gender := model.GenderUnknown
+		if rng.Float64() < cfg.GenderKnownProb {
+			if rng.Float64() < 0.52 {
+				gender = model.GenderMale
+			} else {
+				gender = model.GenderFemale
+			}
+		}
+
+		rate := cfg.BackgroundPostsPerDay * math.Exp(rng.NormFloat64()*0.7) / 24 // posts per hour
+		postCount := int(rate * float64(horizon))
+
+		users[i] = User{
+			Profile: model.Profile{
+				ID:          id,
+				DisplayName: randomDisplayName(rng),
+				Gender:      gender,
+				Age:         13 + int(rng.ExpFloat64()*12),
+				Followers:   followers,
+				Likes:       int(math.Exp(rng.NormFloat64()*1.5) * float64(deg+1)),
+				PostCount:   postCount,
+			},
+			Community: communities[i],
+			PostRate:  rate,
+		}
+	}
+	return users
+}

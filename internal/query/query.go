@@ -1,0 +1,213 @@
+// Package query models the aggregate queries of §2 of the paper:
+//
+//	SELECT AGGR(f(u)) FROM U WHERE CONDITION
+//
+// where AGGR is COUNT, SUM, or AVG; f(u) is a numeric measure over a
+// user's profile and keyword posts; and CONDITION combines a keyword
+// predicate (mandatory here, as in the paper), an optional time
+// window, and optional profile predicates (e.g., gender).
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"mba/internal/model"
+)
+
+// Aggregate is the aggregation operator.
+type Aggregate int
+
+// Aggregation operators supported by the paper's framework.
+const (
+	Count Aggregate = iota
+	Sum
+	Avg
+)
+
+func (a Aggregate) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Measure computes f(u) for a user from the profile and the user's
+// keyword posts that fall inside the query window (oldest first).
+type Measure struct {
+	// Name identifies the measure in reports.
+	Name string
+	// F computes the numeric value.
+	F func(p model.Profile, keywordPosts []model.Post) float64
+}
+
+// Built-in measures covering every aggregate the paper evaluates.
+var (
+	// One is the constant-1 measure; COUNT(users) == SUM(One).
+	One = Measure{Name: "1", F: func(model.Profile, []model.Post) float64 { return 1 }}
+
+	// Followers is the follower count (Figures 2, 8, 9).
+	Followers = Measure{Name: "followers", F: func(p model.Profile, _ []model.Post) float64 {
+		return float64(p.Followers)
+	}}
+
+	// DisplayNameLength is the display-name length (Figures 11, 12).
+	DisplayNameLength = Measure{Name: "display-name-length", F: func(p model.Profile, _ []model.Post) float64 {
+		return float64(p.DisplayNameLength())
+	}}
+
+	// Age is the profile age attribute.
+	Age = Measure{Name: "age", F: func(p model.Profile, _ []model.Post) float64 {
+		return float64(p.Age)
+	}}
+
+	// KeywordPostCount counts the user's matching posts; SUM of it is the
+	// paper's "COUNT of posts containing keyword" example (§2).
+	KeywordPostCount = Measure{Name: "keyword-posts", F: func(_ model.Profile, ps []model.Post) float64 {
+		return float64(len(ps))
+	}}
+
+	// KeywordPostLikes sums likes over the user's matching posts; with
+	// SUM(KeywordPostLikes)/SUM(KeywordPostCount) it yields the paper's
+	// Tumblr "AVG likes per post containing keyword" (Figure 14).
+	KeywordPostLikes = Measure{Name: "keyword-post-likes", F: func(_ model.Profile, ps []model.Post) float64 {
+		var s float64
+		for _, p := range ps {
+			s += float64(p.Likes)
+		}
+		return s
+	}}
+
+	// KeywordPostMeanLikes is the user's mean likes per matching post —
+	// the per-user form of the Figure 14 Tumblr aggregate that a single
+	// AVG query can estimate.
+	KeywordPostMeanLikes = Measure{Name: "keyword-post-mean-likes", F: func(_ model.Profile, ps []model.Post) float64 {
+		if len(ps) == 0 {
+			return 0
+		}
+		var s float64
+		for _, p := range ps {
+			s += float64(p.Likes)
+		}
+		return s / float64(len(ps))
+	}}
+)
+
+// Predicate is an optional profile filter, e.g. gender or an age range.
+type Predicate struct {
+	Name string
+	Pass func(model.Profile) bool
+}
+
+// MaleOnly is the Figure 13 predicate.
+var MaleOnly = Predicate{Name: "gender=male", Pass: func(p model.Profile) bool {
+	return p.Gender == model.GenderMale
+}}
+
+// FemaleOnly restricts to profiles exposing female gender.
+var FemaleOnly = Predicate{Name: "gender=female", Pass: func(p model.Profile) bool {
+	return p.Gender == model.GenderFemale
+}}
+
+// AgeBetween restricts to profiles with lo <= age <= hi (the paper's
+// §2 mentions age-range predicates on user profiles).
+func AgeBetween(lo, hi int) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("age in [%d,%d]", lo, hi),
+		Pass: func(p model.Profile) bool { return p.Age >= lo && p.Age <= hi },
+	}
+}
+
+// MinFollowers restricts to profiles with at least n followers (the
+// "#connections" profile predicate of §2).
+func MinFollowers(n int) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("followers>=%d", n),
+		Pass: func(p model.Profile) bool { return p.Followers >= n },
+	}
+}
+
+// Query is one aggregate estimation request.
+type Query struct {
+	Agg     Aggregate
+	Measure Measure
+	// Keyword is the mandatory keyword selection condition.
+	Keyword string
+	// Window optionally restricts the keyword mentions considered; the
+	// zero window means "any time".
+	Window model.Window
+	// Where optionally filters users on profile attributes.
+	Where []Predicate
+}
+
+// Validate reports whether the query is well formed.
+func (q Query) Validate() error {
+	if q.Keyword == "" {
+		return errors.New("query: keyword predicate is required")
+	}
+	if q.Measure.F == nil {
+		return errors.New("query: measure function is nil")
+	}
+	switch q.Agg {
+	case Count, Sum, Avg:
+	default:
+		return fmt.Errorf("query: unknown aggregate %d", int(q.Agg))
+	}
+	return nil
+}
+
+// String renders the query in the paper's SQL-like form.
+func (q Query) String() string {
+	s := fmt.Sprintf("SELECT %s(%s) FROM users WHERE timeline CONTAINS %q", q.Agg, q.Measure.Name, q.Keyword)
+	if !q.Window.IsZero() {
+		s += fmt.Sprintf(" IN [%s,%s)", model.FormatTick(q.Window.From), model.FormatTick(q.Window.To))
+	}
+	for _, p := range q.Where {
+		s += " AND " + p.Name
+	}
+	return s
+}
+
+// Matches reports whether a user with the given timeline satisfies the
+// query condition: at least one keyword mention inside the window and
+// every profile predicate passing.
+func (q Query) Matches(t model.Timeline) bool {
+	if len(t.KeywordPosts(q.Keyword, q.Window)) == 0 {
+		return false
+	}
+	for _, p := range q.Where {
+		if !p.Pass(t.Profile) {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns f(u) for a matching user: the measure applied to the
+// profile and the in-window keyword posts. Callers should check
+// Matches first; Value on a non-matching user returns the measure of
+// an empty post set, which is usually not meaningful.
+func (q Query) Value(t model.Timeline) float64 {
+	return q.Measure.F(t.Profile, t.KeywordPosts(q.Keyword, q.Window))
+}
+
+// CountQuery is shorthand for COUNT(users) with the given keyword.
+func CountQuery(keyword string) Query {
+	return Query{Agg: Count, Measure: One, Keyword: keyword}
+}
+
+// AvgQuery is shorthand for AVG(measure) with the given keyword.
+func AvgQuery(keyword string, m Measure) Query {
+	return Query{Agg: Avg, Measure: m, Keyword: keyword}
+}
+
+// SumQuery is shorthand for SUM(measure) with the given keyword.
+func SumQuery(keyword string, m Measure) Query {
+	return Query{Agg: Sum, Measure: m, Keyword: keyword}
+}

@@ -1,0 +1,181 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"mba/internal/model"
+)
+
+func timelineWith(posts ...model.Post) model.Timeline {
+	return model.Timeline{
+		Profile: model.Profile{ID: 1, DisplayName: "Ana Belle", Gender: model.GenderMale, Age: 30, Followers: 120},
+		Posts:   posts,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := CountQuery("privacy").Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := (Query{Agg: Count, Measure: One}).Validate(); err == nil {
+		t.Error("missing keyword accepted")
+	}
+	if err := (Query{Agg: Count, Keyword: "x"}).Validate(); err == nil {
+		t.Error("nil measure accepted")
+	}
+	if err := (Query{Agg: Aggregate(99), Keyword: "x", Measure: One}).Validate(); err == nil {
+		t.Error("bad aggregate accepted")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	if Count.String() != "COUNT" || Sum.String() != "SUM" || Avg.String() != "AVG" {
+		t.Error("aggregate names wrong")
+	}
+	if !strings.Contains(Aggregate(42).String(), "42") {
+		t.Error("unknown aggregate should include its value")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := AvgQuery("privacy", Followers)
+	q.Window = model.Window{From: 0, To: 24}
+	q.Where = []Predicate{MaleOnly}
+	s := q.String()
+	for _, want := range []string{"AVG", "followers", "privacy", "gender=male"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	tl := timelineWith(
+		model.Post{Keyword: "privacy", Time: 10},
+		model.Post{Keyword: "boston", Time: 20},
+	)
+	if !CountQuery("privacy").Matches(tl) {
+		t.Error("keyword match failed")
+	}
+	if CountQuery("nope").Matches(tl) {
+		t.Error("absent keyword matched")
+	}
+	q := CountQuery("privacy")
+	q.Window = model.Window{From: 11, To: 30}
+	if q.Matches(tl) {
+		t.Error("out-of-window mention matched")
+	}
+	q.Window = model.Window{From: 5, To: 11}
+	if !q.Matches(tl) {
+		t.Error("in-window mention failed")
+	}
+	q = CountQuery("privacy")
+	q.Where = []Predicate{MaleOnly}
+	if !q.Matches(tl) {
+		t.Error("male predicate failed on male profile")
+	}
+	female := tl
+	female.Profile.Gender = model.GenderFemale
+	if q.Matches(female) {
+		t.Error("male predicate matched female profile")
+	}
+}
+
+func TestMeasures(t *testing.T) {
+	tl := timelineWith(
+		model.Post{Keyword: "privacy", Time: 10, Likes: 3},
+		model.Post{Keyword: "privacy", Time: 20, Likes: 7},
+		model.Post{Keyword: "boston", Time: 30, Likes: 100},
+	)
+	q := SumQuery("privacy", KeywordPostCount)
+	if got := q.Value(tl); got != 2 {
+		t.Errorf("KeywordPostCount = %v, want 2", got)
+	}
+	q = SumQuery("privacy", KeywordPostLikes)
+	if got := q.Value(tl); got != 10 {
+		t.Errorf("KeywordPostLikes = %v, want 10", got)
+	}
+	q = AvgQuery("privacy", Followers)
+	if got := q.Value(tl); got != 120 {
+		t.Errorf("Followers = %v, want 120", got)
+	}
+	q = AvgQuery("privacy", DisplayNameLength)
+	if got := q.Value(tl); got != 9 { // "Ana Belle"
+		t.Errorf("DisplayNameLength = %v, want 9", got)
+	}
+	q = AvgQuery("privacy", Age)
+	if got := q.Value(tl); got != 30 {
+		t.Errorf("Age = %v, want 30", got)
+	}
+	q = CountQuery("privacy")
+	if got := q.Value(tl); got != 1 {
+		t.Errorf("One = %v, want 1", got)
+	}
+}
+
+func TestValueRespectsWindow(t *testing.T) {
+	tl := timelineWith(
+		model.Post{Keyword: "privacy", Time: 10, Likes: 3},
+		model.Post{Keyword: "privacy", Time: 50, Likes: 7},
+	)
+	q := SumQuery("privacy", KeywordPostLikes)
+	q.Window = model.Window{From: 40, To: 60}
+	if got := q.Value(tl); got != 7 {
+		t.Errorf("windowed likes = %v, want 7", got)
+	}
+}
+
+func TestTimelineHelpers(t *testing.T) {
+	tl := timelineWith(
+		model.Post{Keyword: "privacy", Time: 10},
+		model.Post{Keyword: "privacy", Time: 20},
+	)
+	first, ok := tl.FirstMention("privacy")
+	if !ok || first != 10 {
+		t.Errorf("FirstMention = %v,%v", first, ok)
+	}
+	if _, ok := tl.FirstMention("x"); ok {
+		t.Error("FirstMention of absent keyword")
+	}
+	times := tl.MentionTimes("privacy")
+	if len(times) != 2 || times[0] != 10 || times[1] != 20 {
+		t.Errorf("MentionTimes = %v", times)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if got := model.FormatTick(25); got != "d1h1" {
+		t.Errorf("FormatTick(25) = %q", got)
+	}
+}
+
+func TestExtraPredicates(t *testing.T) {
+	tl := timelineWith(model.Post{Keyword: "privacy", Time: 10})
+	q := CountQuery("privacy")
+	q.Where = []Predicate{AgeBetween(25, 35)}
+	if !q.Matches(tl) { // profile age is 30
+		t.Error("AgeBetween(25,35) should match age 30")
+	}
+	q.Where = []Predicate{AgeBetween(40, 50)}
+	if q.Matches(tl) {
+		t.Error("AgeBetween(40,50) should not match age 30")
+	}
+	q.Where = []Predicate{MinFollowers(100)}
+	if !q.Matches(tl) { // 120 followers
+		t.Error("MinFollowers(100) should match 120")
+	}
+	q.Where = []Predicate{MinFollowers(121)}
+	if q.Matches(tl) {
+		t.Error("MinFollowers(121) should not match 120")
+	}
+	q.Where = []Predicate{FemaleOnly}
+	if q.Matches(tl) { // male profile
+		t.Error("FemaleOnly should not match male profile")
+	}
+	for _, p := range []Predicate{AgeBetween(1, 2), MinFollowers(3), FemaleOnly} {
+		if p.Name == "" {
+			t.Error("predicate missing a name")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI returns a percentile bootstrap confidence interval for
+// the mean of xs at confidence level 1-alpha, using b resamples. It is
+// the distribution-free companion to NormalCI, appropriate for the
+// heavy-tailed per-walk estimates MA-TARW produces. An empty sample
+// yields (0,0).
+func BootstrapCI(rng *rand.Rand, xs []float64, alpha float64, b int) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if b <= 0 {
+		b = 1000
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	means := make([]float64, b)
+	for i := 0; i < b; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	loIdx := int(alpha / 2 * float64(b))
+	hiIdx := int((1 - alpha/2) * float64(b))
+	if hiIdx >= b {
+		hiIdx = b - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// EffectiveSampleSize estimates the effective number of independent
+// samples in an autocorrelated chain using the initial-positive-
+// sequence estimator: ESS = n / (1 + 2·Σ ρ_k), summing lag
+// autocorrelations while consecutive-lag pairs stay positive (Geyer).
+// A chain of random-walk samples with strong correlation (the burn-in
+// problem of §4.1) has ESS ≪ n; a well-mixed chain has ESS ≈ n.
+func EffectiveSampleSize(chain []float64) float64 {
+	n := len(chain)
+	if n < 4 {
+		return float64(n)
+	}
+	if Variance(chain) == 0 {
+		return float64(n)
+	}
+	var rhoSum float64
+	for k := 1; k+1 < n/2; k += 2 {
+		pair := Autocorrelation(chain, k) + Autocorrelation(chain, k+1)
+		if pair <= 0 {
+			break
+		}
+		rhoSum += pair
+	}
+	ess := float64(n) / (1 + 2*rhoSum)
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	if ess < 1 {
+		ess = 1
+	}
+	return ess
+}
+
+// TrimmedMean returns the mean of xs after removing the frac smallest
+// and frac largest observations (frac in [0, 0.5)) — a robust location
+// estimate for heavy-tailed per-walk aggregates.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.49
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := int(math.Floor(frac * float64(n)))
+	trimmed := sorted[cut : n-cut]
+	return Mean(trimmed)
+}
+
+// MAD returns the median absolute deviation from the median, a robust
+// scale estimate. It returns 0 for samples smaller than two.
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	med, err := Median(xs)
+	if err != nil {
+		return 0
+	}
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	m, err := Median(dev)
+	if err != nil {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	lo, hi := BootstrapCI(rng, xs, 0.05, 2000)
+	m := Mean(xs)
+	if lo >= m || hi <= m {
+		t.Errorf("CI [%v,%v] does not bracket sample mean %v", lo, hi, m)
+	}
+	// Width should be about 2*1.96*sd/sqrt(n).
+	want := 2 * 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	if got := hi - lo; math.Abs(got-want)/want > 0.3 {
+		t.Errorf("CI width %v, want ~%v", got, want)
+	}
+}
+
+func TestBootstrapCICoverage(t *testing.T) {
+	// Repeated experiments: the 90% CI should cover the true mean
+	// roughly 90% of the time.
+	rng := rand.New(rand.NewSource(2))
+	covered := 0
+	const trials = 200
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() // true mean 1
+		}
+		lo, hi := BootstrapCI(rng, xs, 0.10, 400)
+		if lo <= 1 && 1 <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.8 || rate > 0.99 {
+		t.Errorf("coverage = %v, want ~0.9", rate)
+	}
+}
+
+func TestBootstrapCIEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if lo, hi := BootstrapCI(rng, nil, 0.05, 100); lo != 0 || hi != 0 {
+		t.Error("empty sample should give (0,0)")
+	}
+	lo, hi := BootstrapCI(rng, []float64{5}, 0.05, 100)
+	if lo != 5 || hi != 5 {
+		t.Errorf("single sample CI = [%v,%v], want [5,5]", lo, hi)
+	}
+	// Bad alpha/b fall back to defaults rather than panicking.
+	BootstrapCI(rng, []float64{1, 2, 3}, -1, -1)
+}
+
+func TestEffectiveSampleSizeIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	chain := make([]float64, 4000)
+	for i := range chain {
+		chain[i] = rng.NormFloat64()
+	}
+	ess := EffectiveSampleSize(chain)
+	if ess < 0.5*float64(len(chain)) {
+		t.Errorf("iid ESS = %v, want near n=%d", ess, len(chain))
+	}
+}
+
+func TestEffectiveSampleSizeCorrelated(t *testing.T) {
+	// AR(1) with rho=0.95: ESS ≈ n(1-rho)/(1+rho) ≈ n/39.
+	rng := rand.New(rand.NewSource(5))
+	n := 8000
+	chain := make([]float64, n)
+	for i := 1; i < n; i++ {
+		chain[i] = 0.95*chain[i-1] + rng.NormFloat64()
+	}
+	ess := EffectiveSampleSize(chain)
+	want := float64(n) * 0.05 / 1.95
+	if ess > 3*want || ess < want/3 {
+		t.Errorf("AR(1) ESS = %v, want ~%v", ess, want)
+	}
+}
+
+func TestEffectiveSampleSizeEdges(t *testing.T) {
+	if got := EffectiveSampleSize([]float64{1, 2}); got != 2 {
+		t.Errorf("short chain ESS = %v", got)
+	}
+	if got := EffectiveSampleSize([]float64{3, 3, 3, 3, 3, 3}); got != 6 {
+		t.Errorf("constant chain ESS = %v, want n", got)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := TrimmedMean(xs, 0.2); got != 3 {
+		t.Errorf("trimmed mean = %v, want 3", got)
+	}
+	if got := TrimmedMean(xs, 0); got != Mean(xs) {
+		t.Errorf("zero trim should equal mean")
+	}
+	if got := TrimmedMean(nil, 0.1); got != 0 {
+		t.Errorf("empty trimmed mean = %v", got)
+	}
+	// frac clamped below 0.5.
+	if got := TrimmedMean(xs, 0.9); math.IsNaN(got) {
+		t.Error("over-trim should clamp, not NaN")
+	}
+	if got := TrimmedMean(xs, -1); got != Mean(xs) {
+		t.Errorf("negative trim = %v", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	// median 3; deviations {2,1,0,1,97}; median deviation 1.
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MAD([]float64{7}); got != 0 {
+		t.Errorf("single MAD = %v", got)
+	}
+}
+
+// Property: trimmed mean is bounded by min and max and is translation
+// equivariant.
+func TestTrimmedMeanProperty(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			mn = math.Min(mn, xs[i])
+			mx = math.Max(mx, xs[i])
+		}
+		tm := TrimmedMean(xs, 0.25)
+		if tm < mn-1e-9 || tm > mx+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i := range xs {
+			shifted[i] = xs[i] + float64(shift)
+		}
+		return math.Abs(TrimmedMean(shifted, 0.25)-(tm+float64(shift))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ESS never exceeds n and never drops below 1.
+func TestESSBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		ess := EffectiveSampleSize(xs)
+		return ess >= 1 && ess <= float64(len(xs))+1e-9 || len(xs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

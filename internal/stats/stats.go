@@ -1,0 +1,274 @@
+// Package stats provides the descriptive statistics and convergence
+// diagnostics used throughout MICROBLOG-ANALYZER: means, variances,
+// relative error (the paper's accuracy measure), mean squared error,
+// autocorrelation, confidence intervals, and the Geweke z-score the
+// paper uses as its burn-in criterion (Geweke threshold Z <= 0.1).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 when fewer than two observations are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population (n) variance of xs.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// RelativeError is the paper's accuracy measure |est-truth|/|truth|.
+// When truth is zero it returns 0 if est is also zero and +Inf otherwise,
+// so callers comparing against an error threshold behave sensibly.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// MSE returns the empirical mean squared error of the estimates against
+// truth. The paper decomposes MSE = bias^2 + variance; Bias and Variance
+// recover the two components.
+func MSE(estimates []float64, truth float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, e := range estimates {
+		d := e - truth
+		ss += d * d
+	}
+	return ss / float64(len(estimates))
+}
+
+// Bias returns the empirical bias E[est] - truth.
+func Bias(estimates []float64, truth float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	return Mean(estimates) - truth
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns an error for an
+// empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Autocorrelation returns the lag-k sample autocorrelation of the chain.
+// It returns 0 when the chain is too short or has zero variance.
+func Autocorrelation(chain []float64, lag int) float64 {
+	n := len(chain)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	m := Mean(chain)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := chain[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (chain[i] - m) * (chain[i+lag] - m)
+	}
+	return num / den
+}
+
+// GewekeZ computes the Geweke convergence diagnostic for an MCMC chain:
+// the z-score of the difference between the mean of the first firstFrac
+// of the chain and the mean of the last lastFrac, using the standard
+// errors of the two windows. Geweke's conventional choice is
+// firstFrac=0.1, lastFrac=0.5; the paper declares burn-in complete when
+// |Z| <= 0.1. The function returns 0 for chains too short to split.
+func GewekeZ(chain []float64, firstFrac, lastFrac float64) float64 {
+	n := len(chain)
+	na := int(float64(n) * firstFrac)
+	nb := int(float64(n) * lastFrac)
+	if na < 2 || nb < 2 || na+nb > n {
+		return 0
+	}
+	a := chain[:na]
+	b := chain[n-nb:]
+	va := Variance(a) / float64(na)
+	vb := Variance(b) / float64(nb)
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		return 0
+	}
+	return (Mean(a) - Mean(b)) / den
+}
+
+// GewekeBurnIn scans the chain for the earliest prefix cut after which
+// the remaining chain passes the Geweke criterion |Z| <= threshold,
+// checking at `step`-sized increments. It returns the number of initial
+// samples to discard, or len(chain) if the chain never passes.
+func GewekeBurnIn(chain []float64, threshold float64, step int) int {
+	if step <= 0 {
+		step = 1
+	}
+	for cut := 0; cut < len(chain); cut += step {
+		rest := chain[cut:]
+		if len(rest) < 20 {
+			break
+		}
+		z := GewekeZ(rest, 0.1, 0.5)
+		if math.Abs(z) <= threshold {
+			return cut
+		}
+	}
+	return len(chain)
+}
+
+// NormalCI returns a (1-alpha) normal-approximation confidence interval
+// for the mean of xs. Only alpha values 0.05 and 0.01 carry exact z
+// constants; other alphas fall back to 1.96.
+func NormalCI(xs []float64, alpha float64) (lo, hi float64) {
+	z := 1.96
+	switch {
+	case math.Abs(alpha-0.01) < 1e-12:
+		z = 2.5758
+	case math.Abs(alpha-0.05) < 1e-12:
+		z = 1.96
+	}
+	m := Mean(xs)
+	se := StdErr(xs)
+	return m - z*se, m + z*se
+}
+
+// RunningMean consumes a stream of values and exposes the running mean,
+// variance (Welford's algorithm) and count. The zero value is ready to use.
+type RunningMean struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (r *RunningMean) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations so far.
+func (r *RunningMean) N() int { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *RunningMean) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased running variance (0 for n < 2).
+func (r *RunningMean) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (r *RunningMean) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge folds another RunningMean into r (parallel Welford merge).
+func (r *RunningMean) Merge(o RunningMean) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}

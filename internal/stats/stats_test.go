@@ -1,0 +1,360 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known: population variance 4, sample variance 32/7.
+	if got := PopVariance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestStdDevAndStdErr(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	if got := StdDev(xs); got != 0 {
+		t.Errorf("StdDev constant = %v, want 0", got)
+	}
+	xs = []float64{0, 2}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt2, 1e-12) {
+		t.Errorf("StdDev = %v, want sqrt2", got)
+	}
+	if got := StdErr(xs); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("StdErr = %v, want 1", got)
+	}
+	if got := StdErr(nil); got != 0 {
+		t.Errorf("StdErr(nil) = %v, want 0", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(95, 100); !almostEqual(got, 0.05, 1e-12) {
+		t.Errorf("RelativeError = %v, want 0.05", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %v, want 0", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+	if got := RelativeError(-105, -100); !almostEqual(got, 0.05, 1e-12) {
+		t.Errorf("RelativeError negatives = %v, want 0.05", got)
+	}
+}
+
+func TestMSEDecomposition(t *testing.T) {
+	est := []float64{9, 11, 10, 14, 6}
+	truth := 10.0
+	mse := MSE(est, truth)
+	b := Bias(est, truth)
+	v := PopVariance(est)
+	if !almostEqual(mse, b*b+v, 1e-9) {
+		t.Errorf("MSE %v != bias^2+var %v", mse, b*b+v)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	q, err := Quantile(xs, 0.5)
+	if err != nil || !almostEqual(q, 2.5, 1e-12) {
+		t.Errorf("median = %v err=%v, want 2.5", q, err)
+	}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %v, want 4", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("expected error for q out of range")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	m, err := Median([]float64{7})
+	if err != nil || m != 7 {
+		t.Errorf("Median single = %v err=%v", m, err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Perfectly alternating series: lag-1 autocorr close to -1.
+	chain := make([]float64, 200)
+	for i := range chain {
+		chain[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(chain, 1); ac > -0.9 {
+		t.Errorf("alternating lag-1 autocorr = %v, want near -1", ac)
+	}
+	if ac := Autocorrelation(chain, 0); !almostEqual(ac, 1, 1e-12) {
+		t.Errorf("lag-0 autocorr = %v, want 1", ac)
+	}
+	if ac := Autocorrelation([]float64{1, 1, 1}, 1); ac != 0 {
+		t.Errorf("constant chain autocorr = %v, want 0", ac)
+	}
+	if ac := Autocorrelation(chain, len(chain)); ac != 0 {
+		t.Errorf("lag >= n should be 0, got %v", ac)
+	}
+}
+
+func TestGewekeZStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	chain := make([]float64, 5000)
+	for i := range chain {
+		chain[i] = rng.NormFloat64()
+	}
+	z := GewekeZ(chain, 0.1, 0.5)
+	if math.Abs(z) > 3 {
+		t.Errorf("stationary chain z = %v, want |z| < 3", z)
+	}
+}
+
+func TestGewekeZDrifting(t *testing.T) {
+	// Strong drift: first part near 0, last part near 10.
+	chain := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range chain {
+		chain[i] = float64(i)/100.0 + 0.01*rng.NormFloat64()
+	}
+	z := GewekeZ(chain, 0.1, 0.5)
+	if math.Abs(z) < 5 {
+		t.Errorf("drifting chain z = %v, want |z| >> 0", z)
+	}
+}
+
+func TestGewekeBurnIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chain := make([]float64, 2000)
+	for i := range chain {
+		if i < 500 {
+			chain[i] = 50 - float64(i)/10 + rng.NormFloat64()
+		} else {
+			chain[i] = rng.NormFloat64()
+		}
+	}
+	cut := GewekeBurnIn(chain, 0.5, 50)
+	if cut < 100 || cut > 1200 {
+		t.Errorf("burn-in cut = %v, want roughly in [100,1200]", cut)
+	}
+	// A stationary chain should need essentially no burn-in.
+	for i := range chain {
+		chain[i] = rng.NormFloat64()
+	}
+	if cut := GewekeBurnIn(chain, 1.0, 50); cut > 200 {
+		t.Errorf("stationary burn-in = %v, want small", cut)
+	}
+}
+
+func TestGewekeBurnInNeverConverges(t *testing.T) {
+	chain := make([]float64, 200)
+	for i := range chain {
+		chain[i] = float64(i) // pure trend
+	}
+	if cut := GewekeBurnIn(chain, 0.01, 10); cut != len(chain) {
+		t.Errorf("pure trend should never pass, got cut=%v", cut)
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	xs := []float64{10, 12, 8, 11, 9}
+	lo, hi := NormalCI(xs, 0.05)
+	m := Mean(xs)
+	if lo >= m || hi <= m {
+		t.Errorf("CI [%v,%v] does not bracket mean %v", lo, hi, m)
+	}
+	lo99, hi99 := NormalCI(xs, 0.01)
+	if hi99-lo99 <= hi-lo {
+		t.Error("99% CI should be wider than 95% CI")
+	}
+}
+
+func TestRunningMeanMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 333)
+	var r RunningMean
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almostEqual(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != batch %v", r.Mean(), Mean(xs))
+	}
+	if !almostEqual(r.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("running var %v != batch %v", r.Variance(), Variance(xs))
+	}
+	if !almostEqual(r.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("running sd %v != batch %v", r.StdDev(), StdDev(xs))
+	}
+}
+
+func TestRunningMeanMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a, b, all RunningMean
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		a.Add(x)
+		all.Add(x)
+	}
+	for i := 0; i < 57; i++ {
+		x := rng.Float64()*2 - 5
+		b.Add(x)
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged var %v != %v", a.Variance(), all.Variance())
+	}
+	// Merging into empty and merging empty.
+	var empty RunningMean
+	empty.Merge(a)
+	if empty.N() != a.N() || !almostEqual(empty.Mean(), a.Mean(), 1e-12) {
+		t.Error("merge into empty lost data")
+	}
+	before := a.Mean()
+	a.Merge(RunningMean{})
+	if a.Mean() != before {
+		t.Error("merging empty changed state")
+	}
+}
+
+// Property: mean is translation-equivariant and scale-equivariant.
+func TestMeanAffineProperty(t *testing.T) {
+	f := func(raw []int8, shiftRaw int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = 2*x + shift
+		}
+		return almostEqual(Mean(shifted), 2*Mean(xs)+shift, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant and nonnegative.
+func TestVarianceProperty(t *testing.T) {
+	f := func(raw []int8, shiftRaw int8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		v := Variance(xs)
+		if v < 0 {
+			return false
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		return almostEqual(Variance(shifted), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q25, _ := Quantile(xs, 0.25)
+		q50, _ := Quantile(xs, 0.5)
+		q75, _ := Quantile(xs, 0.75)
+		mn, _ := Quantile(xs, 0)
+		mx, _ := Quantile(xs, 1)
+		return mn <= q25 && q25 <= q50 && q50 <= q75 && q75 <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunningMean equals batch mean for arbitrary input.
+func TestRunningMeanProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var r RunningMean
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			r.Add(xs[i])
+		}
+		if len(xs) == 0 {
+			return r.Mean() == 0
+		}
+		return almostEqual(r.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(r.Variance(), Variance(xs), 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

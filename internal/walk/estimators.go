@@ -1,0 +1,154 @@
+package walk
+
+// RatioEstimator computes AVG(f) from simple-random-walk samples by
+// importance reweighting: under the SRW stationary distribution
+// π(u) ∝ d(u), E[f/d]/E[1/d] equals the population mean of f, so
+// sum(f_i/d_i)/sum(1/d_i) is a consistent estimator (the standard
+// re-weighted estimator of [Gjoka et al. 2010], used by MA-SRW for AVG
+// queries). The zero value is ready to use.
+type RatioEstimator struct {
+	sumFd   float64
+	sumInvD float64
+	n       int
+}
+
+// Add incorporates a sample with value f taken at a node of degree d.
+// Samples with non-positive degree are ignored (they cannot occur
+// under a well-formed walk).
+func (r *RatioEstimator) Add(f float64, degree int) {
+	if degree <= 0 {
+		return
+	}
+	d := float64(degree)
+	r.sumFd += f / d
+	r.sumInvD += 1 / d
+	r.n++
+}
+
+// N returns the number of samples incorporated.
+func (r *RatioEstimator) N() int { return r.n }
+
+// Estimate returns the AVG estimate. ok is false before any sample.
+func (r *RatioEstimator) Estimate() (est float64, ok bool) {
+	if r.n == 0 || r.sumInvD == 0 {
+		return 0, false
+	}
+	return r.sumFd / r.sumInvD, true
+}
+
+// MeanEstimator computes AVG(f) from uniform samples (e.g., a
+// Metropolis–Hastings walk after burn-in). The zero value is ready.
+type MeanEstimator struct {
+	sum float64
+	n   int
+}
+
+// Add incorporates one sample value.
+func (m *MeanEstimator) Add(f float64) {
+	m.sum += f
+	m.n++
+}
+
+// N returns the sample count.
+func (m *MeanEstimator) N() int { return m.n }
+
+// Estimate returns the sample mean; ok is false before any sample.
+func (m *MeanEstimator) Estimate() (float64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	return m.sum / float64(m.n), true
+}
+
+// HansenHurwitz estimates a population total SUM(f) from samples drawn
+// with known (or unbiasedly estimated) selection probabilities: each
+// draw contributes f(u)/p(u), and the estimate is the mean of the
+// contributions [Hansen & Hurwitz 1943]. This is the estimator
+// MA-TARW's topology-aware walk enables for SUM and COUNT without
+// mark-and-recapture (§5.1). The zero value is ready to use.
+type HansenHurwitz struct {
+	sum float64
+	n   int
+}
+
+// Add incorporates a sample with value f drawn with probability p.
+// Samples with non-positive p are skipped and counted separately; see
+// Skipped.
+func (h *HansenHurwitz) Add(f, p float64) {
+	if p <= 0 {
+		return
+	}
+	h.sum += f / p
+	h.n++
+}
+
+// AddZero records that a draw had an unusable (zero) probability
+// estimate without contributing mass. Kept for diagnostics.
+func (h *HansenHurwitz) AddZero() {}
+
+// N returns the number of contributing samples.
+func (h *HansenHurwitz) N() int { return h.n }
+
+// Estimate returns the SUM estimate; ok is false before any sample.
+func (h *HansenHurwitz) Estimate() (float64, bool) {
+	if h.n == 0 {
+		return 0, false
+	}
+	return h.sum / float64(h.n), true
+}
+
+// SizeEstimator implements the Katzir–Liberty–Somekh mark-and-recapture
+// population-size estimator from degree-biased samples (the paper's M&R
+// baseline, [15]): with r samples of degrees d_i,
+//
+//	n̂ = (Σ d_i)(Σ 1/d_i) / (2·C) · (r−1)/r
+//
+// where C is the number of colliding sample pairs. The paper notes that
+// Ω(√n) samples are needed before the first collision — the reason M&R
+// COUNT estimation is so expensive (Figures 3, 10, 13).
+//
+// Samples fed to Add should be approximately independent draws from the
+// walk's stationary distribution (thin the chain before feeding).
+type SizeEstimator struct {
+	sumD    float64
+	sumInvD float64
+	n       int
+	counts  map[int64]int
+	// Collisions is the number of sample pairs that hit the same node.
+	collisions int
+}
+
+// NewSizeEstimator returns an empty estimator.
+func NewSizeEstimator() *SizeEstimator {
+	return &SizeEstimator{counts: make(map[int64]int)}
+}
+
+// Add incorporates a degree-biased sample of node id with degree d.
+func (s *SizeEstimator) Add(id int64, degree int) {
+	if degree <= 0 {
+		return
+	}
+	d := float64(degree)
+	s.sumD += d
+	s.sumInvD += 1 / d
+	s.collisions += s.counts[id]
+	s.counts[id]++
+	s.n++
+}
+
+// N returns the number of samples.
+func (s *SizeEstimator) N() int { return s.n }
+
+// Collisions returns the number of colliding pairs so far.
+func (s *SizeEstimator) Collisions() int { return s.collisions }
+
+// Estimate returns the size estimate; ok is false until at least one
+// collision has occurred (before that the data carry no scale
+// information, per the paper's discussion in §5.1).
+func (s *SizeEstimator) Estimate() (float64, bool) {
+	if s.collisions == 0 || s.n < 2 {
+		return 0, false
+	}
+	r := float64(s.n)
+	return s.sumD * s.sumInvD / (2 * float64(s.collisions)) * (r - 1) / r, true
+}

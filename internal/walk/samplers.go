@@ -1,0 +1,174 @@
+package walk
+
+import (
+	"math/rand"
+)
+
+// Additional baseline samplers from the graph-sampling literature the
+// paper's related work cites ([13,19]): breadth-first and depth-first
+// crawlers (known to be biased toward high-degree regions, useful as
+// baselines) and a weighted random walk (the stratified-sampling
+// flavor of [17], where transition probabilities are reweighted by a
+// caller-provided node weight).
+
+// BFSSampler crawls breadth-first from a start node, emitting nodes in
+// visit order. It is *not* a stationary sampler — its bias is the
+// point of including it as a baseline.
+type BFSSampler struct {
+	g       Graph
+	queue   []int64
+	visited map[int64]bool
+}
+
+// NewBFS starts a breadth-first crawl at start.
+func NewBFS(g Graph, start int64) *BFSSampler {
+	return &BFSSampler{
+		g:       g,
+		queue:   []int64{start},
+		visited: map[int64]bool{start: true},
+	}
+}
+
+// Next returns the next crawled node, or ErrStuck when the frontier is
+// exhausted. Neighbor errors skip the offending node.
+func (b *BFSSampler) Next() (int64, error) {
+	if len(b.queue) == 0 {
+		return 0, ErrStuck
+	}
+	u := b.queue[0]
+	b.queue = b.queue[1:]
+	ns, err := b.g.Neighbors(u)
+	if err == nil {
+		for _, v := range ns {
+			if !b.visited[v] {
+				b.visited[v] = true
+				b.queue = append(b.queue, v)
+			}
+		}
+	}
+	return u, nil
+}
+
+// Visited returns the number of distinct nodes seen so far.
+func (b *BFSSampler) Visited() int { return len(b.visited) }
+
+// DFSSampler crawls depth-first from a start node.
+type DFSSampler struct {
+	g       Graph
+	stack   []int64
+	visited map[int64]bool
+}
+
+// NewDFS starts a depth-first crawl at start.
+func NewDFS(g Graph, start int64) *DFSSampler {
+	return &DFSSampler{
+		g:       g,
+		stack:   []int64{start},
+		visited: map[int64]bool{start: true},
+	}
+}
+
+// Next returns the next crawled node, or ErrStuck when exhausted.
+func (d *DFSSampler) Next() (int64, error) {
+	if len(d.stack) == 0 {
+		return 0, ErrStuck
+	}
+	u := d.stack[len(d.stack)-1]
+	d.stack = d.stack[:len(d.stack)-1]
+	ns, err := d.g.Neighbors(u)
+	if err == nil {
+		for _, v := range ns {
+			if !d.visited[v] {
+				d.visited[v] = true
+				d.stack = append(d.stack, v)
+			}
+		}
+	}
+	return u, nil
+}
+
+// Visited returns the number of distinct nodes seen so far.
+func (d *DFSSampler) Visited() int { return len(d.visited) }
+
+// WeightFunc assigns a positive sampling weight to a node; the
+// weighted walk's stationary probability of u becomes proportional to
+// w(u)·d(u) adjusted by the transition scheme below.
+type WeightFunc func(u int64) float64
+
+// WeightedWalk is a random walk whose next hop is chosen among the
+// neighbors with probability proportional to their weights — the
+// "walking on a graph with a magnifying glass" idea of stratified
+// weighted random walks [17]. With a constant weight it degenerates to
+// the simple random walk. Its stationary distribution is proportional
+// to each node's total incident weight; SumIncidentWeight reweights
+// samples accordingly.
+type WeightedWalk struct {
+	g      Graph
+	weight WeightFunc
+	rng    *rand.Rand
+	cur    int64
+}
+
+// NewWeighted starts a weighted walk at start.
+func NewWeighted(g Graph, start int64, weight WeightFunc, rng *rand.Rand) *WeightedWalk {
+	return &WeightedWalk{g: g, weight: weight, rng: rng, cur: start}
+}
+
+// Current returns the walk position.
+func (w *WeightedWalk) Current() int64 { return w.cur }
+
+// Step moves to a weight-proportionally chosen neighbor.
+func (w *WeightedWalk) Step() (int64, error) {
+	ns, err := w.g.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, ErrStuck
+	}
+	var total float64
+	weights := make([]float64, len(ns))
+	for i, v := range ns {
+		wt := w.weight(v)
+		if wt < 0 {
+			wt = 0
+		}
+		weights[i] = wt
+		total += wt
+	}
+	if total == 0 {
+		// All-zero neighborhood weights: fall back to uniform so the
+		// walk does not strand.
+		w.cur = ns[w.rng.Intn(len(ns))]
+		return w.cur, nil
+	}
+	x := w.rng.Float64() * total
+	for i, wt := range weights {
+		x -= wt
+		if x <= 0 {
+			w.cur = ns[i]
+			break
+		}
+	}
+	return w.cur, nil
+}
+
+// Jump teleports the walk.
+func (w *WeightedWalk) Jump(u int64) { w.cur = u }
+
+// SumIncidentWeight computes Σ_{v∈N(u)} w(v), the quantity proportional
+// to the weighted walk's stationary probability at u; use it as the
+// importance weight when reweighting samples.
+func (w *WeightedWalk) SumIncidentWeight(u int64) (float64, error) {
+	ns, err := w.g.Neighbors(u)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range ns {
+		if wt := w.weight(v); wt > 0 {
+			total += wt
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,210 @@
+package walk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mba/internal/graph"
+)
+
+func TestBFSVisitsEverythingOnce(t *testing.T) {
+	g := memGraph{ring(12)}
+	b := NewBFS(g, 0)
+	seen := make(map[int64]int)
+	for {
+		u, err := b.Next()
+		if errors.Is(err, ErrStuck) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[u]++
+	}
+	if len(seen) != 12 {
+		t.Fatalf("BFS visited %d nodes, want 12", len(seen))
+	}
+	for u, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d emitted %d times", u, c)
+		}
+	}
+	if b.Visited() != 12 {
+		t.Errorf("Visited = %d", b.Visited())
+	}
+}
+
+func TestBFSOrderIsBreadthFirst(t *testing.T) {
+	// Star: center first, then all leaves before anything else (there
+	// is nothing else — use a two-level tree).
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 5)
+	b := NewBFS(memGraph{g}, 0)
+	var order []int64
+	for {
+		u, err := b.Next()
+		if errors.Is(err, ErrStuck) {
+			break
+		}
+		order = append(order, u)
+	}
+	pos := make(map[int64]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	// Level-1 nodes (1,2) must come before level-2 nodes (3,4,5).
+	for _, l1 := range []int64{1, 2} {
+		for _, l2 := range []int64{3, 4, 5} {
+			if pos[l1] > pos[l2] {
+				t.Fatalf("BFS order violated: %d after %d (%v)", l1, l2, order)
+			}
+		}
+	}
+}
+
+func TestDFSVisitsEverythingOnce(t *testing.T) {
+	g := memGraph{barbell()}
+	d := NewDFS(g, 0)
+	seen := make(map[int64]bool)
+	for {
+		u, err := d.Next()
+		if errors.Is(err, ErrStuck) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[u] {
+			t.Fatalf("node %d emitted twice", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) != barbell().NumNodes() {
+		t.Fatalf("DFS visited %d nodes, want %d", len(seen), barbell().NumNodes())
+	}
+	if d.Visited() != len(seen) {
+		t.Errorf("Visited = %d, want %d", d.Visited(), len(seen))
+	}
+}
+
+func TestCrawlersSkipFailingNodes(t *testing.T) {
+	fg := failingGraph{g: ring(6), fail: map[int64]bool{2: true}}
+	b := NewBFS(fg, 0)
+	count := 0
+	for {
+		_, err := b.Next()
+		if errors.Is(err, ErrStuck) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	// Node 2's neighbors are unreachable through it, but 2 itself is
+	// still emitted and the crawl continues around the other arc.
+	if count != 6 {
+		t.Fatalf("BFS emitted %d nodes, want 6 (ring reachable both ways)", count)
+	}
+}
+
+func TestWeightedWalkConstantWeightIsSRW(t *testing.T) {
+	// With constant weights the stationary distribution matches SRW's
+	// (∝ degree). Star center should get ~1/2.
+	g := graph.New()
+	for i := int64(1); i <= 8; i++ {
+		g.AddEdge(0, i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := NewWeighted(memGraph{g}, 0, func(int64) float64 { return 1 }, rng)
+	center := 0
+	steps := 20000
+	for i := 0; i < steps; i++ {
+		u, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u == 0 {
+			center++
+		}
+	}
+	frac := float64(center) / float64(steps)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("constant-weight visit frequency = %v, want ~0.5", frac)
+	}
+}
+
+func TestWeightedWalkBiasesTowardHeavyNodes(t *testing.T) {
+	// Ring with one heavy node: the walk should visit it far more often
+	// than 1/n.
+	g := ring(10)
+	rng := rand.New(rand.NewSource(2))
+	heavy := int64(4)
+	w := NewWeighted(memGraph{g}, 0, func(u int64) float64 {
+		if u == heavy {
+			return 50
+		}
+		return 1
+	}, rng)
+	hits := 0
+	steps := 20000
+	for i := 0; i < steps; i++ {
+		u, _ := w.Step()
+		if u == heavy {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(steps)
+	if frac < 0.2 {
+		t.Errorf("heavy node visited %v of steps, want well above 0.1", frac)
+	}
+	// Reweighting via SumIncidentWeight must recover the plain mean of
+	// a constant function (sanity of the importance weights).
+	siw, err := w.SumIncidentWeight(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siw != 2 { // heavy's neighbors are two weight-1 nodes
+		t.Errorf("SumIncidentWeight(heavy) = %v, want 2", siw)
+	}
+	siwNbr, _ := w.SumIncidentWeight(heavy - 1)
+	if siwNbr != 51 { // one heavy (50) + one light (1)
+		t.Errorf("SumIncidentWeight(neighbor) = %v, want 51", siwNbr)
+	}
+}
+
+func TestWeightedWalkZeroWeightsFallBack(t *testing.T) {
+	g := ring(5)
+	rng := rand.New(rand.NewSource(3))
+	w := NewWeighted(memGraph{g}, 0, func(int64) float64 { return 0 }, rng)
+	if _, err := w.Step(); err != nil {
+		t.Fatalf("zero weights should fall back to uniform, got %v", err)
+	}
+	w.Jump(3)
+	if w.Current() != 3 {
+		t.Error("Jump failed")
+	}
+}
+
+func TestWeightedWalkStuck(t *testing.T) {
+	g := graph.New()
+	g.AddNode(7)
+	w := NewWeighted(memGraph{g}, 7, func(int64) float64 { return 1 }, rand.New(rand.NewSource(4)))
+	if _, err := w.Step(); !errors.Is(err, ErrStuck) {
+		t.Errorf("want ErrStuck, got %v", err)
+	}
+	fg := failingGraph{g: ring(3), fail: map[int64]bool{0: true}}
+	wf := NewWeighted(fg, 0, func(int64) float64 { return 1 }, rand.New(rand.NewSource(5)))
+	if _, err := wf.Step(); err == nil {
+		t.Error("failing oracle should propagate")
+	}
+	if _, err := wf.SumIncidentWeight(0); err == nil {
+		t.Error("failing oracle should propagate from SumIncidentWeight")
+	}
+}

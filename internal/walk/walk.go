@@ -1,0 +1,124 @@
+// Package walk provides the topology-oblivious sampling machinery the
+// paper builds on and compares against: simple random walks (Lovász),
+// Metropolis–Hastings random walks, and the estimators that turn walk
+// samples into aggregate answers — the ratio (importance-reweighted)
+// estimator for AVG, the Hansen–Hurwitz estimator for SUM/COUNT when
+// selection probabilities are known (the enabler of MA-TARW, §5), and
+// the Katzir-style mark-and-recapture size estimator (the paper's M&R
+// baseline).
+//
+// Walkers see the graph only through the Graph interface, so the same
+// code runs over the social graph, the term-induced subgraph, or the
+// level-by-level subgraph, with API costs charged by the implementation.
+package walk
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Graph is the neighbor oracle walkers traverse. Implementations
+// typically charge API calls per unique lookup.
+type Graph interface {
+	// Neighbors returns the adjacent nodes of u in the conceptual graph.
+	Neighbors(u int64) ([]int64, error)
+}
+
+// GraphFunc adapts a plain neighbor function to the Graph interface.
+type GraphFunc func(u int64) ([]int64, error)
+
+// Neighbors calls f.
+func (f GraphFunc) Neighbors(u int64) ([]int64, error) { return f(u) }
+
+// ErrStuck is returned by Step when the current node has no reachable
+// neighbors (dead end, or all neighbors private/unreachable). Callers
+// usually restart from a fresh seed.
+var ErrStuck = errors.New("walk: no reachable neighbor")
+
+// Walker is the common stepping interface of SimpleWalk and
+// MetropolisWalk.
+type Walker interface {
+	// Current returns the node the walk is at.
+	Current() int64
+	// Step advances one transition and returns the new node.
+	Step() (int64, error)
+}
+
+// SimpleWalk is the simple random walk of [Lovász 1996]: each step
+// moves to a neighbor chosen uniformly at random. Its stationary
+// distribution assigns probability proportional to node degree.
+type SimpleWalk struct {
+	g   Graph
+	rng *rand.Rand
+	cur int64
+}
+
+// NewSimple starts a simple random walk at start.
+func NewSimple(g Graph, start int64, rng *rand.Rand) *SimpleWalk {
+	return &SimpleWalk{g: g, rng: rng, cur: start}
+}
+
+// Current returns the walk position.
+func (w *SimpleWalk) Current() int64 { return w.cur }
+
+// Step moves to a uniformly chosen neighbor.
+func (w *SimpleWalk) Step() (int64, error) {
+	ns, err := w.g.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, ErrStuck
+	}
+	w.cur = ns[w.rng.Intn(len(ns))]
+	return w.cur, nil
+}
+
+// Jump teleports the walk (used when restarting from a new seed).
+func (w *SimpleWalk) Jump(u int64) { w.cur = u }
+
+// MetropolisWalk is the Metropolis–Hastings random walk whose
+// stationary distribution is uniform over nodes: propose a uniform
+// neighbor v, accept with probability min(1, d(u)/d(v)). Rejections
+// keep the walk in place (and still count as a step, as in [Gjoka et
+// al. 2010]).
+type MetropolisWalk struct {
+	g   Graph
+	rng *rand.Rand
+	cur int64
+}
+
+// NewMetropolis starts a Metropolis–Hastings walk at start.
+func NewMetropolis(g Graph, start int64, rng *rand.Rand) *MetropolisWalk {
+	return &MetropolisWalk{g: g, rng: rng, cur: start}
+}
+
+// Current returns the walk position.
+func (w *MetropolisWalk) Current() int64 { return w.cur }
+
+// Step performs one propose/accept transition.
+func (w *MetropolisWalk) Step() (int64, error) {
+	ns, err := w.g.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, ErrStuck
+	}
+	v := ns[w.rng.Intn(len(ns))]
+	vs, err := w.g.Neighbors(v)
+	if err != nil {
+		// Treat an unreachable proposal as rejected.
+		return w.cur, nil
+	}
+	if len(vs) == 0 {
+		return w.cur, nil
+	}
+	if w.rng.Float64() < float64(len(ns))/float64(len(vs)) {
+		w.cur = v
+	}
+	return w.cur, nil
+}
+
+// Jump teleports the walk.
+func (w *MetropolisWalk) Jump(u int64) { w.cur = u }

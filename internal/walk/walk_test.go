@@ -1,0 +1,378 @@
+package walk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mba/internal/graph"
+)
+
+// memGraph adapts graph.Graph to the walk.Graph interface with no cost.
+type memGraph struct{ g *graph.Graph }
+
+func (m memGraph) Neighbors(u int64) ([]int64, error) { return m.g.Neighbors(u), nil }
+
+// failingGraph errors on specific nodes.
+type failingGraph struct {
+	g    *graph.Graph
+	fail map[int64]bool
+}
+
+func (f failingGraph) Neighbors(u int64) ([]int64, error) {
+	if f.fail[u] {
+		return nil, errors.New("boom")
+	}
+	return f.g.Neighbors(u), nil
+}
+
+func ring(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(int64(i), int64((i+1)%n))
+	}
+	return g
+}
+
+// barbell: two K5s joined by a path, degree-heterogeneous.
+func barbell() *graph.Graph {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(int64(i), int64(j))
+			g.AddEdge(int64(10+i), int64(10+j))
+		}
+	}
+	g.AddEdge(4, 7)
+	g.AddEdge(7, 10)
+	return g
+}
+
+func TestSimpleWalkVisitsAll(t *testing.T) {
+	g := memGraph{ring(10)}
+	rng := rand.New(rand.NewSource(1))
+	w := NewSimple(g, 0, rng)
+	seen := map[int64]bool{0: true}
+	for i := 0; i < 2000; i++ {
+		u, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[u] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("visited %d nodes, want 10", len(seen))
+	}
+}
+
+func TestSimpleWalkStationaryProportionalToDegree(t *testing.T) {
+	// Star graph: center degree n-1, leaves degree 1. SRW alternates
+	// center/leaf, so center frequency ~= 1/2 = d(center)/2m.
+	g := graph.New()
+	for i := int64(1); i <= 8; i++ {
+		g.AddEdge(0, i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	w := NewSimple(memGraph{g}, 0, rng)
+	center := 0
+	steps := 20000
+	for i := 0; i < steps; i++ {
+		u, _ := w.Step()
+		if u == 0 {
+			center++
+		}
+	}
+	frac := float64(center) / float64(steps)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("center visit frequency = %v, want ~0.5", frac)
+	}
+}
+
+func TestSimpleWalkStuckAndErrors(t *testing.T) {
+	g := graph.New()
+	g.AddNode(42)
+	w := NewSimple(memGraph{g}, 42, rand.New(rand.NewSource(3)))
+	if _, err := w.Step(); !errors.Is(err, ErrStuck) {
+		t.Errorf("want ErrStuck, got %v", err)
+	}
+	fg := failingGraph{g: ring(5), fail: map[int64]bool{0: true}}
+	w2 := NewSimple(fg, 0, rand.New(rand.NewSource(3)))
+	if _, err := w2.Step(); err == nil {
+		t.Error("want error from failing graph")
+	}
+	w2.Jump(1)
+	if w2.Current() != 1 {
+		t.Error("Jump failed")
+	}
+	if _, err := w2.Step(); err != nil {
+		t.Errorf("step after jump: %v", err)
+	}
+}
+
+func TestMetropolisUniformStationary(t *testing.T) {
+	// On the star graph MHRW should visit the center far less than SRW:
+	// near-uniform over 9 nodes => ~1/9.
+	g := graph.New()
+	for i := int64(1); i <= 8; i++ {
+		g.AddEdge(0, i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	w := NewMetropolis(memGraph{g}, 0, rng)
+	center := 0
+	steps := 30000
+	for i := 0; i < steps; i++ {
+		u, _ := w.Step()
+		if u == 0 {
+			center++
+		}
+	}
+	frac := float64(center) / float64(steps)
+	if frac > 0.25 {
+		t.Errorf("MH center frequency = %v, want near uniform (~0.11)", frac)
+	}
+}
+
+func TestMetropolisStuckAndRejectedProposal(t *testing.T) {
+	g := graph.New()
+	g.AddNode(1)
+	w := NewMetropolis(memGraph{g}, 1, rand.New(rand.NewSource(5)))
+	if _, err := w.Step(); !errors.Is(err, ErrStuck) {
+		t.Errorf("want ErrStuck, got %v", err)
+	}
+	// Proposal into a failing node is treated as a rejection.
+	fg := failingGraph{g: ring(3), fail: map[int64]bool{1: true, 2: true}}
+	w2 := NewMetropolis(fg, 0, rand.New(rand.NewSource(6)))
+	u, err := w2.Step()
+	if err != nil {
+		t.Fatalf("rejected proposal errored: %v", err)
+	}
+	if u != 0 {
+		t.Errorf("walk moved into failing node: %d", u)
+	}
+	w2.Jump(0)
+	if w2.Current() != 0 {
+		t.Error("Jump failed")
+	}
+}
+
+func TestRatioEstimatorOnDegreeBiasedSamples(t *testing.T) {
+	// Feed exact degree-biased samples of a known population; the ratio
+	// estimator must recover the plain mean.
+	g := barbell()
+	f := func(u int64) float64 { return float64(u) } // value = node id
+	var truthSum, truthN float64
+	for _, u := range g.Nodes() {
+		truthSum += f(u)
+		truthN++
+	}
+	truth := truthSum / truthN
+
+	rng := rand.New(rand.NewSource(7))
+	w := NewSimple(memGraph{g}, 0, rng)
+	var est RatioEstimator
+	// Burn in, then sample every step.
+	for i := 0; i < 500; i++ {
+		w.Step()
+	}
+	for i := 0; i < 60000; i++ {
+		u, _ := w.Step()
+		est.Add(f(u), g.Degree(u))
+	}
+	got, ok := est.Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-truth)/truth > 0.05 {
+		t.Errorf("ratio estimate = %v, truth %v", got, truth)
+	}
+	if est.N() != 60000 {
+		t.Errorf("N = %d", est.N())
+	}
+}
+
+func TestRatioEstimatorEdgeCases(t *testing.T) {
+	var est RatioEstimator
+	if _, ok := est.Estimate(); ok {
+		t.Error("empty estimator should not report ok")
+	}
+	est.Add(5, 0) // ignored
+	if _, ok := est.Estimate(); ok {
+		t.Error("zero-degree sample should be ignored")
+	}
+	est.Add(5, 1)
+	got, ok := est.Estimate()
+	if !ok || got != 5 {
+		t.Errorf("single sample estimate = %v ok=%v", got, ok)
+	}
+}
+
+func TestMeanEstimator(t *testing.T) {
+	var m MeanEstimator
+	if _, ok := m.Estimate(); ok {
+		t.Error("empty mean should not be ok")
+	}
+	m.Add(2)
+	m.Add(4)
+	got, ok := m.Estimate()
+	if !ok || got != 3 {
+		t.Errorf("mean = %v ok=%v", got, ok)
+	}
+	if m.N() != 2 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestHansenHurwitzUnbiased(t *testing.T) {
+	// Population {1..5} with f(u)=u, SUM=15. Draw with p proportional
+	// to u (p_u = u/15); HH must recover 15.
+	rng := rand.New(rand.NewSource(8))
+	var hh HansenHurwitz
+	for i := 0; i < 50000; i++ {
+		x := rng.Float64() * 15
+		var u float64
+		for v := 1.0; v <= 5; v++ {
+			x -= v
+			if x <= 0 {
+				u = v
+				break
+			}
+		}
+		hh.Add(u, u/15)
+	}
+	got, ok := hh.Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-15)/15 > 0.02 {
+		t.Errorf("HH estimate = %v, want 15", got)
+	}
+}
+
+func TestHansenHurwitzEdgeCases(t *testing.T) {
+	var hh HansenHurwitz
+	if _, ok := hh.Estimate(); ok {
+		t.Error("empty HH should not be ok")
+	}
+	hh.Add(3, 0) // skipped
+	if hh.N() != 0 {
+		t.Error("zero-probability sample counted")
+	}
+	hh.Add(3, 0.5)
+	got, ok := hh.Estimate()
+	if !ok || got != 6 {
+		t.Errorf("HH = %v ok=%v", got, ok)
+	}
+}
+
+func TestSizeEstimatorRecoversN(t *testing.T) {
+	// Uniform-degree graph (ring): degree-biased = uniform sampling.
+	n := 400
+	rng := rand.New(rand.NewSource(9))
+	est := NewSizeEstimator()
+	for i := 0; i < 300; i++ {
+		est.Add(int64(rng.Intn(n)), 2)
+	}
+	got, ok := est.Estimate()
+	if !ok {
+		t.Fatalf("no collisions after 300 draws over %d nodes", n)
+	}
+	if math.Abs(got-float64(n))/float64(n) > 0.5 {
+		t.Errorf("size estimate = %v, want ~%d", got, n)
+	}
+}
+
+func TestSizeEstimatorAveragedAccuracy(t *testing.T) {
+	// Averaged over many runs the estimator should be close to n.
+	n := 300
+	rng := rand.New(rand.NewSource(10))
+	var sum float64
+	runs := 200
+	for r := 0; r < runs; r++ {
+		est := NewSizeEstimator()
+		for est.Collisions() < 5 {
+			est.Add(int64(rng.Intn(n)), 2)
+		}
+		v, ok := est.Estimate()
+		if !ok {
+			t.Fatal("estimate should be available with collisions")
+		}
+		sum += v
+	}
+	mean := sum / float64(runs)
+	if math.Abs(mean-float64(n))/float64(n) > 0.15 {
+		t.Errorf("mean size estimate = %v, want ~%d", mean, n)
+	}
+}
+
+func TestSizeEstimatorNeedsCollision(t *testing.T) {
+	est := NewSizeEstimator()
+	est.Add(1, 3)
+	est.Add(2, 3)
+	if _, ok := est.Estimate(); ok {
+		t.Error("estimate without collision should not be ok")
+	}
+	est.Add(1, 3)
+	if est.Collisions() != 1 {
+		t.Errorf("collisions = %d, want 1", est.Collisions())
+	}
+	if _, ok := est.Estimate(); !ok {
+		t.Error("estimate with collision should be ok")
+	}
+	est.Add(0, 0) // ignored
+	if est.N() != 3 {
+		t.Errorf("N = %d, want 3", est.N())
+	}
+}
+
+// Property: HH estimate is invariant under scaling f and p jointly in
+// the sense SUM(c*f) = c*SUM(f).
+func TestHansenHurwitzScaleProperty(t *testing.T) {
+	f := func(vals []uint8, c uint8) bool {
+		if c == 0 {
+			return true
+		}
+		var a, b HansenHurwitz
+		for _, v := range vals {
+			p := (float64(v%7) + 1) / 10
+			a.Add(float64(v), p)
+			b.Add(float64(v)*float64(c), p)
+		}
+		ea, oka := a.Estimate()
+		eb, okb := b.Estimate()
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		return math.Abs(eb-float64(c)*ea) < 1e-6*math.Max(1, math.Abs(eb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ratio estimator of a constant function is that constant.
+func TestRatioEstimatorConstantProperty(t *testing.T) {
+	f := func(degrees []uint8, cRaw uint8) bool {
+		c := float64(cRaw)
+		var est RatioEstimator
+		any := false
+		for _, d := range degrees {
+			if d > 0 {
+				est.Add(c, int(d))
+				any = true
+			}
+		}
+		got, ok := est.Estimate()
+		if !any {
+			return !ok
+		}
+		return ok && math.Abs(got-c) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

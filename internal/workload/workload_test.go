@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"mba/internal/query"
+)
+
+func TestKeywordCatalogComplete(t *testing.T) {
+	names := make(map[string]bool)
+	for _, k := range Keywords() {
+		if names[k.Name] {
+			t.Errorf("duplicate keyword %q", k.Name)
+		}
+		names[k.Name] = true
+	}
+	for _, k := range append(Table2Keywords(), Table3Keywords()...) {
+		if !names[k] {
+			t.Errorf("table keyword %q missing from catalog", k)
+		}
+	}
+	for _, k := range []string{"privacy", "new york", "boston"} {
+		if !names[k] {
+			t.Errorf("figure keyword %q missing from catalog", k)
+		}
+	}
+}
+
+func TestConfigScales(t *testing.T) {
+	small := Config(Test)
+	bench := Config(Bench)
+	large := Config(Large)
+	if !(small.NumUsers < bench.NumUsers && bench.NumUsers < large.NumUsers) {
+		t.Error("scales not ordered by size")
+	}
+	for _, c := range []struct {
+		name string
+		n    int
+	}{{"test", small.HorizonDays}, {"bench", bench.HorizonDays}, {"large", large.HorizonDays}} {
+		if c.n != HorizonDays {
+			t.Errorf("%s horizon = %d, want %d", c.name, c.n, HorizonDays)
+		}
+	}
+	if Test.String() != "test" || Bench.String() != "bench" || Large.String() != "large" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestGetCachesAndGroundTruths(t *testing.T) {
+	p1, err := Get(Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Get(Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Get did not cache")
+	}
+	// Every catalog keyword must have a nonempty cascade and a sane
+	// ground truth on the test platform.
+	for _, k := range Keywords() {
+		count, err := p1.GroundTruth(query.CountQuery(k.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if count < 20 {
+			t.Errorf("keyword %q has only %v adopters on the test platform", k.Name, count)
+		}
+	}
+}
+
+func TestFrequencyArchetypes(t *testing.T) {
+	p, err := Get(Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, _ := p.GroundTruth(query.CountQuery("new york"))
+	sim, _ := p.GroundTruth(query.CountQuery("simvastatin"))
+	if ny <= 2*sim {
+		t.Errorf("new york (%v) should dwarf simvastatin (%v)", ny, sim)
+	}
+	// Boston's Apr 15 spike: mentions during [104,111) ≫ mentions the
+	// two weeks before.
+	days, err := p.MentionsPerDay("boston")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, during float64
+	for d := 90; d < 104; d++ {
+		before += float64(days[d])
+	}
+	before /= 14
+	for d := 104; d < 111; d++ {
+		during += float64(days[d])
+	}
+	during /= 7
+	if during < 2*before {
+		t.Errorf("boston spike not prominent: before=%.1f during=%.1f", before, during)
+	}
+}

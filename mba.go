@@ -1,0 +1,279 @@
+// Package mba is MICROBLOG-ANALYZER: aggregate estimation over a
+// rate-limited microblog platform, reproducing Thirumuruganathan,
+// Zhang, Hristidis & Das, "Aggregate Estimation Over a Microblog
+// Platform" (SIGMOD 2014).
+//
+// The library answers queries of the form
+//
+//	SELECT AGGR(f(u)) FROM users WHERE timeline CONTAINS keyword [AND ...]
+//
+// using only the three access paths real microblog APIs expose —
+// keyword search over recent posts, user connections, and user
+// timelines — and it counts every API call, because the paper's entire
+// point is answering such queries under strict rate limits.
+//
+// Two estimation algorithms are provided:
+//
+//   - MASRW (Algorithm 1): a simple random walk over the level-by-level
+//     subgraph — the term-induced subgraph with intra-level edges
+//     removed (§4 of the paper);
+//   - MATARW (Algorithms 2–3): the topology-aware bottom-top-bottom walk
+//     whose per-node visit probabilities are estimated unbiasedly,
+//     enabling Hansen–Hurwitz estimation of SUM/COUNT without
+//     mark-and-recapture or burn-in (§5).
+//
+// Because no live platform is reachable from a test rig (and the
+// paper's 2013 Twitter data no longer exists), the package bundles a
+// full synthetic microblog platform — social graph with communities,
+// keyword cascades, profiles, timelines, and per-platform API paging
+// presets for Twitter, Google+ and Tumblr. See DESIGN.md for the
+// simulation fidelity argument and EXPERIMENTS.md for the reproduced
+// tables and figures.
+//
+// Quickstart:
+//
+//	p, _ := mba.NewPlatform(mba.DefaultPlatformConfig())
+//	est, _ := p.Estimate(mba.Avg("privacy", mba.Followers), mba.Options{Budget: 20000})
+//	fmt.Printf("AVG(followers) ≈ %.1f after %d API calls\n", est.Value, est.Cost)
+package mba
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+)
+
+// Algorithm selects the estimation algorithm.
+type Algorithm int
+
+// Estimation algorithms.
+const (
+	// MATARW is the paper's headline algorithm (topology-aware random
+	// walk, Algorithms 2–3) and the default.
+	MATARW Algorithm = iota
+	// MASRW is Algorithm 1 (simple random walk over the level-by-level
+	// subgraph).
+	MASRW
+	// MR is the mark-and-recapture COUNT baseline the paper compares
+	// against.
+	MR
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case MATARW:
+		return "MA-TARW"
+	case MASRW:
+		return "MA-SRW"
+	case MR:
+		return "M&R"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// APIPreset selects the simulated platform interface parameters.
+type APIPreset int
+
+// Platform presets (page sizes, search windows and rate limits of §6).
+const (
+	Twitter APIPreset = iota
+	GPlus
+	Tumblr
+)
+
+func (p APIPreset) preset() api.Preset {
+	switch p {
+	case GPlus:
+		return api.GPlus()
+	case Tumblr:
+		return api.Tumblr()
+	default:
+		return api.Twitter()
+	}
+}
+
+// Measure is a numeric per-user measure f(u).
+type Measure = query.Measure
+
+// Built-in measures (see the paper's §6 aggregates).
+var (
+	Followers            = query.Followers
+	DisplayNameLength    = query.DisplayNameLength
+	Age                  = query.Age
+	KeywordPostCount     = query.KeywordPostCount
+	KeywordPostLikes     = query.KeywordPostLikes
+	KeywordPostMeanLikes = query.KeywordPostMeanLikes
+)
+
+// Query is an aggregate estimation request.
+type Query = query.Query
+
+// Count returns COUNT(users whose timeline mentions keyword).
+func Count(keyword string) Query { return query.CountQuery(keyword) }
+
+// Avg returns AVG(m) over users whose timeline mentions keyword.
+func Avg(keyword string, m Measure) Query { return query.AvgQuery(keyword, m) }
+
+// Sum returns SUM(m) over users whose timeline mentions keyword.
+func Sum(keyword string, m Measure) Query { return query.SumQuery(keyword, m) }
+
+// MaleOnly restricts a query to profiles exposing male gender
+// (Figure 13's predicate).
+var MaleOnly = query.MaleOnly
+
+// TimeWindow restricts the keyword mentions considered to simulation
+// days [fromDay, toDay).
+func TimeWindow(q Query, fromDay, toDay int) Query {
+	q.Window = model.Window{From: model.Tick(fromDay) * model.Day, To: model.Tick(toDay) * model.Day}
+	return q
+}
+
+// PlatformConfig configures the simulated microblog platform. It is an
+// alias of the internal configuration type; see its field docs.
+type PlatformConfig = platform.Config
+
+// KeywordConfig configures one simulated keyword cascade.
+type KeywordConfig = platform.KeywordConfig
+
+// DefaultPlatformConfig returns a mid-sized platform tracking the
+// paper's three figure keywords (privacy, new york, boston).
+func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
+
+// Platform is a simulated microblog service with exact ground truth.
+type Platform struct {
+	sim *platform.Platform
+}
+
+// NewPlatform generates a simulated platform (deterministic in the
+// config, including its Seed).
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	sim, err := platform.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{sim: sim}, nil
+}
+
+// WrapPlatform adopts an already-generated internal platform (used by
+// the benchmark harness to share workload fixtures).
+func WrapPlatform(sim *platform.Platform) *Platform { return &Platform{sim: sim} }
+
+// Sim exposes the underlying simulator for advanced analyses.
+func (p *Platform) Sim() *platform.Platform { return p.sim }
+
+// GroundTruth computes the exact aggregate answer from the full
+// simulated store (the role the streaming API plays in the paper).
+func (p *Platform) GroundTruth(q Query) (float64, error) { return p.sim.GroundTruth(q) }
+
+// Options tunes one estimation run.
+type Options struct {
+	// Algorithm defaults to MATARW.
+	Algorithm Algorithm
+	// Preset defaults to Twitter.
+	Preset APIPreset
+	// Budget is the maximum number of API calls (0 = a generous default
+	// of 50000).
+	Budget int
+	// IntervalHours fixes the level-by-level time interval T; 0 lets
+	// MA-TARW pick it with pilot walks (§4.2.3) and gives MA-SRW the
+	// paper's running-example default of one day.
+	IntervalHours int
+	// Seed derandomizes the walk (0 = fixed default).
+	Seed int64
+	// PrivateUserFraction and TransientErrorRate inject API faults.
+	PrivateUserFraction float64
+	TransientErrorRate  float64
+}
+
+// Estimate is an aggregate estimation result.
+type Estimate struct {
+	// Value is the estimated aggregate (NaN if the budget was too small
+	// to produce any estimate).
+	Value float64
+	// Cost is the number of API calls spent.
+	Cost int
+	// Samples is the number of walk samples or walk instances used.
+	Samples int
+	// VirtualDuration is how long the run would take on the real
+	// platform under its published rate limit.
+	VirtualDuration time.Duration
+	// Trajectory records (cost, estimate) convergence points.
+	Trajectory []TrajectoryPoint
+}
+
+// TrajectoryPoint is one convergence sample.
+type TrajectoryPoint struct {
+	Cost     int
+	Estimate float64
+}
+
+// ErrNoEstimate is returned when the budget was exhausted before any
+// estimate could be formed.
+var ErrNoEstimate = errors.New("mba: budget exhausted before an estimate was available")
+
+// Estimate answers an aggregate query through the simulated
+// rate-limited API using the selected algorithm.
+func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
+	if o.Budget == 0 {
+		o.Budget = 50000
+	}
+	srv := api.NewServer(p.sim, o.Preset.preset(), api.Faults{
+		PrivateProb:   o.PrivateUserFraction,
+		TransientProb: o.TransientErrorRate,
+		Seed:          o.Seed,
+	})
+	client := api.NewClient(srv, o.Budget)
+	interval := model.Tick(o.IntervalHours)
+	if interval <= 0 {
+		interval = model.Day
+	}
+	session, err := core.NewSession(client, q, interval)
+	if err != nil {
+		return Estimate{}, err
+	}
+
+	var res core.Result
+	switch o.Algorithm {
+	case MASRW:
+		res, err = core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed})
+	case MR:
+		res, err = core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed})
+	default:
+		tarw := core.TARWOptions{
+			Seed:           o.Seed,
+			SelectInterval: o.IntervalHours == 0,
+		}
+		if q.Agg != query.Avg {
+			// COUNT/SUM need the full cross-level lattice for support and
+			// a loose winsorization so the Hansen–Hurwitz mass survives;
+			// AVG prefers the well-conditioned adjacent-level profile.
+			tarw.AllowCrossLevel = true
+			tarw.WeightClip = 100
+			tarw.PEstimates = 5
+		}
+		res, err = core.RunTARW(session, tarw)
+	}
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{
+		Value:           res.Estimate,
+		Cost:            res.Cost,
+		Samples:         res.Samples,
+		VirtualDuration: client.VirtualDuration(),
+	}
+	for _, pt := range res.Trajectory {
+		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
+	}
+	if est.Value != est.Value { // NaN
+		return est, ErrNoEstimate
+	}
+	return est, nil
+}

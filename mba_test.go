@@ -1,0 +1,197 @@
+package mba
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce sync.Once
+	facadePlat *Platform
+	facadeErr  error
+)
+
+// facadePlatform builds one small platform shared by the facade tests.
+func facadePlatform(t *testing.T) *Platform {
+	t.Helper()
+	facadeOnce.Do(func() {
+		cfg := DefaultPlatformConfig()
+		cfg.Seed = 5
+		cfg.NumUsers = 8000
+		cfg.NumCommunities = 40
+		cfg.GenderKnownProb = 0.6
+		facadePlat, facadeErr = NewPlatform(cfg)
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadePlat
+}
+
+func TestNewPlatformValidates(t *testing.T) {
+	cfg := DefaultPlatformConfig()
+	cfg.NumUsers = 1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("degenerate platform accepted")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	if q := Count("x"); q.Keyword != "x" || q.Measure.Name != "1" {
+		t.Errorf("Count builder: %+v", q)
+	}
+	if q := Avg("x", Followers); q.Measure.Name != "followers" {
+		t.Errorf("Avg builder: %+v", q)
+	}
+	if q := Sum("x", KeywordPostCount); q.Measure.Name != "keyword-posts" {
+		t.Errorf("Sum builder: %+v", q)
+	}
+}
+
+func TestEstimateAllAlgorithms(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{MASRW, MATARW} {
+		est, err := p.Estimate(q, Options{Algorithm: algo, Budget: 15000, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		rel := abs(est.Value-truth) / truth
+		t.Logf("%v: est=%.1f truth=%.1f relerr=%.3f cost=%d", algo, est.Value, truth, rel, est.Cost)
+		if rel > 0.6 {
+			t.Errorf("%v relative error %.3f beyond sanity", algo, rel)
+		}
+		if est.Cost <= 0 || est.Cost > 15000 {
+			t.Errorf("%v cost = %d", algo, est.Cost)
+		}
+	}
+	// MR answers COUNT.
+	qc := Count("privacy")
+	truthC, _ := p.GroundTruth(qc)
+	est, err := p.Estimate(qc, Options{Algorithm: MR, Budget: 25000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MR COUNT: est=%.0f truth=%.0f cost=%d", est.Value, truthC, est.Cost)
+	if est.Value <= 0 {
+		t.Error("MR produced non-positive count")
+	}
+}
+
+func TestEstimateWithWindowAndPredicate(t *testing.T) {
+	p := facadePlatform(t)
+	q := TimeWindow(Count("privacy"), 0, 150)
+	q.Where = append(q.Where, MaleOnly)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Skip("no matching users in fixture")
+	}
+	est, err := p.Estimate(q, Options{Algorithm: MASRW, Budget: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(est.Value) || est.Value < 0 {
+		t.Errorf("estimate = %v", est.Value)
+	}
+	t.Logf("windowed male COUNT: est=%.0f truth=%.0f", est.Value, truth)
+}
+
+func TestEstimateWithFaultInjection(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", DisplayNameLength)
+	est, err := p.Estimate(q, Options{
+		Algorithm:           MASRW,
+		Budget:              15000,
+		Seed:                5,
+		PrivateUserFraction: 0.05,
+		TransientErrorRate:  0.02,
+	})
+	if err != nil {
+		t.Fatalf("faulted estimate errored: %v", err)
+	}
+	if math.IsNaN(est.Value) {
+		t.Error("no estimate despite faults")
+	}
+}
+
+func TestEstimateTinyBudget(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	est, err := p.Estimate(q, Options{Algorithm: MASRW, Budget: 30, Seed: 6})
+	// Either a (rough) estimate or ErrNoEstimate — never a panic or a
+	// budget overrun.
+	if err != nil && !errors.Is(err, ErrNoEstimate) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if est.Cost > 30 {
+		t.Errorf("cost %d exceeds budget", est.Cost)
+	}
+}
+
+func TestEstimateFixedInterval(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	est, err := p.Estimate(q, Options{
+		Algorithm:     MATARW,
+		Budget:        15000,
+		Seed:          7,
+		IntervalHours: 14 * 24, // fixed two-week lattice, no pilot spend
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(est.Value) {
+		t.Error("no estimate with fixed interval")
+	}
+}
+
+func TestPresetsChangeCostStructure(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", DisplayNameLength)
+	tw, err := p.Estimate(q, Options{Algorithm: MASRW, Preset: Twitter, Budget: 100000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := p.Estimate(q, Options{Algorithm: MASRW, Preset: GPlus, Budget: 100000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Cost <= tw.Cost {
+		t.Errorf("Google+ paging should cost more: twitter=%d gplus=%d", tw.Cost, gp.Cost)
+	}
+	tb, err := p.Estimate(q, Options{Algorithm: MASRW, Preset: Tumblr, Budget: 100000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.VirtualDuration <= tw.VirtualDuration {
+		t.Error("Tumblr's 1-per-10s limit should dominate virtual duration")
+	}
+}
+
+func TestGroundTruthVisibleExposed(t *testing.T) {
+	p := facadePlatform(t)
+	full, err := p.GroundTruth(Count("privacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 0 {
+		t.Fatal("no adopters")
+	}
+	// Sim() exposes the underlying simulator for advanced checks.
+	vis, err := p.Sim().GroundTruthVisible(Count("privacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-vis)/full > 0.05 {
+		t.Errorf("timeline-cap bias too large: %v vs %v", full, vis)
+	}
+}
