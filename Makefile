@@ -1,0 +1,25 @@
+# Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
+# change must keep green.
+.PHONY: ci build vet test race bench chaos
+
+ci: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full evaluation regeneration (bench scale; slow).
+bench:
+	go test -bench=. -benchmem
+
+# Quick chaos sweep at test scale.
+chaos:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 8000 -only chaos

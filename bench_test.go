@@ -127,6 +127,7 @@ func BenchmarkFigure13GPlusCountMale(b *testing.B) {
 func BenchmarkFigure14TumblrLikes(b *testing.B) {
 	benchExperiment(b, "figure14", experiments.Figure14)
 }
+func BenchmarkChaosSweep(b *testing.B) { benchExperiment(b, "chaos", experiments.Chaos) }
 
 // Example of the headline result, runnable as a test for CI-style
 // verification at test scale: MA-TARW answers AVG(followers) within a
@@ -160,6 +161,42 @@ func TestQuickstartFacade(t *testing.T) {
 	}
 	if len(est.Trajectory) == 0 {
 		t.Error("no trajectory")
+	}
+}
+
+// The facade surfaces the fault-tolerance accounting: a run under 429
+// injection reports its rate-limit hits and the waits land in
+// VirtualDuration, while the budget cost stays unchanged in kind.
+func TestFacadeFaultAccounting(t *testing.T) {
+	p, err := workload.Get(workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := WrapPlatform(p)
+	est, err := plat.Estimate(Avg("privacy", Followers), Options{
+		Algorithm:          MASRW,
+		Budget:             5000,
+		Seed:               3,
+		RateLimitErrorRate: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RateLimitHits == 0 {
+		t.Error("no rate-limit hits recorded under 10% 429 injection")
+	}
+	if est.Cost == 0 || est.Cost > 5000 {
+		t.Errorf("cost = %d", est.Cost)
+	}
+	clean, err := plat.Estimate(Avg("privacy", Followers), Options{
+		Algorithm: MASRW, Budget: 5000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.VirtualDuration <= clean.VirtualDuration {
+		t.Errorf("429 waits missing from VirtualDuration: %v vs clean %v",
+			est.VirtualDuration, clean.VirtualDuration)
 	}
 }
 

@@ -29,12 +29,27 @@ var (
 	ErrPrivate = errors.New("api: user is private")
 	// ErrTransient models a retryable service hiccup (HTTP 5xx).
 	ErrTransient = errors.New("api: transient service error")
+	// ErrRateLimited models a 429-style rejection at the rate-limit
+	// gate. Unlike ErrTransient the call never reached the service, so
+	// the Client does not charge it against the budget; the retry
+	// policy instead waits out the window in virtual time.
+	ErrRateLimited = errors.New("api: rate limited")
 	// ErrBudgetExhausted is returned by Client methods once the call
 	// budget is spent.
 	ErrBudgetExhausted = errors.New("api: query budget exhausted")
 	// ErrUnknownUser indicates an out-of-range user ID.
 	ErrUnknownUser = errors.New("api: unknown user")
 )
+
+// ErrTruncated models a multi-page fetch dying partway: the caller
+// paid for a strict prefix of the pages and got nothing usable back.
+// It wraps ErrTransient, so the retry policy treats it as retryable.
+var ErrTruncated = fmt.Errorf("api: response truncated mid-paging: %w", ErrTransient)
+
+// ErrCircuitOpen is surfaced by the Client when its circuit breaker
+// has tripped after too many consecutive post-retry failures (see
+// RetryPolicy.BreakerThreshold). It wraps the error that tripped it.
+var ErrCircuitOpen = errors.New("api: circuit breaker open")
 
 // Preset captures the interface parameters of a real platform.
 type Preset struct {
@@ -102,12 +117,34 @@ func Tumblr() Preset {
 	}
 }
 
-// Faults configures failure injection on a Server.
+// Faults configures failure injection on a Server. All draws are
+// deterministic in Seed, so a fault schedule replays exactly.
 type Faults struct {
 	// PrivateProb makes a user permanently private.
 	PrivateProb float64
-	// TransientProb makes any single call fail retryably.
+	// TransientProb makes any single call fail retryably (HTTP 5xx).
 	TransientProb float64
+	// RateLimitProb rejects any single call with ErrRateLimited (429).
+	// Rejected calls consume no budget; the client's retry policy waits
+	// out the rate-limit window in virtual time instead.
+	RateLimitProb float64
+	// OutageMeanGap and OutageLength inject correlated failure bursts:
+	// outage starts are spaced by exponentially distributed gaps with
+	// mean OutageMeanGap calls, and each outage fails OutageLength
+	// consecutive calls with ErrTransient. Both must be positive for
+	// outages to occur. Retries advance the call clock, so a patient
+	// retry policy can ride an outage out.
+	OutageMeanGap int
+	OutageLength  int
+	// SlowCallProb and SlowCallLatency inject per-call latency. The
+	// latency is surfaced to the Client and accrued into its virtual
+	// wait time (VirtualDuration), not into the call budget.
+	SlowCallProb    float64
+	SlowCallLatency time.Duration
+	// TruncateProb aborts a multi-page fetch partway: the call returns
+	// ErrTruncated after paying for a strict prefix of its pages.
+	// Single-page responses are never truncated.
+	TruncateProb float64
 	// Seed drives the deterministic fault draws.
 	Seed int64
 }
@@ -119,6 +156,14 @@ type Server struct {
 	private map[int64]bool
 	faults  Faults
 	frng    *rand.Rand
+
+	// clock counts raw calls served; it is the time base the outage
+	// schedule runs on.
+	clock      int
+	nextOutage int
+	// pending accumulates injected slow-call latency until the Client
+	// drains it into its virtual wait accounting.
+	pending time.Duration
 }
 
 // NewServer wraps a platform with a preset interface and optional
@@ -138,17 +183,60 @@ func NewServer(p *platform.Platform, preset Preset, faults Faults) *Server {
 			}
 		}
 	}
+	if faults.OutageMeanGap > 0 && faults.OutageLength > 0 {
+		s.scheduleOutage()
+	}
 	return s
 }
 
 // Preset returns the interface parameters in force.
 func (s *Server) Preset() Preset { return s.preset }
 
+// scheduleOutage draws the next outage start, an exponential gap after
+// the current clock.
+func (s *Server) scheduleOutage() {
+	s.nextOutage = s.clock + 1 + int(s.frng.ExpFloat64()*float64(s.faults.OutageMeanGap))
+}
+
 func (s *Server) maybeFault() error {
-	if s.faults.TransientProb > 0 && s.frng.Float64() < s.faults.TransientProb {
+	s.clock++
+	if s.faults.OutageMeanGap > 0 && s.faults.OutageLength > 0 && s.clock >= s.nextOutage {
+		if s.clock < s.nextOutage+s.faults.OutageLength {
+			return ErrTransient
+		}
+		s.scheduleOutage()
+	}
+	if p := s.faults.RateLimitProb; p > 0 && s.frng.Float64() < p {
+		return ErrRateLimited
+	}
+	if p := s.faults.TransientProb; p > 0 && s.frng.Float64() < p {
 		return ErrTransient
 	}
+	if p := s.faults.SlowCallProb; p > 0 && s.frng.Float64() < p {
+		s.pending += s.faults.SlowCallLatency
+	}
 	return nil
+}
+
+// drainLatency returns and clears the injected slow-call latency
+// accumulated since the last drain (consumed by Client accounting).
+func (s *Server) drainLatency() time.Duration {
+	d := s.pending
+	s.pending = 0
+	return d
+}
+
+// maybeTruncate simulates a paging failure: with probability
+// TruncateProb a multi-page fetch dies partway, and the caller pays
+// for a strict prefix of totalPages with nothing usable back.
+func (s *Server) maybeTruncate(totalPages int) (int, error) {
+	if s.faults.TruncateProb <= 0 || totalPages <= 1 {
+		return totalPages, nil
+	}
+	if s.frng.Float64() >= s.faults.TruncateProb {
+		return totalPages, nil
+	}
+	return 1 + s.frng.Intn(totalPages-1), ErrTruncated
 }
 
 func (s *Server) checkUser(u int64) error {
@@ -209,7 +297,11 @@ func (s *Server) Search(keyword string) ([]int64, int, error) {
 	for i, h := range hits {
 		out[i] = h.u
 	}
-	return out, pages(len(out), s.preset.SearchPageSize), nil
+	cost, err := s.maybeTruncate(pages(len(out), s.preset.SearchPageSize))
+	if err != nil {
+		return nil, cost, err
+	}
+	return out, cost, nil
 }
 
 // Connections returns all of u's neighbors in the undirected social
@@ -227,7 +319,11 @@ func (s *Server) Connections(u int64) ([]int64, int, error) {
 	}
 	ns := s.p.Social.Neighbors(u)
 	out := append([]int64(nil), ns...)
-	return out, pages(len(out), s.preset.ConnectionsPageSize), nil
+	cost, err := s.maybeTruncate(pages(len(out), s.preset.ConnectionsPageSize))
+	if err != nil {
+		return nil, cost, err
+	}
+	return out, cost, nil
 }
 
 // Timeline returns u's visible timeline (profile plus keyword posts
@@ -248,7 +344,11 @@ func (s *Server) Timeline(u int64) (model.Timeline, int, error) {
 	if cap := s.p.Config().TimelineCap; cap > 0 && visible > cap {
 		visible = cap
 	}
-	return tl, pages(visible, s.preset.TimelinePageSize), nil
+	cost, err := s.maybeTruncate(pages(visible, s.preset.TimelinePageSize))
+	if err != nil {
+		return model.Timeline{}, cost, err
+	}
+	return tl, cost, nil
 }
 
 // IsPrivate reports whether fault injection marked u private (test and

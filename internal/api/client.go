@@ -2,15 +2,19 @@ package api
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"time"
 
 	"mba/internal/model"
 )
 
-// Client wraps a Server with response caching, call accounting, retry
-// of transient faults, and an optional hard budget. All estimators in
-// internal/core consume this type; Client.Cost() is the query cost the
-// paper's experiments plot on their y-axes.
+// Client wraps a Server with response caching, call accounting, a
+// configurable retry policy, and an optional hard budget. All
+// estimators in internal/core consume this type; Client.Cost() is the
+// query cost the paper's experiments plot on their y-axes, and
+// Client.Stats() is the full accounting snapshot including retry and
+// wait overheads.
 //
 // Caching reflects what any sane crawler does: results for a user are
 // kept locally, so revisiting a node during a random walk costs
@@ -20,11 +24,17 @@ type Client struct {
 	srv *Server
 	// Budget is the maximum number of API calls; 0 means unlimited.
 	Budget int
-	// MaxRetries bounds transparent retries of ErrTransient (each retry
-	// consumes budget).
-	MaxRetries int
+	// Policy governs retries, backoff, rate-limit waits, and the
+	// optional circuit breaker. NewClient installs DefaultRetryPolicy.
+	Policy RetryPolicy
 
-	calls int
+	stats Stats
+	// Circuit-breaker state (active when Policy.BreakerThreshold > 0).
+	breakerFails int
+	breakerOpen  bool
+	// jrng draws backoff jitter, deterministic in the server's fault
+	// seed so runs replay exactly.
+	jrng *rand.Rand
 
 	connCache map[int64][]int64
 	tlCache   map[int64]model.Timeline
@@ -33,28 +43,33 @@ type Client struct {
 }
 
 // NewClient returns a caching client over srv with the given budget
-// (0 = unlimited).
+// (0 = unlimited) and the default retry policy.
 func NewClient(srv *Server, budget int) *Client {
 	return &Client{
-		srv:        srv,
-		Budget:     budget,
-		MaxRetries: 3,
-		connCache:  make(map[int64][]int64),
-		tlCache:    make(map[int64]model.Timeline),
-		privCache:  make(map[int64]bool),
-		searches:   make(map[string][]int64),
+		srv:       srv,
+		Budget:    budget,
+		Policy:    DefaultRetryPolicy(),
+		jrng:      rand.New(rand.NewSource(srv.faults.Seed ^ 0x7e77)),
+		connCache: make(map[int64][]int64),
+		tlCache:   make(map[int64]model.Timeline),
+		privCache: make(map[int64]bool),
+		searches:  make(map[string][]int64),
 	}
 }
 
-// Cost returns the number of API calls issued so far.
-func (c *Client) Cost() int { return c.calls }
+// Cost returns the number of API calls charged so far.
+func (c *Client) Cost() int { return c.stats.Calls }
+
+// Stats returns the full accounting snapshot: charged calls, retry and
+// rate-limit counters, circuit-breaker trips, and accrued virtual wait.
+func (c *Client) Stats() Stats { return c.stats }
 
 // Remaining returns the remaining budget, or -1 if unlimited.
 func (c *Client) Remaining() int {
 	if c.Budget <= 0 {
 		return -1
 	}
-	r := c.Budget - c.calls
+	r := c.Budget - c.stats.Calls
 	if r < 0 {
 		r = 0
 	}
@@ -62,51 +77,137 @@ func (c *Client) Remaining() int {
 }
 
 // Exhausted reports whether the budget is spent.
-func (c *Client) Exhausted() bool { return c.Budget > 0 && c.calls >= c.Budget }
+func (c *Client) Exhausted() bool { return c.Budget > 0 && c.stats.Calls >= c.Budget }
 
-// ResetCost zeroes the call counter but keeps the cache (used when a
-// harness wants to charge setup separately).
-func (c *Client) ResetCost() { c.calls = 0 }
+// ResetCost zeroes the full accounting snapshot — charged calls, retry
+// and rate-limit counters, circuit-breaker state, and accrued virtual
+// wait — so a harness can charge setup separately. The response caches
+// are deliberately retained: a reset changes who pays, not what has
+// been learned. Use a fresh Client for cold-cache accounting.
+func (c *Client) ResetCost() {
+	c.stats = Stats{}
+	c.breakerFails = 0
+	c.breakerOpen = false
+}
 
-// VirtualDuration translates the accumulated call count into the
-// wall-clock time the run would need on the real platform under its
-// rate limit — e.g., Twitter's 180 calls per 15 minutes.
+// VirtualDuration translates the accumulated accounting into the
+// wall-clock time the run would need on the real platform: the charged
+// calls under the preset's rate limit (e.g., Twitter's 180 calls per
+// 15 minutes) plus all virtual waits the retry policy accrued
+// (backoff, rate-limit windows, breaker cooldowns, slow calls).
 func (c *Client) VirtualDuration() time.Duration {
 	p := c.srv.Preset()
 	if p.RateLimitCalls <= 0 {
-		return 0
+		return c.stats.Wait
 	}
-	windows := (c.calls + p.RateLimitCalls - 1) / p.RateLimitCalls
-	return time.Duration(windows) * p.RateLimitWindow
+	windows := (c.stats.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
+	return time.Duration(windows)*p.RateLimitWindow + c.stats.Wait
 }
 
 // Preset exposes the server's interface parameters.
 func (c *Client) Preset() Preset { return c.srv.Preset() }
 
 func (c *Client) charge(n int) error {
-	if c.Budget > 0 && c.calls+n > c.Budget {
-		c.calls = c.Budget
+	if c.Budget > 0 && c.stats.Calls+n > c.Budget {
+		c.stats.Calls = c.Budget
 		return ErrBudgetExhausted
 	}
-	c.calls += n
+	c.stats.Calls += n
 	return nil
 }
 
-// withRetry runs fn, retrying transient errors up to MaxRetries times.
-// Every attempt's cost is charged.
+// backoff computes the next transient backoff (doubling, capped,
+// jittered) and advances the doubling state.
+func (c *Client) backoff(cur *time.Duration) time.Duration {
+	p := c.Policy
+	b := *cur
+	if b <= 0 {
+		b = DefaultRetryPolicy().BaseBackoff
+	}
+	next := 2 * b
+	if p.MaxBackoff > 0 && next > p.MaxBackoff {
+		next = p.MaxBackoff
+	}
+	*cur = next
+	if p.Jitter > 0 {
+		b += time.Duration(c.jrng.Float64() * p.Jitter * float64(b))
+	}
+	return b
+}
+
+// noteFailure records a post-retry logical-call failure with the
+// circuit breaker and wraps the error in ErrCircuitOpen when the
+// breaker trips.
+func (c *Client) noteFailure(err error) error {
+	if c.Policy.BreakerThreshold <= 0 {
+		return err
+	}
+	c.breakerFails++
+	if c.breakerFails >= c.Policy.BreakerThreshold {
+		c.breakerOpen = true
+		c.stats.CircuitTrips++
+		return fmt.Errorf("%w: %w", ErrCircuitOpen, err)
+	}
+	return err
+}
+
+// withRetry runs fn under the client's RetryPolicy. Transient failures
+// are charged (the call consumed a slot) and retried after exponential
+// backoff in virtual time; rate-limit rejections are never charged and
+// retried after waiting out the window; permanent errors return
+// immediately. Post-retry failures feed the circuit breaker.
 func (c *Client) withRetry(fn func() (int, error)) error {
-	var err error
-	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
-		var cost int
-		cost, err = fn()
-		if chargeErr := c.charge(cost); chargeErr != nil {
-			return chargeErr
-		}
-		if !errors.Is(err, ErrTransient) {
+	if c.Policy.BreakerThreshold > 0 && c.breakerOpen {
+		// Half-open probe: wait out the cooldown in virtual time and
+		// let exactly this logical call through. A failure re-trips
+		// immediately; a success closes the breaker.
+		c.stats.Wait += c.Policy.BreakerCooldown
+		c.breakerOpen = false
+		c.breakerFails = c.Policy.BreakerThreshold - 1
+	}
+	backoff := c.Policy.BaseBackoff
+	retries := 0
+	for {
+		cost, err := fn()
+		c.stats.Wait += c.srv.drainLatency()
+		switch {
+		case errors.Is(err, ErrRateLimited):
+			// 429: rejected at the gate, no budget burned. Wait out
+			// the window in virtual time and try again.
+			c.stats.RateLimitHits++
+			wait := c.Policy.RateLimitWait
+			if wait <= 0 {
+				wait = c.srv.preset.RateLimitWindow
+			}
+			c.stats.Wait += wait
+			if retries >= c.Policy.MaxRetries {
+				return c.noteFailure(err)
+			}
+			retries++
+		case errors.Is(err, ErrTransient):
+			// 5xx (or truncated paging): the attempt consumed a call
+			// slot, charge it, then back off and retry.
+			if chargeErr := c.charge(cost); chargeErr != nil {
+				return chargeErr
+			}
+			if retries >= c.Policy.MaxRetries {
+				return c.noteFailure(err)
+			}
+			retries++
+			c.stats.Retries++
+			c.stats.Wait += c.backoff(&backoff)
+		default:
+			// Success or a permanent error (ErrPrivate, ErrUnknownUser):
+			// charge and return.
+			if chargeErr := c.charge(cost); chargeErr != nil {
+				return chargeErr
+			}
+			if err == nil {
+				c.breakerFails = 0
+			}
 			return err
 		}
 	}
-	return err
 }
 
 // Search returns seed users who recently posted the keyword (cached).

@@ -1,0 +1,332 @@
+package api
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// noJitterPolicy returns a fully deterministic policy for wait-time
+// assertions.
+func noJitterPolicy() RetryPolicy {
+	p := DefaultRetryPolicy()
+	p.Jitter = 0
+	return p
+}
+
+func TestRateLimitedNeverCharged(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 11})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.Policy.RateLimitWait = time.Minute
+
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited after exhausting retries, got %v", err)
+	}
+	if cl.Cost() != 0 {
+		t.Errorf("429 rejections were charged: cost = %d", cl.Cost())
+	}
+	st := cl.Stats()
+	wantHits := cl.Policy.MaxRetries + 1
+	if st.RateLimitHits != wantHits {
+		t.Errorf("RateLimitHits = %d, want %d", st.RateLimitHits, wantHits)
+	}
+	if st.Wait != time.Duration(wantHits)*time.Minute {
+		t.Errorf("Wait = %v, want %v", st.Wait, time.Duration(wantHits)*time.Minute)
+	}
+	// Zero RateLimitWait falls back to the preset's full window.
+	srv2 := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 11})
+	cl2 := NewClient(srv2, 0)
+	cl2.Policy = noJitterPolicy()
+	cl2.Policy.MaxRetries = 0
+	if _, err := cl2.Connections(1); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited, got %v", err)
+	}
+	if cl2.Stats().Wait != Twitter().RateLimitWindow {
+		t.Errorf("fallback wait = %v, want the preset window %v",
+			cl2.Stats().Wait, Twitter().RateLimitWindow)
+	}
+}
+
+func TestTransientBackoffAccrual(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 1, Seed: 12})
+	cl := NewClient(srv, 0)
+	cl.Policy = RetryPolicy{MaxRetries: 2, BaseBackoff: time.Second, MaxBackoff: time.Hour}
+
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want ErrTransient after exhausting retries, got %v", err)
+	}
+	// Three attempts (initial + 2 retries), each charged one call.
+	if cl.Cost() != 3 {
+		t.Errorf("cost = %d, want 3 (every failed attempt charged)", cl.Cost())
+	}
+	st := cl.Stats()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+	// Jitter 0: backoffs are exactly 1s then 2s.
+	if st.Wait != 3*time.Second {
+		t.Errorf("Wait = %v, want 3s (1s + 2s exponential backoff)", st.Wait)
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 1, Seed: 13})
+	cl := NewClient(srv, 0)
+	cl.Policy = RetryPolicy{MaxRetries: 5, BaseBackoff: time.Second, MaxBackoff: 2 * time.Second}
+
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatal(err)
+	}
+	// 1s + 2s + 2s + 2s + 2s: doubling is capped at MaxBackoff.
+	if cl.Stats().Wait != 9*time.Second {
+		t.Errorf("Wait = %v, want 9s with MaxBackoff=2s", cl.Stats().Wait)
+	}
+}
+
+func TestCircuitBreaker(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 1, Seed: 14})
+	cl := NewClient(srv, 0)
+	cl.Policy = RetryPolicy{BreakerThreshold: 2, BreakerCooldown: time.Minute}
+
+	// First logical failure: breaker counts but stays closed.
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrTransient) || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("first failure should not trip the breaker: %v", err)
+	}
+	// Second consecutive failure trips it.
+	_, err = cl.Connections(2)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen on trip, got %v", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Error("ErrCircuitOpen should wrap the cause")
+	}
+	if cl.Stats().CircuitTrips != 1 {
+		t.Errorf("CircuitTrips = %d, want 1", cl.Stats().CircuitTrips)
+	}
+	// Half-open probe pays the cooldown and re-trips on failure.
+	waitBefore := cl.Stats().Wait
+	_, err = cl.Connections(3)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed half-open probe should re-trip, got %v", err)
+	}
+	if got := cl.Stats().Wait - waitBefore; got != time.Minute {
+		t.Errorf("half-open probe waited %v, want the 1m cooldown", got)
+	}
+	if cl.Stats().CircuitTrips != 2 {
+		t.Errorf("CircuitTrips = %d, want 2", cl.Stats().CircuitTrips)
+	}
+}
+
+func TestCircuitBreakerClosesOnSuccess(t *testing.T) {
+	p := testPlatform(t)
+	// Outage window fails exactly the first OutageLength raw calls after
+	// the scheduled start; afterwards the service is healthy again.
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 0.5, Seed: 15})
+	cl := NewClient(srv, 0)
+	cl.Policy = RetryPolicy{MaxRetries: 12, BreakerThreshold: 3, BreakerCooldown: time.Minute}
+	// With retries much deeper than the fault rate warrants, calls
+	// succeed and the breaker never trips.
+	for u := int64(0); u < 20; u++ {
+		if _, err := cl.Connections(u); err != nil {
+			t.Fatalf("Connections(%d): %v", u, err)
+		}
+	}
+	if cl.Stats().CircuitTrips != 0 {
+		t.Errorf("CircuitTrips = %d, want 0 (successes reset the breaker)", cl.Stats().CircuitTrips)
+	}
+	if cl.Stats().Retries == 0 {
+		t.Error("expected retries under 90% transient faults")
+	}
+}
+
+func TestOutageRiddenOutByRetries(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{OutageMeanGap: 15, OutageLength: 3, Seed: 16})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.Policy.MaxRetries = 5 // deeper than any single outage
+
+	// Retries advance the server's call clock, so a policy more patient
+	// than OutageLength rides every outage out: no logical failures.
+	for u := int64(0); u < 200; u++ {
+		if _, err := cl.Connections(u); err != nil {
+			t.Fatalf("Connections(%d) failed despite patient retries: %v", u, err)
+		}
+	}
+	if cl.Stats().Retries == 0 {
+		t.Error("no retries recorded; outage schedule never fired")
+	}
+}
+
+func TestOutageOverwhelmsShallowRetries(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{OutageMeanGap: 10, OutageLength: 8, Seed: 17})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.Policy.MaxRetries = 1 // shallower than the outage length
+
+	failures := 0
+	for u := int64(0); u < 200; u++ {
+		if _, err := cl.Connections(u); errors.Is(err, ErrTransient) {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("an 8-call outage should defeat a 1-retry policy at least once")
+	}
+}
+
+func TestTruncationPartialCost(t *testing.T) {
+	p := testPlatform(t)
+	preset := Twitter()
+	preset.ConnectionsPageSize = 1 // every multi-neighbor fetch is multi-page
+	srv := NewServer(p, preset, Faults{TruncateProb: 1, Seed: 18})
+
+	var hub int64 = -1
+	for _, u := range p.Social.Nodes() {
+		if p.Social.Degree(u) >= 3 {
+			hub = u
+			break
+		}
+	}
+	if hub < 0 {
+		t.Skip("no multi-page user found")
+	}
+	full := p.Social.Degree(hub)
+	_, cost, err := srv.Connections(hub)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Error("ErrTruncated must be retryable (wrap ErrTransient)")
+	}
+	if cost < 1 || cost >= full {
+		t.Errorf("truncated cost = %d, want a strict prefix of %d pages", cost, full)
+	}
+
+	// The client charges each partial attempt and retries; with
+	// TruncateProb=1 it ultimately fails, but the cost stays truthful
+	// (every page fetched before each truncation is paid for).
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	if _, err := cl.Connections(hub); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated through the client, got %v", err)
+	}
+	if cl.Cost() < cl.Policy.MaxRetries+1 {
+		t.Errorf("cost = %d, want >= %d (each truncated attempt charged)",
+			cl.Cost(), cl.Policy.MaxRetries+1)
+	}
+	if cl.Stats().Retries != cl.Policy.MaxRetries {
+		t.Errorf("Retries = %d, want %d", cl.Stats().Retries, cl.Policy.MaxRetries)
+	}
+}
+
+func TestSlowCallsAccrueVirtualWait(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{SlowCallProb: 1, SlowCallLatency: 2 * time.Second, Seed: 19})
+	cl := NewClient(srv, 0)
+	for u := int64(0); u < 10; u++ {
+		if _, err := cl.Connections(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.Stats().Wait != 20*time.Second {
+		t.Errorf("Wait = %v, want 20s (10 calls x 2s latency)", cl.Stats().Wait)
+	}
+	if cl.VirtualDuration() < 15*time.Minute+20*time.Second {
+		t.Errorf("VirtualDuration = %v should include the slow-call wait", cl.VirtualDuration())
+	}
+}
+
+func TestCacheSnapshotZeroCostReplay(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 0)
+	if _, err := cl.Search("privacy"); err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(0); u < 5; u++ {
+		if _, err := cl.Connections(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Timeline(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paid := cl.Cost()
+	if paid == 0 {
+		t.Fatal("no cost accumulated")
+	}
+	snap := cl.ExportCache()
+	if snap.Entries() < 11 {
+		t.Errorf("snapshot entries = %d, want >= 11", snap.Entries())
+	}
+
+	// Fresh server + client: replaying the same requests from the
+	// imported snapshot costs nothing — spent budget is never repaid.
+	cl2 := NewClient(NewServer(p, Twitter(), Faults{}), 0)
+	cl2.ImportCache(snap)
+	if _, err := cl2.Search("privacy"); err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(0); u < 5; u++ {
+		if _, err := cl2.Connections(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl2.Timeline(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl2.Cost() != 0 {
+		t.Errorf("replay from snapshot cost %d, want 0", cl2.Cost())
+	}
+
+	// Private-status entries replay too.
+	psrv := NewServer(p, Twitter(), Faults{PrivateProb: 1, Seed: 5})
+	pcl := NewClient(psrv, 0)
+	if _, err := pcl.Connections(1); !errors.Is(err, ErrPrivate) {
+		t.Fatal("want ErrPrivate")
+	}
+	pcl2 := NewClient(NewServer(p, Twitter(), Faults{PrivateProb: 1, Seed: 5}), 0)
+	pcl2.ImportCache(pcl.ExportCache())
+	if _, err := pcl2.Connections(1); !errors.Is(err, ErrPrivate) {
+		t.Fatal("private status lost in snapshot")
+	}
+	if pcl2.Cost() != 0 {
+		t.Errorf("cached private probe charged %d", pcl2.Cost())
+	}
+}
+
+func TestResetCostResetsFullAccounting(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{TransientProb: 0.5, RateLimitProb: 0.2, Seed: 20})
+	cl := NewClient(srv, 0)
+	cl.Policy.MaxRetries = 6
+	for u := int64(0); u < 30; u++ {
+		cl.Connections(u)
+	}
+	st := cl.Stats()
+	if st.Calls == 0 || st.Retries == 0 || st.RateLimitHits == 0 || st.Wait == 0 {
+		t.Fatalf("fixture did not exercise the accounting: %+v", st)
+	}
+	cl.ResetCost()
+	if cl.Stats() != (Stats{}) {
+		t.Errorf("ResetCost left accounting behind: %+v", cl.Stats())
+	}
+	// Caches survive: re-reading a cached user is free.
+	if _, err := cl.Connections(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost() != 0 {
+		t.Error("cache lost after ResetCost")
+	}
+}

@@ -1,0 +1,84 @@
+package api
+
+import "time"
+
+// RetryPolicy governs how the Client handles failed calls, by error
+// class:
+//
+//   - ErrTransient (5xx, including ErrTruncated): the attempt consumed
+//     a call slot and is charged; the client backs off exponentially
+//     (with jitter) in virtual time and retries up to MaxRetries times.
+//   - ErrRateLimited (429): the call was rejected at the gate and is
+//     NOT charged; the client waits out the rate-limit window in
+//     virtual time and retries.
+//   - ErrPrivate / ErrUnknownUser: permanent, returned immediately.
+//
+// All waits are virtual: nothing sleeps, the durations accrue into
+// Client.Stats().Wait and hence VirtualDuration() — the wall-clock
+// cost a real crawl would pay, kept separate from the API-call budget
+// the paper's figures plot.
+type RetryPolicy struct {
+	// MaxRetries bounds retry attempts per logical call (beyond the
+	// first attempt). Zero means fail on the first error.
+	MaxRetries int
+	// BaseBackoff is the first transient-error backoff; it doubles per
+	// retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter adds up to Jitter×backoff of seed-deterministic random
+	// extra wait per backoff (0 disables, 1 doubles the worst case).
+	Jitter float64
+	// RateLimitWait is the virtual wait after an ErrRateLimited
+	// rejection; zero uses the preset's full RateLimitWindow.
+	RateLimitWait time.Duration
+	// BreakerThreshold, when positive, trips a circuit breaker after
+	// that many consecutive post-retry logical-call failures; the
+	// failing call surfaces ErrCircuitOpen. The next call waits out
+	// BreakerCooldown (virtual) and probes half-open: a success closes
+	// the breaker, a failure re-trips it immediately.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// DefaultRetryPolicy mirrors what a production crawler ships with:
+// three retries under exponential backoff with 50% jitter, full-window
+// rate-limit waits, and no circuit breaker.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries:  3,
+		BaseBackoff: 500 * time.Millisecond,
+		MaxBackoff:  time.Minute,
+		Jitter:      0.5,
+	}
+}
+
+// Stats is the Client's full accounting snapshot. Calls is the paper's
+// query-cost measure; the remaining fields quantify the price of
+// resilience — what retrying, waiting, and breaker trips added on top.
+type Stats struct {
+	// Calls is the number of charged API calls (== Client.Cost()).
+	Calls int
+	// Retries counts failed attempts that were retried (transient or
+	// truncated responses; each was also charged).
+	Retries int
+	// RateLimitHits counts 429 rejections absorbed by waiting (never
+	// charged).
+	RateLimitHits int
+	// CircuitTrips counts times the circuit breaker opened.
+	CircuitTrips int
+	// Wait is the accumulated virtual wait: retry backoff, rate-limit
+	// windows, breaker cooldowns, and injected slow-call latency.
+	Wait time.Duration
+}
+
+// Add returns the field-wise sum of two snapshots (used to accumulate
+// accounting across resumed run segments).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Calls:         s.Calls + o.Calls,
+		Retries:       s.Retries + o.Retries,
+		RateLimitHits: s.RateLimitHits + o.RateLimitHits,
+		CircuitTrips:  s.CircuitTrips + o.CircuitTrips,
+		Wait:          s.Wait + o.Wait,
+	}
+}

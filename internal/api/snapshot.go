@@ -1,0 +1,70 @@
+package api
+
+import "mba/internal/model"
+
+// CacheSnapshot is a portable copy of a Client's response caches. A
+// walk checkpoint carries one so the run can resume on a fresh Client
+// (new budget, new accounting) without repaying API calls already
+// spent: every response the interrupted run fetched is replayed from
+// the snapshot at zero cost.
+//
+// Cached slices and timelines are shared, not deep-copied — Client
+// responses are read-only by contract.
+type CacheSnapshot struct {
+	conns    map[int64][]int64
+	tls      map[int64]model.Timeline
+	priv     map[int64]bool
+	searches map[string][]int64
+}
+
+// Entries returns the number of cached responses in the snapshot.
+func (cs *CacheSnapshot) Entries() int {
+	if cs == nil {
+		return 0
+	}
+	return len(cs.conns) + len(cs.tls) + len(cs.priv) + len(cs.searches)
+}
+
+// ExportCache copies the client's response caches into a snapshot.
+func (c *Client) ExportCache() *CacheSnapshot {
+	cs := &CacheSnapshot{
+		conns:    make(map[int64][]int64, len(c.connCache)),
+		tls:      make(map[int64]model.Timeline, len(c.tlCache)),
+		priv:     make(map[int64]bool, len(c.privCache)),
+		searches: make(map[string][]int64, len(c.searches)),
+	}
+	for k, v := range c.connCache {
+		cs.conns[k] = v
+	}
+	for k, v := range c.tlCache {
+		cs.tls[k] = v
+	}
+	for k, v := range c.privCache {
+		cs.priv[k] = v
+	}
+	for k, v := range c.searches {
+		cs.searches[k] = v
+	}
+	return cs
+}
+
+// ImportCache merges a snapshot into the client's caches (snapshot
+// entries win on conflict). Costs already spent populating the
+// snapshot are not re-charged — that is the point.
+func (c *Client) ImportCache(cs *CacheSnapshot) {
+	if cs == nil {
+		return
+	}
+	for k, v := range cs.conns {
+		c.connCache[k] = v
+	}
+	for k, v := range cs.tls {
+		c.tlCache[k] = v
+	}
+	for k, v := range cs.priv {
+		c.privCache[k] = v
+	}
+	for k, v := range cs.searches {
+		c.searches[k] = v
+	}
+}

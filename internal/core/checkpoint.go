@@ -1,0 +1,92 @@
+package core
+
+import (
+	"mba/internal/api"
+	"mba/internal/model"
+)
+
+// Checkpoint algorithm families.
+const (
+	algoSRW  = "srw"
+	algoTARW = "tarw"
+)
+
+// Checkpoint captures the resumable state of an estimation run: the
+// walk's collected samples (chain entries or per-walk Hansen–Hurwitz
+// estimates), the current position, the ESTIMATE-p probability cache,
+// the selected interval, the cumulative cost/accounting of every
+// segment so far, and a snapshot of the API client's response caches.
+//
+// Every Result carries one. When a run is interrupted — budget
+// exhaustion, an outage that survives the retry policy, a tripped
+// circuit breaker — pass the checkpoint to SRWOptions.Resume or
+// TARWOptions.Resume on a session over a fresh Client: the cached
+// responses are replayed at zero cost, so already-spent API calls are
+// never repaid, and the reported Cost/Stats stay cumulative and
+// truthful across segments.
+type Checkpoint struct {
+	algo       string
+	segments   int
+	priorCost  int
+	priorStats api.Stats
+	interval   model.Tick
+	cache      *api.CacheSnapshot
+	traj       []Point
+
+	// MA-SRW / M&R state.
+	chain   []srwSample
+	cur     int64
+	haveCur bool
+
+	// MA-TARW state.
+	sumEsts, cntEsts, seedEsts []float64
+	zeroPaths                  int
+	pUp, pDown                 map[int64]*pStat
+}
+
+// Algo names the algorithm family the checkpoint belongs to ("srw"
+// covers MA-SRW, the SRW baselines, and M&R; "tarw" is MA-TARW).
+func (ck *Checkpoint) Algo() string { return ck.algo }
+
+// Segments returns how many run segments produced this checkpoint.
+func (ck *Checkpoint) Segments() int { return ck.segments }
+
+// SpentCost returns the cumulative API calls charged across all
+// segments — the cost a resumed run starts from (and never repays).
+func (ck *Checkpoint) SpentCost() int { return ck.priorCost }
+
+// SpentStats returns the cumulative accounting across all segments.
+func (ck *Checkpoint) SpentStats() api.Stats { return ck.priorStats }
+
+// Samples returns the number of collected walk samples.
+func (ck *Checkpoint) Samples() int {
+	if ck.algo == algoTARW {
+		return len(ck.sumEsts)
+	}
+	return len(ck.chain)
+}
+
+// CachedResponses returns the size of the carried API response cache.
+func (ck *Checkpoint) CachedResponses() int { return ck.cache.Entries() }
+
+// restore primes a (possibly fresh) session with the checkpoint's
+// cached API responses and level interval so resuming repays nothing.
+func (ck *Checkpoint) restore(s *Session) {
+	if ck.cache != nil {
+		s.Client.ImportCache(ck.cache)
+	}
+	if ck.interval > 0 {
+		s.SetInterval(ck.interval)
+	}
+}
+
+// copyPStats deep-copies a probability cache so a checkpoint is
+// isolated from the continuing run's mutations.
+func copyPStats(m map[int64]*pStat) map[int64]*pStat {
+	out := make(map[int64]*pStat, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -33,6 +34,29 @@ type Result struct {
 	// ZeroProbPaths counts TARW probability estimates that came back
 	// zero and were skipped (diagnostic; see ESTIMATE-p discussion).
 	ZeroProbPaths int
+	// Degraded is true when the run hit an unrecoverable non-budget
+	// fault mid-walk (e.g. a post-retry outage or a tripped circuit
+	// breaker) and returned the partial estimate collected so far —
+	// with truthful cumulative cost — instead of an error. DegradedBy
+	// records the fault. Resume from Checkpoint to continue the run.
+	Degraded   bool
+	DegradedBy error
+	// Stats is the client's full accounting (charged calls, retries,
+	// rate-limit waits, circuit trips, virtual wait), accumulated
+	// across resumed segments.
+	Stats api.Stats
+	// Checkpoint is the resumable walk state at the moment the run
+	// returned. Pass it to SRWOptions.Resume / TARWOptions.Resume on a
+	// session over a fresh client to continue without repaying any
+	// already-spent API calls.
+	Checkpoint *Checkpoint
+}
+
+// degrade marks a result as a partial, fault-interrupted outcome.
+func degrade(res Result, err error) Result {
+	res.Degraded = true
+	res.DegradedBy = err
+	return res
 }
 
 // SRWOptions configures RunSRW.
@@ -62,6 +86,12 @@ type SRWOptions struct {
 	// a level-by-level graph with only a fraction of intra-level edges
 	// removed. When set, View is ignored.
 	Graph func(u int64) ([]int64, error)
+	// Resume continues a run from a prior SRW-family checkpoint: the
+	// collected chain, walk position, and trajectory are restored, the
+	// checkpoint's cached API responses are imported into the session's
+	// client (so nothing already paid for is repaid), and cost/stats
+	// accounting stays cumulative across segments.
+	Resume *Checkpoint
 }
 
 func (o SRWOptions) withDefaults() SRWOptions {
@@ -102,20 +132,53 @@ type srwSample struct {
 //
 // The walk runs until the client budget is exhausted (or MaxSteps).
 // Budget exhaustion is not an error: the result carries whatever
-// estimate the spent budget bought.
+// estimate the spent budget bought. Likewise, an unrecoverable fault
+// mid-walk (a post-retry transient, an outage, a tripped circuit
+// breaker) does not abort the run: the result carries the partial
+// estimate, flagged Degraded, with a Checkpoint to resume from.
+// Errors are reserved for failures before any walk state exists
+// (invalid query, failed seed search).
 func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 
-	var res Result
+	var (
+		res        Result
+		chain      []srwSample
+		traj       []Point
+		priorCost  int
+		priorStats api.Stats
+		segments   int
+		resumeAt   int64
+		haveResume bool
+	)
+	if ck := opts.Resume; ck != nil {
+		if ck.algo != algoSRW {
+			return res, fmt.Errorf("core: cannot resume a %s checkpoint with RunSRW", ck.algo)
+		}
+		ck.restore(s)
+		chain = append(chain, ck.chain...)
+		traj = append(traj, ck.traj...)
+		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
+		resumeAt, haveResume = ck.cur, ck.haveCur
+	}
+	// Derive the RNG from the segment index so a resumed walk explores
+	// fresh randomness instead of replaying the interrupted segment.
+	rng := rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
+
 	seeds, err := s.Seeds()
 	if err != nil {
 		return res, err
 	}
-	start, err := s.PickSeed(seeds, rng)
-	if err != nil {
-		res.Cost = s.Client.Cost()
-		return res, err
+	var start int64
+	if haveResume {
+		start = resumeAt
+	} else {
+		start, err = s.PickSeed(seeds, rng)
+		if err != nil {
+			res.Cost = s.Client.Cost()
+			res.Stats = s.Client.Stats()
+			return res, err
+		}
 	}
 
 	oracle := opts.Graph
@@ -124,17 +187,30 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	}
 	w := walk.NewSimple(walk.GraphFunc(oracle), start, rng)
 
-	var chain []srwSample
 	// Trajectory checkpoints start EmitEvery apart and grow ~5% per
 	// emission, keeping the estimate-recomputation cost (O(chain) per
 	// checkpoint) near-linear over long walks.
-	nextEmit := opts.EmitEvery
+	nextEmit := len(chain) + opts.EmitEvery
 	finalize := func() Result {
-		res.Cost = s.Client.Cost()
+		res.Cost = priorCost + s.Client.Cost()
+		res.Stats = priorStats.Add(s.Client.Stats())
 		res.Samples = len(chain)
+		res.Trajectory = traj
 		res.Estimate = math.NaN()
 		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
 			res.Estimate = est
+		}
+		res.Checkpoint = &Checkpoint{
+			algo:       algoSRW,
+			segments:   segments + 1,
+			priorCost:  res.Cost,
+			priorStats: res.Stats,
+			interval:   s.Interval,
+			cache:      s.Client.ExportCache(),
+			traj:       append([]Point(nil), traj...),
+			chain:      append([]srwSample(nil), chain...),
+			cur:        w.Current(),
+			haveCur:    true,
 		}
 		return res
 	}
@@ -158,12 +234,12 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 				return finalize(), nil
 			}
 			if serr != nil {
-				return finalize(), serr
+				return degrade(finalize(), serr), nil
 			}
 			w.Jump(ns)
 			continue
 		case err != nil:
-			return finalize(), err
+			return degrade(finalize(), err), nil
 		}
 
 		deg, match, value, err := s.sampleFacts(u, oracle)
@@ -171,13 +247,13 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			return finalize(), nil
 		}
 		if err != nil {
-			return finalize(), err
+			return degrade(finalize(), err), nil
 		}
 		chain = append(chain, srwSample{u: u, degree: deg, match: match, value: value})
 
 		if len(chain) >= nextEmit {
 			if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
-				res.Trajectory = append(res.Trajectory, Point{Cost: s.Client.Cost(), Estimate: est})
+				traj = append(traj, Point{Cost: priorCost + s.Client.Cost(), Estimate: est})
 			}
 			growth := nextEmit / 20
 			if growth < opts.EmitEvery {

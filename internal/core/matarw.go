@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -50,6 +51,12 @@ type TARWOptions struct {
 	// Hansen–Hurwitz weights — well conditioned. On by default; set
 	// AllowCrossLevel to walk cross-level edges too.
 	AllowCrossLevel bool
+	// Resume continues a run from a prior MA-TARW checkpoint: the
+	// per-walk estimates, ESTIMATE-p probability cache, and selected
+	// interval are restored, and the checkpoint's cached API responses
+	// are imported into the session's client so nothing already paid
+	// for is repaid. Interval selection is skipped on resume.
+	Resume *Checkpoint
 	// WeightClip winsorizes the Hansen–Hurwitz weights 1/p̂ at
 	// WeightClip × s (s = seed count). Visit probabilities in a real
 	// (irregular) level DAG are badly skewed, and an occasional
@@ -117,40 +124,84 @@ type tarw struct {
 // the recursive ESTIMATE-p procedure (Algorithm 2), enabling
 // Hansen–Hurwitz estimation of SUM and COUNT without mark-and-recapture
 // and without any burn-in.
+// Like RunSRW, budget exhaustion and unrecoverable mid-run faults are
+// not errors: the former returns the partial result plainly, the
+// latter returns it flagged Degraded with a resumable Checkpoint.
 func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 	opts = opts.withDefaults()
+
+	var (
+		res        Result
+		traj       []Point
+		priorCost  int
+		priorStats api.Stats
+		segments   int
+	)
+	// Per-walk estimates of SUM(f·match), COUNT(match), and the
+	// calibration control COUNT(seed) whose true total is known.
+	var sumEsts, cntEsts, seedEsts []float64
+
 	t := &tarw{
 		s:     s,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
 		opts:  opts,
 		pUp:   make(map[int64]*pStat),
 		pDown: make(map[int64]*pStat),
 	}
+	if ck := opts.Resume; ck != nil {
+		if ck.algo != algoTARW {
+			return res, fmt.Errorf("core: cannot resume a %s checkpoint with RunTARW", ck.algo)
+		}
+		ck.restore(s)
+		sumEsts = append(sumEsts, ck.sumEsts...)
+		cntEsts = append(cntEsts, ck.cntEsts...)
+		seedEsts = append(seedEsts, ck.seedEsts...)
+		traj = append(traj, ck.traj...)
+		t.zeroPaths = ck.zeroPaths
+		t.pUp = copyPStats(ck.pUp)
+		t.pDown = copyPStats(ck.pDown)
+		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
+	}
+	// Segment-derived RNG: a resumed run continues with fresh draws.
+	t.rng = rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
 
-	var res Result
 	seeds, err := s.Seeds()
 	if err != nil {
 		return res, err
 	}
 	t.seeds = seeds
 
-	if opts.SelectInterval {
-		if err := t.selectInterval(); err != nil && !errors.Is(err, api.ErrBudgetExhausted) {
-			return res, err
-		}
+	if opts.SelectInterval && opts.Resume == nil {
+		// Interval selection is a pilot optimization, not a correctness
+		// requirement: if the pilots die to a fault, fall back to the
+		// session's current interval instead of aborting the run.
+		_ = t.selectInterval()
 	}
 
-	// Per-walk estimates of SUM(f·match), COUNT(match), and the
-	// calibration control COUNT(seed) whose true total is known.
-	var sumEsts, cntEsts, seedEsts []float64
 	sSize := float64(seeds.Size())
 	finalize := func() Result {
-		res.Cost = s.Client.Cost()
+		res.Cost = priorCost + s.Client.Cost()
+		res.Stats = priorStats.Add(s.Client.Stats())
 		res.Samples = len(sumEsts)
 		res.ZeroProbPaths = t.zeroPaths
+		res.Trajectory = traj
 		res.Estimate = math.NaN()
 		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
 			res.Estimate = est
+		}
+		res.Checkpoint = &Checkpoint{
+			algo:       algoTARW,
+			segments:   segments + 1,
+			priorCost:  res.Cost,
+			priorStats: res.Stats,
+			interval:   s.Interval,
+			cache:      s.Client.ExportCache(),
+			traj:       append([]Point(nil), traj...),
+			sumEsts:    append([]float64(nil), sumEsts...),
+			cntEsts:    append([]float64(nil), cntEsts...),
+			seedEsts:   append([]float64(nil), seedEsts...),
+			zeroPaths:  t.zeroPaths,
+			pUp:        copyPStats(t.pUp),
+			pDown:      copyPStats(t.pDown),
 		}
 		return res
 	}
@@ -170,7 +221,7 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 			continue
 		}
 		if err != nil {
-			return finalize(), err
+			return degrade(finalize(), err), nil
 		}
 		sumEsts = append(sumEsts, sumEst)
 		cntEsts = append(cntEsts, cntEst)
@@ -178,7 +229,7 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 
 		if len(sumEsts)%opts.EmitEvery == 0 {
 			if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
-				res.Trajectory = append(res.Trajectory, Point{Cost: s.Client.Cost(), Estimate: est})
+				traj = append(traj, Point{Cost: priorCost + s.Client.Cost(), Estimate: est})
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mba/internal/workload"
+)
+
+// TestChaosSweep runs the full chaos harness at test scale: every
+// scenario × algorithm cell must complete without error, stay within
+// budget, and the faulty scenarios must show resilience work (retries
+// or rate-limit hits) that the baseline does not.
+func TestChaosSweep(t *testing.T) {
+	opts := Options{
+		Scale:  workload.Test,
+		Seed:   5,
+		Trials: 1,
+		Budget: 3000,
+	}
+	tab, err := Chaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "chaos" {
+		t.Errorf("table ID = %q", tab.ID)
+	}
+	wantRows := len(chaosScenarios(opts.Seed)) * 3 // 3 algorithms per scenario
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+	for _, key := range []string{"Scenario", "Algo", "RelErr", "Cost", "Retries", "RateLimited", "Resumes", "Degraded"} {
+		if _, ok := col[key]; !ok {
+			t.Fatalf("missing column %q", key)
+		}
+	}
+
+	cell := func(row []string, name string) string { return row[col[name]] }
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return n
+	}
+	faultyWork := 0
+	for _, row := range tab.Rows {
+		scenario := cell(row, "Scenario")
+		if c := atoi(cell(row, "Cost")); c <= 0 || c > opts.Budget {
+			t.Errorf("%s/%s: cost %d outside (0, %d]", scenario, cell(row, "Algo"), c, opts.Budget)
+		}
+		retries, hits := atoi(cell(row, "Retries")), atoi(cell(row, "RateLimited"))
+		if scenario == "baseline" {
+			if retries != 0 || hits != 0 {
+				t.Errorf("baseline shows fault work: retries=%d rateLimited=%d", retries, hits)
+			}
+			if !strings.HasPrefix(cell(row, "Degraded"), "0/") {
+				t.Errorf("baseline degraded: %s", cell(row, "Degraded"))
+			}
+		} else {
+			faultyWork += retries + hits
+		}
+	}
+	if faultyWork == 0 {
+		t.Error("no scenario recorded any retries or rate-limit hits")
+	}
+}

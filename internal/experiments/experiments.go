@@ -230,6 +230,10 @@ type runSpec struct {
 	graph func(s *core.Session) func(u int64) ([]int64, error)
 	// tarw tweaks (zero value = defaults).
 	tarw core.TARWOptions
+	// faults injects API failures (zero value = a healthy platform).
+	faults api.Faults
+	// policy overrides the client's retry policy (nil = default).
+	policy *api.RetryPolicy
 }
 
 // run executes one estimator over a fresh client and returns the
@@ -238,8 +242,11 @@ func run(p *platform.Platform, spec runSpec) (core.Result, error) {
 	if spec.preset.Name == "" {
 		spec.preset = api.Twitter()
 	}
-	srv := api.NewServer(p, spec.preset, api.Faults{})
+	srv := api.NewServer(p, spec.preset, spec.faults)
 	client := api.NewClient(srv, spec.budget)
+	if spec.policy != nil {
+		client.Policy = *spec.policy
+	}
 	s, err := core.NewSession(client, spec.q, spec.interval)
 	if err != nil {
 		return core.Result{}, err

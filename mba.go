@@ -190,6 +190,9 @@ type Options struct {
 	// PrivateUserFraction and TransientErrorRate inject API faults.
 	PrivateUserFraction float64
 	TransientErrorRate  float64
+	// RateLimitErrorRate injects 429-style rejections; the client waits
+	// them out in virtual time instead of spending budget.
+	RateLimitErrorRate float64
 }
 
 // Estimate is an aggregate estimation result.
@@ -202,10 +205,20 @@ type Estimate struct {
 	// Samples is the number of walk samples or walk instances used.
 	Samples int
 	// VirtualDuration is how long the run would take on the real
-	// platform under its published rate limit.
+	// platform under its published rate limit, including virtual waits
+	// the retry policy accrued (backoff, rate-limit windows).
 	VirtualDuration time.Duration
 	// Trajectory records (cost, estimate) convergence points.
 	Trajectory []TrajectoryPoint
+	// Degraded is true when unrecoverable API faults interrupted the run
+	// faster than Estimate could resume it (checkpoint resumes are
+	// automatic while budget remains) and Value is the partial estimate
+	// collected up to that point (Cost stays truthful).
+	Degraded bool
+	// Retries and RateLimitHits quantify the resilience overhead the
+	// run paid on top of Cost.
+	Retries       int
+	RateLimitHits int
 }
 
 // TrajectoryPoint is one convergence sample.
@@ -227,47 +240,80 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	srv := api.NewServer(p.sim, o.Preset.preset(), api.Faults{
 		PrivateProb:   o.PrivateUserFraction,
 		TransientProb: o.TransientErrorRate,
+		RateLimitProb: o.RateLimitErrorRate,
 		Seed:          o.Seed,
 	})
-	client := api.NewClient(srv, o.Budget)
 	interval := model.Tick(o.IntervalHours)
 	if interval <= 0 {
 		interval = model.Day
 	}
-	session, err := core.NewSession(client, q, interval)
-	if err != nil {
-		return Estimate{}, err
+	runOnce := func(session *core.Session, ck *core.Checkpoint) (core.Result, error) {
+		switch o.Algorithm {
+		case MASRW:
+			return core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed, Resume: ck})
+		case MR:
+			return core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed, Resume: ck})
+		default:
+			tarw := core.TARWOptions{
+				Seed:           o.Seed,
+				SelectInterval: o.IntervalHours == 0,
+				Resume:         ck,
+			}
+			if q.Agg != query.Avg {
+				// COUNT/SUM need the full cross-level lattice for support and
+				// a loose winsorization so the Hansen–Hurwitz mass survives;
+				// AVG prefers the well-conditioned adjacent-level profile.
+				tarw.AllowCrossLevel = true
+				tarw.WeightClip = 100
+				tarw.PEstimates = 5
+			}
+			return core.RunTARW(session, tarw)
+		}
 	}
 
-	var res core.Result
-	switch o.Algorithm {
-	case MASRW:
-		res, err = core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed})
-	case MR:
-		res, err = core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed})
-	default:
-		tarw := core.TARWOptions{
-			Seed:           o.Seed,
-			SelectInterval: o.IntervalHours == 0,
-		}
-		if q.Agg != query.Avg {
-			// COUNT/SUM need the full cross-level lattice for support and
-			// a loose winsorization so the Hansen–Hurwitz mass survives;
-			// AVG prefers the well-conditioned adjacent-level profile.
-			tarw.AllowCrossLevel = true
-			tarw.WeightClip = 100
-			tarw.PEstimates = 5
-		}
-		res, err = core.RunTARW(session, tarw)
-	}
+	session, err := core.NewSession(api.NewClient(srv, o.Budget), q, interval)
 	if err != nil {
 		return Estimate{}, err
+	}
+	res, err := runOnce(session, nil)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Ride faults out: while an unrecoverable fault degraded the run and
+	// budget remains, resume from the checkpoint on a fresh client —
+	// cached responses replay at zero cost, so spent calls are never
+	// repaid. Bounded in case the platform never recovers.
+	for resumes := 0; res.Degraded && res.Cost < o.Budget && resumes < 100; resumes++ {
+		client := api.NewClient(srv, o.Budget-res.Cost)
+		session, err = core.NewSession(client, q, interval)
+		if err != nil {
+			break
+		}
+		prev := res
+		res, err = runOnce(session, prev.Checkpoint)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if res.Cost <= prev.Cost && res.Samples <= prev.Samples {
+			break // no progress; report the degraded partial result
+		}
+	}
+	// Virtual duration from the cumulative accounting (the last client
+	// alone only saw the final segment).
+	preset := o.Preset.preset()
+	virtual := res.Stats.Wait
+	if preset.RateLimitCalls > 0 {
+		windows := (res.Stats.Calls + preset.RateLimitCalls - 1) / preset.RateLimitCalls
+		virtual += time.Duration(windows) * preset.RateLimitWindow
 	}
 	est := Estimate{
 		Value:           res.Estimate,
 		Cost:            res.Cost,
 		Samples:         res.Samples,
-		VirtualDuration: client.VirtualDuration(),
+		VirtualDuration: virtual,
+		Degraded:        res.Degraded,
+		Retries:         res.Stats.Retries,
+		RateLimitHits:   res.Stats.RateLimitHits,
 	}
 	for _, pt := range res.Trajectory {
 		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
