@@ -1,8 +1,8 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet test race bench chaos
+.PHONY: ci build vet lint fmt-check test race bench chaos fuzz
 
-ci: build vet race
+ci: build vet lint race
 
 build:
 	go build ./...
@@ -10,11 +10,32 @@ build:
 vet:
 	go vet ./...
 
+# Domain-invariant analyzers (determinism, budget accounting, virtual
+# time — see DESIGN.md §8). Also runnable as a vet tool:
+#   go build -o bin/mba-lint ./cmd/mba-lint
+#   go vet -vettool=$(PWD)/bin/mba-lint ./...
+# staticcheck/govulncheck run when installed (CI pins them; local runs
+# skip silently if the tools are absent).
+lint: fmt-check
+	go run ./cmd/mba-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	go test ./...
 
 race:
 	go test -race ./...
+
+# Short fuzz session over the query parser (CI runs the same).
+fuzz:
+	go test ./internal/query -run='^$$' -fuzz=FuzzParseQuery -fuzztime=10s
 
 # Full evaluation regeneration (bench scale; slow).
 bench:

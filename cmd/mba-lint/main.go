@@ -1,0 +1,154 @@
+// Command mba-lint runs the mba-lint analyzer suite (internal/lint):
+// six domain-invariant checkers that keep the paper-level claims
+// mechanically true — seed-determinism, single-path budget accounting,
+// virtual time, checked budget errors, deterministic map iteration,
+// and compensated float summation.
+//
+// Standalone (lints the whole module, from any directory inside it):
+//
+//	mba-lint ./...
+//	mba-lint -only norawrand,floatsum ./...
+//	mba-lint -list
+//
+// As a go vet backend (per-package, types from export data):
+//
+//	go build -o bin/mba-lint ./cmd/mba-lint
+//	go vet -vettool=$PWD/bin/mba-lint ./...
+//
+// Exit status is 1 when diagnostics are reported, 2 on usage or load
+// errors. Diagnostics can be suppressed line-by-line with
+// `//lint:ignore <analyzer> reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mba/internal/lint"
+)
+
+func main() {
+	// go vet probes its tool with -V=full (version stamp) and -flags
+	// (JSON list of tool flags it may forward) before handing it
+	// package config files; answer both protocol calls before flag
+	// parsing. We expose no vet-forwardable flags.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("mba-lint version 1 (suite: %s)\n", strings.Join(analyzerNames(), ","))
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mba-lint [-only a,b] [-list] [./...]\n       (as vet tool) go vet -vettool=$(command -v mba-lint) ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		os.Exit(2)
+	}
+
+	// vet protocol: a single *.cfg argument describes one package.
+	if args := flag.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(analyzers, args[0]))
+	}
+	os.Exit(runStandalone(analyzers))
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runStandalone lints every package of the enclosing module.
+func runStandalone(analyzers []*lint.Analyzer) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	diags, err := lint.RunAll(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mba-lint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

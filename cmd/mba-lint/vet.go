@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"mba/internal/lint"
+)
+
+// vetConfig is the subset of the `go vet` unit-checker config file the
+// tool needs: the package's sources plus the compiled export data of
+// its dependencies, so type-checking needs neither the network nor a
+// source walk.
+type vetConfig struct {
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly marks a dependency package being visited only so the
+	// tool can compute facts for downstream packages; diagnostics must
+	// not be reported for it. VetxOutput is the facts file go vet
+	// expects the tool to produce (we keep no facts, so it is empty).
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// runVet analyzes the single package described by a vet .cfg file and
+// prints diagnostics in the file:line:col form go vet relays.
+func runVet(analyzers []*lint.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint: parsing vet config:", err)
+		return 2
+	}
+	// go vet caches per-package results keyed on the facts file, so the
+	// tool must always produce it — even for packages it skips.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint:", err)
+			return 2
+		}
+	}
+	// Dependencies are visited facts-only; the invariants are about this
+	// module's code, not the standard library's relationship to it.
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test variants ("pkg [pkg.test]", "pkg.test") re-analyze the same
+	// sources plus _test.go files; the invariants target non-test code.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint: type-checking:", err)
+		return 2
+	}
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := lint.RunAll(analyzers, []*lint.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mba-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

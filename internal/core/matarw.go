@@ -8,6 +8,7 @@ import (
 
 	"mba/internal/api"
 	"mba/internal/query"
+	"mba/internal/stats"
 )
 
 // TARWOptions configures RunTARW (Algorithm 3, MA-TARW).
@@ -500,11 +501,7 @@ func tarwEstimate(agg query.Aggregate, seedTotal float64, sumEsts, cntEsts, seed
 		return 0, false
 	}
 	mean := func(xs []float64) float64 {
-		var s float64
-		for _, x := range xs {
-			s += x
-		}
-		return s / float64(len(xs))
+		return stats.KahanSum(xs) / float64(len(xs))
 	}
 	calib := 1.0
 	if sm := mean(seedEsts); sm > 0 && seedTotal > 0 {

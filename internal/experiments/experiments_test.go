@@ -226,3 +226,34 @@ func TestCountComparisonSmoke(t *testing.T) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 }
+
+// TestCSVDeterministic runs the cheap emitters twice and requires
+// byte-identical CSV. Every `range` over a map starts at a random
+// bucket, so two same-process runs exercise different iteration
+// orders; any order-dependence in graph traversal or float reduction
+// (non-associative addition) shows up as a byte diff here.
+func TestCSVDeterministic(t *testing.T) {
+	emitters := []struct {
+		name string
+		f    func(Options) (Table, error)
+	}{
+		{"table2", Table2},
+		{"figure7", Figure7},
+	}
+	for _, em := range emitters {
+		csv := func() string {
+			tab, err := em.f(fastOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", em.name, err)
+			}
+			var buf bytes.Buffer
+			if err := tab.WriteCSV(&buf); err != nil {
+				t.Fatalf("%s: %v", em.name, err)
+			}
+			return buf.String()
+		}
+		if a, b := csv(), csv(); a != b {
+			t.Errorf("%s: CSV differs between two identical runs:\n--- run 1\n%s--- run 2\n%s", em.name, a, b)
+		}
+	}
+}

@@ -106,11 +106,13 @@ func (g *Graph) Nodes() []int64 {
 	return out
 }
 
-// Edges calls fn once per undirected edge with u < v. It stops early if
-// fn returns false.
+// Edges calls fn once per undirected edge with u < v, in ascending
+// (u, v) order — deterministic, so edge-order-sensitive consumers
+// (persisted snapshots, partial-graph sampling, table emitters) are
+// byte-identical across runs. It stops early if fn returns false.
 func (g *Graph) Edges(fn func(u, v int64) bool) {
-	for u, ns := range g.adj {
-		for _, v := range ns {
+	for _, u := range g.Nodes() {
+		for _, v := range g.adj[u] {
 			if u < v {
 				if !fn(u, v) {
 					return
@@ -320,11 +322,15 @@ func (g *Graph) Modularity(labels map[int64]int) float64 {
 	}
 	intra := make(map[int]float64) // edges inside community (doubled)
 	degSum := make(map[int]float64)
-	for u, ns := range g.adj {
+	// Iterate nodes in sorted order: keyed float accumulation under raw
+	// map iteration would make low-order bits (and hence emitted table
+	// cells) vary run to run.
+	for _, u := range g.Nodes() {
 		cu, ok := labels[u]
 		if !ok {
 			continue
 		}
+		ns := g.adj[u]
 		degSum[cu] += float64(len(ns))
 		for _, v := range ns {
 			if cv, ok := labels[v]; ok && cv == cu {
@@ -332,14 +338,15 @@ func (g *Graph) Modularity(labels map[int64]int) float64 {
 			}
 		}
 	}
-	var q float64
-	for c, in := range intra {
-		q += in/m2 - (degSum[c]/m2)*(degSum[c]/m2)
+	comms := make([]int, 0, len(degSum))
+	for c := range degSum {
+		comms = append(comms, c)
 	}
-	for c, d := range degSum {
-		if _, ok := intra[c]; !ok {
-			q -= (d / m2) * (d / m2)
-		}
+	sort.Ints(comms)
+	var q float64
+	for _, c := range comms {
+		d := degSum[c]
+		q += intra[c]/m2 - (d/m2)*(d/m2)
 	}
 	return q
 }

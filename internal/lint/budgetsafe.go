@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// chargedEndpoints are the Server interface calls that cost budget.
+var chargedEndpoints = map[string]bool{
+	"Search": true, "Connections": true, "Timeline": true,
+}
+
+// budgetsafePkgs are the package basenames where raw Server access is
+// forbidden: estimators and experiment runners must pay for every call
+// through api.Client so Stats/Checkpoint cost accounting stays
+// truthful.
+var budgetsafePkgs = map[string]bool{
+	"core": true, "walk": true, "experiments": true,
+}
+
+// BudgetSafe forbids estimator and experiment packages from invoking
+// api.Server.Search/Connections/Timeline directly. A direct Server
+// call returns real data at zero recorded cost, silently deflating the
+// query-cost axis of every figure; api.Client is the single accounting
+// path (charging, caching, retries, budget, checkpoint snapshots).
+var BudgetSafe = &Analyzer{
+	Name: "budgetsafe",
+	Doc: "forbid direct api.Server access from estimator/experiment packages; " +
+		"all charged calls go through api.Client",
+	Run: runBudgetSafe,
+}
+
+func runBudgetSafe(pass *Pass) error {
+	if !budgetsafePkgs[pass.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := pass.MethodOn(call, "api", "Server", chargedEndpoints); ok {
+				pass.Reportf(call.Pos(),
+					"direct api.Server.%s bypasses Client cost accounting; route the call through api.Client", m)
+			}
+			return true
+		})
+	}
+	return nil
+}

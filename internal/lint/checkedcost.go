@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CheckedCost flags charged api.Client calls whose error result is
+// discarded — a bare call statement, `_` in the error position, or a
+// call fired through go/defer. Client.Search/Connections/Timeline
+// return ErrBudgetExhausted and ErrCircuitOpen through that error; a
+// dropped one corrupts Degraded partial-result semantics and lets a
+// run keep walking on a spent budget.
+var CheckedCost = &Analyzer{
+	Name: "checkedcost",
+	Doc: "flag discarded errors from charged api.Client methods; dropped " +
+		"ErrBudget/ErrCircuitOpen corrupts Degraded/Resume semantics",
+	Run: runCheckedCost,
+}
+
+func runCheckedCost(pass *Pass) error {
+	charged := func(call *ast.CallExpr) (string, bool) {
+		return pass.MethodOn(call, "api", "Client", chargedEndpoints)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if m, ok := charged(call); ok {
+						pass.Reportf(call.Pos(),
+							"result and error of charged api.Client.%s are discarded; a dropped ErrBudget/ErrCircuitOpen breaks Degraded/Resume accounting", m)
+					}
+				}
+			case *ast.GoStmt:
+				if m, ok := charged(st.Call); ok {
+					pass.Reportf(st.Call.Pos(),
+						"charged api.Client.%s fired via go discards its error; budget failures must be observed", m)
+				}
+			case *ast.DeferStmt:
+				if m, ok := charged(st.Call); ok {
+					pass.Reportf(st.Call.Pos(),
+						"charged api.Client.%s fired via defer discards its error; budget failures must be observed", m)
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				m, ok := charged(call)
+				if !ok {
+					return true
+				}
+				// The error is the call's last result, assigned to the
+				// last LHS position.
+				last := st.Lhs[len(st.Lhs)-1]
+				if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"error of charged api.Client.%s assigned to _; check it — ErrBudgetExhausted and ErrCircuitOpen carry Degraded/Resume state", m)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `range` over a map where the nondeterministic
+// iteration order can escape into an ordered artifact: appending to a
+// slice declared outside the loop (unless that slice is sorted later
+// in the same function), emitting output (fmt printers, Write*
+// methods) mid-iteration, accumulating into a float (float addition is
+// not associative, so the reduced value depends on iteration order),
+// or invoking a caller-supplied callback (which exports the order
+// wholesale). Benchmark tables, CSV artifacts, and persisted snapshots
+// must be byte-identical across runs of the same seed; the idiomatic
+// fix is collect keys → sort → range over the sorted slice.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration whose order leaks into slices, emitted output, " +
+		"float reductions, or callbacks without an intervening sort",
+	Run: runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		var bodies []*ast.BlockStmt
+		var ranges []*ast.RangeStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					bodies = append(bodies, x.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, x.Body)
+			case *ast.RangeStmt:
+				if isMapRange(pass, x) {
+					ranges = append(ranges, x)
+				}
+			}
+			return true
+		})
+		for _, rs := range ranges {
+			checkMapRange(pass, rs, enclosingBody(bodies, rs))
+		}
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost function body containing n — the
+// scope the sorted-later exemption scans past the range statement.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || b.End()-b.Pos() < best.End()-best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// rootObj resolves the variable a (possibly nested) assignable
+// expression ultimately stores into: sum, st.sum, xs[i] -> sum, st, xs.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	return obj != nil && (obj.Pos() < node.Pos() || obj.Pos() > node.End())
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Nested map ranges are reported on their own visit.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapRange(pass, inner) {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, rs, enclosing, st)
+		case *ast.CallExpr:
+			checkRangeCall(pass, rs, st)
+		}
+		return true
+	})
+}
+
+func checkRangeAssign(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(st.Lhs) {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				continue
+			}
+			// A keyed store (m2[k] = append(...)) lands each iteration's
+			// result under its own key; only appends that grow one shared
+			// slice are order-sensitive.
+			if _, keyed := st.Lhs[i].(*ast.IndexExpr); keyed {
+				continue
+			}
+			obj := rootObj(pass, st.Lhs[i])
+			if !declaredOutside(obj, rs) {
+				continue
+			}
+			if sortedLaterIn(pass, enclosing, rs, obj) {
+				continue
+			}
+			pass.Reportf(st.Pos(),
+				"append to %s inside map iteration makes its element order nondeterministic; collect keys, sort, then range over the sorted slice (or sort %s afterwards)",
+				obj.Name(), obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		tv, ok := pass.TypesInfo.Types[lhs]
+		if !ok || !isFloat(tv.Type) {
+			return
+		}
+		obj := rootObj(pass, lhs)
+		if !declaredOutside(obj, rs) {
+			return
+		}
+		pass.Reportf(st.Pos(),
+			"float accumulation under map iteration is order-dependent (float addition is not associative); iterate sorted keys for a reproducible reduction")
+	}
+}
+
+func checkRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// A caller-supplied callback exports the iteration order.
+		if v, ok := pass.TypesInfo.ObjectOf(fun).(*types.Var); ok {
+			if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc && declaredOutside(v, rs) {
+				pass.Reportf(call.Pos(),
+					"calling callback %s inside map iteration exports the nondeterministic order to the caller; iterate sorted keys", fun.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && pass.ImportedPkgPath(id) == "fmt" {
+			name := fun.Sel.Name
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside map iteration emits lines in nondeterministic order; iterate sorted keys", name)
+			}
+			return
+		}
+		switch fun.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll":
+			pass.Reportf(call.Pos(),
+				"%s inside map iteration emits records in nondeterministic order; iterate sorted keys", fun.Sel.Name)
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedLaterIn reports whether obj is passed to a sort.* or slices.*
+// call after the range statement in the enclosing function body — the
+// collect-then-sort idiom, which is deterministic.
+func sortedLaterIn(pass *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if enclosing == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if p := pass.ImportedPkgPath(id); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if aid, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(aid) == obj {
+					sorted = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}

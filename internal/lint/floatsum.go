@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatsumPkgs are the package basenames floatsum patrols: the stats
+// helpers and the estimator hot paths whose reductions land directly
+// in reported estimates.
+var floatsumPkgs = map[string]bool{
+	"stats": true, "core": true, "walk": true,
+}
+
+// FloatSum flags naive `sum += x` accumulation over float64 slices in
+// estimator hot paths. Naive summation loses low-order bits to
+// cancellation and makes the result depend on accumulation order;
+// stats.KahanSum / stats.KahanAdder (compensated summation) are the
+// sanctioned replacements, keeping estimates stable as code is
+// refactored and sample counts grow toward production scale.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc: "flag naive float64 accumulation over slices in stats/estimator hot " +
+		"paths; use stats.KahanSum or stats.KahanAdder",
+	Run: runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	if !floatsumPkgs[pass.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		var loops []ast.Node // enclosing for/range statements, outermost first
+		var visit func(n ast.Node)
+		visit = func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+				ast.Inspect(loopBody(n), func(c ast.Node) bool {
+					if c == nil || c == loopBody(x) {
+						return true
+					}
+					switch c.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						visit(c)
+						return false
+					case *ast.AssignStmt:
+						checkFloatAssign(pass, seen, loops, c.(*ast.AssignStmt))
+					}
+					return true
+				})
+				loops = loops[:len(loops)-1]
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				visit(n)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+func checkFloatAssign(pass *Pass, seen map[token.Pos]bool, loops []ast.Node, st *ast.AssignStmt) {
+	// Only += accumulation: subtraction in loops is typically an
+	// inverse-CDF scan or remainder split, not a sum whose error
+	// compounds with sample count.
+	if st.Tok != token.ADD_ASSIGN {
+		return
+	}
+	if seen[st.Pos()] {
+		return
+	}
+	lhs := st.Lhs[0]
+	tv, ok := pass.TypesInfo.Types[lhs]
+	if !ok || !isFloat(tv.Type) {
+		return
+	}
+	obj := rootObj(pass, lhs)
+	if obj == nil {
+		return
+	}
+	// Trigger A: some enclosing loop ranges over a float slice, and the
+	// accumulator lives outside that loop.
+	for _, l := range loops {
+		rs, ok := l.(*ast.RangeStmt)
+		if !ok || !isFloatSliceRange(pass, rs) {
+			continue
+		}
+		if declaredOutside(obj, rs) {
+			seen[st.Pos()] = true
+			pass.Reportf(st.Pos(),
+				"naive float accumulation over a float64 slice loses precision to cancellation; use stats.KahanSum or a stats.KahanAdder")
+			return
+		}
+	}
+	// Trigger B: the addend indexes a float slice inside any loop the
+	// accumulator outlives (`sum += xs[i]` style index loops).
+	if !rhsIndexesFloatSlice(pass, st.Rhs[0]) {
+		return
+	}
+	for _, l := range loops {
+		if declaredOutside(obj, l) {
+			seen[st.Pos()] = true
+			pass.Reportf(st.Pos(),
+				"naive indexed float accumulation loses precision to cancellation; use stats.KahanSum or a stats.KahanAdder")
+			return
+		}
+	}
+}
+
+func isFloatSliceRange(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	return ok && isFloat(sl.Elem())
+}
+
+func rhsIndexesFloatSlice(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[ix.X]; ok && tv.Type != nil {
+			if sl, ok := tv.Type.Underlying().(*types.Slice); ok && isFloat(sl.Elem()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

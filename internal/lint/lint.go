@@ -1,0 +1,237 @@
+// Package lint implements mba-lint: a suite of domain-invariant static
+// analyzers that mechanically enforce the properties the paper's
+// accuracy/cost claims rest on — seed-determinism of every random
+// draw, single-path budget accounting through api.Client, virtual
+// (not wall-clock) time in estimators, checked budget errors,
+// deterministic map iteration wherever order can leak into artifacts,
+// and compensated float accumulation in estimator hot paths.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is built purely on the standard
+// library's go/ast and go/types, because this repository vendors no
+// third-party dependencies. cmd/mba-lint drives the suite standalone
+// and as a `go vet -vettool` backend; internal/lint/linttest runs
+// analyzers over `// want "regexp"` fixtures in the analysistest
+// style.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects a package and reports violations through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgBase returns the last element of the package import path, the
+// unit analyzers scope their package allow/deny lists on.
+func (p *Pass) PkgBase(pkgPath string) string {
+	if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}
+
+// ImportedPkgPath resolves id to the import path of the package it
+// names, or "" if id is not a package qualifier.
+func (p *Pass) ImportedPkgPath(id *ast.Ident) string {
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// namedRecv unwraps pointers and returns the named receiver type of a
+// method selection, or nil.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// MethodOn reports whether call invokes a method with the given name
+// on a named type declared as pkgName.typeName (pointer or value
+// receiver). Matching is by package *name*, not path, so analysistest
+// fixtures can stand in for the real internal/api package.
+func (p *Pass) MethodOn(call *ast.CallExpr, pkgName, typeName string, methods map[string]bool) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !methods[sel.Sel.Name] {
+		return "", false
+	}
+	s := p.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	n := namedRecv(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if n.Obj().Name() != typeName || n.Obj().Pkg().Name() != pkgName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// ignoreDirective matches "lint:ignore <name>[ reason]" and
+// "lint:ignore all[ reason]" inside a comment.
+var ignoreDirective = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)`)
+
+// ignoresFor maps line -> set of analyzer names suppressed on that
+// line. A directive suppresses diagnostics on its own line (trailing
+// comment) and on the line immediately below (comment above the
+// statement).
+func ignoresFor(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	add := func(line, span int, name string) {
+		for l := line; l <= line+span; l++ {
+			if out[l] == nil {
+				out[l] = make(map[string]bool)
+			}
+			out[l][name] = true
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreDirective.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			add(line, 1, m[1])
+		}
+	}
+	return out
+}
+
+// RunAnalyzer applies a to pkg and returns the surviving diagnostics
+// (ignore directives already filtered), sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	ignores := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		ignores[name] = ignoresFor(pkg.Fset, f)
+	}
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		byLine := ignores[d.Pos.Filename]
+		if byLine != nil {
+			if set := byLine[d.Pos.Line]; set != nil && (set[d.Analyzer] || set["all"]) {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// RunAll applies every analyzer in as to every package in pkgs.
+func RunAll(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range as {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ds...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos.Filename != ds[j].Pos.Filename {
+			return ds[i].Pos.Filename < ds[j].Pos.Filename
+		}
+		if ds[i].Pos.Line != ds[j].Pos.Line {
+			return ds[i].Pos.Line < ds[j].Pos.Line
+		}
+		if ds[i].Pos.Column != ds[j].Pos.Column {
+			return ds[i].Pos.Column < ds[j].Pos.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+// All returns the full mba-lint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BudgetSafe,
+		CheckedCost,
+		DetRange,
+		FloatSum,
+		NoRawRand,
+		NoWallClock,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

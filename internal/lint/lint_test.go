@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mba/internal/lint"
+	"mba/internal/lint/linttest"
+)
+
+func TestNoRawRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRawRand, "norawrand")
+}
+
+func TestBudgetSafe(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BudgetSafe, "core", "outofscope")
+}
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallClock, "nowallclock", "apiclock")
+}
+
+func TestCheckedCost(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CheckedCost, "checkedcost")
+}
+
+func TestDetRange(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetRange, "detrange")
+}
+
+func TestFloatSum(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FloatSum, "stats", "outofscope")
+}
+
+// TestSuiteCleanOnRepo runs the entire mba-lint suite over this module
+// and requires zero diagnostics, making `go test` itself enforce the
+// determinism/accounting/virtual-time invariants the analyzers encode.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery looks broken", len(pkgs))
+	}
+	diags, err := lint.RunAll(lint.All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if got := lint.ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package linttest runs mba-lint analyzers over fixture packages in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under testdata/src/<path>, and every line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	code() // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. The
+// test fails on unexpected diagnostics and on unmatched expectations.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each fixture package under dir/src, applies the analyzer,
+// and compares diagnostics against `// want` expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := lint.NewFixtureLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
+			continue
+		}
+		diags, err := lint.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants, err := expectations(pkg)
+		if err != nil {
+			t.Errorf("%s: parsing expectations in %s: %v", a.Name, path, err)
+			continue
+		}
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, d.Pos.Filename, d.Pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", a.Name, w.re, w.file, w.line)
+			}
+		}
+	}
+}
+
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRe pulls the quoted regexps off a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func expectations(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or
+// back-quoted) separated by spaces.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want arguments must be quoted strings, got %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit := s[:end+1]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want literal %s: %w", lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// randGlobals are the top-level math/rand (and math/rand/v2) functions
+// that draw from process-global state. Any such draw is invisible to
+// Options.Seed and breaks replay.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true,
+}
+
+// NoRawRand forbids process-global math/rand draws and rand.NewSource
+// seeded from a compile-time constant in non-test code. Every RNG must
+// be derived from a configured seed (the `seed ^ const` and
+// `seed + offset` idioms pass), so a run replays exactly from
+// Options.Seed — the property checkpoints, fault injection, and every
+// figure in the evaluation depend on.
+var NoRawRand = &Analyzer{
+	Name: "norawrand",
+	Doc: "forbid global math/rand state and constant-seeded rand.NewSource; " +
+		"all randomness must derive from a configured seed",
+	Run: runNoRawRand,
+}
+
+func runNoRawRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := pass.ImportedPkgPath(id)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			switch {
+			case randGlobals[sel.Sel.Name]:
+				pass.Reportf(call.Pos(),
+					"global %s.%s draws from process-global state and breaks seed-determinism; derive a *rand.Rand from the run's configured seed",
+					path, sel.Sel.Name)
+			case sel.Sel.Name == "NewSource" && len(call.Args) == 1:
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+					pass.Reportf(call.Pos(),
+						"rand.NewSource with a constant seed is not derived from the run's configured seed; use seed^const or seed+offset")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

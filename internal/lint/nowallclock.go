@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level time functions that read or
+// block on the process clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// NoWallClock forbids wall-clock reads and sleeps outside the api
+// package. Estimators and experiments run in virtual time: waits are
+// accounted in api.Stats.Wait and surfaced via Client.VirtualDuration,
+// so a simulated week of rate-limit windows costs no real seconds and
+// replays identically. A stray time.Now or time.Sleep reintroduces the
+// host clock into results. The api package (latency plumbing) and
+// package main (CLI progress output) are the allowlisted exceptions.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Since/Sleep and friends in estimator and experiment " +
+		"packages; virtual time only",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) error {
+	if pass.Pkg.Name() == "api" || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pass.ImportedPkgPath(id) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock; estimators run in virtual time (account waits in api.Stats.Wait / Client.VirtualDuration)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package api is a fixture standing in for mba/internal/api: the
+// analyzers match the Server/Client types by package and type name.
+package api
+
+// Timeline mirrors the real response shape loosely.
+type Timeline struct {
+	Posts int
+}
+
+// Server is the raw platform interface; calling it directly records no
+// cost.
+type Server struct{}
+
+func (s *Server) Search(keyword string) ([]int64, int, error) { return nil, 0, nil }
+func (s *Server) Connections(u int64) ([]int64, int, error)   { return nil, 0, nil }
+func (s *Server) Timeline(u int64) (Timeline, int, error)     { return Timeline{}, 0, nil }
+func (s *Server) Preset() int                                 { return 0 }
+
+// Client is the charged accounting path.
+type Client struct {
+	srv *Server
+}
+
+func (c *Client) Search(keyword string) ([]int64, error) { return nil, nil }
+func (c *Client) Connections(u int64) ([]int64, error)   { return nil, nil }
+func (c *Client) Timeline(u int64) (Timeline, error)     { return Timeline{}, nil }
+func (c *Client) Cost() int                              { return 0 }

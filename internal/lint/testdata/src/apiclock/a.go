@@ -1,0 +1,11 @@
+// Package api (fixture dir apiclock) verifies the nowallclock
+// allowlist: the real api package measures latency plumbing with the
+// wall clock and is exempt.
+package api
+
+import "time"
+
+func latencyProbe() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

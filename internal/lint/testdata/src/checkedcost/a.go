@@ -1,0 +1,28 @@
+package checkedcost
+
+import "api"
+
+func violations(c *api.Client, u int64) {
+	c.Search("privacy")     // want "result and error of charged api.Client.Search are discarded"
+	_, _ = c.Connections(u) // want "error of charged api.Client.Connections assigned to _"
+	tl, _ := c.Timeline(u)  // want "error of charged api.Client.Timeline assigned to _"
+	_ = tl
+	go c.Search("privacy") // want "charged api.Client.Search fired via go discards its error"
+	defer c.Timeline(u)    // want "charged api.Client.Timeline fired via defer discards its error"
+}
+
+func idiomatic(c *api.Client, u int64) error {
+	hits, err := c.Search("privacy")
+	if err != nil {
+		return err
+	}
+	_ = hits
+	if _, err := c.Connections(u); err != nil {
+		return err
+	}
+	tl, err := c.Timeline(u)
+	_ = tl
+	// Uncharged accessors carry no error to drop.
+	_ = c.Cost()
+	return err
+}

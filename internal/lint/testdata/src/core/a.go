@@ -1,0 +1,31 @@
+// Package core is a budgetsafe fixture: its basename puts it in the
+// analyzer's forbidden set, like the real mba/internal/core.
+package core
+
+import "api"
+
+type session struct {
+	srv    *api.Server
+	client *api.Client
+}
+
+func (s *session) violations(u int64) {
+	s.srv.Search("privacy")            // want "direct api.Server.Search bypasses Client cost accounting"
+	_, _, _ = s.srv.Connections(u)     // want "direct api.Server.Connections bypasses Client cost accounting"
+	tl, cost, err := s.srv.Timeline(u) // want "direct api.Server.Timeline bypasses Client cost accounting"
+	_, _, _ = tl, cost, err
+}
+
+func (s *session) idiomatic(u int64) error {
+	if _, err := s.client.Search("privacy"); err != nil {
+		return err
+	}
+	if _, err := s.client.Connections(u); err != nil {
+		return err
+	}
+	tl, err := s.client.Timeline(u)
+	_ = tl
+	// Uncharged Server metadata is fine.
+	_ = s.srv.Preset()
+	return err
+}

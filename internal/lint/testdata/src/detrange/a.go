@@ -1,0 +1,81 @@
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration"
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	// The canonical fix: collect, sort, use.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[int64]float64) []int64 {
+	var ids []int64
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func keyedAppend(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...) // keyed store: order cannot leak
+	}
+	return out
+}
+
+func emitDuringIteration(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%d\n", k, v) // want "fmt.Fprintf inside map iteration emits lines in nondeterministic order"
+	}
+}
+
+func floatReduction(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation under map iteration is order-dependent"
+	}
+	return total
+}
+
+func intReduction(m map[string]int) int {
+	// Integer addition is associative; order cannot change the result.
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func callbackEscape(m map[int64][]int64, fn func(u, v int64) bool) {
+	for u, ns := range m {
+		for _, v := range ns {
+			if !fn(u, v) { // want "calling callback fn inside map iteration exports the nondeterministic order"
+				return
+			}
+		}
+	}
+}
+
+func sliceRangeIsFine(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,22 @@
+package norawrand
+
+import "math/rand"
+
+const fixedSeed = 42
+
+func violations(seed int64) {
+	_ = rand.Intn(10)                  // want "global math/rand.Intn draws from process-global state"
+	_ = rand.Float64()                 // want "global math/rand.Float64 draws from process-global state"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle draws from process-global state"
+	_ = rand.NewSource(42)             // want "constant seed is not derived"
+	_ = rand.NewSource(fixedSeed)      // want "constant seed is not derived"
+}
+
+func idiomatic(seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x7e77))
+	_ = rng.Intn(10)
+	rng2 := rand.New(rand.NewSource(seed + 3))
+	_ = rng2.Float64()
+	src := rand.NewSource(seed)
+	_ = src
+}

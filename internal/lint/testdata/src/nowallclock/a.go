@@ -1,0 +1,18 @@
+package nowallclock
+
+import "time"
+
+func violations() {
+	_ = time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+	t0 := time.Time{}
+	_ = time.Since(t0)        // want "time.Since reads the wall clock"
+	<-time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+func idiomatic(wait time.Duration) time.Duration {
+	// Virtual-time arithmetic on time.Duration values is fine; only
+	// reading or blocking on the process clock is forbidden.
+	total := 3 * time.Minute
+	return total + wait
+}

@@ -1,0 +1,21 @@
+// Package outofscope verifies analyzer scoping: floatsum patrols only
+// stats/core/walk basenames and budgetsafe only core/walk/experiments,
+// so neither fires here.
+package outofscope
+
+import "api"
+
+func naiveSumElsewhere(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+func rawServerElsewhere(srv *api.Server) error {
+	// Setup/tooling code outside the estimator packages may touch the
+	// Server directly (e.g. ground-truth harnesses).
+	_, _, err := srv.Search("privacy")
+	return err
+}

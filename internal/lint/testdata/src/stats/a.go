@@ -1,0 +1,67 @@
+// Package stats is a floatsum fixture: its basename puts it in the
+// analyzer's patrolled set, like the real mba/internal/stats.
+package stats
+
+type adder struct{ sum, c float64 }
+
+func (a *adder) Add(x float64)  { a.sum += x }
+func (a *adder) Total() float64 { return a.sum + a.c }
+
+func naiveRangeSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // want "naive float accumulation over a float64 slice"
+	}
+	return sum
+}
+
+func naiveIndexSum(xs []float64) float64 {
+	var sum float64
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i] // want "naive indexed float accumulation"
+	}
+	return sum
+}
+
+func naiveNestedProduct(xs []float64) float64 {
+	var ss float64
+	for i := range xs {
+		d := xs[i] * xs[i]
+		_ = d
+		ss += xs[i] * xs[i] // want "naive float accumulation over a float64 slice"
+	}
+	return ss
+}
+
+func compensated(xs []float64) float64 {
+	var a adder
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Total()
+}
+
+func intSum(ns []int) int {
+	var sum int
+	for _, n := range ns {
+		sum += n
+	}
+	return sum
+}
+
+func perElementStore(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * 2 // element store, no accumulation
+	}
+	return out
+}
+
+func acknowledged(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		//lint:ignore floatsum fixture exercises the suppression directive
+		sum += x
+	}
+	return sum
+}

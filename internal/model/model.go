@@ -28,6 +28,18 @@ func FormatTick(t Tick) string {
 	return fmt.Sprintf("d%dh%d", int64(t/Day), int64(t%Day))
 }
 
+// ParseTick parses the FormatTick form "d<day>h<hour>" back into a
+// Tick, inverting FormatTick for every tick value (including the
+// negative ticks Go's truncating division produces component-wise).
+func ParseTick(s string) (Tick, error) {
+	var d, h int64
+	n, err := fmt.Sscanf(s, "d%dh%d", &d, &h)
+	if err != nil || n != 2 {
+		return 0, fmt.Errorf("model: malformed tick %q (want d<day>h<hour>)", s)
+	}
+	return Tick(d)*Day + Tick(h), nil
+}
+
 // Window is a half-open time interval [From, To). The zero Window is
 // interpreted as unbounded (matches every tick).
 type Window struct {

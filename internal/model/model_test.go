@@ -27,6 +27,26 @@ func TestFormatTick(t *testing.T) {
 	}
 }
 
+func TestParseTick(t *testing.T) {
+	inverts := func(tick Tick) bool {
+		got, err := ParseTick(FormatTick(tick))
+		return err == nil && got == tick
+	}
+	if err := quick.Check(inverts, nil); err != nil {
+		t.Error(err)
+	}
+	for _, tick := range []Tick{0, 23, 24, -1, -25, 304 * Day} {
+		if !inverts(tick) {
+			t.Errorf("ParseTick does not invert FormatTick(%d) = %q", tick, FormatTick(tick))
+		}
+	}
+	for _, bad := range []string{"", "d1", "h3", "1h3", "dxh3", "d1h"} {
+		if _, err := ParseTick(bad); err == nil {
+			t.Errorf("ParseTick(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
 func TestWindowSemantics(t *testing.T) {
 	var zero Window
 	if !zero.IsZero() {

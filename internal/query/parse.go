@@ -1,0 +1,144 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mba/internal/model"
+)
+
+// measuresByName indexes the built-in measures under their report
+// names, so the textual query form round-trips through ParseQuery.
+var measuresByName = map[string]Measure{
+	One.Name:                  One,
+	Followers.Name:            Followers,
+	DisplayNameLength.Name:    DisplayNameLength,
+	Age.Name:                  Age,
+	KeywordPostCount.Name:     KeywordPostCount,
+	KeywordPostLikes.Name:     KeywordPostLikes,
+	KeywordPostMeanLikes.Name: KeywordPostMeanLikes,
+}
+
+// ParseQuery parses the SQL-like form produced by Query.String:
+//
+//	SELECT AVG(followers) FROM users WHERE timeline CONTAINS "privacy"
+//	  [IN [d0h0,d7h0)] [AND gender=male] [AND age in [18,34]] [AND followers>=100]
+//
+// Measures and predicates are resolved by name against the package's
+// built-ins; ParseQuery(q.String()) reconstructs q for every query
+// built from them. It is the entry point for CLI-supplied and
+// config-file queries.
+func ParseQuery(s string) (Query, error) {
+	var q Query
+	rest, ok := strings.CutPrefix(s, "SELECT ")
+	if !ok {
+		return q, fmt.Errorf("query: missing SELECT in %q", s)
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return q, fmt.Errorf("query: missing aggregate argument list in %q", s)
+	}
+	switch rest[:open] {
+	case "COUNT":
+		q.Agg = Count
+	case "SUM":
+		q.Agg = Sum
+	case "AVG":
+		q.Agg = Avg
+	default:
+		return q, fmt.Errorf("query: unknown aggregate %q", rest[:open])
+	}
+	rest = rest[open+1:]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return q, fmt.Errorf("query: unterminated aggregate argument in %q", s)
+	}
+	m, ok := measuresByName[rest[:close]]
+	if !ok {
+		return q, fmt.Errorf("query: unknown measure %q", rest[:close])
+	}
+	q.Measure = m
+
+	rest, ok = strings.CutPrefix(rest[close+1:], " FROM users WHERE timeline CONTAINS ")
+	if !ok {
+		return q, fmt.Errorf("query: missing keyword condition in %q", s)
+	}
+	quoted, err := strconv.QuotedPrefix(rest)
+	if err != nil {
+		return q, fmt.Errorf("query: malformed keyword literal in %q: %w", s, err)
+	}
+	if q.Keyword, err = strconv.Unquote(quoted); err != nil {
+		return q, fmt.Errorf("query: malformed keyword literal in %q: %w", s, err)
+	}
+	rest = rest[len(quoted):]
+
+	if win, ok := strings.CutPrefix(rest, " IN ["); ok {
+		end := strings.IndexByte(win, ')')
+		comma := strings.IndexByte(win, ',')
+		if end < 0 || comma < 0 || comma > end {
+			return q, fmt.Errorf("query: malformed window in %q", s)
+		}
+		from, err := model.ParseTick(win[:comma])
+		if err != nil {
+			return q, err
+		}
+		to, err := model.ParseTick(win[comma+1 : end])
+		if err != nil {
+			return q, err
+		}
+		q.Window = model.Window{From: from, To: to}
+		rest = win[end+1:]
+	}
+
+	for rest != "" {
+		var cond string
+		cond, ok = strings.CutPrefix(rest, " AND ")
+		if !ok {
+			return q, fmt.Errorf("query: trailing garbage %q", rest)
+		}
+		if i := strings.Index(cond, " AND "); i >= 0 {
+			cond, rest = cond[:i], cond[i:]
+		} else {
+			rest = ""
+		}
+		p, err := parsePredicate(cond)
+		if err != nil {
+			return q, err
+		}
+		q.Where = append(q.Where, p)
+	}
+	return q, nil
+}
+
+func parsePredicate(s string) (Predicate, error) {
+	switch {
+	case s == MaleOnly.Name:
+		return MaleOnly, nil
+	case s == FemaleOnly.Name:
+		return FemaleOnly, nil
+	case strings.HasPrefix(s, "age in ["):
+		body := strings.TrimPrefix(s, "age in [")
+		body, ok := strings.CutSuffix(body, "]")
+		if !ok {
+			return Predicate{}, fmt.Errorf("query: malformed age predicate %q", s)
+		}
+		lo, hi, ok := strings.Cut(body, ",")
+		if !ok {
+			return Predicate{}, fmt.Errorf("query: malformed age predicate %q", s)
+		}
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil {
+			return Predicate{}, fmt.Errorf("query: malformed age predicate %q", s)
+		}
+		return AgeBetween(l, h), nil
+	case strings.HasPrefix(s, "followers>="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "followers>="))
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: malformed followers predicate %q", s)
+		}
+		return MinFollowers(n), nil
+	}
+	return Predicate{}, fmt.Errorf("query: unknown predicate %q", s)
+}

@@ -1,0 +1,91 @@
+package query_test
+
+import (
+	"testing"
+
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// roundTripQueries covers every aggregate, measure, and predicate
+// constructor, with and without a time window.
+var roundTripQueries = []query.Query{
+	{Agg: query.Count, Measure: query.One, Keyword: "privacy"},
+	{Agg: query.Sum, Measure: query.KeywordPostCount, Keyword: "obama"},
+	{Agg: query.Avg, Measure: query.Followers, Keyword: "privacy",
+		Where: []query.Predicate{query.MaleOnly}},
+	{Agg: query.Avg, Measure: query.DisplayNameLength, Keyword: "nba",
+		Window: model.Window{From: 0, To: 7 * model.Day}},
+	{Agg: query.Avg, Measure: query.Age, Keyword: "election",
+		Window: model.Window{From: 2 * model.Day, To: 30 * model.Day},
+		Where:  []query.Predicate{query.FemaleOnly, query.AgeBetween(18, 34), query.MinFollowers(100)}},
+	{Agg: query.Sum, Measure: query.KeywordPostLikes, Keyword: "with \"quotes\" and \t escapes"},
+	{Agg: query.Avg, Measure: query.KeywordPostMeanLikes, Keyword: ""},
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	for _, want := range roundTripQueries {
+		s := want.String()
+		got, err := query.ParseQuery(s)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", s, err)
+			continue
+		}
+		if got.String() != s {
+			t.Errorf("round trip of %q produced %q", s, got.String())
+		}
+		if got.Agg != want.Agg || got.Measure.Name != want.Measure.Name ||
+			got.Keyword != want.Keyword || got.Window != want.Window ||
+			len(got.Where) != len(want.Where) {
+			t.Errorf("ParseQuery(%q) lost structure: got %+v", s, got)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT MEDIAN(followers) FROM users WHERE timeline CONTAINS \"x\"",
+		"SELECT AVG(followers FROM users WHERE timeline CONTAINS \"x\"",
+		"SELECT AVG(nonesuch) FROM users WHERE timeline CONTAINS \"x\"",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS x",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"x\" IN [d0h0 d1h0)",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"x\" IN [zero,d1h0)",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"x\" AND height>=2",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"x\" AND age in [a,b]",
+		"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"x\" trailing",
+	}
+	for _, s := range bad {
+		if _, err := query.ParseQuery(s); err == nil {
+			t.Errorf("ParseQuery(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+// FuzzParseQuery asserts that ParseQuery never panics, and that any
+// input it accepts renders to a canonical form that re-parses to the
+// identical string (idempotent normalisation). `go test` runs the seed
+// corpus as a smoke test; CI additionally runs a short -fuzz session.
+func FuzzParseQuery(f *testing.F) {
+	for _, q := range roundTripQueries {
+		f.Add(q.String())
+	}
+	f.Add("SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"\\u00e9\"")
+	f.Add("SELECT AVG(age) FROM users WHERE timeline CONTAINS \"x\" IN [d-1h-3,d304h0)")
+	f.Add("SELECT SUM(keyword-posts) FROM users WHERE timeline CONTAINS \"x\" AND followers>=007")
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := query.ParseQuery(s)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := query.ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", canon, s, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form not stable: %q re-parses to %q", canon, got)
+		}
+	})
+}

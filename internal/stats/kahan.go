@@ -1,0 +1,42 @@
+package stats
+
+import "math"
+
+// KahanAdder accumulates float64 values with Kahan–Babuška–Neumaier
+// compensated summation. The zero value is ready to use. Compared to a
+// naive `sum += x` loop the result is far less sensitive to
+// cancellation and to the order terms arrive in, which keeps estimator
+// reductions stable across refactors — the floatsum analyzer in
+// internal/lint points accumulation hot paths here.
+type KahanAdder struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add folds x into the running sum.
+func (a *KahanAdder) Add(x float64) {
+	t := a.sum + x
+	switch {
+	case math.IsInf(t, 0):
+		// Once the sum overflows, compensation would compute Inf-Inf
+		// and poison the total with NaN; the naive result is correct.
+	case math.Abs(a.sum) >= math.Abs(x):
+		a.c += (a.sum - t) + x
+	default:
+		a.c += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Sum returns the compensated total of everything added so far.
+func (a *KahanAdder) Sum() float64 { return a.sum + a.c }
+
+// KahanSum returns the compensated sum of xs. It is the drop-in
+// replacement for naive `for { sum += x }` accumulation.
+func KahanSum(xs []float64) float64 {
+	var a KahanAdder
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Sum()
+}

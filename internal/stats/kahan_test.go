@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKahanSumCancellation feeds the classic pathological case where
+// naive summation loses everything to cancellation.
+func TestKahanSumCancellation(t *testing.T) {
+	xs := []float64{1e16, 1.0, -1e16}
+	var naive float64
+	for _, x := range xs {
+		naive += x
+	}
+	if naive == 1.0 {
+		t.Fatalf("test case is not pathological: naive sum got %v", naive)
+	}
+	if got := KahanSum(xs); got != 1.0 {
+		t.Errorf("KahanSum(%v) = %v, want 1.0", xs, got)
+	}
+
+	// Neumaier's own stress case: the big terms cancel, the units remain.
+	ys := []float64{1.0, 1e100, 1.0, -1e100}
+	if got := KahanSum(ys); got != 2.0 {
+		t.Errorf("KahanSum(%v) = %v, want 2.0", ys, got)
+	}
+}
+
+func TestKahanAdderMatchesSum(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 1e-9, -0.6, 1e9, -1e9}
+	var a KahanAdder
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if got, want := a.Sum(), KahanSum(xs); got != want {
+		t.Errorf("KahanAdder.Sum() = %v, KahanSum = %v", got, want)
+	}
+}
+
+func TestKahanSumEmptyAndSpecial(t *testing.T) {
+	if got := KahanSum(nil); got != 0 {
+		t.Errorf("KahanSum(nil) = %v, want 0", got)
+	}
+	if got := KahanSum([]float64{math.Inf(1), 1}); !math.IsInf(got, 1) {
+		t.Errorf("KahanSum with +Inf = %v, want +Inf", got)
+	}
+}
+
+// TestMeanUsesCompensation pins the user-visible payoff: Mean over a
+// sequence that defeats naive accumulation.
+func TestMeanUsesCompensation(t *testing.T) {
+	xs := []float64{1e16, 1.0, -1e16, 1.0}
+	if got := Mean(xs); got != 0.5 {
+		t.Errorf("Mean(%v) = %v, want 0.5", xs, got)
+	}
+}

@@ -24,11 +24,11 @@ func BootstrapCI(rng *rand.Rand, xs []float64, alpha float64, b int) (lo, hi flo
 	}
 	means := make([]float64, b)
 	for i := 0; i < b; i++ {
-		var sum float64
+		var sum KahanAdder
 		for j := 0; j < n; j++ {
-			sum += xs[rng.Intn(n)]
+			sum.Add(xs[rng.Intn(n)])
 		}
-		means[i] = sum / float64(n)
+		means[i] = sum.Sum() / float64(n)
 	}
 	sort.Float64s(means)
 	loIdx := int(alpha / 2 * float64(b))

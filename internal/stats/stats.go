@@ -19,20 +19,12 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return KahanSum(xs) / float64(len(xs))
 }
 
-// Sum returns the sum of xs.
+// Sum returns the compensated sum of xs.
 func Sum(xs []float64) float64 {
-	var sum float64
-	for _, x := range xs {
-		sum += x
-	}
-	return sum
+	return KahanSum(xs)
 }
 
 // Variance returns the unbiased (n-1) sample variance of xs.
@@ -43,12 +35,12 @@ func Variance(xs []float64) float64 {
 		return 0
 	}
 	m := Mean(xs)
-	var ss float64
+	var ss KahanAdder
 	for _, x := range xs {
 		d := x - m
-		ss += d * d
+		ss.Add(d * d)
 	}
-	return ss / float64(n-1)
+	return ss.Sum() / float64(n-1)
 }
 
 // PopVariance returns the population (n) variance of xs.
@@ -58,12 +50,12 @@ func PopVariance(xs []float64) float64 {
 		return 0
 	}
 	m := Mean(xs)
-	var ss float64
+	var ss KahanAdder
 	for _, x := range xs {
 		d := x - m
-		ss += d * d
+		ss.Add(d * d)
 	}
-	return ss / float64(n)
+	return ss.Sum() / float64(n)
 }
 
 // StdDev returns the unbiased sample standard deviation of xs.
@@ -97,12 +89,12 @@ func MSE(estimates []float64, truth float64) float64 {
 	if len(estimates) == 0 {
 		return 0
 	}
-	var ss float64
+	var ss KahanAdder
 	for _, e := range estimates {
 		d := e - truth
-		ss += d * d
+		ss.Add(d * d)
 	}
-	return ss / float64(len(estimates))
+	return ss.Sum() / float64(len(estimates))
 }
 
 // Bias returns the empirical bias E[est] - truth.
@@ -149,18 +141,18 @@ func Autocorrelation(chain []float64, lag int) float64 {
 		return 0
 	}
 	m := Mean(chain)
-	var num, den float64
+	var num, den KahanAdder
 	for i := 0; i < n; i++ {
 		d := chain[i] - m
-		den += d * d
+		den.Add(d * d)
 	}
-	if den == 0 {
+	if den.Sum() == 0 {
 		return 0
 	}
 	for i := 0; i+lag < n; i++ {
-		num += (chain[i] - m) * (chain[i+lag] - m)
+		num.Add((chain[i] - m) * (chain[i+lag] - m))
 	}
-	return num / den
+	return num.Sum() / den.Sum()
 }
 
 // GewekeZ computes the Geweke convergence diagnostic for an MCMC chain:
