@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint fmt-check test race bench chaos fuzz
+.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz
 
 ci: build vet lint race
 
@@ -44,3 +44,8 @@ bench:
 # Quick chaos sweep at test scale.
 chaos:
 	go run ./cmd/mba-bench -scale test -trials 1 -budget 8000 -only chaos
+
+# Quick churn sweep at test scale (self-healing walks + invariant
+# auditor over a mutating platform).
+churn:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 9000 -only churn

@@ -54,12 +54,12 @@ func main() {
 		"figure9": experiments.Figure9, "figure10": experiments.Figure10,
 		"figure11": experiments.Figure11, "figure12": experiments.Figure12,
 		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
-		"chaos": experiments.Chaos,
+		"chaos": experiments.Chaos, "churn": experiments.Churn,
 	}
 	order := []string{
 		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"chaos",
+		"chaos", "churn",
 	}
 	selected := order
 	if *only != "" {

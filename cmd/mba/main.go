@@ -30,6 +30,7 @@ func main() {
 	users := flag.Int("users", 20000, "simulated platform size")
 	seed := flag.Int64("seed", 1, "random seed (platform and walk)")
 	maleOnly := flag.Bool("male-only", false, "restrict to profiles exposing male gender")
+	churn := flag.Float64("churn", 0, "platform churn rate: expected churn events per API call (0 = frozen platform)")
 	fromDay := flag.Int("from-day", 0, "window start day (inclusive)")
 	toDay := flag.Int("to-day", 0, "window end day (exclusive; 0 = unbounded)")
 	flag.Parse()
@@ -74,7 +75,7 @@ func main() {
 		q = mba.TimeWindow(q, *fromDay, *toDay)
 	}
 
-	opts := mba.Options{Budget: *budget, Seed: *seed}
+	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn}
 	switch strings.ToLower(*algo) {
 	case "tarw":
 		opts.Algorithm = mba.MATARW
@@ -110,6 +111,9 @@ func main() {
 	fmt.Printf("truth:      %.2f (relative error %.1f%%)\n", truth, 100*stats.RelativeError(est.Value, truth))
 	fmt.Printf("query cost: %d API calls (%d samples)\n", est.Cost, est.Samples)
 	fmt.Printf("rate-limit: would take ~%v on the real platform\n", est.VirtualDuration)
+	if *churn > 0 {
+		fmt.Printf("churn:      %d heal events, %d vanished accounts observed\n", est.Healed, est.VanishedSeen)
+	}
 }
 
 func fatal(err error) {

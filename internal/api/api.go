@@ -156,6 +156,9 @@ type Server struct {
 	private map[int64]bool
 	faults  Faults
 	frng    *rand.Rand
+	// churn, when non-nil, drifts the served platform state as a
+	// deterministic function of the call clock (see EnableChurn).
+	churn *platform.ChurnState
 
 	// clock counts raw calls served; it is the time base the outage
 	// schedule runs on.
@@ -192,6 +195,24 @@ func NewServer(p *platform.Platform, preset Preset, faults Faults) *Server {
 // Preset returns the interface parameters in force.
 func (s *Server) Preset() Preset { return s.preset }
 
+// EnableChurn activates deterministic platform churn: server state
+// (account existence, protection flags, edges, posts) mutates as a
+// pure function of the call clock and cfg.Seed, modeling the drift a
+// long real-world crawl observes. Call before serving queries; a zero
+// rate is a no-op. The underlying platform is never mutated — churn
+// lives in a per-server overlay, so servers sharing a cached platform
+// drift independently.
+func (s *Server) EnableChurn(cfg platform.ChurnConfig) {
+	if cfg.Enabled() {
+		s.churn = platform.NewChurn(s.p, cfg)
+	}
+}
+
+// Churn exposes the churn overlay for diagnostics (event counts), or
+// nil when churn is disabled. Estimators must not touch it — they
+// learn about drift only through API errors and responses.
+func (s *Server) Churn() *platform.ChurnState { return s.churn }
+
 // scheduleOutage draws the next outage start, an exponential gap after
 // the current clock.
 func (s *Server) scheduleOutage() {
@@ -200,6 +221,9 @@ func (s *Server) scheduleOutage() {
 
 func (s *Server) maybeFault() error {
 	s.clock++
+	if s.churn != nil {
+		s.churn.AdvanceTo(s.clock)
+	}
 	if s.faults.OutageMeanGap > 0 && s.faults.OutageLength > 0 && s.clock >= s.nextOutage {
 		if s.clock < s.nextOutage+s.faults.OutageLength {
 			return ErrTransient
@@ -243,7 +267,18 @@ func (s *Server) checkUser(u int64) error {
 	if u < 0 || int(u) >= s.p.NumUsers() {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, u)
 	}
+	if s.churn != nil && s.churn.Gone(u) {
+		// Suspended/deleted accounts are indistinguishable from never-
+		// existing ones through the real APIs.
+		return fmt.Errorf("%w: %d (account vanished)", ErrUnknownUser, u)
+	}
 	return nil
+}
+
+// isPrivate reports whether u is inaccessible: fault-injected private
+// or churn-flipped to protected.
+func (s *Server) isPrivate(u int64) bool {
+	return s.private[u] || (s.churn != nil && s.churn.Protected(u))
 }
 
 // pages returns the number of API calls needed to page through n items
@@ -274,6 +309,14 @@ func (s *Server) Search(keyword string) ([]int64, int, error) {
 	}
 	var hits []hit
 	for u, posts := range c.Posts {
+		if s.churn != nil {
+			// Suspended accounts and protected users vanish from search,
+			// and deleted posts stop matching.
+			if s.churn.Gone(u) || s.churn.Protected(u) {
+				continue
+			}
+			posts = s.churn.VisiblePosts(keyword, u, posts)
+		}
 		var latest model.Tick = -1
 		for _, post := range posts {
 			if post.Time >= from && post.Time > latest {
@@ -314,11 +357,15 @@ func (s *Server) Connections(u int64) ([]int64, int, error) {
 	if err := s.maybeFault(); err != nil {
 		return nil, 1, err
 	}
-	if s.private[u] {
+	if s.isPrivate(u) {
 		return nil, 1, ErrPrivate
 	}
-	ns := s.p.Social.Neighbors(u)
-	out := append([]int64(nil), ns...)
+	var out []int64
+	if s.churn != nil {
+		out = s.churn.Neighbors(u)
+	} else {
+		out = append([]int64(nil), s.p.Social.Neighbors(u)...)
+	}
 	cost, err := s.maybeTruncate(pages(len(out), s.preset.ConnectionsPageSize))
 	if err != nil {
 		return nil, cost, err
@@ -336,10 +383,13 @@ func (s *Server) Timeline(u int64) (model.Timeline, int, error) {
 	if err := s.maybeFault(); err != nil {
 		return model.Timeline{}, 1, err
 	}
-	if s.private[u] {
+	if s.isPrivate(u) {
 		return model.Timeline{}, 1, ErrPrivate
 	}
 	tl := s.p.Timeline(u)
+	if s.churn != nil {
+		tl.Posts = s.churn.FilterTimeline(u, tl.Posts)
+	}
 	visible := tl.Profile.PostCount
 	if cap := s.p.Config().TimelineCap; cap > 0 && visible > cap {
 		visible = cap

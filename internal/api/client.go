@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"mba/internal/model"
@@ -39,6 +40,11 @@ type Client struct {
 	connCache map[int64][]int64
 	tlCache   map[int64]model.Timeline
 	privCache map[int64]bool
+	// goneCache records users that returned ErrUnknownUser — vanished
+	// accounts under churn. Like privCache, the (negative) result is
+	// cached so each vanished user is paid for at most once per probe
+	// kind; platform vanishing is permanent, so the cache never lies.
+	goneCache map[int64]bool
 	searches  map[string][]int64
 }
 
@@ -53,6 +59,7 @@ func NewClient(srv *Server, budget int) *Client {
 		connCache: make(map[int64][]int64),
 		tlCache:   make(map[int64]model.Timeline),
 		privCache: make(map[int64]bool),
+		goneCache: make(map[int64]bool),
 		searches:  make(map[string][]int64),
 	}
 }
@@ -233,11 +240,18 @@ func (c *Client) Search(keyword string) ([]int64, error) {
 // ErrPrivate; the (negative) result is cached too, so the probe is
 // charged only once.
 func (c *Client) Connections(u int64) ([]int64, error) {
+	// Positive cache first: a response already paid for stays served
+	// even if a *later* probe of another endpoint found the user
+	// private or vanished (churn). The negative caches only answer for
+	// users we never got data from.
+	if ns, ok := c.connCache[u]; ok {
+		return ns, nil
+	}
 	if c.privCache[u] {
 		return nil, ErrPrivate
 	}
-	if ns, ok := c.connCache[u]; ok {
-		return ns, nil
+	if c.goneCache[u] {
+		return nil, fmt.Errorf("%w: %d (cached)", ErrUnknownUser, u)
 	}
 	var ns []int64
 	err := c.withRetry(func() (int, error) {
@@ -250,6 +264,10 @@ func (c *Client) Connections(u int64) ([]int64, error) {
 		c.privCache[u] = true
 		return nil, err
 	}
+	if errors.Is(err, ErrUnknownUser) {
+		c.goneCache[u] = true
+		return nil, err
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +277,15 @@ func (c *Client) Connections(u int64) ([]int64, error) {
 
 // Timeline returns u's visible timeline (cached).
 func (c *Client) Timeline(u int64) (model.Timeline, error) {
+	// Positive cache wins over the negative ones; see Connections.
+	if tl, ok := c.tlCache[u]; ok {
+		return tl, nil
+	}
 	if c.privCache[u] {
 		return model.Timeline{}, ErrPrivate
 	}
-	if tl, ok := c.tlCache[u]; ok {
-		return tl, nil
+	if c.goneCache[u] {
+		return model.Timeline{}, fmt.Errorf("%w: %d (cached)", ErrUnknownUser, u)
 	}
 	var tl model.Timeline
 	err := c.withRetry(func() (int, error) {
@@ -276,9 +298,56 @@ func (c *Client) Timeline(u int64) (model.Timeline, error) {
 		c.privCache[u] = true
 		return model.Timeline{}, err
 	}
+	if errors.Is(err, ErrUnknownUser) {
+		c.goneCache[u] = true
+		return model.Timeline{}, err
+	}
 	if err != nil {
 		return model.Timeline{}, err
 	}
 	c.tlCache[u] = tl
 	return tl, nil
+}
+
+// BreakerState is the circuit breaker's persistent state, exported so
+// checkpoints can carry it across a resume: a breaker tripped by an
+// ongoing outage must stay tripped on the fresh client, otherwise a
+// resume silently forgets the outage and burns budget re-probing it.
+type BreakerState struct {
+	Fails int
+	Open  bool
+}
+
+// BreakerState snapshots the circuit breaker for checkpointing.
+func (c *Client) BreakerState() BreakerState {
+	return BreakerState{Fails: c.breakerFails, Open: c.breakerOpen}
+}
+
+// RestoreBreaker reinstates a checkpointed circuit-breaker state.
+func (c *Client) RestoreBreaker(b BreakerState) {
+	c.breakerFails = b.Fails
+	c.breakerOpen = b.Open
+}
+
+// CachedConnUsers returns the users with cached Connections responses,
+// sorted. Auditors use this to re-derive structures from cached data at
+// zero cost.
+func (c *Client) CachedConnUsers() []int64 {
+	out := make([]int64, 0, len(c.connCache))
+	for u := range c.connCache {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CachedTimelineUsers returns the users with cached Timeline responses,
+// sorted.
+func (c *Client) CachedTimelineUsers() []int64 {
+	out := make([]int64, 0, len(c.tlCache))
+	for u := range c.tlCache {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

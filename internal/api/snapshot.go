@@ -14,6 +14,7 @@ type CacheSnapshot struct {
 	conns    map[int64][]int64
 	tls      map[int64]model.Timeline
 	priv     map[int64]bool
+	gone     map[int64]bool
 	searches map[string][]int64
 }
 
@@ -22,7 +23,7 @@ func (cs *CacheSnapshot) Entries() int {
 	if cs == nil {
 		return 0
 	}
-	return len(cs.conns) + len(cs.tls) + len(cs.priv) + len(cs.searches)
+	return len(cs.conns) + len(cs.tls) + len(cs.priv) + len(cs.gone) + len(cs.searches)
 }
 
 // ExportCache copies the client's response caches into a snapshot.
@@ -31,6 +32,7 @@ func (c *Client) ExportCache() *CacheSnapshot {
 		conns:    make(map[int64][]int64, len(c.connCache)),
 		tls:      make(map[int64]model.Timeline, len(c.tlCache)),
 		priv:     make(map[int64]bool, len(c.privCache)),
+		gone:     make(map[int64]bool, len(c.goneCache)),
 		searches: make(map[string][]int64, len(c.searches)),
 	}
 	for k, v := range c.connCache {
@@ -41,6 +43,9 @@ func (c *Client) ExportCache() *CacheSnapshot {
 	}
 	for k, v := range c.privCache {
 		cs.priv[k] = v
+	}
+	for k, v := range c.goneCache {
+		cs.gone[k] = v
 	}
 	for k, v := range c.searches {
 		cs.searches[k] = v
@@ -63,6 +68,9 @@ func (c *Client) ImportCache(cs *CacheSnapshot) {
 	}
 	for k, v := range cs.priv {
 		c.privCache[k] = v
+	}
+	for k, v := range cs.gone {
+		c.goneCache[k] = v
 	}
 	for k, v := range cs.searches {
 		c.searches[k] = v

@@ -1,0 +1,425 @@
+// Package audit is a runtime invariant auditor for estimation runs: an
+// optional layer that cross-checks what a finished (or checkpointed)
+// run claims against what the client, session, and level graph actually
+// hold, and fails fast with a structured violation report.
+//
+// The auditor exists because the estimators' correctness rests on a
+// handful of conservation laws that silent bugs — especially under
+// platform churn and fault injection — would otherwise erode unnoticed:
+//
+//   - budget conservation: every charged call is accounted in Stats,
+//     results never claim more or less cost than the client charged;
+//   - cache stability: a cached response replays at zero cost and is
+//     never invalidated behind the run's back, even while the platform
+//     churns (frozen-snapshot semantics);
+//   - level-graph structure: levels derive from cached first mentions
+//     exactly, no intra-level edge survives pruning, up/down neighbor
+//     lists point strictly up/down;
+//   - ESTIMATE-p sanity: settled visit-probability means are finite,
+//     positive, and plausibly bounded;
+//   - determinism: identical (seed, config) runs agree exactly.
+//
+// Every check is read-only with respect to the API budget: checks only
+// touch responses the client has already cached, and each one verifies
+// afterwards that auditing charged nothing.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/levelgraph"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Invariant names the broken law (e.g. "budget-conservation").
+	Invariant string
+	// Detail is a human-readable account of the mismatch.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Report is the structured outcome of an audit: how many invariant
+// checks ran and which ones failed.
+type Report struct {
+	Checks     int
+	Violations []Violation
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the audit passed, or an error summarizing the
+// first violation (and the total count) when it did not.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("audit: %d of %d checks failed; first: %s",
+		len(r.Violations), r.Checks, r.Violations[0])
+}
+
+// Merge folds another report into r.
+func (r *Report) Merge(o *Report) {
+	r.Checks += o.Checks
+	r.Violations = append(r.Violations, o.Violations...)
+}
+
+// check counts one executed check.
+func (r *Report) check() { r.Checks++ }
+
+// failf records a violation.
+func (r *Report) failf(invariant, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Auditor holds the audit configuration. The zero value is usable:
+// sampling caps default to SampleCap=128 users per replay check and
+// PCeil=16 as the plausibility ceiling for settled ESTIMATE-p means.
+type Auditor struct {
+	// Budget is the run's call budget (0 = unlimited); CheckResult
+	// verifies the reported cost never exceeds it.
+	Budget int
+	// SampleCap bounds how many cached users the replay and
+	// level-graph checks visit (0 = default 128).
+	SampleCap int
+	// PCeil is the sanity ceiling for settled probability means. True
+	// visit probabilities are ≤ 1, but an unbiased ESTIMATE-p draw of
+	// a small-support node can legitimately overshoot, so the ceiling
+	// is generous (0 = default 16); anything beyond it indicates a
+	// broken recursion, not an unlucky draw.
+	PCeil float64
+}
+
+func (a Auditor) sampleCap() int {
+	if a.SampleCap <= 0 {
+		return 128
+	}
+	return a.SampleCap
+}
+
+func (a Auditor) pCeil() float64 {
+	if a.PCeil <= 0 {
+		return 16
+	}
+	return a.PCeil
+}
+
+// CheckResult verifies a run result's accounting invariants: cost
+// equals charged calls, cost respects the budget, trajectory costs are
+// nondecreasing and bounded by the final cost, the checkpoint agrees
+// with the result, the estimate is finite (or NaN for "no estimate
+// yet"), and heal counters are nonnegative.
+func (a Auditor) CheckResult(res core.Result) *Report {
+	r := &Report{}
+
+	r.check()
+	if res.Cost != res.Stats.Calls {
+		r.failf("budget-conservation", "result Cost=%d but Stats.Calls=%d", res.Cost, res.Stats.Calls)
+	}
+	r.check()
+	if a.Budget > 0 && res.Cost > a.Budget {
+		r.failf("budget-conservation", "result Cost=%d exceeds budget %d", res.Cost, a.Budget)
+	}
+	r.check()
+	prev := 0
+	for i, pt := range res.Trajectory {
+		if pt.Cost < prev {
+			r.failf("budget-conservation", "trajectory[%d] cost %d < previous %d", i, pt.Cost, prev)
+			break
+		}
+		if pt.Cost > res.Cost {
+			r.failf("budget-conservation", "trajectory[%d] cost %d exceeds final cost %d", i, pt.Cost, res.Cost)
+			break
+		}
+		prev = pt.Cost
+	}
+	r.check()
+	if res.Checkpoint == nil {
+		r.failf("checkpoint", "result carries no checkpoint")
+	} else if res.Checkpoint.SpentCost() != res.Cost {
+		r.failf("checkpoint", "checkpoint SpentCost=%d != result Cost=%d",
+			res.Checkpoint.SpentCost(), res.Cost)
+	}
+	r.check()
+	if math.IsInf(res.Estimate, 0) {
+		r.failf("estimate-sanity", "estimate is infinite")
+	}
+	r.check()
+	h := res.Heal
+	if h.Backtracks < 0 || h.Reseeds < 0 || h.SkippedWalks < 0 || h.VanishedUsers < 0 || h.PrunedEdges < 0 {
+		r.failf("heal-accounting", "negative heal counter: %+v", h)
+	}
+	r.check()
+	if res.Degraded && res.DegradedBy == nil {
+		r.failf("degrade-accounting", "Degraded set with nil DegradedBy")
+	}
+	return r
+}
+
+// CheckClientReplay verifies cache stability: re-requesting a sample of
+// already-cached responses charges nothing and returns identical data,
+// even when the platform has churned since they were fetched. A cached
+// response that silently refetches (cost delta) or mutates (content
+// delta) would corrupt resumed runs and the paper's cost axes.
+func (a Auditor) CheckClientReplay(c *api.Client) *Report {
+	r := &Report{}
+	limit := a.sampleCap()
+
+	conns := c.CachedConnUsers()
+	if len(conns) > limit {
+		conns = conns[:limit]
+	}
+	for _, u := range conns {
+		r.check()
+		first, err1 := c.Connections(u)
+		before := c.Cost()
+		second, err2 := c.Connections(u)
+		if c.Cost() != before {
+			r.failf("cache-stability", "replaying cached Connections(%d) charged %d calls", u, c.Cost()-before)
+			continue
+		}
+		if (err1 == nil) != (err2 == nil) {
+			r.failf("cache-stability", "cached Connections(%d) flapped between error and success", u)
+			continue
+		}
+		if len(first) != len(second) {
+			r.failf("cache-stability", "cached Connections(%d) changed length %d -> %d", u, len(first), len(second))
+			continue
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				r.failf("cache-stability", "cached Connections(%d)[%d] changed %d -> %d", u, i, first[i], second[i])
+				break
+			}
+		}
+	}
+
+	tls := c.CachedTimelineUsers()
+	if len(tls) > limit {
+		tls = tls[:limit]
+	}
+	for _, u := range tls {
+		r.check()
+		first, err1 := c.Timeline(u)
+		before := c.Cost()
+		second, err := c.Timeline(u)
+		if c.Cost() != before {
+			r.failf("cache-stability", "replaying cached Timeline(%d) charged %d calls", u, c.Cost()-before)
+			continue
+		}
+		if err1 != nil || err != nil {
+			r.failf("cache-stability", "cached Timeline(%d) replay failed: %v", u, errors.Join(err1, err))
+			continue
+		}
+		if len(first.Posts) != len(second.Posts) {
+			r.failf("cache-stability", "cached Timeline(%d) changed length %d -> %d",
+				u, len(first.Posts), len(second.Posts))
+		}
+	}
+	return r
+}
+
+// CheckLevelGraph independently recomputes the partial level graph
+// from the client's cached raw responses and cross-checks the
+// session's derived views: levels must equal the first-mention bucket,
+// no intra-level edge may survive in LevelNeighbors, and Up/Down
+// neighbor lists must point strictly up/down. Only users whose
+// connections AND all listed neighbors' timelines are already cached
+// are audited, so the check is free; a final cost comparison enforces
+// that.
+func (a Auditor) CheckLevelGraph(s *core.Session) *Report {
+	r := &Report{}
+	c := s.Client
+	costBefore := c.Cost()
+
+	// Level oracle from raw cached timelines only.
+	tlSet := make(map[int64]bool)
+	for _, u := range c.CachedTimelineUsers() {
+		tlSet[u] = true
+	}
+	levelOf := func(u int64) (int, bool) {
+		tl, err := c.Timeline(u)
+		if err != nil {
+			return 0, false
+		}
+		first, ok := tl.FirstMention(s.Query.Keyword)
+		if !ok {
+			return 0, false
+		}
+		return levelgraph.LevelOf(first, s.Interval), true
+	}
+
+	audited := 0
+	for _, u := range c.CachedConnUsers() {
+		if audited >= a.sampleCap() {
+			break
+		}
+		if !tlSet[u] {
+			continue
+		}
+		ns, err := c.Connections(u)
+		if err != nil {
+			continue
+		}
+		allCached := true
+		for _, v := range ns {
+			if !tlSet[v] {
+				allCached = false
+				break
+			}
+		}
+		if !allCached {
+			continue
+		}
+		myLevel, qualified := levelOf(u)
+		if !qualified {
+			continue
+		}
+		audited++
+
+		r.check()
+		if lvl, err := s.Level(u); err != nil || lvl != myLevel {
+			r.failf("level-derivation", "session Level(%d)=(%d,%v), recomputed %d", u, lvl, err, myLevel)
+			continue
+		}
+
+		neighborSet := make(map[int64]bool, len(ns))
+		for _, v := range ns {
+			neighborSet[v] = true
+		}
+		ln, err := s.LevelNeighbors(u)
+		if err != nil {
+			r.failf("level-graph", "LevelNeighbors(%d) failed on cached data: %v", u, err)
+			continue
+		}
+		r.check()
+		for _, v := range ln {
+			if !neighborSet[v] {
+				r.failf("level-graph", "LevelNeighbors(%d) lists %d, not a platform neighbor", u, v)
+				break
+			}
+			lv, ok := levelOf(v)
+			if !ok {
+				r.failf("level-graph", "LevelNeighbors(%d) lists unqualified user %d", u, v)
+				break
+			}
+			if lv == myLevel {
+				r.failf("intra-level-edge", "edge %d-%d connects two level-%d nodes", u, v, myLevel)
+				break
+			}
+		}
+
+		ups, err1 := s.UpNeighbors(u)
+		downs, err2 := s.DownNeighbors(u)
+		r.check()
+		if err1 != nil || err2 != nil {
+			r.failf("level-graph", "Up/DownNeighbors(%d) failed on cached data: %v %v", u, err1, err2)
+			continue
+		}
+		for _, v := range ups {
+			if lv, ok := levelOf(v); !ok || lv >= myLevel {
+				r.failf("level-graph", "UpNeighbors(%d) lists %d at level >= %d", u, v, myLevel)
+				break
+			}
+		}
+		for _, v := range downs {
+			if lv, ok := levelOf(v); !ok || lv <= myLevel {
+				r.failf("level-graph", "DownNeighbors(%d) lists %d at level <= %d", u, v, myLevel)
+				break
+			}
+		}
+	}
+
+	r.check()
+	if c.Cost() != costBefore {
+		r.failf("audit-free", "level-graph audit charged %d calls; audits must be free", c.Cost()-costBefore)
+	}
+	return r
+}
+
+// CheckPMeans verifies settled ESTIMATE-p means: each must be finite,
+// strictly positive (a settled mean of zero would produce an infinite
+// Hansen–Hurwitz weight), and below the plausibility ceiling.
+func (a Auditor) CheckPMeans(up, down map[int64]float64) *Report {
+	r := &Report{}
+	ceil := a.pCeil()
+	scan := func(name string, m map[int64]float64) {
+		users := make([]int64, 0, len(m))
+		for u := range m {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		for _, u := range users {
+			p := m[u]
+			r.check()
+			switch {
+			case math.IsNaN(p) || math.IsInf(p, 0):
+				r.failf("estimate-p-sanity", "%s mean for user %d is %v", name, u, p)
+			case p < 0:
+				r.failf("estimate-p-sanity", "%s mean for user %d is negative: %g", name, u, p)
+			case p > ceil:
+				r.failf("estimate-p-sanity", "%s mean for user %d is %g, beyond plausibility ceiling %g", name, u, p, ceil)
+			}
+		}
+	}
+	scan("p-up", up)
+	scan("p-down", down)
+	return r
+}
+
+// CheckPEstimates audits the ESTIMATE-p means carried by a MA-TARW
+// checkpoint. SRW-family checkpoints pass trivially (no means).
+func (a Auditor) CheckPEstimates(ck *core.Checkpoint) *Report {
+	if ck == nil {
+		return &Report{}
+	}
+	up, down := ck.PMeans()
+	return a.CheckPMeans(up, down)
+}
+
+// CheckSeedStable verifies determinism: two runs with identical seeds
+// and configuration must agree exactly on estimate, cost, samples, and
+// heal accounting.
+func (a Auditor) CheckSeedStable(r1, r2 core.Result) *Report {
+	r := &Report{}
+	r.check()
+	same := r1.Estimate == r2.Estimate ||
+		(math.IsNaN(r1.Estimate) && math.IsNaN(r2.Estimate))
+	if !same {
+		r.failf("determinism", "estimates differ across identical runs: %v vs %v", r1.Estimate, r2.Estimate)
+	}
+	r.check()
+	if r1.Cost != r2.Cost {
+		r.failf("determinism", "costs differ across identical runs: %d vs %d", r1.Cost, r2.Cost)
+	}
+	r.check()
+	if r1.Samples != r2.Samples {
+		r.failf("determinism", "sample counts differ across identical runs: %d vs %d", r1.Samples, r2.Samples)
+	}
+	r.check()
+	if r1.Heal != r2.Heal {
+		r.failf("determinism", "heal stats differ across identical runs: %+v vs %+v", r1.Heal, r2.Heal)
+	}
+	return r
+}
+
+// CheckRun bundles the per-run checks — result accounting, cache
+// stability, level-graph structure, and ESTIMATE-p sanity — into one
+// report.
+func (a Auditor) CheckRun(s *core.Session, res core.Result) *Report {
+	r := a.CheckResult(res)
+	r.Merge(a.CheckClientReplay(s.Client))
+	r.Merge(a.CheckLevelGraph(s))
+	r.Merge(a.CheckPEstimates(res.Checkpoint))
+	return r
+}

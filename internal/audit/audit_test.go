@@ -1,0 +1,229 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+)
+
+func auditPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p, err := platform.New(platform.Config{
+		Seed:        99,
+		NumUsers:    6000,
+		HorizonDays: 120,
+		Keywords: []platform.KeywordConfig{
+			{Name: "privacy", SeedsPerDay: 4, AffinityFrac: 0.2,
+				InterestHigh: 0.8, AdoptProb: 0.3, RepeatMentionMean: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func auditSession(t *testing.T, p *platform.Platform, churn platform.ChurnConfig, budget int) *core.Session {
+	t.Helper()
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	srv.EnableChurn(churn)
+	s, err := core.NewSession(api.NewClient(srv, budget), query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAuditGreenPath: both estimators, with and without churn, pass
+// every invariant check.
+func TestAuditGreenPath(t *testing.T) {
+	p := auditPlatform(t)
+	const budget = 8000
+	a := Auditor{Budget: budget}
+	configs := []struct {
+		name  string
+		churn platform.ChurnConfig
+	}{
+		{"frozen", platform.ChurnConfig{}},
+		{"churning", platform.ChurnConfig{Rate: 0.2, Seed: 5}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name+"/srw", func(t *testing.T) {
+			s := auditSession(t, p, cfg.churn, budget)
+			res, err := core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := a.CheckRun(s, res)
+			if !r.OK() {
+				t.Fatalf("green-path audit failed: %v", r.Err())
+			}
+			if r.Checks < 10 {
+				t.Errorf("audit ran only %d checks; sampling broken?", r.Checks)
+			}
+			t.Logf("srw/%s: %d checks, 0 violations", cfg.name, r.Checks)
+		})
+		t.Run(cfg.name+"/tarw", func(t *testing.T) {
+			s := auditSession(t, p, cfg.churn, budget)
+			res, err := core.RunTARW(s, core.TARWOptions{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := a.CheckRun(s, res)
+			if !r.OK() {
+				t.Fatalf("green-path audit failed: %v", r.Err())
+			}
+			t.Logf("tarw/%s: %d checks, 0 violations", cfg.name, r.Checks)
+		})
+	}
+}
+
+// TestAuditSeedStability: identical runs audit as seed-stable; a run
+// with a different seed is flagged.
+func TestAuditSeedStability(t *testing.T) {
+	p := auditPlatform(t)
+	a := Auditor{}
+	run := func(seed int64) core.Result {
+		s := auditSession(t, p, platform.ChurnConfig{Rate: 0.2, Seed: 5}, 6000)
+		res, err := core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(1), run(1)
+	if rep := a.CheckSeedStable(r1, r2); !rep.OK() {
+		t.Fatalf("identical runs flagged unstable: %v", rep.Err())
+	}
+	r3 := run(3)
+	if rep := a.CheckSeedStable(r1, r3); rep.OK() {
+		t.Error("different-seed runs audited as identical; check is vacuous")
+	}
+}
+
+// TestAuditCatchesInjectedResultViolations: hand-built results with
+// broken accounting must fail, with the right invariant named.
+func TestAuditCatchesInjectedResultViolations(t *testing.T) {
+	a := Auditor{Budget: 100}
+
+	// A minimal honest-looking result needs a checkpoint; steal one
+	// from a tiny real run.
+	p := auditPlatform(t)
+	s := auditSession(t, p, platform.ChurnConfig{}, 500)
+	real, err := core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(res core.Result) core.Result
+		invariant string
+	}{
+		{"cost-vs-stats", func(res core.Result) core.Result {
+			res.Cost++
+			return res
+		}, "budget-conservation"},
+		{"over-budget", func(res core.Result) core.Result {
+			res.Cost = 101
+			res.Stats.Calls = 101
+			return res
+		}, "budget-conservation"},
+		{"trajectory-regression", func(res core.Result) core.Result {
+			res.Trajectory = []core.Point{{Cost: 50, Estimate: 1}, {Cost: 40, Estimate: 1}}
+			return res
+		}, "budget-conservation"},
+		{"infinite-estimate", func(res core.Result) core.Result {
+			res.Estimate = math.Inf(1)
+			return res
+		}, "estimate-sanity"},
+		{"negative-heal", func(res core.Result) core.Result {
+			res.Heal.Backtracks = -1
+			return res
+		}, "heal-accounting"},
+		{"silent-degrade", func(res core.Result) core.Result {
+			res.Degraded = true
+			res.DegradedBy = nil
+			return res
+		}, "degrade-accounting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			broken := tc.mutate(real)
+			// Keep checkpoint consistency out of the way unless it is
+			// the point: sync is impossible from outside, so accept
+			// either the targeted invariant or checkpoint drift.
+			rep := a.CheckResult(broken)
+			if rep.OK() {
+				t.Fatal("injected violation passed the audit")
+			}
+			found := false
+			for _, v := range rep.Violations {
+				if v.Invariant == tc.invariant {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("violations %v name the wrong invariant, want %s", rep.Violations, tc.invariant)
+			}
+		})
+	}
+}
+
+// TestAuditCatchesBrokenPMeans: corrupted ESTIMATE-p means fail the
+// sanity check with estimate-p-sanity violations.
+func TestAuditCatchesBrokenPMeans(t *testing.T) {
+	a := Auditor{}
+	bad := map[int64]float64{
+		1: math.NaN(),
+		2: math.Inf(1),
+		3: -0.25,
+		4: 1e9,
+	}
+	good := map[int64]float64{5: 0.12, 6: 1.0}
+	rep := a.CheckPMeans(bad, good)
+	if rep.OK() {
+		t.Fatal("corrupted p-means passed the audit")
+	}
+	if len(rep.Violations) != 4 {
+		t.Errorf("got %d violations, want 4: %v", len(rep.Violations), rep.Violations)
+	}
+	for _, v := range rep.Violations {
+		if v.Invariant != "estimate-p-sanity" {
+			t.Errorf("unexpected invariant %q", v.Invariant)
+		}
+		if !strings.Contains(v.Detail, "p-up") {
+			t.Errorf("violation lost the map name: %v", v)
+		}
+	}
+	if rep2 := a.CheckPMeans(good, good); !rep2.OK() {
+		t.Errorf("sane p-means flagged: %v", rep2.Err())
+	}
+}
+
+// TestReportErrAndMerge exercises the report plumbing.
+func TestReportErrAndMerge(t *testing.T) {
+	var r Report
+	if r.Err() != nil {
+		t.Error("empty report has an error")
+	}
+	r.check()
+	r.failf("x", "boom %d", 7)
+	var r2 Report
+	r2.check()
+	r2.failf("y", "bang")
+	r.Merge(&r2)
+	if r.Checks != 2 || len(r.Violations) != 2 {
+		t.Fatalf("merge lost state: %+v", r)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "x: boom 7") {
+		t.Errorf("Err() = %v, want first violation surfaced", r.Err())
+	}
+}

@@ -29,9 +29,14 @@ type Checkpoint struct {
 	segments   int
 	priorCost  int
 	priorStats api.Stats
+	priorHeal  HealStats
 	interval   model.Tick
 	cache      *api.CacheSnapshot
-	traj       []Point
+	// breaker carries the client's circuit-breaker state: a breaker
+	// tripped by an ongoing outage must stay tripped after a resume,
+	// otherwise the fresh client silently forgets the outage.
+	breaker api.BreakerState
+	traj    []Point
 
 	// MA-SRW / M&R state.
 	chain   []srwSample
@@ -58,6 +63,33 @@ func (ck *Checkpoint) SpentCost() int { return ck.priorCost }
 // SpentStats returns the cumulative accounting across all segments.
 func (ck *Checkpoint) SpentStats() api.Stats { return ck.priorStats }
 
+// Healed returns the cumulative heal statistics across all segments.
+func (ck *Checkpoint) Healed() HealStats { return ck.priorHeal }
+
+// Breaker returns the checkpointed circuit-breaker state.
+func (ck *Checkpoint) Breaker() api.BreakerState { return ck.breaker }
+
+// PMeans returns the settled ESTIMATE-p means carried by a MA-TARW
+// checkpoint: per-node mean estimates of the bottom-top visit
+// probability p̄ and the top-bottom probability p̃. Auditors use these
+// to sanity-check the Hansen–Hurwitz weights; both maps are nil for
+// SRW-family checkpoints.
+func (ck *Checkpoint) PMeans() (up, down map[int64]float64) {
+	conv := func(m map[int64]*pStat) map[int64]float64 {
+		if m == nil {
+			return nil
+		}
+		out := make(map[int64]float64, len(m))
+		for u, st := range m {
+			if st.n > 0 {
+				out[u] = st.sum / float64(st.n)
+			}
+		}
+		return out
+	}
+	return conv(ck.pUp), conv(ck.pDown)
+}
+
 // Samples returns the number of collected walk samples.
 func (ck *Checkpoint) Samples() int {
 	if ck.algo == algoTARW {
@@ -69,6 +101,11 @@ func (ck *Checkpoint) Samples() int {
 // CachedResponses returns the size of the carried API response cache.
 func (ck *Checkpoint) CachedResponses() int { return ck.cache.Entries() }
 
+// Cache returns the carried API response snapshot (nil-safe to import
+// into a fresh client). Auditors and resume harnesses use it to replay
+// already-paid responses at zero cost.
+func (ck *Checkpoint) Cache() *api.CacheSnapshot { return ck.cache }
+
 // restore primes a (possibly fresh) session with the checkpoint's
 // cached API responses and level interval so resuming repays nothing.
 func (ck *Checkpoint) restore(s *Session) {
@@ -78,6 +115,7 @@ func (ck *Checkpoint) restore(s *Session) {
 	if ck.interval > 0 {
 		s.SetInterval(ck.interval)
 	}
+	s.Client.RestoreBreaker(ck.breaker)
 }
 
 // copyPStats deep-copies a probability cache so a checkpoint is

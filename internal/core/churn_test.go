@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+)
+
+// churnSession builds a session over a fault-free server with platform
+// churn enabled.
+func churnSession(t *testing.T, cfg platform.ChurnConfig, budget int) *Session {
+	t.Helper()
+	p := testPlatform(t)
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	srv.EnableChurn(cfg)
+	s, err := NewSession(api.NewClient(srv, budget), query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// vanishHeavy is a churn mix that only kills accounts — the event
+// class that actually strands a walk mid-step.
+func vanishHeavy(rate float64, seed int64) platform.ChurnConfig {
+	return platform.ChurnConfig{Rate: rate, Seed: seed, VanishWeight: 1}
+}
+
+// TestSRWHealsUnderChurn: with accounts vanishing underneath the walk,
+// MA-SRW must complete without aborting, report the healing work it
+// did, and stay deterministic in (walk seed, churn seed).
+func TestSRWHealsUnderChurn(t *testing.T) {
+	run := func() Result {
+		s := churnSession(t, vanishHeavy(0.3, 7), 12000)
+		res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 1})
+		if err != nil {
+			t.Fatalf("churn surfaced as an error instead of healing: %v", err)
+		}
+		return res
+	}
+	res := run()
+	if res.Degraded {
+		t.Fatalf("default heal policy degraded: %v", res.DegradedBy)
+	}
+	if res.Heal.VanishedUsers == 0 {
+		t.Fatal("fixture too quiet: no vanished users observed")
+	}
+	if res.Heal.Events() == 0 {
+		t.Error("no heal events despite observed vanishings")
+	}
+	if math.IsNaN(res.Estimate) {
+		t.Error("healed run produced no estimate")
+	}
+	if res.Cost == 0 || res.Stats.Calls != res.Cost {
+		t.Errorf("accounting broken: cost=%d stats.Calls=%d", res.Cost, res.Stats.Calls)
+	}
+
+	res2 := run()
+	if res2.Estimate != res.Estimate || res2.Heal != res.Heal || res2.Cost != res.Cost {
+		t.Errorf("churned run not deterministic: (%v,%+v,%d) vs (%v,%+v,%d)",
+			res.Estimate, res.Heal, res.Cost, res2.Estimate, res2.Heal, res2.Cost)
+	}
+	t.Logf("SRW under churn: heal=%+v cost=%d samples=%d", res.Heal, res.Cost, res.Samples)
+}
+
+// TestTARWHealsUnderChurn: MA-TARW absorbs vanished lattice nodes
+// structurally and completes with an estimate.
+func TestTARWHealsUnderChurn(t *testing.T) {
+	s := churnSession(t, vanishHeavy(0.3, 7), 12000)
+	res, err := RunTARW(s, TARWOptions{Seed: 2})
+	if err != nil {
+		t.Fatalf("churn surfaced as an error instead of healing: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("default heal policy degraded: %v", res.DegradedBy)
+	}
+	if res.Heal.VanishedUsers == 0 {
+		t.Fatal("fixture too quiet: no vanished users observed")
+	}
+	if math.IsNaN(res.Estimate) {
+		t.Error("healed run produced no estimate")
+	}
+	t.Logf("TARW under churn: heal=%+v zero=%d cost=%d walks=%d",
+		res.Heal, res.ZeroProbPaths, res.Cost, res.Samples)
+}
+
+// TestHealAbortDegrades: the pre-heal behaviour is still reachable via
+// HealAbort — the first churn-killed node degrades the run with a
+// resumable checkpoint instead of healing.
+func TestHealAbortDegrades(t *testing.T) {
+	s := churnSession(t, vanishHeavy(0.6, 11), 20000)
+	res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 1, Heal: HealPolicy{Mode: HealAbort}})
+	if err != nil {
+		t.Fatalf("HealAbort must degrade, not error: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("HealAbort under heavy churn did not degrade")
+	}
+	if !errors.Is(res.DegradedBy, ErrNodeVanished) {
+		t.Errorf("DegradedBy = %v, want ErrNodeVanished", res.DegradedBy)
+	}
+	if res.Checkpoint == nil {
+		t.Error("degraded result carries no checkpoint")
+	}
+}
+
+// TestMaxHealsOverwhelmed: bounding MaxHeals turns relentless churn
+// into a truthful ErrChurnOverwhelmed degrade.
+func TestMaxHealsOverwhelmed(t *testing.T) {
+	s := churnSession(t, vanishHeavy(0.6, 11), 20000)
+	res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 1, Heal: HealPolicy{MaxHeals: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || !errors.Is(res.DegradedBy, ErrChurnOverwhelmed) {
+		t.Fatalf("degraded=%v by %v, want ErrChurnOverwhelmed", res.Degraded, res.DegradedBy)
+	}
+	if res.Heal.Events() != 1 {
+		t.Errorf("heal events = %d, want exactly MaxHeals=1 before degrading", res.Heal.Events())
+	}
+}
+
+// TestHealReseedMode: the reseed policy recovers too, without ever
+// backtracking.
+func TestHealReseedMode(t *testing.T) {
+	s := churnSession(t, vanishHeavy(0.3, 7), 12000)
+	res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 1, Heal: HealPolicy{Mode: HealReseed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("reseed policy degraded: %v", res.DegradedBy)
+	}
+	if res.Heal.Backtracks != 0 {
+		t.Errorf("reseed policy backtracked %d times", res.Heal.Backtracks)
+	}
+	if res.Heal.Reseeds == 0 {
+		t.Error("no reseeds recorded under churn")
+	}
+}
+
+// TestResumeCarriesBreakerState is the satellite-2 regression: a
+// breaker tripped by an outage must still be open after resuming on a
+// fresh client, forcing the half-open cooldown before the next call.
+func TestResumeCarriesBreakerState(t *testing.T) {
+	pol := shallowPolicy()
+	pol.BreakerThreshold = 1
+	pol.BreakerCooldown = time.Minute
+
+	s1 := faultSession(t, outageFaults(24), pol, 30000)
+	res1, err := RunSRW(s1, SRWOptions{View: LevelView, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Degraded || !errors.Is(res1.DegradedBy, api.ErrCircuitOpen) {
+		t.Fatalf("fixture did not trip the breaker: degraded=%v by %v", res1.Degraded, res1.DegradedBy)
+	}
+	if !res1.Checkpoint.Breaker().Open {
+		t.Fatal("checkpoint lost the open breaker state")
+	}
+
+	// Resume on a healthy server: the restored breaker must charge the
+	// half-open cooldown before the first fresh call goes through.
+	p := testPlatform(t)
+	client2 := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{}), 30000-res1.Cost)
+	client2.Policy = pol
+	s2, err := NewSession(client2, query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunSRW(s2, SRWOptions{View: LevelView, Seed: 1, Resume: res1.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded {
+		t.Errorf("resume on healthy server degraded: %v", res2.DegradedBy)
+	}
+	if client2.Stats().Wait < pol.BreakerCooldown {
+		t.Errorf("resumed client waited %v, want at least the %v breaker cooldown — "+
+			"the tripped breaker was silently closed by the resume",
+			client2.Stats().Wait, pol.BreakerCooldown)
+	}
+}
+
+// TestResumeUnderActiveChurn is the satellite-3 coverage: resume while
+// the platform keeps churning. Cached responses are replayed at zero
+// cost and are NOT invalidated by churn that happened after they were
+// fetched (frozen-snapshot semantics); cumulative Cost/Stats stay
+// monotone and truthful.
+func TestResumeUnderActiveChurn(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	cfg := vanishHeavy(0.3, 7)
+
+	srv := api.NewServer(p, api.Twitter(), api.Faults{})
+	srv.EnableChurn(cfg)
+	client1 := api.NewClient(srv, 3000) // small budget: exhausts mid-walk
+	s1, err := NewSession(client1, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := RunSRW(s1, SRWOptions{View: LevelView, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cost != 3000 {
+		t.Fatalf("fixture did not exhaust its budget: cost=%d", res1.Cost)
+	}
+
+	// Resume against the SAME server — its churn overlay keeps moving —
+	// with a fresh client and fresh budget.
+	client2 := api.NewClient(srv, 6000)
+	s2, err := NewSession(client2, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A user whose response the checkpoint carries must replay at zero
+	// cost even though the platform churned since it was fetched.
+	client2.ImportCache(res1.Checkpoint.Cache())
+	cached := client2.CachedConnUsers()
+	if len(cached) == 0 {
+		t.Fatal("checkpoint carries no cached connections")
+	}
+	before := client2.Cost()
+	for _, u := range cached {
+		if _, err := client2.Connections(u); err != nil {
+			t.Fatalf("cached replay of user %d failed: %v", u, err)
+		}
+	}
+	if client2.Cost() != before {
+		t.Errorf("replaying %d cached users charged %d calls, want 0",
+			len(cached), client2.Cost()-before)
+	}
+
+	res2, err := RunSRW(s2, SRWOptions{View: LevelView, Seed: 1, Resume: res1.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost < res1.Cost {
+		t.Errorf("cumulative cost went backwards: %d -> %d", res1.Cost, res2.Cost)
+	}
+	if res2.Cost != res1.Cost+client2.Cost() {
+		t.Errorf("res2.Cost = %d, want %d (prior) + %d (fresh)", res2.Cost, res1.Cost, client2.Cost())
+	}
+	if res2.Stats.Calls != res2.Cost {
+		t.Errorf("Stats.Calls = %d != Cost %d", res2.Stats.Calls, res2.Cost)
+	}
+	if res2.Samples <= res1.Samples {
+		t.Errorf("resume under churn made no progress: %d -> %d samples", res1.Samples, res2.Samples)
+	}
+	if res2.Heal.VanishedUsers < res1.Heal.VanishedUsers {
+		t.Errorf("cumulative heal stats went backwards: %+v -> %+v", res1.Heal, res2.Heal)
+	}
+	if math.IsNaN(res2.Estimate) {
+		t.Error("resumed run produced no estimate")
+	}
+	t.Logf("resume under churn: seg1 cost=%d seg2 cost=%d heal=%+v", res1.Cost, client2.Cost(), res2.Heal)
+}

@@ -1,0 +1,102 @@
+package core
+
+import "errors"
+
+// ErrNodeVanished indicates the walk's current node disappeared from
+// the platform (account suspended or deleted mid-walk) and the heal
+// policy forbids recovering from it.
+var ErrNodeVanished = errors.New("core: current walk node vanished")
+
+// ErrChurnOverwhelmed indicates the walk healed more often than
+// HealPolicy.MaxHeals allows — the platform is churning faster than
+// the walk can make progress, so the run degrades with a checkpoint
+// rather than thrashing the remaining budget on recovery.
+var ErrChurnOverwhelmed = errors.New("core: heal limit exceeded, platform churn overwhelms the walk")
+
+// HealMode selects how a walk recovers when its current node dies
+// (vanished account, newly protected, or all edges churned away).
+type HealMode int
+
+const (
+	// HealBacktrack retreats along the walk's own trail to the most
+	// recent node that still has live neighbors, falling back to a
+	// fresh seed when the whole trail is dead. The default: backtrack
+	// targets are already cached, so recovery is (nearly) free, and the
+	// walk resumes inside the region it was mixing in.
+	HealBacktrack HealMode = iota
+	// HealReseed restarts from a fresh search seed on every heal.
+	HealReseed
+	// HealAbort degrades the run (with a resumable checkpoint) the
+	// first time churn kills the current node — the pre-heal behaviour,
+	// kept for measuring what self-healing buys.
+	HealAbort
+)
+
+func (m HealMode) String() string {
+	switch m {
+	case HealBacktrack:
+		return "backtrack"
+	case HealReseed:
+		return "reseed"
+	case HealAbort:
+		return "abort"
+	default:
+		return "HealMode(?)"
+	}
+}
+
+// HealPolicy configures walk self-healing under platform churn.
+// The zero value is the default policy: backtrack up to 32 trail
+// entries, unlimited heals.
+type HealPolicy struct {
+	Mode HealMode
+	// MaxBacktrack bounds how many trail entries a single backtrack
+	// scans before giving up and re-seeding (default 32).
+	MaxBacktrack int
+	// MaxHeals bounds the total number of heal events per run segment;
+	// 0 means unlimited. Exceeding it degrades the run with
+	// ErrChurnOverwhelmed.
+	MaxHeals int
+}
+
+func (p HealPolicy) withDefaults() HealPolicy {
+	if p.MaxBacktrack == 0 {
+		p.MaxBacktrack = 32
+	}
+	return p
+}
+
+// HealStats counts the recovery work a run performed, surfaced in
+// Result and accumulated across resumed segments in Checkpoint.
+type HealStats struct {
+	// Backtracks counts heals resolved by retreating along the trail.
+	Backtracks int
+	// Reseeds counts heals resolved by jumping to a fresh seed.
+	Reseeds int
+	// SkippedWalks counts TARW walk instances abandoned whole (no
+	// usable probability mass, typically a seed dying under churn).
+	SkippedWalks int
+	// VanishedUsers counts distinct users the session observed
+	// vanishing (fresh probe returned ErrUnknownUser).
+	VanishedUsers int
+	// PrunedEdges counts distinct dangling edges dropped from the
+	// partial level graph because one endpoint vanished.
+	PrunedEdges int
+}
+
+// Add returns the elementwise sum of two stat snapshots.
+func (h HealStats) Add(o HealStats) HealStats {
+	return HealStats{
+		Backtracks:    h.Backtracks + o.Backtracks,
+		Reseeds:       h.Reseeds + o.Reseeds,
+		SkippedWalks:  h.SkippedWalks + o.SkippedWalks,
+		VanishedUsers: h.VanishedUsers + o.VanishedUsers,
+		PrunedEdges:   h.PrunedEdges + o.PrunedEdges,
+	}
+}
+
+// Events returns the number of heal interventions (backtracks,
+// reseeds, and skipped walks) — the quantity MaxHeals bounds.
+func (h HealStats) Events() int {
+	return h.Backtracks + h.Reseeds + h.SkippedWalks
+}

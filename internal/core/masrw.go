@@ -45,6 +45,10 @@ type Result struct {
 	// rate-limit waits, circuit trips, virtual wait), accumulated
 	// across resumed segments.
 	Stats api.Stats
+	// Heal counts the self-healing work the run performed under
+	// platform churn (backtracks, reseeds, skipped walks, vanished
+	// users, pruned dangling edges), accumulated across segments.
+	Heal HealStats
 	// Checkpoint is the resumable walk state at the moment the run
 	// returned. Pass it to SRWOptions.Resume / TARWOptions.Resume on a
 	// session over a fresh client to continue without repaying any
@@ -86,6 +90,10 @@ type SRWOptions struct {
 	// a level-by-level graph with only a fraction of intra-level edges
 	// removed. When set, View is ignored.
 	Graph func(u int64) ([]int64, error)
+	// Heal governs recovery when platform churn kills the walk's
+	// current node. The zero value backtracks along the trail (up to
+	// 32 entries) with unlimited heals.
+	Heal HealPolicy
 	// Resume continues a run from a prior SRW-family checkpoint: the
 	// collected chain, walk position, and trajectory are restored, the
 	// checkpoint's cached API responses are imported into the session's
@@ -141,12 +149,16 @@ type srwSample struct {
 func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	opts = opts.withDefaults()
 
+	heal := opts.Heal.withDefaults()
+
 	var (
 		res        Result
 		chain      []srwSample
 		traj       []Point
 		priorCost  int
 		priorStats api.Stats
+		priorHeal  HealStats
+		segHeal    HealStats
 		segments   int
 		resumeAt   int64
 		haveResume bool
@@ -159,8 +171,10 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 		chain = append(chain, ck.chain...)
 		traj = append(traj, ck.traj...)
 		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
+		priorHeal = ck.priorHeal
 		resumeAt, haveResume = ck.cur, ck.haveCur
 	}
+	baseVanished, basePruned := s.ChurnObserved()
 	// Derive the RNG from the segment index so a resumed walk explores
 	// fresh randomness instead of replaying the interrupted segment.
 	rng := rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
@@ -192,8 +206,12 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	// checkpoint) near-linear over long walks.
 	nextEmit := len(chain) + opts.EmitEvery
 	finalize := func() Result {
+		v, p := s.ChurnObserved()
+		segHeal.VanishedUsers = v - baseVanished
+		segHeal.PrunedEdges = p - basePruned
 		res.Cost = priorCost + s.Client.Cost()
 		res.Stats = priorStats.Add(s.Client.Stats())
+		res.Heal = priorHeal.Add(segHeal)
 		res.Samples = len(chain)
 		res.Trajectory = traj
 		res.Estimate = math.NaN()
@@ -205,8 +223,10 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			segments:   segments + 1,
 			priorCost:  res.Cost,
 			priorStats: res.Stats,
+			priorHeal:  res.Heal,
 			interval:   s.Interval,
 			cache:      s.Client.ExportCache(),
+			breaker:    s.Client.BreakerState(),
 			traj:       append([]Point(nil), traj...),
 			chain:      append([]srwSample(nil), chain...),
 			cur:        w.Current(),
@@ -227,14 +247,42 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 		case errors.Is(err, api.ErrBudgetExhausted):
 			return finalize(), nil
 		case errors.Is(err, walk.ErrStuck):
-			// Restart from a fresh seed (an isolated node or a dead end
-			// after private-user filtering).
+			// The current node is a dead end. If churn killed it (a
+			// fresh probe revealed the account vanished), heal per
+			// policy; a plain dead end (isolated node, private-user
+			// filtering) restarts from a fresh seed as always.
+			churned := s.Vanished(w.Current())
+			if churned {
+				if heal.Mode == HealAbort {
+					return degrade(finalize(), ErrNodeVanished), nil
+				}
+				if heal.MaxHeals > 0 && priorHeal.Events()+segHeal.Events() >= heal.MaxHeals {
+					return degrade(finalize(), ErrChurnOverwhelmed), nil
+				}
+				if heal.Mode == HealBacktrack {
+					v, ok, berr := backtrackTarget(s, chain, heal.MaxBacktrack, oracle)
+					if errors.Is(berr, api.ErrBudgetExhausted) {
+						return finalize(), nil
+					}
+					if berr != nil {
+						return degrade(finalize(), berr), nil
+					}
+					if ok {
+						segHeal.Backtracks++
+						w.Jump(v)
+						continue
+					}
+				}
+			}
 			ns, serr := s.PickSeed(seeds, rng)
 			if errors.Is(serr, api.ErrBudgetExhausted) {
 				return finalize(), nil
 			}
 			if serr != nil {
 				return degrade(finalize(), serr), nil
+			}
+			if churned {
+				segHeal.Reseeds++
 			}
 			w.Jump(ns)
 			continue
@@ -263,6 +311,30 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 		}
 	}
 	return finalize(), nil
+}
+
+// backtrackTarget scans the walk's own trail newest-first (at most max
+// entries) for a node that still has live neighbors to continue from.
+// Trail nodes are cached, so the scan is free unless churn invalidated
+// an entry; vanished trail nodes are skipped outright. Returns ok=false
+// when the whole scanned trail is dead (caller falls back to a seed).
+func backtrackTarget(s *Session, chain []srwSample, max int, oracle func(int64) ([]int64, error)) (int64, bool, error) {
+	scanned := 0
+	for i := len(chain) - 1; i >= 0 && scanned < max; i-- {
+		u := chain[i].u
+		scanned++
+		if s.Vanished(u) {
+			continue
+		}
+		ns, err := oracle(u)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(ns) > 0 {
+			return u, true, nil
+		}
+	}
+	return 0, false, nil
 }
 
 // sampleFacts returns the oracle-degree, match flag and value of u.

@@ -58,6 +58,13 @@ type TARWOptions struct {
 	// are imported into the session's client so nothing already paid
 	// for is repaid. Interval selection is skipped on resume.
 	Resume *Checkpoint
+	// Heal governs behaviour when platform churn disrupts walks. The
+	// zero value keeps walking: a vanished node is pruned from the
+	// lattice structurally (the walk treats it as absent), and a walk
+	// instance that yields no usable mass is skipped and counted. With
+	// HealAbort the run degrades as soon as churn is first observed.
+	// MaxHeals bounds the skipped-walk count per run.
+	Heal HealPolicy
 	// WeightClip winsorizes the Hansen–Hurwitz weights 1/p̂ at
 	// WeightClip × s (s = seed count). Visit probabilities in a real
 	// (irregular) level DAG are badly skewed, and an occasional
@@ -131,11 +138,15 @@ type tarw struct {
 func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 	opts = opts.withDefaults()
 
+	heal := opts.Heal.withDefaults()
+
 	var (
 		res        Result
 		traj       []Point
 		priorCost  int
 		priorStats api.Stats
+		priorHeal  HealStats
+		segHeal    HealStats
 		segments   int
 	)
 	// Per-walk estimates of SUM(f·match), COUNT(match), and the
@@ -161,7 +172,9 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		t.pUp = copyPStats(ck.pUp)
 		t.pDown = copyPStats(ck.pDown)
 		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
+		priorHeal = ck.priorHeal
 	}
+	baseVanished, basePruned := s.ChurnObserved()
 	// Segment-derived RNG: a resumed run continues with fresh draws.
 	t.rng = rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
 
@@ -180,8 +193,12 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 
 	sSize := float64(seeds.Size())
 	finalize := func() Result {
+		v, p := s.ChurnObserved()
+		segHeal.VanishedUsers = v - baseVanished
+		segHeal.PrunedEdges = p - basePruned
 		res.Cost = priorCost + s.Client.Cost()
 		res.Stats = priorStats.Add(s.Client.Stats())
+		res.Heal = priorHeal.Add(segHeal)
 		res.Samples = len(sumEsts)
 		res.ZeroProbPaths = t.zeroPaths
 		res.Trajectory = traj
@@ -194,8 +211,10 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 			segments:   segments + 1,
 			priorCost:  res.Cost,
 			priorStats: res.Stats,
+			priorHeal:  res.Heal,
 			interval:   s.Interval,
 			cache:      s.Client.ExportCache(),
+			breaker:    s.Client.BreakerState(),
 			traj:       append([]Point(nil), traj...),
 			sumEsts:    append([]float64(nil), sumEsts...),
 			cntEsts:    append([]float64(nil), cntEsts...),
@@ -218,7 +237,20 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		if errors.Is(err, api.ErrBudgetExhausted) {
 			return finalize(), nil
 		}
+		if heal.Mode == HealAbort {
+			// Pre-heal behaviour (kept for ablation): degrade as soon
+			// as churn is first observed disrupting the lattice.
+			if v, _ := s.ChurnObserved(); v > baseVanished {
+				return degrade(finalize(), ErrNodeVanished), nil
+			}
+		}
 		if errors.Is(err, errWalkSkipped) {
+			// The walk instance produced no usable probability mass —
+			// under churn, typically a seed or path dying mid-walk.
+			segHeal.SkippedWalks++
+			if heal.MaxHeals > 0 && priorHeal.Events()+segHeal.Events() >= heal.MaxHeals {
+				return degrade(finalize(), ErrChurnOverwhelmed), nil
+			}
 			continue
 		}
 		if err != nil {

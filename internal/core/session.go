@@ -53,11 +53,21 @@ func (v GraphView) String() string {
 // The raw first-mention time is kept (rather than its level bucket) so
 // changing the interval T never invalidates anything.
 type nodeInfo struct {
-	reachable bool       // timeline accessible (not private)
+	reachable bool       // timeline accessible (not private/vanished)
+	vanished  bool       // account gone from the platform (churn)
 	qualified bool       // keyword appears in the visible timeline
 	first     model.Tick // first visible mention (valid when qualified)
 	matches   bool       // satisfies the full query condition
 	value     float64
+}
+
+// permanentlyUnreachable reports whether err marks a user the walk
+// must skip permanently rather than abort on: a protected account
+// (api.ErrPrivate) or one that vanished from the platform entirely
+// (api.ErrUnknownUser, e.g. suspended or deleted under churn). Both
+// classes are terminal for the user, never for the run.
+func permanentlyUnreachable(err error) bool {
+	return errors.Is(err, api.ErrPrivate) || errors.Is(err, api.ErrUnknownUser)
 }
 
 // Session binds a query to an API client and exposes the on-the-fly
@@ -71,6 +81,12 @@ type Session struct {
 	Interval model.Tick
 
 	info map[int64]*nodeInfo
+	// vanishedSeen tracks the distinct users a fresh probe revealed as
+	// gone (ErrUnknownUser), and pruned the distinct dangling edges
+	// dropped from the partial level graph because an endpoint
+	// vanished. Both feed HealStats.
+	vanishedSeen map[int64]bool
+	pruned       map[[2]int64]bool
 }
 
 // NewSession validates the query and returns a session with interval T.
@@ -82,10 +98,12 @@ func NewSession(client *api.Client, q query.Query, interval model.Tick) (*Sessio
 		interval = model.Day
 	}
 	return &Session{
-		Client:   client,
-		Query:    q,
-		Interval: interval,
-		info:     make(map[int64]*nodeInfo),
+		Client:       client,
+		Query:        q,
+		Interval:     interval,
+		info:         make(map[int64]*nodeInfo),
+		vanishedSeen: make(map[int64]bool),
+		pruned:       make(map[[2]int64]bool),
 	}, nil
 }
 
@@ -98,17 +116,36 @@ func (s *Session) SetInterval(t model.Tick) {
 	s.Interval = t
 }
 
+// markVanished records that a fresh probe revealed u as gone and
+// flips any cached node facts to unreachable, so the partial level
+// graph stops listing u and later filterNeighbors passes prune its
+// dangling edges.
+func (s *Session) markVanished(u int64) {
+	s.vanishedSeen[u] = true
+	if in, ok := s.info[u]; ok {
+		in.reachable = false
+		in.qualified = false
+		in.vanished = true
+	} else {
+		s.info[u] = &nodeInfo{vanished: true}
+	}
+}
+
 // node fetches (or recalls) user u's derived facts. Budget exhaustion
-// is returned as an error; private users yield reachable=false with a
-// nil error.
+// is returned as an error; permanently unreachable users (private or
+// vanished) yield reachable=false with a nil error.
 func (s *Session) node(u int64) (*nodeInfo, error) {
 	if in, ok := s.info[u]; ok {
 		return in, nil
 	}
 	tl, err := s.Client.Timeline(u)
 	switch {
-	case errors.Is(err, api.ErrPrivate):
+	case permanentlyUnreachable(err):
 		in := &nodeInfo{}
+		if errors.Is(err, api.ErrUnknownUser) {
+			in.vanished = true
+			s.vanishedSeen[u] = true
+		}
 		s.info[u] = in
 		return in, nil
 	case err != nil:
@@ -162,14 +199,25 @@ func (s *Session) MatchValue(u int64) (bool, float64, error) {
 	return in.matches, in.value, nil
 }
 
-// SocialNeighbors returns u's reachable connections (the raw social
-// graph view).
-func (s *Session) SocialNeighbors(u int64) ([]int64, error) {
+// connections fetches u's neighbor list, folding both permanent
+// error classes into an empty list. A fresh ErrUnknownUser also flips
+// any cached node facts for u: the account vanished after we learned
+// about it, so the partial graph must stop treating it as present.
+func (s *Session) connections(u int64) ([]int64, error) {
 	ns, err := s.Client.Connections(u)
-	if errors.Is(err, api.ErrPrivate) {
+	if permanentlyUnreachable(err) {
+		if errors.Is(err, api.ErrUnknownUser) {
+			s.markVanished(u)
+		}
 		return nil, nil
 	}
 	return ns, err
+}
+
+// SocialNeighbors returns u's reachable connections (the raw social
+// graph view).
+func (s *Session) SocialNeighbors(u int64) ([]int64, error) {
+	return s.connections(u)
 }
 
 // TermNeighbors returns u's neighbors inside the term-induced
@@ -231,10 +279,7 @@ func (s *Session) filterNeighbors(u int64, keep func(lvl, myLevel int) bool) ([]
 	if !me.reachable || !me.qualified {
 		return nil, nil
 	}
-	ns, err := s.Client.Connections(u)
-	if errors.Is(err, api.ErrPrivate) {
-		return nil, nil
-	}
+	ns, err := s.connections(u)
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +289,34 @@ func (s *Session) filterNeighbors(u int64, keep func(lvl, myLevel int) bool) ([]
 		if err != nil {
 			return nil, err
 		}
+		if in.vanished {
+			// Dangling edge: v died after the platform listed it as a
+			// neighbor. Prune it (counted once per distinct edge).
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			s.pruned[[2]int64{a, b}] = true
+			continue
+		}
 		if in.reachable && in.qualified && keep(s.levelOf(in), s.levelOf(me)) {
 			out = append(out, v)
 		}
 	}
 	return out, nil
+}
+
+// Vanished reports whether a fresh probe has revealed u as gone from
+// the platform.
+func (s *Session) Vanished(u int64) bool {
+	in, ok := s.info[u]
+	return ok && in.vanished
+}
+
+// ChurnObserved returns the churn fallout this session has witnessed:
+// distinct vanished users and distinct pruned dangling edges.
+func (s *Session) ChurnObserved() (vanished, prunedEdges int) {
+	return len(s.vanishedSeen), len(s.pruned)
 }
 
 // Neighbors returns the oracle for a graph view (walk.Graph adapter).

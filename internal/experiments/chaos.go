@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mba/internal/api"
+	"mba/internal/audit"
 	"mba/internal/core"
 	"mba/internal/model"
 	"mba/internal/platform"
@@ -62,15 +63,50 @@ func chaosScenarios(seed int64) []chaosScenario {
 // spend its full budget.
 const chaosMaxResumes = 200
 
-// chaosRun executes one estimator under fault injection with the full
-// fault-tolerance loop: whenever the run degrades (an unrecoverable
-// fault mid-walk) and budget remains, it is resumed from its
-// checkpoint on a fresh client — replaying the cached responses at
+// resumeLoop drives the fault-tolerance loop shared by the chaos and
+// churn sweeps: whenever the run degrades (an unrecoverable fault or
+// heal-limit breach mid-walk) and budget remains, it is resumed from
+// its checkpoint on a fresh client — replaying the cached responses at
 // zero cost, never repaying spent calls — until the run completes, the
 // budget is gone, or resuming stops making progress. It returns the
-// final (cumulative) result and the number of resumes taken.
+// final (cumulative) result, the number of resumes taken, and the last
+// session (whose client holds the full response cache, for auditing).
+func resumeLoop(newSession func(b int) (*core.Session, error),
+	runOnce func(s *core.Session, ck *core.Checkpoint) (core.Result, error),
+	budget int) (core.Result, int, *core.Session, error) {
+
+	s, err := newSession(budget)
+	if err != nil {
+		return core.Result{}, 0, nil, err
+	}
+	res, err := runOnce(s, nil)
+	if err != nil {
+		return res, 0, s, err
+	}
+	resumes := 0
+	for res.Degraded && res.Cost < budget && resumes < chaosMaxResumes {
+		s2, err := newSession(budget - res.Cost)
+		if err != nil {
+			break
+		}
+		prev := res
+		res, err = runOnce(s2, prev.Checkpoint)
+		if err != nil {
+			return res, resumes, s2, err
+		}
+		s = s2
+		resumes++
+		if res.Cost <= prev.Cost && res.Samples <= prev.Samples {
+			break // no progress; stop burning resumes
+		}
+	}
+	return res, resumes, s, nil
+}
+
+// chaosRun executes one estimator under fault injection through
+// resumeLoop.
 func chaosRun(p *platform.Platform, algo Algo, q query.Query, sc chaosScenario,
-	budget int, interval model.Tick, seed int64) (core.Result, int, error) {
+	budget int, interval model.Tick, seed int64) (core.Result, int, *core.Session, error) {
 
 	srv := api.NewServer(p, api.Twitter(), sc.faults)
 	newSession := func(b int) (*core.Session, error) {
@@ -94,32 +130,7 @@ func chaosRun(p *platform.Platform, algo Algo, q query.Query, sc chaosScenario,
 			return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck})
 		}
 	}
-
-	s, err := newSession(budget)
-	if err != nil {
-		return core.Result{}, 0, err
-	}
-	res, err := runOnce(s, nil)
-	if err != nil {
-		return res, 0, err
-	}
-	resumes := 0
-	for res.Degraded && res.Cost < budget && resumes < chaosMaxResumes {
-		s2, err := newSession(budget - res.Cost)
-		if err != nil {
-			break
-		}
-		prev := res
-		res, err = runOnce(s2, prev.Checkpoint)
-		if err != nil {
-			return res, resumes, err
-		}
-		resumes++
-		if res.Cost <= prev.Cost && res.Samples <= prev.Samples {
-			break // no progress; stop burning resumes
-		}
-	}
-	return res, resumes, nil
+	return resumeLoop(newSession, runOnce, budget)
 }
 
 // Chaos is the chaos-sweep harness: it sweeps the fault scenarios
@@ -166,10 +177,12 @@ func Chaos(opts Options) (Table, error) {
 		Title: "Chaos sweep: estimator robustness and the cost of resilience under injected API faults",
 		Columns: []string{
 			"Scenario", "Algo", "RelErr", "Cost@10%", "Cost",
-			"Retries", "RateLimited", "Trips", "Wait", "Resumes", "Degraded",
+			"Retries", "RateLimited", "Trips", "Wait", "Resumes", "Degraded", "Audit",
 		},
 	}
 
+	aud := audit.Auditor{Budget: opts.Budget}
+	var violations []string
 	for _, sc := range chaosScenarios(opts.Seed) {
 		for _, c := range cells {
 			opts.logf("chaos: %s %s", sc.name, c.algo)
@@ -180,14 +193,21 @@ func Chaos(opts Options) (Table, error) {
 				st       api.Stats
 				resumes  int
 				degraded int
+				checks   int
 			)
 			for trial := 0; trial < opts.Trials; trial++ {
 				trialSc := sc
 				trialSc.faults.Seed = sc.faults.Seed + int64(trial)*104729
-				res, r, err := chaosRun(p, c.algo, c.q, trialSc,
+				res, r, sess, err := chaosRun(p, c.algo, c.q, trialSc,
 					opts.Budget, opts.Interval, opts.Seed+int64(trial)*7919)
 				if err != nil {
 					return Table{}, fmt.Errorf("chaos %s %s trial %d: %w", sc.name, c.algo, trial, err)
+				}
+				rep := aud.CheckRun(sess, res)
+				checks += rep.Checks
+				for _, v := range rep.Violations {
+					violations = append(violations,
+						fmt.Sprintf("%s/%s trial %d: %s", sc.name, c.algo, trial, v))
 				}
 				if !math.IsNaN(res.Estimate) {
 					relErrs = append(relErrs, stats.RelativeError(res.Estimate, c.truth))
@@ -212,8 +232,13 @@ func Chaos(opts Options) (Table, error) {
 				fmt.Sprintf("%v", st.Wait.Round(time.Second)),
 				fmt.Sprintf("%d", resumes),
 				fmt.Sprintf("%d/%d", degraded, opts.Trials),
+				fmt.Sprintf("ok(%d)", checks),
 			})
 		}
+	}
+	if len(violations) > 0 {
+		return t, fmt.Errorf("chaos: auditor found %d invariant violations; first: %s",
+			len(violations), violations[0])
 	}
 	return t, nil
 }

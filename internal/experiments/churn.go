@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// churnRates is the sweep grid: expected churn events per API call
+// served. At Twitter's historical 180 calls / 15 min this spans "a few
+// account changes per hour in the walk's region" (0.005) up to a
+// platform in upheaval (0.4, where a noticeable slice of the graph
+// mutates within one run). Rate 0 is the frozen-platform control — it
+// must reproduce the baseline exactly.
+var churnRates = []float64{0, 0.005, 0.02, 0.1, 0.4}
+
+// churnRun executes one estimator over a churning platform through
+// resumeLoop, with the default self-healing policy.
+func churnRun(p *platform.Platform, algo Algo, q query.Query, cfg platform.ChurnConfig,
+	budget int, interval model.Tick, seed int64) (core.Result, int, *core.Session, error) {
+
+	srv := api.NewServer(p, api.Twitter(), api.Faults{Seed: seed})
+	srv.EnableChurn(cfg)
+	newSession := func(b int) (*core.Session, error) {
+		return core.NewSession(api.NewClient(srv, b), q, interval)
+	}
+	runOnce := func(s *core.Session, ck *core.Checkpoint) (core.Result, error) {
+		switch algo {
+		case MATARW:
+			opts := core.TARWOptions{Seed: seed, Resume: ck}
+			if q.Agg != query.Avg {
+				opts.AllowCrossLevel = true
+				opts.WeightClip = 100
+				opts.PEstimates = 5
+			}
+			return core.RunTARW(s, opts)
+		case MR:
+			return core.RunMR(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck})
+		default:
+			return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck})
+		}
+	}
+	return resumeLoop(newSession, runOnce, budget)
+}
+
+// Churn is the churn-sweep harness: relative error versus platform
+// churn rate for MA-SRW, MA-TARW (AVG(followers) of privacy users) and
+// the M&R baseline (COUNT), with self-healing walks and the runtime
+// invariant auditor checking every final run. Ground truth is computed
+// on the frozen platform — under churn the estimators chase a moving
+// target from a frozen-snapshot cache, so the reported error folds
+// both sampling noise and genuine drift; the reproduction claim is the
+// shape, not the absolute numbers: error grows gently with the churn
+// rate (healing keeps walks alive instead of aborting them), while the
+// heal counters grow roughly linearly with it.
+func Churn(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+
+	avgQ := query.AvgQuery("privacy", query.Followers)
+	cntQ := query.CountQuery("privacy")
+	truthAvg, err := p.GroundTruth(avgQ)
+	if err != nil {
+		return Table{}, err
+	}
+	truthCnt, err := p.GroundTruth(cntQ)
+	if err != nil {
+		return Table{}, err
+	}
+
+	type cell struct {
+		algo  Algo
+		q     query.Query
+		truth float64
+	}
+	cells := []cell{
+		{MASRW, avgQ, truthAvg},
+		{MATARW, avgQ, truthAvg},
+		{MR, cntQ, truthCnt},
+	}
+
+	t := Table{
+		ID:    "churn",
+		Title: "Churn sweep: relative error vs. platform churn rate with self-healing walks",
+		Columns: []string{
+			"Rate", "Algo", "RelErr", "Cost", "Healed", "Vanished", "Pruned",
+			"Resumes", "Degraded", "Audit",
+		},
+	}
+
+	aud := audit.Auditor{Budget: opts.Budget}
+	var violations []string
+	for _, rate := range churnRates {
+		for _, c := range cells {
+			opts.logf("churn: rate=%g %s", rate, c.algo)
+			var (
+				relErrs  []float64
+				cost     int
+				heal     core.HealStats
+				resumes  int
+				degraded int
+				checks   int
+			)
+			for trial := 0; trial < opts.Trials; trial++ {
+				// The event mix leans on the classes walks must heal
+				// from (account deletion, unfollows); profile flips and
+				// post deletions only perturb responses, they never
+				// strand a walk, so the default mix would leave the
+				// Healed column near zero at sweep budgets.
+				cfg := platform.ChurnConfig{
+					Rate:             rate,
+					Seed:             opts.Seed + int64(trial)*104729,
+					VanishWeight:     0.50,
+					ProtectWeight:    0.10,
+					EdgeRemoveWeight: 0.25,
+					EdgeAddWeight:    0.05,
+					PostDeleteWeight: 0.10,
+				}
+				res, r, sess, err := churnRun(p, c.algo, c.q, cfg,
+					opts.Budget, opts.Interval, opts.Seed+int64(trial)*7919)
+				if err != nil {
+					return Table{}, fmt.Errorf("churn rate=%g %s trial %d: %w", rate, c.algo, trial, err)
+				}
+				rep := aud.CheckRun(sess, res)
+				checks += rep.Checks
+				for _, v := range rep.Violations {
+					violations = append(violations,
+						fmt.Sprintf("rate=%g/%s trial %d: %s", rate, c.algo, trial, v))
+				}
+				if !math.IsNaN(res.Estimate) {
+					relErrs = append(relErrs, stats.RelativeError(res.Estimate, c.truth))
+				}
+				cost += res.Cost
+				heal = heal.Add(res.Heal)
+				resumes += r
+				if res.Degraded {
+					degraded++
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", rate),
+				string(c.algo),
+				fmtMedian(relErrs),
+				fmt.Sprintf("%d", cost/opts.Trials),
+				fmt.Sprintf("%d", heal.Events()),
+				fmt.Sprintf("%d", heal.VanishedUsers),
+				fmt.Sprintf("%d", heal.PrunedEdges),
+				fmt.Sprintf("%d", resumes),
+				fmt.Sprintf("%d/%d", degraded, opts.Trials),
+				fmt.Sprintf("ok(%d)", checks),
+			})
+		}
+	}
+	if len(violations) > 0 {
+		return t, fmt.Errorf("churn: auditor found %d invariant violations; first: %s",
+			len(violations), violations[0])
+	}
+	return t, nil
+}

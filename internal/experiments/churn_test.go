@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mba/internal/workload"
+)
+
+// TestChurnSweep runs the churn harness at test scale: every rate ×
+// algorithm cell must complete without error or audit violation, the
+// rate-0 control must show zero churn observations, and the churning
+// rows must show healing work keeping the walks alive.
+func TestChurnSweep(t *testing.T) {
+	opts := Options{
+		Scale:  workload.Test,
+		Seed:   5,
+		Trials: 1,
+		// Churn observations need long walks: the walk must cache a
+		// neighbor list, have the listed user vanish, then step to it.
+		// Small budgets keep that window too short to ever hit.
+		Budget: 9000,
+	}
+	tab, err := Churn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "churn" {
+		t.Errorf("table ID = %q", tab.ID)
+	}
+	wantRows := len(churnRates) * 3 // 3 algorithms per rate
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), wantRows)
+	}
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+	for _, key := range []string{"Rate", "Algo", "RelErr", "Cost", "Healed", "Vanished", "Pruned", "Degraded", "Audit"} {
+		if _, ok := col[key]; !ok {
+			t.Fatalf("missing column %q", key)
+		}
+	}
+
+	cell := func(row []string, name string) string { return row[col[name]] }
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return n
+	}
+	churnWork := 0
+	for _, row := range tab.Rows {
+		rate, algo := cell(row, "Rate"), cell(row, "Algo")
+		if c := atoi(cell(row, "Cost")); c <= 0 || c > opts.Budget {
+			t.Errorf("%s/%s: cost %d outside (0, %d]", rate, algo, c, opts.Budget)
+		}
+		if !strings.HasPrefix(cell(row, "Audit"), "ok(") {
+			t.Errorf("%s/%s: audit cell %q", rate, algo, cell(row, "Audit"))
+		}
+		vanished := atoi(cell(row, "Vanished"))
+		if rate == "0" {
+			if healed := atoi(cell(row, "Healed")); healed != 0 || vanished != 0 {
+				t.Errorf("frozen control observed churn: healed=%d vanished=%d", healed, vanished)
+			}
+			if !strings.HasPrefix(cell(row, "Degraded"), "0/") {
+				t.Errorf("frozen control degraded: %s", cell(row, "Degraded"))
+			}
+		} else {
+			churnWork += atoi(cell(row, "Healed")) + vanished
+		}
+	}
+	if churnWork == 0 {
+		t.Error("no churning rate recorded any heal events or vanished users")
+	}
+}
+
+// TestChurnSweepDeterministic: the emitted CSV is byte-identical across
+// reruns with the same options (the acceptance bar for `mba-bench -only
+// churn`).
+func TestChurnSweepDeterministic(t *testing.T) {
+	opts := Options{
+		Scale:  workload.Test,
+		Seed:   7,
+		Trials: 1,
+		Budget: 2000,
+	}
+	csv := func() []byte {
+		tab, err := Churn(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := csv(), csv()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("churn CSV not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

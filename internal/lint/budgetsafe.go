@@ -12,9 +12,12 @@ var chargedEndpoints = map[string]bool{
 // budgetsafePkgs are the package basenames where raw Server access is
 // forbidden: estimators and experiment runners must pay for every call
 // through api.Client so Stats/Checkpoint cost accounting stays
-// truthful.
+// truthful. The auditor is held to the same bar for the opposite
+// reason — its checks must be budget-FREE, replaying only cached
+// Client responses, so a raw Server call would let an audit observe
+// fresher state than the estimator ever paid for.
 var budgetsafePkgs = map[string]bool{
-	"core": true, "walk": true, "experiments": true,
+	"core": true, "walk": true, "experiments": true, "audit": true,
 }
 
 // BudgetSafe forbids estimator and experiment packages from invoking

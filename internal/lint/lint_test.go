@@ -13,7 +13,7 @@ func TestNoRawRand(t *testing.T) {
 }
 
 func TestBudgetSafe(t *testing.T) {
-	linttest.Run(t, "testdata", lint.BudgetSafe, "core", "outofscope")
+	linttest.Run(t, "testdata", lint.BudgetSafe, "core", "audit", "outofscope")
 }
 
 func TestNoWallClock(t *testing.T) {

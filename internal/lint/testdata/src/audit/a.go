@@ -1,0 +1,27 @@
+// Package audit is a budgetsafe fixture: the invariant auditor must be
+// budget-free, replaying only cached api.Client responses, so raw
+// Server access (fresh, uncharged data) is forbidden there like in the
+// estimator packages.
+package audit
+
+import "api"
+
+type auditor struct {
+	srv    *api.Server
+	client *api.Client
+}
+
+func (a *auditor) violations(u int64) {
+	_, _, _ = a.srv.Connections(u) // want "direct api.Server.Connections bypasses Client cost accounting"
+	_, _, _ = a.srv.Timeline(u)    // want "direct api.Server.Timeline bypasses Client cost accounting"
+}
+
+func (a *auditor) idiomatic(u int64) error {
+	before := a.client.Cost()
+	if _, err := a.client.Connections(u); err != nil {
+		return err
+	}
+	tl, err := a.client.Timeline(u)
+	_, _ = tl, before
+	return err
+}

@@ -1,0 +1,364 @@
+package platform
+
+import (
+	"math/rand"
+	"sort"
+
+	"mba/internal/model"
+)
+
+// ChurnConfig parameterizes deterministic platform churn: the state a
+// long crawl observes is not frozen — accounts get suspended or
+// deleted, users flip to protected (and back), edges appear and
+// disappear, posts are deleted. Events are drawn as a pure function of
+// (Seed, call clock), so a churn schedule replays exactly: two runs
+// issuing the same call sequence observe byte-identical drift.
+//
+// The event *count* per clock tick is fully deterministic (a
+// fractional-rate accumulator, no random draw), and only the event
+// *content* consumes seed-derived randomness — the churn state after
+// serving N calls depends on nothing but Seed and N.
+type ChurnConfig struct {
+	// Rate is the expected number of churn events per API call served.
+	// Zero disables churn.
+	Rate float64
+	// Seed drives the deterministic event draws.
+	Seed int64
+	// Event-class weights (relative; zero values take the defaults
+	// below, which sum to 1 but need not).
+	VanishWeight     float64 // account suspended/deleted → unknown user
+	ProtectWeight    float64 // public → protected flip
+	UnprotectWeight  float64 // churn-protected → public flip
+	EdgeAddWeight    float64 // new follow edge between live users
+	EdgeRemoveWeight float64 // unfollow: existing edge removed
+	PostDeleteWeight float64 // a user deletes their newest keyword post
+}
+
+// Enabled reports whether the configuration produces any churn.
+func (c ChurnConfig) Enabled() bool { return c.Rate > 0 }
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.VanishWeight == 0 && c.ProtectWeight == 0 && c.UnprotectWeight == 0 &&
+		c.EdgeAddWeight == 0 && c.EdgeRemoveWeight == 0 && c.PostDeleteWeight == 0 {
+		c.VanishWeight = 0.15
+		c.ProtectWeight = 0.15
+		c.UnprotectWeight = 0.10
+		c.EdgeAddWeight = 0.20
+		c.EdgeRemoveWeight = 0.25
+		c.PostDeleteWeight = 0.15
+	}
+	return c
+}
+
+// ChurnCounts tallies the events a ChurnState has applied so far
+// (diagnostics; estimators learn about churn only through the API).
+type ChurnCounts struct {
+	Vanished     int
+	Protected    int
+	Unprotected  int
+	EdgesAdded   int
+	EdgesRemoved int
+	PostsDeleted int
+}
+
+// Total returns the number of applied events.
+func (c ChurnCounts) Total() int {
+	return c.Vanished + c.Protected + c.Unprotected + c.EdgesAdded + c.EdgesRemoved + c.PostsDeleted
+}
+
+// ChurnState is a mutation overlay over an immutable Platform. The
+// base platform is shared (workload caches it process-wide) and never
+// touched; all drift lives in the overlay, so independent servers over
+// the same platform churn independently.
+type ChurnState struct {
+	cfg ChurnConfig
+	p   *Platform
+	rng *rand.Rand
+
+	clock int
+	carry float64 // fractional-rate event accumulator
+
+	gone      map[int64]bool
+	protected map[int64]bool
+	protOrder []int64 // churn-protected users, insertion order (for deterministic unprotect picks)
+	added     map[int64][]int64
+	removed   map[int64]map[int64]bool
+	// postsDeleted maps keyword → user → number of newest posts deleted.
+	postsDeleted map[string]map[int64]int
+
+	// keywords and adopters are precomputed deterministic pick pools.
+	keywords []string
+	adopters map[string][]int64
+
+	counts ChurnCounts
+}
+
+// NewChurn builds a churn overlay for p. The overlay starts empty;
+// AdvanceTo applies events as the server's call clock moves.
+func NewChurn(p *Platform, cfg ChurnConfig) *ChurnState {
+	cfg = cfg.withDefaults()
+	c := &ChurnState{
+		cfg:          cfg,
+		p:            p,
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0xc4a21)),
+		gone:         make(map[int64]bool),
+		protected:    make(map[int64]bool),
+		added:        make(map[int64][]int64),
+		removed:      make(map[int64]map[int64]bool),
+		postsDeleted: make(map[string]map[int64]int),
+		adopters:     make(map[string][]int64),
+	}
+	for kw := range p.Cascades {
+		c.keywords = append(c.keywords, kw)
+	}
+	sort.Strings(c.keywords)
+	for _, kw := range c.keywords {
+		c.adopters[kw] = p.Cascades[kw].Adopters()
+	}
+	return c
+}
+
+// Clock returns the last clock tick the overlay has advanced to.
+func (c *ChurnState) Clock() int { return c.clock }
+
+// Counts returns the applied-event tallies.
+func (c *ChurnState) Counts() ChurnCounts { return c.counts }
+
+// AdvanceTo applies all churn events scheduled up to clock. Calls with
+// a non-increasing clock are no-ops, so the state at tick t is a pure
+// function of (Seed, t) regardless of how the advances were batched.
+func (c *ChurnState) AdvanceTo(clock int) {
+	if !c.cfg.Enabled() {
+		return
+	}
+	for c.clock < clock {
+		c.clock++
+		c.carry += c.cfg.Rate
+		for c.carry >= 1 {
+			c.carry--
+			c.event()
+		}
+	}
+}
+
+// event draws and applies one churn event.
+func (c *ChurnState) event() {
+	w := c.cfg
+	total := w.VanishWeight + w.ProtectWeight + w.UnprotectWeight +
+		w.EdgeAddWeight + w.EdgeRemoveWeight + w.PostDeleteWeight
+	x := c.rng.Float64() * total
+	switch {
+	case x < w.VanishWeight:
+		c.vanishEvent()
+	case x < w.VanishWeight+w.ProtectWeight:
+		c.protectEvent()
+	case x < w.VanishWeight+w.ProtectWeight+w.UnprotectWeight:
+		c.unprotectEvent()
+	case x < w.VanishWeight+w.ProtectWeight+w.UnprotectWeight+w.EdgeAddWeight:
+		c.edgeAddEvent()
+	case x < w.VanishWeight+w.ProtectWeight+w.UnprotectWeight+w.EdgeAddWeight+w.EdgeRemoveWeight:
+		c.edgeRemoveEvent()
+	default:
+		c.postDeleteEvent()
+	}
+}
+
+// pickAlive draws a uniform non-vanished user, or -1 if the draws keep
+// hitting vanished accounts (pathological churn; the event is dropped).
+func (c *ChurnState) pickAlive() int64 {
+	n := c.p.NumUsers()
+	for i := 0; i < 32; i++ {
+		u := int64(c.rng.Intn(n))
+		if !c.gone[u] {
+			return u
+		}
+	}
+	return -1
+}
+
+func (c *ChurnState) vanishEvent() {
+	u := c.pickAlive()
+	if u < 0 {
+		return
+	}
+	c.gone[u] = true
+	c.counts.Vanished++
+}
+
+func (c *ChurnState) protectEvent() {
+	u := c.pickAlive()
+	if u < 0 || c.protected[u] {
+		return
+	}
+	c.protected[u] = true
+	c.protOrder = append(c.protOrder, u)
+	c.counts.Protected++
+}
+
+func (c *ChurnState) unprotectEvent() {
+	// Compact stale entries (already unprotected or vanished) lazily.
+	for len(c.protOrder) > 0 {
+		i := c.rng.Intn(len(c.protOrder))
+		u := c.protOrder[i]
+		c.protOrder[i] = c.protOrder[len(c.protOrder)-1]
+		c.protOrder = c.protOrder[:len(c.protOrder)-1]
+		if c.protected[u] && !c.gone[u] {
+			delete(c.protected, u)
+			c.counts.Unprotected++
+			return
+		}
+	}
+}
+
+// adjacent reports whether u and v are currently connected (base edge
+// not removed, or churn-added edge).
+func (c *ChurnState) adjacent(u, v int64) bool {
+	for _, x := range c.added[u] {
+		if x == v {
+			return true
+		}
+	}
+	if c.removed[u][v] {
+		return false
+	}
+	for _, x := range c.p.Social.Neighbors(u) {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ChurnState) edgeAddEvent() {
+	u := c.pickAlive()
+	v := c.pickAlive()
+	if u < 0 || v < 0 || u == v || c.adjacent(u, v) {
+		return
+	}
+	c.added[u] = append(c.added[u], v)
+	c.added[v] = append(c.added[v], u)
+	c.counts.EdgesAdded++
+}
+
+func (c *ChurnState) edgeRemoveEvent() {
+	u := c.pickAlive()
+	if u < 0 {
+		return
+	}
+	ns := c.Neighbors(u)
+	if len(ns) == 0 {
+		return
+	}
+	v := ns[c.rng.Intn(len(ns))]
+	if c.removed[u] == nil {
+		c.removed[u] = make(map[int64]bool)
+	}
+	if c.removed[v] == nil {
+		c.removed[v] = make(map[int64]bool)
+	}
+	c.removed[u][v] = true
+	c.removed[v][u] = true
+	c.counts.EdgesRemoved++
+}
+
+func (c *ChurnState) postDeleteEvent() {
+	if len(c.keywords) == 0 {
+		return
+	}
+	kw := c.keywords[c.rng.Intn(len(c.keywords))]
+	pool := c.adopters[kw]
+	if len(pool) == 0 {
+		return
+	}
+	u := pool[c.rng.Intn(len(pool))]
+	if c.gone[u] {
+		return
+	}
+	have := len(c.p.Cascades[kw].Posts[u])
+	m := c.postsDeleted[kw]
+	if m == nil {
+		m = make(map[int64]int)
+		c.postsDeleted[kw] = m
+	}
+	if m[u] >= have {
+		return // everything already deleted
+	}
+	m[u]++
+	c.counts.PostsDeleted++
+}
+
+// Gone reports whether u's account has been suspended or deleted.
+func (c *ChurnState) Gone(u int64) bool { return c.gone[u] }
+
+// Protected reports whether churn flipped u to protected. (Fault-
+// injected private users are tracked separately by the API layer.)
+func (c *ChurnState) Protected(u int64) bool { return c.protected[u] }
+
+// Neighbors returns u's neighbor list under the overlay: base edges
+// minus removed ones plus churn-added ones, with vanished endpoints
+// dropped (a suspended account disappears from follower lists).
+func (c *ChurnState) Neighbors(u int64) []int64 {
+	base := c.p.Social.Neighbors(u)
+	out := make([]int64, 0, len(base)+len(c.added[u]))
+	rm := c.removed[u]
+	for _, v := range base {
+		if rm[v] || c.gone[v] {
+			continue
+		}
+		out = append(out, v)
+	}
+	for _, v := range c.added[u] {
+		if c.gone[v] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// VisiblePosts filters one cascade's posts for u: the newest n deleted
+// posts are dropped (posts arrive oldest-first, deletions take the
+// tail). The input slice is never mutated.
+func (c *ChurnState) VisiblePosts(keyword string, u int64, posts []model.Post) []model.Post {
+	n := c.postsDeleted[keyword][u]
+	if n <= 0 {
+		return posts
+	}
+	if n >= len(posts) {
+		return nil
+	}
+	return posts[:len(posts)-n]
+}
+
+// FilterTimeline applies per-keyword post deletions to an assembled
+// (multi-keyword) timeline slice, dropping the newest deleted posts of
+// each keyword. Keywords are visited in sorted order so the output is
+// deterministic.
+func (c *ChurnState) FilterTimeline(u int64, posts []model.Post) []model.Post {
+	var toDrop int
+	drop := make(map[string]int)
+	for _, kw := range c.keywords {
+		if n := c.postsDeleted[kw][u]; n > 0 {
+			drop[kw] = n
+			toDrop += n
+		}
+	}
+	if toDrop == 0 {
+		return posts
+	}
+	// Walk newest→oldest, skipping the first drop[kw] posts of each
+	// keyword, then restore oldest-first order.
+	kept := make([]model.Post, 0, len(posts))
+	for i := len(posts) - 1; i >= 0; i-- {
+		p := posts[i]
+		if drop[p.Keyword] > 0 {
+			drop[p.Keyword]--
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	return kept
+}

@@ -1,0 +1,191 @@
+package platform
+
+import (
+	"testing"
+)
+
+func churnTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := New(Config{
+		Seed:        7,
+		NumUsers:    2000,
+		HorizonDays: 60,
+		Keywords: []KeywordConfig{
+			{Name: "privacy", SeedsPerDay: 3, AffinityFrac: 0.3, InterestHigh: 0.8, AdoptProb: 0.3, RepeatMentionMean: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// observableState fingerprints the overlay as seen through its public
+// accessors for a sample of users.
+func observableState(c *ChurnState, n int64) []interface{} {
+	var out []interface{}
+	for u := int64(0); u < n; u++ {
+		out = append(out, c.Gone(u), c.Protected(u))
+		for _, v := range c.Neighbors(u) {
+			out = append(out, v)
+		}
+	}
+	out = append(out, c.Counts())
+	return out
+}
+
+func equalState(a, b []interface{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChurnDeterministicAndBatchInvariant: the overlay state at clock
+// t must be a pure function of (seed, t) — identical across fresh
+// replays and independent of how AdvanceTo calls were batched.
+func TestChurnDeterministicAndBatchInvariant(t *testing.T) {
+	p := churnTestPlatform(t)
+	cfg := ChurnConfig{Rate: 0.5, Seed: 42}
+
+	a := NewChurn(p, cfg)
+	a.AdvanceTo(4000)
+
+	b := NewChurn(p, cfg)
+	for clk := 1; clk <= 4000; clk++ {
+		b.AdvanceTo(clk) // one tick at a time
+	}
+
+	if a.Counts() != b.Counts() {
+		t.Fatalf("batched %+v != stepped %+v", a.Counts(), b.Counts())
+	}
+	sa, sb := observableState(a, 300), observableState(b, 300)
+	if !equalState(sa, sb) {
+		t.Fatal("observable overlay state differs between batched and stepped advances")
+	}
+	if a.Counts().Total() == 0 {
+		t.Fatal("no churn events applied at rate 0.5 over 4000 calls")
+	}
+
+	// A different seed must drift differently.
+	c := NewChurn(p, ChurnConfig{Rate: 0.5, Seed: 43})
+	c.AdvanceTo(4000)
+	if equalState(sa, observableState(c, 300)) {
+		t.Error("different churn seeds produced identical drift")
+	}
+}
+
+// TestChurnAdvanceMonotone: non-increasing clocks are no-ops.
+func TestChurnAdvanceMonotone(t *testing.T) {
+	p := churnTestPlatform(t)
+	c := NewChurn(p, ChurnConfig{Rate: 1, Seed: 9})
+	c.AdvanceTo(500)
+	before := c.Counts()
+	c.AdvanceTo(500)
+	c.AdvanceTo(100)
+	if c.Counts() != before {
+		t.Error("re-advancing to an old clock applied new events")
+	}
+	if c.Clock() != 500 {
+		t.Errorf("clock = %d, want 500", c.Clock())
+	}
+}
+
+// TestChurnOverlaySemantics: vanished users drop out of neighbor
+// lists, removed edges disappear symmetrically, added edges appear
+// symmetrically, and the base platform is never mutated.
+func TestChurnOverlaySemantics(t *testing.T) {
+	p := churnTestPlatform(t)
+	baseDeg := make(map[int64]int)
+	for u := int64(0); u < int64(p.NumUsers()); u++ {
+		baseDeg[u] = len(p.Social.Neighbors(u))
+	}
+
+	c := NewChurn(p, ChurnConfig{Rate: 2, Seed: 5})
+	c.AdvanceTo(3000)
+	counts := c.Counts()
+	if counts.Vanished == 0 || counts.EdgesRemoved == 0 || counts.EdgesAdded == 0 {
+		t.Fatalf("sweep too quiet to test overlay semantics: %+v", counts)
+	}
+
+	for u := int64(0); u < int64(p.NumUsers()); u++ {
+		for _, v := range c.Neighbors(u) {
+			if c.Gone(v) {
+				t.Fatalf("vanished user %d still listed as neighbor of %d", v, u)
+			}
+			found := false
+			for _, w := range c.Neighbors(v) {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !c.Gone(u) && !found {
+				t.Fatalf("overlay edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+
+	// Base platform untouched.
+	for u := int64(0); u < int64(p.NumUsers()); u++ {
+		if len(p.Social.Neighbors(u)) != baseDeg[u] {
+			t.Fatalf("churn mutated the base graph at user %d", u)
+		}
+	}
+}
+
+// TestChurnPostDeletion: deleted posts come off the newest end and the
+// source slices stay intact.
+func TestChurnPostDeletion(t *testing.T) {
+	p := churnTestPlatform(t)
+	c := NewChurn(p, ChurnConfig{Rate: 3, Seed: 11, PostDeleteWeight: 1,
+		VanishWeight: 0.001, ProtectWeight: 0.001, UnprotectWeight: 0.001,
+		EdgeAddWeight: 0.001, EdgeRemoveWeight: 0.001})
+	c.AdvanceTo(2000)
+	if c.Counts().PostsDeleted == 0 {
+		t.Fatal("no posts deleted")
+	}
+
+	casc := p.Cascade("privacy")
+	checked := 0
+	for _, u := range casc.Adopters() {
+		orig := casc.Posts[u]
+		vis := c.VisiblePosts("privacy", u, orig)
+		if len(vis) > len(orig) {
+			t.Fatalf("user %d gained posts under churn", u)
+		}
+		if len(vis) < len(orig) {
+			checked++
+			// Deletions take the newest tail: the kept prefix matches.
+			for i := range vis {
+				if vis[i] != orig[i] {
+					t.Fatalf("user %d: deletion did not preserve the oldest prefix", u)
+				}
+			}
+		}
+		// FilterTimeline agrees with VisiblePosts on a single-keyword
+		// timeline.
+		ft := c.FilterTimeline(u, orig)
+		if len(ft) != len(vis) {
+			t.Fatalf("user %d: FilterTimeline kept %d posts, VisiblePosts %d", u, len(ft), len(vis))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no user observably lost posts")
+	}
+}
+
+// TestChurnDisabled: a zero-rate config is inert.
+func TestChurnDisabled(t *testing.T) {
+	p := churnTestPlatform(t)
+	c := NewChurn(p, ChurnConfig{})
+	c.AdvanceTo(100000)
+	if c.Counts().Total() != 0 {
+		t.Error("disabled churn applied events")
+	}
+}

@@ -193,6 +193,12 @@ type Options struct {
 	// RateLimitErrorRate injects 429-style rejections; the client waits
 	// them out in virtual time instead of spending budget.
 	RateLimitErrorRate float64
+	// ChurnRate enables platform churn: the expected number of churn
+	// events (account deletions, privacy flips, edge changes, post
+	// deletions) applied per API call served, deterministic in Seed.
+	// Walks self-heal through churn instead of aborting; see
+	// Estimate.Healed for how much healing a run needed.
+	ChurnRate float64
 }
 
 // Estimate is an aggregate estimation result.
@@ -219,6 +225,12 @@ type Estimate struct {
 	// run paid on top of Cost.
 	Retries       int
 	RateLimitHits int
+	// Healed counts the self-healing events (backtracks, reseeds,
+	// skipped walks) the run needed to survive platform churn, and
+	// VanishedSeen the churned-away accounts it observed. Both are zero
+	// when ChurnRate is zero.
+	Healed       int
+	VanishedSeen int
 }
 
 // TrajectoryPoint is one convergence sample.
@@ -243,6 +255,9 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 		RateLimitProb: o.RateLimitErrorRate,
 		Seed:          o.Seed,
 	})
+	if o.ChurnRate > 0 {
+		srv.EnableChurn(platform.ChurnConfig{Rate: o.ChurnRate, Seed: o.Seed})
+	}
 	interval := model.Tick(o.IntervalHours)
 	if interval <= 0 {
 		interval = model.Day
@@ -314,6 +329,8 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 		Degraded:        res.Degraded,
 		Retries:         res.Stats.Retries,
 		RateLimitHits:   res.Stats.RateLimitHits,
+		Healed:          res.Heal.Events(),
+		VanishedSeen:    res.Heal.VanishedUsers,
 	}
 	for _, pt := range res.Trajectory {
 		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
