@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz
+.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz parallel
 
 ci: build vet lint race
 
@@ -49,3 +49,10 @@ chaos:
 # auditor over a mutating platform).
 churn:
 	go run ./cmd/mba-bench -scale test -trials 1 -budget 9000 -only churn
+
+# Fleet parallelism sweep: same logical walker plan at 1..8 goroutines;
+# the auditor fails the run if the merged estimate is not bit-identical
+# across parallelism levels. Writes BENCH_parallel.json (the one
+# wall-clock artifact) next to the deterministic table/CSV.
+parallel:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 20000 -only parallel

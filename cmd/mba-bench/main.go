@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"mba/internal/experiments"
 	"mba/internal/workload"
@@ -55,11 +57,12 @@ func main() {
 		"figure11": experiments.Figure11, "figure12": experiments.Figure12,
 		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
 		"chaos": experiments.Chaos, "churn": experiments.Churn,
+		"parallel": runParallel(*out),
 	}
 	order := []string{
 		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"chaos", "churn",
+		"chaos", "churn", "parallel",
 	}
 	selected := order
 	if *only != "" {
@@ -91,6 +94,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runParallel adapts the fleet parallelism sweep to the runner
+// signature, injecting the wall clock — package main is the only
+// wall-clock-capable package, so the nanosecond source lives here —
+// and writing the walkers-vs-wall-clock-vs-error points as
+// BENCH_parallel.json next to the deterministic table artifacts.
+func runParallel(dir string) func(experiments.Options) (experiments.Table, error) {
+	return func(opts experiments.Options) (experiments.Table, error) {
+		clock := func() int64 { return time.Now().UnixNano() }
+		tab, points, err := experiments.ParallelSweep(opts, clock)
+		if err != nil {
+			return tab, err
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return tab, err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_parallel.json"), data, 0o644); err != nil {
+			return tab, err
+		}
+		return tab, nil
 	}
 }
 

@@ -33,6 +33,8 @@ func main() {
 	churn := flag.Float64("churn", 0, "platform churn rate: expected churn events per API call (0 = frozen platform)")
 	fromDay := flag.Int("from-day", 0, "window start day (inclusive)")
 	toDay := flag.Int("to-day", 0, "window end day (exclusive; 0 = unbounded)")
+	walkers := flag.Int("walkers", 0, "concurrent walkers executing the fleet plan (0 = single-walker path; the estimate is identical at any positive value)")
+	deadline := flag.Duration("deadline", 0, "virtual-time deadline, e.g. 12h (0 = none; a run past it returns a degraded partial estimate)")
 	flag.Parse()
 
 	cfg := mba.DefaultPlatformConfig()
@@ -75,7 +77,7 @@ func main() {
 		q = mba.TimeWindow(q, *fromDay, *toDay)
 	}
 
-	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn}
+	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn, Walkers: *walkers, Deadline: *deadline}
 	switch strings.ToLower(*algo) {
 	case "tarw":
 		opts.Algorithm = mba.MATARW
@@ -113,6 +115,13 @@ func main() {
 	fmt.Printf("rate-limit: would take ~%v on the real platform\n", est.VirtualDuration)
 	if *churn > 0 {
 		fmt.Printf("churn:      %d heal events, %d vanished accounts observed\n", est.Healed, est.VanishedSeen)
+	}
+	if *walkers > 0 {
+		fmt.Printf("fleet:      %d logical walkers (%d shed), %d watchdog trips, %d goroutines\n",
+			est.WalkersRun, est.WalkersShed, est.WatchdogTrips, *walkers)
+	}
+	if est.Degraded {
+		fmt.Printf("degraded:   partial result (deadline, cancellation, or unrecoverable faults)\n")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"mba/internal/model"
@@ -39,6 +40,22 @@ var (
 	ErrBudgetExhausted = errors.New("api: query budget exhausted")
 	// ErrUnknownUser indicates an out-of-range user ID.
 	ErrUnknownUser = errors.New("api: unknown user")
+	// ErrCanceled is returned by Client methods once the context bound
+	// via Client.WithContext is done: the run was cancelled from outside
+	// and must unwind with a partial (Degraded) result.
+	ErrCanceled = errors.New("api: call canceled")
+	// ErrDeadlineExceeded is returned by Client methods once the
+	// client's accrued VirtualDuration passes Client.Deadline — the
+	// virtual-time analogue of a per-query wall-clock deadline. Like
+	// cancellation it is terminal for the run segment, not resumable by
+	// simply retrying.
+	ErrDeadlineExceeded = errors.New("api: virtual deadline exceeded")
+	// ErrStalled is returned by Client methods when the stall watchdog
+	// fires (see RetryPolicy.StallWait): the client accrued too much
+	// virtual wait without a single successfully charged call. Unlike
+	// cancellation, a stall is recoverable — resume the walk from its
+	// checkpoint to reseed it on a fresh RNG segment.
+	ErrStalled = errors.New("api: walker stalled, no budget progress")
 )
 
 // ErrTruncated models a multi-page fetch dying partway: the caller
@@ -150,7 +167,22 @@ type Faults struct {
 }
 
 // Server serves the restricted interface over a generated platform.
+//
+// Concurrency contract: Server is safe for concurrent use by multiple
+// goroutines (and hence by multiple Clients). A single mutex serializes
+// every served call, so the fault/churn clock advances atomically and a
+// shared fault schedule is drawn exactly once regardless of caller
+// interleaving. Note that a server SHARED between concurrent clients is
+// not deterministic run-to-run — the fault RNG draws interleave in
+// scheduling order. A fleet that needs seed-determinism at any
+// parallelism gives each walker its own Server with a derived fault
+// seed (see internal/fleet); the underlying platform is read-only and
+// safely shared either way.
 type Server struct {
+	// mu serializes served calls: the fault clock, outage schedule,
+	// churn overlay advancement, and pending-latency accumulator are all
+	// guarded by it.
+	mu      sync.Mutex
 	p       *platform.Platform
 	preset  Preset
 	private map[int64]bool
@@ -203,6 +235,8 @@ func (s *Server) Preset() Preset { return s.preset }
 // lives in a per-server overlay, so servers sharing a cached platform
 // drift independently.
 func (s *Server) EnableChurn(cfg platform.ChurnConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if cfg.Enabled() {
 		s.churn = platform.NewChurn(s.p, cfg)
 	}
@@ -210,8 +244,14 @@ func (s *Server) EnableChurn(cfg platform.ChurnConfig) {
 
 // Churn exposes the churn overlay for diagnostics (event counts), or
 // nil when churn is disabled. Estimators must not touch it — they
-// learn about drift only through API errors and responses.
-func (s *Server) Churn() *platform.ChurnState { return s.churn }
+// learn about drift only through API errors and responses. The overlay
+// itself is not goroutine-safe; read it only after serving has
+// quiesced.
+func (s *Server) Churn() *platform.ChurnState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.churn
+}
 
 // scheduleOutage draws the next outage start, an exponential gap after
 // the current clock.
@@ -244,7 +284,13 @@ func (s *Server) maybeFault() error {
 
 // drainLatency returns and clears the injected slow-call latency
 // accumulated since the last drain (consumed by Client accounting).
+// With several clients sharing one server, latency is attributed to
+// whichever client drains first — total virtual wait is conserved, but
+// per-client attribution is approximate. Per-walker servers (the fleet
+// layout) make the attribution exact.
 func (s *Server) drainLatency() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d := s.pending
 	s.pending = 0
 	return d
@@ -295,6 +341,8 @@ func pages(n, pageSize int) int {
 // at SearchMaxResults. The second return is the number of API calls
 // the query consumed.
 func (s *Server) Search(keyword string) ([]int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.maybeFault(); err != nil {
 		return nil, 1, err
 	}
@@ -351,6 +399,8 @@ func (s *Server) Search(keyword string) ([]int64, int, error) {
 // graph, plus the call cost (one call per ConnectionsPageSize
 // neighbors, as with Twitter's follower/following APIs).
 func (s *Server) Connections(u int64) ([]int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkUser(u); err != nil {
 		return nil, 1, err
 	}
@@ -377,6 +427,8 @@ func (s *Server) Connections(u int64) ([]int64, int, error) {
 // under the platform's cap) and the call cost of paging through the
 // user's full post history.
 func (s *Server) Timeline(u int64) (model.Timeline, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkUser(u); err != nil {
 		return model.Timeline{}, 1, err
 	}
@@ -403,4 +455,8 @@ func (s *Server) Timeline(u int64) (model.Timeline, int, error) {
 
 // IsPrivate reports whether fault injection marked u private (test and
 // diagnostics hook; estimators learn it only via ErrPrivate).
-func (s *Server) IsPrivate(u int64) bool { return s.private[u] }
+func (s *Server) IsPrivate(u int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.private[u]
+}

@@ -1,14 +1,21 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"mba/internal/model"
 )
+
+// ledgerChunk is how many credits a ledger-bound client reserves at a
+// time beyond the immediate need, amortizing ledger round-trips while
+// keeping at most a small slice of the pool parked per walker.
+const ledgerChunk = 64
 
 // Client wraps a Server with response caching, call accounting, a
 // configurable retry policy, and an optional hard budget. All
@@ -21,15 +28,48 @@ import (
 // kept locally, so revisiting a node during a random walk costs
 // nothing. The paper's "single cache" optimization for ESTIMATE-p
 // (§5.2) falls out of this for free.
+//
+// Concurrency contract: Client is safe for concurrent use by multiple
+// goroutines — a single mutex guards the caches, accounting stats, and
+// circuit-breaker state, and the Server beneath is itself goroutine-
+// safe. The exported configuration fields (Budget, Policy, Deadline)
+// and the binding setters (WithContext, UseLedger, ImportCache,
+// RestoreBreaker) must be set before the client is shared; they are
+// configuration, not runtime controls. The recommended fleet layout is
+// nonetheless one Client (and one Server) per walker goroutine over a
+// shared Ledger: per-walker clients keep fault schedules, virtual-time
+// accounting, and cache contents deterministic per walker regardless
+// of goroutine interleaving, which a shared client cannot promise.
 type Client struct {
 	srv *Server
 	// Budget is the maximum number of API calls; 0 means unlimited.
 	Budget int
-	// Policy governs retries, backoff, rate-limit waits, and the
-	// optional circuit breaker. NewClient installs DefaultRetryPolicy.
+	// Policy governs retries, backoff, rate-limit waits, the optional
+	// circuit breaker, and the stall watchdog. NewClient installs
+	// DefaultRetryPolicy.
 	Policy RetryPolicy
+	// Deadline, when positive, bounds the run in VIRTUAL time: once the
+	// accrued VirtualDuration() exceeds it, every further charged call
+	// fails with ErrDeadlineExceeded. Virtual deadlines express "this
+	// query may cost at most a day of real crawling" without the
+	// simulation ever reading the wall clock, so deadline hits replay
+	// deterministically.
+	Deadline time.Duration
 
+	// mu guards everything below. Public methods lock it; unexported
+	// helpers assume it is held.
+	mu    sync.Mutex
 	stats Stats
+	// ctx, when non-nil, is checked before every charged call and after
+	// every virtual wait; once done, calls fail with ErrCanceled.
+	ctx context.Context
+	// stallWait is the virtual wait accrued since the last successfully
+	// charged call — the stall watchdog's progress meter.
+	stallWait time.Duration
+	// Ledger binding (nil when the client owns its budget alone).
+	led       *Ledger
+	acct      int
+	lreserved int
 	// Circuit-breaker state (active when Policy.BreakerThreshold > 0).
 	breakerFails int
 	breakerOpen  bool
@@ -64,15 +104,72 @@ func NewClient(srv *Server, budget int) *Client {
 	}
 }
 
+// WithContext binds a context to the client: every subsequent charged
+// call first checks the context and fails with ErrCanceled (wrapping
+// the context's error) once it is done. Cancellation and deadline
+// propagation to every charged call flows through this single point.
+// Bind before sharing the client.
+func (c *Client) WithContext(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctx = ctx
+}
+
+// UseLedger binds the client to account id of a shared budget ledger.
+// The client's Budget is set to the account's remaining quota, and from
+// then on every charged call is committed to the ledger through a
+// chunked reserve/commit cycle, so concurrent walkers settle their
+// spend against one conserved pool. Call ReleaseLedger when the walk
+// segment ends to return any unspent reservation. Bind before sharing
+// the client.
+func (c *Client) UseLedger(l *Ledger, id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rem, err := l.Remaining(id)
+	if err != nil {
+		return err
+	}
+	if rem <= 0 {
+		return fmt.Errorf("api: ledger account %d has no remaining quota: %w", id, ErrBudgetExhausted)
+	}
+	c.led, c.acct, c.lreserved = l, id, 0
+	c.Budget = rem
+	return nil
+}
+
+// ReleaseLedger refunds the client's outstanding ledger reservation
+// (credits admitted but never charged). After release the ledger is at
+// rest for this account: committed equals exactly the calls charged.
+func (c *Client) ReleaseLedger() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.led == nil || c.lreserved == 0 {
+		return
+	}
+	_ = c.led.Refund(c.acct, c.lreserved)
+	c.lreserved = 0
+}
+
 // Cost returns the number of API calls charged so far.
-func (c *Client) Cost() int { return c.stats.Calls }
+func (c *Client) Cost() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Calls
+}
 
 // Stats returns the full accounting snapshot: charged calls, retry and
-// rate-limit counters, circuit-breaker trips, and accrued virtual wait.
-func (c *Client) Stats() Stats { return c.stats }
+// rate-limit counters, circuit-breaker trips, stall-watchdog trips, and
+// accrued virtual wait.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Remaining returns the remaining budget, or -1 if unlimited.
 func (c *Client) Remaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.Budget <= 0 {
 		return -1
 	}
@@ -84,17 +181,26 @@ func (c *Client) Remaining() int {
 }
 
 // Exhausted reports whether the budget is spent.
-func (c *Client) Exhausted() bool { return c.Budget > 0 && c.stats.Calls >= c.Budget }
+func (c *Client) Exhausted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Budget > 0 && c.stats.Calls >= c.Budget
+}
 
 // ResetCost zeroes the full accounting snapshot — charged calls, retry
-// and rate-limit counters, circuit-breaker state, and accrued virtual
-// wait — so a harness can charge setup separately. The response caches
-// are deliberately retained: a reset changes who pays, not what has
-// been learned. Use a fresh Client for cold-cache accounting.
+// and rate-limit counters, circuit-breaker state, stall meter, and
+// accrued virtual wait — so a harness can charge setup separately. The
+// response caches are deliberately retained: a reset changes who pays,
+// not what has been learned. Use a fresh Client for cold-cache
+// accounting. Not meaningful on a ledger-bound client (ledger
+// commitments are never reset).
 func (c *Client) ResetCost() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats = Stats{}
 	c.breakerFails = 0
 	c.breakerOpen = false
+	c.stallWait = 0
 }
 
 // VirtualDuration translates the accumulated accounting into the
@@ -103,6 +209,12 @@ func (c *Client) ResetCost() {
 // 15 minutes) plus all virtual waits the retry policy accrued
 // (backoff, rate-limit windows, breaker cooldowns, slow calls).
 func (c *Client) VirtualDuration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.virtualLocked()
+}
+
+func (c *Client) virtualLocked() time.Duration {
 	p := c.srv.Preset()
 	if p.RateLimitCalls <= 0 {
 		return c.stats.Wait
@@ -114,12 +226,84 @@ func (c *Client) VirtualDuration() time.Duration {
 // Preset exposes the server's interface parameters.
 func (c *Client) Preset() Preset { return c.srv.Preset() }
 
+// addWait accrues virtual wait into both the accounting snapshot and
+// the stall watchdog's progress meter.
+func (c *Client) addWait(d time.Duration) {
+	c.stats.Wait += d
+	c.stallWait += d
+}
+
+// interrupted checks the three run-interruption sources in priority
+// order: external cancellation, the virtual deadline, and the stall
+// watchdog. Called before each charged call and after each virtual
+// wait, so interruptions propagate to every charged call without any
+// wall-clock reads.
+func (c *Client) interrupted() error {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+	}
+	if c.Deadline > 0 && c.virtualLocked() > c.Deadline {
+		return ErrDeadlineExceeded
+	}
+	if sw := c.Policy.StallWait; sw > 0 && c.stallWait > sw {
+		c.stats.StallTrips++
+		c.stallWait = 0
+		return ErrStalled
+	}
+	return nil
+}
+
 func (c *Client) charge(n int) error {
 	if c.Budget > 0 && c.stats.Calls+n > c.Budget {
+		// Top the cost up to exactly the budget (the partial charge was
+		// consumed), mirroring the topping into the ledger so committed
+		// credits stay equal to charged calls.
+		if c.led != nil {
+			if err := c.ledgerCommit(c.Budget - c.stats.Calls); err != nil {
+				return err
+			}
+		}
 		c.stats.Calls = c.Budget
 		return ErrBudgetExhausted
 	}
+	if c.led != nil {
+		if err := c.ledgerCommit(n); err != nil {
+			return err
+		}
+	}
 	c.stats.Calls += n
+	c.stallWait = 0
+	return nil
+}
+
+// ledgerCommit settles n charged calls against the bound ledger
+// account, topping up the chunked reservation as needed. Admission
+// failures here indicate a quota/budget mismatch — an accounting bug,
+// not a normal exhaustion — and are surfaced loudly.
+func (c *Client) ledgerCommit(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if c.lreserved < n {
+		want := n - c.lreserved
+		if want < ledgerChunk {
+			want = ledgerChunk
+		}
+		grant, err := c.led.Reserve(c.acct, want)
+		if err != nil {
+			return err
+		}
+		c.lreserved += grant
+		if c.lreserved < n {
+			return fmt.Errorf("api: ledger admission short for account %d: need %d credits, hold %d", c.acct, n, c.lreserved)
+		}
+	}
+	if err := c.led.Commit(c.acct, n); err != nil {
+		return err
+	}
+	c.lreserved -= n
 	return nil
 }
 
@@ -162,21 +346,31 @@ func (c *Client) noteFailure(err error) error {
 // are charged (the call consumed a slot) and retried after exponential
 // backoff in virtual time; rate-limit rejections are never charged and
 // retried after waiting out the window; permanent errors return
-// immediately. Post-retry failures feed the circuit breaker.
+// immediately. Post-retry failures feed the circuit breaker. Before
+// the first attempt and after every accrued wait, the interruption
+// sources (context cancellation, virtual deadline, stall watchdog) are
+// checked, so a cancelled or deadlined run unwinds at the next charged
+// call instead of looping.
 func (c *Client) withRetry(fn func() (int, error)) error {
+	if err := c.interrupted(); err != nil {
+		return err
+	}
 	if c.Policy.BreakerThreshold > 0 && c.breakerOpen {
 		// Half-open probe: wait out the cooldown in virtual time and
 		// let exactly this logical call through. A failure re-trips
 		// immediately; a success closes the breaker.
-		c.stats.Wait += c.Policy.BreakerCooldown
+		c.addWait(c.Policy.BreakerCooldown)
 		c.breakerOpen = false
 		c.breakerFails = c.Policy.BreakerThreshold - 1
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 	}
 	backoff := c.Policy.BaseBackoff
 	retries := 0
 	for {
 		cost, err := fn()
-		c.stats.Wait += c.srv.drainLatency()
+		c.addWait(c.srv.drainLatency())
 		switch {
 		case errors.Is(err, ErrRateLimited):
 			// 429: rejected at the gate, no budget burned. Wait out
@@ -186,7 +380,7 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 			if wait <= 0 {
 				wait = c.srv.preset.RateLimitWindow
 			}
-			c.stats.Wait += wait
+			c.addWait(wait)
 			if retries >= c.Policy.MaxRetries {
 				return c.noteFailure(err)
 			}
@@ -202,7 +396,7 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 			}
 			retries++
 			c.stats.Retries++
-			c.stats.Wait += c.backoff(&backoff)
+			c.addWait(c.backoff(&backoff))
 		default:
 			// Success or a permanent error (ErrPrivate, ErrUnknownUser):
 			// charge and return.
@@ -214,11 +408,16 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 			}
 			return err
 		}
+		if err := c.interrupted(); err != nil {
+			return err
+		}
 	}
 }
 
 // Search returns seed users who recently posted the keyword (cached).
 func (c *Client) Search(keyword string) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if hits, ok := c.searches[keyword]; ok {
 		return hits, nil
 	}
@@ -240,6 +439,8 @@ func (c *Client) Search(keyword string) ([]int64, error) {
 // ErrPrivate; the (negative) result is cached too, so the probe is
 // charged only once.
 func (c *Client) Connections(u int64) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Positive cache first: a response already paid for stays served
 	// even if a *later* probe of another endpoint found the user
 	// private or vanished (churn). The negative caches only answer for
@@ -277,6 +478,8 @@ func (c *Client) Connections(u int64) ([]int64, error) {
 
 // Timeline returns u's visible timeline (cached).
 func (c *Client) Timeline(u int64) (model.Timeline, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Positive cache wins over the negative ones; see Connections.
 	if tl, ok := c.tlCache[u]; ok {
 		return tl, nil
@@ -320,11 +523,15 @@ type BreakerState struct {
 
 // BreakerState snapshots the circuit breaker for checkpointing.
 func (c *Client) BreakerState() BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return BreakerState{Fails: c.breakerFails, Open: c.breakerOpen}
 }
 
 // RestoreBreaker reinstates a checkpointed circuit-breaker state.
 func (c *Client) RestoreBreaker(b BreakerState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.breakerFails = b.Fails
 	c.breakerOpen = b.Open
 }
@@ -333,6 +540,8 @@ func (c *Client) RestoreBreaker(b BreakerState) {
 // sorted. Auditors use this to re-derive structures from cached data at
 // zero cost.
 func (c *Client) CachedConnUsers() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]int64, 0, len(c.connCache))
 	for u := range c.connCache {
 		out = append(out, u)
@@ -344,6 +553,8 @@ func (c *Client) CachedConnUsers() []int64 {
 // CachedTimelineUsers returns the users with cached Timeline responses,
 // sorted.
 func (c *Client) CachedTimelineUsers() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]int64, 0, len(c.tlCache))
 	for u := range c.tlCache {
 		out = append(out, u)

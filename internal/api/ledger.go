@@ -1,0 +1,245 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ledger is a goroutine-safe budget arbiter for a fleet of concurrent
+// walkers sharing one API-call budget. Credits move through three
+// states — available, reserved, committed — under a single mutex:
+//
+//	Reserve(id, n)  available → reserved   (admission, may grant less)
+//	Commit(id, n)   reserved  → committed  (a call was actually charged)
+//	Refund(id, n)   reserved  → available  (unused reservation returned)
+//
+// Fair admission comes from per-account quotas fixed at Register time:
+// no account can reserve or commit past its quota, so a hot walker
+// cannot starve the rest no matter how fast it burns calls. Because the
+// quotas partition the budget deterministically, every account's grant
+// sequence depends only on its own call history — never on how the
+// goroutines interleave — which is what keeps a fleet's estimates
+// seed-deterministic at any parallelism.
+//
+// The conservation law, checked by audit.CheckLedger at any moment and
+// at rest:
+//
+//	available + reserved + committed == total
+//	Σ account.reserved  == reserved
+//	Σ account.committed == committed
+//
+// and after a run, committed must equal exactly the calls the clients
+// charged (Client.Cost sums).
+type Ledger struct {
+	mu        sync.Mutex
+	total     int
+	reserved  int
+	committed int
+	accounts  map[int]*ledgerAccount
+}
+
+type ledgerAccount struct {
+	quota     int
+	reserved  int
+	committed int
+}
+
+// NewLedger creates a ledger holding total call credits.
+func NewLedger(total int) *Ledger {
+	if total < 0 {
+		total = 0
+	}
+	return &Ledger{total: total, accounts: make(map[int]*ledgerAccount)}
+}
+
+// Total returns the ledger's full credit pool.
+func (l *Ledger) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Register opens an account with a fixed quota. The quotas of all
+// registered accounts may not exceed the total pool; registration is
+// the only place quotas are set, so fairness is decided up front, not
+// negotiated under contention.
+func (l *Ledger) Register(id, quota int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if quota <= 0 {
+		return fmt.Errorf("api: ledger account %d: quota must be positive, got %d", id, quota)
+	}
+	if _, ok := l.accounts[id]; ok {
+		return fmt.Errorf("api: ledger account %d already registered", id)
+	}
+	sum := quota
+	for _, a := range l.accounts {
+		sum += a.quota
+	}
+	if sum > l.total {
+		return fmt.Errorf("api: ledger quotas (%d) exceed total credits (%d)", sum, l.total)
+	}
+	l.accounts[id] = &ledgerAccount{quota: quota}
+	return nil
+}
+
+// Reserve moves up to n credits from available to the account's
+// reservation and returns how many were granted — bounded by the
+// account's remaining quota and by the global pool. A zero grant means
+// the account (or the pool) is spent; it is not an error.
+func (l *Ledger) Reserve(id, n int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[id]
+	if !ok {
+		return 0, fmt.Errorf("api: ledger account %d not registered", id)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("api: ledger account %d: negative reserve %d", id, n)
+	}
+	grant := n
+	if rem := a.quota - a.committed - a.reserved; grant > rem {
+		grant = rem
+	}
+	if avail := l.total - l.committed - l.reserved; grant > avail {
+		grant = avail
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	a.reserved += grant
+	l.reserved += grant
+	return grant, nil
+}
+
+// Commit converts n credits of the account's reservation into
+// committed spend — the record that n API calls were actually charged.
+// Committing more than the outstanding reservation is an accounting
+// bug and returns an error (the caller must Reserve admission first).
+func (l *Ledger) Commit(id, n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[id]
+	if !ok {
+		return fmt.Errorf("api: ledger account %d not registered", id)
+	}
+	if n < 0 || n > a.reserved {
+		return fmt.Errorf("api: ledger account %d: commit %d exceeds reservation %d", id, n, a.reserved)
+	}
+	a.reserved -= n
+	a.committed += n
+	l.reserved -= n
+	l.committed += n
+	return nil
+}
+
+// Refund returns n credits of the account's reservation to the
+// available pool.
+func (l *Ledger) Refund(id, n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[id]
+	if !ok {
+		return fmt.Errorf("api: ledger account %d not registered", id)
+	}
+	if n < 0 || n > a.reserved {
+		return fmt.Errorf("api: ledger account %d: refund %d exceeds reservation %d", id, n, a.reserved)
+	}
+	a.reserved -= n
+	l.reserved -= n
+	return nil
+}
+
+// Release refunds the account's entire outstanding reservation and
+// returns how many credits went back — the walker's exit bow, leaving
+// the ledger at rest with committed == charged.
+func (l *Ledger) Release(id int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[id]
+	if !ok {
+		return 0
+	}
+	n := a.reserved
+	a.reserved = 0
+	l.reserved -= n
+	return n
+}
+
+// Remaining returns the account's uncommitted, unreserved quota (the
+// budget a fresh client resuming this account may still spend), or an
+// error for an unknown account.
+func (l *Ledger) Remaining(id int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[id]
+	if !ok {
+		return 0, fmt.Errorf("api: ledger account %d not registered", id)
+	}
+	return a.quota - a.committed - a.reserved, nil
+}
+
+// CarryForward records n credits as committed spend from a previous
+// run segment (used when a fleet resumes from a checkpoint: the prior
+// segments' charges must stay on the books so quotas keep binding).
+func (l *Ledger) CarryForward(id, n int) error {
+	if n == 0 {
+		return nil
+	}
+	grant, err := l.Reserve(id, n)
+	if err != nil {
+		return err
+	}
+	if grant < n {
+		_ = l.Refund(id, grant)
+		return fmt.Errorf("api: ledger account %d: cannot carry forward %d spent credits (quota room %d)", id, n, grant)
+	}
+	return l.Commit(id, n)
+}
+
+// LedgerStats is a consistent snapshot of the ledger, for the
+// conservation audit and for result reporting.
+type LedgerStats struct {
+	Total     int
+	Reserved  int
+	Committed int
+	// Available = Total - Reserved - Committed, precomputed for
+	// reporting convenience.
+	Available int
+	// Accounts are the per-walker books, ordered by account ID so the
+	// snapshot is deterministic.
+	Accounts []LedgerAccountStats
+}
+
+// LedgerAccountStats is one account's book entry in a snapshot.
+type LedgerAccountStats struct {
+	ID        int
+	Quota     int
+	Reserved  int
+	Committed int
+}
+
+// Snapshot returns a consistent copy of the ledger's books.
+func (l *Ledger) Snapshot() LedgerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LedgerStats{
+		Total:     l.total,
+		Reserved:  l.reserved,
+		Committed: l.committed,
+		Available: l.total - l.reserved - l.committed,
+	}
+	ids := make([]int, 0, len(l.accounts))
+	for id := range l.accounts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := l.accounts[id]
+		st.Accounts = append(st.Accounts, LedgerAccountStats{
+			ID: id, Quota: a.quota, Reserved: a.reserved, Committed: a.committed,
+		})
+	}
+	return st
+}

@@ -1,0 +1,292 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustRegister(t *testing.T, l *Ledger, id, quota int) {
+	t.Helper()
+	if err := l.Register(id, quota); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkConservation(t *testing.T, l *Ledger) {
+	t.Helper()
+	ls := l.Snapshot()
+	if ls.Available+ls.Reserved+ls.Committed != ls.Total {
+		t.Fatalf("conservation broken: available %d + reserved %d + committed %d != total %d",
+			ls.Available, ls.Reserved, ls.Committed, ls.Total)
+	}
+	sr, sc := 0, 0
+	for _, a := range ls.Accounts {
+		sr += a.Reserved
+		sc += a.Committed
+	}
+	if sr != ls.Reserved || sc != ls.Committed {
+		t.Fatalf("per-account books (%d,%d) disagree with globals (%d,%d)", sr, sc, ls.Reserved, ls.Committed)
+	}
+}
+
+func TestLedgerReserveCommitRefund(t *testing.T) {
+	l := NewLedger(100)
+	mustRegister(t, l, 0, 60)
+	mustRegister(t, l, 1, 40)
+
+	got, err := l.Reserve(0, 10)
+	if err != nil || got != 10 {
+		t.Fatalf("Reserve = (%d,%v), want (10,nil)", got, err)
+	}
+	checkConservation(t, l)
+	if err := l.Commit(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refund(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, l)
+	ls := l.Snapshot()
+	if ls.Committed != 7 || ls.Reserved != 0 || ls.Available != 93 {
+		t.Fatalf("books = %+v, want committed 7, reserved 0, available 93", ls)
+	}
+	if rem, err := l.Remaining(0); err != nil || rem != 53 {
+		t.Fatalf("Remaining(0) = (%d,%v), want (53,nil)", rem, err)
+	}
+	// Committing more than reserved must fail loudly.
+	if err := l.Commit(0, 1); err == nil {
+		t.Fatal("Commit beyond reservation succeeded")
+	}
+}
+
+func TestLedgerFairAdmission(t *testing.T) {
+	l := NewLedger(100)
+	mustRegister(t, l, 0, 50)
+	mustRegister(t, l, 1, 50)
+
+	// A hot account cannot reserve past its quota, no matter how much
+	// of the global pool is free.
+	got, err := l.Reserve(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Fatalf("Reserve(0, 500) granted %d, want the 50-credit quota", got)
+	}
+	// The sibling's quota is untouched.
+	if got, err := l.Reserve(1, 50); err != nil || got != 50 {
+		t.Fatalf("sibling starved: Reserve(1, 50) = (%d,%v)", got, err)
+	}
+	checkConservation(t, l)
+	// Over-registration is rejected up front.
+	l2 := NewLedger(10)
+	mustRegister(t, l2, 0, 10)
+	if err := l2.Register(1, 1); err == nil {
+		t.Fatal("registering quotas beyond the total succeeded")
+	}
+	if err := l2.Register(0, 1); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+}
+
+func TestLedgerConcurrentConservation(t *testing.T) {
+	const accounts, perAccount = 8, 1000
+	l := NewLedger(accounts * perAccount)
+	for i := 0; i < accounts; i++ {
+		mustRegister(t, l, i, perAccount)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < accounts; i++ {
+		wg.Add(1)
+		// lint:ignore gospawn test exercises the arbiter under real contention
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				n, err := l.Reserve(id, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				commit := n / 2
+				if err := l.Commit(id, commit); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Refund(id, n-commit); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	checkConservation(t, l)
+	ls := l.Snapshot()
+	if ls.Reserved != 0 {
+		t.Fatalf("%d credits leaked into reservations", ls.Reserved)
+	}
+	if ls.Committed != accounts*200*2 {
+		t.Fatalf("committed %d, want %d", ls.Committed, accounts*200*2)
+	}
+}
+
+func TestClientLedgerCommitsExactlyCharged(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	l := NewLedger(200)
+	mustRegister(t, l, 0, 120)
+	mustRegister(t, l, 1, 80)
+
+	c := NewClient(srv, 0)
+	if err := c.UseLedger(l, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Spend until the quota runs out.
+	hits, err := c.Search("privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range hits {
+		if _, err := c.Connections(u); errors.Is(err, ErrBudgetExhausted) {
+			break
+		}
+		if _, err := c.Timeline(u); errors.Is(err, ErrBudgetExhausted) {
+			break
+		}
+	}
+	c.ReleaseLedger()
+	ls := l.Snapshot()
+	if ls.Committed != c.Cost() {
+		t.Fatalf("ledger committed %d but client charged %d", ls.Committed, c.Cost())
+	}
+	if ls.Reserved != 0 {
+		t.Fatalf("%d credits left reserved after ReleaseLedger", ls.Reserved)
+	}
+	if ls.Accounts[0].Committed != c.Cost() {
+		t.Fatalf("account 0 committed %d, want %d", ls.Accounts[0].Committed, c.Cost())
+	}
+	// The sibling quota is untouched and still admissible.
+	c2 := NewClient(srv, 0)
+	if err := c2.UseLedger(l, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Budget != 80 {
+		t.Fatalf("sibling client budget %d, want its full 80-credit quota", c2.Budget)
+	}
+	checkConservation(t, l)
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	p := testPlatform(t)
+	c := NewClient(NewServer(p, Twitter(), Faults{}), 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.WithContext(ctx)
+	if _, err := c.Search("privacy"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := c.Connections(1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("call after cancel returned %v, want ErrCanceled", err)
+	}
+	// Cost accounting stays truthful: the canceled call charged nothing.
+	if c.Cost() == 0 {
+		t.Fatal("search charged nothing")
+	}
+}
+
+func TestClientVirtualDeadline(t *testing.T) {
+	p := testPlatform(t)
+	c := NewClient(NewServer(p, Twitter(), Faults{}), 100000)
+	c.Deadline = 20 * time.Minute // Twitter window is 15m per 180 calls
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Timeline(int64(i + 1)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrDeadlineExceeded) {
+		t.Fatalf("deadline never fired: %v (virtual %v)", lastErr, c.VirtualDuration())
+	}
+	if c.VirtualDuration() <= c.Deadline {
+		t.Fatalf("deadline fired early: virtual %v <= deadline %v", c.VirtualDuration(), c.Deadline)
+	}
+}
+
+func TestStallWatchdogTripsAndResets(t *testing.T) {
+	p := testPlatform(t)
+	// Every call is rate-limited: the client accrues virtual wait
+	// without ever charging, exactly the no-budget-progress stall the
+	// watchdog exists for.
+	srv := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 3})
+	c := NewClient(srv, 1000)
+	pol := DefaultRetryPolicy()
+	pol.StallWait = time.Minute
+	c.Policy = pol
+
+	_, err := c.Connections(1)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("wedged call returned %v, want ErrStalled", err)
+	}
+	st := c.Stats()
+	if st.StallTrips != 1 {
+		t.Fatalf("StallTrips = %d, want 1", st.StallTrips)
+	}
+	if st.Calls != 0 {
+		t.Fatalf("stalled call charged %d calls", st.Calls)
+	}
+	// The trip reset the stall clock: the next call gets a full
+	// StallWait of patience again rather than failing instantly.
+	_, err = c.Connections(2)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("second wedged call returned %v, want ErrStalled", err)
+	}
+	if got := c.Stats().StallTrips; got != 2 {
+		t.Fatalf("StallTrips = %d, want 2", got)
+	}
+
+	// A healthy server resets the stall clock on every charged call:
+	// no trips, however long the run.
+	c2 := NewClient(NewServer(p, Twitter(), Faults{}), 1000)
+	c2.Policy = pol
+	for i := int64(1); i <= 50; i++ {
+		if _, err := c2.Timeline(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c2.Stats().StallTrips; got != 0 {
+		t.Fatalf("healthy client tripped the watchdog %d times", got)
+	}
+}
+
+func TestClientConcurrentUse(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	c := NewClient(srv, 100000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		// lint:ignore gospawn test exercises the documented concurrency contract
+		go func(g int) {
+			defer wg.Done()
+			for i := int64(0); i < 50; i++ {
+				u := int64(g)*50 + i + 1
+				if _, err := c.Connections(u); err != nil && !errors.Is(err, ErrUnknownUser) {
+					t.Errorf("Connections(%d): %v", u, err)
+					return
+				}
+				if _, err := c.Timeline(u); err != nil && !errors.Is(err, ErrUnknownUser) {
+					t.Errorf("Timeline(%d): %v", u, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Cost() != c.Stats().Calls {
+		t.Fatalf("Cost %d != Stats.Calls %d after concurrent use", c.Cost(), c.Stats().Calls)
+	}
+}

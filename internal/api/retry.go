@@ -38,6 +38,16 @@ type RetryPolicy struct {
 	// the breaker, a failure re-trips it immediately.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// StallWait, when positive, arms the stall watchdog: once the
+	// client has accrued more than StallWait of virtual wait without a
+	// single successfully charged call in between (a rate-limit storm,
+	// back-to-back breaker cooldowns), the pending call fails with
+	// ErrStalled and Stats.StallTrips increments. The watchdog is
+	// virtual-time based — it never reads the wall clock — so stall
+	// detection replays deterministically. A fleet orchestrator treats
+	// ErrStalled as a resumable degrade: the walker is cancelled and
+	// reseeded from its checkpoint on a fresh RNG segment.
+	StallWait time.Duration
 }
 
 // DefaultRetryPolicy mirrors what a production crawler ships with:
@@ -66,6 +76,9 @@ type Stats struct {
 	RateLimitHits int
 	// CircuitTrips counts times the circuit breaker opened.
 	CircuitTrips int
+	// StallTrips counts times the stall watchdog fired (accrued virtual
+	// wait exceeded RetryPolicy.StallWait with no budget progress).
+	StallTrips int
 	// Wait is the accumulated virtual wait: retry backoff, rate-limit
 	// windows, breaker cooldowns, and injected slow-call latency.
 	Wait time.Duration
@@ -79,6 +92,7 @@ func (s Stats) Add(o Stats) Stats {
 		Retries:       s.Retries + o.Retries,
 		RateLimitHits: s.RateLimitHits + o.RateLimitHits,
 		CircuitTrips:  s.CircuitTrips + o.CircuitTrips,
+		StallTrips:    s.StallTrips + o.StallTrips,
 		Wait:          s.Wait + o.Wait,
 	}
 }

@@ -28,6 +28,8 @@ func (cs *CacheSnapshot) Entries() int {
 
 // ExportCache copies the client's response caches into a snapshot.
 func (c *Client) ExportCache() *CacheSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	cs := &CacheSnapshot{
 		conns:    make(map[int64][]int64, len(c.connCache)),
 		tls:      make(map[int64]model.Timeline, len(c.tlCache)),
@@ -60,6 +62,8 @@ func (c *Client) ImportCache(cs *CacheSnapshot) {
 	if cs == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k, v := range cs.conns {
 		c.connCache[k] = v
 	}

@@ -1,0 +1,150 @@
+package audit
+
+import (
+	"math"
+
+	"mba/internal/api"
+	"mba/internal/fleet"
+)
+
+// CheckLedger verifies the budget arbiter's conservation laws on a
+// final ledger snapshot: credits are never created or destroyed
+// (available + reserved + committed == total), the global reserved and
+// committed pools equal the per-account sums, no account overruns its
+// quota, nothing is left reserved at rest (every admission was either
+// committed or refunded), and — the law that makes cost axes truthful —
+// the committed pool equals exactly the calls the walkers charged.
+// chargedByUnit[i] is unit i's reported Cost; pass nil to skip the
+// charge cross-check.
+func (a Auditor) CheckLedger(ls api.LedgerStats, chargedByUnit []int) *Report {
+	r := &Report{}
+
+	r.check()
+	if ls.Available+ls.Reserved+ls.Committed != ls.Total {
+		r.failf("ledger-conservation", "available %d + reserved %d + committed %d != total %d",
+			ls.Available, ls.Reserved, ls.Committed, ls.Total)
+	}
+	sumReserved, sumCommitted := 0, 0
+	for _, acct := range ls.Accounts {
+		sumReserved += acct.Reserved
+		sumCommitted += acct.Committed
+		r.check()
+		if acct.Reserved < 0 || acct.Committed < 0 || acct.Quota < 0 {
+			r.failf("ledger-conservation", "account %d has negative books: %+v", acct.ID, acct)
+		}
+		r.check()
+		if acct.Reserved+acct.Committed > acct.Quota {
+			r.failf("ledger-fairness", "account %d holds %d reserved + %d committed beyond quota %d",
+				acct.ID, acct.Reserved, acct.Committed, acct.Quota)
+		}
+	}
+	r.check()
+	if sumReserved != ls.Reserved {
+		r.failf("ledger-conservation", "account reservations sum to %d, global reserved is %d", sumReserved, ls.Reserved)
+	}
+	r.check()
+	if sumCommitted != ls.Committed {
+		r.failf("ledger-conservation", "account commitments sum to %d, global committed is %d", sumCommitted, ls.Committed)
+	}
+	r.check()
+	if ls.Reserved != 0 {
+		r.failf("ledger-release", "%d credits still reserved at rest; every reservation must be committed or refunded", ls.Reserved)
+	}
+	if chargedByUnit != nil {
+		charged := 0
+		for _, c := range chargedByUnit {
+			charged += c
+		}
+		r.check()
+		if ls.Committed != charged {
+			r.failf("ledger-charge", "ledger committed %d credits but walkers charged %d calls", ls.Committed, charged)
+		}
+		r.check()
+		if len(chargedByUnit) != len(ls.Accounts) {
+			r.failf("ledger-charge", "%d units reported charges but ledger holds %d accounts",
+				len(chargedByUnit), len(ls.Accounts))
+		} else {
+			for i, acct := range ls.Accounts {
+				if acct.Committed != chargedByUnit[i] {
+					r.failf("ledger-charge", "account %d committed %d but its unit charged %d",
+						acct.ID, acct.Committed, chargedByUnit[i])
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// CheckFleet verifies a merged fleet result: unit costs and samples
+// sum to the fleet totals, the ledger balances against exactly the
+// per-unit charges, degrade accounting is coherent, and no unit's
+// virtual duration exceeds the fleet's (walkers wait concurrently, so
+// the fleet clock is the max, never less).
+func (a Auditor) CheckFleet(res fleet.Result) *Report {
+	r := &Report{}
+
+	cost, samples := 0, 0
+	charged := make([]int, len(res.Units))
+	anyDegraded := false
+	for i := range res.Units {
+		u := &res.Units[i]
+		cost += u.Cost
+		samples += u.Samples
+		charged[i] = u.Cost
+		anyDegraded = anyDegraded || u.Degraded
+		r.check()
+		if u.Cost != u.Stats.Calls {
+			r.failf("budget-conservation", "unit %d Cost=%d but Stats.Calls=%d", u.Unit, u.Cost, u.Stats.Calls)
+		}
+		r.check()
+		if u.Cost > u.Quota {
+			r.failf("ledger-fairness", "unit %d charged %d calls beyond its quota %d", u.Unit, u.Cost, u.Quota)
+		}
+		r.check()
+		if u.Degraded && u.DegradedBy == nil {
+			r.failf("degrade-accounting", "unit %d Degraded with nil DegradedBy", u.Unit)
+		}
+	}
+	r.check()
+	if cost != res.Cost {
+		r.failf("budget-conservation", "unit costs sum to %d, fleet Cost is %d", cost, res.Cost)
+	}
+	r.check()
+	if samples != res.Samples {
+		r.failf("budget-conservation", "unit samples sum to %d, fleet Samples is %d", samples, res.Samples)
+	}
+	r.check()
+	if res.Degraded != anyDegraded {
+		r.failf("degrade-accounting", "fleet Degraded=%v but units say %v", res.Degraded, anyDegraded)
+	}
+	r.check()
+	if res.UnitsRun != len(res.Units) || res.UnitsRun+res.Shed != res.UnitsPlanned {
+		r.failf("shed-accounting", "UnitsRun=%d Shed=%d UnitsPlanned=%d len(Units)=%d do not reconcile",
+			res.UnitsRun, res.Shed, res.UnitsPlanned, len(res.Units))
+	}
+	r.Merge(a.CheckLedger(res.Ledger, charged))
+	return r
+}
+
+// CheckParallelDeterminism verifies the fleet's headline invariant:
+// the same logical plan executed at different parallelism levels must
+// produce bit-identical estimates. estimates[i] is the merged fleet
+// estimate of the i-th run (all with identical seed, budget, and unit
+// plan; only goroutine counts differ).
+func (a Auditor) CheckParallelDeterminism(estimates []float64) *Report {
+	r := &Report{}
+	if len(estimates) == 0 {
+		return r
+	}
+	first := estimates[0]
+	for i, e := range estimates[1:] {
+		r.check()
+		if math.Float64bits(e) != math.Float64bits(first) {
+			r.failf("parallel-determinism",
+				"estimate %d (%v, bits %#x) differs from estimate 0 (%v, bits %#x); parallelism leaked into the merge",
+				i+1, e, math.Float64bits(e), first, math.Float64bits(first))
+		}
+	}
+	return r
+}

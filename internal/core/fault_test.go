@@ -285,3 +285,50 @@ func TestEstimatorsSurviveStorm(t *testing.T) {
 		})
 	}
 }
+
+// TestBudgetExhaustedMidHealDegrades is the budget-exhaustion-mid-heal
+// regression: when the budget runs out in the middle of a heal (a
+// backtrack scan or reseed probe after churn killed the walk's current
+// node), the result must be flagged Degraded — the checkpointed
+// position is a dead node, so a resume must repeat the heal — with the
+// heal accounting intact and the cause classifying both as mid-heal
+// and as ordinary budget exhaustion. The fixture scans budgets under
+// vanish-heavy churn with the reseed heal policy (reseed probes charge
+// search/timeline calls, so exhaustion can land inside one); the scan
+// window brackets a known-hitting budget so walk-implementation drift
+// within the window does not break the test.
+func TestBudgetExhaustedMidHealDegrades(t *testing.T) {
+	for budget := 1900; budget <= 2300; budget++ {
+		s := churnSession(t, vanishHeavy(2.0, 11), budget)
+		res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 1, Heal: HealPolicy{Mode: HealReseed}})
+		if err != nil {
+			t.Fatalf("budget %d: exhaustion surfaced as an error: %v", budget, err)
+		}
+		if !errors.Is(res.DegradedBy, ErrBudgetMidHeal) {
+			continue
+		}
+		t.Logf("budget %d exhausted mid-heal: heal=%+v cost=%d", budget, res.Heal, res.Cost)
+		if !res.Degraded {
+			t.Error("mid-heal exhaustion did not set Degraded")
+		}
+		if !errors.Is(res.DegradedBy, api.ErrBudgetExhausted) {
+			t.Errorf("DegradedBy = %v does not wrap api.ErrBudgetExhausted; "+
+				"budget-aware resume loops would misclassify it", res.DegradedBy)
+		}
+		if res.Cost != budget || res.Stats.Calls != res.Cost {
+			t.Errorf("accounting broken: cost=%d stats.Calls=%d budget=%d",
+				res.Cost, res.Stats.Calls, budget)
+		}
+		if res.Heal.VanishedUsers == 0 {
+			t.Error("heal stats lost: no vanished users recorded despite a mid-heal exhaustion")
+		}
+		if res.Checkpoint == nil {
+			t.Fatal("mid-heal degrade carries no checkpoint")
+		}
+		if res.Checkpoint.SpentCost() != res.Cost {
+			t.Errorf("checkpoint SpentCost=%d != cost %d", res.Checkpoint.SpentCost(), res.Cost)
+		}
+		return
+	}
+	t.Fatal("no budget in [1900,2300] exhausted mid-heal; fixture needs retuning")
+}

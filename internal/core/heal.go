@@ -1,11 +1,26 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+
+	"mba/internal/api"
+)
 
 // ErrNodeVanished indicates the walk's current node disappeared from
 // the platform (account suspended or deleted mid-walk) and the heal
 // policy forbids recovering from it.
 var ErrNodeVanished = errors.New("core: current walk node vanished")
+
+// ErrBudgetMidHeal indicates the budget ran out in the middle of a
+// heal (a backtrack scan or reseed probe after churn killed the walk's
+// current node). Unlike ordinary budget exhaustion — where the walk
+// simply stops at a live position — the checkpointed position here is
+// a dead node, so the result is flagged Degraded: a resume must first
+// repeat the heal before making progress. The error wraps
+// api.ErrBudgetExhausted, so budget-aware callers (resume loops
+// guarding on res.Cost < budget) still classify it correctly.
+var ErrBudgetMidHeal = fmt.Errorf("core: budget exhausted mid-heal, walk stranded on a dead node: %w", api.ErrBudgetExhausted)
 
 // ErrChurnOverwhelmed indicates the walk healed more often than
 // HealPolicy.MaxHeals allows — the platform is churning faster than

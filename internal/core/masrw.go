@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -65,6 +66,11 @@ func degrade(res Result, err error) Result {
 
 // SRWOptions configures RunSRW.
 type SRWOptions struct {
+	// Ctx, when non-nil, is bound to the session's client before the
+	// walk starts: cancellation propagates to every charged call, and a
+	// cancelled walk returns a Degraded partial result (with checkpoint)
+	// instead of hanging or erroring.
+	Ctx context.Context
 	// View picks the conceptual graph (social, term-induced, or
 	// level-by-level — the last is Algorithm 1, MA-SRW).
 	View GraphView
@@ -148,6 +154,9 @@ type srwSample struct {
 // (invalid query, failed seed search).
 func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.Ctx != nil {
+		s.Client.WithContext(opts.Ctx)
+	}
 
 	heal := opts.Heal.withDefaults()
 
@@ -262,7 +271,12 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 				if heal.Mode == HealBacktrack {
 					v, ok, berr := backtrackTarget(s, chain, heal.MaxBacktrack, oracle)
 					if errors.Is(berr, api.ErrBudgetExhausted) {
-						return finalize(), nil
+						// The budget died inside the heal: the checkpoint
+						// position is the dead node, so the partial result
+						// must be flagged Degraded (with the heal stats
+						// collected so far intact), not returned as a
+						// clean exhaustion.
+						return degrade(finalize(), ErrBudgetMidHeal), nil
 					}
 					if berr != nil {
 						return degrade(finalize(), berr), nil
@@ -276,6 +290,10 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			}
 			ns, serr := s.PickSeed(seeds, rng)
 			if errors.Is(serr, api.ErrBudgetExhausted) {
+				if churned {
+					// Same stranding as above, via the reseed path.
+					return degrade(finalize(), ErrBudgetMidHeal), nil
+				}
 				return finalize(), nil
 			}
 			if serr != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,11 @@ import (
 
 // TARWOptions configures RunTARW (Algorithm 3, MA-TARW).
 type TARWOptions struct {
+	// Ctx, when non-nil, is bound to the session's client before the
+	// walk starts: cancellation propagates to every charged call, and a
+	// cancelled walk returns a Degraded partial result (with checkpoint)
+	// instead of hanging or erroring.
+	Ctx context.Context
 	// Seed drives the walker's randomness.
 	Seed int64
 	// PEstimates is the number of independent ESTIMATE-p runs averaged
@@ -137,6 +143,9 @@ type tarw struct {
 // latter returns it flagged Degraded with a resumable Checkpoint.
 func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 	opts = opts.withDefaults()
+	if opts.Ctx != nil {
+		s.Client.WithContext(opts.Ctx)
+	}
 
 	heal := opts.Heal.withDefaults()
 

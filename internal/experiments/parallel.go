@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/fleet"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// parallelWalkers is the sweep grid: goroutine counts executing the
+// same fixed logical fleet plan.
+var parallelWalkers = []int{1, 2, 4, 8}
+
+// ParallelPoint is one sweep measurement, the unit BENCH_parallel.json
+// serializes. Every field except WallNanos is deterministic in
+// (Scale, Seed, Budget); WallNanos is the one wall-clock measurement
+// in the repository and is only populated when the caller injects a
+// clock (cmd/mba-bench does; tests and the CSV artifact never see it).
+type ParallelPoint struct {
+	Walkers       int           `json:"walkers"`
+	Estimate      float64       `json:"estimate"`
+	RelErr        float64       `json:"rel_err"`
+	Cost          int           `json:"cost"`
+	Samples       int           `json:"samples"`
+	Virtual       time.Duration `json:"virtual_ns"`
+	WatchdogTrips int           `json:"watchdog_trips"`
+	Shed          int           `json:"shed"`
+	WallNanos     int64         `json:"wall_ns,omitempty"`
+}
+
+// Parallel is the deterministic face of the sweep (no wall clock),
+// used by the benchmark table/CSV artifacts and the tests.
+func Parallel(opts Options) (Table, error) {
+	t, _, err := ParallelSweep(opts, nil)
+	return t, err
+}
+
+// ParallelSweep runs the same logical walker fleet — eight independent
+// walkers sharing opts.Budget through the ledger — at 1, 2, 4, and 8
+// goroutines, and audits the tentpole invariant: the merged estimate
+// is bit-identical at every parallelism level, so concurrency buys
+// wall-clock speedup without touching the statistics. clock, when
+// non-nil, is a monotonic nanosecond source (injected by package main,
+// the only wall-clock-capable package) used to fill WallNanos.
+func ParallelSweep(opts Options, clock func() int64) (Table, []ParallelPoint, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, nil, err
+	}
+
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	walk := func(ctx context.Context, s *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
+		return core.RunTARW(s, core.TARWOptions{Seed: seed, Resume: ck, Ctx: ctx})
+	}
+
+	t := Table{
+		ID:    "parallel",
+		Title: "Concurrent walker fleet: same logical plan at 1..8 goroutines (estimate must be bit-identical)",
+		Columns: []string{
+			"Walkers", "Estimate", "RelErr", "Cost", "Samples", "Virtual", "Watchdog", "Shed", "Audit",
+		},
+	}
+
+	aud := audit.Auditor{Budget: opts.Budget}
+	var (
+		points    []ParallelPoint
+		estimates []float64
+		checks    int
+		firstViol string
+		nviol     int
+	)
+	for _, w := range parallelWalkers {
+		opts.logf("parallel: walkers=%d", w)
+		var t0 int64
+		if clock != nil {
+			t0 = clock()
+		}
+		res, err := fleet.Run(context.Background(), fleet.Config{
+			Platform:    p,
+			Query:       q,
+			Interval:    opts.Interval,
+			Walk:        walk,
+			Budget:      opts.Budget,
+			Seed:        opts.Seed,
+			Parallelism: w,
+		})
+		if err != nil {
+			return Table{}, nil, fmt.Errorf("parallel walkers=%d: %w", w, err)
+		}
+		pt := ParallelPoint{
+			Walkers:       w,
+			Estimate:      res.Estimate,
+			RelErr:        stats.RelativeError(res.Estimate, truth),
+			Cost:          res.Cost,
+			Samples:       res.Samples,
+			Virtual:       res.VirtualDuration,
+			WatchdogTrips: res.WatchdogTrips,
+			Shed:          res.Shed,
+		}
+		if clock != nil {
+			pt.WallNanos = clock() - t0
+		}
+		points = append(points, pt)
+		estimates = append(estimates, res.Estimate)
+
+		rep := aud.CheckFleet(res)
+		checks += rep.Checks
+		nviol += len(rep.Violations)
+		if firstViol == "" && len(rep.Violations) > 0 {
+			firstViol = fmt.Sprintf("walkers=%d: %s", w, rep.Violations[0])
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.4f", pt.Estimate),
+			fmt.Sprintf("%.4f", pt.RelErr),
+			fmt.Sprintf("%d", pt.Cost),
+			fmt.Sprintf("%d", pt.Samples),
+			pt.Virtual.String(),
+			fmt.Sprintf("%d", pt.WatchdogTrips),
+			fmt.Sprintf("%d", pt.Shed),
+			fmt.Sprintf("ok(%d)", rep.Checks),
+		})
+	}
+
+	det := aud.CheckParallelDeterminism(estimates)
+	checks += det.Checks
+	nviol += len(det.Violations)
+	if firstViol == "" && len(det.Violations) > 0 {
+		firstViol = det.Violations[0].String()
+	}
+	if nviol > 0 {
+		return t, points, fmt.Errorf("parallel: auditor found %d invariant violations in %d checks; first: %s",
+			nviol, checks, firstViol)
+	}
+	return t, points, nil
+}

@@ -1,0 +1,515 @@
+// Package fleet orchestrates a fleet of concurrent MA-SRW/MA-TARW
+// walkers over one platform and one shared API-call budget — the
+// paper's repeated-independent-walk averaging (§6) run in parallel, the
+// way a production estimation service would.
+//
+// The design separates two knobs that look similar but must not be:
+//
+//   - Units is the STATISTICAL plan: how many independent logical
+//     walkers the budget is split across. Each unit gets a derived
+//     seed, a deterministic quota of the budget (arbitrated by an
+//     api.Ledger), and its own api.Server with derived fault/churn
+//     seeds, so a unit's entire run is a pure function of the fleet
+//     seed and configuration.
+//   - Parallelism is the EXECUTION plan: how many goroutines drain the
+//     unit queue. It affects wall-clock time and nothing else.
+//
+// Because no unit shares mutable state with another (the read-only
+// platform is shared; servers, clients, sessions, and RNGs are
+// per-unit) and the merge folds unit results in unit order with
+// compensated summation, the fleet estimate is bit-identical at any
+// parallelism — the determinism invariant internal/audit checks and
+// the regression tests assert for walkers ∈ {1, 2, 8}.
+//
+// Robustness: each unit runs the degrade→checkpoint→resume loop from
+// PR 1/3 against its own quota; a stall-watchdog trip (no budget
+// progress in virtual time) cancels and reseeds the walker on a fresh
+// RNG segment; a panicking walker is isolated into a Degraded unit
+// result; context cancellation and virtual deadlines propagate through
+// api.Client to every charged call and surface as Degraded partial
+// results, never hangs. The whole fleet can checkpoint mid-flight and
+// resume later, unit by unit.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+)
+
+// ErrWalkerPanic marks a unit whose walker goroutine panicked; the
+// panic was isolated into a Degraded unit result instead of crashing
+// the fleet.
+var ErrWalkerPanic = errors.New("fleet: walker panicked")
+
+// Seed-derivation strides. Each per-unit stream (walk RNG, fault
+// schedule, churn schedule) uses its own large prime stride so unit
+// streams never collide with each other or with the per-segment
+// derivation inside core (opts.Seed + segments*0x9e3779b9).
+const (
+	walkSeedStride  = 15485863
+	faultSeedStride = 32452843
+	churnSeedStride = 49979687
+)
+
+// WalkFn runs one walker segment: a full estimation run for the given
+// derived seed over the session, optionally resuming a prior segment's
+// checkpoint. Implementations build the algorithm options (including
+// Ctx, so cancellation threads into the walk) and call core.RunSRW,
+// core.RunMR, or core.RunTARW.
+type WalkFn func(ctx context.Context, s *core.Session, seed int64, resume *core.Checkpoint) (core.Result, error)
+
+// Config configures a fleet run.
+type Config struct {
+	// Platform is the (read-only, safely shared) simulated platform.
+	Platform *platform.Platform
+	// Preset is the API interface preset (default Twitter).
+	Preset api.Preset
+	// Faults configures per-unit fault injection; each unit's server
+	// derives its own fault seed from Faults.Seed, Seed, and the unit
+	// index, so fault schedules are independent across units and
+	// deterministic regardless of goroutine interleaving.
+	Faults api.Faults
+	// Churn, when its rate is positive, enables per-unit platform churn
+	// overlays (again with derived per-unit seeds).
+	Churn platform.ChurnConfig
+	// Query is the aggregate query under estimation.
+	Query query.Query
+	// Interval is the level-graph interval T (0 = one day).
+	Interval model.Tick
+	// Walk runs one walker segment. Required.
+	Walk WalkFn
+	// Budget is the fleet's total API-call budget, partitioned across
+	// units by the ledger. Required (a fleet cannot arbitrate an
+	// unlimited budget).
+	Budget int
+	// Seed derives every per-unit seed.
+	Seed int64
+	// Units is the number of logical walkers the budget is split across
+	// (default 8). This is the statistical plan: changing it changes
+	// the estimate; changing Parallelism does not.
+	Units int
+	// Parallelism is the number of worker goroutines executing units
+	// (default Units; capped at Units).
+	Parallelism int
+	// MinUnitBudget is the load-shedding floor (default 250): when the
+	// budget cannot give every unit at least this many calls, the fleet
+	// deterministically sheds units down to Budget/MinUnitBudget
+	// (minimum 1) instead of starving all of them.
+	MinUnitBudget int
+	// Deadline, when positive, bounds each unit in virtual time
+	// (cumulative across its resume segments); a unit past it degrades
+	// with api.ErrDeadlineExceeded. Virtual deadlines are deterministic,
+	// so deadline hits do not break the parallelism invariance.
+	Deadline time.Duration
+	// StallWait arms the per-unit stall watchdog (see
+	// api.RetryPolicy.StallWait); 0 leaves it off.
+	StallWait time.Duration
+	// Policy overrides the per-unit retry policy (nil = default).
+	Policy *api.RetryPolicy
+	// MaxResumes bounds the per-unit degrade→resume loop (default 100).
+	MaxResumes int
+	// Resume continues a prior fleet run from its checkpoint: finished
+	// units keep their results, interrupted units resume from their
+	// per-unit checkpoints, and prior spend is carried forward in the
+	// ledger so quotas keep binding.
+	Resume *Checkpoint
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset.Name == "" {
+		c.Preset = api.Twitter()
+	}
+	if c.Interval <= 0 {
+		c.Interval = model.Day
+	}
+	if c.Units <= 0 {
+		c.Units = 8
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = c.Units
+	}
+	if c.MinUnitBudget <= 0 {
+		c.MinUnitBudget = 250
+	}
+	if c.MaxResumes <= 0 {
+		c.MaxResumes = 100
+	}
+	return c
+}
+
+// UnitResult is one logical walker's final outcome.
+type UnitResult struct {
+	// Unit is the unit index (0-based; merge order).
+	Unit int
+	// Seed is the unit's derived walk seed.
+	Seed int64
+	// Quota is the unit's budget share fixed by the ledger.
+	Quota int
+	// Estimate is the unit's final estimate (NaN when its quota bought
+	// none).
+	Estimate float64
+	// Cost, Samples, Stats, and Heal are cumulative across the unit's
+	// resume segments.
+	Cost    int
+	Samples int
+	Stats   api.Stats
+	Heal    core.HealStats
+	// Resumes counts checkpoint resumes the unit needed.
+	Resumes int
+	// WatchdogTrips counts stall-watchdog firings (each one reseeded
+	// the walker on a fresh RNG segment via resume).
+	WatchdogTrips int
+	// Degraded is true when the unit ended in a degraded state;
+	// DegradedBy records the final cause. Panicked additionally marks
+	// walker panics isolated by the orchestrator.
+	Degraded   bool
+	DegradedBy error
+	Panicked   bool
+	// Checkpoint is the unit's resumable state (nil if the unit
+	// panicked before its first checkpoint).
+	Checkpoint *core.Checkpoint
+}
+
+// Result is the merged fleet outcome.
+type Result struct {
+	// Estimate is the deterministic sample-weighted Hansen–Hurwitz
+	// combination of the unit estimates, folded in unit order with
+	// compensated summation (NaN when no unit produced an estimate).
+	Estimate float64
+	// Cost and Samples sum over units; Stats and Heal are field-wise
+	// sums.
+	Cost    int
+	Samples int
+	Stats   api.Stats
+	Heal    core.HealStats
+	// VirtualDuration is the fleet's virtual wall-clock: the maximum
+	// over units (concurrent walkers wait concurrently). Deliberately
+	// independent of Parallelism so reported numbers stay deterministic.
+	VirtualDuration time.Duration
+	// Degraded is true when at least one unit ended degraded;
+	// DegradedBy is the lowest-indexed degraded unit's cause.
+	Degraded   bool
+	DegradedBy error
+	// WatchdogTrips sums the stall-watchdog firings across units.
+	WatchdogTrips int
+	// UnitsPlanned/UnitsRun record deterministic load-shedding:
+	// UnitsRun = UnitsPlanned - Shed units actually received quotas.
+	UnitsPlanned int
+	UnitsRun     int
+	Shed         int
+	// Units holds the per-unit results in unit order.
+	Units []UnitResult
+	// Ledger is the budget arbiter's final books (conservation is
+	// audited: available + reserved + committed == total, committed ==
+	// exactly the calls charged).
+	Ledger api.LedgerStats
+	// Checkpoint resumes the whole fleet mid-flight.
+	Checkpoint *Checkpoint
+}
+
+// Checkpoint is a resumable fleet snapshot: every unit's final result
+// (finished units are kept as-is on resume, interrupted units resume
+// from their per-unit core checkpoints).
+type Checkpoint struct {
+	units []UnitResult
+}
+
+// Units returns the number of checkpointed units.
+func (c *Checkpoint) Units() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.units)
+}
+
+// unitSeed derives the walk seed of a unit.
+func unitSeed(base int64, unit int) int64 {
+	return base + int64(unit+1)*walkSeedStride
+}
+
+// virtualOf translates a cumulative accounting snapshot into virtual
+// wall-clock under a preset's rate limit (the per-unit analogue of
+// api.Client.VirtualDuration, needed because unit stats span several
+// clients).
+func virtualOf(p api.Preset, st api.Stats) time.Duration {
+	if p.RateLimitCalls <= 0 {
+		return st.Wait
+	}
+	windows := (st.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
+	return time.Duration(windows)*p.RateLimitWindow + st.Wait
+}
+
+// terminalDegrade reports whether a degrade cause must not be resumed:
+// cancellation and deadline exceedance end the unit (resuming would
+// fail the same way or overrun the caller's bound), while faults,
+// churn overwhelm, and watchdog stalls are ridden out via resume.
+func terminalDegrade(err error) bool {
+	return errors.Is(err, api.ErrCanceled) || errors.Is(err, api.ErrDeadlineExceeded)
+}
+
+// Run executes the fleet and merges the unit results. It returns an
+// error only for configuration mistakes (missing Walk, non-positive
+// budget, resume shape mismatch); every runtime failure — faults,
+// churn, stalls, panics, cancellation — is folded into Degraded unit
+// results and a Degraded fleet result instead.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Walk == nil {
+		return Result{}, errors.New("fleet: Config.Walk is required")
+	}
+	if cfg.Budget <= 0 {
+		return Result{}, errors.New("fleet: Config.Budget must be positive (a fleet arbitrates a finite budget)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Deterministic load-shedding: fewer walkers when credits run low.
+	// The decision depends only on (Budget, Units, MinUnitBudget) —
+	// never on runtime contention — so a shed fleet is still a pure
+	// function of its configuration.
+	units := cfg.Units
+	if m := cfg.Budget / cfg.MinUnitBudget; m < units {
+		units = m
+		if units < 1 {
+			units = 1
+		}
+	}
+	if cfg.Resume != nil && cfg.Resume.Units() != units {
+		return Result{}, fmt.Errorf("fleet: resume checkpoint has %d units, config yields %d (budget/units/min-unit-budget must match the original run)",
+			cfg.Resume.Units(), units)
+	}
+
+	// Quota partition: Budget/units each, the remainder spread over the
+	// first units. Fixed before any walker starts — fair admission by
+	// construction, and the reason a hot walker cannot starve the rest.
+	led := api.NewLedger(cfg.Budget)
+	quotas := make([]int, units)
+	share, rem := cfg.Budget/units, cfg.Budget%units
+	for i := range quotas {
+		quotas[i] = share
+		if i < rem {
+			quotas[i]++
+		}
+		if err := led.Register(i, quotas[i]); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Carry a resumed fleet's prior spend onto the books so quotas keep
+	// binding across the whole logical run.
+	if cfg.Resume != nil {
+		for i, prior := range cfg.Resume.units {
+			if err := led.CarryForward(i, prior.Cost); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	results := make([]UnitResult, units)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	par := cfg.Parallelism
+	if par > units {
+		par = units
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				var prior *UnitResult
+				if cfg.Resume != nil {
+					prior = &cfg.Resume.units[u]
+				}
+				if prior != nil && !prior.Degraded {
+					// The unit already finished in the prior flight;
+					// its result merges unchanged.
+					results[u] = *prior
+					continue
+				}
+				results[u] = runUnit(ctx, cfg, led, u, quotas[u], prior)
+			}
+		}()
+	}
+	for u := 0; u < units; u++ {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+
+	return merge(cfg, units, results, led), nil
+}
+
+// runUnit drives one logical walker to completion: its own server
+// (derived fault/churn seeds), a ledger-bound client per segment, and
+// the degrade→checkpoint→resume loop, with panics isolated into a
+// Degraded result.
+func runUnit(ctx context.Context, cfg Config, led *api.Ledger, unit, quota int, prior *UnitResult) (out UnitResult) {
+	out = UnitResult{Unit: unit, Seed: unitSeed(cfg.Seed, unit), Quota: quota}
+	// Panic isolation: a crashing walker becomes a Degraded unit
+	// result; the fleet and its sibling walkers keep going.
+	defer func() {
+		if r := recover(); r != nil {
+			out.Degraded = true
+			out.Panicked = true
+			out.DegradedBy = fmt.Errorf("%w: %v", ErrWalkerPanic, r)
+		}
+	}()
+
+	faults := cfg.Faults
+	faults.Seed = faults.Seed + cfg.Seed + int64(unit+1)*faultSeedStride
+	srv := api.NewServer(cfg.Platform, cfg.Preset, faults)
+	if cfg.Churn.Rate > 0 {
+		churn := cfg.Churn
+		churn.Seed = churn.Seed + cfg.Seed + int64(unit+1)*churnSeedStride
+		srv.EnableChurn(churn)
+	}
+	policy := api.DefaultRetryPolicy()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
+	policy.StallWait = cfg.StallWait
+
+	var (
+		resume   *core.Checkpoint
+		haveRes  bool
+		prevCost = -1
+		prevSamp = -1
+	)
+	if prior != nil {
+		// Resuming an interrupted unit: continue from its checkpoint
+		// (nil checkpoint — a pre-checkpoint panic — restarts fresh on
+		// the remaining quota).
+		resume = prior.Checkpoint
+		out.Resumes = prior.Resumes
+		out.WatchdogTrips = prior.WatchdogTrips
+		out.Cost, out.Samples = prior.Cost, prior.Samples
+		out.Stats, out.Heal = prior.Stats, prior.Heal
+		out.Estimate, out.Degraded, out.DegradedBy = prior.Estimate, prior.Degraded, prior.DegradedBy
+		out.Checkpoint = prior.Checkpoint
+		haveRes = true
+	}
+	if out.Estimate == 0 && !haveRes {
+		out.Estimate = math.NaN()
+	}
+
+	for attempt := 0; ; attempt++ {
+		client := api.NewClient(srv, 0)
+		client.Policy = policy
+		if err := client.UseLedger(led, unit); err != nil {
+			// Quota spent (or config bug): the unit ends in whatever
+			// state the last segment left it.
+			return out
+		}
+		client.WithContext(ctx)
+		if cfg.Deadline > 0 {
+			already := virtualOf(cfg.Preset, out.Stats)
+			left := cfg.Deadline - already
+			if left <= 0 {
+				out.Degraded = true
+				out.DegradedBy = api.ErrDeadlineExceeded
+				client.ReleaseLedger()
+				return out
+			}
+			client.Deadline = left
+		}
+		sess, err := core.NewSession(client, cfg.Query, cfg.Interval)
+		if err != nil {
+			client.ReleaseLedger()
+			// Whatever the failed session setup charged is real spend:
+			// fold it in so the unit's books match the ledger's.
+			out.Cost += client.Cost()
+			out.Stats = out.Stats.Add(client.Stats())
+			out.Degraded = true
+			out.DegradedBy = err
+			return out
+		}
+		res, err := cfg.Walk(ctx, sess, out.Seed, resume)
+		client.ReleaseLedger()
+		if err != nil {
+			// Pre-walk failure (cancelled, past deadline, or exhausted
+			// before any walk state existed): degrade with the prior
+			// partial state plus this segment's charges — the ledger
+			// committed them, so the unit must report them.
+			out.Cost += client.Cost()
+			out.Stats = out.Stats.Add(client.Stats())
+			out.Degraded = true
+			out.DegradedBy = err
+			return out
+		}
+		out.Estimate = res.Estimate
+		out.Cost, out.Samples = res.Cost, res.Samples
+		out.Stats, out.Heal = res.Stats, res.Heal
+		out.Degraded, out.DegradedBy = res.Degraded, res.DegradedBy
+		out.Checkpoint = res.Checkpoint
+		if errors.Is(res.DegradedBy, api.ErrStalled) {
+			out.WatchdogTrips++
+		}
+		if !res.Degraded || terminalDegrade(res.DegradedBy) {
+			return out
+		}
+		if res.Cost >= quota || attempt >= cfg.MaxResumes {
+			return out
+		}
+		if res.Cost <= prevCost && res.Samples <= prevSamp {
+			return out // resuming stopped making progress
+		}
+		prevCost, prevSamp = res.Cost, res.Samples
+		resume = res.Checkpoint
+		out.Resumes++
+	}
+}
+
+// merge folds the unit results, in unit order, into the fleet result.
+// The estimate is the sample-weighted mean of the unit Hansen–Hurwitz
+// estimates — pooling the fleet's walks as if one walker had taken
+// them all — accumulated with compensated summation so the fold is
+// exact in practice and, crucially, independent of which goroutine
+// finished first.
+func merge(cfg Config, units int, results []UnitResult, led *api.Ledger) Result {
+	out := Result{
+		UnitsPlanned: cfg.Units,
+		UnitsRun:     units,
+		Shed:         cfg.Units - units,
+		Units:        results,
+	}
+	var weighted, weights []float64
+	for i := range results {
+		r := &results[i]
+		out.Cost += r.Cost
+		out.Samples += r.Samples
+		out.Stats = out.Stats.Add(r.Stats)
+		out.Heal = out.Heal.Add(r.Heal)
+		out.WatchdogTrips += r.WatchdogTrips
+		if v := virtualOf(cfg.Preset, r.Stats); v > out.VirtualDuration {
+			out.VirtualDuration = v
+		}
+		if r.Degraded && !out.Degraded {
+			out.Degraded = true
+			out.DegradedBy = r.DegradedBy
+		}
+		if r.Samples > 0 && !math.IsNaN(r.Estimate) {
+			weighted = append(weighted, r.Estimate*float64(r.Samples))
+			weights = append(weights, float64(r.Samples))
+		}
+	}
+	out.Estimate = math.NaN()
+	if den := stats.KahanSum(weights); den > 0 {
+		out.Estimate = stats.KahanSum(weighted) / den
+	}
+	out.Ledger = led.Snapshot()
+	out.Checkpoint = &Checkpoint{units: append([]UnitResult(nil), results...)}
+	return out
+}

@@ -1,0 +1,312 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/fleet"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+)
+
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p, err := platform.New(platform.Config{
+		Seed:                  7,
+		NumUsers:              2000,
+		NumCommunities:        15,
+		IntraEdgesPerUser:     4,
+		InterEdgesPerUser:     1,
+		HorizonDays:           90,
+		TimelineCap:           3200,
+		BackgroundPostsPerDay: 1,
+		Keywords: []platform.KeywordConfig{
+			{Name: "privacy", SeedsPerDay: 1.0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func srwWalk(ctx context.Context, s *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
+	return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+}
+
+func baseConfig(p *platform.Platform, budget int) fleet.Config {
+	return fleet.Config{
+		Platform: p,
+		Query:    query.AvgQuery("privacy", query.Followers),
+		Interval: model.Day,
+		Walk:     srwWalk,
+		Budget:   budget,
+		Seed:     1,
+	}
+}
+
+// fingerprint reduces a fleet result to a parallelism-independent
+// byte string: every statistically meaningful field, per unit, in unit
+// order, with estimates rendered as exact bit patterns.
+func fingerprint(res fleet.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "est=%#x cost=%d samples=%d shed=%d trips=%d degraded=%v virtual=%v\n",
+		math.Float64bits(res.Estimate), res.Cost, res.Samples, res.Shed,
+		res.WatchdogTrips, res.Degraded, res.VirtualDuration)
+	for _, u := range res.Units {
+		fmt.Fprintf(&b, "unit=%d seed=%d quota=%d est=%#x cost=%d samples=%d heal=%+v degraded=%v\n",
+			u.Unit, u.Seed, u.Quota, math.Float64bits(u.Estimate), u.Cost, u.Samples, u.Heal, u.Degraded)
+	}
+	return b.String()
+}
+
+// TestFleetDeterministicAcrossParallelism is the tentpole regression:
+// the same logical plan at 1, 2, and 8 goroutines must produce
+// byte-identical results, and the auditor must find the ledger
+// balanced after each run.
+func TestFleetDeterministicAcrossParallelism(t *testing.T) {
+	p := testPlatform(t)
+	aud := audit.Auditor{Budget: 8000}
+	var prints []string
+	var estimates []float64
+	for _, par := range []int{1, 2, 8} {
+		cfg := baseConfig(p, 8000)
+		cfg.Parallelism = par
+		res, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if res.Degraded {
+			t.Fatalf("parallelism %d degraded on a healthy platform: %v", par, res.DegradedBy)
+		}
+		if math.IsNaN(res.Estimate) {
+			t.Fatalf("parallelism %d produced no estimate", par)
+		}
+		if rep := aud.CheckFleet(res); !rep.OK() {
+			t.Fatalf("parallelism %d: %v", par, rep.Err())
+		}
+		if res.Ledger.Committed != res.Cost {
+			t.Fatalf("parallelism %d: ledger committed %d, walkers charged %d", par, res.Ledger.Committed, res.Cost)
+		}
+		prints = append(prints, fingerprint(res))
+		estimates = append(estimates, res.Estimate)
+	}
+	for i, fp := range prints[1:] {
+		if fp != prints[0] {
+			t.Errorf("fingerprint of run %d differs from run 0:\n--- run 0\n%s--- run %d\n%s", i+1, prints[0], i+1, fp)
+		}
+	}
+	if rep := (audit.Auditor{}).CheckParallelDeterminism(estimates); !rep.OK() {
+		t.Error(rep.Err())
+	}
+}
+
+// TestFleetStressUnderChurnAndChaos is the -race stress fixture: eight
+// walkers at full parallelism over a churning, fault-injecting
+// platform must stay deterministic across parallelism levels and keep
+// the ledger balanced. CI runs this (and the whole fleet suite) with
+// -race.
+func TestFleetStressUnderChurnAndChaos(t *testing.T) {
+	p := testPlatform(t)
+	aud := audit.Auditor{Budget: 8000}
+	mk := func(par int) fleet.Config {
+		cfg := baseConfig(p, 8000)
+		cfg.Parallelism = par
+		cfg.Faults = api.Faults{TransientProb: 0.05, RateLimitProb: 0.02, Seed: 5}
+		cfg.Churn = platform.ChurnConfig{Rate: 1.5, VanishWeight: 1}
+		cfg.StallWait = 8 * time.Hour
+		return cfg
+	}
+	var prints []string
+	var last fleet.Result
+	for _, par := range []int{1, 8} {
+		res, err := fleet.Run(context.Background(), mk(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if rep := aud.CheckFleet(res); !rep.OK() {
+			t.Fatalf("parallelism %d: %v", par, rep.Err())
+		}
+		prints = append(prints, fingerprint(res))
+		last = res
+	}
+	if prints[0] != prints[1] {
+		t.Errorf("chaos fleet not parallelism-invariant:\n--- par 1\n%s--- par 8\n%s", prints[0], prints[1])
+	}
+	if last.Heal.VanishedUsers == 0 && last.Stats.Retries == 0 {
+		t.Error("chaos fixture too quiet: no churn observed and no retries paid")
+	}
+}
+
+// TestFleetDeadlineDegradesWithoutHanging: a virtual deadline shorter
+// than the run cancels every walker at its next call and yields a
+// Degraded partial result — never a hang, and with the books balanced.
+func TestFleetDeadlineDegradesWithoutHanging(t *testing.T) {
+	p := testPlatform(t)
+	cfg := baseConfig(p, 8000)
+	cfg.Parallelism = 8
+	cfg.Deadline = time.Minute // one rate-limit window (15m) already exceeds it
+	res, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("run past its deadline not Degraded")
+	}
+	if !errors.Is(res.DegradedBy, api.ErrDeadlineExceeded) {
+		t.Fatalf("DegradedBy = %v, want ErrDeadlineExceeded", res.DegradedBy)
+	}
+	if res.Cost >= cfg.Budget {
+		t.Fatalf("deadline-cut run still spent the whole budget (%d)", res.Cost)
+	}
+	if rep := (audit.Auditor{Budget: cfg.Budget}).CheckFleet(res); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+}
+
+// TestFleetCancellationDegrades: caller cancellation propagates into
+// every pending call and surfaces as a Degraded partial result.
+func TestFleetCancellationDegrades(t *testing.T) {
+	p := testPlatform(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig(p, 8000)
+	cfg.Parallelism = 8
+	res, err := fleet.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("cancelled run not Degraded")
+	}
+	if !errors.Is(res.DegradedBy, api.ErrCanceled) {
+		t.Fatalf("DegradedBy = %v, want ErrCanceled", res.DegradedBy)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("pre-cancelled run charged %d calls", res.Cost)
+	}
+}
+
+// TestFleetPanicIsolation: a crashing walker is folded into a Degraded
+// unit result; its siblings finish and still merge an estimate.
+func TestFleetPanicIsolation(t *testing.T) {
+	p := testPlatform(t)
+	cfg := baseConfig(p, 8000)
+	cfg.Parallelism = 1 // deterministic: unit 0 runs first and panics
+	first := true
+	cfg.Walk = func(ctx context.Context, s *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
+		if first {
+			first = false
+			panic("walker crashed")
+		}
+		return srwWalk(ctx, s, seed, ck)
+	}
+	res, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("a walker panic must not crash the fleet: %v", err)
+	}
+	if !res.Degraded || !errors.Is(res.DegradedBy, fleet.ErrWalkerPanic) {
+		t.Fatalf("degraded=%v by %v, want ErrWalkerPanic", res.Degraded, res.DegradedBy)
+	}
+	panicked := 0
+	for _, u := range res.Units {
+		if u.Panicked {
+			panicked++
+			if !u.Degraded {
+				t.Error("panicked unit not Degraded")
+			}
+		}
+	}
+	if panicked != 1 {
+		t.Fatalf("%d units panicked, want exactly 1", panicked)
+	}
+	if math.IsNaN(res.Estimate) {
+		t.Error("surviving walkers produced no merged estimate")
+	}
+}
+
+// TestFleetCheckpointResume: a deadline-interrupted fleet resumes from
+// its checkpoint, finishes the plan, and keeps cumulative accounting
+// truthful against a fresh ledger with the prior spend carried forward.
+func TestFleetCheckpointResume(t *testing.T) {
+	p := testPlatform(t)
+	cfg := baseConfig(p, 8000)
+	cfg.Parallelism = 8
+	cfg.Deadline = 16 * time.Minute // one window of progress, then cut
+	res1, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Degraded || res1.Checkpoint == nil {
+		t.Fatalf("interrupted flight: degraded=%v checkpoint=%v", res1.Degraded, res1.Checkpoint)
+	}
+	if res1.Cost == 0 {
+		t.Fatal("first flight made no progress before the deadline")
+	}
+
+	cfg2 := baseConfig(p, 8000)
+	cfg2.Parallelism = 8
+	cfg2.Resume = res1.Checkpoint
+	res2, err := fleet.Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded {
+		t.Fatalf("resumed flight degraded: %v", res2.DegradedBy)
+	}
+	if res2.Cost <= res1.Cost {
+		t.Fatalf("resume made no progress: cost %d -> %d", res1.Cost, res2.Cost)
+	}
+	if math.IsNaN(res2.Estimate) {
+		t.Fatal("resumed fleet produced no estimate")
+	}
+	if rep := (audit.Auditor{Budget: cfg.Budget}).CheckFleet(res2); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+
+	// Resume with a mismatched plan is a loud configuration error, not
+	// silent corruption.
+	bad := baseConfig(p, 500) // sheds to fewer units than the checkpoint holds
+	bad.Resume = res1.Checkpoint
+	if _, err := fleet.Run(context.Background(), bad); err == nil {
+		t.Error("resume with a mismatched unit plan succeeded")
+	}
+}
+
+// TestFleetLoadShedding: when the budget cannot give every planned
+// walker MinUnitBudget calls, the fleet deterministically sheds units
+// instead of starving all of them.
+func TestFleetLoadShedding(t *testing.T) {
+	p := testPlatform(t)
+	cfg := baseConfig(p, 600)
+	cfg.MinUnitBudget = 250
+	res, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnitsRun != 2 || res.Shed != 6 {
+		t.Fatalf("UnitsRun=%d Shed=%d, want 2 run / 6 shed at 600 budget with 250 floor", res.UnitsRun, res.Shed)
+	}
+	if rep := (audit.Auditor{Budget: cfg.Budget}).CheckFleet(res); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+
+	// Config errors are errors, not degraded results.
+	if _, err := fleet.Run(context.Background(), fleet.Config{Platform: p, Walk: srwWalk}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	noWalk := baseConfig(p, 1000)
+	noWalk.Walk = nil
+	if _, err := fleet.Run(context.Background(), noWalk); err == nil {
+		t.Error("missing Walk accepted")
+	}
+}

@@ -17,7 +17,7 @@ var chargedEndpoints = map[string]bool{
 // Client responses, so a raw Server call would let an audit observe
 // fresher state than the estimator ever paid for.
 var budgetsafePkgs = map[string]bool{
-	"core": true, "walk": true, "experiments": true, "audit": true,
+	"core": true, "walk": true, "experiments": true, "audit": true, "fleet": true,
 }
 
 // BudgetSafe forbids estimator and experiment packages from invoking

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// waitGroupJoin is the sanctioned join primitive.
+var waitGroupJoin = map[string]bool{"Wait": true}
+
+// GoSpawn confines goroutine creation to internal/fleet, the one
+// package whose job is concurrency, and requires every spawn there to
+// be structurally joined. Estimators, the API simulator, experiment
+// runners, and the CLIs are written single-threaded on purpose: their
+// determinism argument is "no interleaving exists", which a stray `go`
+// statement silently destroys. Inside fleet, a spawned goroutine must
+// be joined with sync.WaitGroup.Wait in the same function declaration —
+// fire-and-forget goroutines outlive the result merge and turn the
+// deterministic fold into a data race.
+var GoSpawn = &Analyzer{
+	Name: "gospawn",
+	Doc: "confine go statements to internal/fleet and require each spawn to be " +
+		"WaitGroup-joined in the same function",
+	Run: runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) error {
+	inFleet := pass.PkgBase(pass.Pkg.Path()) == "fleet"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var spawns []*ast.GoStmt
+			joined := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					spawns = append(spawns, x)
+				case *ast.CallExpr:
+					if _, ok := pass.MethodOn(x, "sync", "WaitGroup", waitGroupJoin); ok {
+						joined = true
+					}
+				}
+				return true
+			})
+			for _, g := range spawns {
+				switch {
+				case !inFleet:
+					pass.Reportf(g.Pos(),
+						"go statement outside internal/fleet; single-threaded packages stay deterministic by construction — orchestrate concurrency through the fleet package")
+				case !joined:
+					pass.Reportf(g.Pos(),
+						"unjoined goroutine; call sync.WaitGroup.Wait in the same function so no spawn outlives the deterministic merge")
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -221,6 +221,7 @@ func All() []*Analyzer {
 		CheckedCost,
 		DetRange,
 		FloatSum,
+		GoSpawn,
 		NoRawRand,
 		NoWallClock,
 	}

@@ -32,6 +32,10 @@ func TestFloatSum(t *testing.T) {
 	linttest.Run(t, "testdata", lint.FloatSum, "stats", "outofscope")
 }
 
+func TestGoSpawn(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GoSpawn, "gospawn", "gospawn/fleet")
+}
+
 // TestSuiteCleanOnRepo runs the entire mba-lint suite over this module
 // and requires zero diagnostics, making `go test` itself enforce the
 // determinism/accounting/virtual-time invariants the analyzers encode.

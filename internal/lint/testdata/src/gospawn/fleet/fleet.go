@@ -1,0 +1,42 @@
+// Fixture for the gospawn analyzer: the package basename is "fleet",
+// so go statements are allowed — but only when the same function joins
+// its spawns with sync.WaitGroup.Wait.
+package fleet
+
+import "sync"
+
+func joinedFanOut(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinedViaHelperLiteral() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work(&wg)
+	defer wg.Wait()
+}
+
+func unjoinedSpawn() {
+	go work(nil) // want "unjoined goroutine"
+}
+
+func unjoinedDespiteWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go work(&wg) // want "unjoined goroutine"
+	// wg.Wait() intentionally missing.
+	_ = wg
+}
+
+func work(wg *sync.WaitGroup) {
+	if wg != nil {
+		wg.Done()
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the gospawn analyzer: this package is NOT internal/fleet,
+// so every go statement is a violation regardless of joining.
+package gospawn
+
+import "sync"
+
+func fireAndForget() {
+	go leak() // want "go statement outside internal/fleet"
+}
+
+func evenJoinedSpawnsAreConfined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "go statement outside internal/fleet"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func noSpawnsNoDiagnostics() {
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+
+func leak() {}

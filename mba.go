@@ -38,12 +38,14 @@
 package mba
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"mba/internal/api"
 	"mba/internal/core"
+	"mba/internal/fleet"
 	"mba/internal/model"
 	"mba/internal/platform"
 	"mba/internal/query"
@@ -199,6 +201,24 @@ type Options struct {
 	// Walks self-heal through churn instead of aborting; see
 	// Estimate.Healed for how much healing a run needed.
 	ChurnRate float64
+	// Walkers, when positive, runs the estimate as a concurrent walker
+	// fleet: the budget is split across a fixed set of independent
+	// logical walkers (eight) by a shared budget ledger, and Walkers
+	// goroutines execute them. Because the logical plan is fixed,
+	// Walkers only changes wall-clock time: the same seed and budget
+	// produce a bit-identical Value at Walkers=1 and Walkers=8.
+	// 0 keeps the original single-walker path.
+	Walkers int
+	// Deadline, when positive, bounds the run in virtual platform time
+	// (the clock VirtualDuration reports). A run past its deadline is
+	// cancelled at the next API call and returns a Degraded partial
+	// estimate — never a hang, and deterministic because the clock is
+	// virtual.
+	Deadline time.Duration
+	// Ctx, when non-nil, propagates caller cancellation into every
+	// pending API call; a cancelled run returns a Degraded partial
+	// estimate.
+	Ctx context.Context
 }
 
 // Estimate is an aggregate estimation result.
@@ -231,6 +251,16 @@ type Estimate struct {
 	// when ChurnRate is zero.
 	Healed       int
 	VanishedSeen int
+	// WalkersRun and WalkersShed report the fleet's logical plan when
+	// Options.Walkers > 0: how many independent walkers the budget was
+	// split across and how many the arbiter shed because the budget
+	// could not sustain them. Zero on the single-walker path.
+	WalkersRun  int
+	WalkersShed int
+	// WatchdogTrips counts stall-watchdog firings: walkers cancelled
+	// and reseeded after accruing too much virtual wait without budget
+	// progress. Zero unless the fleet path armed the watchdog.
+	WatchdogTrips int
 }
 
 // TrajectoryPoint is one convergence sample.
@@ -243,36 +273,22 @@ type TrajectoryPoint struct {
 // estimate could be formed.
 var ErrNoEstimate = errors.New("mba: budget exhausted before an estimate was available")
 
-// Estimate answers an aggregate query through the simulated
-// rate-limited API using the selected algorithm.
-func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
-	if o.Budget == 0 {
-		o.Budget = 50000
-	}
-	srv := api.NewServer(p.sim, o.Preset.preset(), api.Faults{
-		PrivateProb:   o.PrivateUserFraction,
-		TransientProb: o.TransientErrorRate,
-		RateLimitProb: o.RateLimitErrorRate,
-		Seed:          o.Seed,
-	})
-	if o.ChurnRate > 0 {
-		srv.EnableChurn(platform.ChurnConfig{Rate: o.ChurnRate, Seed: o.Seed})
-	}
-	interval := model.Tick(o.IntervalHours)
-	if interval <= 0 {
-		interval = model.Day
-	}
-	runOnce := func(session *core.Session, ck *core.Checkpoint) (core.Result, error) {
+// walkFor builds the per-segment walk runner for the selected
+// algorithm. The seed is a parameter (the fleet derives one per
+// walker); ctx threads caller cancellation into the walk.
+func walkFor(o Options, q Query) fleet.WalkFn {
+	return func(ctx context.Context, session *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
 		switch o.Algorithm {
 		case MASRW:
-			return core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed, Resume: ck})
+			return core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
 		case MR:
-			return core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: o.Seed, Resume: ck})
+			return core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
 		default:
 			tarw := core.TARWOptions{
-				Seed:           o.Seed,
+				Seed:           seed,
 				SelectInterval: o.IntervalHours == 0,
 				Resume:         ck,
+				Ctx:            ctx,
 			}
 			if q.Agg != query.Avg {
 				// COUNT/SUM need the full cross-level lattice for support and
@@ -285,27 +301,86 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 			return core.RunTARW(session, tarw)
 		}
 	}
+}
 
-	session, err := core.NewSession(api.NewClient(srv, o.Budget), q, interval)
+// virtualOf translates cumulative accounting into virtual platform
+// time under a preset's rate limit.
+func virtualOf(p api.Preset, st api.Stats) time.Duration {
+	v := st.Wait
+	if p.RateLimitCalls > 0 {
+		windows := (st.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
+		v += time.Duration(windows) * p.RateLimitWindow
+	}
+	return v
+}
+
+// Estimate answers an aggregate query through the simulated
+// rate-limited API using the selected algorithm.
+func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
+	if o.Budget == 0 {
+		o.Budget = 50000
+	}
+	interval := model.Tick(o.IntervalHours)
+	if interval <= 0 {
+		interval = model.Day
+	}
+	if o.Walkers > 0 {
+		return p.estimateFleet(q, o, interval)
+	}
+	preset := o.Preset.preset()
+	srv := api.NewServer(p.sim, preset, api.Faults{
+		PrivateProb:   o.PrivateUserFraction,
+		TransientProb: o.TransientErrorRate,
+		RateLimitProb: o.RateLimitErrorRate,
+		Seed:          o.Seed,
+	})
+	if o.ChurnRate > 0 {
+		srv.EnableChurn(platform.ChurnConfig{Rate: o.ChurnRate, Seed: o.Seed})
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runOnce := walkFor(o, q)
+
+	client := api.NewClient(srv, o.Budget)
+	client.Deadline = o.Deadline
+	client.WithContext(ctx)
+	session, err := core.NewSession(client, q, interval)
 	if err != nil {
 		return Estimate{}, err
 	}
-	res, err := runOnce(session, nil)
+	res, err := runOnce(ctx, session, o.Seed, nil)
 	if err != nil {
 		return Estimate{}, err
 	}
 	// Ride faults out: while an unrecoverable fault degraded the run and
 	// budget remains, resume from the checkpoint on a fresh client —
 	// cached responses replay at zero cost, so spent calls are never
-	// repaid. Bounded in case the platform never recovers.
+	// repaid. Bounded in case the platform never recovers. Cancellation
+	// and deadline exceedance are terminal: resuming past them would
+	// overrun the caller's bound.
 	for resumes := 0; res.Degraded && res.Cost < o.Budget && resumes < 100; resumes++ {
-		client := api.NewClient(srv, o.Budget-res.Cost)
+		if errors.Is(res.DegradedBy, api.ErrCanceled) || errors.Is(res.DegradedBy, api.ErrDeadlineExceeded) {
+			break
+		}
+		client = api.NewClient(srv, o.Budget-res.Cost)
+		if o.Deadline > 0 {
+			// A fresh client starts with zero accrued virtual time, so
+			// re-arm it with whatever deadline headroom remains.
+			left := o.Deadline - virtualOf(preset, res.Stats)
+			if left <= 0 {
+				break
+			}
+			client.Deadline = left
+		}
+		client.WithContext(ctx)
 		session, err = core.NewSession(client, q, interval)
 		if err != nil {
 			break
 		}
 		prev := res
-		res, err = runOnce(session, prev.Checkpoint)
+		res, err = runOnce(ctx, session, o.Seed, prev.Checkpoint)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -315,12 +390,7 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	}
 	// Virtual duration from the cumulative accounting (the last client
 	// alone only saw the final segment).
-	preset := o.Preset.preset()
-	virtual := res.Stats.Wait
-	if preset.RateLimitCalls > 0 {
-		windows := (res.Stats.Calls + preset.RateLimitCalls - 1) / preset.RateLimitCalls
-		virtual += time.Duration(windows) * preset.RateLimitWindow
-	}
+	virtual := virtualOf(preset, res.Stats)
 	est := Estimate{
 		Value:           res.Estimate,
 		Cost:            res.Cost,
@@ -334,6 +404,65 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	}
 	for _, pt := range res.Trajectory {
 		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
+	}
+	if est.Value != est.Value { // NaN
+		return est, ErrNoEstimate
+	}
+	return est, nil
+}
+
+// estimateFleet runs the estimate as a concurrent walker fleet: a
+// fixed plan of independent logical walkers sharing the budget through
+// a ledger, executed by o.Walkers goroutines. The logical plan is
+// independent of o.Walkers, so the estimate is bit-identical at any
+// parallelism.
+func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estimate, error) {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	preset := o.Preset.preset()
+	// Arm the stall watchdog at four rate-limit windows of virtual wait
+	// without a single charged call — far beyond any healthy walker's
+	// backoff, so it only fires on genuinely wedged ones.
+	stall := 4 * preset.RateLimitWindow
+	if stall <= 0 {
+		stall = time.Hour
+	}
+	res, err := fleet.Run(ctx, fleet.Config{
+		Platform: p.sim,
+		Preset:   preset,
+		Faults: api.Faults{
+			PrivateProb:   o.PrivateUserFraction,
+			TransientProb: o.TransientErrorRate,
+			RateLimitProb: o.RateLimitErrorRate,
+		},
+		Churn:       platform.ChurnConfig{Rate: o.ChurnRate},
+		Query:       q,
+		Interval:    interval,
+		Walk:        walkFor(o, q),
+		Budget:      o.Budget,
+		Seed:        o.Seed,
+		Parallelism: o.Walkers,
+		Deadline:    o.Deadline,
+		StallWait:   stall,
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{
+		Value:           res.Estimate,
+		Cost:            res.Cost,
+		Samples:         res.Samples,
+		VirtualDuration: res.VirtualDuration,
+		Degraded:        res.Degraded,
+		Retries:         res.Stats.Retries,
+		RateLimitHits:   res.Stats.RateLimitHits,
+		Healed:          res.Heal.Events(),
+		VanishedSeen:    res.Heal.VanishedUsers,
+		WalkersRun:      res.UnitsRun,
+		WalkersShed:     res.Shed,
+		WatchdogTrips:   res.WatchdogTrips,
 	}
 	if est.Value != est.Value { // NaN
 		return est, ErrNoEstimate

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
@@ -193,5 +194,57 @@ func TestGroundTruthVisibleExposed(t *testing.T) {
 	}
 	if math.Abs(full-vis)/full > 0.05 {
 		t.Errorf("timeline-cap bias too large: %v vs %v", full, vis)
+	}
+}
+
+// TestEstimateWalkersParallelismInvariant is the facade-level tentpole
+// regression: with a fixed seed and budget, Options.Walkers only
+// changes how many goroutines execute the fixed eight-walker logical
+// plan, so the estimate must be bit-identical at walkers 1, 2, and 8.
+func TestEstimateWalkersParallelismInvariant(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	var values []uint64
+	for _, w := range []int{1, 2, 8} {
+		est, err := p.Estimate(q, Options{Algorithm: MASRW, Budget: 16000, Seed: 3, Walkers: w})
+		if err != nil {
+			t.Fatalf("walkers=%d: %v", w, err)
+		}
+		if est.WalkersRun != 8 {
+			t.Fatalf("walkers=%d ran %d logical walkers, want the fixed plan of 8", w, est.WalkersRun)
+		}
+		values = append(values, math.Float64bits(est.Value))
+	}
+	for i, v := range values[1:] {
+		if v != values[0] {
+			t.Errorf("estimate at walkers=%d (bits %#x) differs from walkers=1 (bits %#x)",
+				[]int{2, 8}[i], v, values[0])
+		}
+	}
+}
+
+// TestEstimateDeadlineDegrades: a virtual deadline shorter than the
+// run yields a Degraded partial result — never a hang — on both the
+// fleet path and the single-walker path.
+func TestEstimateDeadlineDegrades(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	for _, walkers := range []int{0, 4} {
+		est, err := p.Estimate(q, Options{
+			Algorithm: MASRW, Budget: 16000, Seed: 3,
+			Walkers: walkers, Deadline: 2 * time.Hour,
+		})
+		if err != nil && !errors.Is(err, ErrNoEstimate) {
+			t.Fatalf("walkers=%d: %v", walkers, err)
+		}
+		if !est.Degraded {
+			t.Errorf("walkers=%d: run past its deadline not Degraded", walkers)
+		}
+		if est.Cost >= 16000 {
+			t.Errorf("walkers=%d: deadline-cut run still spent the whole budget (%d)", walkers, est.Cost)
+		}
+		if est.Cost == 0 {
+			t.Errorf("walkers=%d: no progress before the deadline", walkers)
+		}
 	}
 }
