@@ -11,13 +11,20 @@ vet:
 	go vet ./...
 
 # Domain-invariant analyzers (determinism, budget accounting, virtual
-# time — see DESIGN.md §8). Also runnable as a vet tool:
+# time, interprocedural context/error/lock flow — see DESIGN.md §8 and
+# §11). Diagnostics are checked against the committed baseline
+# (.mba-lint-baseline.json); new findings AND stale baseline entries
+# both fail, so the debt only ratchets down. After fixing baselined
+# findings, regenerate with:
+#   go run ./cmd/mba-lint -baseline .mba-lint-baseline.json -update-baseline ./...
+# Also runnable as a vet tool (single-package mode; interprocedural
+# facts degrade conservatively there):
 #   go build -o bin/mba-lint ./cmd/mba-lint
 #   go vet -vettool=$(PWD)/bin/mba-lint ./...
 # staticcheck/govulncheck run when installed (CI pins them; local runs
 # skip silently if the tools are absent).
 lint: fmt-check
-	go run ./cmd/mba-lint ./...
+	go run ./cmd/mba-lint -baseline .mba-lint-baseline.json -factcache .mba-lint-cache.json ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \

@@ -1,26 +1,46 @@
 // Command mba-lint runs the mba-lint analyzer suite (internal/lint):
-// six domain-invariant checkers that keep the paper-level claims
+// domain-invariant checkers that keep the paper-level claims
 // mechanically true — seed-determinism, single-path budget accounting,
 // virtual time, checked budget errors, deterministic map iteration,
-// and compensated float summation.
+// compensated float summation — plus the whole-program layer: context
+// threading (ctxflow), sentinel wrapping discipline (errsentinel),
+// global lock order (lockorder), and interprocedural budget
+// propagation (budgetflow).
 //
 // Standalone (lints the whole module, from any directory inside it):
 //
 //	mba-lint ./...
 //	mba-lint -only norawrand,floatsum ./...
+//	mba-lint -json ./...                       # one JSON diagnostic per line
+//	mba-lint -sarif ./...                      # SARIF 2.1.0 on stdout
+//	mba-lint -baseline .mba-lint-baseline.json ./...
+//	mba-lint -baseline .mba-lint-baseline.json -update-baseline ./...
+//	mba-lint -factcache .mba-lint-cache.json ./...
 //	mba-lint -list
+//
+// The baseline is a ratchet: with -baseline, both new findings AND
+// stale baseline entries (accepted findings the code no longer
+// produces) fail the run, so the committed baseline can only shrink
+// through an explicit -update-baseline commit.
 //
 // As a go vet backend (per-package, types from export data):
 //
 //	go build -o bin/mba-lint ./cmd/mba-lint
 //	go vet -vettool=$PWD/bin/mba-lint ./...
 //
+// In vet mode the whole-program view is limited to one package at a
+// time, so the interprocedural analyzers see fewer facts than a
+// standalone run; standalone (or `make lint`) is authoritative.
+//
 // Exit status is 1 when diagnostics are reported, 2 on usage or load
-// errors. Diagnostics can be suppressed line-by-line with
-// `//lint:ignore <analyzer> reason`.
+// errors. Diagnostics can be suppressed with
+// `//lint:ignore <analyzer> <reason>` attached to a single statement;
+// the reason is mandatory and the directive never covers more than
+// that statement.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,20 +64,29 @@ func main() {
 		return
 	}
 	var (
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit one JSON diagnostic per line (machine-readable, byte-stable)")
+		sarifOut  = flag.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout")
+		baseline  = flag.String("baseline", "", "baseline file; new findings AND stale entries fail the run")
+		updateBl  = flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit")
+		factCache = flag.String("factcache", "", "content-hash fact cache file (accelerator; safe to delete)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mba-lint [-only a,b] [-list] [./...]\n       (as vet tool) go vet -vettool=$(command -v mba-lint) ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: mba-lint [-only a,b] [-json|-sarif] [-baseline file [-update-baseline]] [-factcache file] [-list] [./...]\n       (as vet tool) go vet -vettool=$(command -v mba-lint) ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *updateBl && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "mba-lint: -update-baseline requires -baseline")
+		os.Exit(2)
 	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
@@ -69,7 +98,13 @@ func main() {
 	if args := flag.Args(); len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVet(analyzers, args[0]))
 	}
-	os.Exit(runStandalone(analyzers))
+	os.Exit(runStandalone(analyzers, standaloneOptions{
+		json:           *jsonOut,
+		sarif:          *sarifOut,
+		baselinePath:   *baseline,
+		updateBaseline: *updateBl,
+		factCachePath:  *factCache,
+	}))
 }
 
 func analyzerNames() []string {
@@ -96,8 +131,27 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
+// standaloneOptions carries the output/baseline/cache flags.
+type standaloneOptions struct {
+	json           bool
+	sarif          bool
+	baselinePath   string
+	updateBaseline bool
+	factCachePath  string
+}
+
+// jsonDiagnostic is the -json line format: stable field order, module-
+// root-relative path, one object per line.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 // runStandalone lints every package of the enclosing module.
-func runStandalone(analyzers []*lint.Analyzer) int {
+func runStandalone(analyzers []*lint.Analyzer, opts standaloneOptions) int {
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mba-lint:", err)
@@ -113,23 +167,98 @@ func runStandalone(analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "mba-lint:", err)
 		return 2
 	}
-	diags, err := lint.RunAll(analyzers, pkgs)
+	var cache *lint.FactCache
+	prog := (*lint.Program)(nil)
+	if opts.factCachePath != "" {
+		cache = lint.OpenFactCache(opts.factCachePath)
+		prog = lint.NewProgramCached(pkgs, cache)
+	} else {
+		prog = lint.NewProgram(pkgs)
+	}
+	diags, err := lint.RunAllProgram(analyzers, pkgs, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mba-lint:", err)
 		return 2
 	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+	if cache != nil {
+		if err := cache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint: saving fact cache:", err)
+		}
+	}
+
+	// Baseline paths are module-root-relative so the committed file is
+	// machine-independent.
+	relFile := func(d lint.Diagnostic) string {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(d.Pos.Filename)
+	}
+
+	if opts.updateBaseline {
+		if err := lint.NewBaseline(diags, relFile).Save(opts.baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mba-lint: baseline %s updated (%d finding(s) accepted)\n", opts.baselinePath, len(diags))
+		return 0
+	}
+
+	var stale []lint.BaselineEntry
+	if opts.baselinePath != "" {
+		bl, err := lint.LoadBaseline(opts.baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint:", err)
+			return 2
+		}
+		diags, stale = bl.Apply(diags, relFile)
+	}
+
+	switch {
+	case opts.sarif:
+		data, err := lint.SARIF(diags, analyzers, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mba-lint:", err)
+			return 2
+		}
+		os.Stdout.Write(data)
+	case opts.json:
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     relFile(d),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "mba-lint:", err)
+				return 2
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	default:
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "mba-lint: stale baseline entry (no longer triggered x%d): %s: %s (%s)\n",
+			e.Count, e.File, e.Message, e.Analyzer)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "mba-lint: the baseline has shrunk; commit a -update-baseline run to ratchet it down\n")
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mba-lint: %d violation(s)\n", len(diags))
+	}
+	if len(diags) > 0 || len(stale) > 0 {
 		return 1
 	}
 	return 0

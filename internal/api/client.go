@@ -241,7 +241,7 @@ func (c *Client) addWait(d time.Duration) {
 func (c *Client) interrupted() error {
 	if c.ctx != nil {
 		if err := c.ctx.Err(); err != nil {
-			return fmt.Errorf("%w: %v", ErrCanceled, err)
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
 	}
 	if c.Deadline > 0 && c.virtualLocked() > c.Deadline {

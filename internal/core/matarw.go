@@ -197,6 +197,7 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		// Interval selection is a pilot optimization, not a correctness
 		// requirement: if the pilots die to a fault, fall back to the
 		// session's current interval instead of aborting the run.
+		//lint:ignore budgetflow pilot failure falls back to the current interval; the main loop re-observes budget exhaustion on its next charged call
 		_ = t.selectInterval()
 	}
 

@@ -198,7 +198,7 @@ func AblationThinning(opts Options) (Table, error) {
 			srv := api.NewServer(p, api.Twitter(), api.Faults{})
 			s, err := core.NewSession(api.NewClient(srv, opts.Budget), q, opts.Interval)
 			if err != nil {
-				return Table{}, fmt.Errorf("thinning setup: %v", err)
+				return Table{}, fmt.Errorf("thinning setup: %w", err)
 			}
 			r, err := core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: opts.Seed + int64(trial)*31, Thin: thin})
 			if err != nil {

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,10 @@ import (
 
 // Options configures an experiment run.
 type Options struct {
+	// Ctx, when non-nil, bounds the concurrent sweeps (ParallelSweep);
+	// cancelling it aborts in-flight fleets. Nil means no external
+	// deadline — the sweep still terminates on budget exhaustion.
+	Ctx context.Context
 	// Scale picks the workload platform (default workload.Bench).
 	Scale workload.Scale
 	// Seed derandomizes trials.

@@ -50,6 +50,10 @@ func Parallel(opts Options) (Table, error) {
 // the only wall-clock-capable package) used to fill WallNanos.
 func ParallelSweep(opts Options, clock func() int64) (Table, []ParallelPoint, error) {
 	opts = opts.withDefaults()
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p, err := workload.Get(opts.Scale)
 	if err != nil {
 		return Table{}, nil, err
@@ -86,7 +90,7 @@ func ParallelSweep(opts Options, clock func() int64) (Table, []ParallelPoint, er
 		if clock != nil {
 			t0 = clock()
 		}
-		res, err := fleet.Run(context.Background(), fleet.Config{
+		res, err := fleet.Run(ctx, fleet.Config{
 			Platform:    p,
 			Query:       q,
 			Interval:    opts.Interval,

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baselineVersion guards the on-disk format.
+const baselineVersion = 1
+
+// BaselineEntry is one accepted finding class: an (analyzer, file,
+// message) triple with its multiplicity. Line numbers are deliberately
+// absent so unrelated edits to a file do not churn the baseline; a
+// finding only counts as new when its exact message appears more times
+// than the baseline accepts.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// Baseline is a committed snapshot of accepted findings. CI enforces a
+// ratchet against it: new findings fail the build, and so do stale
+// entries (findings the code no longer produces), forcing the baseline
+// to only ever shrink through explicit -update-baseline commits.
+type Baseline struct {
+	Entries []BaselineEntry
+}
+
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline (the ratchet's fixed point).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if f.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, f.Version, baselineVersion)
+	}
+	return &Baseline{Entries: f.Entries}, nil
+}
+
+// Save writes the baseline in canonical (sorted, indented) form.
+func (b *Baseline) Save(path string) error {
+	b.sort()
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Entries: b.Entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+func (b *Baseline) sort() {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+}
+
+// NewBaseline aggregates diagnostics into baseline entries. files maps
+// each diagnostic to the path recorded in the baseline (normally
+// module-root-relative, so the file is machine-independent).
+func NewBaseline(diags []Diagnostic, file func(Diagnostic) string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: file(d), Message: d.Message}
+		if prev, ok := counts[e.key()]; ok {
+			prev.Count++
+			continue
+		}
+		e.Count = 1
+		counts[e.key()] = &e
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := &Baseline{}
+	for _, k := range keys {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	b.sort()
+	return b
+}
+
+// Apply splits current findings against the baseline: kept are the
+// diagnostics not covered by the baseline (new findings, in input
+// order), and stale are baseline entries the current run no longer
+// fully produces (the ratchet violation: the baseline must be
+// regenerated to shrink).
+func (b *Baseline) Apply(diags []Diagnostic, file func(Diagnostic) string) (kept []Diagnostic, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()] += e.Count
+	}
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: file(d), Message: d.Message}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Entries {
+		if left := budget[e.key()]; left > 0 {
+			s := e
+			s.Count = left
+			stale = append(stale, s)
+			budget[e.key()] = 0
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return kept, stale
+}

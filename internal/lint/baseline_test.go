@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+func diag(analyzer, file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func fileOf(d lint.Diagnostic) string { return d.Pos.Filename }
+
+func TestBaselineAggregation(t *testing.T) {
+	b := lint.NewBaseline([]lint.Diagnostic{
+		diag("ctxflow", "a.go", 10, "m1"),
+		diag("ctxflow", "a.go", 20, "m1"), // same class, different line
+		diag("errsentinel", "b.go", 5, "m2"),
+	}, fileOf)
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %v", len(b.Entries), b.Entries)
+	}
+	if b.Entries[0].Count != 2 || b.Entries[0].Analyzer != "ctxflow" {
+		t.Errorf("first entry = %+v, want ctxflow count 2", b.Entries[0])
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	b := lint.NewBaseline([]lint.Diagnostic{
+		diag("ctxflow", "a.go", 10, "m1"),
+		diag("ctxflow", "a.go", 20, "m1"),
+		diag("errsentinel", "b.go", 5, "m2"),
+	}, fileOf)
+
+	// Same findings: nothing new, nothing stale.
+	kept, stale := b.Apply([]lint.Diagnostic{
+		diag("ctxflow", "a.go", 11, "m1"), // lines may drift freely
+		diag("ctxflow", "a.go", 21, "m1"),
+		diag("errsentinel", "b.go", 6, "m2"),
+	}, fileOf)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Fatalf("identical findings: kept=%v stale=%v, want none", kept, stale)
+	}
+
+	// A new finding class escapes the baseline; a fixed one goes stale.
+	kept, stale = b.Apply([]lint.Diagnostic{
+		diag("ctxflow", "a.go", 10, "m1"),
+		diag("ctxflow", "a.go", 20, "m1"),
+		diag("lockorder", "c.go", 1, "m3"),
+	}, fileOf)
+	if len(kept) != 1 || kept[0].Analyzer != "lockorder" {
+		t.Fatalf("kept = %v, want the one lockorder finding", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "errsentinel" || stale[0].Count != 1 {
+		t.Fatalf("stale = %v, want the errsentinel entry", stale)
+	}
+
+	// Count ratchet: a third instance of an accepted class is new.
+	kept, _ = b.Apply([]lint.Diagnostic{
+		diag("ctxflow", "a.go", 10, "m1"),
+		diag("ctxflow", "a.go", 20, "m1"),
+		diag("ctxflow", "a.go", 30, "m1"),
+	}, fileOf)
+	if len(kept) != 1 {
+		t.Fatalf("kept = %v, want exactly the over-budget instance", kept)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := lint.NewBaseline([]lint.Diagnostic{diag("ctxflow", "a.go", 1, "m")}, fileOf)
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Fatalf("round trip = %+v, want %+v", got.Entries, b.Entries)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := lint.LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Fatalf("missing baseline should be empty, got %v", b.Entries)
+	}
+	kept, stale := b.Apply([]lint.Diagnostic{diag("x", "a.go", 1, "m")}, fileOf)
+	if len(kept) != 1 || len(stale) != 0 {
+		t.Fatalf("empty baseline must pass everything through: kept=%v stale=%v", kept, stale)
+	}
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// budgetflowPkgs are the package basenames where charged cost must
+// flow through accountable channels: every cost-incurring call path
+// either returns an error (so api.ErrBudgetExhausted propagates) or
+// folds failures into a degraded-result field, and under the fleet
+// every client is bound to the shared Ledger before it can charge.
+var budgetflowPkgs = map[string]bool{
+	"mba": true, "core": true, "walk": true, "experiments": true, "fleet": true,
+}
+
+// BudgetFlow is the interprocedural companion of checkedcost. Where
+// checkedcost sees only direct api.Client calls, budgetflow uses the
+// whole-program summaries to follow cost through arbitrarily many
+// layers of helpers and closures:
+//
+//  1. a call to any function that (transitively) incurs charged API
+//     cost must not discard that function's error result — the budget
+//     sentinel travels in it;
+//  2. a declared function that (transitively) incurs cost must be able
+//     to propagate the budget error: an error result, or a result
+//     struct with an error field (the Degraded/DegradedBy channel);
+//  3. in the fleet, api.NewClient must be paired with UseLedger in the
+//     same function, so every charged call passes Ledger.Reserve
+//     admission before it reaches the shared Server.
+var BudgetFlow = &Analyzer{
+	Name: "budgetflow",
+	Doc: "interprocedural budget accounting: cost-incurring call chains must " +
+		"propagate the budget error, and fleet clients must be ledger-bound",
+	Run: runBudgetFlow,
+}
+
+func runBudgetFlow(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil || !budgetflowPkgs[pass.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	if pass.Pkg.Name() == "main" {
+		return nil // entry points surface errors to the user, not a caller
+	}
+	isFleet := pass.PkgBase(pass.Pkg.Path()) == "fleet"
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		checkDiscardedCostErrors(pass, f)
+		checkCostPropagation(pass, f)
+		if isFleet {
+			checkLedgerBinding(pass, f)
+		}
+	}
+	return nil
+}
+
+// costCallee returns the first callee of call that (transitively)
+// incurs charged cost, or nil. Direct charged api.Client calls are
+// excluded — checkedcost owns those diagnostics.
+func costCallee(pass *Pass, call *ast.CallExpr) *Func {
+	if _, ok := chargedClientCall(pass.TypesInfo, call); ok {
+		return nil
+	}
+	for _, g := range pass.Prog.CalleesOf(call) {
+		if pass.Prog.SummaryOf(g).IncursCost {
+			return g
+		}
+	}
+	return nil
+}
+
+// callReturnsError reports whether call's last result is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+// checkDiscardedCostErrors flags statements that drop the error of a
+// transitively cost-incurring call.
+func checkDiscardedCostErrors(pass *Pass, f *Func) {
+	report := func(call *ast.CallExpr, g *Func, how string) {
+		pass.Reportf(call.Pos(),
+			"%s of %s, which (transitively) makes charged api.Client calls; api.ErrBudgetExhausted travels in that error and must propagate", how, g.Name())
+	}
+	inspectShallow(f.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && callReturnsError(pass.TypesInfo, call) {
+				if g := costCallee(pass, call); g != nil {
+					report(call, g, "discards the error")
+				}
+			}
+		case *ast.GoStmt:
+			if callReturnsError(pass.TypesInfo, st.Call) {
+				if g := costCallee(pass, st.Call); g != nil {
+					report(st.Call, g, "go statement discards the error")
+				}
+			}
+		case *ast.DeferStmt:
+			if callReturnsError(pass.TypesInfo, st.Call) {
+				if g := costCallee(pass, st.Call); g != nil {
+					report(st.Call, g, "defer discards the error")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !callReturnsError(pass.TypesInfo, call) {
+				return
+			}
+			last, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident)
+			if !ok || last.Name != "_" {
+				return
+			}
+			if g := costCallee(pass, call); g != nil {
+				report(call, g, "assigns the error to _")
+			}
+		}
+	})
+}
+
+// checkCostPropagation flags declared functions that incur cost but
+// have no channel to report budget exhaustion.
+func checkCostPropagation(pass *Pass, f *Func) {
+	if f.Obj == nil {
+		return // closures surface through their cost-checked callers
+	}
+	sum := pass.Prog.SummaryOf(f)
+	if !sum.IncursCost || sum.ReturnsError {
+		return
+	}
+	rs := f.Sig.Results()
+	for i := 0; i < rs.Len(); i++ {
+		if hasErrorField(rs.At(i).Type()) {
+			return // degraded-result channel (e.g. UnitResult.DegradedBy)
+		}
+	}
+	pass.Reportf(f.Pos(),
+		"%s (transitively) makes charged api.Client calls but has no way to propagate the budget error: add an error result or a degraded-result field", f.Name())
+}
+
+// hasErrorField reports whether t (or *t) is a struct with an
+// error-typed field — the degraded-result propagation channel.
+func hasErrorField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isErrorType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLedgerBinding flags api.NewClient calls in fleet functions that
+// never bind the client to the shared Ledger.
+func checkLedgerBinding(pass *Pass, f *Func) {
+	var newClientCalls []*ast.CallExpr
+	usesLedger := false
+	inspectShallow(f.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if isAPINewClient(pass.TypesInfo, call) {
+			newClientCalls = append(newClientCalls, call)
+		}
+		if _, ok := methodOnInfo(pass.TypesInfo, call, "api", "Client", map[string]bool{"UseLedger": true}); ok {
+			usesLedger = true
+		}
+	})
+	if usesLedger {
+		return
+	}
+	for _, call := range newClientCalls {
+		pass.Reportf(call.Pos(),
+			"fleet creates an api.Client without binding it to the shared Ledger (UseLedger); its charged calls would bypass Ledger.Reserve admission")
+	}
+}
+
+// isAPINewClient matches a call to api.NewClient (by package name, so
+// fixtures can stand in for internal/api).
+func isAPINewClient(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewClient" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "api"
+}

@@ -1,0 +1,520 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-program layer the interprocedural
+// analyzers (ctxflow, errsentinel, lockorder, budgetflow) run on: a
+// call graph over every package handed to NewProgram, with
+//
+//   - static calls resolved exactly through go/types (package
+//     functions, concrete methods, directly invoked closures),
+//   - interface dispatch resolved conservatively to every program
+//     method whose receiver implements the interface at the call site,
+//   - function values resolved conservatively to every address-taken
+//     program function (or closure) with an identical signature —
+//     class-hierarchy analysis for func pointers.
+//
+// A dynamic call that matches no address-taken candidate marks the
+// caller Unresolved; summary propagation treats such callers honestly
+// (the facts they already have stand, nothing is invented), and
+// DESIGN.md §11 records the soundness caveat.
+
+// Func is one function, method, or closure under program analysis.
+type Func struct {
+	// ID is the stable identity used by summaries and the fact cache:
+	// types.Func.FullName for declared functions and methods,
+	// "pkgpath.func@file:line:col" for closures.
+	ID string
+	// Pkg is the package the body lives in.
+	Pkg *Package
+	// Decl is the declaration (nil for closures).
+	Decl *ast.FuncDecl
+	// Lit is the closure literal (nil for declared functions).
+	Lit *ast.FuncLit
+	// Obj is the types object (nil for closures).
+	Obj *types.Func
+	// Sig is the function's signature.
+	Sig *types.Signature
+	// Body is the function body (nil for declarations without one).
+	Body *ast.BlockStmt
+
+	calls     []*callSite
+	addrTaken bool
+}
+
+// Name returns a human-readable name for diagnostics.
+func (f *Func) Name() string {
+	if f.Obj != nil {
+		return f.Obj.Name()
+	}
+	return "func literal"
+}
+
+// Pos returns the function's declaration position.
+func (f *Func) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// callSite is one call expression inside a Func body with its resolved
+// candidate callees.
+type callSite struct {
+	expr    *ast.CallExpr
+	callees []*Func
+	// dynamic marks calls through function values or interfaces.
+	dynamic bool
+	// unresolved marks dynamic calls with zero program candidates.
+	unresolved bool
+}
+
+// Program is the whole-program view shared by every interprocedural
+// analyzer: the packages, the call graph, and the converged summaries.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the analyzed packages, sorted by import path.
+	Pkgs []*Package
+	// Funcs are all program functions, sorted by ID.
+	Funcs []*Func
+
+	byID    map[string]*Func
+	byObj   map[*types.Func]*Func
+	byNode  map[ast.Node]*Func
+	callees map[*ast.CallExpr]*callSite
+
+	// Summaries maps Func.ID to the function's converged facts.
+	Summaries map[string]*Summary
+	// sentinels maps the package-level error objects ("var ErrX =
+	// errors.New...") of the program to their display names.
+	sentinels map[types.Object]string
+	// wrappedSentinels is the set of sentinel display names that are
+	// wrapped (fmt.Errorf %w) somewhere in the program; == against a
+	// wrapped sentinel is unsound anywhere.
+	wrappedSentinels map[string]bool
+	// lockEdges are the "held L while acquiring M" witnesses found by
+	// the post-fixpoint lock walk, sorted.
+	lockEdges []lockEdge
+}
+
+// lockEdge is one "lock From held while acquiring lock To" witness.
+type lockEdge struct {
+	From, To string
+	// Pos is the acquiring call's position; PkgPath the package whose
+	// analysis run should report it.
+	Pos     token.Pos
+	PkgPath string
+	// Via names the callee the acquisition flows through ("" when the
+	// Lock call is direct).
+	Via string
+}
+
+// NewProgram builds the call graph and runs summary propagation to a
+// fixpoint over the given packages.
+func NewProgram(pkgs []*Package) *Program {
+	return newProgram(pkgs, nil)
+}
+
+func newProgram(pkgs []*Package, cache *FactCache) *Program {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	p := &Program{
+		Pkgs:             sorted,
+		byID:             make(map[string]*Func),
+		byObj:            make(map[*types.Func]*Func),
+		byNode:           make(map[ast.Node]*Func),
+		callees:          make(map[*ast.CallExpr]*callSite),
+		Summaries:        make(map[string]*Summary),
+		sentinels:        make(map[types.Object]string),
+		wrappedSentinels: make(map[string]bool),
+	}
+	if len(sorted) > 0 {
+		p.Fset = sorted[0].Fset
+	}
+	p.collectFuncs()
+	p.collectSentinels()
+	p.resolveCalls()
+	p.computeSummaries(cache)
+	p.computeLockEdges()
+	return p
+}
+
+// FuncOf returns the program Func for a declared function object, or
+// nil if the object's body is outside the program.
+func (p *Program) FuncOf(obj *types.Func) *Func { return p.byObj[obj] }
+
+// FuncByID returns the program Func with the given ID, or nil.
+func (p *Program) FuncByID(id string) *Func { return p.byID[id] }
+
+// EnclosingFunc returns the program Func whose declaration or literal
+// is node, or nil.
+func (p *Program) EnclosingFunc(node ast.Node) *Func { return p.byNode[node] }
+
+// CalleesOf returns the resolved candidate callees of a call
+// expression (empty for calls leaving the program, e.g. into the
+// standard library).
+func (p *Program) CalleesOf(call *ast.CallExpr) []*Func {
+	if cs, ok := p.callees[call]; ok {
+		return cs.callees
+	}
+	return nil
+}
+
+// SummaryOf returns the converged summary for f (never nil for a
+// program Func).
+func (p *Program) SummaryOf(f *Func) *Summary {
+	if s, ok := p.Summaries[f.ID]; ok {
+		return s
+	}
+	return &Summary{}
+}
+
+// funcID derives the stable identity of a function.
+func funcID(fset *token.FileSet, pkg *Package, obj *types.Func, lit *ast.FuncLit) string {
+	if obj != nil {
+		return obj.FullName()
+	}
+	pos := fset.Position(lit.Pos())
+	return fmt.Sprintf("%s.func@%s:%d:%d", pkg.Path, filepath.Base(pos.Filename), pos.Line, pos.Column)
+}
+
+// collectFuncs creates a Func for every declared function/method with
+// a body and for every closure literal in every package.
+func (p *Program) collectFuncs() {
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				f := &Func{
+					ID:   funcID(pkg.Fset, pkg, obj, nil),
+					Pkg:  pkg,
+					Decl: fd,
+					Obj:  obj,
+					Sig:  obj.Type().(*types.Signature),
+					Body: fd.Body,
+				}
+				p.addFunc(fd, f)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				sig, _ := pkg.Info.Types[lit].Type.(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				f := &Func{
+					ID:   funcID(pkg.Fset, pkg, nil, lit),
+					Pkg:  pkg,
+					Lit:  lit,
+					Sig:  sig,
+					Body: lit.Body,
+				}
+				p.addFunc(lit, f)
+				return true
+			})
+		}
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool { return p.Funcs[i].ID < p.Funcs[j].ID })
+}
+
+func (p *Program) addFunc(node ast.Node, f *Func) {
+	p.Funcs = append(p.Funcs, f)
+	p.byID[f.ID] = f
+	p.byNode[node] = f
+	if f.Obj != nil {
+		p.byObj[f.Obj] = f
+	}
+}
+
+// collectSentinels records every package-level `var ErrX` of type
+// error as a sentinel the errsentinel analyzer protects.
+func (p *Program) collectSentinels() {
+	for _, pkg := range p.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !isErrorType(v.Type()) {
+				continue
+			}
+			p.sentinels[v] = pkg.Types.Name() + "." + name
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}
+
+// sigKey renders a receiver-less signature identity for conservative
+// function-value resolution: two functions are call-compatible when
+// their parameter and result type strings match.
+func sigKey(sig *types.Signature) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sig.Params().At(i).Type().String())
+	}
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	b.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sig.Results().At(i).Type().String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// resolveCalls builds every Func's outgoing call sites: first a
+// program-wide address-taken pass, then per-body resolution.
+func (p *Program) resolveCalls() {
+	// Pass 1: which expressions are the Fun of a call, and which
+	// functions are referenced as values (address-taken)?
+	callFuns := make(map[ast.Expr]bool)
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callFuns[unparen(call.Fun)] = true
+				}
+				return true
+			})
+		}
+	}
+	addrBySig := make(map[string][]*Func)
+	markTaken := func(f *Func, valueSig *types.Signature) {
+		if f == nil || f.addrTaken {
+			return
+		}
+		f.addrTaken = true
+		key := sigKey(valueSig)
+		addrBySig[key] = append(addrBySig[key], f)
+	}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.Ident:
+					obj, ok := pkg.Info.Uses[e].(*types.Func)
+					if !ok {
+						return true
+					}
+					f := p.byObj[obj]
+					if f == nil || callFuns[e] {
+						return true
+					}
+					// A method name inside a selector is handled via the
+					// selector expression below; a bare ident use of a
+					// package function is a value reference.
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+						markTaken(f, sig)
+					}
+				case *ast.SelectorExpr:
+					obj, ok := pkg.Info.Uses[e.Sel].(*types.Func)
+					if !ok || callFuns[e] {
+						return true
+					}
+					f := p.byObj[obj]
+					if f == nil {
+						return true
+					}
+					// Method value / method expression: the value's type is
+					// the receiver-less (or receiver-prefixed) signature.
+					if sig, ok := pkg.Info.Types[e].Type.(*types.Signature); ok {
+						markTaken(f, sig)
+					}
+				case *ast.FuncLit:
+					if f := p.byNode[e]; f != nil && !callFuns[e] {
+						markTaken(f, f.Sig)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, fs := range addrBySig {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+	}
+
+	// Pass 2: resolve each Func's own call expressions (closures own
+	// the calls inside their bodies, not their enclosing function).
+	for _, f := range p.Funcs {
+		body := f.Body
+		if body == nil {
+			continue
+		}
+		inspectShallow(body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			cs := p.resolveCall(f.Pkg, call, addrBySig)
+			if cs == nil {
+				return
+			}
+			f.calls = append(f.calls, cs)
+			p.callees[call] = cs
+		})
+	}
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// inspectShallow walks n without descending into nested closure
+// literals (whose statements belong to the closure's own Func).
+func inspectShallow(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			fn(n)
+			return false
+		}
+		fn(n)
+		return true
+	})
+}
+
+// resolveCall classifies one call expression. Calls that certainly
+// leave the program (standard library, type conversions, builtins)
+// return nil.
+func (p *Program) resolveCall(pkg *Package, call *ast.CallExpr, addrBySig map[string][]*Func) *callSite {
+	fun := unparen(call.Fun)
+
+	// Directly invoked closure.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if f := p.byNode[lit]; f != nil {
+			return &callSite{expr: call, callees: []*Func{f}}
+		}
+		return nil
+	}
+
+	// Type conversion?
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+
+	switch e := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[e].(type) {
+		case *types.Func:
+			if f := p.byObj[obj]; f != nil {
+				return &callSite{expr: call, callees: []*Func{f}}
+			}
+			return nil // external function
+		case *types.Builtin, *types.TypeName, nil:
+			return nil
+		default:
+			return p.dynamicSite(pkg, call, addrBySig)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				obj := sel.Obj().(*types.Func)
+				if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+					return p.interfaceSite(call, obj.Name(), iface)
+				}
+				if f := p.byObj[obj]; f != nil {
+					return &callSite{expr: call, callees: []*Func{f}}
+				}
+				return nil
+			case types.FieldVal:
+				return p.dynamicSite(pkg, call, addrBySig)
+			}
+			return nil
+		}
+		// Qualified call (pkg.Fn) or method on a package-level var.
+		switch obj := pkg.Info.Uses[e.Sel].(type) {
+		case *types.Func:
+			if f := p.byObj[obj]; f != nil {
+				return &callSite{expr: call, callees: []*Func{f}}
+			}
+			return nil
+		case *types.Var:
+			return p.dynamicSite(pkg, call, addrBySig)
+		}
+		return nil
+	default:
+		// Call of a call result, index expression, etc.: a function
+		// value of some shape.
+		return p.dynamicSite(pkg, call, addrBySig)
+	}
+}
+
+// dynamicSite resolves a function-value call to every address-taken
+// program function with an identical signature.
+func (p *Program) dynamicSite(pkg *Package, call *ast.CallExpr, addrBySig map[string][]*Func) *callSite {
+	tv, ok := pkg.Info.Types[unparen(call.Fun)]
+	if !ok {
+		return &callSite{expr: call, dynamic: true, unresolved: true}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	cands := addrBySig[sigKey(sig)]
+	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: len(cands) == 0}
+}
+
+// interfaceSite resolves an interface method call to every program
+// method of that name whose receiver type implements the interface.
+func (p *Program) interfaceSite(call *ast.CallExpr, name string, iface *types.Interface) *callSite {
+	var cands []*Func
+	for _, f := range p.Funcs {
+		if f.Obj == nil || f.Obj.Name() != name {
+			continue
+		}
+		recv := f.Sig.Recv()
+		if recv == nil {
+			continue
+		}
+		rt := recv.Type()
+		if types.Implements(rt, iface) {
+			cands = append(cands, f)
+			continue
+		}
+		if _, isPtr := rt.(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(rt), iface) {
+				cands = append(cands, f)
+			}
+		}
+	}
+	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: false}
+}

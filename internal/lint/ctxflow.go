@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflowPkgs are the package basenames whose charged call paths must
+// thread the caller's context.Context. These are the layers between
+// the public entry points (mba.Estimate, fleet.Run, experiment sweeps)
+// and the charged api.Client endpoints; a context minted or dropped in
+// the middle of that path severs deadline and cancellation propagation
+// from every walk the paper's cost model meters.
+var ctxflowPkgs = map[string]bool{
+	"mba": true, "core": true, "walk": true, "fleet": true, "experiments": true,
+}
+
+// CtxFlow is the interprocedural context-threading analyzer. Using the
+// whole-program summaries it enforces two rules on every function
+// whose call paths (transitively) reach a charged api.Client endpoint:
+//
+//  1. No context.Background()/context.TODO() below the top level. The
+//     only sanctioned use is the entry-point nil-default idiom
+//     `if ctx == nil { ctx = context.Background() }`, which keeps nil
+//     a valid Options zero value without severing a caller-supplied
+//     context.
+//  2. A function that receives a context.Context and incurs charged
+//     calls must actually use that context — a swallowed parameter
+//     looks cancellable at the call site but is not.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "charged call paths must thread the caller's context.Context; no " +
+		"context.Background()/TODO below the top level, no swallowed ctx params",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil || !ctxflowPkgs[pass.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	if pass.Pkg.Name() == "main" {
+		return nil // a main package IS the top level; Background is legal there
+	}
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		sum := prog.SummaryOf(f)
+		if !sum.IncursCost {
+			continue
+		}
+		if sum.ConsumesCtx && !sum.UsesCtx {
+			pass.Reportf(f.Pos(),
+				"%s receives a context.Context and (transitively) makes charged api.Client calls but never threads the context; cancellation and deadlines are silently severed here", f.Name())
+		}
+		reportFreshContexts(pass, f)
+	}
+	return nil
+}
+
+// reportFreshContexts flags context.Background()/context.TODO() calls
+// in f's body, excepting the nil-default guard idiom. ast.Inspect
+// calls the visitor with nil after a node's children, which maintains
+// the ancestor stack; nested closures are skipped (they are their own
+// Funcs and get their own walk).
+func reportFreshContexts(pass *Pass, f *Func) {
+	var stack []ast.Node
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // skipped without pushing: no pop callback follows
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := freshContextCall(pass.TypesInfo, call); ok && !isNilGuardedDefault(pass.TypesInfo, call, stack) {
+				pass.Reportf(call.Pos(),
+					"context.%s() on a charged call path severs the caller's cancellation and deadline; thread the ctx parameter (nil-default it only behind an `if ctx == nil` guard at the entry point)", name)
+			}
+		}
+		return true
+	})
+}
+
+// freshContextCall matches context.Background() / context.TODO().
+func freshContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Background" && name != "TODO" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || importedPkgPath(info, id) != "context" {
+		return "", false
+	}
+	return name, true
+}
+
+// isNilGuardedDefault recognizes the sanctioned entry-point idiom
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// i.e. the call is the sole RHS of an assignment to an existing
+// context variable, and that assignment sits under an if whose
+// condition tests the same variable against nil.
+func isNilGuardedDefault(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	var target types.Object
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.AssignStmt:
+			if target != nil {
+				continue
+			}
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 || unparen(n.Rhs[0]) != call {
+				return false
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			target = info.Uses[id]
+			if target == nil {
+				target = info.Defs[id]
+			}
+			if target == nil {
+				return false
+			}
+		case *ast.IfStmt:
+			if target == nil {
+				continue
+			}
+			if cond, ok := unparen(n.Cond).(*ast.BinaryExpr); ok && nilCheckOf(info, cond, target) {
+				return true
+			}
+		case *ast.FuncLit:
+			return false // guard must be in the same function as the call
+		}
+	}
+	return false
+}
+
+// nilCheckOf reports whether cond is `v == nil` or `nil == v`.
+func nilCheckOf(info *types.Info, cond *ast.BinaryExpr, v types.Object) bool {
+	if cond.Op.String() != "==" {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == v
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	return (matches(cond.X) && isNil(cond.Y)) || (matches(cond.Y) && isNil(cond.X))
+}

@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// renderRun loads the violation-rich fixture packages with a fresh
+// loader, runs the full analyzer suite, and renders every diagnostic
+// to one canonical byte stream (the same shape mba-lint -json emits:
+// one JSON object per line).
+func renderRun(t *testing.T) []byte {
+	t.Helper()
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	targets := []string{
+		"ctxflow/core", "errsentinel", "lockorder",
+		"budgetflow/core", "budgetflow/fleet", "recursion",
+	}
+	var pkgs []*lint.Package
+	for _, p := range targets {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := lint.NewProgram(loader.Loaded())
+	var buf bytes.Buffer
+	for _, pkg := range pkgs {
+		for _, a := range lint.Interprocedural() {
+			diags, err := lint.RunAnalyzer(a, pkg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				line, err := json.Marshal(map[string]any{
+					"analyzer": d.Analyzer,
+					"file":     filepath.Base(d.Pos.Filename),
+					"line":     d.Pos.Line,
+					"column":   d.Pos.Column,
+					"message":  d.Message,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf.Write(line)
+				buf.WriteByte('\n')
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTwoRunByteIdentical rebuilds the whole program from scratch and
+// re-runs every interprocedural analyzer; the rendered diagnostics of
+// the two runs must be byte-identical. This is the determinism gate:
+// map-iteration order must never leak into output.
+func TestTwoRunByteIdentical(t *testing.T) {
+	run1 := renderRun(t)
+	run2 := renderRun(t)
+	if len(run1) == 0 {
+		t.Fatal("fixture run produced no diagnostics; the determinism check is vacuous")
+	}
+	if !bytes.Equal(run1, run2) {
+		t.Errorf("two identical runs rendered different bytes:\nrun1:\n%s\nrun2:\n%s", run1, run2)
+	}
+}
+
+// TestDiagnosticOrderStable: the suite's sort is total, so diagnostics
+// come out ordered by file, line, column, analyzer even when analyzers
+// emit them in another order.
+func TestDiagnosticOrderStable(t *testing.T) {
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("errsentinel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAll(lint.All(), []*lint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Analyzer)
+		kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Analyzer)
+		if ka > kb {
+			t.Errorf("diagnostics out of order at %d: %v then %v", i, a, b)
+		}
+	}
+}

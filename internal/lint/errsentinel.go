@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrSentinel enforces the sentinel-error discipline the retry,
+// checkpoint, and fleet layers depend on. The program's sentinels
+// (every package-level `var ErrX` of type error) cross many wrapping
+// layers — fmt.Errorf("%w", ...) at each hop — so:
+//
+//  1. wrapping must use %w, never %v/%s (a %v flattens the chain and
+//     errors.Is stops matching downstream);
+//  2. tests must use errors.Is, never == or != (identity comparison
+//     can never match a wrapped chain) or switch-on-error;
+//  3. never string matching on err.Error() — messages are not API.
+//
+// The whole-program summaries tell the analyzer which sentinels are
+// wrapped somewhere in the program, making the == diagnosis concrete:
+// the comparison is not merely in poor taste, it is dead code on every
+// wrapped path.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "sentinel errors must be wrapped with %w and tested with errors.Is; " +
+		"==/!=, switch-on-error, and string matching cannot see wrapped chains",
+	Run: runErrSentinel,
+}
+
+func runErrSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, x)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrWrap(pass, x)
+				checkErrStringMatch(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errAssignTarget is the universe error type, the assignability target
+// for "is this expression an error".
+var errAssignTarget = types.Universe.Lookup("error").Type()
+
+// isErrorExpr reports whether e has a static type assignable to error
+// and is not the nil literal (err == nil is the one legitimate
+// identity test).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if id, ok := unparen(e).(*ast.Ident); ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil") {
+		return false
+	}
+	tv, ok := info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.AssignableTo(tv.Type, errAssignTarget)
+}
+
+// errorCallOn matches `x.Error()` on an error-typed x, the
+// string-matching escape hatch.
+func errorCallOn(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorExpr(info, sel.X)
+}
+
+// checkErrCompare flags ==/!= between two non-nil errors, and string
+// comparison against err.Error().
+func checkErrCompare(pass *Pass, x *ast.BinaryExpr) {
+	if x.Op != token.EQL && x.Op != token.NEQ {
+		return
+	}
+	if errorCallOn(pass.TypesInfo, x.X) || errorCallOn(pass.TypesInfo, x.Y) {
+		pass.Reportf(x.OpPos,
+			"error matched by comparing Error() strings; messages are not API — use errors.Is against the sentinel")
+		return
+	}
+	if !isErrorExpr(pass.TypesInfo, x.X) || !isErrorExpr(pass.TypesInfo, x.Y) {
+		return
+	}
+	pass.Reportf(x.OpPos, "%s", identityCompareMessage(pass, x.X, x.Y))
+}
+
+// identityCompareMessage names the sentinel when one side is one, and
+// strengthens the message when that sentinel is wrapped somewhere in
+// the program (the comparison is then provably dead on wrapped paths).
+func identityCompareMessage(pass *Pass, lhs, rhs ast.Expr) string {
+	name := sentinelNameOfEither(pass, lhs, rhs)
+	if name == "" {
+		return "errors compared with ==/!=; identity can never match a wrapped chain — use errors.Is"
+	}
+	if pass.Prog != nil && pass.Prog.SentinelWrapped(name) {
+		return name + " is wrapped with %w elsewhere in the program, so this ==/!= can never match the wrapped chain; use errors.Is"
+	}
+	return name + " compared with ==/!=; sentinels must be tested with errors.Is so wrapping stays transparent"
+}
+
+func sentinelNameOfEither(pass *Pass, exprs ...ast.Expr) string {
+	if pass.Prog == nil {
+		return ""
+	}
+	pkg := pass.progPackage()
+	if pkg == nil {
+		return ""
+	}
+	for _, e := range exprs {
+		if name, ok := pass.Prog.SentinelName(pkg, e); ok {
+			return name
+		}
+	}
+	return ""
+}
+
+// progPackage finds the Program's Package for the pass's types package.
+func (p *Pass) progPackage() *Package {
+	if p.Prog == nil {
+		return nil
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		if pkg.Types == p.Pkg {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// checkErrSwitch flags `switch err { case ErrX: ... }`.
+func checkErrSwitch(pass *Pass, x *ast.SwitchStmt) {
+	if x.Tag == nil || !isErrorExpr(pass.TypesInfo, x.Tag) {
+		return
+	}
+	for _, stmt := range x.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isErrorExpr(pass.TypesInfo, e) {
+				pass.Reportf(e.Pos(),
+					"switch on error identity can never match a wrapped chain; use if/else with errors.Is")
+			}
+		}
+	}
+}
+
+// checkErrWrap flags fmt.Errorf formatting an error argument with a
+// verb other than %w.
+func checkErrWrap(pass *Pass, call *ast.CallExpr) {
+	format, args, ok := errorfCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	verbs := fmtVerbs(format)
+	for i, arg := range args {
+		if i >= len(verbs) || verbs[i] == 'w' || verbs[i] == '*' {
+			continue
+		}
+		if !isErrorExpr(pass.TypesInfo, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error %s formatted with %%%c flattens the chain; wrap with %%w so callers can errors.Is the sentinel", types.ExprString(arg), verbs[i])
+	}
+}
+
+// stringMatchFuncs are the strings-package predicates that must not be
+// applied to err.Error().
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+// checkErrStringMatch flags strings.Contains(err.Error(), ...) and
+// friends.
+func checkErrStringMatch(pass *Pass, call *ast.CallExpr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !stringMatchFuncs[sel.Sel.Name] {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || importedPkgPath(pass.TypesInfo, id) != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if errorCallOn(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(),
+				"error matched with strings.%s on Error() output; messages are not API — use errors.Is against the sentinel", sel.Sel.Name)
+			return
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// factCacheVersion invalidates every cached entry when the summary
+// lattice or extraction semantics change.
+const factCacheVersion = 1
+
+// FactCache memoizes per-package function summaries keyed by a content
+// hash, so a repo-wide mba-lint run only recomputes the interprocedural
+// fixpoint for packages whose sources (or whose dependencies' sources)
+// changed.
+//
+// Soundness of the key: a package's hash covers its own file contents,
+// the hashes of its in-program imports (recursively), and — for
+// packages that make dynamic calls (function values, interface
+// dispatch) — the program's whole "dynamic surface": the IDs and
+// defining-package hashes of every address-taken function. Dynamic
+// callees need not be imported by the caller, so without that last
+// component a cached caller could keep facts from a deleted callee.
+type FactCache struct {
+	path    string
+	entries map[string]*factCacheEntry
+	hashes  map[string]string // pkg path -> content hash, memoized
+	dynHash string
+	// Hits and Misses count lookups, for tests and -v reporting.
+	Hits, Misses int
+}
+
+type factCacheEntry struct {
+	Hash  string                    `json:"hash"`
+	Funcs map[string]*cachedSummary `json:"funcs"`
+}
+
+type cachedSummary struct {
+	IncursCost   bool     `json:"cost,omitempty"`
+	ConsumesCtx  bool     `json:"ctx,omitempty"`
+	UsesCtx      bool     `json:"ctxUsed,omitempty"`
+	Spawns       bool     `json:"spawns,omitempty"`
+	DrawsRand    bool     `json:"rand,omitempty"`
+	ReturnsError bool     `json:"err,omitempty"`
+	Unresolved   bool     `json:"unresolved,omitempty"`
+	Acquires     []string `json:"acquires,omitempty"`
+	Sentinels    []string `json:"sentinels,omitempty"`
+}
+
+type factCacheFile struct {
+	Version  int                        `json:"version"`
+	Packages map[string]*factCacheEntry `json:"packages"`
+}
+
+// OpenFactCache loads the cache at path (a missing or corrupt file
+// yields an empty cache; the cache is an accelerator, never a gate).
+func OpenFactCache(path string) *FactCache {
+	c := &FactCache{path: path, entries: map[string]*factCacheEntry{}, hashes: map[string]string{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f factCacheFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != factCacheVersion {
+		return c
+	}
+	if f.Packages != nil {
+		c.entries = f.Packages
+	}
+	return c
+}
+
+// Save writes the cache back to its path.
+func (c *FactCache) Save() error {
+	if c.path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o777); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(factCacheFile{Version: factCacheVersion, Packages: c.entries}, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path, append(data, '\n'), 0o666)
+}
+
+// pkgHash computes (and memoizes) the content hash of one program
+// package: its own sources plus its in-program imports' hashes.
+func (c *FactCache) pkgHash(p *Program, pkg *Package) string {
+	if h, ok := c.hashes[pkg.Path]; ok {
+		return h
+	}
+	c.hashes[pkg.Path] = "" // cycle guard; Go packages cannot cycle, but stay safe
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n%s\n", factCacheVersion, pkg.Path)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		fmt.Fprintf(h, "file %s\n", filepath.Base(name))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(h, "unreadable %v\n", err)
+			continue
+		}
+		h.Write(data)
+	}
+	// Imports that are themselves under analysis.
+	byPath := map[string]*Package{}
+	for _, q := range p.Pkgs {
+		byPath[q.Path] = q
+	}
+	var deps []string
+	for _, imp := range pkg.Types.Imports() {
+		if _, ok := byPath[imp.Path()]; ok {
+			deps = append(deps, imp.Path())
+		}
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(h, "dep %s %s\n", d, c.pkgHash(p, byPath[d]))
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.hashes[pkg.Path] = sum
+	return sum
+}
+
+// dynamicHash hashes the program's address-taken surface.
+func (c *FactCache) dynamicHash(p *Program) string {
+	if c.dynHash != "" {
+		return c.dynHash
+	}
+	h := sha256.New()
+	for _, f := range p.Funcs {
+		if f.addrTaken {
+			fmt.Fprintf(h, "%s %s\n", f.ID, c.pkgHash(p, f.Pkg))
+		}
+	}
+	c.dynHash = hex.EncodeToString(h.Sum(nil))
+	return c.dynHash
+}
+
+// key is the full cache key of a package within a program.
+func (c *FactCache) key(p *Program, pkg *Package) string {
+	k := c.pkgHash(p, pkg)
+	if pkgMakesDynamicCalls(p, pkg) {
+		k += ":" + c.dynamicHash(p)
+	}
+	return k
+}
+
+func pkgMakesDynamicCalls(p *Program, pkg *Package) bool {
+	for _, f := range p.Funcs {
+		if f.Pkg != pkg {
+			continue
+		}
+		for _, cs := range f.calls {
+			if cs.dynamic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lookup returns the cached summaries for pkg if its key matches.
+func (c *FactCache) lookup(p *Program, pkg *Package) (map[string]*Summary, bool) {
+	e, ok := c.entries[pkg.Path]
+	if !ok || e.Hash != c.key(p, pkg) {
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	out := make(map[string]*Summary, len(e.Funcs))
+	for id, cs := range e.Funcs {
+		s := newSummary()
+		s.IncursCost = cs.IncursCost
+		s.ConsumesCtx = cs.ConsumesCtx
+		s.UsesCtx = cs.UsesCtx
+		s.Spawns = cs.Spawns
+		s.DrawsRand = cs.DrawsRand
+		s.ReturnsError = cs.ReturnsError
+		s.Unresolved = cs.Unresolved
+		for _, a := range cs.Acquires {
+			s.Acquires[a] = true
+		}
+		for _, a := range cs.Sentinels {
+			s.Sentinels[a] = true
+		}
+		out[id] = s
+	}
+	return out, true
+}
+
+// store records pkg's converged summaries under its current key.
+func (c *FactCache) store(p *Program, pkg *Package) {
+	e := &factCacheEntry{Hash: c.key(p, pkg), Funcs: map[string]*cachedSummary{}}
+	for _, f := range p.Funcs {
+		if f.Pkg != pkg {
+			continue
+		}
+		s, ok := p.Summaries[f.ID]
+		if !ok {
+			continue
+		}
+		e.Funcs[f.ID] = &cachedSummary{
+			IncursCost:   s.IncursCost,
+			ConsumesCtx:  s.ConsumesCtx,
+			UsesCtx:      s.UsesCtx,
+			Spawns:       s.Spawns,
+			DrawsRand:    s.DrawsRand,
+			ReturnsError: s.ReturnsError,
+			Unresolved:   s.Unresolved,
+			Acquires:     s.AcquiresSorted(),
+			Sentinels:    s.SentinelsSorted(),
+		}
+	}
+	c.entries[pkg.Path] = e
+}
+
+// NewProgramCached builds a Program reusing summaries from the cache
+// for unchanged packages, then stores the refreshed entries (call
+// Save to persist them).
+func NewProgramCached(pkgs []*Package, cache *FactCache) *Program {
+	return newProgram(pkgs, cache)
+}

@@ -1,0 +1,87 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// cachedFixtureProgram builds the fixture program through the given
+// fact cache, using a fresh loader each time so nothing is shared
+// between builds except the cache file.
+func cachedFixtureProgram(t *testing.T, cache *lint.FactCache, paths ...string) *lint.Program {
+	t.Helper()
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	for _, p := range paths {
+		if _, err := loader.Load(p); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+	return lint.NewProgramCached(loader.Loaded(), cache)
+}
+
+// TestFactCacheRoundTrip builds the same program twice through a
+// shared cache file: the first build must miss and populate, the
+// second must hit for every package — and both must converge to the
+// same summaries.
+func TestFactCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "factcache.json")
+	targets := []string{"ctxflow/core", "lockorder", "recursion"}
+
+	cold := lint.OpenFactCache(path)
+	prog1 := cachedFixtureProgram(t, cold, targets...)
+	if cold.Misses == 0 {
+		t.Error("cold cache reported no misses")
+	}
+	if cold.Hits != 0 {
+		t.Errorf("cold cache reported %d hits", cold.Hits)
+	}
+	if err := cold.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := lint.OpenFactCache(path)
+	prog2 := cachedFixtureProgram(t, warm, targets...)
+	if warm.Hits == 0 {
+		t.Error("warm cache reported no hits")
+	}
+	if warm.Misses != 0 {
+		t.Errorf("warm cache reported %d misses on unchanged sources", warm.Misses)
+	}
+
+	// Cached facts must be indistinguishable from recomputed ones.
+	for _, id := range []string{
+		"ctxflow/core.BadFresh", "ctxflow/core.threaded", "ctxflow/core.Free",
+		"lockorder.cThenB", "recursion.even", "(*api.Client).Search",
+	} {
+		f1, f2 := prog1.FuncByID(id), prog2.FuncByID(id)
+		if f1 == nil || f2 == nil {
+			t.Fatalf("Func %q missing from one of the builds", id)
+		}
+		s1, s2 := prog1.SummaryOf(f1), prog2.SummaryOf(f2)
+		if s1.IncursCost != s2.IncursCost || s1.ConsumesCtx != s2.ConsumesCtx ||
+			s1.UsesCtx != s2.UsesCtx || s1.ReturnsError != s2.ReturnsError {
+			t.Errorf("%s: cached summary diverges: cold=%+v warm=%+v", id, s1, s2)
+		}
+		a1, a2 := s1.AcquiresSorted(), s2.AcquiresSorted()
+		if len(a1) != len(a2) {
+			t.Errorf("%s: acquires diverge: cold=%v warm=%v", id, a1, a2)
+		}
+	}
+}
+
+// TestFactCacheCorruptFileIsEmpty: a corrupt cache file degrades to an
+// empty cache instead of failing the run.
+func TestFactCacheCorruptFileIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "factcache.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cache := lint.OpenFactCache(path)
+	cachedFixtureProgram(t, cache, "recursion")
+	if cache.Hits != 0 || cache.Misses == 0 {
+		t.Errorf("corrupt cache should behave as empty: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+}

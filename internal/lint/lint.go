@@ -6,6 +6,17 @@
 // deterministic map iteration wherever order can leak into artifacts,
 // and compensated float accumulation in estimator hot paths.
 //
+// Since PR 5 the suite has two layers. The original analyzers are
+// AST-local: they inspect one package at a time. On top of them sits a
+// whole-program layer (callgraph.go, summary.go): a call graph over
+// every analyzed package and per-function summaries computed bottom-up
+// with fixpoint iteration over call-graph SCCs. Four analyzers consume
+// the summaries — ctxflow (context threading to every charged call),
+// errsentinel (sentinel errors wrapped with %w and tested with
+// errors.Is only), lockorder (a global mutex-acquisition order, i.e.
+// static deadlock freedom), and budgetflow (interprocedural budget
+// error propagation and ledger admission).
+//
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic) but is built purely on the standard
 // library's go/ast and go/types, because this repository vendors no
@@ -42,6 +53,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-program view (call graph + summaries) shared
+	// by every package of the run. Interprocedural analyzers consult
+	// it; AST-local analyzers ignore it. Nil only when an analyzer is
+	// run outside RunAll/RunAnalyzer (never through the public API).
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -78,10 +94,7 @@ func (p *Pass) PkgBase(pkgPath string) string {
 // ImportedPkgPath resolves id to the import path of the package it
 // names, or "" if id is not a package qualifier.
 func (p *Pass) ImportedPkgPath(id *ast.Ident) string {
-	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
-		return pn.Imported().Path()
-	}
-	return ""
+	return importedPkgPath(p.TypesInfo, id)
 }
 
 // namedRecv unwraps pointers and returns the named receiver type of a
@@ -99,83 +112,144 @@ func namedRecv(t types.Type) *types.Named {
 // receiver). Matching is by package *name*, not path, so analysistest
 // fixtures can stand in for the real internal/api package.
 func (p *Pass) MethodOn(call *ast.CallExpr, pkgName, typeName string, methods map[string]bool) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	if !methods[sel.Sel.Name] {
-		return "", false
-	}
-	s := p.TypesInfo.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return "", false
-	}
-	n := namedRecv(s.Recv())
-	if n == nil || n.Obj().Pkg() == nil {
-		return "", false
-	}
-	if n.Obj().Name() != typeName || n.Obj().Pkg().Name() != pkgName {
-		return "", false
-	}
-	return sel.Sel.Name, true
+	return methodOnInfo(p.TypesInfo, call, pkgName, typeName, methods)
 }
 
-// ignoreDirective matches "lint:ignore <name>[ reason]" and
-// "lint:ignore all[ reason]" inside a comment.
-var ignoreDirective = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)`)
+// ignoreDirective matches "lint:ignore <name> <reason>" (and
+// "lint:ignore all <reason>") inside a comment. The reason is
+// mandatory; a reasonless directive suppresses nothing and is itself
+// reported by the lintdirective analyzer.
+var ignoreDirective = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(?:\s+(.*\S))?\s*$`)
 
-// ignoresFor maps line -> set of analyzer names suppressed on that
-// line. A directive suppresses diagnostics on its own line (trailing
-// comment) and on the line immediately below (comment above the
-// statement).
-func ignoresFor(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
-	out := make(map[int]map[string]bool)
-	add := func(line, span int, name string) {
-		for l := line; l <= line+span; l++ {
-			if out[l] == nil {
-				out[l] = make(map[string]bool)
+// ignoreRule suppresses one analyzer (or "all") over the line range of
+// exactly one statement or declaration.
+type ignoreRule struct {
+	name       string
+	start, end int
+}
+
+// badDirective is a rejected lint:ignore directive: missing its reason
+// or not attached to a statement.
+type badDirective struct {
+	pos  token.Pos
+	text string
+	why  string
+}
+
+// anchorSpan is the source-line range of one suppressible node.
+type anchorSpan struct{ start, end int }
+
+// ignoreRulesFor parses the lint:ignore directives of one file. A
+// directive applies to exactly the immediately following statement or
+// declaration (or, as a trailing comment, to the statement on its own
+// line) — never to the rest of the file. Directives without a reason
+// or without a following statement are returned as badDirectives and
+// suppress nothing.
+func ignoreRulesFor(fset *token.FileSet, f *ast.File) ([]ignoreRule, []badDirective) {
+	line := func(p token.Pos) int { return fset.Position(p).Line }
+
+	// Collect the line spans of every suppressible anchor: statements
+	// (except bare blocks) and declarations. A FuncDecl anchors only
+	// its signature lines — a directive above a function must not
+	// blanket the whole body.
+	var anchors []anchorSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			end := d.End()
+			if d.Body != nil {
+				end = d.Body.Lbrace
 			}
-			out[l][name] = true
+			anchors = append(anchors, anchorSpan{line(d.Pos()), line(end)})
+		case *ast.GenDecl:
+			anchors = append(anchors, anchorSpan{line(d.Pos()), line(d.End())})
+		case *ast.BlockStmt:
+			// A bare block is not an anchor; its statements are.
+		case ast.Stmt:
+			anchors = append(anchors, anchorSpan{line(n.Pos()), line(n.End())})
 		}
-	}
+		return true
+	})
+
+	var rules []ignoreRule
+	var bad []badDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := ignoreDirective.FindStringSubmatch(c.Text)
 			if m == nil {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
-			add(line, 1, m[1])
+			if m[2] == "" {
+				bad = append(bad, badDirective{pos: c.Pos(), text: c.Text,
+					why: "missing reason: write //lint:ignore <analyzer> <reason>"})
+				continue
+			}
+			l := line(c.Pos())
+			target, ok := anchorAt(anchors, l)
+			if !ok {
+				target, ok = anchorAt(anchors, l+1)
+			}
+			if !ok {
+				bad = append(bad, badDirective{pos: c.Pos(), text: c.Text,
+					why: "does not precede a statement; it suppresses exactly the next statement, never the rest of the file"})
+				continue
+			}
+			rules = append(rules, ignoreRule{name: m[1], start: target.start, end: target.end})
 		}
 	}
-	return out
+	return rules, bad
 }
 
-// RunAnalyzer applies a to pkg and returns the surviving diagnostics
-// (ignore directives already filtered), sorted by position.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// anchorAt picks the widest anchor starting on the given line, so a
+// directive above a multi-line statement covers that whole statement.
+func anchorAt(anchors []anchorSpan, start int) (anchorSpan, bool) {
+	best, found := anchorSpan{}, false
+	for _, a := range anchors {
+		if a.start != start {
+			continue
+		}
+		if !found || a.end > best.end {
+			best, found = a, true
+		}
+	}
+	return best, found
+}
+
+// suppressed reports whether a rule set silences d.
+func suppressed(rules []ignoreRule, d Diagnostic) bool {
+	for _, r := range rules {
+		if (r.name == d.Analyzer || r.name == "all") && r.start <= d.Pos.Line && d.Pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzer applies a to pkg under the whole-program view prog and
+// returns the surviving diagnostics (ignore directives already
+// filtered), sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Prog:      prog,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	ignores := make(map[string]map[int]map[string]bool)
+	rulesByFile := make(map[string][]ignoreRule)
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
-		ignores[name] = ignoresFor(pkg.Fset, f)
+		rules, _ := ignoreRulesFor(pkg.Fset, f)
+		rulesByFile[name] = rules
 	}
 	var kept []Diagnostic
 	for _, d := range pass.diags {
-		byLine := ignores[d.Pos.Filename]
-		if byLine != nil {
-			if set := byLine[d.Pos.Line]; set != nil && (set[d.Analyzer] || set["all"]) {
-				continue
-			}
+		if suppressed(rulesByFile[d.Pos.Filename], d) {
+			continue
 		}
 		kept = append(kept, d)
 	}
@@ -183,12 +257,19 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return kept, nil
 }
 
-// RunAll applies every analyzer in as to every package in pkgs.
+// RunAll builds the whole-program view over pkgs and applies every
+// analyzer in as to every package.
 func RunAll(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunAllProgram(as, pkgs, NewProgram(pkgs))
+}
+
+// RunAllProgram is RunAll with a caller-supplied Program (so the
+// driver can reuse a fact cache).
+func RunAllProgram(as []*Analyzer, pkgs []*Package, prog *Program) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range as {
-			ds, err := RunAnalyzer(a, pkg)
+			ds, err := RunAnalyzer(a, pkg, prog)
 			if err != nil {
 				return nil, err
 			}
@@ -199,6 +280,8 @@ func RunAll(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	return all, nil
 }
 
+// sortDiagnostics orders diagnostics for byte-identical output across
+// runs: path, line, column, analyzer, then message.
 func sortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		if ds[i].Pos.Filename != ds[j].Pos.Filename {
@@ -210,21 +293,56 @@ func sortDiagnostics(ds []Diagnostic) {
 		if ds[i].Pos.Column != ds[j].Pos.Column {
 			return ds[i].Pos.Column < ds[j].Pos.Column
 		}
-		return ds[i].Analyzer < ds[j].Analyzer
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
 	})
+}
+
+// LintDirective rejects malformed //lint:ignore directives: a
+// directive must carry a reason and must immediately precede (or
+// trail) the single statement it suppresses. Rejected directives
+// suppress nothing, so a typo cannot silently disable an analyzer.
+var LintDirective = &Analyzer{
+	Name: "lintdirective",
+	Doc: "require //lint:ignore directives to carry a reason and to attach to " +
+		"exactly one statement",
+	Run: runLintDirective,
+}
+
+func runLintDirective(pass *Pass) error {
+	for _, f := range pass.Files {
+		_, bad := ignoreRulesFor(pass.Fset, f)
+		for _, b := range bad {
+			pass.Reportf(b.pos, "rejected lint:ignore directive (%s): %s", b.why, b.text)
+		}
+	}
+	return nil
 }
 
 // All returns the full mba-lint suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		BudgetFlow,
 		BudgetSafe,
 		CheckedCost,
+		CtxFlow,
 		DetRange,
+		ErrSentinel,
 		FloatSum,
 		GoSpawn,
+		LintDirective,
+		LockOrder,
 		NoRawRand,
 		NoWallClock,
 	}
+}
+
+// Interprocedural returns just the summary-driven analyzers added by
+// the whole-program layer.
+func Interprocedural() []*Analyzer {
+	return []*Analyzer{BudgetFlow, CtxFlow, ErrSentinel, LockOrder}
 }
 
 // ByName returns the named analyzer, or nil.

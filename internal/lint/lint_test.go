@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mba/internal/lint"
@@ -36,6 +37,46 @@ func TestGoSpawn(t *testing.T) {
 	linttest.Run(t, "testdata", lint.GoSpawn, "gospawn", "gospawn/fleet")
 }
 
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow, "ctxflow/core")
+}
+
+func TestErrSentinel(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ErrSentinel, "errsentinel", "ignorescope")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockOrder, "lockorder")
+}
+
+func TestBudgetFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BudgetFlow, "budgetflow/core", "budgetflow/fleet")
+}
+
+// TestLintDirective checks rejection of malformed lint:ignore
+// directives directly (the diagnostics land on the directive lines
+// themselves, where a `// want` comment cannot sit).
+func TestLintDirective(t *testing.T) {
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("lintdirective")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzer(lint.LintDirective, pkg, lint.NewProgram(loader.Loaded()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if want := "missing reason"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("first diagnostic %q does not mention %q", diags[0].Message, want)
+	}
+	if want := "does not precede a statement"; !strings.Contains(diags[1].Message, want) {
+		t.Errorf("second diagnostic %q does not mention %q", diags[1].Message, want)
+	}
+}
+
 // TestSuiteCleanOnRepo runs the entire mba-lint suite over this module
 // and requires zero diagnostics, making `go test` itself enforce the
 // determinism/accounting/virtual-time invariants the analyzers encode.
@@ -61,6 +102,19 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+
+	// The committed baseline must carry no debt for the interprocedural
+	// analyzers: they shipped clean, and the ratchet keeps them clean.
+	base, err := lint.LoadBaseline(filepath.Join(root, ".mba-lint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range base.Entries {
+		switch e.Analyzer {
+		case "budgetflow", "ctxflow", "errsentinel", "lockorder":
+			t.Errorf("committed baseline carries %s debt: %+v", e.Analyzer, e)
+		}
 	}
 }
 

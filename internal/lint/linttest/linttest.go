@@ -32,13 +32,25 @@ type expectation struct {
 func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	loader := lint.NewFixtureLoader(filepath.Join(dir, "src"))
+	pkgs := make(map[string]*lint.Package, len(pkgPaths))
 	for _, path := range pkgPaths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
 			continue
 		}
-		diags, err := lint.RunAnalyzer(a, pkg)
+		pkgs[path] = pkg
+	}
+	// The whole-program view spans every loaded fixture package,
+	// including transitively loaded dependencies, so interprocedural
+	// analyzers see the same shape they would on the real module.
+	prog := lint.NewProgram(loader.Loaded())
+	for _, path := range pkgPaths {
+		pkg, ok := pkgs[path]
+		if !ok {
+			continue
+		}
+		diags, err := lint.RunAnalyzer(a, pkg, prog)
 		if err != nil {
 			t.Errorf("%s: running on %s: %v", a.Name, path, err)
 			continue

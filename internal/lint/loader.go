@@ -123,6 +123,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	_, imp := stdImporter()
 	stdMu.Lock()
 	defer stdMu.Unlock()
+	//lint:ignore lockorder imp is always the srcimporter, never a Loader; the conservative interface dispatch over-approximates here
 	return imp.Import(path)
 }
 
@@ -175,7 +176,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
 	}
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
@@ -183,6 +184,19 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// Loaded returns every package this loader has type-checked so far —
+// requested targets and their in-module (or in-fixture-tree)
+// dependencies — sorted by import path. This is the package set a
+// whole-program analysis should cover.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // goFilesIn lists the buildable non-test Go files of dir, sorted.

@@ -1,0 +1,117 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// writeTree materializes a file map under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderMissingGoMod(t *testing.T) {
+	if _, err := lint.NewModuleLoader(t.TempDir()); err == nil {
+		t.Fatal("NewModuleLoader on an empty dir should fail")
+	}
+}
+
+func TestLoaderNoModuleDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "go 1.22\n"})
+	if _, err := lint.NewModuleLoader(root); err == nil || !strings.Contains(err.Error(), "module directive") {
+		t.Fatalf("want a module-directive error, got %v", err)
+	}
+}
+
+func TestLoaderUnparseableFile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module broken\n\ngo 1.22\n",
+		"bad/a.go": "package bad\n\nfunc }{ nope\n",
+		"ok/ok.go": "package ok\n",
+	})
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("broken/bad"); err == nil {
+		t.Fatal("loading a package with a syntax error should fail")
+	}
+	// The parse failure of one package must not poison others.
+	if _, err := loader.Load("broken/ok"); err != nil {
+		t.Fatalf("sibling package should still load: %v", err)
+	}
+}
+
+func TestLoaderTypeCheckFailure(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module broken\n\ngo 1.22\n",
+		"bad/a.go": "package bad\n\nfunc f() int { return undefinedIdent }\n",
+	})
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load("broken/bad")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want a type-checking error, got %v", err)
+	}
+}
+
+func TestLoaderMissingPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module broken\n\ngo 1.22\n"})
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("broken/nope"); err == nil {
+		t.Fatal("loading a nonexistent package should fail")
+	}
+	if _, err := loader.Load("othermodule/pkg"); err == nil {
+		t.Fatal("loading a path outside the module should fail")
+	}
+}
+
+func TestLoaderEmptyPackageDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":           "module broken\n\ngo 1.22\n",
+		"empty/a_test.go":  "package empty\n",
+		"empty/.hidden.go": "package empty\n",
+	})
+	loader, err := lint.NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load("broken/empty")
+	if err == nil || !strings.Contains(err.Error(), "no non-test Go files") {
+		t.Fatalf("want a no-files error, got %v", err)
+	}
+}
+
+func TestLoaderLoadedCoversDependencies(t *testing.T) {
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	if _, err := loader.Load("ctxflow/core"); err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, pkg := range loader.Loaded() {
+		paths[pkg.Path] = true
+	}
+	if !paths["ctxflow/core"] || !paths["api"] {
+		t.Fatalf("Loaded() = %v, want the target and its fixture dependency api", paths)
+	}
+}

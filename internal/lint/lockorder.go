@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// LockOrder proves a global mutex-acquisition order across the
+// program's named locks (api.Client.mu, api.Ledger.mu, api.Server.mu,
+// workload.cacheMu, fleet's per-run state, ...) or pinpoints the
+// witnesses that break one. The whole-program pass records a lock
+// edge "held L while acquiring M" for every direct Lock call under a
+// held lock and for every call whose callee summary (transitively)
+// acquires a lock. If the resulting directed graph is acyclic, every
+// interleaving of the walker fleet is deadlock-free on these locks;
+// a cycle is reported at each participating acquisition site.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce one global mutex acquisition order; report lock-order " +
+		"cycles (potential deadlocks) at their acquisition witnesses",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	cycles := lockCycles(prog.lockEdges)
+	reported := map[string]bool{}
+	for _, e := range prog.lockEdges {
+		if e.PkgPath != pass.Pkg.Path() {
+			continue
+		}
+		key := e.From + "\x00" + e.To
+		if reported[key] {
+			continue
+		}
+		if e.From == e.To {
+			reported[key] = true
+			via := ""
+			if e.Via != "" {
+				via = " (via " + e.Via + ")"
+			}
+			pass.Reportf(e.Pos, "acquires %s while already holding it%s; self-deadlock", e.To, via)
+			continue
+		}
+		scc := cycles[e.From]
+		if scc == "" || cycles[e.To] != scc {
+			continue
+		}
+		reported[key] = true
+		via := ""
+		if e.Via != "" {
+			via = " via " + e.Via
+		}
+		pass.Reportf(e.Pos,
+			"acquires %s while holding %s%s, but another path acquires them in the opposite order (lock-order cycle through %s); establish one global acquisition order", e.To, e.From, via, scc)
+	}
+	return nil
+}
+
+// lockCycles condenses the lock-order graph and returns, for every
+// lock on a cycle, a stable label naming its strongly connected
+// component (the sorted member list). Locks not on any cycle are
+// absent.
+func lockCycles(edges []lockEdge) map[string]string {
+	adj := map[string]map[string]bool{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		if e.From == e.To {
+			continue // self-loops are reported directly
+		}
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+		nodes[e.From], nodes[e.To] = true, true
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	succs := func(n string) []string {
+		out := make([]string, 0, len(adj[n]))
+		for m := range adj[n] {
+			out = append(out, m)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Iterative Tarjan over the (small) lock graph.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	out := map[string]string{}
+	type frame struct {
+		n  string
+		ci int
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{n: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			if fr.ci == 0 {
+				index[fr.n] = next
+				low[fr.n] = next
+				next++
+				stack = append(stack, fr.n)
+				onStack[fr.n] = true
+			}
+			ss := succs(fr.n)
+			advanced := false
+			for fr.ci < len(ss) {
+				m := ss[fr.ci]
+				fr.ci++
+				if _, seen := index[m]; !seen {
+					work = append(work, frame{n: m})
+					advanced = true
+					break
+				}
+				if onStack[m] && index[m] < low[fr.n] {
+					low[fr.n] = index[m]
+				}
+			}
+			if advanced {
+				continue
+			}
+			n := fr.n
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					sort.Strings(scc)
+					label := strings.Join(scc, " -> ")
+					for _, m := range scc {
+						out[m] = label
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// fixtureProgram loads the given fixture packages and builds the
+// whole-program view over them and their dependencies.
+func fixtureProgram(t *testing.T, paths ...string) *lint.Program {
+	t.Helper()
+	loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+	for _, p := range paths {
+		if _, err := loader.Load(p); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+	return lint.NewProgram(loader.Loaded())
+}
+
+// TestSummaryFacts checks the bottom-up facts on the ctxflow fixture:
+// cost roots, transitive cost, and context signature facts.
+func TestSummaryFacts(t *testing.T) {
+	prog := fixtureProgram(t, "ctxflow/core")
+	sum := func(id string) *lint.Summary {
+		t.Helper()
+		f := prog.FuncByID(id)
+		if f == nil {
+			t.Fatalf("no program Func %q", id)
+		}
+		return prog.SummaryOf(f)
+	}
+
+	if s := sum("(*api.Client).Search"); !s.IncursCost {
+		t.Error("api.Client.Search is the cost root; IncursCost should be true")
+	}
+	if s := sum("ctxflow/core.costly"); !s.IncursCost || !s.ReturnsError {
+		t.Errorf("costly: IncursCost=%v ReturnsError=%v, want true/true", s.IncursCost, s.ReturnsError)
+	}
+	if s := sum("ctxflow/core.BadFresh"); !s.IncursCost {
+		t.Error("BadFresh reaches cost only transitively; IncursCost should propagate")
+	}
+	if s := sum("ctxflow/core.threaded"); !s.ConsumesCtx || !s.UsesCtx {
+		t.Errorf("threaded: ConsumesCtx=%v UsesCtx=%v, want true/true", s.ConsumesCtx, s.UsesCtx)
+	}
+	if s := sum("ctxflow/core.DropsCtx"); !s.ConsumesCtx || s.UsesCtx {
+		t.Errorf("DropsCtx: ConsumesCtx=%v UsesCtx=%v, want true/false", s.ConsumesCtx, s.UsesCtx)
+	}
+	if s := sum("ctxflow/core.Free"); s.IncursCost {
+		t.Error("Free never reaches a charged endpoint; IncursCost should be false")
+	}
+}
+
+// TestFixpointTerminatesOnMutualRecursion drives the SCC fixpoint over
+// a mutually recursive pair (and a self-recursive function) whose cost
+// fact must propagate around the cycle — and the propagation must
+// converge rather than loop.
+func TestFixpointTerminatesOnMutualRecursion(t *testing.T) {
+	prog := fixtureProgram(t, "recursion")
+	for _, id := range []string{"recursion.even", "recursion.odd", "recursion.self"} {
+		f := prog.FuncByID(id)
+		if f == nil {
+			t.Fatalf("no program Func %q", id)
+		}
+		if !prog.SummaryOf(f).IncursCost {
+			t.Errorf("%s: IncursCost should be true through the recursive cycle", id)
+		}
+	}
+}
+
+// TestLockSummaryFacts checks interprocedural lock-acquisition
+// summaries on the lockorder fixture.
+func TestLockSummaryFacts(t *testing.T) {
+	prog := fixtureProgram(t, "lockorder")
+	f := prog.FuncByID("lockorder.cThenB")
+	if f == nil {
+		t.Fatal("no program Func lockorder.cThenB")
+	}
+	got := prog.SummaryOf(f).AcquiresSorted()
+	want := []string{"lockorder.B.mu", "lockorder.C.mu"}
+	if len(got) != len(want) {
+		t.Fatalf("cThenB acquires %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cThenB acquires %v, want %v", got, want)
+		}
+	}
+}

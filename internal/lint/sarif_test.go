@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// TestSARIFRequiredFields unmarshals the emitted log generically and
+// checks every field the SARIF 2.1.0 schema requires of a minimal
+// tool+results log.
+func TestSARIFRequiredFields(t *testing.T) {
+	diags := []lint.Diagnostic{
+		diag("ctxflow", "/repo/internal/core/a.go", 12, "severed context"),
+		diag("lockorder", "/repo/internal/api/b.go", 34, "lock cycle"),
+	}
+	data, err := lint.SARIF(diags, lint.All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema missing")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mba-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), len(lint.All()))
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	first := run.Results[0]
+	if first.RuleID != "ctxflow" || first.Level != "error" || first.Message.Text != "severed context" {
+		t.Errorf("first result = %+v", first)
+	}
+	if len(first.Locations) != 1 {
+		t.Fatalf("first result has %d locations", len(first.Locations))
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/a.go" {
+		t.Errorf("uri = %q, want module-relative internal/core/a.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 {
+		t.Errorf("startLine = %d, want 12", loc.Region.StartLine)
+	}
+}
+
+// TestSARIFDeterministic: two emissions of the same findings are
+// byte-identical.
+func TestSARIFDeterministic(t *testing.T) {
+	diags := []lint.Diagnostic{
+		diag("ctxflow", "a.go", 1, "m1"),
+		diag("errsentinel", "b.go", 2, "m2"),
+	}
+	d1, err := lint.SARIF(diags, lint.All(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := lint.SARIF(diags, lint.All(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("SARIF output is not byte-identical across runs")
+	}
+}

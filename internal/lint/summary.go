@@ -1,0 +1,640 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Summary is one function's interprocedural fact set, computed
+// bottom-up over the call graph with fixpoint iteration inside each
+// strongly connected component. All propagated facts are monotone
+// booleans or monotone sets, so the fixpoint terminates.
+type Summary struct {
+	// IncursCost: the function may (transitively) charge an
+	// api.Client/api.Server endpoint — the budget-accounted surface.
+	IncursCost bool
+	// ConsumesCtx: the function declares a context.Context parameter.
+	// Not propagated; a signature fact.
+	ConsumesCtx bool
+	// UsesCtx: the body references at least one of its context
+	// parameters. Not propagated.
+	UsesCtx bool
+	// Spawns: the function may (transitively) start a goroutine.
+	Spawns bool
+	// DrawsRand: the function may (transitively) draw randomness from
+	// math/rand or math/rand/v2.
+	DrawsRand bool
+	// ReturnsError: the signature's last result is an error. Not
+	// propagated.
+	ReturnsError bool
+	// Unresolved: the body makes a dynamic call the call graph could
+	// not bound to any program candidate; facts below that call are
+	// unknown. Not propagated (each function owns its own blind spot).
+	Unresolved bool
+	// Acquires is the set of lock IDs ("pkg.Type.field" or "pkg.var")
+	// the function may (transitively) acquire.
+	Acquires map[string]bool
+	// Sentinels is the set of sentinel error names ("pkg.ErrX") the
+	// function may (transitively) return or wrap into its error result.
+	Sentinels map[string]bool
+}
+
+func newSummary() *Summary {
+	return &Summary{Acquires: map[string]bool{}, Sentinels: map[string]bool{}}
+}
+
+// merge unions src's propagated facts into s, reporting change.
+func (s *Summary) merge(src *Summary) bool {
+	changed := false
+	or := func(dst *bool, v bool) {
+		if v && !*dst {
+			*dst = true
+			changed = true
+		}
+	}
+	or(&s.IncursCost, src.IncursCost)
+	or(&s.Spawns, src.Spawns)
+	or(&s.DrawsRand, src.DrawsRand)
+	for k := range src.Acquires {
+		if !s.Acquires[k] {
+			s.Acquires[k] = true
+			changed = true
+		}
+	}
+	for k := range src.Sentinels {
+		if !s.Sentinels[k] {
+			s.Sentinels[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AcquiresSorted returns the acquired lock IDs in stable order.
+func (s *Summary) AcquiresSorted() []string { return sortedKeys(s.Acquires) }
+
+// SentinelsSorted returns the sentinel names in stable order.
+func (s *Summary) SentinelsSorted() []string { return sortedKeys(s.Sentinels) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// methodOnInfo is the free-function core of Pass.MethodOn: does call
+// invoke a method named in methods on pkgName.typeName?
+func methodOnInfo(info *types.Info, call *ast.CallExpr, pkgName, typeName string, methods map[string]bool) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !methods[sel.Sel.Name] {
+		return "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	n := namedRecv(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if n.Obj().Name() != typeName || n.Obj().Pkg().Name() != pkgName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// chargedClientCall reports whether call charges an api.Client
+// endpoint, returning the method name.
+func chargedClientCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	return methodOnInfo(info, call, "api", "Client", chargedEndpoints)
+}
+
+// lockMethods classify sync primitive calls.
+var (
+	lockNames   = map[string]bool{"Lock": true, "RLock": true}
+	unlockNames = map[string]bool{"Unlock": true, "RUnlock": true}
+)
+
+// syncLockCall reports whether call locks or unlocks a sync.Mutex or
+// sync.RWMutex, returning the receiver expression.
+func syncLockCall(info *types.Info, call *ast.CallExpr, names map[string]bool) (ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !names[sel.Sel.Name] {
+		return nil, false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	n := namedRecv(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return nil, false
+	}
+	if name := n.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// lockID names the mutex a lock/unlock call operates on:
+// "pkg.Type.field" for a struct-field mutex reached through a method
+// receiver or variable, "pkg.var" for a package-level mutex. Locks
+// that cannot be named (locals, map entries) return "".
+func lockID(pkg *Package, e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			n := namedRecv(s.Recv())
+			if n == nil || n.Obj().Pkg() == nil {
+				return ""
+			}
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + x.Sel.Name
+		}
+		// Qualified package-level mutex (otherpkg.mu is unexported and
+		// rare; handle the uses case anyway).
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// computeSummaries extracts local facts for every function and runs
+// bottom-up fixpoint propagation over the call-graph SCC condensation.
+// Functions belonging to cache-hit packages take their summaries from
+// the cache verbatim and act as fixed constants in the propagation.
+func (p *Program) computeSummaries(cache *FactCache) {
+	cached := map[string]bool{}
+	if cache != nil {
+		for _, pkg := range p.Pkgs {
+			if sums, ok := cache.lookup(p, pkg); ok {
+				cached[pkg.Path] = true
+				for id, s := range sums {
+					p.Summaries[id] = s
+				}
+			}
+		}
+	}
+	var dirty []*Func
+	for _, f := range p.Funcs {
+		if cached[f.Pkg.Path] {
+			if _, ok := p.Summaries[f.ID]; ok {
+				continue
+			}
+			// A closure the cache round-trip missed: recompute.
+		}
+		p.Summaries[f.ID] = p.localFacts(f)
+		dirty = append(dirty, f)
+	}
+	// Wrapped-sentinel extraction is cheap and program-global; always
+	// recompute it from source (the cache only memoizes summaries).
+	for _, f := range p.Funcs {
+		p.collectWraps(f)
+	}
+
+	for _, scc := range p.sccs(dirty) {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				sum := p.Summaries[f.ID]
+				for _, cs := range f.calls {
+					for _, g := range cs.callees {
+						if gs, ok := p.Summaries[g.ID]; ok {
+							if sum.merge(gs) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			if len(scc) == 1 {
+				break // no self-recursion possible beyond one merge round
+			}
+		}
+	}
+
+	if cache != nil {
+		for _, pkg := range p.Pkgs {
+			cache.store(p, pkg)
+		}
+	}
+}
+
+// localFacts extracts the intraprocedural facts of f.
+func (p *Program) localFacts(f *Func) *Summary {
+	pkg := f.Pkg
+	sum := newSummary()
+
+	// Root fact: the charged api.Client/api.Server endpoints ARE the
+	// cost; their bodies define rather than observe it.
+	if f.Obj != nil && chargedEndpoints[f.Obj.Name()] {
+		if recv := f.Sig.Recv(); recv != nil {
+			if n := namedRecv(recv.Type()); n != nil && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Name() == "api" &&
+				(n.Obj().Name() == "Client" || n.Obj().Name() == "Server") {
+				sum.IncursCost = true
+			}
+		}
+	}
+
+	// Signature facts.
+	var ctxParams []*types.Var
+	for i := 0; i < f.Sig.Params().Len(); i++ {
+		v := f.Sig.Params().At(i)
+		if v.Type().String() == "context.Context" {
+			sum.ConsumesCtx = true
+			ctxParams = append(ctxParams, v)
+		}
+	}
+	if rs := f.Sig.Results(); rs.Len() > 0 && isErrorType(rs.At(rs.Len()-1).Type()) {
+		sum.ReturnsError = true
+	}
+
+	if f.Body == nil {
+		return sum
+	}
+	inspectShallow(f.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			sum.Spawns = true
+		case *ast.Ident:
+			for _, v := range ctxParams {
+				if pkg.Info.Uses[x] == v {
+					sum.UsesCtx = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if name, ok := p.sentinels[pkg.Info.Uses[id]]; ok {
+							sum.Sentinels[name] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if _, ok := chargedClientCall(pkg.Info, x); ok {
+				sum.IncursCost = true
+			}
+			if _, ok := methodOnInfo(pkg.Info, x, "api", "Server", chargedEndpoints); ok {
+				sum.IncursCost = true
+			}
+			if e, ok := syncLockCall(pkg.Info, x, lockNames); ok {
+				if id := lockID(pkg, e); id != "" {
+					sum.Acquires[id] = true
+				}
+			}
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if path := importedPkgPath(pkg.Info, id); path == "math/rand" || path == "math/rand/v2" {
+						sum.DrawsRand = true
+					}
+				}
+			}
+			if format, args, ok := errorfCall(pkg.Info, x); ok {
+				verbs := fmtVerbs(format)
+				for i, arg := range args {
+					if i >= len(verbs) {
+						break
+					}
+					if id, ok := unparen(arg).(*ast.Ident); ok {
+						if name, ok := p.sentinels[pkg.Info.Uses[id]]; ok {
+							sum.Sentinels[name] = true
+						}
+					} else if sel, ok := unparen(arg).(*ast.SelectorExpr); ok {
+						if name, ok := p.sentinels[pkg.Info.Uses[sel.Sel]]; ok {
+							sum.Sentinels[name] = true
+						}
+					}
+				}
+			}
+		}
+	})
+	if p.hasUnresolved(f) {
+		sum.Unresolved = true
+	}
+	return sum
+}
+
+func (p *Program) hasUnresolved(f *Func) bool {
+	for _, cs := range f.calls {
+		if cs.unresolved {
+			return true
+		}
+	}
+	return false
+}
+
+// collectWraps records which sentinels are wrapped with %w anywhere in
+// the program — the global fact that makes == against them unsound.
+func (p *Program) collectWraps(f *Func) {
+	if f.Body == nil {
+		return
+	}
+	pkg := f.Pkg
+	inspectShallow(f.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		format, args, ok := errorfCall(pkg.Info, call)
+		if !ok {
+			return
+		}
+		verbs := fmtVerbs(format)
+		for i, arg := range args {
+			if i >= len(verbs) || verbs[i] != 'w' {
+				continue
+			}
+			if name, ok := p.sentinelOfExpr(pkg, arg); ok {
+				p.wrappedSentinels[name] = true
+			}
+		}
+	})
+}
+
+// sentinelOfExpr resolves e to a program sentinel name if it denotes
+// one directly (Ident or pkg-qualified selector).
+func (p *Program) sentinelOfExpr(pkg *Package, e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		name, ok := p.sentinels[pkg.Info.Uses[x]]
+		return name, ok
+	case *ast.SelectorExpr:
+		name, ok := p.sentinels[pkg.Info.Uses[x.Sel]]
+		return name, ok
+	}
+	return "", false
+}
+
+// SentinelWrapped reports whether the named sentinel is wrapped with
+// %w anywhere in the program.
+func (p *Program) SentinelWrapped(name string) bool { return p.wrappedSentinels[name] }
+
+// SentinelName resolves an expression to a program sentinel name.
+func (p *Program) SentinelName(pkg *Package, e ast.Expr) (string, bool) {
+	return p.sentinelOfExpr(pkg, e)
+}
+
+// importedPkgPath is the free-function core of Pass.ImportedPkgPath.
+func importedPkgPath(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// errorfCall matches fmt.Errorf(format, args...) with a constant
+// format string.
+func errorfCall(info *types.Info, call *ast.CallExpr) (string, []ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return "", nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || importedPkgPath(info, id) != "fmt" {
+		return "", nil, false
+	}
+	if len(call.Args) < 1 {
+		return "", nil, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return "", nil, false
+	}
+	format, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", nil, false
+	}
+	return format, call.Args[1:], true
+}
+
+// fmtVerbs maps each variadic argument position of a format string to
+// its verb letter. Width/precision stars consume an argument (marked
+// '*'); indexed verbs (%[n]d) defeat positional mapping and yield nil.
+func fmtVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			return nil // indexed argument; give up on positional mapping
+		}
+		// Flags, width, precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		for i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+			for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+				i++
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// sccs returns the strongly connected components of the call graph
+// restricted to fns, in bottom-up (callees-first) order — Tarjan's
+// algorithm emits components in reverse topological order of the
+// condensation, exactly the order fixpoint propagation wants.
+func (p *Program) sccs(fns []*Func) [][]*Func {
+	index := map[*Func]int{}
+	low := map[*Func]int{}
+	onStack := map[*Func]bool{}
+	inScope := map[*Func]bool{}
+	for _, f := range fns {
+		inScope[f] = true
+	}
+	var stack []*Func
+	var out [][]*Func
+	next := 0
+
+	// Iterative Tarjan (explicit work stack) so deep call chains and
+	// mutual recursion cannot overflow the goroutine stack.
+	type frame struct {
+		f  *Func
+		ci int // next callee index to visit (flattened)
+	}
+	calleesOf := func(f *Func) []*Func {
+		var out []*Func
+		for _, cs := range f.calls {
+			for _, g := range cs.callees {
+				if inScope[g] {
+					out = append(out, g)
+				}
+			}
+		}
+		return out
+	}
+	for _, root := range fns {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{f: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			f := fr.f
+			if fr.ci == 0 {
+				index[f] = next
+				low[f] = next
+				next++
+				stack = append(stack, f)
+				onStack[f] = true
+			}
+			callees := calleesOf(f)
+			advanced := false
+			for fr.ci < len(callees) {
+				g := callees[fr.ci]
+				fr.ci++
+				if _, seen := index[g]; !seen {
+					work = append(work, frame{f: g})
+					advanced = true
+					break
+				}
+				if onStack[g] && index[g] < low[f] {
+					low[f] = index[g]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All callees done: pop.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].f
+				if low[f] < low[parent] {
+					low[parent] = low[f]
+				}
+			}
+			if low[f] == index[f] {
+				var scc []*Func
+				for {
+					g := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[g] = false
+					scc = append(scc, g)
+					if g == f {
+						break
+					}
+				}
+				sort.Slice(scc, func(i, j int) bool { return scc[i].ID < scc[j].ID })
+				out = append(out, scc)
+			}
+		}
+	}
+	return out
+}
+
+// computeLockEdges walks every function body tracking the set of held
+// locks in statement order, recording a lockEdge for every lock (or
+// lock-acquiring call) reached while another lock is held. The walk is
+// a conservative may-hold analysis: a lock taken in any branch is
+// considered held for the rest of the function unless explicitly
+// unlocked.
+func (p *Program) computeLockEdges() {
+	for _, f := range p.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		pkg := f.Pkg
+		var held []string
+		deferred := map[*ast.CallExpr]bool{}
+		inspectShallow(f.Body, func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred unlock keeps the lock held to function
+				// exit; mark the call so the CallExpr visit below does
+				// not treat it as a release.
+				if _, ok := syncLockCall(pkg.Info, x.Call, unlockNames); ok {
+					deferred[x.Call] = true
+				}
+			case *ast.CallExpr:
+				if e, ok := syncLockCall(pkg.Info, x, lockNames); ok {
+					id := lockID(pkg, e)
+					if id == "" {
+						return
+					}
+					for _, h := range held {
+						p.lockEdges = append(p.lockEdges, lockEdge{
+							From: h, To: id, Pos: x.Pos(), PkgPath: pkg.Path,
+						})
+					}
+					held = append(held, id)
+					return
+				}
+				if e, ok := syncLockCall(pkg.Info, x, unlockNames); ok {
+					if deferred[x] {
+						return
+					}
+					id := lockID(pkg, e)
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == id {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+					return
+				}
+				if len(held) == 0 {
+					return
+				}
+				if cs, ok := p.callees[x]; ok {
+					for _, g := range cs.callees {
+						gs := p.SummaryOf(g)
+						for _, a := range gs.AcquiresSorted() {
+							for _, h := range held {
+								p.lockEdges = append(p.lockEdges, lockEdge{
+									From: h, To: a, Pos: x.Pos(), PkgPath: pkg.Path, Via: g.ID,
+								})
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	sort.Slice(p.lockEdges, func(i, j int) bool {
+		a, b := p.lockEdges[i], p.lockEdges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		return a.Pos < b.Pos
+	})
+}

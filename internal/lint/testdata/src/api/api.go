@@ -25,3 +25,14 @@ func (c *Client) Search(keyword string) ([]int64, error) { return nil, nil }
 func (c *Client) Connections(u int64) ([]int64, error)   { return nil, nil }
 func (c *Client) Timeline(u int64) (Timeline, error)     { return Timeline{}, nil }
 func (c *Client) Cost() int                              { return 0 }
+
+// Ledger mirrors the shared fleet admission ledger.
+type Ledger struct{}
+
+func (l *Ledger) Reserve(n int) error { return nil }
+
+// NewClient mirrors the real constructor fleet walkers use.
+func NewClient(srv *Server, budget int) *Client { return &Client{srv: srv} }
+
+// UseLedger binds a client to the shared ledger.
+func (c *Client) UseLedger(l *Ledger, unit int) {}

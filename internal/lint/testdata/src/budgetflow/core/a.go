@@ -1,0 +1,42 @@
+// Package core is a budgetflow fixture: interprocedural cost tracking
+// through helpers, discarded-error detection, and the degraded-result
+// propagation channel.
+package core
+
+import "api"
+
+// charged reaches the charged endpoint through one helper layer, so
+// only the whole-program summaries can see its cost.
+func charged(c *api.Client) error {
+	_, err := c.Search("x")
+	return err
+}
+
+// Caller drops the budget error in each of the ways the analyzer
+// distinguishes.
+func Caller(c *api.Client) error {
+	charged(c)     // want `discards the error of charged`
+	_ = charged(c) // want `assigns the error to _ of charged`
+	go charged(c)  // want `go statement discards the error of charged`
+	return charged(c)
+}
+
+// Silent incurs cost but has no channel to report budget exhaustion.
+func Silent(c *api.Client) { // want `Silent \(transitively\) makes charged api\.Client calls but has no way to propagate the budget error`
+	if err := charged(c); err != nil {
+		return
+	}
+}
+
+// Degraded is the fold-into-result channel (like fleet's UnitResult).
+type Degraded struct {
+	Estimate   float64
+	DegradedBy error
+}
+
+// Folded propagates budget exhaustion through the result field: clean.
+func Folded(c *api.Client) Degraded {
+	var d Degraded
+	d.DegradedBy = charged(c)
+	return d
+}

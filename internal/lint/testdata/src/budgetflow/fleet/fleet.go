@@ -1,0 +1,19 @@
+// Package fleet exercises the ledger-admission rule: every client a
+// fleet creates must be bound to the shared Ledger before it charges.
+package fleet
+
+import "api"
+
+// runUnitGood pairs NewClient with UseLedger: every charged call will
+// pass Ledger.Reserve admission.
+func runUnitGood(srv *api.Server, led *api.Ledger) *api.Client {
+	c := api.NewClient(srv, 0)
+	c.UseLedger(led, 1)
+	return c
+}
+
+// runUnitBad creates an unledgered client.
+func runUnitBad(srv *api.Server) *api.Client {
+	c := api.NewClient(srv, 0) // want `creates an api\.Client without binding it to the shared Ledger`
+	return c
+}

@@ -1,0 +1,56 @@
+// Package core is a ctxflow fixture: the package basename puts it in
+// the analyzer's scope, and the charged api.Client stubs give its
+// functions IncursCost summaries.
+package core
+
+import (
+	"context"
+
+	"api"
+)
+
+// costly reaches a charged endpoint; every caller below is therefore
+// on a charged call path.
+func costly(c *api.Client) error {
+	_, err := c.Search("x")
+	return err
+}
+
+// threaded uses its context properly.
+func threaded(ctx context.Context, c *api.Client) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return costly(c)
+}
+
+// BadFresh mints a context below the top level.
+func BadFresh(c *api.Client) error {
+	ctx := context.Background() // want `context\.Background\(\) on a charged call path`
+	return threaded(ctx, c)
+}
+
+// BadTODO is just as severed.
+func BadTODO(c *api.Client) error {
+	return threaded(context.TODO(), c) // want `context\.TODO\(\) on a charged call path`
+}
+
+// DropsCtx receives a context but never threads it into the charged
+// calls it makes.
+func DropsCtx(ctx context.Context, c *api.Client) error { // want `receives a context\.Context and \(transitively\) makes charged api\.Client calls but never threads`
+	return costly(c)
+}
+
+// Entry shows the one sanctioned Background: the nil-default guard at
+// an entry point.
+func Entry(ctx context.Context, c *api.Client) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return threaded(ctx, c)
+}
+
+// Free never reaches a charged call, so a fresh context is fine.
+func Free() context.Context {
+	return context.Background()
+}

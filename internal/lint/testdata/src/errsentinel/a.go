@@ -1,0 +1,64 @@
+// Package errsentinel exercises the sentinel-error discipline: %w
+// wrapping, errors.Is testing, and no string matching.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrBudget = errors.New("budget exhausted")
+var ErrStalled = errors.New("stalled")
+
+// wrapOK wraps with %w; this is what makes ==/!= against ErrBudget
+// provably dead below.
+func wrapOK() error {
+	return fmt.Errorf("walk: %w", ErrBudget)
+}
+
+func badWrapVar(err error) error {
+	return fmt.Errorf("walk: %v", err) // want `error err formatted with %v flattens the chain`
+}
+
+func badWrapSentinel() error {
+	return fmt.Errorf("walk: %s", ErrStalled) // want `error ErrStalled formatted with %s flattens the chain`
+}
+
+func okIs(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+func okNilCheck(err error) bool {
+	return err == nil
+}
+
+func badEqWrapped(err error) bool {
+	return err == ErrBudget // want `ErrBudget is wrapped with %w elsewhere in the program`
+}
+
+func badNeq(err error) bool {
+	return err != ErrStalled // want `ErrStalled compared with ==/!=`
+}
+
+func badEqGeneric(a, b error) bool {
+	return a == b // want `errors compared with ==/!=`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrBudget: // want `switch on error identity`
+		return "budget"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func badStringContains(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want `strings\.Contains on Error\(\) output`
+}
+
+func badStringEq(err error) bool {
+	return err.Error() == "stalled" // want `comparing Error\(\) strings`
+}

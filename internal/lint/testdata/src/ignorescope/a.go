@@ -1,0 +1,25 @@
+// Package ignorescope proves lint:ignore scoping: a directive
+// suppresses exactly the next statement (or its own statement when
+// trailing), and a reasonless directive suppresses nothing.
+package ignorescope
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func scopedToNextStatement(err error) bool {
+	//lint:ignore errsentinel demo: the directive covers only the next statement
+	if err == ErrX {
+		return true
+	}
+	return err == ErrX // want `ErrX compared with ==/!=`
+}
+
+func trailingForm(err error) bool {
+	return err == ErrX //lint:ignore errsentinel demo: trailing directives cover their own statement
+}
+
+func reasonlessSuppressesNothing(err error) bool {
+	//lint:ignore errsentinel
+	return err == ErrX // want `ErrX compared with ==/!=`
+}

@@ -1,0 +1,21 @@
+// Package lintdirective holds the malformed directives the
+// lintdirective analyzer must reject: a directive without a reason and
+// a directive attached to no statement. The valid forms (statement and
+// declaration anchors) must pass silently.
+package lintdirective
+
+import "errors"
+
+//lint:ignore errsentinel declarations are valid anchors; this directive is well-formed
+var ErrY = errors.New("y")
+
+func reasonless(err error) bool {
+	//lint:ignore errsentinel
+	return err == ErrY
+}
+
+func dangling(err error) bool {
+	return err == nil
+	// The directive below precedes only the closing brace.
+	//lint:ignore errsentinel trailing nothing
+}

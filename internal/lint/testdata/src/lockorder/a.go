@@ -1,0 +1,74 @@
+// Package lockorder exercises the whole-program lock-order analysis:
+// conflicting acquisition orders, interprocedural acquisition through
+// callee summaries, re-acquisition, and a clean consistently-ordered
+// pair.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// ab and ba acquire A.mu and B.mu in opposite orders: a lock-order
+// cycle, i.e. a potential deadlock under concurrency.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `acquires lockorder\.B\.mu while holding lockorder\.A\.mu, but another path`
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `acquires lockorder\.A\.mu while holding lockorder\.B\.mu, but another path`
+	a.mu.Unlock()
+}
+
+// lockB acquires B.mu; cThenB reaches it only through this helper, so
+// the edge C.mu -> B.mu exists only in the callee's summary.
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func cThenB(c *C, b *B) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockB(b) // want `acquires lockorder\.B\.mu while holding lockorder\.C\.mu via`
+}
+
+func bThenC(c *C, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.mu.Lock() // want `acquires lockorder\.C\.mu while holding lockorder\.B\.mu, but another path`
+	c.mu.Unlock()
+}
+
+// dd re-acquires a held mutex: guaranteed self-deadlock.
+func dd(d *D) {
+	d.mu.Lock()
+	d.mu.Lock() // want `acquires lockorder\.D\.mu while already holding it`
+	d.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// E.mu and F.mu are always taken in the same order: clean.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func ef1(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func ef2(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package recursion gives the summary fixpoint a mutually recursive
+// SCC with a charged call inside it: even and odd must both converge
+// to IncursCost without the propagation looping forever.
+package recursion
+
+import "api"
+
+func even(c *api.Client, n int) error {
+	if n == 0 {
+		_, err := c.Search("x")
+		return err
+	}
+	return odd(c, n-1)
+}
+
+func odd(c *api.Client, n int) error {
+	if n == 0 {
+		return nil
+	}
+	return even(c, n-1)
+}
+
+// self is directly self-recursive.
+func self(c *api.Client, n int) error {
+	if n == 0 {
+		_, err := c.Timeline(1)
+		return err
+	}
+	return self(c, n-1)
+}
