@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz parallel
+.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz parallel ratelimit
 
 ci: build vet lint race
 
@@ -63,3 +63,11 @@ churn:
 # wall-clock artifact) next to the deterministic table/CSV.
 parallel:
 	go run ./cmd/mba-bench -scale test -trials 1 -budget 20000 -only parallel
+
+# Cooperative scheduling sweep: blocking vs parked walkers under 429
+# storms at one execution slot. The auditor enforces the schedule books
+# (trace conservation, makespan replay) and bit-identical fault-free
+# estimates across modes; the table shows the >= 5x makespan collapse
+# in the ratelimit-10% scenario.
+ratelimit:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 8000 -only ratelimit

@@ -57,12 +57,12 @@ func main() {
 		"figure11": experiments.Figure11, "figure12": experiments.Figure12,
 		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
 		"chaos": experiments.Chaos, "churn": experiments.Churn,
-		"parallel": runParallel(*out),
+		"parallel": runParallel(*out), "ratelimit": experiments.RateLimit,
 	}
 	order := []string{
 		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"chaos", "churn", "parallel",
+		"chaos", "churn", "parallel", "ratelimit",
 	}
 	selected := order
 	if *only != "" {

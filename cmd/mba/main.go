@@ -35,6 +35,7 @@ func main() {
 	toDay := flag.Int("to-day", 0, "window end day (exclusive; 0 = unbounded)")
 	walkers := flag.Int("walkers", 0, "concurrent walkers executing the fleet plan (0 = single-walker path; the estimate is identical at any positive value)")
 	deadline := flag.Duration("deadline", 0, "virtual-time deadline, e.g. 12h (0 = none; a run past it returns a degraded partial estimate)")
+	coop := flag.Bool("coop", false, "cooperative scheduling: throttled walkers park and yield their slot instead of blocking (needs -walkers > 0)")
 	flag.Parse()
 
 	cfg := mba.DefaultPlatformConfig()
@@ -77,7 +78,7 @@ func main() {
 		q = mba.TimeWindow(q, *fromDay, *toDay)
 	}
 
-	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn, Walkers: *walkers, Deadline: *deadline}
+	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn, Walkers: *walkers, Cooperative: *coop, Deadline: *deadline}
 	switch strings.ToLower(*algo) {
 	case "tarw":
 		opts.Algorithm = mba.MATARW
@@ -119,6 +120,11 @@ func main() {
 	if *walkers > 0 {
 		fmt.Printf("fleet:      %d logical walkers (%d shed), %d watchdog trips, %d goroutines\n",
 			est.WalkersRun, est.WalkersShed, est.WatchdogTrips, *walkers)
+		fmt.Printf("schedule:   makespan ~%v over %d slots", est.Makespan, *walkers)
+		if *coop {
+			fmt.Printf(" (cooperative: %d parks, %d steps drained free)", est.Parks, est.DrainedSteps)
+		}
+		fmt.Println()
 	}
 	if est.Degraded {
 		fmt.Printf("degraded:   partial result (deadline, cancellation, or unrecoverable faults)\n")

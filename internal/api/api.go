@@ -56,7 +56,34 @@ var (
 	// cancellation, a stall is recoverable — resume the walk from its
 	// checkpoint to reseed it on a fresh RNG segment.
 	ErrStalled = errors.New("api: walker stalled, no budget progress")
+	// ErrThrottled is the sentinel inside every *ThrottledError a client
+	// in yield mode (Client.YieldOnThrottle) returns instead of blocking
+	// out a rate-limit window. Match with errors.Is and recover the
+	// ReadyAt timestamp with errors.As; a throttled run segment is
+	// resumable from its checkpoint once the window reopens.
+	ErrThrottled = errors.New("api: throttled, rate-limit window exhausted")
 )
+
+// ThrottledError is the typed non-blocking answer to a 429: instead of
+// silently accruing the rate-limit window as virtual wait inside the
+// charged call, a client with YieldOnThrottle set hands the wait to the
+// caller, who can park the walker and run other work ("walk, not
+// wait"). The window wait is already on the books (Stats.ThrottleWait)
+// when this error surfaces — ReadyAt is the client's virtual clock
+// after that accrual, i.e. the earliest virtual timestamp at which the
+// walker may charge again.
+type ThrottledError struct {
+	// ReadyAt is the virtual-clock timestamp (the unit's cumulative
+	// VirtualDuration) at which the rate-limit window reopens.
+	ReadyAt time.Duration
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("api: throttled, window reopens at virtual %v", e.ReadyAt)
+}
+
+// Unwrap makes errors.Is(err, ErrThrottled) hold for throttled calls.
+func (e *ThrottledError) Unwrap() error { return ErrThrottled }
 
 // ErrTruncated models a multi-page fetch dying partway: the caller
 // paid for a strict prefix of the pages and got nothing usable back.

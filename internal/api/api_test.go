@@ -315,18 +315,59 @@ func TestVirtualDuration(t *testing.T) {
 	if cl.Cost() == 0 {
 		t.Fatal("no cost accumulated")
 	}
-	d := cl.VirtualDuration()
-	// 30 calls under 180/15min = one window.
-	if d != 15*time.Minute {
-		t.Errorf("duration = %v, want 15m", d)
+	// 30 calls fit inside the opening 180/15min window: no refill wait.
+	if d := cl.VirtualDuration(); d != 0 {
+		t.Errorf("duration = %v, want 0 (30 calls need no refill)", d)
 	}
-	// Tumblr is 1 per 10s.
+	// Tumblr is 1 per 10s: every charged call past the first waits for
+	// one refill (Connections paginates, so two logical calls charge
+	// several page fetches).
 	tsrv := NewServer(p, Tumblr(), Faults{})
 	tcl := NewClient(tsrv, 0)
 	tcl.Connections(1)
 	tcl.Connections(2)
-	if tcl.VirtualDuration() < 20*time.Second {
-		t.Errorf("tumblr duration = %v, want >= 20s", tcl.VirtualDuration())
+	if tcl.Cost() < 2 {
+		t.Fatalf("tumblr cost = %d, want at least 2", tcl.Cost())
+	}
+	want := time.Duration(tcl.Cost()-1) * 10 * time.Second
+	if d := tcl.VirtualDuration(); d != want {
+		t.Errorf("tumblr duration = %v, want %v (%d charged calls, one refill each past the first)", d, want, tcl.Cost())
+	}
+}
+
+// TestVirtualOfWindowBoundaries is the regression for the window
+// accounting at exact multiples of RateLimitCalls: the last call of a
+// full quota lands inside the window that quota opened, so it must not
+// be charged an extra refill. The old ceiling division overstated the
+// clock by one full window per walker exactly at these boundaries.
+func TestVirtualOfWindowBoundaries(t *testing.T) {
+	tw := Twitter() // 180 calls / 15 minutes
+	w := tw.RateLimitWindow
+	cases := []struct {
+		calls int
+		want  time.Duration
+	}{
+		{0, 0},
+		{1, 0},
+		{179, 0},
+		{180, 0}, // exact multiple: still inside the opening window
+		{181, w}, // first call past the quota waits one refill
+		{359, w},
+		{360, w}, // exact multiple again
+		{361, 2 * w},
+	}
+	for _, c := range cases {
+		if got := VirtualOf(tw, Stats{Calls: c.calls}); got != c.want {
+			t.Errorf("VirtualOf(%d calls) = %v, want %v", c.calls, got, c.want)
+		}
+	}
+	// Waits ride on top of the pacing term.
+	if got := VirtualOf(tw, Stats{Calls: 181, Wait: time.Minute}); got != w+time.Minute {
+		t.Errorf("VirtualOf with wait = %v, want %v", got, w+time.Minute)
+	}
+	// No rate limit: virtual time is the accrued waits alone.
+	if got := VirtualOf(Preset{}, Stats{Calls: 500, Wait: time.Second}); got != time.Second {
+		t.Errorf("VirtualOf without rate limit = %v, want 1s", got)
 	}
 }
 

@@ -55,6 +55,16 @@ type Client struct {
 	// simulation ever reading the wall clock, so deadline hits replay
 	// deterministically.
 	Deadline time.Duration
+	// YieldOnThrottle switches the client to non-blocking rate-limit
+	// handling: a 429 still puts the window wait on the books
+	// (Stats.ThrottleWait — the walker cannot charge before the window
+	// reopens either way), but instead of silently retrying after the
+	// wait the pending call fails fast with a *ThrottledError carrying
+	// the ReadyAt virtual timestamp, so a cooperative scheduler can park
+	// this walker and lend its execution slot to a runnable one. The
+	// default (false) keeps the original blocking retry behavior.
+	// Configuration, not a runtime control: set before sharing.
+	YieldOnThrottle bool
 
 	// mu guards everything below. Public methods lock it; unexported
 	// helpers assume it is held.
@@ -215,12 +225,7 @@ func (c *Client) VirtualDuration() time.Duration {
 }
 
 func (c *Client) virtualLocked() time.Duration {
-	p := c.srv.Preset()
-	if p.RateLimitCalls <= 0 {
-		return c.stats.Wait
-	}
-	windows := (c.stats.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
-	return time.Duration(windows)*p.RateLimitWindow + c.stats.Wait
+	return VirtualOf(c.srv.Preset(), c.stats)
 }
 
 // Preset exposes the server's interface parameters.
@@ -231,6 +236,20 @@ func (c *Client) Preset() Preset { return c.srv.Preset() }
 func (c *Client) addWait(d time.Duration) {
 	c.stats.Wait += d
 	c.stallWait += d
+}
+
+// addThrottleWait accrues a 429 rate-limit window wait, attributed so
+// schedulers and sweeps can tell overlappable throttle waits from
+// failure-recovery backoff.
+func (c *Client) addThrottleWait(d time.Duration) {
+	c.stats.ThrottleWait += d
+	c.addWait(d)
+}
+
+// addBackoffWait accrues transient-retry backoff or breaker cooldown.
+func (c *Client) addBackoffWait(d time.Duration) {
+	c.stats.BackoffWait += d
+	c.addWait(d)
 }
 
 // interrupted checks the three run-interruption sources in priority
@@ -345,8 +364,10 @@ func (c *Client) noteFailure(err error) error {
 // withRetry runs fn under the client's RetryPolicy. Transient failures
 // are charged (the call consumed a slot) and retried after exponential
 // backoff in virtual time; rate-limit rejections are never charged and
-// retried after waiting out the window; permanent errors return
-// immediately. Post-retry failures feed the circuit breaker. Before
+// retried after waiting out the window (or, under YieldOnThrottle,
+// surfaced immediately as a *ThrottledError after booking the wait);
+// permanent errors return immediately. Post-retry failures feed the
+// circuit breaker. Before
 // the first attempt and after every accrued wait, the interruption
 // sources (context cancellation, virtual deadline, stall watchdog) are
 // checked, so a cancelled or deadlined run unwinds at the next charged
@@ -359,7 +380,7 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 		// Half-open probe: wait out the cooldown in virtual time and
 		// let exactly this logical call through. A failure re-trips
 		// immediately; a success closes the breaker.
-		c.addWait(c.Policy.BreakerCooldown)
+		c.addBackoffWait(c.Policy.BreakerCooldown)
 		c.breakerOpen = false
 		c.breakerFails = c.Policy.BreakerThreshold - 1
 		if err := c.interrupted(); err != nil {
@@ -373,14 +394,28 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 		c.addWait(c.srv.drainLatency())
 		switch {
 		case errors.Is(err, ErrRateLimited):
-			// 429: rejected at the gate, no budget burned. Wait out
-			// the window in virtual time and try again.
+			// 429: rejected at the gate, no budget burned. The window
+			// wait goes on the books either way — the walker cannot
+			// charge before the window reopens.
 			c.stats.RateLimitHits++
 			wait := c.Policy.RateLimitWait
 			if wait <= 0 {
 				wait = c.srv.preset.RateLimitWindow
 			}
-			c.addWait(wait)
+			c.addThrottleWait(wait)
+			if c.YieldOnThrottle {
+				// Non-blocking mode: hand the wait to the caller as a
+				// typed ThrottledError so it can park this walker and
+				// run other work. The stall watchdog still guards a
+				// walker that only ever throttles — check it (and the
+				// other interruption sources) before yielding. A
+				// throttle is scheduling, not failure: it does not feed
+				// the circuit breaker.
+				if ierr := c.interrupted(); ierr != nil {
+					return ierr
+				}
+				return &ThrottledError{ReadyAt: c.virtualLocked()}
+			}
 			if retries >= c.Policy.MaxRetries {
 				return c.noteFailure(err)
 			}
@@ -396,7 +431,7 @@ func (c *Client) withRetry(fn func() (int, error)) error {
 			}
 			retries++
 			c.stats.Retries++
-			c.addWait(c.backoff(&backoff))
+			c.addBackoffWait(c.backoff(&backoff))
 		default:
 			// Success or a permanent error (ErrPrivate, ErrUnknownUser):
 			// charge and return.
@@ -548,6 +583,37 @@ func (c *Client) CachedConnUsers() []int64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// CanConnections reports whether Connections(u) is answerable entirely
+// from cache — a positive response, or a cached private/vanished
+// verdict — and would therefore charge nothing. Parked walkers use the
+// Can* predicates to find steps their frozen-snapshot cache can still
+// answer while the rate-limit window is shut ("walk, not wait").
+func (c *Client) CanConnections(u int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.connCache[u]
+	return ok || c.privCache[u] || c.goneCache[u]
+}
+
+// CanTimeline reports whether Timeline(u) is answerable entirely from
+// cache at zero charged cost.
+func (c *Client) CanTimeline(u int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.tlCache[u]
+	return ok || c.privCache[u] || c.goneCache[u]
+}
+
+// CachedConnections returns the positively cached neighbor list of u,
+// and whether one exists. The slice is the cache's own (read-only by
+// contract).
+func (c *Client) CachedConnections(u int64) ([]int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.connCache[u]
+	return ns, ok
 }
 
 // CachedTimelineUsers returns the users with cached Timeline responses,

@@ -82,6 +82,14 @@ type Stats struct {
 	// Wait is the accumulated virtual wait: retry backoff, rate-limit
 	// windows, breaker cooldowns, and injected slow-call latency.
 	Wait time.Duration
+	// ThrottleWait is the portion of Wait spent on 429 rate-limit
+	// windows — the waits a cooperative scheduler can overlap with other
+	// walkers' work. BackoffWait is the portion spent on transient-error
+	// backoff and breaker cooldowns — failure recovery that holds the
+	// walker regardless of scheduling. The remainder
+	// (Wait - ThrottleWait - BackoffWait) is injected slow-call latency.
+	ThrottleWait time.Duration
+	BackoffWait  time.Duration
 }
 
 // Add returns the field-wise sum of two snapshots (used to accumulate
@@ -94,5 +102,28 @@ func (s Stats) Add(o Stats) Stats {
 		CircuitTrips:  s.CircuitTrips + o.CircuitTrips,
 		StallTrips:    s.StallTrips + o.StallTrips,
 		Wait:          s.Wait + o.Wait,
+		ThrottleWait:  s.ThrottleWait + o.ThrottleWait,
+		BackoffWait:   s.BackoffWait + o.BackoffWait,
 	}
+}
+
+// VirtualOf translates an accounting snapshot into the virtual
+// wall-clock a run with those books would need on the real platform:
+// the refill windows the charged calls force under the preset's rate
+// limit, plus every virtual wait the retry policy accrued.
+//
+// The window term counts REFILL waits, not windows touched: the first
+// RateLimitCalls calls fit inside the opening window and cost no
+// pacing wait at all; each further full quota of calls forces one
+// window-length wait for the quota to refill. At exact multiples of
+// RateLimitCalls the run ends the moment its last call lands — the
+// naive ceiling division (Calls+RateLimitCalls-1)/RateLimitCalls would
+// charge the window that call merely opened, overstating the clock by
+// one full window per walker.
+func VirtualOf(p Preset, st Stats) time.Duration {
+	if p.RateLimitCalls <= 0 || st.Calls <= 0 {
+		return st.Wait
+	}
+	refills := (st.Calls - 1) / p.RateLimitCalls
+	return time.Duration(refills)*p.RateLimitWindow + st.Wait
 }

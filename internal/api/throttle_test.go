@@ -1,0 +1,172 @@
+package api
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestYieldOnThrottleReturnsTypedError: in non-blocking mode a 429
+// surfaces immediately as a *ThrottledError carrying the virtual
+// timestamp at which the window reopens, with the window wait already
+// booked as ThrottleWait and nothing charged.
+func TestYieldOnThrottleReturnsTypedError(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 11})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.YieldOnThrottle = true
+
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("want ErrThrottled, got %v", err)
+	}
+	var te *ThrottledError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is not a *ThrottledError: %v", err)
+	}
+	window := Twitter().RateLimitWindow
+	if te.ReadyAt != window {
+		t.Errorf("ReadyAt = %v, want one window (%v): zero calls charged, one window booked", te.ReadyAt, window)
+	}
+	if cl.Cost() != 0 {
+		t.Errorf("throttled call charged %d calls", cl.Cost())
+	}
+	st := cl.Stats()
+	if st.RateLimitHits != 1 {
+		t.Errorf("RateLimitHits = %d, want 1 (no silent retries in yield mode)", st.RateLimitHits)
+	}
+	if st.ThrottleWait != window || st.Wait != window {
+		t.Errorf("ThrottleWait = %v Wait = %v, want both %v", st.ThrottleWait, st.Wait, window)
+	}
+
+	// Blocking mode on the same fault schedule keeps the original
+	// behavior: retries absorb the 429s until MaxRetries, then the raw
+	// sentinel surfaces.
+	srv2 := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 11})
+	cl2 := NewClient(srv2, 0)
+	cl2.Policy = noJitterPolicy()
+	if _, err := cl2.Connections(1); !errors.Is(err, ErrRateLimited) || errors.Is(err, ErrThrottled) {
+		t.Fatalf("blocking mode want plain ErrRateLimited, got %v", err)
+	}
+}
+
+// TestWaitAttribution: the Stats.Wait total splits into ThrottleWait
+// (429 windows), BackoffWait (transient backoff + breaker cooldowns),
+// and a slow-call latency remainder.
+func TestWaitAttribution(t *testing.T) {
+	p := testPlatform(t)
+
+	// Pure 429s: everything is throttle wait.
+	srv := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 3})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.Policy.RateLimitWait = time.Minute
+	_, err := cl.Connections(1)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st.ThrottleWait != st.Wait || st.BackoffWait != 0 {
+		t.Errorf("pure-429 split: ThrottleWait=%v BackoffWait=%v Wait=%v", st.ThrottleWait, st.BackoffWait, st.Wait)
+	}
+
+	// Pure transients: everything is backoff wait.
+	srv = NewServer(p, Twitter(), Faults{TransientProb: 1, Seed: 4})
+	cl = NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	if _, err := cl.Connections(1); !errors.Is(err, ErrTransient) {
+		t.Fatal(err)
+	}
+	st = cl.Stats()
+	if st.BackoffWait != st.Wait || st.ThrottleWait != 0 || st.Wait == 0 {
+		t.Errorf("pure-transient split: ThrottleWait=%v BackoffWait=%v Wait=%v", st.ThrottleWait, st.BackoffWait, st.Wait)
+	}
+
+	// Slow calls only: neither bucket claims the latency remainder.
+	srv = NewServer(p, Twitter(), Faults{SlowCallProb: 1, SlowCallLatency: time.Second, Seed: 5})
+	cl = NewClient(srv, 0)
+	if _, err := cl.Connections(1); err != nil {
+		t.Fatal(err)
+	}
+	st = cl.Stats()
+	if st.ThrottleWait != 0 || st.BackoffWait != 0 || st.Wait != time.Second {
+		t.Errorf("slow-call split: ThrottleWait=%v BackoffWait=%v Wait=%v", st.ThrottleWait, st.BackoffWait, st.Wait)
+	}
+
+	// The accumulation law survives Add.
+	sum := Stats{Wait: 3 * time.Second, ThrottleWait: time.Second, BackoffWait: time.Second}.
+		Add(Stats{Wait: 2 * time.Second, ThrottleWait: 2 * time.Second})
+	if sum.Wait != 5*time.Second || sum.ThrottleWait != 3*time.Second || sum.BackoffWait != time.Second {
+		t.Errorf("Add lost attribution: %+v", sum)
+	}
+}
+
+// TestYieldOnThrottleStallWatchdog: a walker that only ever throttles
+// must still trip the stall watchdog in yield mode — parking is not a
+// license to spin forever without budget progress.
+func TestYieldOnThrottleStallWatchdog(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{RateLimitProb: 1, Seed: 6})
+	cl := NewClient(srv, 0)
+	cl.Policy = noJitterPolicy()
+	cl.Policy.StallWait = 20 * time.Minute // trips on the second booked window
+	cl.YieldOnThrottle = true
+
+	if _, err := cl.Connections(1); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("first throttle: %v", err)
+	}
+	_, err := cl.Connections(2)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("want ErrStalled once accrued throttle wait passes StallWait, got %v", err)
+	}
+	if cl.Stats().StallTrips != 1 {
+		t.Errorf("StallTrips = %d, want 1", cl.Stats().StallTrips)
+	}
+}
+
+// TestCachePredicates: the Can*/CachedConnections probes answer purely
+// from cache and never charge.
+func TestCachePredicates(t *testing.T) {
+	p := testPlatform(t)
+	srv := NewServer(p, Twitter(), Faults{})
+	cl := NewClient(srv, 0)
+	if cl.CanConnections(1) || cl.CanTimeline(1) {
+		t.Fatal("cold cache claims readiness")
+	}
+	if _, err := cl.Connections(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Timeline(1); err != nil {
+		t.Fatal(err)
+	}
+	cost := cl.Cost()
+	if !cl.CanConnections(1) || !cl.CanTimeline(1) {
+		t.Error("warm cache denies readiness")
+	}
+	ns, ok := cl.CachedConnections(1)
+	if !ok {
+		t.Error("CachedConnections missing a paid response")
+	}
+	want, _, err := srv.Connections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != len(want) {
+		t.Errorf("cached neighbor list has %d entries, server says %d", len(ns), len(want))
+	}
+	if cl.Cost() != cost {
+		t.Errorf("cache predicates charged %d calls", cl.Cost()-cost)
+	}
+
+	// Negative verdicts make the probes ready too: the user is known
+	// unreachable without another charged call.
+	psrv := NewServer(p, Twitter(), Faults{PrivateProb: 1, Seed: 9})
+	pcl := NewClient(psrv, 0)
+	if _, err := pcl.Timeline(2); !errors.Is(err, ErrPrivate) {
+		t.Fatalf("want ErrPrivate, got %v", err)
+	}
+	if !pcl.CanTimeline(2) || !pcl.CanConnections(2) {
+		t.Error("cached private verdict should make both probes ready")
+	}
+}

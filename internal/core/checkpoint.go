@@ -30,8 +30,11 @@ type Checkpoint struct {
 	priorCost  int
 	priorStats api.Stats
 	priorHeal  HealStats
-	interval   model.Tick
-	cache      *api.CacheSnapshot
+	// priorDrained is the cumulative count of free cache-drained steps
+	// (see Result.DrainedSteps) across all prior segments.
+	priorDrained int
+	interval     model.Tick
+	cache        *api.CacheSnapshot
 	// breaker carries the client's circuit-breaker state: a breaker
 	// tripped by an ongoing outage must stay tripped after a resume,
 	// otherwise the fresh client silently forgets the outage.
@@ -42,6 +45,11 @@ type Checkpoint struct {
 	chain   []srwSample
 	cur     int64
 	haveCur bool
+	// parked records that the segment ended on a yield-mode throttle
+	// (api.ErrThrottled): the walk is positioned at a cache frontier
+	// waiting for the rate-limit window, not broken. A resumed segment
+	// uses this to attribute its free warm-cache prefix to DrainedSteps.
+	parked bool
 
 	// MA-TARW state.
 	sumEsts, cntEsts, seedEsts []float64
@@ -65,6 +73,17 @@ func (ck *Checkpoint) SpentStats() api.Stats { return ck.priorStats }
 
 // Healed returns the cumulative heal statistics across all segments.
 func (ck *Checkpoint) Healed() HealStats { return ck.priorHeal }
+
+// Drained returns the cumulative free cache-drained steps across all
+// segments (see Result.DrainedSteps).
+func (ck *Checkpoint) Drained() int { return ck.priorDrained }
+
+// Parked reports whether the checkpointed segment ended on a
+// yield-mode throttle (api.ErrThrottled): the walker is waiting out a
+// rate-limit window at a cache frontier, not wedged. Schedulers use
+// this to park the unit until the window reopens instead of counting
+// the interruption against resume/heal limits.
+func (ck *Checkpoint) Parked() bool { return ck.parked }
 
 // Breaker returns the checkpointed circuit-breaker state.
 func (ck *Checkpoint) Breaker() api.BreakerState { return ck.breaker }

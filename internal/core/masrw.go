@@ -29,6 +29,16 @@ type Result struct {
 	Cost int
 	// Samples is the number of walk samples (SRW steps or TARW walks).
 	Samples int
+	// DrainedSteps counts the walk steps a yield-mode throttle park
+	// yielded for free, entirely from the client cache ("walk, not
+	// wait"): the steps Session.DrainReady approves at the moment of
+	// parking, plus — when a segment resumes from a parked checkpoint —
+	// every step before that segment's first charged call, which is the
+	// drained-out remainder of the park (progress a blocking walker
+	// would have idled through while the window was shut). Cumulative
+	// across resumed segments. Always zero in blocking mode and in
+	// fault-free runs.
+	DrainedSteps int
 	// Trajectory records intermediate estimates for convergence plots
 	// (Figure 9) and cost-at-error-threshold extraction (Figures 2–14).
 	Trajectory []Point
@@ -161,16 +171,20 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	heal := opts.Heal.withDefaults()
 
 	var (
-		res        Result
-		chain      []srwSample
-		traj       []Point
-		priorCost  int
-		priorStats api.Stats
-		priorHeal  HealStats
-		segHeal    HealStats
-		segments   int
-		resumeAt   int64
-		haveResume bool
+		res          Result
+		chain        []srwSample
+		traj         []Point
+		priorCost    int
+		priorStats   api.Stats
+		priorHeal    HealStats
+		segHeal      HealStats
+		segments     int
+		priorDrained int
+		segDrained   int
+		parkedNow    bool
+		wasParked    bool
+		resumeAt     int64
+		haveResume   bool
 	)
 	if ck := opts.Resume; ck != nil {
 		if ck.algo != algoSRW {
@@ -181,6 +195,8 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 		traj = append(traj, ck.traj...)
 		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
 		priorHeal = ck.priorHeal
+		priorDrained = ck.priorDrained
+		wasParked = ck.parked
 		resumeAt, haveResume = ck.cur, ck.haveCur
 	}
 	baseVanished, basePruned := s.ChurnObserved()
@@ -188,8 +204,61 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	// fresh randomness instead of replaying the interrupted segment.
 	rng := rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
 
+	// Trajectory checkpoints start EmitEvery apart and grow ~5% per
+	// emission, keeping the estimate-recomputation cost (O(chain) per
+	// checkpoint) near-linear over long walks.
+	nextEmit := len(chain) + opts.EmitEvery
+	// finalize is declared before the seed search so a pre-walk throttle
+	// park can still produce a truthful cumulative checkpoint; until the
+	// walker exists it records the resume position (if any) unchanged.
+	var w *walk.SimpleWalk
+	finalize := func() Result {
+		v, p := s.ChurnObserved()
+		segHeal.VanishedUsers = v - baseVanished
+		segHeal.PrunedEdges = p - basePruned
+		res.Cost = priorCost + s.Client.Cost()
+		res.Stats = priorStats.Add(s.Client.Stats())
+		res.Heal = priorHeal.Add(segHeal)
+		res.Samples = len(chain)
+		res.DrainedSteps = priorDrained + segDrained
+		res.Trajectory = traj
+		res.Estimate = math.NaN()
+		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
+			res.Estimate = est
+		}
+		res.Checkpoint = &Checkpoint{
+			algo:         algoSRW,
+			segments:     segments + 1,
+			priorCost:    res.Cost,
+			priorStats:   res.Stats,
+			priorHeal:    res.Heal,
+			priorDrained: res.DrainedSteps,
+			interval:     s.Interval,
+			cache:        s.Client.ExportCache(),
+			breaker:      s.Client.BreakerState(),
+			traj:         append([]Point(nil), traj...),
+			chain:        append([]srwSample(nil), chain...),
+			cur:          resumeAt,
+			haveCur:      haveResume,
+			parked:       parkedNow,
+		}
+		if w != nil {
+			res.Checkpoint.cur = w.Current()
+			res.Checkpoint.haveCur = true
+		}
+		return res
+	}
+
 	seeds, err := s.Seeds()
 	if err != nil {
+		if errors.Is(err, api.ErrThrottled) {
+			// A yield-mode throttle during the seed fetch: park before
+			// any walk state exists. The checkpoint keeps the cumulative
+			// books (and the cache snapshot, so the resumed seed search
+			// repays nothing) and no resume position.
+			parkedNow = true
+			return degrade(finalize(), err), nil
+		}
 		return res, err
 	}
 	var start int64
@@ -198,6 +267,12 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	} else {
 		start, err = s.PickSeed(seeds, rng)
 		if err != nil {
+			if errors.Is(err, api.ErrThrottled) {
+				// Same park, one step later: the seed search itself
+				// throttled.
+				parkedNow = true
+				return degrade(finalize(), err), nil
+			}
 			res.Cost = s.Client.Cost()
 			res.Stats = s.Client.Stats()
 			return res, err
@@ -208,48 +283,26 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	if oracle == nil {
 		oracle = s.Neighbors(opts.View)
 	}
-	w := walk.NewSimple(walk.GraphFunc(oracle), start, rng)
+	w = walk.NewSimple(walk.GraphFunc(oracle), start, rng)
 
-	// Trajectory checkpoints start EmitEvery apart and grow ~5% per
-	// emission, keeping the estimate-recomputation cost (O(chain) per
-	// checkpoint) near-linear over long walks.
-	nextEmit := len(chain) + opts.EmitEvery
-	finalize := func() Result {
-		v, p := s.ChurnObserved()
-		segHeal.VanishedUsers = v - baseVanished
-		segHeal.PrunedEdges = p - basePruned
-		res.Cost = priorCost + s.Client.Cost()
-		res.Stats = priorStats.Add(s.Client.Stats())
-		res.Heal = priorHeal.Add(segHeal)
-		res.Samples = len(chain)
-		res.Trajectory = traj
-		res.Estimate = math.NaN()
-		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
-			res.Estimate = est
-		}
-		res.Checkpoint = &Checkpoint{
-			algo:       algoSRW,
-			segments:   segments + 1,
-			priorCost:  res.Cost,
-			priorStats: res.Stats,
-			priorHeal:  res.Heal,
-			interval:   s.Interval,
-			cache:      s.Client.ExportCache(),
-			breaker:    s.Client.BreakerState(),
-			traj:       append([]Point(nil), traj...),
-			chain:      append([]srwSample(nil), chain...),
-			cur:        w.Current(),
-			haveCur:    true,
-		}
-		return res
-	}
-
+	// A segment resumed from a throttle park works the warm cache the
+	// parked segment left behind. The walk step splits into a
+	// cache-satisfiable probe (DrainReady: the transition is fully
+	// answerable from cache) and a charged fetch; every probe-approved
+	// step that indeed charged nothing is a drained step — progress the
+	// park bought for free where a blocking walker would have idled.
 	for {
 		if opts.MaxSteps > 0 && len(chain) >= opts.MaxSteps {
 			break
 		}
 		if s.Client.Exhausted() {
 			break
+		}
+		probeFree := false
+		costBefore := 0
+		if wasParked && opts.Graph == nil {
+			probeFree = s.DrainReady(opts.View, w.Current())
+			costBefore = s.Client.Cost()
 		}
 		u, err := w.Step()
 		switch {
@@ -305,6 +358,11 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			w.Jump(ns)
 			continue
 		case err != nil:
+			// A yield-mode throttle (api.ErrThrottled) is a park, not a
+			// failure: the walk sits at a cache frontier waiting for the
+			// rate-limit window. Mark the checkpoint so schedulers requeue
+			// the unit for the window instead of treating it as wedged.
+			parkedNow = errors.Is(err, api.ErrThrottled)
 			return degrade(finalize(), err), nil
 		}
 
@@ -313,9 +371,13 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			return finalize(), nil
 		}
 		if err != nil {
+			parkedNow = errors.Is(err, api.ErrThrottled)
 			return degrade(finalize(), err), nil
 		}
 		chain = append(chain, srwSample{u: u, degree: deg, match: match, value: value})
+		if probeFree && s.Client.Cost() == costBefore {
+			segDrained++
+		}
 
 		if len(chain) >= nextEmit {
 			if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {

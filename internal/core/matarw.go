@@ -150,13 +150,14 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 	heal := opts.Heal.withDefaults()
 
 	var (
-		res        Result
-		traj       []Point
-		priorCost  int
-		priorStats api.Stats
-		priorHeal  HealStats
-		segHeal    HealStats
-		segments   int
+		res          Result
+		traj         []Point
+		priorCost    int
+		priorStats   api.Stats
+		priorHeal    HealStats
+		segHeal      HealStats
+		segments     int
+		priorDrained int
 	)
 	// Per-walk estimates of SUM(f·match), COUNT(match), and the
 	// calibration control COUNT(seed) whose true total is known.
@@ -182,13 +183,65 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		t.pDown = copyPStats(ck.pDown)
 		priorCost, priorStats, segments = ck.priorCost, ck.priorStats, ck.segments
 		priorHeal = ck.priorHeal
+		priorDrained = ck.priorDrained
 	}
 	baseVanished, basePruned := s.ChurnObserved()
 	// Segment-derived RNG: a resumed run continues with fresh draws.
 	t.rng = rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
 
+	// sSize is filled in once the seed directory is fetched; finalize is
+	// declared first so a pre-walk throttle park can still checkpoint
+	// truthful cumulative books.
+	var sSize float64
+	var parkedNow bool
+	finalize := func() Result {
+		v, p := s.ChurnObserved()
+		segHeal.VanishedUsers = v - baseVanished
+		segHeal.PrunedEdges = p - basePruned
+		res.Cost = priorCost + s.Client.Cost()
+		res.Stats = priorStats.Add(s.Client.Stats())
+		res.Heal = priorHeal.Add(segHeal)
+		res.Samples = len(sumEsts)
+		// TARW parks without draining (a per-walk sample is only valid
+		// complete), but an SRW-accrued counter carried in via a shared
+		// fleet resume must survive the round-trip.
+		res.DrainedSteps = priorDrained
+		res.ZeroProbPaths = t.zeroPaths
+		res.Trajectory = traj
+		res.Estimate = math.NaN()
+		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
+			res.Estimate = est
+		}
+		res.Checkpoint = &Checkpoint{
+			algo:         algoTARW,
+			segments:     segments + 1,
+			priorCost:    res.Cost,
+			priorStats:   res.Stats,
+			priorHeal:    res.Heal,
+			priorDrained: res.DrainedSteps,
+			interval:     s.Interval,
+			cache:        s.Client.ExportCache(),
+			breaker:      s.Client.BreakerState(),
+			traj:         append([]Point(nil), traj...),
+			sumEsts:      append([]float64(nil), sumEsts...),
+			cntEsts:      append([]float64(nil), cntEsts...),
+			seedEsts:     append([]float64(nil), seedEsts...),
+			zeroPaths:    t.zeroPaths,
+			pUp:          copyPStats(t.pUp),
+			pDown:        copyPStats(t.pDown),
+			parked:       parkedNow,
+		}
+		return res
+	}
+
 	seeds, err := s.Seeds()
 	if err != nil {
+		if errors.Is(err, api.ErrThrottled) {
+			// Yield-mode throttle during the seed fetch: park with the
+			// cumulative books intact (see the SRW twin of this path).
+			parkedNow = true
+			return degrade(finalize(), err), nil
+		}
 		return res, err
 	}
 	t.seeds = seeds
@@ -200,41 +253,7 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		//lint:ignore budgetflow pilot failure falls back to the current interval; the main loop re-observes budget exhaustion on its next charged call
 		_ = t.selectInterval()
 	}
-
-	sSize := float64(seeds.Size())
-	finalize := func() Result {
-		v, p := s.ChurnObserved()
-		segHeal.VanishedUsers = v - baseVanished
-		segHeal.PrunedEdges = p - basePruned
-		res.Cost = priorCost + s.Client.Cost()
-		res.Stats = priorStats.Add(s.Client.Stats())
-		res.Heal = priorHeal.Add(segHeal)
-		res.Samples = len(sumEsts)
-		res.ZeroProbPaths = t.zeroPaths
-		res.Trajectory = traj
-		res.Estimate = math.NaN()
-		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
-			res.Estimate = est
-		}
-		res.Checkpoint = &Checkpoint{
-			algo:       algoTARW,
-			segments:   segments + 1,
-			priorCost:  res.Cost,
-			priorStats: res.Stats,
-			priorHeal:  res.Heal,
-			interval:   s.Interval,
-			cache:      s.Client.ExportCache(),
-			breaker:    s.Client.BreakerState(),
-			traj:       append([]Point(nil), traj...),
-			sumEsts:    append([]float64(nil), sumEsts...),
-			cntEsts:    append([]float64(nil), cntEsts...),
-			seedEsts:   append([]float64(nil), seedEsts...),
-			zeroPaths:  t.zeroPaths,
-			pUp:        copyPStats(t.pUp),
-			pDown:      copyPStats(t.pDown),
-		}
-		return res
-	}
+	sSize = float64(seeds.Size())
 
 	for {
 		if opts.MaxWalks > 0 && len(sumEsts) >= opts.MaxWalks {
@@ -264,6 +283,7 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 			continue
 		}
 		if err != nil {
+			parkedNow = errors.Is(err, api.ErrThrottled)
 			return degrade(finalize(), err), nil
 		}
 		sumEsts = append(sumEsts, sumEst)

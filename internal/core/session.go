@@ -306,6 +306,59 @@ func (s *Session) filterNeighbors(u int64, keep func(lvl, myLevel int) bool) ([]
 	return out, nil
 }
 
+// oracleReady reports whether u's derived node facts are answerable
+// without a charged API call: either the session has already
+// interpreted them, or the client's cache holds a timeline verdict
+// (positive or negative) for u.
+func (s *Session) oracleReady(u int64) bool {
+	if _, ok := s.info[u]; ok {
+		return true
+	}
+	return s.Client.CanTimeline(u)
+}
+
+// DrainReady reports whether the walker's next step from u under the
+// given view is fully cache-satisfiable — the neighbor oracle AND the
+// per-sample facts for every candidate destination can be answered
+// without charging a single API call. A parked walker uses this to
+// keep stepping through already-paid territory while the rate-limit
+// window is shut ("walk, not wait"): every step DrainReady approves is
+// free by construction, so draining never perturbs the budget books.
+//
+//lint:ignore budgetflow every path is a free cache probe or guarded by oracleReady, so no charged call can happen; a boolean probe has no error to propagate
+func (s *Session) DrainReady(view GraphView, u int64) bool {
+	if !s.oracleReady(u) {
+		return false
+	}
+	if view != SocialView {
+		in, err := s.node(u) // free: oracleReady held
+		if err != nil {
+			return false
+		}
+		if !in.reachable || !in.qualified {
+			// The filtered oracles return an empty list for such a user
+			// without touching connections; the step is free (it will
+			// surface walk.ErrStuck, handled by the caller).
+			return true
+		}
+	}
+	if !s.Client.CanConnections(u) {
+		return false
+	}
+	ns, ok := s.Client.CachedConnections(u)
+	if !ok {
+		// A cached negative verdict (private/vanished): connections()
+		// folds it to an empty list for free.
+		return true
+	}
+	for _, v := range ns {
+		if !s.oracleReady(v) {
+			return false
+		}
+	}
+	return true
+}
+
 // Vanished reports whether a fresh probe has revealed u as gone from
 // the platform.
 func (s *Session) Vanished(u int64) bool {

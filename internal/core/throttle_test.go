@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// yieldPolicy is a retry policy for yield-mode clients: no jitter so
+// runs replay deterministically, no stall watchdog (tests arm it
+// explicitly when they want it).
+func yieldPolicy() api.RetryPolicy {
+	p := api.DefaultRetryPolicy()
+	p.Jitter = 0
+	return p
+}
+
+// TestThrottleParksDrainsAndResumes is the core-layer round-trip of
+// the cooperative scheduler's unit of work: a walk parks on a
+// yield-mode throttle (checkpoint flagged Parked, nothing charged for
+// the rejected call), and a later resume drains free warm-cache steps
+// before paying for fresh territory.
+func TestThrottleParksDrainsAndResumes(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+
+	// Segment 1: fault-free blocking run on a modest budget. Leaves a
+	// clean (unparked) checkpoint with a warm response cache.
+	c1 := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{}), 1500)
+	c1.Policy = yieldPolicy()
+	s1, err := NewSession(c1, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := RunSRW(s1, SRWOptions{View: LevelView, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Degraded {
+		t.Fatalf("fault-free segment degraded: %v", res1.DegradedBy)
+	}
+	if res1.Checkpoint.Parked() {
+		t.Fatal("clean budget exhaustion must not flag the checkpoint parked")
+	}
+	if res1.DrainedSteps != 0 {
+		t.Fatalf("fault-free run drained %d steps, want 0", res1.DrainedSteps)
+	}
+
+	// Segment 2: resume in yield mode over an always-throttling server.
+	// The warm cache carries the walk for a while (a fresh RNG segment
+	// re-wanders paid territory); the first charged attempt parks it.
+	c2 := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{RateLimitProb: 1, Seed: 8}), 1500)
+	c2.Policy = yieldPolicy()
+	c2.YieldOnThrottle = true
+	s2, err := NewSession(c2, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunSRW(s2, SRWOptions{View: LevelView, Seed: 1, Resume: res1.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Degraded || !errors.Is(res2.DegradedBy, api.ErrThrottled) {
+		t.Fatalf("want a throttle park, got degraded=%v by %v", res2.Degraded, res2.DegradedBy)
+	}
+	var te *api.ThrottledError
+	if !errors.As(res2.DegradedBy, &te) || te.ReadyAt <= 0 {
+		t.Fatalf("park carries no usable ReadyAt: %v", res2.DegradedBy)
+	}
+	if !res2.Checkpoint.Parked() {
+		t.Fatal("throttle-parked checkpoint not flagged Parked")
+	}
+	if c2.Cost() != 0 {
+		t.Errorf("a run where every charge 429s still charged %d calls", c2.Cost())
+	}
+	if res2.Cost != res1.Cost {
+		t.Errorf("parked segment cost %d, want unchanged %d", res2.Cost, res1.Cost)
+	}
+	if res2.Samples < res1.Samples {
+		t.Errorf("park lost samples: %d -> %d", res1.Samples, res2.Samples)
+	}
+
+	// Segment 3: the window reopened — resume fault-free. The parked
+	// checkpoint's warm cache drains free steps (counted this time:
+	// wasParked) before fresh fetches start charging.
+	c3 := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{}), 1500)
+	c3.Policy = yieldPolicy()
+	c3.YieldOnThrottle = true
+	s3, err := NewSession(c3, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := RunSRW(s3, SRWOptions{View: LevelView, Seed: 1, Resume: res2.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Degraded {
+		t.Fatalf("healthy resume degraded: %v", res3.DegradedBy)
+	}
+	if res3.Checkpoint.Parked() {
+		t.Error("clean completion left the checkpoint flagged parked")
+	}
+	if res3.DrainedSteps == 0 {
+		t.Error("park-resumed segment drained no free steps from the warm cache")
+	}
+	if res3.DrainedSteps >= res3.Samples {
+		t.Errorf("drained %d of %d samples: accounting claims charged steps as free",
+			res3.DrainedSteps, res3.Samples)
+	}
+	if res3.Cost != res1.Cost+c3.Cost() {
+		t.Errorf("cumulative cost %d, want %d (prior) + %d (segment 3)",
+			res3.Cost, res1.Cost, c3.Cost())
+	}
+	if res3.Checkpoint.Drained() != res3.DrainedSteps {
+		t.Errorf("checkpoint drained %d != result %d", res3.Checkpoint.Drained(), res3.DrainedSteps)
+	}
+	if math.IsNaN(res3.Estimate) {
+		t.Error("resumed run produced no estimate")
+	}
+}
+
+// TestDrainReadyProbe pins the cache-satisfiable probe against the
+// charged-fetch ground truth: whenever DrainReady approves, performing
+// the oracle step and the per-sample facts must charge nothing.
+func TestDrainReadyProbe(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	cl := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{}), 4000)
+	s, err := NewSession(cl, q, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold cache: nothing is ready.
+	if s.DrainReady(LevelView, 1) {
+		t.Fatal("cold cache approved a drain step")
+	}
+
+	// Warm a region by walking it, then audit the probe over every node
+	// the session learned about.
+	res, err := RunSRW(s, SRWOptions{View: LevelView, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("fixture run degraded: %v", res.DegradedBy)
+	}
+	oracle := s.Neighbors(LevelView)
+	ready, audited := 0, 0
+	for u := int64(0); u < 2000; u++ {
+		if !s.DrainReady(LevelView, u) {
+			continue
+		}
+		ready++
+		before := cl.Cost()
+		ns, err := oracle(u)
+		if err != nil {
+			t.Fatalf("probe-approved oracle(%d) failed: %v", u, err)
+		}
+		for _, v := range ns {
+			if _, _, err := s.MatchValue(v); err != nil {
+				t.Fatalf("probe-approved sample facts for %d failed: %v", v, err)
+			}
+		}
+		if cl.Cost() != before {
+			t.Fatalf("probe-approved step from %d charged %d calls", u, cl.Cost()-before)
+		}
+		audited++
+	}
+	if ready == 0 {
+		t.Fatal("no node was drain-ready after a full walk; probe is vacuous")
+	}
+	t.Logf("probe approved %d nodes, all %d audited free", ready, audited)
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/fleet"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// ratelimitUnits is the fleet shape of the sweep: twelve independent
+// walkers sharing the budget, replayed through ONE execution slot.
+// One slot is the adversarial case for a blocking fleet — every
+// rate-limit wait holds the only slot — and therefore the honest
+// baseline for the cooperative scheduler's makespan claim.
+const ratelimitUnits = 12
+
+// ratelimitScenario is one fault configuration of the cooperative
+// scheduling sweep: the fault-free control (where both modes must be
+// bit-identical), the chaos sweep's pure 429 storm, and its layered
+// storm (429s mixed with transients, outages, slow calls, and private
+// profiles, breaker armed).
+type ratelimitScenario struct {
+	name   string
+	faults api.Faults
+	policy api.RetryPolicy
+}
+
+func ratelimitScenarios(seed int64) []ratelimitScenario {
+	base := api.DefaultRetryPolicy()
+	breaker := base
+	breaker.BreakerThreshold = 5
+	breaker.BreakerCooldown = time.Minute
+	return []ratelimitScenario{
+		{name: "baseline", faults: api.Faults{Seed: seed}, policy: base},
+		{name: "ratelimit-10%", faults: api.Faults{RateLimitProb: 0.10, Seed: seed}, policy: base},
+		{name: "storm", faults: api.Faults{
+			TransientProb:   0.08,
+			RateLimitProb:   0.04,
+			OutageMeanGap:   5000,
+			OutageLength:    20,
+			SlowCallProb:    0.05,
+			SlowCallLatency: 2 * time.Second,
+			TruncateProb:    0.02,
+			PrivateProb:     0.05,
+			Seed:            seed,
+		}, policy: breaker},
+	}
+}
+
+// RateLimit is the cooperative-scheduling sweep: each fault scenario
+// runs the same MA-SRW walker fleet twice — blocking mode (a throttled
+// walker holds its slot through the whole rate-limit window) and
+// cooperative mode (a throttled walker parks, yields the slot, and
+// drains free warm-cache steps on resume) — at equal budget, and the
+// table reports the virtual-makespan collapse the tentpole claims:
+// under ratelimit-10% the cooperative fleet's makespan must come in at
+// least 5x below blocking, while the fault-free baseline stays
+// bit-identical across modes (audited, not assumed).
+func RateLimit(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, err
+	}
+
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, err
+	}
+	walk := func(ctx context.Context, s *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
+		return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+	}
+	preset := api.Twitter()
+
+	t := Table{
+		ID:    "ratelimit",
+		Title: "Cooperative scheduling: blocking vs parked walkers under 429 storms (virtual makespan at one execution slot, equal budget)",
+		Columns: []string{
+			"Scenario", "Mode", "Estimate", "RelErr", "Cost", "Samples",
+			"Makespan", "Speedup", "ThrottleWait", "Parks", "Drained", "Audit",
+		},
+	}
+
+	aud := audit.Auditor{Budget: opts.Budget}
+	var violations []string
+	for _, sc := range ratelimitScenarios(opts.Seed) {
+		var modeEstimates []float64
+		var blockMakespan time.Duration
+		for _, coop := range []bool{false, true} {
+			mode := "block"
+			if coop {
+				mode = "coop"
+			}
+			opts.logf("ratelimit: %s %s", sc.name, mode)
+			policy := sc.policy
+			res, err := fleet.Run(ctx, fleet.Config{
+				Platform:    p,
+				Preset:      preset,
+				Faults:      sc.faults,
+				Query:       q,
+				Interval:    opts.Interval,
+				Walk:        walk,
+				Budget:      opts.Budget,
+				Seed:        opts.Seed,
+				Units:       ratelimitUnits,
+				Parallelism: 1,
+				Cooperative: coop,
+				StallWait:   4 * preset.RateLimitWindow,
+				Policy:      &policy,
+				MaxResumes:  chaosMaxResumes,
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("ratelimit %s %s: %w", sc.name, mode, err)
+			}
+
+			checks := 0
+			for _, rep := range []*audit.Report{aud.CheckFleet(res), aud.CheckSchedule(res, preset)} {
+				checks += rep.Checks
+				for _, v := range rep.Violations {
+					violations = append(violations, fmt.Sprintf("%s/%s: %s", sc.name, mode, v))
+				}
+			}
+			modeEstimates = append(modeEstimates, res.Estimate)
+
+			speedup := "-"
+			if !coop {
+				blockMakespan = res.Makespan
+			} else if res.Makespan > 0 {
+				speedup = fmt.Sprintf("%.1fx", float64(blockMakespan)/float64(res.Makespan))
+			}
+			relErr := math.NaN()
+			if !math.IsNaN(res.Estimate) {
+				relErr = stats.RelativeError(res.Estimate, truth)
+			}
+			t.Rows = append(t.Rows, []string{
+				sc.name,
+				mode,
+				fmt.Sprintf("%.4f", res.Estimate),
+				fmt.Sprintf("%.4f", relErr),
+				fmt.Sprintf("%d", res.Cost),
+				fmt.Sprintf("%d", res.Samples),
+				res.Makespan.Round(time.Second).String(),
+				speedup,
+				res.Stats.ThrottleWait.Round(time.Second).String(),
+				fmt.Sprintf("%d", res.Parks),
+				fmt.Sprintf("%d", res.DrainedSteps),
+				fmt.Sprintf("ok(%d)", checks),
+			})
+		}
+		if sc.name == "baseline" {
+			// The fault-free control is the tentpole's safety half:
+			// cooperative scheduling must not move the estimate by one
+			// ulp when nothing throttles.
+			if rep := aud.CheckParallelDeterminism(modeEstimates); !rep.OK() {
+				violations = append(violations, fmt.Sprintf("baseline block-vs-coop: %v", rep.Err()))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return t, fmt.Errorf("ratelimit: auditor found %d invariant violations; first: %s",
+			len(violations), violations[0])
+	}
+	return t, nil
+}

@@ -1,0 +1,253 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/fleet"
+)
+
+// faultFreeBits pins the fault-free fleet estimate for the shared
+// fixture (testPlatform, baseConfig(p, 8000)) as an exact bit pattern.
+// Cooperative scheduling must not move this by even one ulp: with no
+// faults there are no 429s, no parks, and no drains, so blocking and
+// cooperative fleets run byte-identical segments.
+const faultFreeBits = 0x4044f4d49d7037ba
+
+// TestCoopFaultFreeBitIdentical is the tentpole's safety half: turning
+// the cooperative scheduler on changes NOTHING about a fault-free run —
+// same pinned estimate bits, same fingerprint, same makespan, zero
+// parks, zero drained steps — and the schedule books balance under
+// audit in both modes.
+func TestCoopFaultFreeBitIdentical(t *testing.T) {
+	p := testPlatform(t)
+	aud := audit.Auditor{Budget: 8000}
+	var prints []string
+	var makespans []time.Duration
+	for _, coop := range []bool{false, true} {
+		cfg := baseConfig(p, 8000)
+		cfg.Parallelism = 1
+		cfg.Cooperative = coop
+		res, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("coop=%v: %v", coop, err)
+		}
+		if res.Degraded {
+			t.Fatalf("coop=%v degraded on a healthy platform: %v", coop, res.DegradedBy)
+		}
+		if bits := math.Float64bits(res.Estimate); bits != faultFreeBits {
+			t.Errorf("coop=%v estimate bits %#x, want pinned %#x (value %v)",
+				coop, bits, uint64(faultFreeBits), res.Estimate)
+		}
+		if res.Parks != 0 || res.DrainedSteps != 0 {
+			t.Errorf("coop=%v fault-free run parked %d times and drained %d steps; want zero both",
+				coop, res.Parks, res.DrainedSteps)
+		}
+		if rep := aud.CheckFleet(res); !rep.OK() {
+			t.Errorf("coop=%v fleet audit: %v", coop, rep.Err())
+		}
+		if rep := aud.CheckSchedule(res, api.Twitter()); !rep.OK() {
+			t.Errorf("coop=%v schedule audit: %v", coop, rep.Err())
+		}
+		prints = append(prints, fingerprint(res))
+		makespans = append(makespans, res.Makespan)
+	}
+	if prints[1] != prints[0] {
+		t.Errorf("cooperative mode changed a fault-free run:\n--- blocking\n%s--- cooperative\n%s", prints[0], prints[1])
+	}
+	if makespans[1] != makespans[0] {
+		t.Errorf("fault-free makespan differs: blocking %v, cooperative %v", makespans[0], makespans[1])
+	}
+}
+
+// TestCoopDeterministicAcrossParallelism extends the fleet's headline
+// invariant to the cooperative scheduler under rate-limit faults: unit
+// results are pure functions of the configuration, so the run-queue pop
+// order (which varies with goroutine count) must not leak into any
+// statistical output — estimates, parks, or drained steps.
+func TestCoopDeterministicAcrossParallelism(t *testing.T) {
+	p := testPlatform(t)
+	aud := audit.Auditor{Budget: 8000}
+	var prints []string
+	var estimates []float64
+	firstParks, firstDrained := -1, -1
+	for _, par := range []int{1, 2, 8} {
+		cfg := baseConfig(p, 8000)
+		cfg.Parallelism = par
+		cfg.Cooperative = true
+		cfg.Faults = api.Faults{RateLimitProb: 0.10}
+		cfg.StallWait = 4 * api.Twitter().RateLimitWindow
+		res, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if res.Parks == 0 {
+			t.Fatalf("parallelism %d: a 10%% 429 storm parked no walker; cooperative mode is inert", par)
+		}
+		if rep := aud.CheckFleet(res); !rep.OK() {
+			t.Fatalf("parallelism %d fleet audit: %v", par, rep.Err())
+		}
+		if rep := aud.CheckSchedule(res, api.Twitter()); !rep.OK() {
+			t.Fatalf("parallelism %d schedule audit: %v", par, rep.Err())
+		}
+		if firstParks < 0 {
+			firstParks, firstDrained = res.Parks, res.DrainedSteps
+		} else if res.Parks != firstParks || res.DrainedSteps != firstDrained {
+			t.Errorf("parallelism %d: parks/drained %d/%d differ from parallelism 1's %d/%d",
+				par, res.Parks, res.DrainedSteps, firstParks, firstDrained)
+		}
+		prints = append(prints, fingerprint(res))
+		estimates = append(estimates, res.Estimate)
+	}
+	for i, fp := range prints[1:] {
+		if fp != prints[0] {
+			t.Errorf("fingerprint of run %d differs from run 0:\n--- run 0\n%s--- run %d\n%s", i+1, prints[0], i+1, fp)
+		}
+	}
+	if rep := (audit.Auditor{}).CheckParallelDeterminism(estimates); !rep.OK() {
+		t.Error(rep.Err())
+	}
+}
+
+// TestCoopMakespanCollapse is the tentpole's payoff half: under a 10%
+// 429 storm at one execution slot, parked windows overlap instead of
+// stacking, so the cooperative fleet's virtual makespan must come in at
+// least 5x below the blocking fleet's at the same budget — while each
+// walker's own virtual elapsed time (VirtualDuration) stays within the
+// same order, because parking saves slot time, not walker time. The
+// fleet shape mirrors the mba-bench ratelimit sweep's ratelimit-10%
+// scenario (twelve walkers, one slot).
+func TestCoopMakespanCollapse(t *testing.T) {
+	p := testPlatform(t)
+	run := func(coop bool) fleet.Result {
+		cfg := baseConfig(p, 8000)
+		cfg.Units = 12
+		cfg.Parallelism = 1
+		cfg.Cooperative = coop
+		cfg.Faults = api.Faults{RateLimitProb: 0.10}
+		cfg.StallWait = 4 * api.Twitter().RateLimitWindow
+		res, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("coop=%v: %v", coop, err)
+		}
+		if rep := (audit.Auditor{Budget: 8000}).CheckSchedule(res, api.Twitter()); !rep.OK() {
+			t.Fatalf("coop=%v schedule audit: %v", coop, rep.Err())
+		}
+		return res
+	}
+	block := run(false)
+	coop := run(true)
+
+	if coop.Parks == 0 {
+		t.Fatal("cooperative run parked no walker under a 10% 429 storm")
+	}
+	if block.Parks != 0 {
+		t.Fatalf("blocking run reported %d parks; blocking walkers never park", block.Parks)
+	}
+	if coop.Makespan <= 0 || block.Makespan <= 0 {
+		t.Fatalf("degenerate makespans: blocking %v, cooperative %v", block.Makespan, coop.Makespan)
+	}
+	if ratio := float64(block.Makespan) / float64(coop.Makespan); ratio < 5 {
+		t.Errorf("cooperative makespan %v is only %.1fx below blocking %v; tentpole requires >= 5x",
+			coop.Makespan, ratio, block.Makespan)
+	}
+	// Parking rearranges slot time, not walker time: the cooperative
+	// fleet still books every rate-limit window in per-walker elapsed.
+	if coop.VirtualDuration < block.VirtualDuration/2 {
+		t.Errorf("cooperative per-walker elapsed %v implausibly below blocking %v: windows went unbooked",
+			coop.VirtualDuration, block.VirtualDuration)
+	}
+	t.Logf("makespan: blocking %v -> cooperative %v (%.1fx) with %d parks, %d steps drained free",
+		block.Makespan, coop.Makespan, float64(block.Makespan)/float64(coop.Makespan),
+		coop.Parks, coop.DrainedSteps)
+}
+
+// TestCoopWatchdogParking pins the watchdog x parking interaction from
+// both sides: a parking-but-progressing fleet must never trip the stall
+// watchdog (parks are scheduling, not stalls), while a wedged walker —
+// every charged call 429s, forever — must still trip it and terminate
+// instead of parking in an infinite loop.
+func TestCoopWatchdogParking(t *testing.T) {
+	p := testPlatform(t)
+
+	// Progressing: parks happen, trips must not.
+	cfg := baseConfig(p, 8000)
+	cfg.Parallelism = 8
+	cfg.Cooperative = true
+	cfg.Faults = api.Faults{RateLimitProb: 0.10}
+	cfg.StallWait = 4 * api.Twitter().RateLimitWindow
+	res, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parks == 0 {
+		t.Fatal("progressing fleet never parked; fixture is inert")
+	}
+	if res.WatchdogTrips != 0 {
+		t.Errorf("progressing fleet tripped the stall watchdog %d times; parks must not count as stalls",
+			res.WatchdogTrips)
+	}
+
+	// Wedged: every charged call 429s, so no park ever buys progress.
+	// The fleet-level watchdog must convert the park stream into trips
+	// and the resume bound must end the unit — termination of this Run
+	// is itself the property under test.
+	wedged := baseConfig(p, 1000)
+	wedged.Units = 2
+	wedged.Parallelism = 2
+	wedged.Cooperative = true
+	wedged.Faults = api.Faults{RateLimitProb: 1}
+	wedged.StallWait = 2 * api.Twitter().RateLimitWindow
+	wedged.MaxResumes = 5
+	wres, err := fleet.Run(context.Background(), wedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wres.Degraded || !errors.Is(wres.DegradedBy, api.ErrThrottled) {
+		t.Errorf("wedged fleet degraded=%v by %v; want a throttle degrade", wres.Degraded, wres.DegradedBy)
+	}
+	if wres.WatchdogTrips == 0 {
+		t.Error("wedged cooperative fleet never tripped the stall watchdog; a 100% 429 walker parked forever for free")
+	}
+	if wres.Cost != 0 {
+		t.Errorf("fully throttled fleet charged %d calls; 429s must never charge", wres.Cost)
+	}
+	if rep := (audit.Auditor{Budget: 1000}).CheckFleet(wres); !rep.OK() {
+		t.Errorf("wedged fleet audit: %v", rep.Err())
+	}
+}
+
+// TestReplayMakespan pins the deterministic list scheduler on a
+// hand-checked instance: one slot, unit A = 1h busy, 1h park, 1h busy;
+// unit B = 2h busy. Cooperative replay overlaps A's park with B's work
+// (finish at 4h); folding the park into busy time — the blocking
+// schedule — holds the slot through it (finish at 5h).
+func TestReplayMakespan(t *testing.T) {
+	coop := [][]fleet.Segment{
+		{{Busy: time.Hour, Park: time.Hour}, {Busy: time.Hour}},
+		{{Busy: 2 * time.Hour}},
+	}
+	if got := fleet.ReplayMakespan(coop, 1); got != 4*time.Hour {
+		t.Errorf("cooperative replay: got %v, want 4h", got)
+	}
+	blocking := [][]fleet.Segment{
+		{{Busy: 3 * time.Hour}},
+		{{Busy: 2 * time.Hour}},
+	}
+	if got := fleet.ReplayMakespan(blocking, 1); got != 5*time.Hour {
+		t.Errorf("blocking replay: got %v, want 5h", got)
+	}
+	// Two slots: nothing queues, so each unit finishes on its own
+	// elapsed time (A's second hour starts when its park ends at 2h).
+	if got := fleet.ReplayMakespan(coop, 2); got != 3*time.Hour {
+		t.Errorf("cooperative replay at 2 slots: got %v, want 3h", got)
+	}
+	if got := fleet.ReplayMakespan(blocking, 2); got != 3*time.Hour {
+		t.Errorf("blocking replay at 2 slots: got %v, want 3h", got)
+	}
+}

@@ -12,7 +12,7 @@
 //     seeds, so a unit's entire run is a pure function of the fleet
 //     seed and configuration.
 //   - Parallelism is the EXECUTION plan: how many goroutines drain the
-//     unit queue. It affects wall-clock time and nothing else.
+//     unit run queue. It affects wall-clock time and nothing else.
 //
 // Because no unit shares mutable state with another (the read-only
 // platform is shared; servers, clients, sessions, and RNGs are
@@ -21,14 +21,33 @@
 // parallelism — the determinism invariant internal/audit checks and
 // the regression tests assert for walkers ∈ {1, 2, 8}.
 //
+// Scheduling: units advance one SEGMENT (one walker run between
+// interruptions) per scheduler turn, drawn from a run queue ordered by
+// (virtual ready time, unit index). In cooperative mode (Cooperative:
+// true) each unit's client yields on 429 instead of blocking
+// (api.Client.YieldOnThrottle): the throttled segment PARKS — its
+// window wait is booked, the unit re-enters the queue at the virtual
+// time the window reopens, and the execution slot is immediately free
+// for a sibling. Parks are scheduling events, not failures: they do
+// not count against MaxResumes, do not feed the no-progress cutoff,
+// and a park-resumed walker first drains the free warm-cache steps the
+// park left behind (core.Result.DrainedSteps). Each unit also records
+// a per-segment trace of busy versus parked virtual time; the merge
+// replays the traces through a deterministic list scheduler
+// (ReplayMakespan) to report the fleet's virtual makespan — where the
+// cooperative win over blocking waiters shows up — without the
+// estimate depending on Cooperative at all in fault-free runs.
+//
 // Robustness: each unit runs the degrade→checkpoint→resume loop from
 // PR 1/3 against its own quota; a stall-watchdog trip (no budget
 // progress in virtual time) cancels and reseeds the walker on a fresh
-// RNG segment; a panicking walker is isolated into a Degraded unit
-// result; context cancellation and virtual deadlines propagate through
-// api.Client to every charged call and surface as Degraded partial
-// results, never hangs. The whole fleet can checkpoint mid-flight and
-// resume later, unit by unit.
+// RNG segment — in cooperative mode the fleet applies the same
+// watchdog across consecutive zero-progress parks, so a wedged walker
+// still trips instead of parking forever; a panicking walker is
+// isolated into a Degraded unit result; context cancellation and
+// virtual deadlines propagate through api.Client to every charged call
+// and surface as Degraded partial results, never hangs. The whole
+// fleet can checkpoint mid-flight and resume later, unit by unit.
 package fleet
 
 import (
@@ -102,6 +121,14 @@ type Config struct {
 	// Parallelism is the number of worker goroutines executing units
 	// (default Units; capped at Units).
 	Parallelism int
+	// Cooperative switches throttled walkers from blocking to parking:
+	// each unit's client yields on 429 (api.ErrThrottled) and the unit
+	// re-enters the run queue at the window's virtual reopen time,
+	// freeing its slot for siblings. Fault-free runs are bit-identical
+	// to blocking mode (no 429 → no park → identical segments); under
+	// rate-limit faults the estimate may differ (parks resegment the
+	// walk) but the virtual makespan collapses — see Result.Makespan.
+	Cooperative bool
 	// MinUnitBudget is the load-shedding floor (default 250): when the
 	// budget cannot give every unit at least this many calls, the fleet
 	// deterministically sheds units down to Budget/MinUnitBudget
@@ -113,11 +140,19 @@ type Config struct {
 	// so deadline hits do not break the parallelism invariance.
 	Deadline time.Duration
 	// StallWait arms the per-unit stall watchdog (see
-	// api.RetryPolicy.StallWait); 0 leaves it off.
+	// api.RetryPolicy.StallWait); 0 leaves it off. In cooperative mode
+	// the fleet additionally applies it across segments: consecutive
+	// zero-progress parks accruing more than StallWait of throttle wait
+	// count as a watchdog trip (and against MaxResumes), so a wedged
+	// walker cannot hide behind parking.
 	StallWait time.Duration
 	// Policy overrides the per-unit retry policy (nil = default).
 	Policy *api.RetryPolicy
 	// MaxResumes bounds the per-unit degrade→resume loop (default 100).
+	// Throttle parks are exempt: a 10%-429 storm parks a unit far more
+	// often than any sensible resume bound, and parking is scheduling,
+	// not failure. Parks are instead bounded by a generous backstop
+	// (8×quota+1024) so even a fully wedged unit terminates.
 	MaxResumes int
 	// Resume continues a prior fleet run from its checkpoint: finished
 	// units keep their results, interrupted units resume from their
@@ -148,6 +183,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Segment is one scheduler turn of a unit's virtual time, split into
+// the part that held an execution slot (Busy) and the part the unit
+// spent parked on a yielded throttle wait with its slot handed back
+// (Park). In blocking mode Park is always zero — waits hold the slot
+// and are folded into Busy. Per unit, Σ(Busy+Park) over the trace
+// equals api.VirtualOf(preset, unit.Stats) exactly (audited by
+// audit.CheckSchedule).
+type Segment struct {
+	Busy time.Duration
+	Park time.Duration
+}
+
 // UnitResult is one logical walker's final outcome.
 type UnitResult struct {
 	// Unit is the unit index (0-based; merge order).
@@ -165,8 +212,15 @@ type UnitResult struct {
 	Samples int
 	Stats   api.Stats
 	Heal    core.HealStats
-	// Resumes counts checkpoint resumes the unit needed.
+	// Resumes counts fault-driven checkpoint resumes (throttle parks are
+	// counted separately in Parks).
 	Resumes int
+	// Parks counts cooperative throttle parks: segments that ended on a
+	// yielded 429, booked the window wait, and re-entered the run queue.
+	Parks int
+	// Drained counts the free warm-cache steps park-resumed segments
+	// recovered (cumulative core.Result.DrainedSteps).
+	Drained int
 	// WatchdogTrips counts stall-watchdog firings (each one reseeded
 	// the walker on a fresh RNG segment via resume).
 	WatchdogTrips int
@@ -176,6 +230,9 @@ type UnitResult struct {
 	Degraded   bool
 	DegradedBy error
 	Panicked   bool
+	// Trace is the unit's per-segment virtual-time ledger (busy vs
+	// parked), in execution order; ReplayMakespan schedules these.
+	Trace []Segment
 	// Checkpoint is the unit's resumable state (nil if the unit
 	// panicked before its first checkpoint).
 	Checkpoint *core.Checkpoint
@@ -193,10 +250,26 @@ type Result struct {
 	Samples int
 	Stats   api.Stats
 	Heal    core.HealStats
-	// VirtualDuration is the fleet's virtual wall-clock: the maximum
-	// over units (concurrent walkers wait concurrently). Deliberately
-	// independent of Parallelism so reported numbers stay deterministic.
+	// VirtualDuration is the per-walker virtual wall-clock: the maximum
+	// over units (each walker pays its own waits on its own API key).
+	// Deliberately independent of Parallelism so reported numbers stay
+	// deterministic.
 	VirtualDuration time.Duration
+	// Makespan is the fleet's end-to-end virtual wall-clock when the
+	// unit traces are replayed through Slots execution slots by the
+	// deterministic list scheduler (ReplayMakespan). In blocking mode
+	// every wait holds its slot, so the makespan stacks; in cooperative
+	// mode parked waits overlap and the makespan collapses toward
+	// max(Σbusy/Slots, slowest unit). Same-config comparisons of this
+	// number are the tentpole metric of the cooperative scheduler.
+	Makespan time.Duration
+	// Slots is the slot count Makespan was replayed at:
+	// min(Parallelism, UnitsRun).
+	Slots int
+	// Parks and DrainedSteps sum the cooperative-scheduling counters
+	// over units (both zero in blocking mode).
+	Parks        int
+	DrainedSteps int
 	// Degraded is true when at least one unit ended degraded;
 	// DegradedBy is the lowest-indexed degraded unit's cause.
 	Degraded   bool
@@ -238,24 +311,89 @@ func unitSeed(base int64, unit int) int64 {
 	return base + int64(unit+1)*walkSeedStride
 }
 
-// virtualOf translates a cumulative accounting snapshot into virtual
-// wall-clock under a preset's rate limit (the per-unit analogue of
-// api.Client.VirtualDuration, needed because unit stats span several
-// clients).
-func virtualOf(p api.Preset, st api.Stats) time.Duration {
-	if p.RateLimitCalls <= 0 {
-		return st.Wait
-	}
-	windows := (st.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
-	return time.Duration(windows)*p.RateLimitWindow + st.Wait
-}
-
 // terminalDegrade reports whether a degrade cause must not be resumed:
 // cancellation and deadline exceedance end the unit (resuming would
 // fail the same way or overrun the caller's bound), while faults,
-// churn overwhelm, and watchdog stalls are ridden out via resume.
+// churn overwhelm, watchdog stalls, and throttle parks are ridden out
+// via resume.
 func terminalDegrade(err error) bool {
 	return errors.Is(err, api.ErrCanceled) || errors.Is(err, api.ErrDeadlineExceeded)
+}
+
+// runQueue is the fleet's deterministic run queue: pending units
+// ordered by (virtual ready time, unit index). Workers pop the
+// smallest pending item and run one segment; a parked or resumed unit
+// re-enters with an updated ready time. Virtual ready times order the
+// queue but never make a worker sleep — virtual time is simulated, so
+// a "future" ready time is simply the lowest available priority.
+type runQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []schedItem
+	inFlight int
+}
+
+type schedItem struct {
+	readyAt time.Duration
+	unit    int
+}
+
+func newRunQueue(units int) *runQueue {
+	q := &runQueue{items: make([]schedItem, 0, units)}
+	q.cond = sync.NewCond(&q.mu)
+	for u := 0; u < units; u++ {
+		q.items = append(q.items, schedItem{unit: u})
+	}
+	return q
+}
+
+// pop blocks until a unit is pending (or all work is finished) and
+// returns the pending unit with the smallest (readyAt, unit).
+func (q *runQueue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.items) == 0 {
+			if q.inFlight == 0 {
+				return 0, false
+			}
+			// An in-flight unit may park and re-enter the queue; wait for
+			// it rather than exiting with work still possible.
+			q.cond.Wait()
+			continue
+		}
+		best := 0
+		for i := 1; i < len(q.items); i++ {
+			it, b := q.items[i], q.items[best]
+			if it.readyAt < b.readyAt || (it.readyAt == b.readyAt && it.unit < b.unit) {
+				best = i
+			}
+		}
+		unit := q.items[best].unit
+		q.items = append(q.items[:best], q.items[best+1:]...)
+		q.inFlight++
+		return unit, true
+	}
+}
+
+// requeue returns a still-unfinished unit to the queue at readyAt.
+func (q *runQueue) requeue(unit int, readyAt time.Duration) {
+	q.mu.Lock()
+	q.inFlight--
+	q.items = append(q.items, schedItem{readyAt: readyAt, unit: unit})
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// finish retires a completed unit; the last finish wakes every waiting
+// worker so they can observe the empty queue and exit.
+func (q *runQueue) finish() {
+	q.mu.Lock()
+	q.inFlight--
+	if q.inFlight == 0 && len(q.items) == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
 }
 
 // Run executes the fleet and merges the unit results. It returns an
@@ -317,8 +455,21 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 
-	results := make([]UnitResult, units)
-	jobs := make(chan int)
+	// Per-unit runners persist across scheduler turns: each owns its
+	// derived-seed server (fault/churn RNG streams must not restart per
+	// segment) and the unit's accumulating result. Results are pure
+	// functions of (cfg, unit), so the pop order never leaks into them —
+	// only into wall-clock.
+	runners := make([]*unitRunner, units)
+	for u := 0; u < units; u++ {
+		var prior *UnitResult
+		if cfg.Resume != nil {
+			prior = &cfg.Resume.units[u]
+		}
+		runners[u] = newUnitRunner(cfg, u, quotas[u], prior)
+	}
+
+	queue := newRunQueue(units)
 	var wg sync.WaitGroup
 	par := cfg.Parallelism
 	if par > units {
@@ -328,147 +479,329 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for u := range jobs {
-				var prior *UnitResult
-				if cfg.Resume != nil {
-					prior = &cfg.Resume.units[u]
+			for {
+				u, ok := queue.pop()
+				if !ok {
+					return
 				}
-				if prior != nil && !prior.Degraded {
-					// The unit already finished in the prior flight;
-					// its result merges unchanged.
-					results[u] = *prior
-					continue
+				done, readyAt := runners[u].runSegment(ctx, led)
+				if done {
+					queue.finish()
+				} else {
+					queue.requeue(u, readyAt)
 				}
-				results[u] = runUnit(ctx, cfg, led, u, quotas[u], prior)
 			}
 		}()
 	}
-	for u := 0; u < units; u++ {
-		jobs <- u
-	}
-	close(jobs)
 	wg.Wait()
 
+	results := make([]UnitResult, units)
+	for u, rn := range runners {
+		results[u] = rn.out
+	}
 	return merge(cfg, units, results, led), nil
 }
 
-// runUnit drives one logical walker to completion: its own server
-// (derived fault/churn seeds), a ledger-bound client per segment, and
-// the degrade→checkpoint→resume loop, with panics isolated into a
-// Degraded result.
-func runUnit(ctx context.Context, cfg Config, led *api.Ledger, unit, quota int, prior *UnitResult) (out UnitResult) {
-	out = UnitResult{Unit: unit, Seed: unitSeed(cfg.Seed, unit), Quota: quota}
+// unitRunner drives one logical walker across scheduler turns: its own
+// server (derived fault/churn seeds), a ledger-bound client per
+// segment, and the degrade→checkpoint→resume loop, with panics
+// isolated into a Degraded result. Only one worker touches a runner at
+// a time (a unit is either pending in the queue or in-flight on one
+// worker, never both).
+type unitRunner struct {
+	cfg    Config
+	quota  int
+	srv    *api.Server
+	policy api.RetryPolicy
+	out    UnitResult
+
+	// keep marks a unit that already finished cleanly in a prior flight:
+	// its result is merged verbatim without running any segment.
+	keep     bool
+	resume   *core.Checkpoint
+	attempt  int
+	prevCost int
+	prevSamp int
+	// parkStall accrues throttle wait across consecutive zero-progress
+	// parks — the fleet-level arm of the stall watchdog (a per-client
+	// watchdog resets every segment, so a wedged cooperative unit would
+	// otherwise never trip).
+	parkStall time.Duration
+}
+
+func newUnitRunner(cfg Config, unit, quota int, prior *UnitResult) *unitRunner {
+	rn := &unitRunner{
+		cfg:      cfg,
+		quota:    quota,
+		out:      UnitResult{Unit: unit, Seed: unitSeed(cfg.Seed, unit), Quota: quota},
+		prevCost: -1,
+		prevSamp: -1,
+	}
+	faults := cfg.Faults
+	faults.Seed = faults.Seed + cfg.Seed + int64(unit+1)*faultSeedStride
+	rn.srv = api.NewServer(cfg.Platform, cfg.Preset, faults)
+	if cfg.Churn.Rate > 0 {
+		churn := cfg.Churn
+		churn.Seed = churn.Seed + cfg.Seed + int64(unit+1)*churnSeedStride
+		rn.srv.EnableChurn(churn)
+	}
+	rn.policy = api.DefaultRetryPolicy()
+	if cfg.Policy != nil {
+		rn.policy = *cfg.Policy
+	}
+	rn.policy.StallWait = cfg.StallWait
+
+	if prior != nil {
+		// Resuming: a unit that finished cleanly in the prior flight is
+		// kept verbatim; an interrupted one continues from its
+		// checkpoint (nil checkpoint — a pre-checkpoint panic —
+		// restarts fresh on the remaining quota).
+		rn.keep = !prior.Degraded
+		rn.resume = prior.Checkpoint
+		rn.out.Resumes = prior.Resumes
+		rn.out.Parks = prior.Parks
+		rn.out.Drained = prior.Drained
+		rn.out.WatchdogTrips = prior.WatchdogTrips
+		rn.out.Cost, rn.out.Samples = prior.Cost, prior.Samples
+		rn.out.Stats, rn.out.Heal = prior.Stats, prior.Heal
+		rn.out.Estimate, rn.out.Degraded, rn.out.DegradedBy = prior.Estimate, prior.Degraded, prior.DegradedBy
+		rn.out.Panicked = prior.Panicked
+		rn.out.Trace = append(rn.out.Trace, prior.Trace...)
+		rn.out.Checkpoint = prior.Checkpoint
+	} else {
+		rn.out.Estimate = math.NaN()
+	}
+	return rn
+}
+
+// maxParks is the termination backstop for throttle parks: generous
+// enough that a 100%-throttled walker still books several windows per
+// quota credit before the fleet gives up on it.
+func (rn *unitRunner) maxParks() int {
+	return 8*rn.quota + 1024
+}
+
+// runSegment advances the unit by one scheduler turn. It returns done
+// when the unit needs no further turns; otherwise readyAt is the
+// virtual time at which the unit should re-enter the run queue (the
+// window-reopen time after a park, or its current elapsed time after
+// an ordinary resume).
+//
+//lint:ignore budgetflow every failure (budget exhaustion included) is folded into rn.out.Degraded/DegradedBy, the unit's degraded-result channel; the scheduler return carries only requeue timing
+func (rn *unitRunner) runSegment(ctx context.Context, led *api.Ledger) (done bool, readyAt time.Duration) {
 	// Panic isolation: a crashing walker becomes a Degraded unit
 	// result; the fleet and its sibling walkers keep going.
 	defer func() {
 		if r := recover(); r != nil {
-			out.Degraded = true
-			out.Panicked = true
-			out.DegradedBy = fmt.Errorf("%w: %v", ErrWalkerPanic, r)
+			rn.out.Degraded = true
+			rn.out.Panicked = true
+			rn.out.DegradedBy = fmt.Errorf("%w: %v", ErrWalkerPanic, r)
+			done, readyAt = true, 0
 		}
 	}()
 
-	faults := cfg.Faults
-	faults.Seed = faults.Seed + cfg.Seed + int64(unit+1)*faultSeedStride
-	srv := api.NewServer(cfg.Platform, cfg.Preset, faults)
-	if cfg.Churn.Rate > 0 {
-		churn := cfg.Churn
-		churn.Seed = churn.Seed + cfg.Seed + int64(unit+1)*churnSeedStride
-		srv.EnableChurn(churn)
-	}
-	policy := api.DefaultRetryPolicy()
-	if cfg.Policy != nil {
-		policy = *cfg.Policy
-	}
-	policy.StallWait = cfg.StallWait
-
-	var (
-		resume   *core.Checkpoint
-		haveRes  bool
-		prevCost = -1
-		prevSamp = -1
-	)
-	if prior != nil {
-		// Resuming an interrupted unit: continue from its checkpoint
-		// (nil checkpoint — a pre-checkpoint panic — restarts fresh on
-		// the remaining quota).
-		resume = prior.Checkpoint
-		out.Resumes = prior.Resumes
-		out.WatchdogTrips = prior.WatchdogTrips
-		out.Cost, out.Samples = prior.Cost, prior.Samples
-		out.Stats, out.Heal = prior.Stats, prior.Heal
-		out.Estimate, out.Degraded, out.DegradedBy = prior.Estimate, prior.Degraded, prior.DegradedBy
-		out.Checkpoint = prior.Checkpoint
-		haveRes = true
-	}
-	if out.Estimate == 0 && !haveRes {
-		out.Estimate = math.NaN()
+	cfg := rn.cfg
+	if rn.keep {
+		// Prior flight finished cleanly: keep its result untouched.
+		return true, 0
 	}
 
-	for attempt := 0; ; attempt++ {
-		client := api.NewClient(srv, 0)
-		client.Policy = policy
-		if err := client.UseLedger(led, unit); err != nil {
-			// Quota spent (or config bug): the unit ends in whatever
-			// state the last segment left it.
-			return out
-		}
-		client.WithContext(ctx)
-		if cfg.Deadline > 0 {
-			already := virtualOf(cfg.Preset, out.Stats)
-			left := cfg.Deadline - already
-			if left <= 0 {
-				out.Degraded = true
-				out.DegradedBy = api.ErrDeadlineExceeded
-				client.ReleaseLedger()
-				return out
-			}
-			client.Deadline = left
-		}
-		sess, err := core.NewSession(client, cfg.Query, cfg.Interval)
-		if err != nil {
+	out := &rn.out
+	client := api.NewClient(rn.srv, 0)
+	client.Policy = rn.policy
+	client.YieldOnThrottle = cfg.Cooperative
+	if err := client.UseLedger(led, out.Unit); err != nil {
+		// Quota spent (or config bug): the unit ends in whatever
+		// state the last segment left it.
+		return true, 0
+	}
+	client.WithContext(ctx)
+	if cfg.Deadline > 0 {
+		already := api.VirtualOf(cfg.Preset, out.Stats)
+		left := cfg.Deadline - already
+		if left <= 0 {
+			out.Degraded = true
+			out.DegradedBy = api.ErrDeadlineExceeded
 			client.ReleaseLedger()
-			// Whatever the failed session setup charged is real spend:
-			// fold it in so the unit's books match the ledger's.
-			out.Cost += client.Cost()
-			out.Stats = out.Stats.Add(client.Stats())
-			out.Degraded = true
-			out.DegradedBy = err
-			return out
+			return true, 0
 		}
-		res, err := cfg.Walk(ctx, sess, out.Seed, resume)
+		client.Deadline = left
+	}
+
+	statsBefore := out.Stats
+	costBefore := out.Cost
+
+	sess, err := core.NewSession(client, cfg.Query, cfg.Interval)
+	if err != nil {
 		client.ReleaseLedger()
-		if err != nil {
-			// Pre-walk failure (cancelled, past deadline, or exhausted
-			// before any walk state existed): degrade with the prior
-			// partial state plus this segment's charges — the ledger
-			// committed them, so the unit must report them.
-			out.Cost += client.Cost()
-			out.Stats = out.Stats.Add(client.Stats())
+		// Whatever the failed session setup charged is real spend:
+		// fold it in so the unit's books match the ledger's.
+		out.Cost += client.Cost()
+		out.Stats = out.Stats.Add(client.Stats())
+		out.Degraded = true
+		out.DegradedBy = err
+		return true, 0
+	}
+	res, err := cfg.Walk(ctx, sess, out.Seed, rn.resume)
+	client.ReleaseLedger()
+	if err != nil {
+		// Pre-walk failure (cancelled, past deadline, exhausted — or,
+		// in cooperative mode, throttled before any walk state existed,
+		// e.g. in the seed search): fold this segment's charges in — the
+		// ledger committed them, so the unit must report them.
+		out.Cost += client.Cost()
+		out.Stats = out.Stats.Add(client.Stats())
+		if errors.Is(err, api.ErrThrottled) {
+			// A pre-walk throttle is a park like any other: the resume
+			// state is simply unchanged.
 			out.Degraded = true
 			out.DegradedBy = err
-			return out
+			return rn.park(statsBefore, costBefore)
 		}
-		out.Estimate = res.Estimate
-		out.Cost, out.Samples = res.Cost, res.Samples
-		out.Stats, out.Heal = res.Stats, res.Heal
-		out.Degraded, out.DegradedBy = res.Degraded, res.DegradedBy
-		out.Checkpoint = res.Checkpoint
-		if errors.Is(res.DegradedBy, api.ErrStalled) {
+		out.Degraded = true
+		out.DegradedBy = err
+		return true, 0
+	}
+	out.Estimate = res.Estimate
+	out.Cost, out.Samples = res.Cost, res.Samples
+	out.Stats, out.Heal = res.Stats, res.Heal
+	out.Drained = res.DrainedSteps
+	out.Degraded, out.DegradedBy = res.Degraded, res.DegradedBy
+	out.Checkpoint = res.Checkpoint
+	rn.resume = res.Checkpoint
+
+	if res.Degraded && errors.Is(res.DegradedBy, api.ErrThrottled) {
+		return rn.park(statsBefore, costBefore)
+	}
+
+	// Not a park: the whole segment held its slot.
+	rn.parkStall = 0
+	rn.traceSegment(statsBefore, 0)
+
+	if errors.Is(res.DegradedBy, api.ErrStalled) {
+		out.WatchdogTrips++
+	}
+	if !res.Degraded || terminalDegrade(res.DegradedBy) {
+		return true, 0
+	}
+	if res.Cost >= rn.quota || rn.attempt >= cfg.MaxResumes {
+		return true, 0
+	}
+	if res.Cost <= rn.prevCost && res.Samples <= rn.prevSamp {
+		return true, 0 // resuming stopped making progress
+	}
+	rn.prevCost, rn.prevSamp = res.Cost, res.Samples
+	rn.attempt++
+	out.Resumes++
+	return false, api.VirtualOf(cfg.Preset, out.Stats)
+}
+
+// park books a throttle park: the segment's trace entry splits off the
+// yielded tail wait, the park counters and the fleet-level watchdog
+// advance, and the unit re-enters the queue at the window-reopen time.
+func (rn *unitRunner) park(statsBefore api.Stats, costBefore int) (bool, time.Duration) {
+	out := &rn.out
+	parkWait := out.Stats.ThrottleWait - statsBefore.ThrottleWait
+	if parkWait < 0 {
+		parkWait = 0
+	}
+	rn.traceSegment(statsBefore, parkWait)
+	out.Parks++
+
+	if out.Parks > rn.maxParks() {
+		// Backstop: a unit parking this often against its quota is not
+		// making the window work; end it in its degraded state.
+		return true, 0
+	}
+	if out.Cost > costBefore {
+		rn.parkStall = 0
+	} else {
+		rn.parkStall += parkWait
+		if rn.cfg.StallWait > 0 && rn.parkStall > rn.cfg.StallWait {
+			// Fleet-level stall watchdog: consecutive parks with zero
+			// budget progress accrued past StallWait. Count the trip and
+			// charge this park against MaxResumes so a wedged walker
+			// terminates like its blocking-mode twin.
 			out.WatchdogTrips++
+			rn.parkStall = 0
+			rn.attempt++
+			if rn.attempt >= rn.cfg.MaxResumes {
+				return true, 0
+			}
 		}
-		if !res.Degraded || terminalDegrade(res.DegradedBy) {
-			return out
+	}
+	if out.Cost >= rn.quota {
+		return true, 0
+	}
+	return false, api.VirtualOf(rn.cfg.Preset, out.Stats)
+}
+
+// traceSegment appends this segment's virtual-time delta to the unit
+// trace, attributing park of it to the yielded wait and the rest to
+// slot-holding busy time. Deltas of the cumulative elapsed clock sum
+// exactly to api.VirtualOf(preset, final stats).
+func (rn *unitRunner) traceSegment(statsBefore api.Stats, park time.Duration) {
+	elapsed := api.VirtualOf(rn.cfg.Preset, rn.out.Stats) - api.VirtualOf(rn.cfg.Preset, statsBefore)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if park > elapsed {
+		park = elapsed
+	}
+	rn.out.Trace = append(rn.out.Trace, Segment{Busy: elapsed - park, Park: park})
+}
+
+// ReplayMakespan replays per-unit segment traces through a
+// deterministic greedy list scheduler with the given number of
+// execution slots and returns the virtual makespan: at each step the
+// unit with the smallest (ready time, index) claims the earliest-free
+// slot, runs its next segment's Busy time, then waits out the
+// segment's Park with the slot released. Blocking traces (Park folded
+// into Busy) therefore hold slots through their waits, cooperative
+// traces overlap them — replaying both at the same slot count is the
+// scheduler's apples-to-apples comparison.
+func ReplayMakespan(traces [][]Segment, slots int) time.Duration {
+	if slots < 1 {
+		slots = 1
+	}
+	type unitState struct {
+		next  int
+		ready time.Duration
+	}
+	us := make([]unitState, len(traces))
+	free := make([]time.Duration, slots)
+	var makespan time.Duration
+	for {
+		pick := -1
+		for i := range us {
+			if us[i].next >= len(traces[i]) {
+				continue
+			}
+			if pick < 0 || us[i].ready < us[pick].ready {
+				pick = i
+			}
 		}
-		if res.Cost >= quota || attempt >= cfg.MaxResumes {
-			return out
+		if pick < 0 {
+			return makespan
 		}
-		if res.Cost <= prevCost && res.Samples <= prevSamp {
-			return out // resuming stopped making progress
+		slot := 0
+		for s := 1; s < slots; s++ {
+			if free[s] < free[slot] {
+				slot = s
+			}
 		}
-		prevCost, prevSamp = res.Cost, res.Samples
-		resume = res.Checkpoint
-		out.Resumes++
+		seg := traces[pick][us[pick].next]
+		start := us[pick].ready
+		if free[slot] > start {
+			start = free[slot]
+		}
+		end := start + seg.Busy
+		free[slot] = end
+		us[pick].next++
+		us[pick].ready = end + seg.Park
+		if end > makespan {
+			makespan = end
+		}
 	}
 }
 
@@ -485,7 +818,12 @@ func merge(cfg Config, units int, results []UnitResult, led *api.Ledger) Result 
 		Shed:         cfg.Units - units,
 		Units:        results,
 	}
+	out.Slots = cfg.Parallelism
+	if out.Slots > units {
+		out.Slots = units
+	}
 	var weighted, weights []float64
+	traces := make([][]Segment, len(results))
 	for i := range results {
 		r := &results[i]
 		out.Cost += r.Cost
@@ -493,8 +831,19 @@ func merge(cfg Config, units int, results []UnitResult, led *api.Ledger) Result 
 		out.Stats = out.Stats.Add(r.Stats)
 		out.Heal = out.Heal.Add(r.Heal)
 		out.WatchdogTrips += r.WatchdogTrips
-		if v := virtualOf(cfg.Preset, r.Stats); v > out.VirtualDuration {
+		out.Parks += r.Parks
+		out.DrainedSteps += r.Drained
+		if v := api.VirtualOf(cfg.Preset, r.Stats); v > out.VirtualDuration {
 			out.VirtualDuration = v
+		}
+		traces[i] = r.Trace
+		if len(traces[i]) == 0 {
+			// A unit kept verbatim from a prior flight carries no trace
+			// from this one: replay it as a single blocking segment of
+			// its whole elapsed time.
+			if v := api.VirtualOf(cfg.Preset, r.Stats); v > 0 {
+				traces[i] = []Segment{{Busy: v}}
+			}
 		}
 		if r.Degraded && !out.Degraded {
 			out.Degraded = true
@@ -505,6 +854,7 @@ func merge(cfg Config, units int, results []UnitResult, led *api.Ledger) Result 
 			weights = append(weights, float64(r.Samples))
 		}
 	}
+	out.Makespan = ReplayMakespan(traces, out.Slots)
 	out.Estimate = math.NaN()
 	if den := stats.KahanSum(weights); den > 0 {
 		out.Estimate = stats.KahanSum(weighted) / den

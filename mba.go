@@ -209,6 +209,14 @@ type Options struct {
 	// produce a bit-identical Value at Walkers=1 and Walkers=8.
 	// 0 keeps the original single-walker path.
 	Walkers int
+	// Cooperative, with Walkers > 0, switches throttled walkers from
+	// blocking out their rate-limit windows to parking: a 429'd walker
+	// yields its execution slot and re-enters the fleet's run queue when
+	// the window reopens in virtual time, so siblings keep the slots
+	// busy. Fault-free runs are bit-identical to blocking mode; under
+	// rate-limit faults the fleet's Makespan collapses while per-walker
+	// virtual time stays the same.
+	Cooperative bool
 	// Deadline, when positive, bounds the run in virtual platform time
 	// (the clock VirtualDuration reports). A run past its deadline is
 	// cancelled at the next API call and returns a Degraded partial
@@ -261,6 +269,23 @@ type Estimate struct {
 	// and reseeded after accruing too much virtual wait without budget
 	// progress. Zero unless the fleet path armed the watchdog.
 	WatchdogTrips int
+	// ThrottleWait is the share of the run's virtual waits booked
+	// against rate-limit windows (429 backoff); the rest of the wait is
+	// transient-retry backoff and call latency.
+	ThrottleWait time.Duration
+	// Makespan is the fleet's end-to-end virtual wall-clock when its
+	// walkers share Options.Walkers execution slots: with Cooperative
+	// walkers, parked rate-limit waits overlap instead of holding
+	// slots, so Makespan collapses toward the busy time while
+	// VirtualDuration (per-walker elapsed) is unchanged. Zero on the
+	// single-walker path.
+	Makespan time.Duration
+	// Parks counts cooperative throttle parks (walkers yielding their
+	// slot for a rate-limit window) and DrainedSteps the free
+	// warm-cache steps park-resumed walkers recovered. Both zero
+	// without Cooperative.
+	Parks        int
+	DrainedSteps int
 }
 
 // TrajectoryPoint is one convergence sample.
@@ -301,17 +326,6 @@ func walkFor(o Options, q Query) fleet.WalkFn {
 			return core.RunTARW(session, tarw)
 		}
 	}
-}
-
-// virtualOf translates cumulative accounting into virtual platform
-// time under a preset's rate limit.
-func virtualOf(p api.Preset, st api.Stats) time.Duration {
-	v := st.Wait
-	if p.RateLimitCalls > 0 {
-		windows := (st.Calls + p.RateLimitCalls - 1) / p.RateLimitCalls
-		v += time.Duration(windows) * p.RateLimitWindow
-	}
-	return v
 }
 
 // Estimate answers an aggregate query through the simulated
@@ -368,7 +382,7 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 		if o.Deadline > 0 {
 			// A fresh client starts with zero accrued virtual time, so
 			// re-arm it with whatever deadline headroom remains.
-			left := o.Deadline - virtualOf(preset, res.Stats)
+			left := o.Deadline - api.VirtualOf(preset, res.Stats)
 			if left <= 0 {
 				break
 			}
@@ -390,7 +404,7 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	}
 	// Virtual duration from the cumulative accounting (the last client
 	// alone only saw the final segment).
-	virtual := virtualOf(preset, res.Stats)
+	virtual := api.VirtualOf(preset, res.Stats)
 	est := Estimate{
 		Value:           res.Estimate,
 		Cost:            res.Cost,
@@ -401,6 +415,7 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 		RateLimitHits:   res.Stats.RateLimitHits,
 		Healed:          res.Heal.Events(),
 		VanishedSeen:    res.Heal.VanishedUsers,
+		ThrottleWait:    res.Stats.ThrottleWait,
 	}
 	for _, pt := range res.Trajectory {
 		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
@@ -444,6 +459,7 @@ func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estim
 		Budget:      o.Budget,
 		Seed:        o.Seed,
 		Parallelism: o.Walkers,
+		Cooperative: o.Cooperative,
 		Deadline:    o.Deadline,
 		StallWait:   stall,
 	})
@@ -463,6 +479,10 @@ func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estim
 		WalkersRun:      res.UnitsRun,
 		WalkersShed:     res.Shed,
 		WatchdogTrips:   res.WatchdogTrips,
+		ThrottleWait:    res.Stats.ThrottleWait,
+		Makespan:        res.Makespan,
+		Parks:           res.Parks,
+		DrainedSteps:    res.DrainedSteps,
 	}
 	if est.Value != est.Value { // NaN
 		return est, ErrNoEstimate
