@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint fmt-check test race bench chaos churn fuzz parallel ratelimit
+.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn fuzz parallel ratelimit
 
 ci: build vet lint race
 
@@ -11,8 +11,9 @@ vet:
 	go vet ./...
 
 # Domain-invariant analyzers (determinism, budget accounting, virtual
-# time, interprocedural context/error/lock flow — see DESIGN.md §8 and
-# §11). Diagnostics are checked against the committed baseline
+# time, interprocedural context/error/lock flow, path-sensitive
+# CFG/dataflow rules — see DESIGN.md §8, §11, and §13). Diagnostics
+# are checked against the committed baseline
 # (.mba-lint-baseline.json); new findings AND stale baseline entries
 # both fail, so the debt only ratchets down. After fixing baselined
 # findings, regenerate with:
@@ -29,6 +30,12 @@ lint: fmt-check
 		else echo "staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "govulncheck not installed; skipping"; fi
+
+# Just the CFG/dataflow analyzers (DESIGN.md §13): path-sensitive
+# ordering taint, lock/unlock pairing, and ledger settlement. A fast
+# focused pass for iterating on concurrency or ledger code.
+lint-dataflow:
+	go run ./cmd/mba-lint -only dettaint,unlockpath,budgetpath ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,423 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// BudgetPath is the flow-sensitive upgrade of budgetflow's ledger
+// rules. budgetflow checks shapes (errors propagate, clients are
+// ledger-bound); budgetpath checks *paths*: every api.Ledger.Reserve
+// grant must be settled — Commit, Refund, or Release — on every CFG
+// path out of the function, and no charged api.Client call may execute
+// on a path where the reservation itself failed (Reserve grants zero
+// credits alongside its error, so spending there bypasses admission).
+//
+// The analysis tracks one token per Reserve call site through the
+// forward dataflow. A token dies when the reservation is settled on the
+// same ledger, or when the granted amount escapes the function's
+// control (stored into a field, returned, passed to another call) —
+// whoever received the grant owns the settlement then, as in
+// api.Client.ledgerCommit where the grant folds into c.lreserved and
+// ReleaseLedger settles it later. Path sensitivity comes from edge
+// refinement on `err != nil`/`err == nil` branches of the Reserve
+// error: the failure path carries no credits, so it owes no settlement
+// but must not charge.
+var BudgetPath = &Analyzer{
+	Name: "budgetpath",
+	Doc: "every ledger reservation is committed/refunded/released on all paths, " +
+		"and no charged call runs on a failed-reservation path",
+	Run: runBudgetPath,
+}
+
+// ledgerSettleMethods settle an outstanding reservation on the ledger.
+var ledgerSettleMethods = map[string]bool{
+	"Commit": true, "Refund": true, "Release": true,
+}
+
+// budgetTok is one Reserve call's outstanding reservation.
+type budgetTok struct {
+	pos token.Pos
+	// grantObj/errObj are the `grant, err := led.Reserve(...)` results;
+	// nil once reassigned (tracking ends, the obligation remains).
+	grantObj types.Object
+	errObj   types.Object
+	// recvRoot is the ledger variable the reservation lives on.
+	recvRoot types.Object
+	// failed marks the path where Reserve returned an error (and
+	// therefore granted zero credits).
+	failed bool
+}
+
+// budgetState maps Reserve sites to their live tokens.
+type budgetState struct {
+	toks map[token.Pos]budgetTok
+}
+
+func (s *budgetState) Clone() FlowState {
+	c := &budgetState{toks: make(map[token.Pos]budgetTok, len(s.toks))}
+	for k, v := range s.toks {
+		c.toks[k] = v
+	}
+	return c
+}
+
+func (s *budgetState) JoinFrom(src FlowState) bool {
+	o := src.(*budgetState)
+	changed := false
+	for k, ov := range o.toks {
+		cur, ok := s.toks[k]
+		if !ok {
+			s.toks[k] = ov
+			changed = true
+			continue
+		}
+		// Failure is a path property: only paths where EVERY incoming
+		// branch saw the error keep the exemption.
+		merged := cur
+		merged.failed = cur.failed && ov.failed
+		if merged != cur {
+			s.toks[k] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sortedTokPos returns the live token positions in ascending order, for
+// deterministic iteration.
+func (s *budgetState) sortedTokPos() []token.Pos {
+	out := make([]token.Pos, 0, len(s.toks))
+	for p := range s.toks {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// budgetCtx is the per-function analysis. It collects diagnostics for
+// charged-on-failed-path violations during a replay pass (pass set),
+// mirroring taintCtx's two-phase structure.
+type budgetCtx struct {
+	prog *Program
+	pkg  *Package
+	pass *Pass // nil while solving; set during replay to report
+	// reported dedupes charged-on-failed-path reports across blocks.
+	reported map[string]bool
+	// benign marks identifier uses that do NOT count as grant escapes:
+	// comparison operands and settlement-call arguments.
+	benign map[*ast.Ident]bool
+}
+
+// markBenign precomputes the benign-use set over the function body:
+// idents inside comparison operands (`grant < n`) and inside the
+// argument lists of ledger settlement calls (`l.Refund(id, grant)`)
+// keep the obligation in this function; any other use is an escape.
+func (b *budgetCtx) markBenign(body ast.Node) {
+	b.benign = map[*ast.Ident]bool{}
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				b.benign[id] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				mark(x.X)
+				mark(x.Y)
+			}
+		case *ast.CallExpr:
+			if b.isLedgerCall(x, ledgerSettleMethods) != nil {
+				for _, a := range x.Args {
+					mark(a)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (b *budgetCtx) Direction() FlowDirection { return FlowForward }
+func (b *budgetCtx) Boundary() FlowState      { return &budgetState{toks: map[token.Pos]budgetTok{}} }
+
+func (b *budgetCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*budgetState)
+	// Order matters: uses of an existing grant in this node (escapes,
+	// settlements, charged calls) happen before any new token this node
+	// creates. For assignments, a plain-ident LHS is a reassignment
+	// (handled by assign), not a value escape, so only the RHS and
+	// composite LHS expressions are scanned.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, rhs := range as.Rhs {
+			b.scanNode(rhs, st)
+		}
+		for _, lhs := range as.Lhs {
+			if _, plain := unparen(lhs).(*ast.Ident); !plain {
+				b.scanNode(lhs, st)
+			}
+		}
+		b.assign(as, st)
+		return st
+	}
+	b.scanNode(n, st)
+	return st
+}
+
+// RefineEdge narrows tokens along `err != nil` / `err == nil` branches
+// of a Reserve error.
+func (b *budgetCtx) RefineEdge(e *Edge, f FlowState) FlowState {
+	st := f.(*budgetState)
+	obj, errIsNil := b.nilCheckOf(e)
+	if obj == nil {
+		return st
+	}
+	for _, p := range st.sortedTokPos() {
+		tok := st.toks[p]
+		if tok.errObj == nil || tok.errObj != obj {
+			continue
+		}
+		tok.failed = !errIsNil
+		st.toks[p] = tok
+	}
+	return st
+}
+
+// nilCheckOf decodes an edge guarded by `x == nil` or `x != nil`,
+// returning x's object and whether x is nil along this edge.
+func (b *budgetCtx) nilCheckOf(e *Edge) (types.Object, bool) {
+	be, ok := unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := unparen(be.X), unparen(be.Y)
+	if isNilIdent(b.pkg.Info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(b.pkg.Info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := b.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	// (x == nil, Branch=true) and (x != nil, Branch=false) mean nil.
+	return obj, (be.Op == token.EQL) == e.Branch
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// assign creates a token for `grant, err := led.Reserve(id, n)` and
+// retires stale grant/err object bindings on reassignment.
+func (b *budgetCtx) assign(as *ast.AssignStmt, st *budgetState) {
+	// Reassigning a tracked grant or err variable ends its association
+	// with the token; the settlement obligation itself remains.
+	assigned := map[types.Object]bool{}
+	for _, lhs := range as.Lhs {
+		if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := b.pkg.Info.ObjectOf(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	isReserve := len(as.Rhs) == 1 && b.isLedgerCall(as.Rhs[0], map[string]bool{"Reserve": true}) != nil
+	for _, p := range st.sortedTokPos() {
+		tok := st.toks[p]
+		changed := false
+		if tok.grantObj != nil && assigned[tok.grantObj] {
+			tok.grantObj, changed = nil, true
+		}
+		if tok.errObj != nil && assigned[tok.errObj] {
+			tok.errObj, changed = nil, true
+		}
+		if changed {
+			st.toks[p] = tok
+		}
+	}
+	if !isReserve {
+		return
+	}
+	call := unparen(as.Rhs[0]).(*ast.CallExpr)
+	tok := budgetTok{pos: call.Pos(), recvRoot: b.isLedgerCall(as.Rhs[0], map[string]bool{"Reserve": true})}
+	if len(as.Lhs) == 2 {
+		if id, ok := unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			tok.grantObj = b.pkg.Info.ObjectOf(id)
+		}
+		if id, ok := unparen(as.Lhs[1]).(*ast.Ident); ok && id.Name != "_" {
+			tok.errObj = b.pkg.Info.ObjectOf(id)
+		}
+	}
+	st.toks[tok.pos] = tok
+}
+
+// isLedgerCall matches a call to api.Ledger.<method in names> and
+// returns the root object of the receiver ledger (nil on no match).
+func (b *budgetCtx) isLedgerCall(e ast.Expr, names map[string]bool) types.Object {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if _, ok := methodOnInfo(b.pkg.Info, call, "api", "Ledger", names); !ok {
+		return nil
+	}
+	sel := unparen(call.Fun).(*ast.SelectorExpr)
+	if obj := rootObjInfo(b.pkg.Info, sel.X); obj != nil {
+		return obj
+	}
+	// Unnameable ledger receiver (call result, map entry): return a
+	// sentinel non-nil object so settlement still discharges broadly.
+	return universeNil
+}
+
+var universeNil = types.Universe.Lookup("nil")
+
+// scanNode applies call effects (settle, escape, charged-on-failed) of
+// every call and grant use inside n, skipping nested function literals.
+func (b *budgetCtx) scanNode(n ast.Node, st *budgetState) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			b.oneCall(x, st)
+		case *ast.Ident:
+			b.grantUse(x, st)
+		}
+		return true
+	})
+}
+
+// oneCall settles tokens on ledger settlement calls and reports charged
+// calls on failed-reservation paths.
+func (b *budgetCtx) oneCall(call *ast.CallExpr, st *budgetState) {
+	if root := b.isLedgerCall(call, ledgerSettleMethods); root != nil {
+		for _, p := range st.sortedTokPos() {
+			tok := st.toks[p]
+			if tok.recvRoot == root || tok.recvRoot == universeNil || root == universeNil {
+				delete(st.toks, p)
+			}
+		}
+		return
+	}
+	charged := false
+	if _, ok := chargedClientCall(b.pkg.Info, call); ok {
+		charged = true
+	} else {
+		for _, g := range b.prog.CalleesOf(call) {
+			if b.prog.SummaryOf(g).IncursCost {
+				charged = true
+				break
+			}
+		}
+	}
+	if !charged || b.pass == nil {
+		return
+	}
+	for _, p := range st.sortedTokPos() {
+		tok := st.toks[p]
+		if !tok.failed {
+			continue
+		}
+		rp := b.pass.Fset.Position(tok.pos)
+		key := b.pass.Fset.Position(call.Pos()).String() + "\x00" + rp.String()
+		if b.reported[key] {
+			continue
+		}
+		b.reported[key] = true
+		b.pass.Reportf(call.Pos(),
+			"charged api.Client call on a path where the ledger reservation at %s:%d failed; a failed Reserve grants no credits, so this spend bypasses admission",
+			filepath.Base(rp.Filename), rp.Line)
+	}
+}
+
+// grantUse discharges a token whose granted amount escapes: any use of
+// the grant variable outside comparisons and settlement arguments hands
+// the credits to another owner (a field, a return value, a callee),
+// who then owns the settlement — api.Client.ledgerCommit folding the
+// grant into c.lreserved is the exemplar.
+func (b *budgetCtx) grantUse(id *ast.Ident, st *budgetState) {
+	obj := b.pkg.Info.Uses[id]
+	if obj == nil || b.benign[id] {
+		return
+	}
+	for _, p := range st.sortedTokPos() {
+		tok := st.toks[p]
+		if tok.grantObj == nil || tok.grantObj != obj {
+			continue
+		}
+		delete(st.toks, p)
+	}
+}
+
+func runBudgetPath(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		cfg := prog.CFGOf(f)
+		solveCtx := &budgetCtx{prog: prog, pkg: f.Pkg}
+		solveCtx.markBenign(f.Body)
+		sol := SolveDataflow(cfg, solveCtx)
+
+		// Replay with reporting enabled: charged-on-failed-path fires as
+		// the transfer revisits each block from its converged in-state.
+		replay := &budgetCtx{prog: prog, pkg: f.Pkg, pass: pass, reported: map[string]bool{}}
+		replay.benign = solveCtx.benign
+		for _, blk := range cfg.Blocks {
+			in := sol.In[blk]
+			if in == nil {
+				continue
+			}
+			st := in.Clone()
+			for _, n := range blk.Nodes {
+				st = replay.Transfer(n, st)
+			}
+		}
+
+		// Leak check: an unsettled, unfailed token reaching a non-panic
+		// exit edge owes the pool its credits.
+		leaked := map[token.Pos]bool{}
+		for _, e := range cfg.Exit.Preds {
+			if e.Panic {
+				continue
+			}
+			out := sol.Out[e.From]
+			if out == nil {
+				continue
+			}
+			st := out.(*budgetState)
+			for _, p := range st.sortedTokPos() {
+				tok := st.toks[p]
+				if tok.failed || leaked[p] {
+					continue
+				}
+				leaked[p] = true
+				pass.Reportf(p,
+					"ledger reservation can reach a return without Commit/Refund/Release on some path; settle the grant on every path (Release in a defer is the usual fix)")
+			}
+		}
+	}
+	return nil
+}

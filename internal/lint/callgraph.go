@@ -103,6 +103,9 @@ type Program struct {
 	// lockEdges are the "held L while acquiring M" witnesses found by
 	// the post-fixpoint lock walk, sorted.
 	lockEdges []lockEdge
+	// taintCtxs memoizes per-function taint analysis contexts (CFG +
+	// syntactic source/sink facts), built lazily by taintContext.
+	taintCtxs map[*Func]*taintCtx
 }
 
 // lockEdge is one "lock From held while acquiring lock To" witness.

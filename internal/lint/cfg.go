@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from go/ast alone —
+// no types required — so the dataflow layer (dataflow.go) can run flow-
+// and path-sensitive analyses (dettaint, unlockpath, budgetpath) over
+// any parsed function body. The builder models every Go control
+// construct that changes successor structure: if/else chains, all
+// three for-loop forms, range loops, (type) switches with fallthrough,
+// select with and without default, goto, labeled break/continue, panic
+// exits, and returns. Defer statements stay in the block where they
+// are registered and are additionally collected on the CFG in source
+// order, since their calls execute on every function exit; analyses
+// that care (unlockpath) model that themselves.
+
+// CFG is one function body's control-flow graph. Entry is Blocks[0]
+// and Exit is Blocks[1]; Exit has no successors and collects every
+// return, panic, and fall-off-the-end edge.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+	// Defers are the defer statements of the body in source order (the
+	// registration-order approximation the analyses use), excluding
+	// defers inside nested function literals.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a straight-line sequence of statements (and branch
+// condition expressions) with no internal control transfer.
+type Block struct {
+	// Index is the block's position in CFG.Blocks — the deterministic
+	// iteration order every solver and report uses.
+	Index int
+	// Nodes are the block's statements in execution order. Branch
+	// conditions (if/for) appear as their bare ast.Expr after the
+	// construct's Init statement; range and select heads appear as the
+	// *ast.RangeStmt / comm-clause statement so analyses can see the
+	// iterated operand and the channel operations.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control-flow edge, optionally carrying the branch
+// condition it is guarded by — the hook path-sensitive analyses refine
+// states on.
+type Edge struct {
+	From, To *Block
+	// Cond is the controlling condition expression for two-way branch
+	// edges (if, for), nil otherwise.
+	Cond ast.Expr
+	// Branch is Cond's truth value along this edge.
+	Branch bool
+	// Panic marks an edge into Exit taken only when the block ends in a
+	// panic call; leak-style analyses usually skip these exits.
+	Panic bool
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+// Nested function literals are opaque statements here — each closure
+// gets its own CFG when its own Func is analyzed.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.collectLabels(body)
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit, nil, false, false)
+	}
+	return b.cfg
+}
+
+// Reachable reports whether block index i is reachable from Entry.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{c.Entry}
+	seen[c.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range blk.Succs {
+			if !seen[e.To.Index] {
+				seen[e.To.Index] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminating
+	// statement (return, goto, panic) until new flow begins.
+	cur *Block
+	// breakTo/continueTo are the innermost-last stacks of unlabeled
+	// break/continue targets.
+	breakTo    []*Block
+	continueTo []*Block
+	// labels maps label names to their pre-created target blocks and,
+	// once the labeled construct is being built, its break/continue
+	// targets.
+	labels map[string]*labelTargets
+}
+
+type labelTargets struct {
+	// start is the block control enters at the label (goto target).
+	start *Block
+	// brk/cont are the targets of labeled break/continue, filled in
+	// while the labeled loop/switch/select is under construction.
+	brk, cont *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, branch, panics bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch, Panic: panics}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// collectLabels pre-creates a start block per label so forward gotos
+// have a target before the label is reached. Labels inside nested
+// closures belong to the closure's own CFG and are skipped.
+func (b *cfgBuilder) collectLabels(body *ast.BlockStmt) {
+	b.labels = map[string]*labelTargets{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			b.labels[ls.Label.Name] = &labelTargets{start: b.newBlock()}
+		}
+		return true
+	})
+}
+
+// append adds a node to the current block, starting a fresh
+// (unreachable) block if flow was terminated — dead code still gets
+// blocks, it just has no predecessors.
+func (b *cfgBuilder) append(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+	case *ast.IfStmt:
+		b.ifStmt(st)
+	case *ast.ForStmt:
+		b.forStmt(st, nil)
+	case *ast.RangeStmt:
+		b.rangeStmt(st, nil)
+	case *ast.SwitchStmt:
+		b.switchStmt(st, nil)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(st, nil)
+	case *ast.SelectStmt:
+		b.selectStmt(st, nil)
+	case *ast.LabeledStmt:
+		b.labeledStmt(st)
+	case *ast.BranchStmt:
+		b.branchStmt(st)
+	case *ast.ReturnStmt:
+		b.append(st)
+		b.terminate(b.cfg.Exit, false)
+	case *ast.DeferStmt:
+		b.append(st)
+		b.cfg.Defers = append(b.cfg.Defers, st)
+	case *ast.ExprStmt:
+		b.append(st)
+		if isPanicCall(st.X) {
+			b.terminate(b.cfg.Exit, true)
+		}
+	case *ast.EmptyStmt:
+		// no flow effect
+	default:
+		// Assign, Decl, Go, Send, IncDec, and anything future: straight
+		// flow through the current block.
+		b.append(st)
+	}
+}
+
+// terminate ends the current block with an edge to target (to Exit for
+// return/panic) and marks flow dead until the next label or statement.
+func (b *cfgBuilder) terminate(target *Block, panics bool) {
+	if b.cur != nil {
+		b.edge(b.cur, target, nil, false, panics)
+	}
+	b.cur = nil
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		b.append(st.Init)
+	}
+	b.append(st.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then, st.Cond, true, false)
+	b.cur = then
+	b.stmtList(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after, nil, false, false)
+	}
+
+	if st.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els, st.Cond, false, false)
+		b.cur = els
+		b.stmt(st.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after, nil, false, false)
+		}
+	} else {
+		b.edge(cond, after, st.Cond, false, false)
+	}
+	b.cur = after
+}
+
+// pushLoop establishes break/continue targets (and the label's, when
+// the loop is labeled) and returns the pop function.
+func (b *cfgBuilder) pushLoop(label *labelTargets, brk, cont *Block) func() {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+	if label != nil {
+		label.brk, label.cont = brk, cont
+	}
+	return func() {
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	}
+}
+
+func (b *cfgBuilder) forStmt(st *ast.ForStmt, label *labelTargets) {
+	if st.Init != nil {
+		b.append(st.Init)
+	}
+	head := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, head, nil, false, false)
+	}
+	after := b.newBlock()
+
+	// continue re-runs Post (when present) before re-testing the
+	// condition.
+	cont := head
+	if st.Post != nil {
+		cont = b.newBlock()
+		b.cur = cont
+		b.append(st.Post)
+		b.edge(b.cur, head, nil, false, false)
+	}
+
+	body := b.newBlock()
+	if st.Cond != nil {
+		head.Nodes = append(head.Nodes, st.Cond)
+		b.edge(head, body, st.Cond, true, false)
+		b.edge(head, after, st.Cond, false, false)
+	} else {
+		b.edge(head, body, nil, false, false)
+	}
+
+	pop := b.pushLoop(label, after, cont)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	pop()
+	if b.cur != nil {
+		b.edge(b.cur, cont, nil, false, false)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt, label *labelTargets) {
+	head := b.newBlock()
+	head.Nodes = append(head.Nodes, st)
+	if b.cur != nil {
+		b.edge(b.cur, head, nil, false, false)
+	}
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body, nil, false, false)  // another element
+	b.edge(head, after, nil, false, false) // exhausted (or empty)
+
+	pop := b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	pop()
+	if b.cur != nil {
+		b.edge(b.cur, head, nil, false, false)
+	}
+	b.cur = after
+}
+
+// switchBody wires the shared clause structure of switch / type switch
+// / select: head fans out to each clause block; clause bodies flow to
+// after (or, for switch fallthrough, into the next clause body).
+func (b *cfgBuilder) switchClauses(head *Block, label *labelTargets, clauses []ast.Stmt, isSelect bool) {
+	after := b.newBlock()
+
+	// A switch/select without a default can complete without running
+	// any clause (no case matches; for select: treat as "some case
+	// eventually fires" — but an empty select blocks forever).
+	hasDefault := false
+	for _, c := range clauses {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(head, after, nil, false, false)
+	}
+
+	// Build every clause body block first so fallthrough can link
+	// forward.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i], nil, false, false)
+	}
+
+	brkTargets := b.breakTo
+	b.breakTo = append(b.breakTo, after)
+	if label != nil {
+		label.brk = after
+	}
+	for i, c := range clauses {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				bodies[i].Nodes = append(bodies[i].Nodes, e)
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				bodies[i].Nodes = append(bodies[i].Nodes, cc.Comm)
+			}
+			list = cc.Body
+		}
+		b.cur = bodies[i]
+		// fallthrough must be the final statement of a case body.
+		ft := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				ft = true
+				list = list[:n-1]
+			}
+		}
+		b.stmtList(list)
+		if b.cur != nil {
+			if ft && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1], nil, false, false)
+			} else {
+				b.edge(b.cur, after, nil, false, false)
+			}
+		}
+	}
+	b.breakTo = brkTargets
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(st *ast.SwitchStmt, label *labelTargets) {
+	if st.Init != nil {
+		b.append(st.Init)
+	}
+	if st.Tag != nil {
+		b.append(st.Tag)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.switchClauses(b.cur, label, st.Body.List, false)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(st *ast.TypeSwitchStmt, label *labelTargets) {
+	if st.Init != nil {
+		b.append(st.Init)
+	}
+	b.append(st.Assign)
+	b.switchClauses(b.cur, label, st.Body.List, false)
+}
+
+func (b *cfgBuilder) selectStmt(st *ast.SelectStmt, label *labelTargets) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	if len(st.Body.List) == 0 {
+		// select {} blocks forever: flow ends here, deliberately with no
+		// exit edge (the code after it is unreachable).
+		b.cur = nil
+		return
+	}
+	b.switchClauses(head, label, st.Body.List, true)
+}
+
+func (b *cfgBuilder) labeledStmt(st *ast.LabeledStmt) {
+	lt := b.labels[st.Label.Name]
+	if lt == nil { // label inside a closure pre-scan missed; be safe
+		lt = &labelTargets{start: b.newBlock()}
+		b.labels[st.Label.Name] = lt
+	}
+	if b.cur != nil {
+		b.edge(b.cur, lt.start, nil, false, false)
+	}
+	b.cur = lt.start
+	switch inner := st.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, lt)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, lt)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, lt)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, lt)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, lt)
+	default:
+		b.stmt(st.Stmt)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(st *ast.BranchStmt) {
+	switch st.Tok {
+	case token.BREAK:
+		if st.Label != nil {
+			if lt := b.labels[st.Label.Name]; lt != nil && lt.brk != nil {
+				b.terminate(lt.brk, false)
+				return
+			}
+		} else if n := len(b.breakTo); n > 0 {
+			b.terminate(b.breakTo[n-1], false)
+			return
+		}
+		b.cur = nil // malformed break: kill flow rather than mis-edge
+	case token.CONTINUE:
+		if st.Label != nil {
+			if lt := b.labels[st.Label.Name]; lt != nil && lt.cont != nil {
+				b.terminate(lt.cont, false)
+				return
+			}
+		} else if n := len(b.continueTo); n > 0 {
+			b.terminate(b.continueTo[n-1], false)
+			return
+		}
+		b.cur = nil
+	case token.GOTO:
+		if lt := b.labels[st.Label.Name]; lt != nil {
+			b.terminate(lt.start, false)
+			return
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchClauses; a stray one (invalid Go) kills flow.
+		b.cur = nil
+	}
+}

@@ -1,0 +1,369 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"mba/internal/lint"
+)
+
+// cfgOf parses src (one or more declarations following an implicit
+// `package p`) and builds the CFG of the first function declaration.
+// Fixtures call mark("label") so tests can locate blocks by label; no
+// type checking happens, so mark needs no declaration.
+func cfgOf(t *testing.T, src string) *lint.CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			c := lint.BuildCFG(fn.Body)
+			checkWellFormed(t, c)
+			return c
+		}
+	}
+	t.Fatal("no function declaration in fixture")
+	return nil
+}
+
+// checkWellFormed asserts the structural CFG invariants every analysis
+// relies on: Entry/Exit placement, index order, edge symmetry, and a
+// successor-free Exit.
+func checkWellFormed(t *testing.T, c *lint.CFG) {
+	t.Helper()
+	if len(c.Blocks) < 2 || c.Entry != c.Blocks[0] || c.Exit != c.Blocks[1] {
+		t.Fatalf("Entry/Exit not at Blocks[0]/Blocks[1]")
+	}
+	if len(c.Exit.Succs) != 0 {
+		t.Errorf("Exit has %d successors, want 0", len(c.Exit.Succs))
+	}
+	for i, b := range c.Blocks {
+		if b.Index != i {
+			t.Errorf("Blocks[%d].Index = %d", i, b.Index)
+		}
+		for _, e := range b.Succs {
+			if e.From != b {
+				t.Errorf("block %d successor edge has From %d", i, e.From.Index)
+			}
+			found := false
+			for _, p := range e.To.Preds {
+				if p == e {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing from To.Preds", e.From.Index, e.To.Index)
+			}
+		}
+		for _, e := range b.Preds {
+			if e.To != b {
+				t.Errorf("block %d predecessor edge has To %d", i, e.To.Index)
+			}
+		}
+	}
+}
+
+// blockMarked returns the block whose nodes contain a mark("label")
+// call.
+func blockMarked(t *testing.T, c *lint.CFG, label string) *lint.Block {
+	t.Helper()
+	want := `"` + label + `"`
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			// A range head node carries the whole loop subtree; only its
+			// operands belong to the head block.
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				n = rs.X
+			}
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if bl, ok := m.(*ast.BasicLit); ok && bl.Value == want {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains mark(%q)", label)
+	return nil
+}
+
+// canReach reports whether to is reachable from from over Succs edges.
+func canReach(from, to *lint.Block) bool {
+	seen := map[*lint.Block]bool{from: true}
+	stack := []*lint.Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGIfElseBranchEdges(t *testing.T) {
+	c := cfgOf(t, `
+func f(ok bool) {
+	if ok {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("after")
+}`)
+	then := blockMarked(t, c, "then")
+	els := blockMarked(t, c, "else")
+	after := blockMarked(t, c, "after")
+	// The condition block fans out with Cond set and opposite Branch
+	// values on the two edges.
+	var trueEdge, falseEdge *lint.Edge
+	for _, e := range then.Preds {
+		trueEdge = e
+	}
+	for _, e := range els.Preds {
+		falseEdge = e
+	}
+	if trueEdge.Cond == nil || !trueEdge.Branch {
+		t.Errorf("then edge: Cond=%v Branch=%v, want guarded true edge", trueEdge.Cond, trueEdge.Branch)
+	}
+	if falseEdge.Cond == nil || falseEdge.Branch {
+		t.Errorf("else edge: Cond=%v Branch=%v, want guarded false edge", falseEdge.Cond, falseEdge.Branch)
+	}
+	if trueEdge.From != falseEdge.From {
+		t.Errorf("branch edges leave different blocks %d and %d", trueEdge.From.Index, falseEdge.From.Index)
+	}
+	if !canReach(then, after) || !canReach(els, after) {
+		t.Error("one of the branches cannot reach the join block")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	c := cfgOf(t, `
+func f(xs [][]int) {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				mark("precont")
+				continue outer
+			}
+			if v == 0 {
+				mark("prebrk")
+				break outer
+			}
+		}
+		mark("rowdone")
+	}
+	mark("after")
+}`)
+	prebrk := blockMarked(t, c, "prebrk")
+	precont := blockMarked(t, c, "precont")
+	after := blockMarked(t, c, "after")
+	rowdone := blockMarked(t, c, "rowdone")
+
+	// break outer jumps straight past both loops.
+	if len(prebrk.Succs) != 1 || prebrk.Succs[0].To != after {
+		t.Errorf("break outer: got %d successors, want exactly the after-loop block", len(prebrk.Succs))
+	}
+	// continue outer re-enters the OUTER range head (the block whose
+	// node is the outer *ast.RangeStmt), skipping rowdone.
+	if len(precont.Succs) != 1 {
+		t.Fatalf("continue outer: got %d successors, want 1", len(precont.Succs))
+	}
+	target := precont.Succs[0].To
+	if target == rowdone {
+		t.Error("continue outer flowed into the rest of the outer body")
+	}
+	isRangeHead := false
+	for _, n := range target.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			isRangeHead = true
+		}
+	}
+	if !isRangeHead {
+		t.Errorf("continue outer target (block %d) is not a range head", target.Index)
+	}
+}
+
+func TestCFGGotoBackEdge(t *testing.T) {
+	c := cfgOf(t, `
+func f(n int) {
+	i := 0
+loop:
+	if i < n {
+		mark("body")
+		i++
+		goto loop
+	}
+	mark("done")
+}`)
+	body := blockMarked(t, c, "body")
+	done := blockMarked(t, c, "done")
+	if !canReach(body, body) {
+		t.Error("goto loop did not form a cycle through the body")
+	}
+	if !canReach(body, done) {
+		t.Error("loop body cannot reach the code after the loop")
+	}
+	if !canReach(done, c.Exit) {
+		t.Error("fall-off-the-end block cannot reach Exit")
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	c := cfgOf(t, `
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		mark("recv")
+		_ = v
+	default:
+		mark("def")
+	}
+	mark("after")
+}`)
+	after := blockMarked(t, c, "after")
+	if !canReach(blockMarked(t, c, "recv"), after) || !canReach(blockMarked(t, c, "def"), after) {
+		t.Error("select clause cannot reach the statement after the select")
+	}
+	// The comm clause head statement must appear as a node so analyses
+	// see the receive.
+	recv := blockMarked(t, c, "recv")
+	hasComm := false
+	for _, e := range recv.Preds {
+		for _, n := range e.From.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				hasComm = true
+			}
+		}
+	}
+	if _, ok := recv.Nodes[0].(*ast.AssignStmt); ok {
+		hasComm = true
+	}
+	if !hasComm {
+		t.Error("comm clause assignment does not appear as a CFG node")
+	}
+}
+
+func TestCFGEmptySelectKillsFlow(t *testing.T) {
+	c := cfgOf(t, `
+func f() {
+	select {}
+	mark("dead")
+}`)
+	dead := blockMarked(t, c, "dead")
+	reach := c.Reachable()
+	if reach[dead.Index] {
+		t.Error("code after select{} is reachable")
+	}
+	if !reach[c.Entry.Index] {
+		t.Error("entry block unreachable")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	c := cfgOf(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		defer mark("cleanup")
+		_ = x
+	}
+	defer mark("final")
+}`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(c.Defers))
+	}
+	if c.Defers[0].Pos() >= c.Defers[1].Pos() {
+		t.Error("defers not collected in source order")
+	}
+	// The loop-body defer also stays a node of its own block.
+	cleanup := blockMarked(t, c, "cleanup")
+	if _, ok := cleanup.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("loop defer not kept in its block; first node is %T", cleanup.Nodes[0])
+	}
+	if !canReach(c.Entry, cleanup) {
+		t.Error("loop body with defer unreachable")
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	c := cfgOf(t, `
+func f(ok bool) {
+	if !ok {
+		panic("boom")
+	}
+	mark("fine")
+}`)
+	panics, plain := 0, 0
+	for _, e := range c.Exit.Preds {
+		if e.Panic {
+			panics++
+		} else {
+			plain++
+		}
+	}
+	if panics != 1 || plain != 1 {
+		t.Errorf("Exit has %d panic and %d plain predecessor edges, want 1 and 1", panics, plain)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := cfgOf(t, `
+func f(n int) {
+	switch n {
+	case 0:
+		mark("zero")
+		fallthrough
+	case 1:
+		mark("one")
+	default:
+		mark("def")
+	}
+	mark("after")
+}`)
+	zero := blockMarked(t, c, "zero")
+	one := blockMarked(t, c, "one")
+	after := blockMarked(t, c, "after")
+	if len(zero.Succs) != 1 || zero.Succs[0].To != one {
+		t.Error("fallthrough does not flow into the next case body")
+	}
+	for _, b := range []*lint.Block{zero, one, blockMarked(t, c, "def")} {
+		if !canReach(b, after) {
+			t.Errorf("case block %d cannot reach the statement after the switch", b.Index)
+		}
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	c := cfgOf(t, `
+func f() int {
+	return 1
+	mark("dead")
+}`)
+	dead := blockMarked(t, c, "dead")
+	if len(dead.Preds) != 0 {
+		t.Errorf("dead block has %d predecessors, want 0", len(dead.Preds))
+	}
+	reach := c.Reachable()
+	if reach[dead.Index] {
+		t.Error("Reachable marks dead code reachable")
+	}
+	if !reach[c.Exit.Index] {
+		t.Error("Reachable misses Exit")
+	}
+}

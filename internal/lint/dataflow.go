@@ -1,0 +1,174 @@
+package lint
+
+import "go/ast"
+
+// This file is the generic worklist solver the CFG-based analyzers
+// share. An analysis supplies a join-semilattice of states (FlowState)
+// and a transfer function over statements; the solver iterates to a
+// fixpoint in deterministic block order. Forward analyses compute the
+// state holding at each block entry, backward analyses the state at
+// each block exit. An analysis may additionally implement EdgeRefiner
+// to narrow states along branch edges — the path-sensitivity hook
+// unlockpath and budgetpath use to learn from `if err != nil` and its
+// kin.
+
+// FlowDirection selects how facts propagate over the CFG.
+type FlowDirection int
+
+const (
+	FlowForward FlowDirection = iota
+	FlowBackward
+)
+
+// FlowState is one analysis's abstract state at a program point. All
+// mutation happens on private copies: the solver only mutates states
+// it has Cloned.
+type FlowState interface {
+	// Clone returns an independent deep copy.
+	Clone() FlowState
+	// JoinFrom merges src into the receiver (the lattice join),
+	// reporting whether the receiver changed. src must not be mutated.
+	JoinFrom(src FlowState) bool
+}
+
+// FlowAnalysis is one dataflow problem over a CFG.
+type FlowAnalysis interface {
+	Direction() FlowDirection
+	// Boundary is the state at the entry block (forward) or exit block
+	// (backward).
+	Boundary() FlowState
+	// Transfer applies one node's effect, mutating and returning st.
+	// For backward analyses the solver feeds a block's nodes in reverse
+	// order.
+	Transfer(n ast.Node, st FlowState) FlowState
+}
+
+// EdgeRefiner is an optional FlowAnalysis extension: RefineEdge narrows
+// the state flowing along a CFG edge using the edge's branch condition.
+// st is a private copy the refiner may mutate and return. Refinement
+// must keep the analysis monotone: only remove or sharpen facts the
+// condition contradicts, never invent new ones.
+type EdgeRefiner interface {
+	RefineEdge(e *Edge, st FlowState) FlowState
+}
+
+// FlowSolution holds the converged states: In[b] at block entry and
+// Out[b] at block exit. Blocks unreachable in the analysis direction
+// have nil states.
+type FlowSolution struct {
+	In, Out map[*Block]FlowState
+}
+
+// SolveDataflow runs the analysis to fixpoint. The worklist is ordered
+// by block index so iteration — and therefore any tie-breaking inside
+// state maps the analysis keeps — is deterministic across runs.
+func SolveDataflow(cfg *CFG, a FlowAnalysis) *FlowSolution {
+	sol := &FlowSolution{
+		In:  make(map[*Block]FlowState, len(cfg.Blocks)),
+		Out: make(map[*Block]FlowState, len(cfg.Blocks)),
+	}
+	backward := a.Direction() == FlowBackward
+	refiner, _ := a.(EdgeRefiner)
+
+	// start/finish are direction-relative: facts enter a block at
+	// start-state and leave at finish-state.
+	start, finish := sol.In, sol.Out
+	boundaryBlock := cfg.Entry
+	if backward {
+		start, finish = sol.Out, sol.In
+		boundaryBlock = cfg.Exit
+	}
+	start[boundaryBlock] = a.Boundary()
+
+	// apply recomputes a block's finish-state from its start-state.
+	apply := func(b *Block) {
+		st := start[b].Clone()
+		if backward {
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				st = a.Transfer(b.Nodes[i], st)
+			}
+		} else {
+			for _, n := range b.Nodes {
+				st = a.Transfer(n, st)
+			}
+		}
+		finish[b] = st
+	}
+
+	inEdges := func(b *Block) []*Edge {
+		if backward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	outEdges := func(b *Block) []*Edge {
+		if backward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	edgeSource := func(e *Edge) *Block {
+		if backward {
+			return e.To
+		}
+		return e.From
+	}
+	edgeDest := func(e *Edge) *Block {
+		if backward {
+			return e.From
+		}
+		return e.To
+	}
+
+	// Deterministic worklist: a boolean membership array drained in
+	// ascending block-index order, restarting after each sweep until no
+	// block is queued.
+	queued := make([]bool, len(cfg.Blocks))
+	for i := range cfg.Blocks {
+		queued[i] = true
+	}
+	for {
+		idx := -1
+		for i, q := range queued {
+			if q {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return sol
+		}
+		queued[idx] = false
+		b := cfg.Blocks[idx]
+
+		// Join the (refined) finish-states of all in-edges into the
+		// block's start-state.
+		changed := false
+		for _, e := range inEdges(b) {
+			src := finish[edgeSource(e)]
+			if src == nil {
+				continue // source not yet reached
+			}
+			st := src.Clone()
+			if refiner != nil && e.Cond != nil {
+				st = refiner.RefineEdge(e, st)
+			}
+			if cur := start[b]; cur == nil {
+				start[b] = st
+				changed = true
+			} else if cur.JoinFrom(st) {
+				changed = true
+			}
+		}
+		if start[b] == nil {
+			continue // unreachable in this direction
+		}
+		if finish[b] != nil && !changed {
+			continue // already converged for the current start-state
+		}
+		apply(b)
+		for _, e := range outEdges(b) {
+			queued[edgeDest(e).Index] = true
+		}
+	}
+}

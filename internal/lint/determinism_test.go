@@ -20,6 +20,7 @@ func renderRun(t *testing.T) []byte {
 	targets := []string{
 		"ctxflow/core", "errsentinel", "lockorder",
 		"budgetflow/core", "budgetflow/fleet", "recursion",
+		"dettaint", "unlockpath", "budgetpath",
 	}
 	var pkgs []*lint.Package
 	for _, p := range targets {
@@ -68,6 +69,42 @@ func TestTwoRunByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(run1, run2) {
 		t.Errorf("two identical runs rendered different bytes:\nrun1:\n%s\nrun2:\n%s", run1, run2)
+	}
+}
+
+// TestTwoRunSARIFByteIdentical renders the two independent fixture
+// runs as SARIF logs: the full artifact CI uploads must also be
+// byte-identical, not just the per-diagnostic lines.
+func TestTwoRunSARIFByteIdentical(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		loader := lint.NewFixtureLoader(filepath.Join("testdata", "src"))
+		targets := []string{"dettaint", "unlockpath", "budgetpath", "errsentinel"}
+		var pkgs []*lint.Package
+		for _, p := range targets {
+			pkg, err := loader.Load(p)
+			if err != nil {
+				t.Fatalf("loading %s: %v", p, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		diags, err := lint.RunAll(lint.Interprocedural(), pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := lint.SARIF(diags, lint.Interprocedural(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	run1 := render()
+	run2 := render()
+	if len(run1) == 0 {
+		t.Fatal("SARIF run rendered no bytes")
+	}
+	if !bytes.Equal(run1, run2) {
+		t.Errorf("two identical runs rendered different SARIF:\nrun1:\n%s\nrun2:\n%s", run1, run2)
 	}
 }
 

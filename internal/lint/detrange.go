@@ -76,22 +76,7 @@ func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
 // rootObj resolves the variable a (possibly nested) assignable
 // expression ultimately stores into: sum, st.sum, xs[i] -> sum, st, xs.
 func rootObj(pass *Pass, e ast.Expr) types.Object {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return pass.TypesInfo.ObjectOf(x)
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
+	return rootObjInfo(pass.TypesInfo, e)
 }
 
 func declaredOutside(obj types.Object, node ast.Node) bool {

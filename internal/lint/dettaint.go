@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// DetTaint is the flow-sensitive, interprocedural big sibling of
+// detrange. Where detrange pattern-matches suspicious statements inside
+// a map range, dettaint tracks nondeterministic ordering as a taint
+// through the CFG (taint.go): sources are map iteration order, select
+// completion order, and calls to functions whose summaries say they
+// return nondet-ordered values; sort.*/slices.* calls kill the taint;
+// sinks are the artifact surface — Result/UnitResult/Estimate/
+// Checkpoint fields and literals, external writers (csv.Writer.Write,
+// fmt printers, json.Marshal, os.WriteFile), and in-program calls whose
+// parameters transitively reach such a sink. Because the analysis is
+// flow-sensitive, the collect→sort→emit idiom passes while
+// collect→emit→sort — which detrange's "sorted anywhere later"
+// heuristic accepts — is caught; and because taint crosses function
+// boundaries through the SCC summaries, a helper that returns unsorted
+// map keys taints its callers' artifacts too.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "dataflow taint from nondeterministic ordering sources (map iteration, " +
+		"select completion) into result fields, checkpoints, and writers",
+	Run: runDetTaint,
+}
+
+func runDetTaint(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, ev := range prog.taintEvents(f) {
+			if ev.kind != "sink" || ev.val.mask&taintNondet == 0 {
+				continue
+			}
+			src := ev.val.src
+			if src == "" {
+				src = "a nondeterministic source"
+			}
+			where := ""
+			if ev.val.pos.IsValid() {
+				p := pass.Fset.Position(ev.val.pos)
+				where = fmt.Sprintf(" at %s:%d", filepath.Base(p.Filename), p.Line)
+			}
+			key := fmt.Sprintf("%d\x00%s\x00%s", ev.pos, ev.what, src)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pass.Reportf(ev.pos,
+				"value ordered by %s%s reaches %s; sort it (sort.*/slices.*) before it escapes into a run artifact",
+				src, where, ev.what)
+		}
+	}
+	return nil
+}

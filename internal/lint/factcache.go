@@ -12,7 +12,11 @@ import (
 
 // factCacheVersion invalidates every cached entry when the summary
 // lattice or extraction semantics change.
-const factCacheVersion = 1
+//
+// v2: the CFG/dataflow layer added taint facts (TaintsReturn,
+// ParamTaintToReturn, ParamTaintToSink) and Releases to the Summary;
+// v1 entries lack them and must not be silently reused.
+const factCacheVersion = 2
 
 // FactCache memoizes per-package function summaries keyed by a content
 // hash, so a repo-wide mba-lint run only recomputes the interprocedural
@@ -49,7 +53,12 @@ type cachedSummary struct {
 	ReturnsError bool     `json:"err,omitempty"`
 	Unresolved   bool     `json:"unresolved,omitempty"`
 	Acquires     []string `json:"acquires,omitempty"`
+	Releases     []string `json:"releases,omitempty"`
 	Sentinels    []string `json:"sentinels,omitempty"`
+
+	TaintsReturn       bool   `json:"taintRet,omitempty"`
+	ParamTaintToReturn uint64 `json:"taintP2R,omitempty"`
+	ParamTaintToSink   uint64 `json:"taintP2S,omitempty"`
 }
 
 type factCacheFile struct {
@@ -188,9 +197,15 @@ func (c *FactCache) lookup(p *Program, pkg *Package) (map[string]*Summary, bool)
 		for _, a := range cs.Acquires {
 			s.Acquires[a] = true
 		}
+		for _, a := range cs.Releases {
+			s.Releases[a] = true
+		}
 		for _, a := range cs.Sentinels {
 			s.Sentinels[a] = true
 		}
+		s.TaintsReturn = cs.TaintsReturn
+		s.ParamTaintToReturn = cs.ParamTaintToReturn
+		s.ParamTaintToSink = cs.ParamTaintToSink
 		out[id] = s
 	}
 	return out, true
@@ -216,7 +231,12 @@ func (c *FactCache) store(p *Program, pkg *Package) {
 			ReturnsError: s.ReturnsError,
 			Unresolved:   s.Unresolved,
 			Acquires:     s.AcquiresSorted(),
+			Releases:     sortedKeys(s.Releases),
 			Sentinels:    s.SentinelsSorted(),
+
+			TaintsReturn:       s.TaintsReturn,
+			ParamTaintToReturn: s.ParamTaintToReturn,
+			ParamTaintToSink:   s.ParamTaintToSink,
 		}
 	}
 	c.entries[pkg.Path] = e

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,7 +29,7 @@ func cachedFixtureProgram(t *testing.T, cache *lint.FactCache, paths ...string) 
 // same summaries.
 func TestFactCacheRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "factcache.json")
-	targets := []string{"ctxflow/core", "lockorder", "recursion"}
+	targets := []string{"ctxflow/core", "lockorder", "recursion", "dettaint", "unlockpath"}
 
 	cold := lint.OpenFactCache(path)
 	prog1 := cachedFixtureProgram(t, cold, targets...)
@@ -51,10 +52,12 @@ func TestFactCacheRoundTrip(t *testing.T) {
 		t.Errorf("warm cache reported %d misses on unchanged sources", warm.Misses)
 	}
 
-	// Cached facts must be indistinguishable from recomputed ones.
+	// Cached facts must be indistinguishable from recomputed ones —
+	// including the v2 taint and release facts.
 	for _, id := range []string{
 		"ctxflow/core.BadFresh", "ctxflow/core.threaded", "ctxflow/core.Free",
 		"lockorder.cThenB", "recursion.even", "(*api.Client).Search",
+		"dettaint.unsortedKeys", "dettaint.emit", "(*unlockpath.counter).release",
 	} {
 		f1, f2 := prog1.FuncByID(id), prog2.FuncByID(id)
 		if f1 == nil || f2 == nil {
@@ -65,10 +68,53 @@ func TestFactCacheRoundTrip(t *testing.T) {
 			s1.UsesCtx != s2.UsesCtx || s1.ReturnsError != s2.ReturnsError {
 			t.Errorf("%s: cached summary diverges: cold=%+v warm=%+v", id, s1, s2)
 		}
+		if s1.TaintsReturn != s2.TaintsReturn || s1.ParamTaintToReturn != s2.ParamTaintToReturn ||
+			s1.ParamTaintToSink != s2.ParamTaintToSink {
+			t.Errorf("%s: cached taint facts diverge: cold=%+v warm=%+v", id, s1, s2)
+		}
 		a1, a2 := s1.AcquiresSorted(), s2.AcquiresSorted()
 		if len(a1) != len(a2) {
 			t.Errorf("%s: acquires diverge: cold=%v warm=%v", id, a1, a2)
 		}
+		if len(s1.Releases) != len(s2.Releases) {
+			t.Errorf("%s: releases diverge: cold=%v warm=%v", id, s1.Releases, s2.Releases)
+		}
+	}
+
+	// The helper-returns-unsorted-keys fact must actually be present —
+	// otherwise this round-trip proves nothing about the new fields.
+	if f := prog2.FuncByID("dettaint.unsortedKeys"); !prog2.SummaryOf(f).TaintsReturn {
+		t.Error("warm cache lost TaintsReturn for dettaint.unsortedKeys")
+	}
+	if f := prog2.FuncByID("(*unlockpath.counter).release"); len(prog2.SummaryOf(f).Releases) == 0 {
+		t.Error("warm cache lost Releases for (*unlockpath.counter).release")
+	}
+}
+
+// TestFactCacheVersionInvalidates: a cache written by another schema
+// version must be ignored wholesale, not half-trusted.
+func TestFactCacheVersionInvalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "factcache.json")
+	cache := lint.OpenFactCache(path)
+	cachedFixtureProgram(t, cache, "recursion")
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := bytes.Replace(data, []byte(`"version": 2`), []byte(`"version": 1`), 1)
+	if bytes.Equal(stale, data) {
+		t.Fatal("could not rewrite cache version; schema changed?")
+	}
+	if err := os.WriteFile(path, stale, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	reopened := lint.OpenFactCache(path)
+	cachedFixtureProgram(t, reopened, "recursion")
+	if reopened.Hits != 0 || reopened.Misses == 0 {
+		t.Errorf("stale-version cache should behave as empty: hits=%d misses=%d", reopened.Hits, reopened.Misses)
 	}
 }
 

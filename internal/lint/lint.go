@@ -325,10 +325,12 @@ func runLintDirective(pass *Pass) error {
 func All() []*Analyzer {
 	return []*Analyzer{
 		BudgetFlow,
+		BudgetPath,
 		BudgetSafe,
 		CheckedCost,
 		CtxFlow,
 		DetRange,
+		DetTaint,
 		ErrSentinel,
 		FloatSum,
 		GoSpawn,
@@ -336,13 +338,20 @@ func All() []*Analyzer {
 		LockOrder,
 		NoRawRand,
 		NoWallClock,
+		UnlockPath,
 	}
 }
 
 // Interprocedural returns just the summary-driven analyzers added by
-// the whole-program layer.
+// the whole-program layer (PR 5) and the CFG/dataflow layer on top of
+// it.
 func Interprocedural() []*Analyzer {
-	return []*Analyzer{BudgetFlow, CtxFlow, ErrSentinel, LockOrder}
+	return []*Analyzer{BudgetFlow, BudgetPath, CtxFlow, DetTaint, ErrSentinel, LockOrder, UnlockPath}
+}
+
+// Dataflow returns the CFG-based flow-sensitive analyzers.
+func Dataflow() []*Analyzer {
+	return []*Analyzer{BudgetPath, DetTaint, UnlockPath}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -53,6 +53,18 @@ func TestBudgetFlow(t *testing.T) {
 	linttest.Run(t, "testdata", lint.BudgetFlow, "budgetflow/core", "budgetflow/fleet")
 }
 
+func TestDetTaint(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetTaint, "dettaint")
+}
+
+func TestUnlockPath(t *testing.T) {
+	linttest.Run(t, "testdata", lint.UnlockPath, "unlockpath")
+}
+
+func TestBudgetPath(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BudgetPath, "budgetpath")
+}
+
 // TestLintDirective checks rejection of malformed lint:ignore
 // directives directly (the diagnostics land on the directive lines
 // themselves, where a `// want` comment cannot sit).
@@ -80,6 +92,11 @@ func TestLintDirective(t *testing.T) {
 // TestSuiteCleanOnRepo runs the entire mba-lint suite over this module
 // and requires zero diagnostics, making `go test` itself enforce the
 // determinism/accounting/virtual-time invariants the analyzers encode.
+// Since All() includes the dataflow analyzers, this is also the gate
+// that keeps dettaint at zero unsuppressed findings on the fleet merge
+// path, every Lock matched by an Unlock on all paths, and every ledger
+// reservation settled on all paths — any new //lint:ignore needs a
+// written reason or lintdirective flags it here too.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -112,7 +129,7 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 	for _, e := range base.Entries {
 		switch e.Analyzer {
-		case "budgetflow", "ctxflow", "errsentinel", "lockorder":
+		case "budgetflow", "budgetpath", "ctxflow", "dettaint", "errsentinel", "lockorder", "unlockpath":
 			t.Errorf("committed baseline carries %s debt: %+v", e.Analyzer, e)
 		}
 	}

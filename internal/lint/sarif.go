@@ -44,6 +44,15 @@ type sarifDriver struct {
 type sarifRule struct {
 	ID               string    `json:"id"`
 	ShortDescription sarifText `json:"shortDescription"`
+	// HelpURI points at the rule's documentation. The repo has no
+	// canonical remote, so this is a relative URI into the repo's own
+	// docs — stable across clones and byte-identical across runs.
+	HelpURI string `json:"helpUri,omitempty"`
+}
+
+// ruleHelpURI renders the documentation URI of one analyzer rule.
+func ruleHelpURI(name string) string {
+	return "DESIGN.md#lint-" + name
 }
 
 type sarifText struct {
@@ -87,6 +96,7 @@ func SARIF(diags []Diagnostic, analyzers []*Analyzer, baseDir string) ([]byte, e
 		driver.Rules = append(driver.Rules, sarifRule{
 			ID:               a.Name,
 			ShortDescription: sarifText{Text: a.Doc},
+			HelpURI:          ruleHelpURI(a.Name),
 		})
 	}
 	results := make([]sarifResult, 0, len(diags))
@@ -98,6 +108,7 @@ func SARIF(diags []Diagnostic, analyzers []*Analyzer, baseDir string) ([]byte, e
 			driver.Rules = append(driver.Rules, sarifRule{
 				ID:               d.Analyzer,
 				ShortDescription: sarifText{Text: d.Analyzer},
+				HelpURI:          ruleHelpURI(d.Analyzer),
 			})
 		}
 		results = append(results, sarifResult{

@@ -32,6 +32,7 @@ func TestSARIFRequiredFields(t *testing.T) {
 						ShortDescription struct {
 							Text string `json:"text"`
 						} `json:"shortDescription"`
+						HelpURI string `json:"helpUri"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
@@ -76,6 +77,9 @@ func TestSARIFRequiredFields(t *testing.T) {
 	for _, r := range run.Tool.Driver.Rules {
 		if r.ID == "" || r.ShortDescription.Text == "" {
 			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+		if want := "DESIGN.md#lint-" + r.ID; r.HelpURI != want {
+			t.Errorf("rule %s helpUri = %q, want %q", r.ID, r.HelpURI, want)
 		}
 	}
 	if len(run.Results) != len(diags) {

@@ -37,13 +37,36 @@ type Summary struct {
 	// Acquires is the set of lock IDs ("pkg.Type.field" or "pkg.var")
 	// the function may (transitively) acquire.
 	Acquires map[string]bool
+	// Releases is the set of lock IDs the function may (transitively)
+	// release — unlockpath drops a held-lock obligation when calling a
+	// releasing helper instead of reporting a leak the helper discharges.
+	Releases map[string]bool
 	// Sentinels is the set of sentinel error names ("pkg.ErrX") the
 	// function may (transitively) return or wrap into its error result.
 	Sentinels map[string]bool
+
+	// Taint facts (taint.go), computed — not merged — in the SCC
+	// fixpoint: the caller's transfer function decides how a callee's
+	// facts apply at each call site, so merge() must NOT union them.
+	//
+	// TaintsReturn: some return value may carry nondeterministic
+	// ordering (map iteration, select completion) regardless of inputs.
+	TaintsReturn bool
+	// ParamTaintToReturn: parameter provenance bits (taintParamBit)
+	// that may flow into a return value.
+	ParamTaintToReturn uint64
+	// ParamTaintToSink: parameter provenance bits that may
+	// (transitively) reach an artifact sink — Result/Estimate/
+	// Checkpoint fields or an external writer.
+	ParamTaintToSink uint64
 }
 
 func newSummary() *Summary {
-	return &Summary{Acquires: map[string]bool{}, Sentinels: map[string]bool{}}
+	return &Summary{
+		Acquires:  map[string]bool{},
+		Releases:  map[string]bool{},
+		Sentinels: map[string]bool{},
+	}
 }
 
 // merge unions src's propagated facts into s, reporting change.
@@ -61,6 +84,15 @@ func (s *Summary) merge(src *Summary) bool {
 	for k := range src.Acquires {
 		if !s.Acquires[k] {
 			s.Acquires[k] = true
+			changed = true
+		}
+	}
+	for k := range src.Releases {
+		if s.Releases == nil {
+			s.Releases = map[string]bool{}
+		}
+		if !s.Releases[k] {
+			s.Releases[k] = true
 			changed = true
 		}
 	}
@@ -222,9 +254,14 @@ func (p *Program) computeSummaries(cache *FactCache) {
 						}
 					}
 				}
+				// Taint facts are not unioned by merge: recompute them
+				// from the body under the current callee summaries.
+				if p.updateTaintSummary(f, sum) {
+					changed = true
+				}
 			}
-			if len(scc) == 1 {
-				break // no self-recursion possible beyond one merge round
+			if len(scc) == 1 && !p.selfRecursive(scc[0]) {
+				break // callees already converged; one round suffices
 			}
 		}
 	}
@@ -302,6 +339,11 @@ func (p *Program) localFacts(f *Func) *Summary {
 					sum.Acquires[id] = true
 				}
 			}
+			if e, ok := syncLockCall(pkg.Info, x, unlockNames); ok {
+				if id := lockID(pkg, e); id != "" {
+					sum.Releases[id] = true
+				}
+			}
 			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
 				if id, ok := sel.X.(*ast.Ident); ok {
 					if path := importedPkgPath(pkg.Info, id); path == "math/rand" || path == "math/rand/v2" {
@@ -332,6 +374,19 @@ func (p *Program) localFacts(f *Func) *Summary {
 		sum.Unresolved = true
 	}
 	return sum
+}
+
+// selfRecursive reports whether f has a call site that may reach f
+// itself — the case where a singleton SCC still needs fixpoint rounds.
+func (p *Program) selfRecursive(f *Func) bool {
+	for _, cs := range f.calls {
+		for _, g := range cs.callees {
+			if g == f {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (p *Program) hasUnresolved(f *Func) bool {

@@ -1,0 +1,741 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements order-nondeterminism taint: a forward dataflow
+// over the per-function CFG tracking which values carry an ordering
+// that depends on map iteration order or select completion order. The
+// same transfer function serves two masters:
+//
+//   - summary computation (summary.go): run inside the call-graph SCC
+//     fixpoint to converge each function's TaintsReturn /
+//     ParamTaintToReturn / ParamTaintToSink facts, so taint crosses
+//     function boundaries;
+//   - the dettaint analyzer (dettaint.go): replay the converged
+//     solution block by block and report every nondet-tainted value
+//     that reaches an artifact sink.
+//
+// The taint mask is a bitset: bit 0 is "nondeterministic order", bit
+// i+1 is "derived from parameter i" (provenance for interprocedural
+// propagation; functions past 62 parameters lose precision, not
+// soundness). Sorting a value (sort.*/slices.* on it) kills its taint
+// — the fix the analyzers suggest is exactly that sort, so the
+// analysis must see it discharge the obligation, and flow-sensitively:
+// a sort on one path does not clean the other.
+
+// taintNondet is the "order is nondeterministic" taint bit.
+const taintNondet uint64 = 1
+
+// rootObjInfo resolves the variable a (possibly nested) assignable
+// expression ultimately stores into: sum, st.sum, xs[i] → sum, st, xs.
+func rootObjInfo(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintParamBit returns the provenance bit of parameter i (0 when i
+// overflows the mask; such params are tracked imprecisely).
+func taintParamBit(i int) uint64 {
+	if i >= 63 {
+		return 0
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// taintVal is one variable's taint: the mask plus the earliest
+// nondeterminism source witness for diagnostics.
+type taintVal struct {
+	mask uint64
+	// pos/src describe the earliest nondet source ("map iteration
+	// order at …"); zero when mask has no nondet bit.
+	pos token.Pos
+	src string
+}
+
+func (v taintVal) withSource(o taintVal) taintVal {
+	v.mask |= o.mask
+	if o.pos != token.NoPos && (v.pos == token.NoPos || o.pos < v.pos) {
+		v.pos, v.src = o.pos, o.src
+	}
+	return v
+}
+
+// taintState maps variables to their taint at a program point.
+type taintState struct {
+	vars map[types.Object]taintVal
+}
+
+func newTaintState() *taintState { return &taintState{vars: map[types.Object]taintVal{}} }
+
+func (s *taintState) Clone() FlowState {
+	c := newTaintState()
+	for k, v := range s.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+func (s *taintState) JoinFrom(src FlowState) bool {
+	o := src.(*taintState)
+	changed := false
+	for k, ov := range o.vars {
+		cur, ok := s.vars[k]
+		merged := cur.withSource(ov)
+		if !ok || merged != cur {
+			s.vars[k] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *taintState) get(obj types.Object) taintVal {
+	if obj == nil {
+		return taintVal{}
+	}
+	return s.vars[obj]
+}
+
+func (s *taintState) set(obj types.Object, v taintVal) {
+	if obj == nil {
+		return
+	}
+	if v.mask == 0 {
+		delete(s.vars, obj)
+		return
+	}
+	s.vars[obj] = v
+}
+
+// taintEvent is one observation the replay pass cares about: a tainted
+// value reaching a sink, or a tainted value being returned.
+type taintEvent struct {
+	kind string // "sink" or "return"
+	pos  token.Pos
+	val  taintVal
+	// what names the sink for diagnostics ("Result.Rows field",
+	// "fmt.Fprintf", "merge parameter 2 of fleet merge", ...).
+	what string
+}
+
+// sinkTypeNames are the artifact struct types whose field stores are
+// taint sinks: what lands in them becomes the run's externally visible
+// result/checkpoint surface and must be reproducible byte for byte.
+var sinkTypeNames = map[string]bool{
+	"Result": true, "UnitResult": true, "Estimate": true, "Checkpoint": true,
+}
+
+// writerSinkMethods are method names that emit records to an external
+// writer (csv.Writer, bufio.Writer, strings.Builder, os.File, ...).
+// Only methods on types OUTSIDE the analyzed program count — an
+// in-program method gets precise ParamTaintToSink facts instead.
+var writerSinkMethods = map[string]bool{
+	"Write": true, "WriteAll": true, "WriteString": true,
+	"WriteByte": true, "WriteRune": true, "Encode": true,
+}
+
+// taintCtx is the per-function analysis context: the CFG plus the
+// precomputed syntactic facts the transfer function needs.
+type taintCtx struct {
+	prog *Program
+	fn   *Func
+	pkg  *Package
+	cfg  *CFG
+	// mapRanges are the function's own range-over-map statements.
+	mapRanges []*ast.RangeStmt
+	// selectComms marks comm-clause statements of selects with two or
+	// more comm cases — their received values depend on goroutine
+	// completion order.
+	selectComms map[ast.Stmt]bool
+	// paramBits maps parameter objects to their provenance bits.
+	paramBits map[types.Object]uint64
+	// resultObjs are named result parameters (for naked returns).
+	resultObjs []types.Object
+	// events is the sink/return collection hook; nil during plain
+	// solving, set during replay.
+	events *[]taintEvent
+}
+
+// taintContext builds (and memoizes on the Program) the analysis
+// context of f, or nil when f has no body.
+func (p *Program) taintContext(f *Func) *taintCtx {
+	if f.Body == nil {
+		return nil
+	}
+	if p.taintCtxs == nil {
+		p.taintCtxs = map[*Func]*taintCtx{}
+	}
+	if tc, ok := p.taintCtxs[f]; ok {
+		return tc
+	}
+	tc := &taintCtx{prog: p, fn: f, pkg: f.Pkg, cfg: BuildCFG(f.Body)}
+	info := f.Pkg.Info
+	inspectShallow(f.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					tc.mapRanges = append(tc.mapRanges, x)
+				}
+			}
+		case *ast.SelectStmt:
+			comms := 0
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				if tc.selectComms == nil {
+					tc.selectComms = map[ast.Stmt]bool{}
+				}
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						tc.selectComms[cc.Comm] = true
+					}
+				}
+			}
+		}
+	})
+	tc.paramBits = map[types.Object]uint64{}
+	for i := 0; i < f.Sig.Params().Len(); i++ {
+		tc.paramBits[f.Sig.Params().At(i)] = taintParamBit(i)
+	}
+	if rs := f.Sig.Results(); rs != nil {
+		for i := 0; i < rs.Len(); i++ {
+			if v := rs.At(i); v.Name() != "" {
+				tc.resultObjs = append(tc.resultObjs, v)
+			}
+		}
+	}
+	p.taintCtxs[f] = tc
+	return tc
+}
+
+// CFGOf returns the memoized control-flow graph of f's body, or nil
+// when f has no body. The CFG is shared by every dataflow analyzer.
+func (p *Program) CFGOf(f *Func) *CFG {
+	if tc := p.taintContext(f); tc != nil {
+		return tc.cfg
+	}
+	return nil
+}
+
+func (tc *taintCtx) Direction() FlowDirection { return FlowForward }
+
+// Boundary seeds every parameter with its provenance bit.
+func (tc *taintCtx) Boundary() FlowState {
+	st := newTaintState()
+	for obj, bit := range tc.paramBits {
+		if bit != 0 {
+			st.vars[obj] = taintVal{mask: bit}
+		}
+	}
+	return st
+}
+
+func (tc *taintCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*taintState)
+	tc.transferNode(n, st)
+	return st
+}
+
+// emit records an event during replay; a no-op while solving.
+func (tc *taintCtx) emit(ev taintEvent) {
+	if tc.events != nil {
+		*tc.events = append(*tc.events, ev)
+	}
+}
+
+// transferNode applies one statement's taint effect to st and, when
+// replaying, emits sink/return events.
+func (tc *taintCtx) transferNode(n ast.Node, st *taintState) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		tc.transferAssign(x, st)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var v taintVal
+					if i < len(vs.Values) {
+						v = tc.taintOf(vs.Values[i], st)
+					}
+					st.set(tc.pkg.Info.Defs[name], v)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		tc.transferRangeHead(x, st)
+	case *ast.ReturnStmt:
+		if len(x.Results) == 0 {
+			for _, obj := range tc.resultObjs {
+				if v := st.get(obj); v.mask != 0 {
+					tc.emit(taintEvent{kind: "return", pos: x.Pos(), val: v})
+				}
+			}
+		}
+		for _, res := range x.Results {
+			if v := tc.taintOf(res, st); v.mask != 0 {
+				tc.emit(taintEvent{kind: "return", pos: x.Pos(), val: v})
+			}
+		}
+	case ast.Stmt:
+		// select comm statements are delivered as the clause head node.
+		if as, ok := x.(*ast.ExprStmt); ok {
+			tc.checkCalls(as.X, st)
+		} else {
+			tc.checkCallsInStmt(x, st)
+		}
+	case ast.Expr:
+		// if/for conditions and switch tags: calls inside them can sink.
+		tc.checkCalls(x, st)
+	}
+}
+
+// transferAssign handles gen (sources), kill (overwrites, sorts) and
+// propagation for one assignment.
+func (tc *taintCtx) transferAssign(as *ast.AssignStmt, st *taintState) {
+	if tc.selectComms != nil && tc.selectComms[ast.Stmt(as)] {
+		// v, ok := <-ch inside a multi-case select: completion order.
+		for _, lhs := range as.Lhs {
+			if obj := tc.lhsObj(lhs); obj != nil {
+				st.set(obj, taintVal{mask: taintNondet, pos: as.Pos(), src: "select completion order"})
+			}
+		}
+		return
+	}
+
+	// Evaluate RHS taint before any kill.
+	var vals []taintVal
+	tuple := len(as.Lhs) > 1 && len(as.Rhs) == 1
+	if tuple {
+		v := tc.taintOf(as.Rhs[0], st)
+		for range as.Lhs {
+			vals = append(vals, v)
+		}
+	} else {
+		for _, rhs := range as.Rhs {
+			vals = append(vals, tc.taintOf(rhs, st))
+		}
+	}
+	for _, rhs := range as.Rhs {
+		tc.checkCalls(rhs, st)
+	}
+
+	for i, lhs := range as.Lhs {
+		if i >= len(vals) {
+			break
+		}
+		v := vals[i]
+
+		// Source: append to a slice declared outside an enclosing
+		// map-range loop — the canonical "collect keys in random order".
+		if !tuple && i < len(as.Rhs) {
+			if call, ok := unparen(as.Rhs[i]).(*ast.CallExpr); ok && tc.isAppend(call) {
+				if rs := tc.enclosingMapRange(as.Pos()); rs != nil {
+					if obj := rootObjInfo(tc.pkg.Info, lhs); obj != nil && declaredOutside(obj, rs) {
+						v = v.withSource(taintVal{mask: taintNondet, pos: as.Pos(), src: "map iteration order"})
+					}
+				}
+			}
+		}
+
+		obj := tc.lhsObj(lhs)
+		root := rootObjInfo(tc.pkg.Info, lhs)
+
+		// Sink: a store into a field of an artifact struct.
+		if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+			if name, ok := tc.sinkFieldOf(sel); ok && v.mask != 0 {
+				tc.emit(taintEvent{kind: "sink", pos: as.Pos(), val: v, what: name + " field"})
+			}
+		}
+
+		switch {
+		case obj != nil && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE):
+			// Whole-variable overwrite replaces the taint.
+			st.set(obj, v)
+		case root != nil:
+			// Field/element store or op-assign: taint accumulates on the
+			// root variable.
+			st.set(root, st.get(root).withSource(v))
+		}
+	}
+}
+
+// transferRangeHead models entering a range loop: iterating a
+// nondet-ordered slice hands the element variable (and, for
+// positional stores, the index) the collection's taint.
+func (tc *taintCtx) transferRangeHead(rs *ast.RangeStmt, st *taintState) {
+	v := tc.taintOf(rs.X, st)
+	if v.mask == 0 {
+		return
+	}
+	if tv, ok := tc.pkg.Info.Types[rs.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return // map ranges source via appends, not via loop vars
+		}
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if obj := tc.lhsObj(e); obj != nil {
+			st.set(obj, st.get(obj).withSource(v))
+		}
+	}
+}
+
+// lhsObj resolves a plain identifier assignment target to its object.
+func (tc *taintCtx) lhsObj(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := tc.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return tc.pkg.Info.Uses[id]
+}
+
+func (tc *taintCtx) isAppend(call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := tc.pkg.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func (tc *taintCtx) enclosingMapRange(pos token.Pos) *ast.RangeStmt {
+	for _, rs := range tc.mapRanges {
+		if rs.Body.Pos() <= pos && pos <= rs.Body.End() {
+			return rs
+		}
+	}
+	return nil
+}
+
+// sinkFieldOf reports whether sel is a field selection on one of the
+// artifact sink types, returning "Type.Field".
+func (tc *taintCtx) sinkFieldOf(sel *ast.SelectorExpr) (string, bool) {
+	s, ok := tc.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	n := namedRecv(s.Recv())
+	if n == nil || !sinkTypeNames[n.Obj().Name()] {
+		return "", false
+	}
+	return n.Obj().Name() + "." + sel.Sel.Name, true
+}
+
+// taintOf computes the taint of an expression under st.
+func (tc *taintCtx) taintOf(e ast.Expr, st *taintState) taintVal {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return st.get(tc.pkg.Info.ObjectOf(x))
+	case *ast.SelectorExpr:
+		if _, ok := tc.pkg.Info.Uses[x.Sel].(*types.PkgName); ok {
+			return taintVal{}
+		}
+		if s, ok := tc.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return tc.taintOf(x.X, st)
+		}
+		return taintVal{}
+	case *ast.IndexExpr:
+		return tc.taintOf(x.X, st)
+	case *ast.SliceExpr:
+		return tc.taintOf(x.X, st)
+	case *ast.StarExpr:
+		return tc.taintOf(x.X, st)
+	case *ast.UnaryExpr:
+		return tc.taintOf(x.X, st)
+	case *ast.BinaryExpr:
+		return tc.taintOf(x.X, st).withSource(tc.taintOf(x.Y, st))
+	case *ast.TypeAssertExpr:
+		return tc.taintOf(x.X, st)
+	case *ast.CompositeLit:
+		var v taintVal
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			v = v.withSource(tc.taintOf(el, st))
+		}
+		// Building an artifact struct from tainted parts is itself a
+		// sink: the literal IS the result surface.
+		if v.mask != 0 {
+			if tv, ok := tc.pkg.Info.Types[x]; ok {
+				if n := namedOf(tv.Type); n != nil && sinkTypeNames[n.Obj().Name()] {
+					tc.emit(taintEvent{kind: "sink", pos: x.Pos(), val: v, what: n.Obj().Name() + " literal"})
+				}
+			}
+		}
+		return v
+	case *ast.CallExpr:
+		return tc.taintOfCall(x, st)
+	}
+	return taintVal{}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// taintOfCall computes a call result's taint: conversions and append
+// propagate their operands; in-program callees contribute their
+// converged summary facts; fmt.Sprint* propagates; everything else
+// external returns clean.
+func (tc *taintCtx) taintOfCall(call *ast.CallExpr, st *taintState) taintVal {
+	// Type conversion: T(x) keeps x's taint.
+	if tv, ok := tc.pkg.Info.Types[unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return tc.taintOf(call.Args[0], st)
+		}
+		return taintVal{}
+	}
+	if tc.isAppend(call) {
+		var v taintVal
+		for _, a := range call.Args {
+			v = v.withSource(tc.taintOf(a, st))
+		}
+		return v
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && importedPkgPath(tc.pkg.Info, id) == "fmt" &&
+			strings.HasPrefix(sel.Sel.Name, "Sprint") {
+			var v taintVal
+			for _, a := range call.Args {
+				v = v.withSource(tc.taintOf(a, st))
+			}
+			return v
+		}
+	}
+	callees := tc.prog.CalleesOf(call)
+	if len(callees) == 0 {
+		return taintVal{}
+	}
+	var v taintVal
+	for _, g := range callees {
+		gs := tc.prog.SummaryOf(g)
+		if gs.TaintsReturn {
+			v = v.withSource(taintVal{mask: taintNondet, pos: call.Pos(), src: "call to " + g.Name() + " (returns nondet-ordered value)"})
+		}
+		if gs.ParamTaintToReturn != 0 {
+			for i, a := range call.Args {
+				av := tc.taintOf(a, st)
+				if av.mask != 0 && gs.ParamTaintToReturn&taintParamBit(paramIndexFor(g, i, len(call.Args))) != 0 {
+					v = v.withSource(av)
+				}
+			}
+		}
+	}
+	return v
+}
+
+// paramIndexFor maps argument position i to the callee's parameter
+// index, folding variadic overflow onto the last parameter.
+func paramIndexFor(g *Func, i, nargs int) int {
+	np := g.Sig.Params().Len()
+	if np == 0 {
+		return 63 // no params: bit 0 of nothing, out of mask range
+	}
+	if i >= np {
+		return np - 1
+	}
+	return i
+}
+
+// checkCallsInStmt walks a statement's immediate expressions for calls
+// (sink checks + sort kills) without descending into nested statements
+// — those arrive as their own CFG nodes.
+func (tc *taintCtx) checkCallsInStmt(s ast.Stmt, st *taintState) {
+	switch x := s.(type) {
+	case *ast.GoStmt:
+		tc.checkCalls(x.Call, st)
+	case *ast.DeferStmt:
+		tc.checkCalls(x.Call, st)
+	case *ast.SendStmt:
+		tc.checkCalls(x.Chan, st)
+		tc.checkCalls(x.Value, st)
+	case *ast.IncDecStmt:
+		tc.checkCalls(x.X, st)
+	}
+}
+
+// checkCalls scans an expression tree for call sinks and sort kills,
+// skipping nested function literals.
+func (tc *taintCtx) checkCalls(e ast.Expr, st *taintState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tc.checkOneCall(call, st)
+		return true
+	})
+}
+
+func (tc *taintCtx) checkOneCall(call *ast.CallExpr, st *taintState) {
+	fun := unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			switch importedPkgPath(tc.pkg.Info, id) {
+			case "sort", "slices":
+				// Kill: sorting determinizes the collection's order.
+				for _, a := range call.Args {
+					if obj := rootObjInfo(tc.pkg.Info, a); obj != nil {
+						st.set(obj, taintVal{})
+					}
+				}
+				return
+			case "fmt":
+				if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+					tc.sinkArgs(call, st, "fmt."+sel.Sel.Name)
+				}
+				return
+			case "os":
+				if sel.Sel.Name == "WriteFile" {
+					tc.sinkArgs(call, st, "os.WriteFile")
+				}
+				return
+			case "encoding/json":
+				if strings.HasPrefix(sel.Sel.Name, "Marshal") {
+					tc.sinkArgs(call, st, "json."+sel.Sel.Name)
+				}
+				return
+			}
+		}
+		// External writer methods: w.Write(record) and friends on types
+		// outside the program.
+		if writerSinkMethods[sel.Sel.Name] {
+			if s, ok := tc.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if n := namedRecv(s.Recv()); n != nil && n.Obj().Pkg() != nil && !tc.prog.hasPkg(n.Obj().Pkg().Path()) {
+					tc.sinkArgs(call, st, n.Obj().Pkg().Name()+"."+n.Obj().Name()+"."+sel.Sel.Name)
+				}
+			}
+			return
+		}
+	}
+	// In-program callees whose parameters (transitively) reach a sink.
+	for _, g := range tc.prog.CalleesOf(call) {
+		gs := tc.prog.SummaryOf(g)
+		if gs.ParamTaintToSink == 0 {
+			continue
+		}
+		for i, a := range call.Args {
+			av := tc.taintOf(a, st)
+			if av.mask == 0 {
+				continue
+			}
+			if gs.ParamTaintToSink&taintParamBit(paramIndexFor(g, i, len(call.Args))) != 0 {
+				tc.emit(taintEvent{kind: "sink", pos: a.Pos(), val: av,
+					what: "parameter of " + g.Name() + " that reaches an artifact writer"})
+			}
+		}
+	}
+}
+
+func (tc *taintCtx) sinkArgs(call *ast.CallExpr, st *taintState, what string) {
+	for _, a := range call.Args {
+		if v := tc.taintOf(a, st); v.mask != 0 {
+			tc.emit(taintEvent{kind: "sink", pos: a.Pos(), val: v, what: what})
+		}
+	}
+}
+
+// hasPkg reports whether the program analyzes the package at path.
+func (p *Program) hasPkg(path string) bool {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return true
+		}
+	}
+	return false
+}
+
+// taintEvents solves the taint dataflow for f and replays it, returning
+// every sink and return event in deterministic block order.
+func (p *Program) taintEvents(f *Func) []taintEvent {
+	tc := p.taintContext(f)
+	if tc == nil {
+		return nil
+	}
+	sol := SolveDataflow(tc.cfg, tc)
+	var events []taintEvent
+	tc.events = &events
+	defer func() { tc.events = nil }()
+	for _, b := range tc.cfg.Blocks {
+		in := sol.In[b]
+		if in == nil {
+			continue
+		}
+		st := in.Clone().(*taintState)
+		for _, n := range b.Nodes {
+			tc.transferNode(n, st)
+		}
+	}
+	return events
+}
+
+// updateTaintSummary recomputes f's interprocedural taint facts from
+// the current callee summaries, merging them into sum and reporting
+// change. Facts are monotone (bits only get set), so the SCC fixpoint
+// in computeSummaries converges.
+func (p *Program) updateTaintSummary(f *Func, sum *Summary) bool {
+	changed := false
+	for _, ev := range p.taintEvents(f) {
+		switch ev.kind {
+		case "return":
+			if ev.val.mask&taintNondet != 0 && !sum.TaintsReturn {
+				sum.TaintsReturn = true
+				changed = true
+			}
+			if bits := ev.val.mask &^ taintNondet; bits&^sum.ParamTaintToReturn != 0 {
+				sum.ParamTaintToReturn |= bits
+				changed = true
+			}
+		case "sink":
+			if bits := ev.val.mask &^ taintNondet; bits&^sum.ParamTaintToSink != 0 {
+				sum.ParamTaintToSink |= bits
+				changed = true
+			}
+		}
+	}
+	return changed
+}

@@ -26,10 +26,15 @@ func (c *Client) Connections(u int64) ([]int64, error)   { return nil, nil }
 func (c *Client) Timeline(u int64) (Timeline, error)     { return Timeline{}, nil }
 func (c *Client) Cost() int                              { return 0 }
 
-// Ledger mirrors the shared fleet admission ledger.
+// Ledger mirrors the shared fleet admission ledger (the real shape:
+// Reserve grants an admitted amount, which must be settled by Commit,
+// Refund, or Release).
 type Ledger struct{}
 
-func (l *Ledger) Reserve(n int) error { return nil }
+func (l *Ledger) Reserve(id, n int) (int, error) { return n, nil }
+func (l *Ledger) Commit(id, n int) error         { return nil }
+func (l *Ledger) Refund(id, n int) error         { return nil }
+func (l *Ledger) Release(id int) int             { return 0 }
 
 // NewClient mirrors the real constructor fleet walkers use.
 func NewClient(srv *Server, budget int) *Client { return &Client{srv: srv} }

@@ -1,0 +1,76 @@
+// Package budgetpath exercises the path-sensitive ledger rules: every
+// Reserve grant is settled (Commit/Refund/Release) on every path, and
+// a path where the reservation itself failed never charges.
+package budgetpath
+
+import "api"
+
+// leakOnEarlyReturn settles only one branch; the other returns with
+// the grant outstanding.
+func leakOnEarlyReturn(led *api.Ledger, hot bool) error {
+	grant, err := led.Reserve(1, 10) // want `ledger reservation can reach a return without Commit/Refund/Release on some path`
+	if err != nil {
+		return err
+	}
+	if hot {
+		return nil
+	}
+	return led.Commit(1, grant)
+}
+
+// carryBalanced mirrors api.CarryForward: the error path owes nothing
+// (no credits granted), short grants refund, full grants commit.
+func carryBalanced(led *api.Ledger, want int) (int, error) {
+	grant, err := led.Reserve(7, want)
+	if err != nil {
+		return 0, err
+	}
+	if grant < want {
+		if rerr := led.Refund(7, grant); rerr != nil {
+			return 0, rerr
+		}
+		return 0, nil
+	}
+	if cerr := led.Commit(7, grant); cerr != nil {
+		return 0, cerr
+	}
+	return grant, nil
+}
+
+// deferRelease is the idiomatic always-settled shape.
+func deferRelease(led *api.Ledger, c *api.Client) ([]int64, error) {
+	_, err := led.Reserve(2, 5)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Release(2)
+	return c.Search("q")
+}
+
+// chargeOnFailedPath spends on the branch where Reserve failed: a
+// failed reservation grants zero credits, so the spend bypasses
+// admission.
+func chargeOnFailedPath(led *api.Ledger, c *api.Client) ([]int64, error) {
+	grant, err := led.Reserve(3, 5)
+	if err != nil {
+		ids, _ := c.Search("q") // want `charged api\.Client call on a path where the ledger reservation at a\.go:\d+ failed`
+		return ids, nil
+	}
+	defer led.Refund(3, grant)
+	return c.Search("q")
+}
+
+type pool struct {
+	reserved int
+}
+
+// absorb mirrors api.Client.ledgerCommit: the grant folds into a
+// field whose owner settles later, so this function owes nothing.
+func (p *pool) absorb(led *api.Ledger) error {
+	grant, err := led.Reserve(9, 4)
+	if err != nil {
+		return err
+	}
+	p.reserved += grant
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package dettaint exercises the flow-sensitive ordering taint: map
+// iteration and select completion are sources, sort.*/slices.* kills,
+// and the artifact surface (Result fields/literals, fmt printers,
+// in-program writers) sinks.
+package dettaint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result mirrors the run artifact surface: stores into its fields are
+// taint sinks.
+type Result struct {
+	Keys []string
+}
+
+func storeUnsorted(m map[string]int) Result {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var r Result
+	r.Keys = keys // want `value ordered by map iteration order at a\.go:\d+ reaches Result\.Keys field`
+	return r
+}
+
+func storeSorted(m map[string]int) Result {
+	// The canonical fix: collect, sort, then publish.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return Result{Keys: keys}
+}
+
+func sortTooLate(m map[string]int, r *Result) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Sorting AFTER the store does not clean the stored value: the
+	// analysis is flow-sensitive where detrange's heuristic is not.
+	r.Keys = keys // want `value ordered by map iteration order at a\.go:\d+ reaches Result\.Keys field`
+	sort.Strings(keys)
+}
+
+func selectOrder(a, b chan string) {
+	var lines []string
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-a:
+			lines = append(lines, s)
+		case s := <-b:
+			lines = append(lines, s)
+		}
+	}
+	fmt.Println(lines) // want `value ordered by select completion order at a\.go:\d+ reaches fmt\.Println`
+}
+
+// unsortedKeys leaks map order through its return value; the taint
+// follows the function summary into every caller.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func storeFromHelper(m map[string]int) Result {
+	keys := unsortedKeys(m)
+	var r Result
+	r.Keys = keys // want `value ordered by call to unsortedKeys \(returns nondet-ordered value\) at a\.go:\d+ reaches Result\.Keys field`
+	return r
+}
+
+func sortHelperResult(m map[string]int) Result {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	return Result{Keys: keys}
+}
+
+// emit writes rows straight into the run log; a nondet-ordered
+// argument becomes a nondet artifact, so callers inherit the sink.
+func emit(rows []string) {
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}
+
+func passToEmit(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	emit(keys) // want `value ordered by map iteration order at a\.go:\d+ reaches parameter of emit that reaches an artifact writer`
+}
+
+func sortedBeforeEmit(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	emit(keys)
+}

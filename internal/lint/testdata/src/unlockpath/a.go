@@ -1,0 +1,76 @@
+// Package unlockpath exercises the path-sensitive lock analysis: every
+// Lock/RLock must reach a matching Unlock/RUnlock on all CFG paths.
+package unlockpath
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (c *counter) earlyReturnLeak(stop bool) int {
+	c.mu.Lock() // want `unlockpath\.counter\.mu locked here can reach a return without Unlock on some path`
+	if stop {
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bothBranches(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) readLeak(stop bool) int {
+	c.rw.RLock() // want `unlockpath\.counter\.rw locked here can reach a return without RUnlock on some path`
+	if stop {
+		return 0
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+
+func (c *counter) loopBreakLeak(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		c.mu.Lock() // want `unlockpath\.counter\.mu locked here can reach a return without Unlock on some path`
+		if x < 0 {
+			break
+		}
+		total += x
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// release owns the unlock for callers that hand it the held counter;
+// its summary says it may release counter.mu, so callers stay clean.
+func (c *counter) release() { c.mu.Unlock() }
+
+func (c *counter) helperReleases(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.release()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnlockPath proves that every sync.Mutex/RWMutex Lock (and RLock)
+// reaches a matching Unlock (RUnlock) on every CFG path out of the
+// function. It complements lockorder: lockorder's call-graph walk finds
+// cross-function ordering cycles, unlockpath finds the intra-function
+// bug class it cannot see — an early return, break, or forgotten branch
+// that leaves the mutex held.
+//
+// The dataflow is a forward may-held analysis over the CFG:
+//
+//	lattice per lock: absent < heldDefer < heldNoDefer
+//
+// A Lock gens heldNoDefer; `defer mu.Unlock()` weakens it to heldDefer
+// (released on every exit, including panics); a direct Unlock kills it.
+// Joins take the max, so a lock held-without-defer on ANY incoming path
+// stays reportable — except that a lock absent on one side stays at the
+// other side's status (no obligation is invented for paths that never
+// locked). A call to an in-program function whose summary may release
+// the same lock kills it too (conservative: the helper owns the
+// unlock), and a *deferred* call to such a function counts as a
+// deferred release. Leaks are reported per non-panic exit edge at the
+// acquisition site; panic exits are exempt because a deferred unlock is
+// the only sound cleanup there and poisoned-lock hygiene after a panic
+// is its own problem.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc: "every Lock/RLock must reach a matching Unlock/RUnlock on all " +
+		"control-flow paths out of the function",
+	Run: runUnlockPath,
+}
+
+const (
+	lockHeldDefer   = 1 // held, deferred release registered
+	lockHeldNoDefer = 2 // held, no deferred release yet
+)
+
+// lockFact is one held lock's abstract status.
+type lockFact struct {
+	status int
+	// pos is the earliest acquisition site, for reporting.
+	pos token.Pos
+}
+
+func joinLockFact(a, b lockFact) lockFact {
+	f := a
+	if b.status > f.status {
+		f.status = b.status
+	}
+	if b.pos != token.NoPos && (f.pos == token.NoPos || b.pos < f.pos) {
+		f.pos = b.pos
+	}
+	return f
+}
+
+// lockState maps lock keys (lockID, with "#r" appended for the read
+// side of an RWMutex) to their status.
+type lockState struct {
+	held map[string]lockFact
+}
+
+func (s *lockState) Clone() FlowState {
+	c := &lockState{held: make(map[string]lockFact, len(s.held))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (s *lockState) JoinFrom(src FlowState) bool {
+	o := src.(*lockState)
+	changed := false
+	for k, ov := range o.vars() {
+		cur, ok := s.held[k]
+		merged := joinLockFact(cur, ov)
+		if !ok || merged != cur {
+			s.held[k] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *lockState) vars() map[string]lockFact { return s.held }
+
+// unlockCtx is the per-function analysis: transfer interprets lock,
+// unlock, and defer statements against the whole-program summaries.
+type unlockCtx struct {
+	prog *Program
+	pkg  *Package
+}
+
+func (u *unlockCtx) Direction() FlowDirection { return FlowForward }
+func (u *unlockCtx) Boundary() FlowState      { return &lockState{held: map[string]lockFact{}} }
+
+func (u *unlockCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*lockState)
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		u.deferCall(x.Call, st)
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			u.scanCalls(e, st)
+		} else if stmt, ok := n.(ast.Stmt); ok {
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				switch y := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					u.deferCall(y.Call, st)
+					return false
+				case *ast.CallExpr:
+					u.oneCall(y, st)
+				}
+				return true
+			})
+		}
+	}
+	return st
+}
+
+// scanCalls applies lock effects of calls inside a bare expression node
+// (an if/for condition or switch tag).
+func (u *unlockCtx) scanCalls(e ast.Expr, st *lockState) {
+	ast.Inspect(e, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			u.oneCall(call, st)
+		}
+		return true
+	})
+}
+
+// lockKeyOf names the lock a Lock/Unlock-family call operates on,
+// suffixing "#r" for the RWMutex read side, or "" if unnameable.
+func (u *unlockCtx) lockKeyOf(call *ast.CallExpr, names map[string]bool) (string, bool) {
+	e, ok := syncLockCall(u.pkg.Info, call, names)
+	if !ok {
+		return "", false
+	}
+	id := lockID(u.pkg, e)
+	if id == "" {
+		return "", false
+	}
+	sel := unparen(call.Fun).(*ast.SelectorExpr)
+	if strings.HasPrefix(sel.Sel.Name, "R") { // RLock / RUnlock
+		id += "#r"
+	}
+	return id, true
+}
+
+// oneCall applies a non-deferred call's lock effect.
+func (u *unlockCtx) oneCall(call *ast.CallExpr, st *lockState) {
+	if key, ok := u.lockKeyOf(call, lockNames); ok {
+		cur, held := st.held[key]
+		if !held || cur.status < lockHeldNoDefer {
+			// Re-acquisition while already held is lockorder's
+			// self-deadlock report; don't double up here.
+			st.held[key] = lockFact{status: lockHeldNoDefer, pos: call.Pos()}
+		}
+		return
+	}
+	if key, ok := u.lockKeyOf(call, unlockNames); ok {
+		delete(st.held, key)
+		return
+	}
+	// A callee that may (transitively) release one of our held locks
+	// owns that unlock: drop the obligation rather than report a leak
+	// the helper discharges.
+	u.calleeReleases(call, st, func(key string) { delete(st.held, key) })
+}
+
+// deferCall applies a deferred call's lock effect: the release happens
+// on every exit, so the obligation weakens to heldDefer instead of
+// dying at this program point.
+func (u *unlockCtx) deferCall(call *ast.CallExpr, st *lockState) {
+	if key, ok := u.lockKeyOf(call, unlockNames); ok {
+		if cur, held := st.held[key]; held {
+			st.held[key] = lockFact{status: lockHeldDefer, pos: cur.pos}
+		} else {
+			// defer registered before the Lock (legal, runs last): treat
+			// as covering any later acquisition of the same lock.
+			st.held[key] = lockFact{status: lockHeldDefer, pos: token.NoPos}
+		}
+		return
+	}
+	if key, ok := u.lockKeyOf(call, lockNames); ok {
+		// defer mu.Lock() — perverse but legal; it acquires at exit and
+		// certainly leaks.
+		st.held[key] = lockFact{status: lockHeldNoDefer, pos: call.Pos()}
+		return
+	}
+	u.calleeReleases(call, st, func(key string) {
+		if cur, held := st.held[key]; held {
+			st.held[key] = lockFact{status: lockHeldDefer, pos: cur.pos}
+		}
+	})
+}
+
+// calleeReleases invokes apply for every held lock key some candidate
+// callee of call may release.
+func (u *unlockCtx) calleeReleases(call *ast.CallExpr, st *lockState, apply func(key string)) {
+	callees := u.prog.CalleesOf(call)
+	if len(callees) == 0 {
+		return
+	}
+	var releases map[string]bool
+	for _, g := range callees {
+		gs := u.prog.SummaryOf(g)
+		for id := range gs.Releases {
+			if releases == nil {
+				releases = map[string]bool{}
+			}
+			releases[id] = true
+		}
+	}
+	if releases == nil {
+		return
+	}
+	for _, key := range sortedKeys(st.held2bool()) {
+		id := strings.TrimSuffix(key, "#r")
+		if releases[id] {
+			apply(key)
+		}
+	}
+}
+
+func (s *lockState) held2bool() map[string]bool {
+	m := make(map[string]bool, len(s.held))
+	for k := range s.held {
+		m[k] = true
+	}
+	return m
+}
+
+func runUnlockPath(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil {
+		return nil
+	}
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		u := &unlockCtx{prog: prog, pkg: f.Pkg}
+		cfg := prog.CFGOf(f)
+		sol := SolveDataflow(cfg, u)
+		reported := map[string]bool{}
+		for _, e := range cfg.Exit.Preds {
+			if e.Panic {
+				continue // deferred unlocks are the only sound cleanup there
+			}
+			out := sol.Out[e.From]
+			if out == nil {
+				continue // path unreachable
+			}
+			st := out.(*lockState)
+			for _, key := range sortedKeys(st.held2bool()) {
+				fact := st.held[key]
+				if fact.status != lockHeldNoDefer || !fact.pos.IsValid() {
+					continue
+				}
+				rk := key + "\x00" + pass.Fset.Position(fact.pos).String()
+				if reported[rk] {
+					continue
+				}
+				reported[rk] = true
+				verb := "Unlock"
+				if strings.HasSuffix(key, "#r") {
+					verb = "RUnlock"
+				}
+				pass.Reportf(fact.pos,
+					"%s locked here can reach a return without %s on some path; unlock on every path or defer the unlock",
+					strings.TrimSuffix(key, "#r"), verb)
+			}
+		}
+	}
+	return nil
+}
