@@ -74,3 +74,16 @@ func (p *pool) absorb(led *api.Ledger) error {
 	p.reserved += grant
 	return nil
 }
+
+func leakInsideRange(led *api.Ledger, xs []int) error {
+	grant, err := led.Reserve(9, 10) // want `ledger reservation can reach a return without Commit/Refund/Release on some path`
+	if err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return led.Refund(9, grant)
+		}
+	}
+	return nil
+}
