@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn fuzz parallel ratelimit
+.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn crash fuzz parallel ratelimit
 
 ci: build vet lint race
 
@@ -47,9 +47,12 @@ test:
 race:
 	go test -race ./...
 
-# Short fuzz session over the query parser (CI runs the same).
+# Short fuzz sessions (CI runs the same): the query parser and the
+# checkpoint decoder (every decode failure must be a typed error —
+# ErrCorruptCheckpoint / ErrCheckpointMismatch — never a panic).
 fuzz:
 	go test ./internal/query -run='^$$' -fuzz=FuzzParseQuery -fuzztime=10s
+	go test ./internal/store -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 
 # Full evaluation regeneration (bench scale; slow).
 bench:
@@ -63,6 +66,13 @@ chaos:
 # auditor over a mutating platform).
 churn:
 	go run ./cmd/mba-bench -scale test -trials 1 -budget 9000 -only churn
+
+# Crash-recovery sweep at test scale: kills runs at deterministic
+# call-clock points (some through injected storage faults), restarts
+# from the durable store, and has the auditor enforce bit-identical
+# recovery — zero repaid calls for the save-aligned clean scenarios.
+crash:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 6000 -only crash
 
 # Fleet parallelism sweep: same logical walker plan at 1..8 goroutines;
 # the auditor fails the run if the merged estimate is not bit-identical

@@ -58,11 +58,12 @@ func main() {
 		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
 		"chaos": experiments.Chaos, "churn": experiments.Churn,
 		"parallel": runParallel(*out), "ratelimit": experiments.RateLimit,
+		"crash": runCrash(*out),
 	}
 	order := []string{
 		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"chaos", "churn", "parallel", "ratelimit",
+		"chaos", "churn", "parallel", "ratelimit", "crash",
 	}
 	selected := order
 	if *only != "" {
@@ -115,6 +116,28 @@ func runParallel(dir string) func(experiments.Options) (experiments.Table, error
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(filepath.Join(dir, "BENCH_parallel.json"), data, 0o644); err != nil {
+			return tab, err
+		}
+		return tab, nil
+	}
+}
+
+// runCrash adapts the crash-recovery sweep to the runner signature,
+// writing the per-scenario recovery records (crash points, repaid
+// calls, fault and fallback counters) as BENCH_crash.json next to the
+// table artifacts.
+func runCrash(dir string) func(experiments.Options) (experiments.Table, error) {
+	return func(opts experiments.Options) (experiments.Table, error) {
+		tab, records, err := experiments.CrashSweep(opts)
+		if err != nil {
+			return tab, err
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return tab, err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_crash.json"), data, 0o644); err != nil {
 			return tab, err
 		}
 		return tab, nil

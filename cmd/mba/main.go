@@ -36,6 +36,8 @@ func main() {
 	walkers := flag.Int("walkers", 0, "concurrent walkers executing the fleet plan (0 = single-walker path; the estimate is identical at any positive value)")
 	deadline := flag.Duration("deadline", 0, "virtual-time deadline, e.g. 12h (0 = none; a run past it returns a degraded partial estimate)")
 	coop := flag.Bool("coop", false, "cooperative scheduling: throttled walkers park and yield their slot instead of blocking (needs -walkers > 0)")
+	checkpoint := flag.String("checkpoint", "", "directory for durable crash-safe checkpoints: the run autosaves there and a rerun with the same flags resumes (or returns the finished result at zero cost)")
+	autosave := flag.Int("autosave", 0, "durable autosave cadence in API calls (0 = default 1000; needs -checkpoint)")
 	flag.Parse()
 
 	cfg := mba.DefaultPlatformConfig()
@@ -78,7 +80,11 @@ func main() {
 		q = mba.TimeWindow(q, *fromDay, *toDay)
 	}
 
-	opts := mba.Options{Budget: *budget, Seed: *seed, ChurnRate: *churn, Walkers: *walkers, Cooperative: *coop, Deadline: *deadline}
+	opts := mba.Options{
+		Budget: *budget, Seed: *seed, ChurnRate: *churn, Walkers: *walkers,
+		Cooperative: *coop, Deadline: *deadline,
+		Checkpoint: *checkpoint, AutosaveCalls: *autosave,
+	}
 	switch strings.ToLower(*algo) {
 	case "tarw":
 		opts.Algorithm = mba.MATARW
@@ -123,6 +129,14 @@ func main() {
 		fmt.Printf("schedule:   makespan ~%v over %d slots", est.Makespan, *walkers)
 		if *coop {
 			fmt.Printf(" (cooperative: %d parks, %d steps drained free)", est.Parks, est.DrainedSteps)
+		}
+		fmt.Println()
+	}
+	if *checkpoint != "" {
+		fmt.Printf("durability: %d generations saved", est.CheckpointSaves)
+		if est.Restarts > 0 || est.RecoveredCost > 0 {
+			fmt.Printf(", resumed %d prior run(s), %d calls recovered from disk (not repaid)",
+				est.Restarts, est.RecoveredCost)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,112 @@
+package api
+
+import (
+	"sort"
+
+	"mba/internal/model"
+)
+
+// CacheSnapshotState is the serializable form of a CacheSnapshot. The
+// in-memory snapshot is map-keyed; this DTO flattens every map into a
+// slice sorted by key so encoding the same snapshot always yields the
+// same bytes (the durable store checksums them) and decoding rebuilds
+// an identical snapshot.
+type CacheSnapshotState struct {
+	Conns    []ConnsEntry    `json:"conns,omitempty"`
+	Tls      []TimelineEntry `json:"tls,omitempty"`
+	Priv     []FlagEntry     `json:"priv,omitempty"`
+	Gone     []FlagEntry     `json:"gone,omitempty"`
+	Searches []SearchEntry   `json:"searches,omitempty"`
+}
+
+// ConnsEntry is one cached CONNECTIONS response.
+type ConnsEntry struct {
+	ID    int64   `json:"id"`
+	Conns []int64 `json:"conns"`
+}
+
+// TimelineEntry is one cached USER TIMELINE response.
+type TimelineEntry struct {
+	ID       int64          `json:"id"`
+	Timeline model.Timeline `json:"timeline"`
+}
+
+// FlagEntry is one cached boolean response (private / gone probes).
+type FlagEntry struct {
+	ID   int64 `json:"id"`
+	Flag bool  `json:"flag"`
+}
+
+// SearchEntry is one cached KEYWORD SEARCH response.
+type SearchEntry struct {
+	Keyword string  `json:"keyword"`
+	Hits    []int64 `json:"hits"`
+}
+
+// State converts the snapshot into its deterministic serializable
+// form. Nil-safe; slices and timelines are shared, not deep-copied
+// (Client responses are read-only by contract).
+func (cs *CacheSnapshot) State() CacheSnapshotState {
+	var st CacheSnapshotState
+	if cs == nil {
+		return st
+	}
+	for _, id := range sortedKeys(cs.conns) {
+		st.Conns = append(st.Conns, ConnsEntry{ID: id, Conns: cs.conns[id]})
+	}
+	for _, id := range sortedKeys(cs.tls) {
+		st.Tls = append(st.Tls, TimelineEntry{ID: id, Timeline: cs.tls[id]})
+	}
+	for _, id := range sortedKeys(cs.priv) {
+		st.Priv = append(st.Priv, FlagEntry{ID: id, Flag: cs.priv[id]})
+	}
+	for _, id := range sortedKeys(cs.gone) {
+		st.Gone = append(st.Gone, FlagEntry{ID: id, Flag: cs.gone[id]})
+	}
+	kws := make([]string, 0, len(cs.searches))
+	for kw := range cs.searches {
+		kws = append(kws, kw)
+	}
+	sort.Strings(kws)
+	for _, kw := range kws {
+		st.Searches = append(st.Searches, SearchEntry{Keyword: kw, Hits: cs.searches[kw]})
+	}
+	return st
+}
+
+// CacheSnapshotFromState rebuilds a snapshot from its serialized form.
+func CacheSnapshotFromState(st CacheSnapshotState) *CacheSnapshot {
+	cs := &CacheSnapshot{
+		conns:    make(map[int64][]int64, len(st.Conns)),
+		tls:      make(map[int64]model.Timeline, len(st.Tls)),
+		priv:     make(map[int64]bool, len(st.Priv)),
+		gone:     make(map[int64]bool, len(st.Gone)),
+		searches: make(map[string][]int64, len(st.Searches)),
+	}
+	for _, e := range st.Conns {
+		cs.conns[e.ID] = e.Conns
+	}
+	for _, e := range st.Tls {
+		cs.tls[e.ID] = e.Timeline
+	}
+	for _, e := range st.Priv {
+		cs.priv[e.ID] = e.Flag
+	}
+	for _, e := range st.Gone {
+		cs.gone[e.ID] = e.Flag
+	}
+	for _, e := range st.Searches {
+		cs.searches[e.Keyword] = e.Hits
+	}
+	return cs
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[int64]V) []int64 {
+	ks := make([]int64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

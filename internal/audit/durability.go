@@ -1,0 +1,113 @@
+package audit
+
+import (
+	"math"
+
+	"mba/internal/core"
+	"mba/internal/store"
+)
+
+// CheckDurability verifies the crash harness's recovery laws against
+// an uninterrupted reference run:
+//
+//   - bit-identity: the final estimate of the crashed-and-recovered
+//     lineage must equal the uninterrupted run's to the last IEEE-754
+//     bit, and cost, samples, and charged calls must match exactly —
+//     recovery is replay, not approximation;
+//   - repayment accounting: every crash→recovery trial repays exactly
+//     the calls that postdate its recovered generation (Repaid =
+//     CrashClock − ResumeClock ≥ 0), and the recovered clock never
+//     exceeds the last durably saved clock;
+//   - fault-free losslessness: with no injected storage fault, every
+//     recovery resumes at the precise clock of the last save — zero
+//     loss events, zero corrupt slots, zero fallbacks, zero scratch
+//     restarts;
+//   - fault attribution: when storage faults were injected, every
+//     loss event traces to one (LossEvents == FaultsInjected), and
+//     each checksum-detected slot is accounted.
+//
+// zeroRepaid additionally asserts the sweep's strongest claim: when
+// crash points align with autosave boundaries, not a single call is
+// repaid across the whole lineage.
+func (a Auditor) CheckDurability(base core.Result, rec store.Recovery, zeroRepaid bool) *Report {
+	r := &Report{}
+
+	r.check()
+	sameBits := math.Float64bits(base.Estimate) == math.Float64bits(rec.Final.Estimate) ||
+		(math.IsNaN(base.Estimate) && math.IsNaN(rec.Final.Estimate))
+	if !sameBits {
+		r.failf("durability-bit-identity", "recovered estimate %v (bits %x) != uninterrupted %v (bits %x)",
+			rec.Final.Estimate, math.Float64bits(rec.Final.Estimate),
+			base.Estimate, math.Float64bits(base.Estimate))
+	}
+	r.check()
+	if rec.Final.Cost != base.Cost {
+		r.failf("durability-bit-identity", "recovered cost %d != uninterrupted %d", rec.Final.Cost, base.Cost)
+	}
+	r.check()
+	if rec.Final.Samples != base.Samples {
+		r.failf("durability-bit-identity", "recovered samples %d != uninterrupted %d", rec.Final.Samples, base.Samples)
+	}
+	r.check()
+	if rec.Final.Stats.Calls != base.Stats.Calls {
+		r.failf("durability-bit-identity", "recovered charged calls %d != uninterrupted %d",
+			rec.Final.Stats.Calls, base.Stats.Calls)
+	}
+
+	r.check()
+	if rec.Restarts != len(rec.Trials) {
+		r.failf("recovery-accounting", "%d restarts but %d recovery trials", rec.Restarts, len(rec.Trials))
+	}
+	losses := 0
+	for i, tr := range rec.Trials {
+		r.check()
+		if tr.Repaid != tr.CrashClock-tr.ResumeClock || tr.Repaid < 0 {
+			r.failf("recovery-accounting", "trial %d: repaid %d, crash clock %d, resume clock %d",
+				i, tr.Repaid, tr.CrashClock, tr.ResumeClock)
+		}
+		r.check()
+		if tr.ResumeClock > tr.SavedClock || tr.SavedClock > tr.CrashClock {
+			r.failf("recovery-accounting", "trial %d: clocks must order resume(%d) <= saved(%d) <= crash(%d)",
+				i, tr.ResumeClock, tr.SavedClock, tr.CrashClock)
+		}
+		if tr.ResumeClock < tr.SavedClock {
+			losses++
+		}
+		r.check()
+		if zeroRepaid && tr.Repaid != 0 {
+			r.failf("zero-repaid", "trial %d: repaid %d calls despite save-aligned crash at clock %d",
+				i, tr.Repaid, tr.CrashClock)
+		}
+	}
+	r.check()
+	if losses != rec.LossEvents {
+		r.failf("recovery-accounting", "counted %d losing trials but LossEvents=%d", losses, rec.LossEvents)
+	}
+
+	if rec.FaultsInjected == 0 {
+		r.check()
+		if rec.LossEvents != 0 || rec.ScratchRestarts != 0 || rec.CorruptSlots != 0 || rec.Fallbacks != 0 {
+			r.failf("fault-free-lossless",
+				"no faults injected yet losses=%d scratch=%d corrupt=%d fallbacks=%d",
+				rec.LossEvents, rec.ScratchRestarts, rec.CorruptSlots, rec.Fallbacks)
+		}
+		for i, tr := range rec.Trials {
+			r.check()
+			if tr.ResumeClock != tr.SavedClock {
+				r.failf("fault-free-lossless", "trial %d: resumed at %d, last save was %d, with no fault injected",
+					i, tr.ResumeClock, tr.SavedClock)
+			}
+		}
+	} else {
+		r.check()
+		if rec.LossEvents != rec.FaultsInjected {
+			r.failf("fault-attribution", "%d storage faults injected but %d loss events — every fault must be detected and cost exactly one fallback",
+				rec.FaultsInjected, rec.LossEvents)
+		}
+		r.check()
+		if rec.Fallbacks > rec.CorruptSlots {
+			r.failf("fault-attribution", "%d fallbacks exceed %d checksum-detected slots", rec.Fallbacks, rec.CorruptSlots)
+		}
+	}
+	return r
+}

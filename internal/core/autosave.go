@@ -1,0 +1,34 @@
+package core
+
+import "errors"
+
+// AutosavePolicy makes a run persist its own checkpoints as it walks,
+// bounding how much spent budget a process crash can forfeit. When
+// enabled, the runner hands a fresh cumulative checkpoint to Save
+// whenever at least EveryCalls charged API calls accrued since the
+// last save (measured on the cumulative cost clock, so the cadence
+// survives resumes). Saves happen at sample boundaries — the walk
+// state between samples is not checkpointable — so a save's clock is
+// the first boundary at or past the cadence mark.
+//
+// Save failures are not ignored: a run that cannot persist progress
+// degrades with ErrAutosave (checkpoint intact, in memory) instead of
+// walking on and silently widening the at-risk budget window.
+//
+// The interrupt paths (park, degrade, budget exhaustion) already
+// return a checkpoint in the Result; persisting those is the caller's
+// half of the policy.
+type AutosavePolicy struct {
+	// EveryCalls is the autosave cadence in charged API calls.
+	EveryCalls int
+	// Save persists the checkpoint. It must not retain the pointer's
+	// session aliases beyond the call if it mutates anything; the
+	// checkpoint itself is isolated by construction.
+	Save func(*Checkpoint) error
+}
+
+func (p AutosavePolicy) enabled() bool { return p.Save != nil && p.EveryCalls > 0 }
+
+// ErrAutosave marks a run degraded because its autosave sink failed.
+// The Result still carries the checkpoint that could not be persisted.
+var ErrAutosave = errors.New("core: autosave failed")

@@ -116,6 +116,10 @@ type SRWOptions struct {
 	// client (so nothing already paid for is repaid), and cost/stats
 	// accounting stays cumulative across segments.
 	Resume *Checkpoint
+	// Autosave, when enabled, persists a cumulative checkpoint every
+	// EveryCalls charged API calls so a process crash forfeits at most
+	// one autosave window of budget. See AutosavePolicy.
+	Autosave AutosavePolicy
 }
 
 func (o SRWOptions) withDefaults() SRWOptions {
@@ -208,31 +212,25 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 	// emission, keeping the estimate-recomputation cost (O(chain) per
 	// checkpoint) near-linear over long walks.
 	nextEmit := len(chain) + opts.EmitEvery
-	// finalize is declared before the seed search so a pre-walk throttle
-	// park can still produce a truthful cumulative checkpoint; until the
-	// walker exists it records the resume position (if any) unchanged.
+	// snapshot builds a cumulative checkpoint of the walk as it stands —
+	// the same state finalize returns, also handed to the autosave sink
+	// mid-run. It is declared before the seed search so a pre-walk
+	// throttle park can still produce a truthful cumulative checkpoint;
+	// until the walker exists it records the resume position (if any)
+	// unchanged.
 	var w *walk.SimpleWalk
-	finalize := func() Result {
+	snapshot := func() *Checkpoint {
 		v, p := s.ChurnObserved()
-		segHeal.VanishedUsers = v - baseVanished
-		segHeal.PrunedEdges = p - basePruned
-		res.Cost = priorCost + s.Client.Cost()
-		res.Stats = priorStats.Add(s.Client.Stats())
-		res.Heal = priorHeal.Add(segHeal)
-		res.Samples = len(chain)
-		res.DrainedSteps = priorDrained + segDrained
-		res.Trajectory = traj
-		res.Estimate = math.NaN()
-		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
-			res.Estimate = est
-		}
-		res.Checkpoint = &Checkpoint{
+		sh := segHeal
+		sh.VanishedUsers = v - baseVanished
+		sh.PrunedEdges = p - basePruned
+		ck := &Checkpoint{
 			algo:         algoSRW,
 			segments:     segments + 1,
-			priorCost:    res.Cost,
-			priorStats:   res.Stats,
-			priorHeal:    res.Heal,
-			priorDrained: res.DrainedSteps,
+			priorCost:    priorCost + s.Client.Cost(),
+			priorStats:   priorStats.Add(s.Client.Stats()),
+			priorHeal:    priorHeal.Add(sh),
+			priorDrained: priorDrained + segDrained,
 			interval:     s.Interval,
 			cache:        s.Client.ExportCache(),
 			breaker:      s.Client.BreakerState(),
@@ -243,11 +241,30 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 			parked:       parkedNow,
 		}
 		if w != nil {
-			res.Checkpoint.cur = w.Current()
-			res.Checkpoint.haveCur = true
+			ck.cur = w.Current()
+			ck.haveCur = true
 		}
+		return ck
+	}
+	finalize := func() Result {
+		ck := snapshot()
+		res.Cost = ck.priorCost
+		res.Stats = ck.priorStats
+		res.Heal = ck.priorHeal
+		res.Samples = len(chain)
+		res.DrainedSteps = ck.priorDrained
+		res.Trajectory = traj
+		res.Estimate = math.NaN()
+		if est, ok := estimateFromChain(s.Query.Agg, chain, opts); ok {
+			res.Estimate = est
+		}
+		res.Checkpoint = ck
 		return res
 	}
+	// lastSave tracks the cumulative-cost clock of the last persisted
+	// checkpoint; a fresh segment starts its cadence window at the
+	// resume point, not at zero.
+	lastSave := priorCost
 
 	seeds, err := s.Seeds()
 	if err != nil {
@@ -388,6 +405,15 @@ func RunSRW(s *Session, opts SRWOptions) (Result, error) {
 				growth = opts.EmitEvery
 			}
 			nextEmit += growth
+		}
+
+		if opts.Autosave.enabled() {
+			if cum := priorCost + s.Client.Cost(); cum-lastSave >= opts.Autosave.EveryCalls {
+				if err := opts.Autosave.Save(snapshot()); err != nil {
+					return degrade(finalize(), fmt.Errorf("%w: %w", ErrAutosave, err)), nil
+				}
+				lastSave = cum
+			}
 		}
 	}
 	return finalize(), nil

@@ -71,6 +71,10 @@ type TARWOptions struct {
 	// HealAbort the run degrades as soon as churn is first observed.
 	// MaxHeals bounds the skipped-walk count per run.
 	Heal HealPolicy
+	// Autosave, when enabled, persists a cumulative checkpoint every
+	// EveryCalls charged API calls so a process crash forfeits at most
+	// one autosave window of budget. See AutosavePolicy.
+	Autosave AutosavePolicy
 	// WeightClip winsorizes the Hansen–Hurwitz weights 1/p̂ at
 	// WeightClip × s (s = seed count). Visit probabilities in a real
 	// (irregular) level DAG are badly skewed, and an occasional
@@ -189,36 +193,27 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 	// Segment-derived RNG: a resumed run continues with fresh draws.
 	t.rng = rand.New(rand.NewSource(opts.Seed + int64(segments)*0x9e3779b9))
 
-	// sSize is filled in once the seed directory is fetched; finalize is
-	// declared first so a pre-walk throttle park can still checkpoint
-	// truthful cumulative books.
+	// sSize is filled in once the seed directory is fetched; snapshot
+	// (the cumulative checkpoint builder shared by finalize and the
+	// autosave sink) is declared first so a pre-walk throttle park can
+	// still checkpoint truthful cumulative books.
 	var sSize float64
 	var parkedNow bool
-	finalize := func() Result {
+	snapshot := func() *Checkpoint {
 		v, p := s.ChurnObserved()
-		segHeal.VanishedUsers = v - baseVanished
-		segHeal.PrunedEdges = p - basePruned
-		res.Cost = priorCost + s.Client.Cost()
-		res.Stats = priorStats.Add(s.Client.Stats())
-		res.Heal = priorHeal.Add(segHeal)
-		res.Samples = len(sumEsts)
-		// TARW parks without draining (a per-walk sample is only valid
-		// complete), but an SRW-accrued counter carried in via a shared
-		// fleet resume must survive the round-trip.
-		res.DrainedSteps = priorDrained
-		res.ZeroProbPaths = t.zeroPaths
-		res.Trajectory = traj
-		res.Estimate = math.NaN()
-		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
-			res.Estimate = est
-		}
-		res.Checkpoint = &Checkpoint{
-			algo:         algoTARW,
-			segments:     segments + 1,
-			priorCost:    res.Cost,
-			priorStats:   res.Stats,
-			priorHeal:    res.Heal,
-			priorDrained: res.DrainedSteps,
+		sh := segHeal
+		sh.VanishedUsers = v - baseVanished
+		sh.PrunedEdges = p - basePruned
+		return &Checkpoint{
+			algo:       algoTARW,
+			segments:   segments + 1,
+			priorCost:  priorCost + s.Client.Cost(),
+			priorStats: priorStats.Add(s.Client.Stats()),
+			priorHeal:  priorHeal.Add(sh),
+			// TARW parks without draining (a per-walk sample is only
+			// valid complete), but an SRW-accrued counter carried in via
+			// a shared fleet resume must survive the round-trip.
+			priorDrained: priorDrained,
 			interval:     s.Interval,
 			cache:        s.Client.ExportCache(),
 			breaker:      s.Client.BreakerState(),
@@ -231,8 +226,26 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 			pDown:        copyPStats(t.pDown),
 			parked:       parkedNow,
 		}
+	}
+	finalize := func() Result {
+		ck := snapshot()
+		res.Cost = ck.priorCost
+		res.Stats = ck.priorStats
+		res.Heal = ck.priorHeal
+		res.Samples = len(sumEsts)
+		res.DrainedSteps = ck.priorDrained
+		res.ZeroProbPaths = t.zeroPaths
+		res.Trajectory = traj
+		res.Estimate = math.NaN()
+		if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
+			res.Estimate = est
+		}
+		res.Checkpoint = ck
 		return res
 	}
+	// lastSave tracks the cumulative-cost clock of the last persisted
+	// checkpoint (cadence survives resumes).
+	lastSave := priorCost
 
 	seeds, err := s.Seeds()
 	if err != nil {
@@ -293,6 +306,15 @@ func RunTARW(s *Session, opts TARWOptions) (Result, error) {
 		if len(sumEsts)%opts.EmitEvery == 0 {
 			if est, ok := tarwEstimate(s.Query.Agg, sSize, sumEsts, cntEsts, seedEsts); ok {
 				traj = append(traj, Point{Cost: priorCost + s.Client.Cost(), Estimate: est})
+			}
+		}
+
+		if opts.Autosave.enabled() {
+			if cum := priorCost + s.Client.Cost(); cum-lastSave >= opts.Autosave.EveryCalls {
+				if err := opts.Autosave.Save(snapshot()); err != nil {
+					return degrade(finalize(), fmt.Errorf("%w: %w", ErrAutosave, err)), nil
+				}
+				lastSave = cum
 			}
 		}
 	}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mba/internal/api"
+	"mba/internal/model"
+)
+
+// CheckpointState is the serializable form of a Checkpoint, consumed
+// by the durable store (internal/store). The in-memory checkpoint
+// keeps unexported fields and map-shaped caches; this DTO exports
+// every field and flattens the ESTIMATE-p maps into slices sorted by
+// node ID, so encoding the same checkpoint always yields the same
+// bytes (the store checksums them) and decoding rebuilds state whose
+// resumed run is indistinguishable from resuming the original.
+type CheckpointState struct {
+	Algo         string                 `json:"algo"`
+	Segments     int                    `json:"segments"`
+	PriorCost    int                    `json:"prior_cost"`
+	PriorStats   api.Stats              `json:"prior_stats"`
+	PriorHeal    HealStats              `json:"prior_heal"`
+	PriorDrained int                    `json:"prior_drained,omitempty"`
+	Interval     model.Tick             `json:"interval,omitempty"`
+	Cache        api.CacheSnapshotState `json:"cache"`
+	Breaker      api.BreakerState       `json:"breaker"`
+	Traj         []Point                `json:"traj,omitempty"`
+
+	// MA-SRW / M&R state.
+	Chain   []ChainSample `json:"chain,omitempty"`
+	Cur     int64         `json:"cur,omitempty"`
+	HaveCur bool          `json:"have_cur,omitempty"`
+	Parked  bool          `json:"parked,omitempty"`
+
+	// MA-TARW state.
+	SumEsts   []float64    `json:"sum_ests,omitempty"`
+	CntEsts   []float64    `json:"cnt_ests,omitempty"`
+	SeedEsts  []float64    `json:"seed_ests,omitempty"`
+	ZeroPaths int          `json:"zero_paths,omitempty"`
+	PUp       []PStatEntry `json:"p_up,omitempty"`
+	PDown     []PStatEntry `json:"p_down,omitempty"`
+}
+
+// ChainSample is one serialized SRW chain entry.
+type ChainSample struct {
+	U      int64   `json:"u"`
+	Degree int     `json:"degree"`
+	Match  bool    `json:"match,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// PStatEntry is one serialized ESTIMATE-p accumulator.
+type PStatEntry struct {
+	ID  int64   `json:"id"`
+	Sum float64 `json:"sum"`
+	N   int     `json:"n"`
+}
+
+// State converts the checkpoint into its deterministic serializable
+// form.
+func (ck *Checkpoint) State() CheckpointState {
+	st := CheckpointState{
+		Algo:         ck.algo,
+		Segments:     ck.segments,
+		PriorCost:    ck.priorCost,
+		PriorStats:   ck.priorStats,
+		PriorHeal:    ck.priorHeal,
+		PriorDrained: ck.priorDrained,
+		Interval:     ck.interval,
+		Cache:        ck.cache.State(),
+		Breaker:      ck.breaker,
+		Traj:         ck.traj,
+		Cur:          ck.cur,
+		HaveCur:      ck.haveCur,
+		Parked:       ck.parked,
+		SumEsts:      ck.sumEsts,
+		CntEsts:      ck.cntEsts,
+		SeedEsts:     ck.seedEsts,
+		ZeroPaths:    ck.zeroPaths,
+		PUp:          pStatsToState(ck.pUp),
+		PDown:        pStatsToState(ck.pDown),
+	}
+	for _, c := range ck.chain {
+		st.Chain = append(st.Chain, ChainSample{U: c.u, Degree: c.degree, Match: c.match, Value: c.value})
+	}
+	return st
+}
+
+// CheckpointFromState rebuilds a checkpoint from its serialized form.
+// The algorithm family must be one the runners know how to resume.
+func CheckpointFromState(st CheckpointState) (*Checkpoint, error) {
+	if st.Algo != algoSRW && st.Algo != algoTARW {
+		return nil, fmt.Errorf("core: unknown checkpoint algo %q", st.Algo)
+	}
+	ck := &Checkpoint{
+		algo:         st.Algo,
+		segments:     st.Segments,
+		priorCost:    st.PriorCost,
+		priorStats:   st.PriorStats,
+		priorHeal:    st.PriorHeal,
+		priorDrained: st.PriorDrained,
+		interval:     st.Interval,
+		cache:        api.CacheSnapshotFromState(st.Cache),
+		breaker:      st.Breaker,
+		traj:         st.Traj,
+		cur:          st.Cur,
+		haveCur:      st.HaveCur,
+		parked:       st.Parked,
+		sumEsts:      st.SumEsts,
+		cntEsts:      st.CntEsts,
+		seedEsts:     st.SeedEsts,
+		zeroPaths:    st.ZeroPaths,
+	}
+	for _, c := range st.Chain {
+		ck.chain = append(ck.chain, srwSample{u: c.U, degree: c.Degree, match: c.Match, value: c.Value})
+	}
+	if st.Algo == algoTARW || len(st.PUp) > 0 || len(st.PDown) > 0 {
+		ck.pUp = pStatsFromState(st.PUp)
+		ck.pDown = pStatsFromState(st.PDown)
+	}
+	return ck, nil
+}
+
+// Rebase derives a replay checkpoint: the spent-cost books, response
+// cache, interval, and breaker state survive, but the walk state
+// (chain, position, per-walk estimates, probability caches) and the
+// segment counter are dropped. Resuming from a rebased checkpoint
+// replays the entire run from step zero with the segment-0 RNG — the
+// warm cache answers the already-paid prefix at zero charge, so the
+// replay reproduces the uninterrupted run's draws, samples, and final
+// estimate bit for bit while still never repaying spent budget. This
+// is what makes crash recovery provably lossless on a fault-free
+// platform: heal and drained counters reset too, because the replay
+// re-observes them from scratch.
+func (ck *Checkpoint) Rebase() *Checkpoint {
+	return &Checkpoint{
+		algo:       ck.algo,
+		segments:   0,
+		priorCost:  ck.priorCost,
+		priorStats: ck.priorStats,
+		interval:   ck.interval,
+		cache:      ck.cache,
+		breaker:    ck.breaker,
+	}
+}
+
+// pStatsToState flattens an ESTIMATE-p cache into a slice sorted by
+// node ID.
+func pStatsToState(m map[int64]*pStat) []PStatEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PStatEntry, 0, len(ids))
+	for _, id := range ids {
+		st := m[id]
+		out = append(out, PStatEntry{ID: id, Sum: st.sum, N: st.n})
+	}
+	return out
+}
+
+// pStatsFromState rebuilds an ESTIMATE-p cache.
+func pStatsFromState(entries []PStatEntry) map[int64]*pStat {
+	out := make(map[int64]*pStat, len(entries))
+	for _, e := range entries {
+		out[e.ID] = &pStat{sum: e.Sum, n: e.N}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mba/internal/query"
+)
+
+// runStateAlgo runs one algorithm family for the durable-state tests.
+func runStateAlgo(t *testing.T, algo string, s *Session, resume *Checkpoint) Result {
+	t.Helper()
+	var res Result
+	var err error
+	switch algo {
+	case "tarw":
+		// Fixed interval: interval re-selection would draw fresh RNG per
+		// incarnation and break replay identity.
+		res, err = RunTARW(s, TARWOptions{Seed: 1, Resume: resume})
+	default:
+		res, err = RunSRW(s, SRWOptions{View: LevelView, Seed: 1, Resume: resume})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCheckpointStateRoundTripResume: resuming from a checkpoint that
+// went through the serializable DTO must be indistinguishable from
+// resuming the original in-memory checkpoint.
+func TestCheckpointStateRoundTripResume(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	for _, algo := range []string{"srw", "tarw"} {
+		t.Run(algo, func(t *testing.T) {
+			partial := runStateAlgo(t, algo, newSession(t, p, q, 1500), nil)
+			if partial.Checkpoint == nil || partial.Cost < 1500 {
+				t.Fatalf("a 1500-call budget should leave a resumable exhausted run (cost %d)", partial.Cost)
+			}
+			ck := partial.Checkpoint
+			rt, err := CheckpointFromState(ck.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.SpentCost() != ck.SpentCost() || rt.Segments() != ck.Segments() {
+				t.Fatalf("books drifted through the DTO: cost %d/%d segments %d/%d",
+					rt.SpentCost(), ck.SpentCost(), rt.Segments(), ck.Segments())
+			}
+			// The round-tripped copy is derived BEFORE either resume runs,
+			// so the two resumes are independent.
+			resA := runStateAlgo(t, algo, newSession(t, p, q, 1500), ck)
+			resB := runStateAlgo(t, algo, newSession(t, p, q, 1500), rt)
+			if math.Float64bits(resA.Estimate) != math.Float64bits(resB.Estimate) {
+				t.Errorf("round-tripped resume estimate %v != in-memory resume %v", resB.Estimate, resA.Estimate)
+			}
+			if resA.Cost != resB.Cost || resA.Samples != resB.Samples {
+				t.Errorf("round-tripped resume cost/samples %d/%d != in-memory %d/%d",
+					resB.Cost, resB.Samples, resA.Cost, resA.Samples)
+			}
+		})
+	}
+}
+
+// TestRebaseReplayBitIdentity is the core recovery law: a run
+// interrupted mid-flight and replayed from a rebased checkpoint (warm
+// cache, segment-0 RNG) finishes with the uninterrupted run's exact
+// estimate, cost, samples, and charged calls — spent budget is never
+// repaid because the cache answers the already-paid prefix free.
+func TestRebaseReplayBitIdentity(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	for _, algo := range []string{"srw", "tarw"} {
+		t.Run(algo, func(t *testing.T) {
+			base := runStateAlgo(t, algo, newSession(t, p, q, 3000), nil)
+			partial := runStateAlgo(t, algo, newSession(t, p, q, 1500), nil)
+			if partial.Checkpoint == nil {
+				t.Fatal("partial run carries no checkpoint")
+			}
+			rb := partial.Checkpoint.Rebase()
+			if rb.SpentCost() != partial.Cost {
+				t.Fatalf("rebase lost the spent-cost books: %d vs %d", rb.SpentCost(), partial.Cost)
+			}
+			if rb.Segments() != 0 {
+				t.Fatalf("rebase must reset to the segment-0 RNG, got segment %d", rb.Segments())
+			}
+			replay := runStateAlgo(t, algo, newSession(t, p, q, 3000-partial.Cost), rb)
+			if math.Float64bits(replay.Estimate) != math.Float64bits(base.Estimate) {
+				t.Errorf("replayed estimate %v (bits %#x) != uninterrupted %v (bits %#x)",
+					replay.Estimate, math.Float64bits(replay.Estimate),
+					base.Estimate, math.Float64bits(base.Estimate))
+			}
+			if replay.Cost != base.Cost {
+				t.Errorf("replayed cumulative cost %d != uninterrupted %d — spent budget repaid", replay.Cost, base.Cost)
+			}
+			if replay.Samples != base.Samples {
+				t.Errorf("replayed samples %d != uninterrupted %d", replay.Samples, base.Samples)
+			}
+			if replay.Stats.Calls != base.Stats.Calls {
+				t.Errorf("replayed charged calls %d != uninterrupted %d", replay.Stats.Calls, base.Stats.Calls)
+			}
+		})
+	}
+}
+
+// TestAutosaveCadenceAndFailure: the autosave hook fires on the
+// charged-call clock at the configured cadence with strictly
+// increasing clocks, and a failing sink degrades the run (typed, with
+// the sink's error preserved) instead of erroring out or panicking.
+func TestAutosaveCadenceAndFailure(t *testing.T) {
+	p := testPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+
+	var clocks []int
+	pol := AutosavePolicy{EveryCalls: 200, Save: func(ck *Checkpoint) error {
+		clocks = append(clocks, ck.SpentCost())
+		return nil
+	}}
+	res, err := RunSRW(newSession(t, p, q, 2000), SRWOptions{View: LevelView, Seed: 1, Autosave: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clocks) < 2 {
+		t.Fatalf("only %d autosaves over a 2000-call run at cadence 200", len(clocks))
+	}
+	prev := 0
+	for _, c := range clocks {
+		if c <= prev {
+			t.Fatalf("autosave clocks not strictly increasing: %v", clocks)
+		}
+		prev = c
+	}
+	if last := clocks[len(clocks)-1]; last > res.Cost {
+		t.Errorf("autosave clock %d past the run's final cost %d", last, res.Cost)
+	}
+
+	boom := errors.New("disk full")
+	fail := AutosavePolicy{EveryCalls: 100, Save: func(*Checkpoint) error { return boom }}
+	res2, err := RunSRW(newSession(t, p, q, 2000), SRWOptions{View: LevelView, Seed: 1, Autosave: fail})
+	if err != nil {
+		t.Fatalf("autosave failure must degrade, not error: %v", err)
+	}
+	if !res2.Degraded || !errors.Is(res2.DegradedBy, ErrAutosave) {
+		t.Errorf("DegradedBy = %v, want ErrAutosave", res2.DegradedBy)
+	}
+	if !errors.Is(res2.DegradedBy, boom) {
+		t.Errorf("autosave degrade lost the sink's error: %v", res2.DegradedBy)
+	}
+}

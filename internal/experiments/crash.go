@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+	"mba/internal/store"
+	"mba/internal/workload"
+)
+
+// crashScenario is one row of the crash-recovery sweep: an estimator,
+// a crash schedule on the charged-call clock, an autosave cadence, and
+// the storage damage injected at each kill.
+type crashScenario struct {
+	name     string
+	algo     Algo
+	schedule string // mid | thirds | dense
+	// saveDiv sets the autosave cadence to budget/saveDiv calls.
+	saveDiv int
+	// aligned picks crash points from the base run's recorded autosave
+	// clocks (the zero-repaid regime); unaligned points land between
+	// saves and must repay the tail since the last save.
+	aligned bool
+	damage  []store.DamageKind
+}
+
+func crashScenarios() []crashScenario {
+	none := []store.DamageKind(nil)
+	return []crashScenario{
+		{name: "srw-mid-clean", algo: MASRW, schedule: "mid", saveDiv: 12, aligned: true, damage: none},
+		{name: "srw-mid-torn", algo: MASRW, schedule: "mid", saveDiv: 12, aligned: true, damage: []store.DamageKind{store.DamageTorn}},
+		{name: "srw-mid-bitflip", algo: MASRW, schedule: "mid", saveDiv: 12, aligned: true, damage: []store.DamageKind{store.DamageBitFlip}},
+		{name: "srw-mid-missing", algo: MASRW, schedule: "mid", saveDiv: 12, aligned: true, damage: []store.DamageKind{store.DamageRemove}},
+		{name: "srw-thirds-clean", algo: MASRW, schedule: "thirds", saveDiv: 12, aligned: true, damage: none},
+		{name: "srw-thirds-storm", algo: MASRW, schedule: "thirds", saveDiv: 12, aligned: true, damage: []store.DamageKind{store.DamageTorn, store.DamageBitFlip}},
+		{name: "srw-dense-clean", algo: MASRW, schedule: "dense", saveDiv: 12, aligned: true, damage: none},
+		{name: "srw-unaligned", algo: MASRW, schedule: "mid", saveDiv: 6, aligned: false, damage: none},
+		{name: "tarw-mid-clean", algo: MATARW, schedule: "mid", saveDiv: 12, aligned: true, damage: none},
+		{name: "tarw-thirds-missing", algo: MATARW, schedule: "thirds", saveDiv: 12, aligned: true, damage: []store.DamageKind{store.DamageRemove}},
+	}
+}
+
+// scheduleFracs maps a schedule name onto budget fractions.
+func scheduleFracs(schedule string) []float64 {
+	switch schedule {
+	case "thirds":
+		return []float64{1.0 / 3, 2.0 / 3}
+	case "dense":
+		return []float64{0.2, 0.4, 0.6, 0.8}
+	default: // mid
+		return []float64{0.5}
+	}
+}
+
+// alignedPoints picks, for each budget fraction, the recorded autosave
+// clock nearest the fraction (deduplicated, strictly increasing).
+func alignedPoints(clocks []int, budget int, fracs []float64) []int {
+	var pts []int
+	for _, f := range fracs {
+		target := int(f * float64(budget))
+		best := -1
+		for _, c := range clocks {
+			if c < 1 || c >= budget {
+				continue
+			}
+			if best < 0 || abs(c-target) < abs(best-target) {
+				best = c
+			}
+		}
+		if best > 0 {
+			pts = append(pts, best)
+		}
+	}
+	sort.Ints(pts)
+	out := pts[:0]
+	prev := 0
+	for _, pt := range pts {
+		if pt > prev {
+			out = append(out, pt)
+			prev = pt
+		}
+	}
+	return out
+}
+
+// unalignedPoints offsets each fraction by half a save interval so the
+// kill lands between autosaves.
+func unalignedPoints(budget, everyCalls int, fracs []float64) []int {
+	var pts []int
+	prev := 0
+	for _, f := range fracs {
+		pt := int(f*float64(budget)) + everyCalls/2
+		if pt >= budget {
+			pt = budget - 1
+		}
+		if pt > prev {
+			pts = append(pts, pt)
+			prev = pt
+		}
+	}
+	return pts
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// crashRun executes one single-walker estimator on a fault-free
+// server with the given resume checkpoint and autosave policy —
+// exactly the workload shape the crash harness replays.
+func crashRun(p *platform.Platform, algo Algo, q query.Query, interval model.Tick,
+	seed int64, budget int, resume *core.Checkpoint, pol core.AutosavePolicy) (core.Result, error) {
+
+	srv := api.NewServer(p, api.Twitter(), api.Faults{Seed: seed})
+	client := api.NewClient(srv, budget)
+	s, err := core.NewSession(client, q, interval)
+	if err != nil {
+		return core.Result{}, err
+	}
+	switch algo {
+	case MATARW:
+		// Fixed interval: interval re-selection samples fresh RNG draws
+		// per incarnation and would break bit-identical replay.
+		return core.RunTARW(s, core.TARWOptions{Seed: seed, Resume: resume, Autosave: pol})
+	default:
+		return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: resume, Autosave: pol})
+	}
+}
+
+// CrashRecord is the JSON artifact of one sweep scenario, written as
+// BENCH_crash.json by cmd/mba-bench.
+type CrashRecord struct {
+	Scenario   string         `json:"scenario"`
+	Algo       string         `json:"algo"`
+	Points     []int          `json:"points"`
+	EveryCalls int            `json:"autosave_every"`
+	ZeroRepaid bool           `json:"zero_repaid"`
+	Identical  bool           `json:"identical"`
+	Recovery   store.Recovery `json:"recovery"`
+}
+
+// Crash is the crash-recovery sweep as a plain table runner.
+func Crash(opts Options) (Table, error) {
+	t, _, err := CrashSweep(opts)
+	return t, err
+}
+
+// CrashSweep is the crash-recovery sweep: for each scenario an
+// uninterrupted base run records its autosave clocks, then the crash
+// harness kills the same run at the scheduled points — optionally
+// corrupting or deleting the newest on-disk generation at the instant
+// of the kill — and restarts it from the durable store until it
+// finishes. audit.CheckDurability then enforces the tentpole claims:
+// the recovered final estimate is bit-identical to the uninterrupted
+// run at equal total cost; save-aligned crashes repay zero calls; and
+// every injected storage fault is detected by checksum (or absence)
+// and recovered by generation fallback, never silently absorbed.
+func CrashSweep(opts Options) (Table, []CrashRecord, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	q := query.AvgQuery("privacy", query.Followers)
+	truth, err := p.GroundTruth(q)
+	if err != nil {
+		return Table{}, nil, err
+	}
+
+	t := Table{
+		ID:    "crash",
+		Title: "Crash-recovery sweep: durable checkpoints vs. kill schedules and storage faults (bit-identical recovery at zero repaid calls)",
+		Columns: []string{
+			"Scenario", "Algo", "Crashes", "Damage", "Restarts", "Scratch",
+			"Saves", "Repaid", "Faults", "Losses", "RelErr", "Identical", "Audit",
+		},
+	}
+
+	aud := audit.Auditor{Budget: opts.Budget}
+	var violations []string
+	var records []CrashRecord
+	for i, sc := range crashScenarios() {
+		seed := opts.Seed + int64(i)*7919
+		everyCalls := opts.Budget / sc.saveDiv
+		if everyCalls < 1 {
+			everyCalls = 1
+		}
+		opts.logf("crash: %s (autosave every %d calls)", sc.name, everyCalls)
+
+		// Uninterrupted base run, recording where autosaves land on the
+		// charged-call clock.
+		var clocks []int
+		record := core.AutosavePolicy{EveryCalls: everyCalls, Save: func(ck *core.Checkpoint) error {
+			clocks = append(clocks, ck.SpentCost())
+			return nil
+		}}
+		base, err := crashRun(p, sc.algo, q, opts.Interval, seed, opts.Budget, nil, record)
+		if err != nil {
+			return Table{}, nil, fmt.Errorf("crash %s base: %w", sc.name, err)
+		}
+
+		var points []int
+		if sc.aligned {
+			points = alignedPoints(clocks, opts.Budget, scheduleFracs(sc.schedule))
+		} else {
+			points = unalignedPoints(opts.Budget, everyCalls, scheduleFracs(sc.schedule))
+		}
+		if len(points) == 0 {
+			return Table{}, nil, fmt.Errorf("crash %s: no usable crash points (budget %d, %d autosaves)",
+				sc.name, opts.Budget, len(clocks))
+		}
+
+		plan := store.CrashPlan{
+			Plan: store.PlanKey{
+				Algo:   string(sc.algo),
+				Preset: api.Twitter().Name,
+				Query:  q.String(),
+				Seed:   seed,
+			},
+			Budget: opts.Budget,
+			Points: points,
+			Damage: sc.damage,
+		}
+		pol := core.AutosavePolicy{EveryCalls: everyCalls}
+		rec, err := store.RunWithCrashes(store.NewMemFS(), "checkpoint", plan,
+			func(budget int, resume *core.Checkpoint, save func(*core.Checkpoint) error) (core.Result, error) {
+				run := pol
+				run.Save = save
+				return crashRun(p, sc.algo, q, opts.Interval, seed, budget, resume, run)
+			})
+		if err != nil {
+			return Table{}, nil, fmt.Errorf("crash %s harness: %w", sc.name, err)
+		}
+
+		zeroRepaid := sc.aligned && len(sc.damage) == 0
+		rep := aud.CheckDurability(base, rec, zeroRepaid)
+		for _, v := range rep.Violations {
+			violations = append(violations, fmt.Sprintf("%s: %s", sc.name, v))
+		}
+
+		repaid := 0
+		damaged := "none"
+		for _, tr := range rec.Trials {
+			repaid += tr.Repaid
+		}
+		if len(sc.damage) > 0 {
+			damaged = ""
+			for j, d := range sc.damage {
+				if j > 0 {
+					damaged += "+"
+				}
+				damaged += d.String()
+			}
+		}
+		relErr := math.NaN()
+		if !math.IsNaN(rec.Final.Estimate) {
+			relErr = stats.RelativeError(rec.Final.Estimate, truth)
+		}
+		identical := math.Float64bits(base.Estimate) == math.Float64bits(rec.Final.Estimate) ||
+			(math.IsNaN(base.Estimate) && math.IsNaN(rec.Final.Estimate))
+		records = append(records, CrashRecord{
+			Scenario:   sc.name,
+			Algo:       string(sc.algo),
+			Points:     points,
+			EveryCalls: everyCalls,
+			ZeroRepaid: zeroRepaid,
+			Identical:  identical,
+			Recovery:   rec,
+		})
+		t.Rows = append(t.Rows, []string{
+			sc.name,
+			string(sc.algo),
+			fmt.Sprintf("%d", len(rec.Trials)),
+			damaged,
+			fmt.Sprintf("%d", rec.Restarts),
+			fmt.Sprintf("%d", rec.ScratchRestarts),
+			fmt.Sprintf("%d", rec.Saves),
+			fmt.Sprintf("%d", repaid),
+			fmt.Sprintf("%d", rec.FaultsInjected),
+			fmt.Sprintf("%d", rec.LossEvents),
+			fmt.Sprintf("%.4f", relErr),
+			fmt.Sprintf("%v", identical),
+			fmt.Sprintf("ok(%d)", rep.Checks),
+		})
+	}
+	if len(violations) > 0 {
+		return t, records, fmt.Errorf("crash: auditor found %d invariant violations; first: %s",
+			len(violations), violations[0])
+	}
+	return t, records, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"mba/internal/workload"
+)
+
+// TestCrashSweepInvariants smoke-runs the full crash-recovery sweep at
+// test scale: every scenario must recover a bit-identical estimate,
+// and the save-aligned clean scenarios must repay zero calls. The
+// in-sweep auditor already enforces the full law set — a violation
+// surfaces as the returned error.
+func TestCrashSweepInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep replays every scenario several times")
+	}
+	tab, records, err := CrashSweep(Options{Scale: workload.Test, Trials: 1, Budget: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(crashScenarios()); len(records) != want || len(tab.Rows) != want {
+		t.Fatalf("%d records, %d rows, want %d scenarios", len(records), len(tab.Rows), want)
+	}
+	zeroRepaidSeen, damageSeen := false, false
+	for _, r := range records {
+		if !r.Identical {
+			t.Errorf("%s: recovered estimate not bit-identical", r.Scenario)
+		}
+		if len(r.Points) == 0 || len(r.Recovery.Trials) == 0 {
+			t.Errorf("%s: no crashes actually executed", r.Scenario)
+		}
+		repaid := 0
+		for _, tr := range r.Recovery.Trials {
+			repaid += tr.Repaid
+		}
+		if r.ZeroRepaid {
+			zeroRepaidSeen = true
+			if repaid != 0 {
+				t.Errorf("%s: save-aligned clean scenario repaid %d calls", r.Scenario, repaid)
+			}
+		}
+		if r.Recovery.FaultsInjected > 0 {
+			damageSeen = true
+			if r.Recovery.LossEvents != r.Recovery.FaultsInjected {
+				t.Errorf("%s: %d faults but %d loss events", r.Scenario,
+					r.Recovery.FaultsInjected, r.Recovery.LossEvents)
+			}
+		}
+		if math.IsNaN(r.Recovery.Final.Estimate) {
+			t.Errorf("%s: recovered run produced no estimate", r.Scenario)
+		}
+	}
+	if !zeroRepaidSeen || !damageSeen {
+		t.Errorf("sweep lost coverage: zeroRepaid=%v damage=%v", zeroRepaidSeen, damageSeen)
+	}
+}

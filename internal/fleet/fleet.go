@@ -159,6 +159,30 @@ type Config struct {
 	// per-unit checkpoints, and prior spend is carried forward in the
 	// ledger so quotas keep binding.
 	Resume *Checkpoint
+	// Autosave, when non-nil, receives a copy of a unit's cumulative
+	// result after every scheduler turn (including parks and degrades),
+	// so a durable store can persist per-unit checkpoints as the fleet
+	// runs. Called from worker goroutines — implementations must be
+	// goroutine-safe. Save failures are the sink's problem: the fleet
+	// never blocks or degrades on its autosave sink.
+	Autosave func(u UnitResult)
+}
+
+// PlannedUnits returns the number of logical walkers Run will actually
+// launch after deterministic load shedding: min(Units, max(1,
+// Budget/MinUnitBudget)). A pure function of the configuration —
+// durable stores use it to size per-unit checkpoint mirrors and to
+// validate that a resumed plan matches the saved one.
+func (c Config) PlannedUnits() int {
+	c = c.withDefaults()
+	units := c.Units
+	if m := c.Budget / c.MinUnitBudget; m < units {
+		units = m
+		if units < 1 {
+			units = 1
+		}
+	}
+	return units
 }
 
 func (c Config) withDefaults() Config {
@@ -417,13 +441,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	// The decision depends only on (Budget, Units, MinUnitBudget) —
 	// never on runtime contention — so a shed fleet is still a pure
 	// function of its configuration.
-	units := cfg.Units
-	if m := cfg.Budget / cfg.MinUnitBudget; m < units {
-		units = m
-		if units < 1 {
-			units = 1
-		}
-	}
+	units := cfg.PlannedUnits()
 	if cfg.Resume != nil && cfg.Resume.Units() != units {
 		return Result{}, fmt.Errorf("fleet: resume checkpoint has %d units, config yields %d (budget/units/min-unit-budget must match the original run)",
 			cfg.Resume.Units(), units)
@@ -485,6 +503,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 					return
 				}
 				done, readyAt := runners[u].runSegment(ctx, led)
+				if cfg.Autosave != nil {
+					// Persist the unit's cumulative state after every
+					// turn: a crash between turns then forfeits at most
+					// one segment of walk state, and parks/degrades hit
+					// the store the moment they happen.
+					cfg.Autosave(runners[u].out)
+				}
 				if done {
 					queue.finish()
 				} else {

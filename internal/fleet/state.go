@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+
+	"mba/internal/api"
+	"mba/internal/core"
+)
+
+// UnitState is the serializable form of a UnitResult, consumed by the
+// durable store. Estimates travel as raw IEEE-754 bits: a unit that
+// never produced an estimate carries NaN, which encoding/json refuses
+// to marshal, and bits round-trip exactly by construction.
+type UnitState struct {
+	Unit          int                   `json:"unit"`
+	Seed          int64                 `json:"seed"`
+	Quota         int                   `json:"quota"`
+	EstimateBits  uint64                `json:"estimate_bits"`
+	Cost          int                   `json:"cost"`
+	Samples       int                   `json:"samples"`
+	Stats         api.Stats             `json:"stats"`
+	Heal          core.HealStats        `json:"heal"`
+	Resumes       int                   `json:"resumes,omitempty"`
+	Parks         int                   `json:"parks,omitempty"`
+	Drained       int                   `json:"drained,omitempty"`
+	WatchdogTrips int                   `json:"watchdog_trips,omitempty"`
+	Degraded      bool                  `json:"degraded,omitempty"`
+	DegradedCode  string                `json:"degraded_code,omitempty"`
+	DegradedMsg   string                `json:"degraded_msg,omitempty"`
+	Panicked      bool                  `json:"panicked,omitempty"`
+	Trace         []Segment             `json:"trace,omitempty"`
+	Checkpoint    *core.CheckpointState `json:"checkpoint,omitempty"`
+}
+
+// CheckpointState is the serializable form of a fleet Checkpoint.
+type CheckpointState struct {
+	Units []UnitState `json:"units"`
+}
+
+// State converts the unit result into its serializable form.
+func (u UnitResult) State() UnitState {
+	st := UnitState{
+		Unit:          u.Unit,
+		Seed:          u.Seed,
+		Quota:         u.Quota,
+		EstimateBits:  math.Float64bits(u.Estimate),
+		Cost:          u.Cost,
+		Samples:       u.Samples,
+		Stats:         u.Stats,
+		Heal:          u.Heal,
+		Resumes:       u.Resumes,
+		Parks:         u.Parks,
+		Drained:       u.Drained,
+		WatchdogTrips: u.WatchdogTrips,
+		Degraded:      u.Degraded,
+		Panicked:      u.Panicked,
+		Trace:         u.Trace,
+	}
+	st.DegradedCode, st.DegradedMsg = encodeCause(u.DegradedBy)
+	if u.Checkpoint != nil {
+		cs := u.Checkpoint.State()
+		st.Checkpoint = &cs
+	}
+	return st
+}
+
+// UnitFromState rebuilds a unit result from its serialized form.
+func UnitFromState(st UnitState) (UnitResult, error) {
+	u := UnitResult{
+		Unit:          st.Unit,
+		Seed:          st.Seed,
+		Quota:         st.Quota,
+		Estimate:      math.Float64frombits(st.EstimateBits),
+		Cost:          st.Cost,
+		Samples:       st.Samples,
+		Stats:         st.Stats,
+		Heal:          st.Heal,
+		Resumes:       st.Resumes,
+		Parks:         st.Parks,
+		Drained:       st.Drained,
+		WatchdogTrips: st.WatchdogTrips,
+		Degraded:      st.Degraded,
+		DegradedBy:    decodeCause(st.DegradedCode, st.DegradedMsg),
+		Panicked:      st.Panicked,
+		Trace:         st.Trace,
+	}
+	if st.Checkpoint != nil {
+		ck, err := core.CheckpointFromState(*st.Checkpoint)
+		if err != nil {
+			return UnitResult{}, err
+		}
+		u.Checkpoint = ck
+	}
+	return u, nil
+}
+
+// State converts the fleet checkpoint into its serializable form.
+func (c *Checkpoint) State() CheckpointState {
+	var st CheckpointState
+	if c == nil {
+		return st
+	}
+	for _, u := range c.units {
+		st.Units = append(st.Units, u.State())
+	}
+	return st
+}
+
+// CheckpointFromState rebuilds a fleet checkpoint. Resuming from the
+// rebuilt checkpoint is indistinguishable from resuming the original:
+// degrade causes decode to errors that still satisfy errors.Is against
+// the sentinel they encoded from, so the keep/resume/terminal logic in
+// Run sees exactly what it would have seen in-process.
+func CheckpointFromState(st CheckpointState) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	for _, us := range st.Units {
+		u, err := UnitFromState(us)
+		if err != nil {
+			return nil, err
+		}
+		ck.units = append(ck.units, u)
+	}
+	return ck, nil
+}
+
+// sentinelCodes maps durable degrade-cause codes to the sentinel
+// errors the rest of the system branches on with errors.Is. Ordered
+// most-specific first: wrapping sentinels (ErrBudgetMidHeal wraps
+// ErrBudgetExhausted, ErrTruncated wraps ErrTransient) must claim
+// their code before the sentinel they wrap.
+var sentinelCodes = []struct {
+	code string
+	err  error
+}{
+	{"autosave", core.ErrAutosave},
+	{"budget_mid_heal", core.ErrBudgetMidHeal},
+	{"budget_exhausted", api.ErrBudgetExhausted},
+	{"node_vanished", core.ErrNodeVanished},
+	{"churn_overwhelmed", core.ErrChurnOverwhelmed},
+	{"throttled", api.ErrThrottled},
+	{"stalled", api.ErrStalled},
+	{"canceled", api.ErrCanceled},
+	{"deadline_exceeded", api.ErrDeadlineExceeded},
+	{"circuit_open", api.ErrCircuitOpen},
+	{"truncated", api.ErrTruncated},
+	{"transient", api.ErrTransient},
+	{"private", api.ErrPrivate},
+	{"unknown_user", api.ErrUnknownUser},
+	{"walker_panic", ErrWalkerPanic},
+}
+
+// encodeCause flattens a degrade cause into a stable code plus the
+// human-readable message. Causes outside the sentinel registry keep
+// their message under the catch-all code.
+func encodeCause(err error) (code, msg string) {
+	if err == nil {
+		return "", ""
+	}
+	for _, sc := range sentinelCodes {
+		if errors.Is(err, sc.err) {
+			return sc.code, err.Error()
+		}
+	}
+	return "other", err.Error()
+}
+
+// decodeCause rebuilds a degrade cause: the decoded error keeps the
+// original message and unwraps to the coded sentinel, so errors.Is
+// survives the disk round-trip.
+func decodeCause(code, msg string) error {
+	if code == "" {
+		return nil
+	}
+	for _, sc := range sentinelCodes {
+		if sc.code == code {
+			return &codedError{msg: msg, sentinel: sc.err}
+		}
+	}
+	return errors.New(msg)
+}
+
+// codedError is a deserialized degrade cause: original message,
+// sentinel identity.
+type codedError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.sentinel }

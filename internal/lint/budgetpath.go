@@ -167,8 +167,49 @@ func (b *budgetCtx) Transfer(n ast.Node, f FlowState) FlowState {
 		b.assign(as, st)
 		return st
 	}
+	// The range head carries the whole *ast.RangeStmt; only the ranged
+	// operand executes here — the body belongs to its own blocks, so
+	// scanning it from the head would settle tokens on paths where the
+	// body never runs (an empty slice skips straight to the exit edge).
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		b.scanNode(rs.X, st)
+		b.retireRangeVars(rs, st)
+		return st
+	}
 	b.scanNode(n, st)
 	return st
+}
+
+// retireRangeVars ends grant/err tracking for variables reassigned by
+// the range clause (`for grant = range xs`); the obligation remains.
+func (b *budgetCtx) retireRangeVars(rs *ast.RangeStmt, st *budgetState) {
+	assigned := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := b.pkg.Info.ObjectOf(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	if len(assigned) == 0 {
+		return
+	}
+	for _, p := range st.sortedTokPos() {
+		tok := st.toks[p]
+		changed := false
+		if tok.grantObj != nil && assigned[tok.grantObj] {
+			tok.grantObj, changed = nil, true
+		}
+		if tok.errObj != nil && assigned[tok.errObj] {
+			tok.errObj, changed = nil, true
+		}
+		if changed {
+			st.toks[p] = tok
+		}
+	}
 }
 
 // RefineEdge narrows tokens along `err != nil` / `err == nil` branches

@@ -10,7 +10,7 @@ import (
 // helpers and the estimator hot paths whose reductions land directly
 // in reported estimates.
 var floatsumPkgs = map[string]bool{
-	"stats": true, "core": true, "walk": true, "fleet": true,
+	"stats": true, "core": true, "walk": true, "fleet": true, "store": true,
 }
 
 // FloatSum flags naive `sum += x` accumulation over float64 slices in

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mba/internal/core"
+	"mba/internal/fleet"
+)
+
+// CrashPlan is a deterministic kill schedule on the charged-call
+// clock: the harness runs the workload, crashes it the moment its
+// cumulative cost reaches each point (in order), optionally damages
+// the newest on-disk generation, then boots a fresh incarnation that
+// must recover from the durable store. After the last point the run
+// is allowed to finish.
+type CrashPlan struct {
+	// Plan pins every durable generation to the logical run.
+	Plan PlanKey
+	// Budget is the total call budget of the uninterrupted run.
+	Budget int
+	// Points are the crash clocks: strictly increasing, each at least
+	// 1 and below Budget.
+	Points []int
+	// Damage optionally pairs each crash point with a storage fault
+	// applied to the newest generation at the instant of the crash.
+	// Shorter than Points means the remaining crashes are clean.
+	Damage []DamageKind
+}
+
+func (p CrashPlan) validate() error {
+	if p.Budget <= 0 {
+		return fmt.Errorf("store: crash plan needs a positive budget, got %d", p.Budget)
+	}
+	if len(p.Points) == 0 {
+		return errors.New("store: crash plan needs at least one crash point")
+	}
+	if len(p.Damage) > len(p.Points) {
+		return fmt.Errorf("store: %d damage entries for %d crash points", len(p.Damage), len(p.Points))
+	}
+	prev := 0
+	for i, pt := range p.Points {
+		if pt < 1 || pt >= p.Budget {
+			return fmt.Errorf("store: crash point %d (=%d) outside [1, budget)", i, pt)
+		}
+		if pt <= prev {
+			return fmt.Errorf("store: crash points must be strictly increasing, point %d (=%d) after %d", i, pt, prev)
+		}
+		prev = pt
+	}
+	return nil
+}
+
+// Trial records one crash → recovery round, observed at the boot that
+// recovered from it.
+type Trial struct {
+	// CrashClock is the charged-call clock at which the run was killed.
+	CrashClock int `json:"crash_clock"`
+	// SavedClock is the highest clock the harness knew to be durably
+	// saved when the crash hit.
+	SavedClock int `json:"saved_clock"`
+	// ResumeClock is the clock actually recovered from disk at the
+	// next boot (lower than SavedClock only when the crash damaged the
+	// newest generation and recovery fell back).
+	ResumeClock int `json:"resume_clock"`
+	// Repaid is CrashClock − ResumeClock: the calls the recovered run
+	// re-charges because they postdate the recovered generation. Zero
+	// when crashes align with autosave boundaries.
+	Repaid int `json:"repaid"`
+	// Damage is the storage fault injected at this crash.
+	Damage DamageKind `json:"damage"`
+	// Scratch is true when nothing on disk survived and the boot
+	// restarted the run from zero.
+	Scratch bool `json:"scratch"`
+}
+
+// Recovery is the harness verdict: the final result plus every
+// reliability counter the durability audit checks.
+type Recovery struct {
+	// Final is the result of the incarnation that finished the run.
+	Final core.Result `json:"-"`
+	// Restarts is the number of crash → reboot rounds.
+	Restarts int `json:"restarts"`
+	// ScratchRestarts counts boots that found nothing usable on disk.
+	ScratchRestarts int `json:"scratch_restarts"`
+	// Saves is the number of durable generations written.
+	Saves int `json:"saves"`
+	// FaultsInjected counts crash points whose damage actually
+	// mutated or removed an on-disk generation.
+	FaultsInjected int `json:"faults_injected"`
+	// LossEvents counts recoveries that resumed from an older clock
+	// than the last known save — each must trace to an injected fault.
+	LossEvents int `json:"loss_events"`
+	// CorruptSlots / Fallbacks aggregate the per-boot store counters.
+	CorruptSlots int `json:"corrupt_slots"`
+	Fallbacks    int `json:"fallbacks"`
+	// Trials records every crash → recovery round.
+	Trials []Trial `json:"trials"`
+}
+
+// Runner is the workload under test: run with the given incarnation
+// call budget, resuming from the (already rebased) checkpoint when
+// non-nil, wiring save as the autosave sink. The returned Result must
+// carry cumulative cost (the checkpoint's spent cost plus this
+// incarnation's charges), which the built-in algorithms do.
+type Runner func(budget int, resume *core.Checkpoint, save func(*core.Checkpoint) error) (core.Result, error)
+
+// RunWithCrashes drives the workload through the crash plan. Each
+// boot opens a fresh Store over the same FS (simulating a process
+// restart), loads the newest intact generation, rebases it for
+// bit-identical replay, and runs until the next crash point; at the
+// crash it applies the scheduled damage and reboots. The final
+// incarnation's Result — which the caller asserts bit-identical to an
+// uninterrupted run via audit.CheckDurability — is returned alongside
+// full recovery accounting.
+func RunWithCrashes(fsys FS, base string, plan CrashPlan, run Runner) (Recovery, error) {
+	var rec Recovery
+	if err := plan.validate(); err != nil {
+		return rec, err
+	}
+	var (
+		idx           int        // next crash point
+		observedSaved int        // highest clock known durably saved
+		pendingCrash  = -1       // crash clock being recovered from (-1: first boot)
+		pendingDamage DamageKind // damage injected at that crash
+		recovered     int        // cumulative clock inherited from disk
+		maxBoots      = len(plan.Points) + 4
+	)
+	for boot := 0; boot < maxBoots; boot++ {
+		st, err := OpenFS(fsys, base)
+		if err != nil {
+			return rec, err
+		}
+		var resume *core.Checkpoint
+		resumeClock := 0
+		scratch := false
+		snap, lerr := st.Load()
+		switch {
+		case lerr == nil:
+			if err := snap.Plan.Check(plan.Plan); err != nil {
+				return rec, err
+			}
+			if snap.Walk != nil {
+				ck, err := core.CheckpointFromState(*snap.Walk)
+				if err != nil {
+					return rec, err
+				}
+				resume = ck
+				resumeClock = ck.SpentCost()
+			}
+		case errors.Is(lerr, ErrNoCheckpoint):
+			scratch = boot > 0
+		case errors.Is(lerr, ErrCorruptCheckpoint):
+			scratch = true
+		default:
+			return rec, lerr
+		}
+		if scratch {
+			rec.ScratchRestarts++
+		}
+		if pendingCrash >= 0 {
+			if resumeClock < observedSaved {
+				rec.LossEvents++
+			}
+			rec.Trials = append(rec.Trials, Trial{
+				CrashClock:  pendingCrash,
+				SavedClock:  observedSaved,
+				ResumeClock: resumeClock,
+				Repaid:      pendingCrash - resumeClock,
+				Damage:      pendingDamage,
+				Scratch:     scratch,
+			})
+		}
+		observedSaved = resumeClock
+		recovered += resumeClock
+
+		crashAt := plan.Budget
+		if idx < len(plan.Points) {
+			crashAt = plan.Points[idx]
+		}
+		incBudget := crashAt - resumeClock
+		if incBudget <= 0 {
+			return rec, fmt.Errorf("store: crash point %d is not past the recovered clock %d", crashAt, resumeClock)
+		}
+
+		saveFn := func(ck *core.Checkpoint) error {
+			ws := ck.State()
+			s := &Snapshot{
+				Plan:          plan.Plan,
+				Restarts:      rec.Restarts,
+				RecoveredCost: recovered,
+				Walk:          &ws,
+			}
+			if err := st.Save(s); err != nil {
+				return err
+			}
+			rec.Saves++
+			observedSaved = ck.SpentCost()
+			return nil
+		}
+
+		var rebased *core.Checkpoint
+		if resume != nil {
+			rebased = resume.Rebase()
+		}
+		res, err := run(incBudget, rebased, saveFn)
+		if err != nil {
+			return rec, err
+		}
+		s := st.Stats()
+		rec.CorruptSlots += s.CorruptSlots
+		rec.Fallbacks += s.Fallbacks
+
+		if idx < len(plan.Points) && res.Cost >= crashAt {
+			dmg := DamageNone
+			if idx < len(plan.Damage) {
+				dmg = plan.Damage[idx]
+			}
+			damaged, err := st.DamageNewest(dmg)
+			if err != nil {
+				return rec, err
+			}
+			if damaged {
+				rec.FaultsInjected++
+			}
+			pendingCrash = crashAt
+			pendingDamage = dmg
+			idx++
+			rec.Restarts++
+			continue
+		}
+
+		// The run finished before the next crash point (or there were
+		// no points left): seal the lineage with its final summary.
+		sum := SummaryOf(res)
+		final := &Snapshot{
+			Plan:          plan.Plan,
+			Restarts:      rec.Restarts,
+			RecoveredCost: recovered,
+			Final:         &sum,
+		}
+		if res.Checkpoint != nil {
+			ws := res.Checkpoint.State()
+			final.Walk = &ws
+		}
+		if err := st.Save(final); err != nil {
+			return rec, err
+		}
+		rec.Saves++
+		rec.Final = res
+		return rec, nil
+	}
+	return rec, fmt.Errorf("store: crash harness did not finish within %d boots", maxBoots)
+}
+
+// FleetSaver adapts the durable store to the fleet's per-unit
+// autosave hook. It keeps an in-memory mirror of every planned unit's
+// latest state and writes the whole flight on each update, so the
+// durable generation is always a complete, resumable fleet
+// checkpoint. Units that have not reported yet are seeded as degraded
+// placeholders — on resume the fleet re-runs them from scratch rather
+// than trusting a unit that never ran. Goroutine-safe: the fleet
+// calls Save from its worker goroutines.
+type FleetSaver struct {
+	mu    sync.Mutex
+	st    *Store
+	plan  PlanKey
+	units []fleet.UnitState
+	err   error
+}
+
+// NewFleetSaver prepares a saver for a flight of planned units.
+func NewFleetSaver(st *Store, plan PlanKey, planned int) *FleetSaver {
+	fs := &FleetSaver{st: st, plan: plan, units: make([]fleet.UnitState, planned)}
+	for i := range fs.units {
+		fs.units[i] = fleet.UnitState{
+			Unit:         i,
+			EstimateBits: math.Float64bits(math.NaN()),
+			Degraded:     true,
+			DegradedCode: "interrupted",
+			DegradedMsg:  "unit never ran in the crashed flight",
+		}
+	}
+	return fs
+}
+
+// Save records the unit's latest state and durably writes the full
+// flight. Matches the fleet.Config.Autosave signature; write failures
+// are retained for Err rather than interrupting the flight.
+func (f *FleetSaver) Save(u fleet.UnitResult) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if u.Unit < 0 || u.Unit >= len(f.units) {
+		f.err = fmt.Errorf("store: fleet saver got unit %d of %d planned", u.Unit, len(f.units))
+		return
+	}
+	f.units[u.Unit] = u.State()
+	snap := &Snapshot{
+		Plan:  f.plan,
+		Fleet: &fleet.CheckpointState{Units: append([]fleet.UnitState(nil), f.units...)},
+	}
+	if err := f.st.Save(snap); err != nil {
+		f.err = err
+	}
+}
+
+// Err returns the first persistent write failure, if any.
+func (f *FleetSaver) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

@@ -1,0 +1,393 @@
+// External tests: the crash harness and durable round-trips exercised
+// against real (small) estimation runs, with audit.CheckDurability as
+// the referee — which needs the external package, since audit imports
+// store.
+package store_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/core"
+	"mba/internal/fleet"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/store"
+)
+
+var (
+	crashOnce sync.Once
+	crashPlat *platform.Platform
+	crashErr  error
+)
+
+// crashPlatform mirrors the core test fixture (same config, so the
+// breaker-tripping outage fixture behaves identically here).
+func crashPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	crashOnce.Do(func() {
+		crashPlat, crashErr = platform.New(platform.Config{
+			Seed:                  99,
+			NumUsers:              12000,
+			NumCommunities:        50,
+			IntraEdgesPerUser:     7,
+			InterEdgesPerUser:     1.2,
+			HorizonDays:           180,
+			TimelineCap:           3200,
+			BackgroundPostsPerDay: 1.0,
+			GenderKnownProb:       0.6,
+			Keywords: []platform.KeywordConfig{
+				{Name: "privacy", SeedsPerDay: 4.0,
+					AffinityFrac: 0.15, InterestHigh: 0.8, AdoptProb: 0.3,
+					RepeatMentionMean: 3,
+					Spikes:            []platform.Spike{{Day: 90, DurationDays: 8, Multiplier: 5}}},
+			},
+		})
+	})
+	if crashErr != nil {
+		t.Fatal(crashErr)
+	}
+	return crashPlat
+}
+
+// srwRun is the workload under crash test: one MA-SRW run on a
+// fault-free server — the shape the harness's Runner replays.
+func srwRun(p *platform.Platform, seed int64, budget int, resume *core.Checkpoint, pol core.AutosavePolicy) (core.Result, error) {
+	client := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{Seed: seed}), budget)
+	s, err := core.NewSession(client, query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: resume, Autosave: pol})
+}
+
+// nearestClock picks the recorded autosave clock closest to target.
+func nearestClock(clocks []int, target, budget int) int {
+	best := -1
+	for _, c := range clocks {
+		if c < 1 || c >= budget {
+			continue
+		}
+		if best < 0 || absInt(c-target) < absInt(best-target) {
+			best = c
+		}
+	}
+	return best
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestRunWithCrashesBitIdentical is the tentpole claim in miniature: a
+// run killed at an autosave boundary and restarted from the durable
+// store finishes with the bit-identical estimate at identical cost,
+// repaying zero API calls.
+func TestRunWithCrashesBitIdentical(t *testing.T) {
+	p := crashPlatform(t)
+	const budget, every, seed = 3000, 250, 5
+
+	var clocks []int
+	base, err := srwRun(p, seed, budget, nil, core.AutosavePolicy{EveryCalls: every, Save: func(ck *core.Checkpoint) error {
+		clocks = append(clocks, ck.SpentCost())
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := nearestClock(clocks, budget/2, budget)
+	if mid < 1 {
+		t.Fatalf("base run recorded no usable autosave clocks: %v", clocks)
+	}
+
+	plan := store.CrashPlan{
+		Plan:   store.PlanKey{Algo: "srw", Seed: seed},
+		Budget: budget,
+		Points: []int{mid},
+	}
+	rec, err := store.RunWithCrashes(store.NewMemFS(), "ck", plan,
+		func(b int, resume *core.Checkpoint, save func(*core.Checkpoint) error) (core.Result, error) {
+			return srwRun(p, seed, b, resume, core.AutosavePolicy{EveryCalls: every, Save: save})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(rec.Final.Estimate) != math.Float64bits(base.Estimate) {
+		t.Errorf("recovered estimate %v != uninterrupted %v", rec.Final.Estimate, base.Estimate)
+	}
+	if rec.Final.Cost != base.Cost {
+		t.Errorf("recovered cost %d != uninterrupted %d", rec.Final.Cost, base.Cost)
+	}
+	if rec.Restarts != 1 || len(rec.Trials) != 1 {
+		t.Fatalf("restarts=%d trials=%d, want exactly one crash round", rec.Restarts, len(rec.Trials))
+	}
+	if tr := rec.Trials[0]; tr.Repaid != 0 || tr.CrashClock != mid || tr.ResumeClock != mid {
+		t.Errorf("save-aligned crash repaid calls: %+v", tr)
+	}
+	if rec.LossEvents != 0 || rec.ScratchRestarts != 0 || rec.CorruptSlots != 0 {
+		t.Errorf("fault-free recovery lost data: %+v", rec)
+	}
+	rep := (audit.Auditor{Budget: budget}).CheckDurability(base, rec, true)
+	if len(rep.Violations) > 0 {
+		t.Errorf("durability audit: %v", rep.Violations)
+	}
+}
+
+// TestRunWithCrashesDamageFallsBack: every injected storage fault is
+// detected and recovered via generation fallback; the final estimate
+// is still bit-identical — the damaged trials just repay the calls
+// since the surviving generation.
+func TestRunWithCrashesDamageFallsBack(t *testing.T) {
+	p := crashPlatform(t)
+	const budget, every, seed = 3000, 250, 5
+
+	var clocks []int
+	base, err := srwRun(p, seed, budget, nil, core.AutosavePolicy{EveryCalls: every, Save: func(ck *core.Checkpoint) error {
+		clocks = append(clocks, ck.SpentCost())
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := nearestClock(clocks, budget/3, budget)
+	p2 := nearestClock(clocks, 2*budget/3, budget)
+	if p1 < 1 || p2 <= p1 {
+		t.Fatalf("no usable crash points in autosave clocks %v", clocks)
+	}
+
+	plan := store.CrashPlan{
+		Plan:   store.PlanKey{Algo: "srw", Seed: seed},
+		Budget: budget,
+		Points: []int{p1, p2},
+		Damage: []store.DamageKind{store.DamageBitFlip, store.DamageRemove},
+	}
+	rec, err := store.RunWithCrashes(store.NewMemFS(), "ck", plan,
+		func(b int, resume *core.Checkpoint, save func(*core.Checkpoint) error) (core.Result, error) {
+			return srwRun(p, seed, b, resume, core.AutosavePolicy{EveryCalls: every, Save: save})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(rec.Final.Estimate) != math.Float64bits(base.Estimate) {
+		t.Errorf("recovered estimate %v != uninterrupted %v despite fallbacks", rec.Final.Estimate, base.Estimate)
+	}
+	if rec.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", rec.FaultsInjected)
+	}
+	if rec.LossEvents != 2 {
+		t.Errorf("LossEvents = %d, want one per injected fault", rec.LossEvents)
+	}
+	if rec.CorruptSlots < 1 || rec.Fallbacks < 1 {
+		t.Errorf("bit flip not detected by checksum: %+v", rec)
+	}
+	for i, tr := range rec.Trials {
+		if tr.Repaid <= 0 {
+			t.Errorf("trial %d: damaged crash repaid %d calls, want > 0 (fell back to an older generation)", i, tr.Repaid)
+		}
+	}
+	rep := (audit.Auditor{Budget: budget}).CheckDurability(base, rec, false)
+	if len(rep.Violations) > 0 {
+		t.Errorf("durability audit: %v", rep.Violations)
+	}
+}
+
+// TestDurableCheckpointCarriesBreakerState extends the in-memory
+// breaker-resume regression (core.TestResumeCarriesBreakerState) to
+// the store path: an open circuit breaker must survive the disk
+// round-trip and still charge its half-open cooldown after resuming.
+func TestDurableCheckpointCarriesBreakerState(t *testing.T) {
+	pol := api.DefaultRetryPolicy()
+	pol.MaxRetries = 2
+	pol.Jitter = 0
+	pol.BreakerThreshold = 1
+	pol.BreakerCooldown = time.Minute
+
+	p := crashPlatform(t)
+	outage := api.Faults{OutageMeanGap: 120, OutageLength: 60, Seed: 24}
+	client1 := api.NewClient(api.NewServer(p, api.Twitter(), outage), 30000)
+	client1.Policy = pol
+	s1, err := core.NewSession(client1, query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := core.RunSRW(s1, core.SRWOptions{View: core.LevelView, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Degraded || !errors.Is(res1.DegradedBy, api.ErrCircuitOpen) {
+		t.Fatalf("fixture did not trip the breaker: degraded=%v by %v", res1.Degraded, res1.DegradedBy)
+	}
+	if !res1.Checkpoint.Breaker().Open {
+		t.Fatal("checkpoint lost the open breaker state before it even hit disk")
+	}
+
+	// Durable round-trip: State → Save → reboot → Load → FromState.
+	mem := store.NewMemFS()
+	st, err := store.OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res1.Checkpoint.State()
+	if err := st.Save(&store.Snapshot{Plan: store.PlanKey{Algo: "srw", Seed: 1}, Walk: &ws}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := core.CheckpointFromState(*snap.Walk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck2.Breaker().Open {
+		t.Fatal("open breaker silently closed by the disk round-trip")
+	}
+	if ck2.SpentCost() != res1.Cost {
+		t.Fatalf("spent cost drifted on disk: %d vs %d", ck2.SpentCost(), res1.Cost)
+	}
+
+	// Resume on a healthy server: the restored breaker must charge the
+	// half-open cooldown before the first fresh call goes through.
+	client2 := api.NewClient(api.NewServer(p, api.Twitter(), api.Faults{}), 30000-res1.Cost)
+	client2.Policy = pol
+	s2, err := core.NewSession(client2, query.AvgQuery("privacy", query.Followers), model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.RunSRW(s2, core.SRWOptions{View: core.LevelView, Seed: 1, Resume: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Degraded {
+		t.Errorf("resume on healthy server degraded: %v", res2.DegradedBy)
+	}
+	if client2.Stats().Wait < pol.BreakerCooldown {
+		t.Errorf("resumed client waited %v, want at least the %v breaker cooldown — "+
+			"the disk round-trip silently closed the tripped breaker",
+			client2.Stats().Wait, pol.BreakerCooldown)
+	}
+}
+
+// TestFleetSaverSeedsPlaceholders: units that never reported must land
+// on disk as degraded placeholders, so a resume re-runs them instead
+// of trusting a unit that never ran.
+func TestFleetSaverSeedsPlaceholders(t *testing.T) {
+	mem := store.NewMemFS()
+	st, err := store.OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := store.PlanKey{Algo: "MA-SRW", Units: 3}
+	saver := store.NewFleetSaver(st, plan, 3)
+	saver.Save(fleet.UnitResult{Unit: 1, Seed: 42, Estimate: 12.5, Cost: 100, Samples: 9})
+	if err := saver.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fleet == nil || len(snap.Fleet.Units) != 3 {
+		t.Fatalf("durable flight shape: %+v", snap.Fleet)
+	}
+	if u := snap.Fleet.Units[1]; u.EstimateBits != math.Float64bits(12.5) || u.Cost != 100 || u.Degraded {
+		t.Errorf("reported unit mangled: %+v", u)
+	}
+	for _, i := range []int{0, 2} {
+		u := snap.Fleet.Units[i]
+		if !u.Degraded || u.DegradedCode != "interrupted" || !math.IsNaN(math.Float64frombits(u.EstimateBits)) {
+			t.Errorf("unit %d not a degraded placeholder: %+v", i, u)
+		}
+	}
+	// A unit index outside the planned flight is a saver bug, retained
+	// for Err rather than silently dropped.
+	saver.Save(fleet.UnitResult{Unit: 7})
+	if saver.Err() == nil {
+		t.Error("out-of-plan unit index not reported")
+	}
+}
+
+// TestFleetResumeFromDiskMatchesMemory: resuming an interrupted fleet
+// from the disk round-tripped checkpoint must be bit-identical to
+// resuming from the in-memory one — the DTO loses nothing that the
+// merge depends on.
+func TestFleetResumeFromDiskMatchesMemory(t *testing.T) {
+	p := crashPlatform(t)
+	q := query.AvgQuery("privacy", query.Followers)
+	walk := func(ctx context.Context, s *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
+		return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+	}
+	cfg := fleet.Config{
+		Platform: p, Preset: api.Twitter(), Query: q, Interval: model.Day,
+		Walk: walk, Budget: 12000, Seed: 3, Parallelism: 2,
+		Deadline: 20 * time.Minute,
+	}
+	res1, err := fleet.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Degraded || res1.Checkpoint == nil {
+		t.Fatalf("deadline fixture did not interrupt the flight (degraded=%v)", res1.Degraded)
+	}
+
+	// Path A: resume from the in-memory checkpoint.
+	cfgA := cfg
+	cfgA.Deadline = 0
+	cfgA.Resume = res1.Checkpoint
+	resA, err := fleet.Run(context.Background(), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: resume from the checkpoint after a full disk round-trip.
+	mem := store.NewMemFS()
+	st, err := store.OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res1.Checkpoint.State()
+	if err := st.Save(&store.Snapshot{Plan: store.PlanKey{Algo: "srw", Seed: 3}, Fleet: &fs}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckB, err := fleet.CheckpointFromState(*snap.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.Deadline = 0
+	cfgB.Resume = ckB
+	resB, err := fleet.Run(context.Background(), cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(resA.Estimate) != math.Float64bits(resB.Estimate) {
+		t.Errorf("disk resume estimate %v != memory resume %v", resB.Estimate, resA.Estimate)
+	}
+	if resA.Cost != resB.Cost || resA.Samples != resB.Samples {
+		t.Errorf("disk resume cost/samples %d/%d != memory %d/%d",
+			resB.Cost, resB.Samples, resA.Cost, resA.Samples)
+	}
+}

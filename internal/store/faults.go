@@ -1,0 +1,118 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig parameterizes the seed-deterministic storage fault
+// injector. Probabilities are per-operation; the same seed over the
+// same operation sequence reproduces the same faults.
+type FaultConfig struct {
+	// Seed drives the injector's RNG.
+	Seed int64
+	// TornWriteProb is the probability a WriteFile persists only a
+	// prefix of the data (simulated power loss mid-write).
+	TornWriteProb float64
+	// BitFlipProb is the probability a WriteFile lands with one bit
+	// flipped somewhere in the data (silent media corruption).
+	BitFlipProb float64
+	// DropRenameProb is the probability a Rename is silently dropped:
+	// the call reports success but the destination never appears —
+	// the caller believes the save landed when it did not.
+	DropRenameProb float64
+}
+
+// FaultStats counts the faults the injector actually delivered.
+type FaultStats struct {
+	TornWrites   int
+	BitFlips     int
+	DropRenames  int
+	CleanWrites  int
+	CleanRenames int
+}
+
+// FaultFS wraps an FS with seed-deterministic storage faults. Reads
+// pass through untouched — damage happens on the write path, exactly
+// where real storage loses data. Goroutine-safe.
+type FaultFS struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultFS wraps inner with the configured fault behavior.
+func NewFaultFS(inner FS, cfg FaultConfig) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the faults delivered so far.
+func (f *FaultFS) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ReadFile implements FS (pass-through).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Remove implements FS (pass-through).
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// WriteFile implements FS, possibly tearing or bit-flipping the data
+// before it reaches the inner FS. A torn write persists a strict
+// prefix; a bit flip corrupts one payload byte. Either way the call
+// reports success — corruption is only discoverable by reading back.
+func (f *FaultFS) WriteFile(name string, data []byte) error {
+	f.mu.Lock()
+	torn := f.rng.Float64() < f.cfg.TornWriteProb
+	flip := !torn && f.rng.Float64() < f.cfg.BitFlipProb
+	var cut, off int
+	var bit byte
+	if torn && len(data) > 0 {
+		cut = f.rng.Intn(len(data))
+		f.stats.TornWrites++
+	} else if flip && len(data) > 0 {
+		off = f.rng.Intn(len(data))
+		bit = 1 << uint(f.rng.Intn(8))
+		f.stats.BitFlips++
+	} else {
+		f.stats.CleanWrites++
+	}
+	f.mu.Unlock()
+
+	if torn && len(data) > 0 {
+		return f.inner.WriteFile(name, data[:cut])
+	}
+	if flip && len(data) > 0 {
+		mutated := append([]byte(nil), data...)
+		mutated[off] ^= bit
+		return f.inner.WriteFile(name, mutated)
+	}
+	return f.inner.WriteFile(name, data)
+}
+
+// Rename implements FS, possibly dropping the rename entirely: the
+// temp file evaporates, the destination keeps its old content (or
+// stays absent), and the caller still sees success — the most
+// treacherous storage lie, which the A/B rotation must absorb as a
+// missing newest generation.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	drop := f.rng.Float64() < f.cfg.DropRenameProb
+	if drop {
+		f.stats.DropRenames++
+	} else {
+		f.stats.CleanRenames++
+	}
+	f.mu.Unlock()
+
+	if drop {
+		_ = f.inner.Remove(oldname)
+		return nil
+	}
+	return f.inner.Rename(oldname, newname)
+}

@@ -1,0 +1,135 @@
+// Package store is the durable persistence layer for estimation
+// checkpoints: versioned, checksummed snapshots written with the
+// classic tmp + fsync + atomic-rename discipline into an A/B
+// generation rotation, so a crash at any instant — even mid-write —
+// leaves at least one intact generation on disk. The package also
+// ships its own adversaries: a seed-deterministic storage fault
+// injector (FaultFS) and a crash harness (RunWithCrashes) that kills
+// runs at chosen points on the charged-call clock and proves recovery
+// is lossless.
+//
+// Everything is keyed to the virtual call clock; the store never
+// consults wall-clock time.
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the minimal filesystem surface the store writes through,
+// abstracted so tests can interpose in-memory and fault-injecting
+// implementations under the identical write discipline.
+type FS interface {
+	// ReadFile returns the file's contents (fs.ErrNotExist when the
+	// file is absent).
+	ReadFile(name string) ([]byte, error)
+	// WriteFile durably creates or replaces the file: the data must be
+	// flushed to stable storage before a nil return.
+	WriteFile(name string, data []byte) error
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Remove deletes the file (fs.ErrNotExist when absent).
+	Remove(name string) error
+}
+
+// OSFS is the real-disk FS: WriteFile fsyncs the file, Rename fsyncs
+// the parent directory so the name swap itself is durable.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS with an fsync before close.
+func (OSFS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Rename implements FS; after the rename the parent directory is
+// fsynced (best-effort — some filesystems refuse directory syncs) so
+// the new directory entry survives power loss.
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(newname))
+	if err != nil {
+		return nil
+	}
+	_ = dir.Sync()
+	return dir.Close()
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MemFS is an in-memory FS for tests and the crash harness: file
+// contents survive across Store instances (simulated process
+// restarts) for as long as the MemFS itself lives. Goroutine-safe.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteFile implements FS.
+func (m *MemFS) WriteFile(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", oldname, fs.ErrNotExist)
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}

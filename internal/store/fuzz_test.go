@@ -1,0 +1,39 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode fuzzes the on-disk decoder: on arbitrary input
+// it must either decode a snapshot or return one of the two typed
+// errors — never panic, never surface an untyped failure. The corpus
+// seeds cover the interesting structural boundaries (intact file,
+// header-only, truncations, foreign bytes, future schema version).
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := EncodeSnapshot(testSnap(2), 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:headerLen]...))
+	f.Add(append([]byte(nil), valid[:len(valid)-1]...))
+	f.Add([]byte{})
+	f.Add([]byte(storeMagic))
+	f.Add([]byte("not a checkpoint at all, just some bytes"))
+	f.Add(withVersion(valid, 99))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, _, err := DecodeSnapshot(data)
+		switch {
+		case err == nil:
+			if snap == nil {
+				t.Fatal("nil snapshot with nil error")
+			}
+		case errors.Is(err, ErrCorruptCheckpoint), errors.Is(err, ErrCheckpointMismatch):
+			// The two contracted failure modes.
+		default:
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}

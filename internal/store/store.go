@@ -1,0 +1,471 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/fleet"
+)
+
+// Typed failure modes of the durable store.
+var (
+	// ErrNoCheckpoint reports that no checkpoint file exists at all —
+	// the run starts fresh.
+	ErrNoCheckpoint = errors.New("store: no checkpoint on disk")
+	// ErrCorruptCheckpoint reports that checkpoint data exists but no
+	// generation survived validation (magic, length, checksum, or
+	// decode). Load falls back to the older generation before giving
+	// this up.
+	ErrCorruptCheckpoint = errors.New("store: corrupt checkpoint")
+	// ErrCheckpointMismatch reports an intact checkpoint that belongs
+	// to a different plan — schema version, algorithm, query, seed,
+	// walker plan, or fault profile differs from the resuming options.
+	// Mirrors the fleet's mismatched-plan rejection.
+	ErrCheckpointMismatch = errors.New("store: checkpoint does not match the resuming plan")
+)
+
+// PlanKey pins a durable checkpoint to the logical run that wrote it.
+// Resuming under a different plan would silently blend two different
+// estimations, so Check rejects any field drift. Budget is
+// deliberately absent: continuing the same plan with a bigger budget
+// is the whole point of resuming (the fleet path instead pins the
+// planned unit count, which budget changes would alter).
+type PlanKey struct {
+	// Algo is the facade algorithm name (e.g. "MA-SRW").
+	Algo string `json:"algo,omitempty"`
+	// Preset is the API preset name.
+	Preset string `json:"preset,omitempty"`
+	// Query is the rendered query text.
+	Query string `json:"query,omitempty"`
+	// Seed is the walk seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Units is the planned walker-unit count (0 = single-walker path).
+	Units int `json:"units,omitempty"`
+	// IntervalHours is the fixed level interval (0 = algorithm picks).
+	IntervalHours int `json:"interval_hours,omitempty"`
+	// ChurnRate is the churn overlay rate.
+	ChurnRate float64 `json:"churn_rate,omitempty"`
+	// Faults is a rendered signature of the fault profile.
+	Faults string `json:"faults,omitempty"`
+	// Cooperative is the scheduling mode.
+	Cooperative bool `json:"cooperative,omitempty"`
+}
+
+// Check validates that a stored plan matches the resuming one,
+// returning a typed ErrCheckpointMismatch naming the first field that
+// drifted.
+func (k PlanKey) Check(want PlanKey) error {
+	mismatch := func(field, got, exp string) error {
+		return fmt.Errorf("%w: %s is %q, resuming options say %q", ErrCheckpointMismatch, field, got, exp)
+	}
+	if k.Algo != want.Algo {
+		return mismatch("algo", k.Algo, want.Algo)
+	}
+	if k.Preset != want.Preset {
+		return mismatch("preset", k.Preset, want.Preset)
+	}
+	if k.Query != want.Query {
+		return mismatch("query", k.Query, want.Query)
+	}
+	if k.Seed != want.Seed {
+		return mismatch("seed", fmt.Sprint(k.Seed), fmt.Sprint(want.Seed))
+	}
+	if k.Units != want.Units {
+		return mismatch("units", fmt.Sprint(k.Units), fmt.Sprint(want.Units))
+	}
+	if k.IntervalHours != want.IntervalHours {
+		return mismatch("interval_hours", fmt.Sprint(k.IntervalHours), fmt.Sprint(want.IntervalHours))
+	}
+	if k.ChurnRate != want.ChurnRate {
+		return mismatch("churn_rate", fmt.Sprint(k.ChurnRate), fmt.Sprint(want.ChurnRate))
+	}
+	if k.Faults != want.Faults {
+		return mismatch("faults", k.Faults, want.Faults)
+	}
+	if k.Cooperative != want.Cooperative {
+		return mismatch("cooperative", fmt.Sprint(k.Cooperative), fmt.Sprint(want.Cooperative))
+	}
+	return nil
+}
+
+// RunSummary is the durable record of a finished run, enough for a
+// resume that discovers the run already completed to answer without
+// spending a single call. The estimate travels as IEEE-754 bits
+// (NaN-safe, bit-exact).
+type RunSummary struct {
+	EstimateBits uint64         `json:"estimate_bits"`
+	Cost         int            `json:"cost"`
+	Samples      int            `json:"samples"`
+	Stats        api.Stats      `json:"stats"`
+	Heal         core.HealStats `json:"heal"`
+	Degraded     bool           `json:"degraded,omitempty"`
+	// VirtualNs carries the fleet's per-walker virtual duration (the
+	// max over units, not derivable from the summed stats); zero on
+	// the single-walker path, where VirtualOf(preset, Stats) holds.
+	VirtualNs     int64 `json:"virtual_ns,omitempty"`
+	WalkersRun    int   `json:"walkers_run,omitempty"`
+	WalkersShed   int   `json:"walkers_shed,omitempty"`
+	WatchdogTrips int   `json:"watchdog_trips,omitempty"`
+	MakespanNs    int64 `json:"makespan_ns,omitempty"`
+	Parks         int   `json:"parks,omitempty"`
+	DrainedSteps  int   `json:"drained_steps,omitempty"`
+}
+
+// Estimate returns the summary's estimate value.
+func (s RunSummary) Estimate() float64 { return math.Float64frombits(s.EstimateBits) }
+
+// SummaryOf records a single-walker core result.
+func SummaryOf(res core.Result) RunSummary {
+	return RunSummary{
+		EstimateBits: math.Float64bits(res.Estimate),
+		Cost:         res.Cost,
+		Samples:      res.Samples,
+		Stats:        res.Stats,
+		Heal:         res.Heal,
+		Degraded:     res.Degraded,
+		DrainedSteps: res.DrainedSteps,
+	}
+}
+
+// Snapshot is one durable generation: the plan it belongs to, recovery
+// bookkeeping, and exactly one of a single-walker checkpoint or a
+// fleet checkpoint — plus, once the run completes, its final summary.
+type Snapshot struct {
+	Plan PlanKey `json:"plan"`
+	// Restarts counts process incarnations that wrote this lineage.
+	Restarts int `json:"restarts,omitempty"`
+	// RecoveredCost is the cumulative spent budget that restarts
+	// inherited from disk instead of repaying.
+	RecoveredCost int `json:"recovered_cost,omitempty"`
+	// Walk is the single-walker checkpoint state.
+	Walk *core.CheckpointState `json:"walk,omitempty"`
+	// Fleet is the per-unit fleet checkpoint state.
+	Fleet *fleet.CheckpointState `json:"fleet,omitempty"`
+	// Final is present once the logical run finished.
+	Final *RunSummary `json:"final,omitempty"`
+}
+
+// File format: an 60-byte header followed by the JSON payload.
+//
+//	offset  size  field
+//	0       8     magic "MBASTOR1"
+//	8       4     schema version (little-endian uint32)
+//	12      8     generation sequence number (uint64)
+//	20      8     payload length (uint64)
+//	28      32    SHA-256 of bytes [0,28) ++ payload
+//	60      n     JSON-encoded Snapshot
+//
+// The checksum covers the header prefix as well as the payload, so a
+// single flipped bit ANYWHERE in the file — including the sequence
+// number, which drives generation selection — fails validation.
+const (
+	storeMagic    = "MBASTOR1"
+	schemaVersion = 1
+	headerLen     = 8 + 4 + 8 + 8 + sha256.Size
+)
+
+// EncodeSnapshot serializes a snapshot into the on-disk format under
+// the given generation sequence number.
+func EncodeSnapshot(snap *Snapshot, seq uint64) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[0:8], storeMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], schemaVersion)
+	binary.LittleEndian.PutUint64(buf[12:20], seq)
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(len(payload)))
+	copy(buf[headerLen:], payload)
+	sum := checksum(buf)
+	copy(buf[28:headerLen], sum[:])
+	return buf, nil
+}
+
+// checksum hashes the header prefix (magic through payload length)
+// together with the payload of an encoded snapshot.
+func checksum(data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(data[0:28])
+	h.Write(data[headerLen:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// DecodeSnapshot validates and deserializes one on-disk generation.
+// Any structural damage — short file, bad magic, truncated payload,
+// checksum mismatch, undecodable JSON — returns ErrCorruptCheckpoint;
+// an intact file from a different schema version returns
+// ErrCheckpointMismatch. It never panics on arbitrary input (fuzzed).
+func DecodeSnapshot(data []byte) (*Snapshot, uint64, error) {
+	if len(data) < headerLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes, need at least the %d-byte header", ErrCorruptCheckpoint, len(data), headerLen)
+	}
+	if string(data[0:8]) != storeMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorruptCheckpoint)
+	}
+	seq := binary.LittleEndian.Uint64(data[12:20])
+	plen := binary.LittleEndian.Uint64(data[20:28])
+	if plen != uint64(len(data)-headerLen) {
+		return nil, seq, fmt.Errorf("%w: payload length %d, file carries %d (torn write)", ErrCorruptCheckpoint, plen, len(data)-headerLen)
+	}
+	payload := data[headerLen:]
+	sum := checksum(data)
+	if string(sum[:]) != string(data[28:headerLen]) {
+		return nil, seq, fmt.Errorf("%w: checksum mismatch", ErrCorruptCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != schemaVersion {
+		return nil, seq, fmt.Errorf("%w: schema version %d, this build reads %d", ErrCheckpointMismatch, v, schemaVersion)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, seq, fmt.Errorf("%w: undecodable payload: %w", ErrCorruptCheckpoint, err)
+	}
+	return &snap, seq, nil
+}
+
+// Stats counts the store's self-observed reliability events.
+type Stats struct {
+	// Saves is the number of generations durably written.
+	Saves int
+	// CorruptSlots counts slot reads that failed validation.
+	CorruptSlots int
+	// Fallbacks counts Loads that recovered by falling back to an
+	// older intact generation after a newer slot failed validation.
+	Fallbacks int
+}
+
+// Store persists snapshots under an A/B generation rotation: writes
+// alternate between two slot files by sequence parity, each written
+// tmp-first and atomically renamed into place, so the previous
+// generation is never touched while the next one lands. A Store
+// instance models one process lifetime; reopening the same base path
+// resumes the rotation where the last instance left it.
+type Store struct {
+	fs    FS
+	base  string
+	seq   uint64
+	stats Stats
+}
+
+// Open opens (or initializes) a durable store on the real filesystem,
+// creating dir if needed and keeping its generations there.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return OpenFS(OSFS{}, filepath.Join(dir, "checkpoint"))
+}
+
+// OpenFS opens a store over an arbitrary FS; slot files are base+".a"
+// and base+".b". The highest structurally-readable sequence number on
+// disk seeds the rotation.
+func OpenFS(fsys FS, base string) (*Store, error) {
+	s := &Store{fs: fsys, base: base}
+	for _, slot := range []string{s.slotA(), s.slotB()} {
+		data, err := fsys.ReadFile(slot)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		if len(data) >= headerLen && string(data[0:8]) == storeMagic {
+			if seq := binary.LittleEndian.Uint64(data[12:20]); seq > s.seq {
+				s.seq = seq
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) slotA() string { return s.base + ".a" }
+func (s *Store) slotB() string { return s.base + ".b" }
+
+// slotFor maps a sequence number onto the A/B rotation.
+func (s *Store) slotFor(seq uint64) string {
+	if seq%2 == 0 {
+		return s.slotB()
+	}
+	return s.slotA()
+}
+
+// Save durably writes the snapshot as the next generation: encode,
+// write to a temp file (fsynced), atomically rename over the older of
+// the two slots. The newer slot is untouched, so a crash anywhere in
+// here leaves the previous generation intact.
+func (s *Store) Save(snap *Snapshot) error {
+	seq := s.seq + 1
+	buf, err := EncodeSnapshot(snap, seq)
+	if err != nil {
+		return err
+	}
+	slot := s.slotFor(seq)
+	tmp := slot + ".tmp"
+	if err := s.fs.WriteFile(tmp, buf); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, slot); err != nil {
+		return err
+	}
+	s.seq = seq
+	s.stats.Saves++
+	return nil
+}
+
+// Load returns the newest intact generation. Both slots are read and
+// validated; a damaged newer slot is detected by its checksum (or
+// structure) and Load falls back to the older intact one, counting
+// the event. ErrNoCheckpoint when neither slot exists,
+// ErrCorruptCheckpoint when data exists but no generation validates,
+// ErrCheckpointMismatch when the only intact data belongs to another
+// schema version.
+func (s *Store) Load() (*Snapshot, error) {
+	var (
+		best     *Snapshot
+		bestSeq  uint64
+		present  int
+		corrupt  int
+		mismatch error
+	)
+	for _, slot := range []string{s.slotA(), s.slotB()} {
+		data, err := s.fs.ReadFile(slot)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		present++
+		snap, seq, derr := DecodeSnapshot(data)
+		switch {
+		case derr == nil:
+			if best == nil || seq > bestSeq {
+				best, bestSeq = snap, seq
+			}
+		case errors.Is(derr, ErrCheckpointMismatch):
+			mismatch = derr
+		default:
+			corrupt++
+			s.stats.CorruptSlots++
+		}
+	}
+	if present == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	if best == nil {
+		if mismatch != nil && corrupt == 0 {
+			return nil, mismatch
+		}
+		return nil, fmt.Errorf("%w: no generation survived validation (%d slot(s) damaged)", ErrCorruptCheckpoint, corrupt)
+	}
+	if corrupt > 0 || mismatch != nil {
+		s.stats.Fallbacks++
+	}
+	return best, nil
+}
+
+// Stats returns the store's reliability counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// DamageKind enumerates the deterministic storage faults the crash
+// harness injects at crash points — fixed offsets, no randomness, so a
+// sweep's fault schedule is exactly reproducible.
+type DamageKind int
+
+// Damage kinds.
+const (
+	// DamageNone leaves the store intact.
+	DamageNone DamageKind = iota
+	// DamageTorn truncates the newest generation mid-payload (a torn
+	// write: the header's payload length no longer matches).
+	DamageTorn
+	// DamageBitFlip flips one bit in the middle of the newest
+	// generation's payload (silent media corruption: structure intact,
+	// checksum catches it).
+	DamageBitFlip
+	// DamageRemove deletes the newest generation file outright.
+	DamageRemove
+)
+
+func (k DamageKind) String() string {
+	switch k {
+	case DamageNone:
+		return "none"
+	case DamageTorn:
+		return "torn"
+	case DamageBitFlip:
+		return "bitflip"
+	case DamageRemove:
+		return "missing"
+	default:
+		return fmt.Sprintf("DamageKind(%d)", int(k))
+	}
+}
+
+// DamageNewest applies the given fault to the newest on-disk
+// generation (by header sequence number), returning whether anything
+// was actually damaged. The harness calls this at crash points to
+// prove the next Load detects the damage by checksum/structure and
+// falls back to the previous generation.
+func (s *Store) DamageNewest(kind DamageKind) (bool, error) {
+	if kind == DamageNone {
+		return false, nil
+	}
+	var (
+		target    string
+		targetSeq uint64
+		found     bool
+	)
+	for _, slot := range []string{s.slotA(), s.slotB()} {
+		data, err := s.fs.ReadFile(slot)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return false, err
+		}
+		var seq uint64
+		if len(data) >= headerLen && string(data[0:8]) == storeMagic {
+			seq = binary.LittleEndian.Uint64(data[12:20])
+		}
+		if !found || seq > targetSeq {
+			target, targetSeq, found = slot, seq, true
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	if kind == DamageRemove {
+		return true, s.fs.Remove(target)
+	}
+	data, err := s.fs.ReadFile(target)
+	if err != nil {
+		return false, err
+	}
+	switch kind {
+	case DamageTorn:
+		cut := headerLen + (len(data)-headerLen)*3/5
+		if cut >= len(data) {
+			cut = len(data) / 2
+		}
+		data = data[:cut]
+	case DamageBitFlip:
+		off := headerLen + (len(data)-headerLen)/2
+		if off >= len(data) {
+			off = len(data) - 1
+		}
+		data[off] ^= 0x08
+	}
+	return true, s.fs.WriteFile(target, data)
+}

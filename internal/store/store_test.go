@@ -1,0 +1,541 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"strings"
+	"testing"
+
+	"mba/internal/core"
+)
+
+// testSnap builds a small distinguishable snapshot; i round-trips
+// through Restarts and the walk's spent cost.
+func testSnap(i int) *Snapshot {
+	ws := core.CheckpointState{Algo: "MA-SRW", PriorCost: 100 * i}
+	return &Snapshot{
+		Plan:     PlanKey{Algo: "MA-SRW", Preset: "twitter", Query: "AVG(followers) WHERE privacy", Seed: 7},
+		Restarts: i,
+		Walk:     &ws,
+	}
+}
+
+// withVersion restamps an encoded snapshot with a different schema
+// version, recomputing the checksum so the file is structurally intact
+// — exactly what a build from another era would have written.
+func withVersion(data []byte, v uint32) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(out[8:12], v)
+	sum := checksum(out)
+	copy(out[28:headerLen], sum[:])
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := testSnap(3)
+	snap.RecoveredCost = 1234
+	// NaN estimate must survive: JSON cannot carry NaN, the bits can.
+	snap.Final = &RunSummary{EstimateBits: math.Float64bits(math.NaN()), Cost: 42, Samples: 7}
+	data, err := EncodeSnapshot(snap, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, seq, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 {
+		t.Errorf("seq = %d, want 9", seq)
+	}
+	if got.Restarts != 3 || got.RecoveredCost != 1234 {
+		t.Errorf("bookkeeping lost: %+v", got)
+	}
+	if got.Walk == nil || got.Walk.PriorCost != 300 {
+		t.Errorf("walk state lost: %+v", got.Walk)
+	}
+	if got.Final == nil || got.Final.Cost != 42 || !math.IsNaN(got.Final.Estimate()) {
+		t.Errorf("final summary lost: %+v", got.Final)
+	}
+	if got.Plan.Check(snap.Plan) != nil {
+		t.Errorf("plan drifted through encode/decode: %+v", got.Plan)
+	}
+}
+
+func TestSaveLoadRotation(t *testing.T) {
+	mem := NewMemFS()
+	st, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := st.Save(testSnap(i)); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Restarts != i {
+			t.Fatalf("after save %d, Load returned generation %d", i, snap.Restarts)
+		}
+	}
+	// Both slots are populated (A/B rotation), no temp files linger.
+	for _, name := range []string{"ck.a", "ck.b"} {
+		if _, err := mem.ReadFile(name); err != nil {
+			t.Errorf("slot %s missing after three saves: %v", name, err)
+		}
+		if _, err := mem.ReadFile(name + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("temp file %s.tmp lingers after rename", name)
+		}
+	}
+	if st.Stats().Saves != 3 {
+		t.Errorf("Saves = %d, want 3", st.Stats().Saves)
+	}
+
+	// A reopened store (simulated restart) resumes the rotation where
+	// the last instance left it instead of restarting the sequence.
+	st2, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Save(testSnap(4)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Restarts != 4 {
+		t.Fatalf("reopened store loaded generation %d, want 4", snap.Restarts)
+	}
+	// Generation 4 (even seq) landed in .b; .a still holds generation 3
+	// untouched — the write never endangered the previous generation.
+	dataB, _ := mem.ReadFile("ck.b")
+	if _, seq, err := DecodeSnapshot(dataB); err != nil || seq != 4 {
+		t.Errorf("slot .b: seq=%d err=%v, want seq 4", seq, err)
+	}
+	dataA, _ := mem.ReadFile("ck.a")
+	if prev, seq, err := DecodeSnapshot(dataA); err != nil || seq != 3 || prev.Restarts != 3 {
+		t.Errorf("slot .a: seq=%d err=%v, want intact generation 3", seq, err)
+	}
+}
+
+func TestLoadEmptyStore(t *testing.T) {
+	st, err := OpenFS(NewMemFS(), "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Load on empty store = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestDecodeCorruptTable drives DecodeSnapshot and Store.Load through
+// every structural damage class; each must surface as the right typed
+// error, never a panic or a silently wrong snapshot.
+func TestDecodeCorruptTable(t *testing.T) {
+	valid, err := EncodeSnapshot(testSnap(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(off int, bit byte) []byte {
+		out := append([]byte(nil), valid...)
+		out[off] ^= bit
+		return out
+	}
+	garbageJSON := func() []byte {
+		out := append([]byte(nil), valid...)
+		for i := headerLen; i < len(out); i++ {
+			out[i] = '{'
+		}
+		sum := checksum(out)
+		copy(out[28:headerLen], sum[:])
+		return out
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr error
+	}{
+		{"empty", nil, ErrCorruptCheckpoint},
+		{"short header", valid[:headerLen-1], ErrCorruptCheckpoint},
+		{"bad magic", mutate(0, 0xFF), ErrCorruptCheckpoint},
+		{"torn payload", valid[:len(valid)-3], ErrCorruptCheckpoint},
+		{"payload bit flip", mutate(len(valid)-1, 0x01), ErrCorruptCheckpoint},
+		{"sequence bit flip", mutate(13, 0x40), ErrCorruptCheckpoint},
+		{"checksum bit flip", mutate(30, 0x02), ErrCorruptCheckpoint},
+		{"garbage payload, fixed checksum", garbageJSON(), ErrCorruptCheckpoint},
+		{"future schema version", withVersion(valid, 2), ErrCheckpointMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeSnapshot(tc.data); !errors.Is(err, tc.wantErr) {
+				t.Errorf("DecodeSnapshot = %v, want %v", err, tc.wantErr)
+			}
+			// The same damage as the only on-disk generation: Load must
+			// report the same typed error.
+			mem := NewMemFS()
+			if err := mem.WriteFile("ck.a", tc.data); err != nil {
+				t.Fatal(err)
+			}
+			st, err := OpenFS(mem, "ck")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load(); !errors.Is(err, tc.wantErr) {
+				t.Errorf("Load = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEveryBitFlipDetected is the exhaustive version of the table
+// above: flipping any single bit anywhere in an encoded snapshot —
+// header, sequence number, checksum, payload — must fail validation.
+func TestEveryBitFlipDetected(t *testing.T) {
+	valid, err := EncodeSnapshot(testSnap(2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(valid); off++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			valid[off] ^= bit
+			if _, _, err := DecodeSnapshot(valid); err == nil {
+				t.Fatalf("flip of bit %#x at offset %d decoded cleanly", bit, off)
+			} else if !errors.Is(err, ErrCorruptCheckpoint) && !errors.Is(err, ErrCheckpointMismatch) {
+				t.Fatalf("flip at offset %d: untyped error %v", off, err)
+			}
+			valid[off] ^= bit
+		}
+	}
+	if _, _, err := DecodeSnapshot(valid); err != nil {
+		t.Fatalf("restored original no longer decodes: %v", err)
+	}
+}
+
+// TestLoadFallsBackPerDamageKind: with two generations on disk, every
+// deterministic damage applied to the newest one must be detected and
+// recovered by falling back to the older intact generation. A corrupt
+// slot counts toward CorruptSlots/Fallbacks; a missing file is absence,
+// not corruption, and must not.
+func TestLoadFallsBackPerDamageKind(t *testing.T) {
+	for _, kind := range []DamageKind{DamageNone, DamageTorn, DamageBitFlip, DamageRemove} {
+		t.Run(kind.String(), func(t *testing.T) {
+			mem := NewMemFS()
+			st, err := OpenFS(mem, "ck")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(testSnap(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(testSnap(2)); err != nil {
+				t.Fatal(err)
+			}
+			damaged, err := st.DamageNewest(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if damaged != (kind != DamageNone) {
+				t.Fatalf("damaged = %v for kind %v", damaged, kind)
+			}
+			// Fresh store = simulated reboot after the crash.
+			st2, err := OpenFS(mem, "ck")
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := st2.Load()
+			if err != nil {
+				t.Fatalf("Load after %v: %v", kind, err)
+			}
+			want := 2
+			if kind != DamageNone {
+				want = 1 // fell back to the older generation
+			}
+			if snap.Restarts != want {
+				t.Errorf("recovered generation %d, want %d", snap.Restarts, want)
+			}
+			stats := st2.Stats()
+			switch kind {
+			case DamageNone:
+				if stats.CorruptSlots != 0 || stats.Fallbacks != 0 {
+					t.Errorf("clean load counted stats %+v", stats)
+				}
+			case DamageRemove:
+				if stats.CorruptSlots != 0 || stats.Fallbacks != 0 {
+					t.Errorf("a missing file is not corruption: %+v", stats)
+				}
+			default:
+				if stats.CorruptSlots != 1 || stats.Fallbacks != 1 {
+					t.Errorf("checksum detection not counted: %+v", stats)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadBothSlotsDamaged(t *testing.T) {
+	mem := NewMemFS()
+	st, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []string{"ck.a", "ck.b"} {
+		if err := mem.WriteFile(slot, []byte("shredded")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Load(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("Load with both slots shredded = %v, want ErrCorruptCheckpoint", err)
+	}
+	if st2.Stats().CorruptSlots != 2 {
+		t.Errorf("CorruptSlots = %d, want 2", st2.Stats().CorruptSlots)
+	}
+}
+
+// TestLoadFallsBackAcrossSchemaVersions: a newest generation written
+// by a future build must not poison the lineage — Load falls back to
+// the newest generation this build can read.
+func TestLoadFallsBackAcrossSchemaVersions(t *testing.T) {
+	mem := NewMemFS()
+	st, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	dataB, err := mem.ReadFile("ck.b") // generation 2, even sequence
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.WriteFile("ck.b", withVersion(dataB, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatalf("Load across schema versions: %v", err)
+	}
+	if snap.Restarts != 1 {
+		t.Errorf("recovered generation %d, want fallback to 1", snap.Restarts)
+	}
+	if st2.Stats().Fallbacks != 1 || st2.Stats().CorruptSlots != 0 {
+		t.Errorf("version fallback miscounted: %+v", st2.Stats())
+	}
+}
+
+func TestOSFSStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Restarts != 2 {
+		t.Errorf("reopened real-disk store loaded generation %d, want 2", snap.Restarts)
+	}
+	if err := st2.Save(testSnap(3)); err != nil {
+		t.Fatal(err)
+	}
+	if snap, err = st2.Load(); err != nil || snap.Restarts != 3 {
+		t.Errorf("rotation on real disk: generation %d, err %v", snap.Restarts, err)
+	}
+}
+
+// TestFaultFSDeterministic: the injector is seeded — the same seed
+// over the same operation sequence delivers the identical fault
+// schedule and identical resulting file contents.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func(seed int64) (FaultStats, string) {
+		mem := NewMemFS()
+		ffs := NewFaultFS(mem, FaultConfig{Seed: seed, TornWriteProb: 0.3, BitFlipProb: 0.3, DropRenameProb: 0.3})
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("f%d", i)
+			data := make([]byte, 50+i)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			if err := ffs.WriteFile(name+".tmp", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := ffs.Rename(name+".tmp", name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sb strings.Builder
+		for i := 0; i < 40; i++ {
+			data, err := mem.ReadFile(fmt.Sprintf("f%d", i))
+			if err != nil {
+				fmt.Fprintf(&sb, "%d:absent;", i)
+				continue
+			}
+			fmt.Fprintf(&sb, "%d:%x;", i, data)
+		}
+		return ffs.Stats(), sb.String()
+	}
+	statsA, filesA := run(11)
+	statsB, filesB := run(11)
+	if statsA != statsB {
+		t.Errorf("same seed, different fault schedule: %+v vs %+v", statsA, statsB)
+	}
+	if filesA != filesB {
+		t.Error("same seed, different resulting file contents")
+	}
+	if statsA.TornWrites+statsA.BitFlips+statsA.DropRenames == 0 {
+		t.Errorf("fixture delivered no faults at all: %+v", statsA)
+	}
+}
+
+// TestFaultFSDropRenameAbsorbed: a dropped rename is the worst storage
+// lie — Save reports success but nothing landed. The A/B rotation
+// absorbs it as a missing newest generation: the previous one loads.
+func TestFaultFSDropRenameAbsorbed(t *testing.T) {
+	mem := NewMemFS()
+	st, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(mem, FaultConfig{Seed: 3, DropRenameProb: 1})
+	st2, err := OpenFS(ffs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Save(testSnap(2)); err != nil {
+		t.Fatalf("a dropped rename must look like success to the caller, got %v", err)
+	}
+	if ffs.Stats().DropRenames != 1 {
+		t.Fatalf("fixture did not drop the rename: %+v", ffs.Stats())
+	}
+	st3, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st3.Load()
+	if err != nil {
+		t.Fatalf("Load after dropped rename: %v", err)
+	}
+	if snap.Restarts != 1 {
+		t.Errorf("recovered generation %d, want the pre-drop generation 1", snap.Restarts)
+	}
+	if _, err := mem.ReadFile("ck.b.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("dropped rename left its temp file behind")
+	}
+}
+
+// TestFaultFSTornWriteDetected: a torn write reaches the slot via the
+// rename, and the next boot's checksum/structure validation refuses it.
+func TestFaultFSTornWriteDetected(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultConfig{Seed: 9, TornWriteProb: 1})
+	st, err := OpenFS(ffs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.Stats().TornWrites != 1 {
+		t.Fatalf("fixture did not tear the write: %+v", ffs.Stats())
+	}
+	st2, err := OpenFS(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Load(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("Load of torn-only store = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestPlanKeyCheck(t *testing.T) {
+	base := PlanKey{
+		Algo: "MA-SRW", Preset: "twitter", Query: "q", Seed: 1,
+		Units: 8, IntervalHours: 24, ChurnRate: 0.5, Faults: "f", Cooperative: true,
+	}
+	if err := base.Check(base); err != nil {
+		t.Fatalf("identical plans rejected: %v", err)
+	}
+	cases := []struct {
+		field  string
+		mutate func(*PlanKey)
+	}{
+		{"algo", func(k *PlanKey) { k.Algo = "MA-TARW" }},
+		{"preset", func(k *PlanKey) { k.Preset = "tumblr" }},
+		{"query", func(k *PlanKey) { k.Query = "other" }},
+		{"seed", func(k *PlanKey) { k.Seed = 2 }},
+		{"units", func(k *PlanKey) { k.Units = 4 }},
+		{"interval_hours", func(k *PlanKey) { k.IntervalHours = 48 }},
+		{"churn_rate", func(k *PlanKey) { k.ChurnRate = 0 }},
+		{"faults", func(k *PlanKey) { k.Faults = "" }},
+		{"cooperative", func(k *PlanKey) { k.Cooperative = false }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.field, func(t *testing.T) {
+			stored := base
+			tc.mutate(&stored)
+			err := stored.Check(base)
+			if !errors.Is(err, ErrCheckpointMismatch) {
+				t.Fatalf("drifted %s accepted: %v", tc.field, err)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("mismatch error %q does not name the drifted field %q", err, tc.field)
+			}
+		})
+	}
+}
+
+func TestCrashPlanValidate(t *testing.T) {
+	good := CrashPlan{Budget: 100, Points: []int{10, 50}}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []CrashPlan{
+		{Budget: 0, Points: []int{1}},
+		{Budget: 100},
+		{Budget: 100, Points: []int{10}, Damage: []DamageKind{DamageTorn, DamageTorn}},
+		{Budget: 100, Points: []int{0}},
+		{Budget: 100, Points: []int{100}},
+		{Budget: 100, Points: []int{50, 50}},
+		{Budget: 100, Points: []int{50, 10}},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Errorf("invalid plan %d accepted: %+v", i, p)
+		}
+	}
+}

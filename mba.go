@@ -41,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"mba/internal/api"
@@ -49,6 +50,7 @@ import (
 	"mba/internal/model"
 	"mba/internal/platform"
 	"mba/internal/query"
+	"mba/internal/store"
 )
 
 // Algorithm selects the estimation algorithm.
@@ -227,6 +229,18 @@ type Options struct {
 	// pending API call; a cancelled run returns a Degraded partial
 	// estimate.
 	Ctx context.Context
+	// Checkpoint, when non-empty, names a directory for durable
+	// crash-safe checkpoints: the run autosaves its progress there
+	// (versioned, checksummed, atomically rotated A/B generations), and
+	// a later call with the same options resumes from the newest intact
+	// generation instead of re-spending the budget — a completed run
+	// returns its stored result at zero API cost. Resuming under
+	// different options fails with ErrCheckpointMismatch.
+	Checkpoint string
+	// AutosaveCalls is the durable autosave cadence in charged API
+	// calls (default 1000 when Checkpoint is set). The fleet path
+	// ignores it: fleets persist every unit after every scheduler turn.
+	AutosaveCalls int
 }
 
 // Estimate is an aggregate estimation result.
@@ -286,6 +300,15 @@ type Estimate struct {
 	// without Cooperative.
 	Parks        int
 	DrainedSteps int
+	// Restarts counts how many prior interrupted runs this result
+	// inherited through the durable checkpoint lineage, and
+	// RecoveredCost the API calls those runs had already spent —
+	// budget this run did not have to repay. CheckpointSaves is the
+	// number of durable generations this run wrote. All zero unless
+	// Options.Checkpoint is set.
+	Restarts        int
+	RecoveredCost   int
+	CheckpointSaves int
 }
 
 // TrajectoryPoint is one convergence sample.
@@ -298,22 +321,38 @@ type TrajectoryPoint struct {
 // estimate could be formed.
 var ErrNoEstimate = errors.New("mba: budget exhausted before an estimate was available")
 
+// Durable-checkpoint failure modes, re-exported from the store layer
+// so callers can branch with errors.Is without importing internals.
+var (
+	// ErrCheckpointMismatch reports an intact durable checkpoint that
+	// belongs to a different plan (algorithm, query, seed, walkers,
+	// fault profile, or schema version) than the resuming options.
+	ErrCheckpointMismatch = store.ErrCheckpointMismatch
+	// ErrCorruptCheckpoint reports that checkpoint data exists but no
+	// generation survived checksum validation.
+	ErrCorruptCheckpoint = store.ErrCorruptCheckpoint
+)
+
 // walkFor builds the per-segment walk runner for the selected
 // algorithm. The seed is a parameter (the fleet derives one per
-// walker); ctx threads caller cancellation into the walk.
-func walkFor(o Options, q Query) fleet.WalkFn {
+// walker); ctx threads caller cancellation into the walk; pol, when
+// armed, autosaves checkpoints to the durable store as the walk runs
+// (the fleet path passes the zero policy and persists per-unit
+// instead).
+func walkFor(o Options, q Query, pol core.AutosavePolicy) fleet.WalkFn {
 	return func(ctx context.Context, session *core.Session, seed int64, ck *core.Checkpoint) (core.Result, error) {
 		switch o.Algorithm {
 		case MASRW:
-			return core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+			return core.RunSRW(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx, Autosave: pol})
 		case MR:
-			return core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+			return core.RunMR(session, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx, Autosave: pol})
 		default:
 			tarw := core.TARWOptions{
 				Seed:           seed,
 				SelectInterval: o.IntervalHours == 0,
 				Resume:         ck,
 				Ctx:            ctx,
+				Autosave:       pol,
 			}
 			if q.Agg != query.Avg {
 				// COUNT/SUM need the full cross-level lattice for support and
@@ -326,6 +365,82 @@ func walkFor(o Options, q Query) fleet.WalkFn {
 			return core.RunTARW(session, tarw)
 		}
 	}
+}
+
+// planKey pins a durable checkpoint to the logical run these options
+// describe; any drift fails the resume with ErrCheckpointMismatch.
+func (o Options) planKey(q Query, units int) store.PlanKey {
+	faults := ""
+	if o.PrivateUserFraction != 0 || o.TransientErrorRate != 0 || o.RateLimitErrorRate != 0 {
+		faults = fmt.Sprintf("priv=%g transient=%g ratelimit=%g",
+			o.PrivateUserFraction, o.TransientErrorRate, o.RateLimitErrorRate)
+	}
+	return store.PlanKey{
+		Algo:          o.Algorithm.String(),
+		Preset:        o.Preset.preset().Name,
+		Query:         q.String(),
+		Seed:          o.Seed,
+		Units:         units,
+		IntervalHours: o.IntervalHours,
+		ChurnRate:     o.ChurnRate,
+		Faults:        faults,
+		Cooperative:   o.Cooperative,
+	}
+}
+
+// loadCheckpoint opens the durable store and returns the newest
+// stored snapshot after validating it against the plan. A missing
+// checkpoint returns (st, nil, nil): start fresh and save into st.
+func loadCheckpoint(dir string, plan store.PlanKey) (*store.Store, *store.Snapshot, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := st.Load()
+	if err != nil {
+		if errors.Is(err, store.ErrNoCheckpoint) {
+			return st, nil, nil
+		}
+		return nil, nil, err
+	}
+	if err := snap.Plan.Check(plan); err != nil {
+		return nil, nil, err
+	}
+	return st, snap, nil
+}
+
+// estimateFromSummary rebuilds a completed run's Estimate from its
+// durable summary — the stored-result fast path, costing zero API
+// calls. The convergence trajectory is not persisted.
+func estimateFromSummary(sum store.RunSummary, preset api.Preset, restarts int) (Estimate, error) {
+	virtual := time.Duration(sum.VirtualNs)
+	if virtual == 0 {
+		virtual = api.VirtualOf(preset, sum.Stats)
+	}
+	est := Estimate{
+		Value:           sum.Estimate(),
+		Cost:            sum.Cost,
+		Samples:         sum.Samples,
+		VirtualDuration: virtual,
+		Degraded:        sum.Degraded,
+		Retries:         sum.Stats.Retries,
+		RateLimitHits:   sum.Stats.RateLimitHits,
+		Healed:          sum.Heal.Events(),
+		VanishedSeen:    sum.Heal.VanishedUsers,
+		ThrottleWait:    sum.Stats.ThrottleWait,
+		WalkersRun:      sum.WalkersRun,
+		WalkersShed:     sum.WalkersShed,
+		WatchdogTrips:   sum.WatchdogTrips,
+		Makespan:        time.Duration(sum.MakespanNs),
+		Parks:           sum.Parks,
+		DrainedSteps:    sum.DrainedSteps,
+		Restarts:        restarts,
+		RecoveredCost:   sum.Cost,
+	}
+	if math.IsNaN(est.Value) {
+		return est, ErrNoEstimate
+	}
+	return est, nil
 }
 
 // Estimate answers an aggregate query through the simulated
@@ -342,6 +457,54 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 		return p.estimateFleet(q, o, interval)
 	}
 	preset := o.Preset.preset()
+
+	// Durable-checkpoint plumbing: load the newest intact generation,
+	// branch on what it holds (finished run → stored result; partial →
+	// resume), and arm the autosave policy for the run below.
+	var (
+		st        *store.Store
+		plan      store.PlanKey
+		resumeCk  *core.Checkpoint
+		restarts  int
+		recovered int
+		pol       core.AutosavePolicy
+	)
+	if o.Checkpoint != "" {
+		plan = o.planKey(q, 0)
+		var snap *store.Snapshot
+		var err error
+		st, snap, err = loadCheckpoint(o.Checkpoint, plan)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if snap != nil {
+			if snap.Final != nil {
+				return estimateFromSummary(*snap.Final, preset, snap.Restarts)
+			}
+			if snap.Walk != nil {
+				resumeCk, err = core.CheckpointFromState(*snap.Walk)
+				if err != nil {
+					return Estimate{}, err
+				}
+				restarts = snap.Restarts + 1
+				recovered = resumeCk.SpentCost()
+			}
+		}
+		if recovered >= o.Budget {
+			// Everything budgeted is already spent durably; a zero-budget
+			// client would mean "unlimited", so refuse to run instead.
+			return Estimate{Value: math.NaN(), Cost: recovered, Restarts: restarts, RecoveredCost: recovered},
+				ErrNoEstimate
+		}
+		saveCalls := o.AutosaveCalls
+		if saveCalls <= 0 {
+			saveCalls = 1000
+		}
+		pol = core.AutosavePolicy{EveryCalls: saveCalls, Save: func(ck *core.Checkpoint) error {
+			ws := ck.State()
+			return st.Save(&store.Snapshot{Plan: plan, Restarts: restarts, RecoveredCost: recovered, Walk: &ws})
+		}}
+	}
 	srv := api.NewServer(p.sim, preset, api.Faults{
 		PrivateProb:   o.PrivateUserFraction,
 		TransientProb: o.TransientErrorRate,
@@ -355,16 +518,26 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	runOnce := walkFor(o, q)
+	runOnce := walkFor(o, q, pol)
 
-	client := api.NewClient(srv, o.Budget)
+	client := api.NewClient(srv, o.Budget-recovered)
 	client.Deadline = o.Deadline
+	if o.Deadline > 0 && resumeCk != nil {
+		// The resumed run already accrued virtual time on prior clients;
+		// re-arm the fresh one with the remaining headroom only.
+		left := o.Deadline - api.VirtualOf(preset, resumeCk.SpentStats())
+		if left <= 0 {
+			return Estimate{Value: math.NaN(), Cost: recovered, Restarts: restarts, RecoveredCost: recovered},
+				ErrNoEstimate
+		}
+		client.Deadline = left
+	}
 	client.WithContext(ctx)
 	session, err := core.NewSession(client, q, interval)
 	if err != nil {
 		return Estimate{}, err
 	}
-	res, err := runOnce(ctx, session, o.Seed, nil)
+	res, err := runOnce(ctx, session, o.Seed, resumeCk)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -420,6 +593,27 @@ func (p *Platform) Estimate(q Query, o Options) (Estimate, error) {
 	for _, pt := range res.Trajectory {
 		est.Trajectory = append(est.Trajectory, TrajectoryPoint{Cost: pt.Cost, Estimate: pt.Estimate})
 	}
+	if st != nil {
+		// Seal the lineage: a completed run (clean, or with nothing left
+		// to spend) stores its final summary so the next call answers
+		// from disk; a degraded run with budget remaining stores only
+		// the checkpoint so the next call resumes it.
+		snap := &store.Snapshot{Plan: plan, Restarts: restarts, RecoveredCost: recovered}
+		if res.Checkpoint != nil {
+			ws := res.Checkpoint.State()
+			snap.Walk = &ws
+		}
+		if !res.Degraded || res.Cost >= o.Budget {
+			sum := store.SummaryOf(res)
+			snap.Final = &sum
+		}
+		if err := st.Save(snap); err != nil {
+			return est, fmt.Errorf("mba: final checkpoint save failed: %w", err)
+		}
+		est.Restarts = restarts
+		est.RecoveredCost = recovered
+		est.CheckpointSaves = st.Stats().Saves
+	}
 	if est.Value != est.Value { // NaN
 		return est, ErrNoEstimate
 	}
@@ -444,7 +638,7 @@ func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estim
 	if stall <= 0 {
 		stall = time.Hour
 	}
-	res, err := fleet.Run(ctx, fleet.Config{
+	cfg := fleet.Config{
 		Platform: p.sim,
 		Preset:   preset,
 		Faults: api.Faults{
@@ -455,14 +649,57 @@ func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estim
 		Churn:       platform.ChurnConfig{Rate: o.ChurnRate},
 		Query:       q,
 		Interval:    interval,
-		Walk:        walkFor(o, q),
+		Walk:        walkFor(o, q, core.AutosavePolicy{}),
 		Budget:      o.Budget,
 		Seed:        o.Seed,
 		Parallelism: o.Walkers,
 		Cooperative: o.Cooperative,
 		Deadline:    o.Deadline,
 		StallWait:   stall,
-	})
+	}
+
+	// Durable-checkpoint plumbing: the fleet persists every unit's
+	// cumulative state after every scheduler turn through a FleetSaver,
+	// and resumes interrupted flights unit-by-unit.
+	var (
+		st        *store.Store
+		saver     *store.FleetSaver
+		plan      store.PlanKey
+		restarts  int
+		recovered int
+	)
+	if o.Checkpoint != "" {
+		plan = o.planKey(q, cfg.PlannedUnits())
+		var snap *store.Snapshot
+		var err error
+		st, snap, err = loadCheckpoint(o.Checkpoint, plan)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if snap != nil {
+			if snap.Final != nil {
+				return estimateFromSummary(*snap.Final, preset, snap.Restarts)
+			}
+			if snap.Fleet != nil {
+				cfg.Resume, err = fleet.CheckpointFromState(*snap.Fleet)
+				if err != nil {
+					return Estimate{}, err
+				}
+				restarts = snap.Restarts + 1
+				for _, u := range snap.Fleet.Units {
+					recovered += u.Cost
+				}
+			}
+		}
+		if recovered >= o.Budget {
+			return Estimate{Value: math.NaN(), Cost: recovered, Restarts: restarts, RecoveredCost: recovered},
+				ErrNoEstimate
+		}
+		saver = store.NewFleetSaver(st, plan, cfg.PlannedUnits())
+		cfg.Autosave = saver.Save
+	}
+
+	res, err := fleet.Run(ctx, cfg)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -483,6 +720,40 @@ func (p *Platform) estimateFleet(q Query, o Options, interval model.Tick) (Estim
 		Makespan:        res.Makespan,
 		Parks:           res.Parks,
 		DrainedSteps:    res.DrainedSteps,
+	}
+	if st != nil {
+		if serr := saver.Err(); serr != nil {
+			return est, fmt.Errorf("mba: fleet checkpoint save failed: %w", serr)
+		}
+		snap := &store.Snapshot{Plan: plan, Restarts: restarts, RecoveredCost: recovered}
+		if res.Checkpoint != nil {
+			fs := res.Checkpoint.State()
+			snap.Fleet = &fs
+		}
+		if !res.Degraded || res.Cost >= o.Budget {
+			sum := store.RunSummary{
+				EstimateBits:  math.Float64bits(res.Estimate),
+				Cost:          res.Cost,
+				Samples:       res.Samples,
+				Stats:         res.Stats,
+				Heal:          res.Heal,
+				Degraded:      res.Degraded,
+				VirtualNs:     int64(res.VirtualDuration),
+				WalkersRun:    res.UnitsRun,
+				WalkersShed:   res.Shed,
+				WatchdogTrips: res.WatchdogTrips,
+				MakespanNs:    int64(res.Makespan),
+				Parks:         res.Parks,
+				DrainedSteps:  res.DrainedSteps,
+			}
+			snap.Final = &sum
+		}
+		if err := st.Save(snap); err != nil {
+			return est, fmt.Errorf("mba: final checkpoint save failed: %w", err)
+		}
+		est.Restarts = restarts
+		est.RecoveredCost = recovered
+		est.CheckpointSaves = st.Stats().Saves
 	}
 	if est.Value != est.Value { // NaN
 		return est, ErrNoEstimate

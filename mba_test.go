@@ -248,3 +248,152 @@ func TestEstimateDeadlineDegrades(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateDurableCheckpointLifecycle: a completed run stores its
+// final summary; a rerun with the same options answers from disk at
+// zero API cost, and any option drift is rejected with the typed
+// mismatch error.
+func TestEstimateDurableCheckpointLifecycle(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	dir := t.TempDir()
+	opts := Options{Algorithm: MASRW, Budget: 6000, Seed: 11, Checkpoint: dir, AutosaveCalls: 500}
+
+	est1, err := p.Estimate(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1.CheckpointSaves == 0 {
+		t.Error("no durable generations written")
+	}
+	if est1.Restarts != 0 || est1.RecoveredCost != 0 {
+		t.Errorf("fresh run claims recovery: restarts=%d recovered=%d", est1.Restarts, est1.RecoveredCost)
+	}
+
+	est2, err := p.Estimate(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(est2.Value) != math.Float64bits(est1.Value) {
+		t.Errorf("stored result %v != original %v", est2.Value, est1.Value)
+	}
+	if est2.Cost != est1.Cost || est2.Samples != est1.Samples {
+		t.Errorf("stored cost/samples %d/%d != original %d/%d", est2.Cost, est2.Samples, est1.Cost, est1.Samples)
+	}
+	if est2.RecoveredCost != est1.Cost {
+		t.Errorf("rerun recovered %d calls from disk, want the full %d (zero repaid)", est2.RecoveredCost, est1.Cost)
+	}
+	if est2.CheckpointSaves != 0 {
+		t.Errorf("stored-result fast path wrote %d generations", est2.CheckpointSaves)
+	}
+
+	drift := opts
+	drift.Seed = 12
+	if _, err := p.Estimate(q, drift); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("resume under a different seed = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestEstimateDurableCheckpointResumesInterrupted: a deadline-cut run
+// leaves a resumable walk checkpoint on disk; the next call picks it
+// up, inherits the spent calls without repaying them, and finishes.
+func TestEstimateDurableCheckpointResumesInterrupted(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+	dir := t.TempDir()
+	interrupted := Options{
+		Algorithm: MASRW, Budget: 16000, Seed: 3,
+		Deadline: 2 * time.Hour, Checkpoint: dir, AutosaveCalls: 400,
+	}
+	est1, err := p.Estimate(q, interrupted)
+	if err != nil && !errors.Is(err, ErrNoEstimate) {
+		t.Fatal(err)
+	}
+	if !est1.Degraded || est1.Cost == 0 || est1.Cost >= 16000 {
+		t.Fatalf("deadline fixture did not interrupt mid-run: degraded=%v cost=%d", est1.Degraded, est1.Cost)
+	}
+
+	resumed := interrupted
+	resumed.Deadline = 0
+	est2, err := p.Estimate(q, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1 (one interrupted run in the lineage)", est2.Restarts)
+	}
+	if est2.RecoveredCost != est1.Cost {
+		t.Errorf("recovered %d calls from disk, interrupted run had spent %d", est2.RecoveredCost, est1.Cost)
+	}
+	if est2.Degraded {
+		t.Error("resumed run without a deadline still degraded")
+	}
+	if est2.Cost <= est1.Cost {
+		t.Errorf("resume made no progress: %d after %d", est2.Cost, est1.Cost)
+	}
+	if math.IsNaN(est2.Value) {
+		t.Error("resumed run produced no estimate")
+	}
+}
+
+// TestEstimateDurableCheckpointFleet: the fleet path persists every
+// unit after every scheduler turn; a completed flight answers reruns
+// from disk, and an interrupted one resumes unit-by-unit.
+func TestEstimateDurableCheckpointFleet(t *testing.T) {
+	p := facadePlatform(t)
+	q := Avg("privacy", Followers)
+
+	dir := t.TempDir()
+	opts := Options{Algorithm: MASRW, Budget: 16000, Seed: 3, Walkers: 4, Checkpoint: dir}
+	est1, err := p.Estimate(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1.CheckpointSaves == 0 {
+		t.Error("fleet run wrote no durable generations")
+	}
+	est2, err := p.Estimate(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(est2.Value) != math.Float64bits(est1.Value) {
+		t.Errorf("stored fleet result %v != original %v", est2.Value, est1.Value)
+	}
+	if est2.RecoveredCost != est1.Cost || est2.CheckpointSaves != 0 {
+		t.Errorf("fleet fast path recovered=%d saves=%d, want %d/0", est2.RecoveredCost, est2.CheckpointSaves, est1.Cost)
+	}
+	if est2.WalkersRun != est1.WalkersRun {
+		t.Errorf("stored flight reports %d walkers, original ran %d", est2.WalkersRun, est1.WalkersRun)
+	}
+
+	// Interrupted flight: deadline cuts it, the rerun resumes it.
+	dir2 := t.TempDir()
+	cut := opts
+	cut.Checkpoint = dir2
+	cut.Deadline = 2 * time.Hour
+	e1, err := p.Estimate(q, cut)
+	if err != nil && !errors.Is(err, ErrNoEstimate) {
+		t.Fatal(err)
+	}
+	if !e1.Degraded {
+		t.Fatal("fleet deadline fixture did not interrupt the flight")
+	}
+	resume := opts
+	resume.Checkpoint = dir2
+	e2, err := p.Estimate(q, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Restarts != 1 {
+		t.Errorf("fleet Restarts = %d, want 1", e2.Restarts)
+	}
+	if e2.RecoveredCost == 0 {
+		t.Error("fleet resume inherited no spent calls from disk")
+	}
+	if e2.Degraded {
+		t.Error("resumed flight still degraded")
+	}
+	if math.IsNaN(e2.Value) {
+		t.Error("resumed flight produced no estimate")
+	}
+}
