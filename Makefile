@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn crash fuzz parallel ratelimit
+.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn crash fuzz parallel ratelimit serve
 
 ci: build vet lint race
 
@@ -53,6 +53,7 @@ race:
 fuzz:
 	go test ./internal/query -run='^$$' -fuzz=FuzzParseQuery -fuzztime=10s
 	go test ./internal/store -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
+	go test ./internal/serve -run='^$$' -fuzz=FuzzServeRequestDecode -fuzztime=10s
 
 # Full evaluation regeneration (bench scale; slow).
 bench:
@@ -88,3 +89,12 @@ parallel:
 # in the ratelimit-10% scenario.
 ratelimit:
 	go run ./cmd/mba-bench -scale test -trials 1 -budget 8000 -only ratelimit
+
+# Multi-tenant estimation service sweep: calm/busy/overload/fault load
+# tiers through mba-serve's admission, caching, and shedding machinery.
+# The auditor enforces the serving contract per tier (no silent drops,
+# free well-formed sheds, conserved ledgers, per-tenant quotas,
+# bit-identical answers vs. offline oracle runs); writes the
+# deterministic BENCH_serve.json next to the table/CSV.
+serve:
+	go run ./cmd/mba-bench -scale test -trials 1 -budget 40000 -only serve

@@ -58,12 +58,12 @@ func main() {
 		"figure13": experiments.Figure13, "figure14": experiments.Figure14,
 		"chaos": experiments.Chaos, "churn": experiments.Churn,
 		"parallel": runParallel(*out), "ratelimit": experiments.RateLimit,
-		"crash": runCrash(*out),
+		"crash": runCrash(*out), "serve": runServe(*out),
 	}
 	order := []string{
 		"table2", "table3", "figure2", "figure3", "figure4", "figure5", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"chaos", "churn", "parallel", "ratelimit", "crash",
+		"chaos", "churn", "parallel", "ratelimit", "crash", "serve",
 	}
 	selected := order
 	if *only != "" {
@@ -138,6 +138,29 @@ func runCrash(dir string) func(experiments.Options) (experiments.Table, error) {
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(filepath.Join(dir, "BENCH_crash.json"), data, 0o644); err != nil {
+			return tab, err
+		}
+		return tab, nil
+	}
+}
+
+// runServe adapts the multi-tenant service sweep to the runner
+// signature, writing the per-tier load/shed/audit records as
+// BENCH_serve.json next to the table artifacts. The records are
+// seed-deterministic: two runs at the same scale, seed, and budget
+// produce byte-identical files.
+func runServe(dir string) func(experiments.Options) (experiments.Table, error) {
+	return func(opts experiments.Options) (experiments.Table, error) {
+		tab, records, err := experiments.ServeSweep(opts)
+		if err != nil {
+			return tab, err
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return tab, err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), data, 0o644); err != nil {
 			return tab, err
 		}
 		return tab, nil

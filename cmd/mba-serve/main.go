@@ -1,0 +1,111 @@
+// Command mba-serve runs the multi-tenant aggregate-estimation service
+// over a simulated microblog platform: an HTTP/JSON API with
+// per-tenant quota admission, weighted-fair queueing, result and
+// pilot-walk caching, and shed-don't-collapse overload degradation.
+//
+// Usage:
+//
+//	mba-serve [-addr :8480] [-scale test|bench|large] [-workers 4]
+//	          [-budget 2000] [-tenants name:weight:quota,...]
+//
+// Endpoints:
+//
+//	POST /v1/query   {"tenant":"gold","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"privacy\""}
+//	GET  /v1/stats   service metrics and per-tenant ledger books
+//	GET  /healthz    liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"mba/internal/serve"
+	"mba/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8480", "listen address")
+	scale := flag.String("scale", "test", "platform scale: test, bench, or large")
+	workers := flag.Int("workers", 4, "concurrent estimation workers")
+	budget := flag.Int("budget", 2000, "default per-request API-call budget")
+	tenantSpec := flag.String("tenants",
+		"gold:2:60000,silver:1:30000,bronze:1:15000",
+		"comma-separated tenant list, each name:weight:quota")
+	flag.Parse()
+
+	var sc workload.Scale
+	switch *scale {
+	case "test":
+		sc = workload.Test
+	case "bench":
+		sc = workload.Bench
+	case "large":
+		sc = workload.Large
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	tenants, err := parseTenants(*tenantSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p, err := workload.Get(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	svc, err := serve.New(serve.Config{
+		Platform:      p,
+		Tenants:       tenants,
+		Workers:       *workers,
+		DefaultBudget: *budget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "mba-serve: listening on %s (scale=%s, %d workers, %d tenants)\n",
+		*addr, *scale, *workers, len(tenants))
+	if err := svc.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseTenants decodes the -tenants flag: name:weight:quota triples.
+func parseTenants(spec string) ([]serve.TenantConfig, error) {
+	var out []serve.TenantConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("tenant %q: want name:weight:quota", part)
+		}
+		weight, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: bad weight: %w", part, err)
+		}
+		quota, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: bad quota: %w", part, err)
+		}
+		out = append(out, serve.TenantConfig{Name: fields[0], Weight: weight, Quota: quota})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package mba
+
+import (
+	"encoding/json"
+	"time"
+
+	"mba/internal/serve"
+)
+
+// Estimate.Value is NaN when the budget was too small to form an
+// estimate, and trajectory points can carry non-finite intermediate
+// estimates; encoding/json rejects those outright. The custom codecs
+// below swap the float fields for serve.Float, which encodes NaN and
+// ±Inf as quoted sentinels, so Estimate documents always round-trip.
+
+// Float is the NaN/Inf-safe JSON float used across the public result
+// types, re-exported from the serving layer.
+type Float = serve.Float
+
+// estimateWire mirrors Estimate field-for-field with JSON-safe floats.
+// Keeping it explicit (rather than alias-embedding tricks) makes the
+// wire schema auditable in one place.
+type estimateWire struct {
+	Value           Float
+	Cost            int
+	Samples         int
+	VirtualDuration int64
+	Trajectory      []trajectoryWire
+	Degraded        bool
+	Retries         int
+	RateLimitHits   int
+	Healed          int
+	VanishedSeen    int
+	WalkersRun      int
+	WalkersShed     int
+	WatchdogTrips   int
+	ThrottleWait    int64
+	Makespan        int64
+	Parks           int
+	DrainedSteps    int
+	Restarts        int
+	RecoveredCost   int
+	CheckpointSaves int
+}
+
+type trajectoryWire struct {
+	Cost     int
+	Estimate Float
+}
+
+// MarshalJSON encodes the estimate with NaN/Inf-safe float fields.
+func (e Estimate) MarshalJSON() ([]byte, error) {
+	w := estimateWire{
+		Value:           Float(e.Value),
+		Cost:            e.Cost,
+		Samples:         e.Samples,
+		VirtualDuration: int64(e.VirtualDuration),
+		Degraded:        e.Degraded,
+		Retries:         e.Retries,
+		RateLimitHits:   e.RateLimitHits,
+		Healed:          e.Healed,
+		VanishedSeen:    e.VanishedSeen,
+		WalkersRun:      e.WalkersRun,
+		WalkersShed:     e.WalkersShed,
+		WatchdogTrips:   e.WatchdogTrips,
+		ThrottleWait:    int64(e.ThrottleWait),
+		Makespan:        int64(e.Makespan),
+		Parks:           e.Parks,
+		DrainedSteps:    e.DrainedSteps,
+		Restarts:        e.Restarts,
+		RecoveredCost:   e.RecoveredCost,
+		CheckpointSaves: e.CheckpointSaves,
+	}
+	if e.Trajectory != nil {
+		w.Trajectory = make([]trajectoryWire, len(e.Trajectory))
+		for i, p := range e.Trajectory {
+			w.Trajectory[i] = trajectoryWire{Cost: p.Cost, Estimate: Float(p.Estimate)}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes an estimate produced by MarshalJSON.
+func (e *Estimate) UnmarshalJSON(data []byte) error {
+	var w estimateWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*e = Estimate{
+		Value:           float64(w.Value),
+		Cost:            w.Cost,
+		Samples:         w.Samples,
+		VirtualDuration: time.Duration(w.VirtualDuration),
+		Degraded:        w.Degraded,
+		Retries:         w.Retries,
+		RateLimitHits:   w.RateLimitHits,
+		Healed:          w.Healed,
+		VanishedSeen:    w.VanishedSeen,
+		WalkersRun:      w.WalkersRun,
+		WalkersShed:     w.WalkersShed,
+		WatchdogTrips:   w.WatchdogTrips,
+		ThrottleWait:    time.Duration(w.ThrottleWait),
+		Makespan:        time.Duration(w.Makespan),
+		Parks:           w.Parks,
+		DrainedSteps:    w.DrainedSteps,
+		Restarts:        w.Restarts,
+		RecoveredCost:   w.RecoveredCost,
+		CheckpointSaves: w.CheckpointSaves,
+	}
+	if w.Trajectory != nil {
+		e.Trajectory = make([]TrajectoryPoint, len(w.Trajectory))
+		for i, p := range w.Trajectory {
+			e.Trajectory[i] = TrajectoryPoint{Cost: p.Cost, Estimate: float64(p.Estimate)}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON encodes one convergence point with a NaN/Inf-safe
+// estimate field.
+func (p TrajectoryPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(trajectoryWire{Cost: p.Cost, Estimate: Float(p.Estimate)})
+}
+
+// UnmarshalJSON decodes one convergence point.
+func (p *TrajectoryPoint) UnmarshalJSON(data []byte) error {
+	var w trajectoryWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*p = TrajectoryPoint{Cost: w.Cost, Estimate: float64(w.Estimate)}
+	return nil
+}

@@ -1,0 +1,92 @@
+package mba
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestEstimateJSONRoundTrip: an Estimate with NaN value and an Inf
+// trajectory point — both illegal for stock encoding/json — survives a
+// marshal/unmarshal cycle field-for-field.
+func TestEstimateJSONRoundTrip(t *testing.T) {
+	in := Estimate{
+		Value:           math.NaN(),
+		Cost:            123,
+		Samples:         7,
+		VirtualDuration: 90 * time.Second,
+		Trajectory: []TrajectoryPoint{
+			{Cost: 10, Estimate: math.Inf(1)},
+			{Cost: 60, Estimate: 41.5},
+			{Cost: 123, Estimate: math.NaN()},
+		},
+		Degraded:      true,
+		Retries:       3,
+		RateLimitHits: 2,
+		ThrottleWait:  30 * time.Second,
+		Makespan:      time.Minute,
+		WalkersRun:    4,
+		WalkersShed:   1,
+		Restarts:      2,
+		RecoveredCost: 55,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out Estimate
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("Unmarshal(%s): %v", b, err)
+	}
+	if !math.IsNaN(out.Value) {
+		t.Errorf("Value %v lost NaN", out.Value)
+	}
+	if out.Cost != in.Cost || out.Samples != in.Samples ||
+		out.VirtualDuration != in.VirtualDuration ||
+		out.Degraded != in.Degraded || out.Retries != in.Retries ||
+		out.RateLimitHits != in.RateLimitHits ||
+		out.ThrottleWait != in.ThrottleWait || out.Makespan != in.Makespan ||
+		out.WalkersRun != in.WalkersRun || out.WalkersShed != in.WalkersShed ||
+		out.Restarts != in.Restarts || out.RecoveredCost != in.RecoveredCost {
+		t.Errorf("scalar fields lost: got %+v", out)
+	}
+	if len(out.Trajectory) != 3 {
+		t.Fatalf("trajectory length %d", len(out.Trajectory))
+	}
+	if !math.IsInf(out.Trajectory[0].Estimate, 1) {
+		t.Errorf("trajectory[0] %v lost +Inf", out.Trajectory[0].Estimate)
+	}
+	if out.Trajectory[1] != (TrajectoryPoint{Cost: 60, Estimate: 41.5}) {
+		t.Errorf("trajectory[1] = %+v", out.Trajectory[1])
+	}
+	if !math.IsNaN(out.Trajectory[2].Estimate) {
+		t.Errorf("trajectory[2] %v lost NaN", out.Trajectory[2].Estimate)
+	}
+}
+
+// TestEstimateJSONFinite: ordinary finite estimates keep plain numeric
+// encodings so existing consumers parse them with stock tooling.
+func TestEstimateJSONFinite(t *testing.T) {
+	in := Estimate{Value: 12.5, Cost: 9, Samples: 3,
+		Trajectory: []TrajectoryPoint{{Cost: 9, Estimate: 12.5}}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Decode through an anonymous struct with plain float64s: finite
+	// values must not need the custom decoder.
+	var plain struct {
+		Value      float64
+		Trajectory []struct {
+			Cost     int
+			Estimate float64
+		}
+	}
+	if err := json.Unmarshal(b, &plain); err != nil {
+		t.Fatalf("plain decode of %s: %v", b, err)
+	}
+	if plain.Value != 12.5 || len(plain.Trajectory) != 1 || plain.Trajectory[0].Estimate != 12.5 {
+		t.Errorf("plain decode lost values: %+v from %s", plain, b)
+	}
+}

@@ -1,0 +1,119 @@
+package api
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLedgerFairAdmissionRace hammers one ledger from many goroutines
+// posing as competing tenants, with aggregate demand far beyond every
+// quota, and then checks the fair-admission laws on the settled books:
+// credits are conserved, nothing stays reserved at rest, no tenant
+// ever commits beyond its quota, and — no starvation — every tenant
+// drives its committed pool to exactly its quota, its fair share,
+// regardless of how aggressively the others raced. Run under -race
+// this doubles as the ledger's concurrency-safety certificate.
+func TestLedgerFairAdmissionRace(t *testing.T) {
+	const (
+		tenants  = 4
+		quota    = 240
+		workers  = 8 // concurrent submitters racing across all tenants
+		chunk    = 5 // credits per reservation attempt
+		attempts = 200
+	)
+	led := NewLedger(tenants * quota)
+	for id := 0; id < tenants; id++ {
+		if err := led.Register(id, quota); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < attempts; i++ {
+				id := rng.Intn(tenants)
+				grant, err := led.Reserve(id, chunk)
+				if err != nil {
+					t.Errorf("worker %d: reserve: %v", w, err)
+					return
+				}
+				if grant == 0 {
+					continue
+				}
+				// Mix full commits, partial commit+refund, and full
+				// refunds so every settlement path races.
+				switch rng.Intn(3) {
+				case 0:
+					if err := led.Commit(id, grant); err != nil {
+						t.Errorf("worker %d: commit: %v", w, err)
+						return
+					}
+				case 1:
+					half := grant / 2
+					if err := led.Commit(id, half); err != nil {
+						t.Errorf("worker %d: commit: %v", w, err)
+						return
+					}
+					if err := led.Refund(id, grant-half); err != nil {
+						t.Errorf("worker %d: refund: %v", w, err)
+						return
+					}
+				default:
+					if err := led.Refund(id, grant); err != nil {
+						t.Errorf("worker %d: refund: %v", w, err)
+						return
+					}
+				}
+			}
+			// Demand phase over: drain whatever quota is left so the
+			// no-starvation check below is about admission, not about
+			// a tenant that simply stopped asking.
+			for {
+				grant, err := led.Reserve(w%tenants, chunk)
+				if err != nil {
+					t.Errorf("worker %d: drain reserve: %v", w, err)
+					return
+				}
+				if grant == 0 {
+					return
+				}
+				if err := led.Commit(w%tenants, grant); err != nil {
+					t.Errorf("worker %d: drain commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ls := led.Snapshot()
+	if ls.Reserved != 0 {
+		t.Errorf("%d credits still reserved at rest", ls.Reserved)
+	}
+	if ls.Available+ls.Reserved+ls.Committed != ls.Total {
+		t.Errorf("conservation broken: %d + %d + %d != %d",
+			ls.Available, ls.Reserved, ls.Committed, ls.Total)
+	}
+	sum := 0
+	for _, acct := range ls.Accounts {
+		sum += acct.Committed
+		if acct.Committed > acct.Quota {
+			t.Errorf("account %d committed %d beyond quota %d", acct.ID, acct.Committed, acct.Quota)
+		}
+		// No starvation: with every worker draining residual quota at
+		// the end, a fair ledger leaves each tenant at exactly its
+		// share. Any shortfall means another tenant's pressure was
+		// allowed to eat this tenant's quota.
+		if acct.Committed != quota {
+			t.Errorf("account %d settled at %d committed, fair share is %d", acct.ID, acct.Committed, quota)
+		}
+	}
+	if sum != ls.Committed {
+		t.Errorf("account commitments sum to %d, global committed %d", sum, ls.Committed)
+	}
+}

@@ -1,0 +1,156 @@
+package audit
+
+import (
+	"math"
+
+	"mba/internal/api"
+	"mba/internal/serve"
+)
+
+// ServiceTrace is everything CheckService needs to audit one service
+// run: the requests that went in, the responses that came out (in
+// input order), the ledger's final books, and — when the run was
+// fault-free — the offline oracle for bit-identity.
+type ServiceTrace struct {
+	Requests  []serve.Request
+	Responses []serve.Response
+	Ledger    api.LedgerStats
+	// Quota maps tenant name to its configured quota; Account maps
+	// tenant name to its ledger account index.
+	Quota   map[string]int
+	Account map[string]int
+	// OfflineBits/OfflineCost map response ID to the bit pattern and
+	// cost an uninterrupted offline run of the same (query, algo,
+	// granted budget, seed, deadline) produced. Only executed
+	// responses listed here are checked; pass nil to skip.
+	OfflineBits map[string]uint64
+	OfflineCost map[string]int
+}
+
+// CheckService enforces the serving layer's contract on a finished
+// run:
+//
+//   - no silent drops: every request has exactly one response, with a
+//     known status and the request's ID;
+//   - shed responses are well-formed degraded partials: a reason, no
+//     charge, no spent cost, NaN estimate — shedding is free for the
+//     tenant;
+//   - cache hits and coalesced followers are never charged;
+//   - nothing is charged beyond the granted budget, and per-tenant
+//     total charges never exceed the tenant's quota;
+//   - the ledger obeys CheckLedger's conservation laws with committed
+//     credits equal to the sum of charges;
+//   - executed fault-free responses are bit-identical (estimate bits
+//     and cost) to their offline oracle runs.
+func (a Auditor) CheckService(tr ServiceTrace) *Report {
+	r := &Report{}
+
+	r.check()
+	if len(tr.Responses) != len(tr.Requests) {
+		r.failf("serve-no-silent-drop", "%d requests but %d responses", len(tr.Requests), len(tr.Responses))
+		return r
+	}
+
+	seen := map[string]bool{}
+	chargedByTenant := map[string]int{}
+	nanBits := math.Float64bits(math.NaN())
+	for i, resp := range tr.Responses {
+		r.check()
+		if resp.ID == "" || seen[resp.ID] {
+			r.failf("serve-no-silent-drop", "response %d has empty or duplicate id %q", i, resp.ID)
+		}
+		seen[resp.ID] = true
+		if tr.Requests[i].ID != "" {
+			r.check()
+			if resp.ID != tr.Requests[i].ID {
+				r.failf("serve-no-silent-drop", "response %d answers id %q, request was %q",
+					i, resp.ID, tr.Requests[i].ID)
+			}
+		}
+		switch resp.Status {
+		case serve.StatusOK, serve.StatusDegraded, serve.StatusShed, serve.StatusError:
+		default:
+			r.check()
+			r.failf("serve-no-silent-drop", "response %s has unknown status %q", resp.ID, resp.Status)
+			continue
+		}
+
+		if resp.Status == serve.StatusShed {
+			r.check()
+			if !resp.Degraded || resp.Reason == "" {
+				r.failf("serve-shed-wellformed", "shed %s lacks degraded flag or reason: %+v", resp.ID, resp)
+			}
+			r.check()
+			if resp.Charged != 0 || resp.Cost != 0 {
+				r.failf("serve-shed-wellformed", "shed %s charged %d / cost %d; shedding must be free",
+					resp.ID, resp.Charged, resp.Cost)
+			}
+			r.check()
+			if resp.EstimateBits != nanBits {
+				r.failf("serve-shed-wellformed", "shed %s carries estimate bits %#x, want NaN",
+					resp.ID, resp.EstimateBits)
+			}
+		}
+		if resp.Status == serve.StatusDegraded {
+			r.check()
+			if resp.Reason == "" {
+				r.failf("serve-shed-wellformed", "degraded %s has no reason", resp.ID)
+			}
+		}
+		if resp.CacheHit || resp.Coalesced {
+			r.check()
+			if resp.Charged != 0 {
+				r.failf("serve-free-riders", "%s is a cache hit/coalesced follower yet charged %d",
+					resp.ID, resp.Charged)
+			}
+		}
+		r.check()
+		if resp.Charged < 0 || resp.Charged > resp.Budget {
+			r.failf("serve-budget-bound", "%s charged %d outside [0, granted %d]",
+				resp.ID, resp.Charged, resp.Budget)
+		}
+		chargedByTenant[resp.Tenant] += resp.Charged
+
+		if tr.OfflineBits != nil {
+			if bits, ok := tr.OfflineBits[resp.ID]; ok {
+				r.check()
+				if resp.EstimateBits != bits {
+					r.failf("serve-bit-identity", "%s returned bits %#x, offline run produced %#x",
+						resp.ID, resp.EstimateBits, bits)
+				}
+				if cost, ok := tr.OfflineCost[resp.ID]; ok {
+					r.check()
+					if resp.Cost != cost {
+						r.failf("serve-bit-identity", "%s cost %d, offline run cost %d",
+							resp.ID, resp.Cost, cost)
+					}
+				}
+			}
+		}
+	}
+
+	for tenant, charged := range chargedByTenant {
+		quota, ok := tr.Quota[tenant]
+		if !ok {
+			continue
+		}
+		r.check()
+		if charged > quota {
+			r.failf("serve-quota", "tenant %s charged %d beyond quota %d", tenant, charged, quota)
+		}
+	}
+
+	// The ledger's committed pool must equal the sum of charges, per
+	// account. Build chargedByUnit indexed by account id.
+	var chargedByUnit []int
+	if tr.Account != nil {
+		chargedByUnit = make([]int, len(tr.Ledger.Accounts))
+		for tenant, charged := range chargedByTenant {
+			if id, ok := tr.Account[tenant]; ok && id >= 0 && id < len(chargedByUnit) {
+				chargedByUnit[id] += charged
+			}
+		}
+	}
+	r.Merge(a.CheckLedger(tr.Ledger, chargedByUnit))
+	return r
+}

@@ -1,0 +1,116 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mba/internal/api"
+	"mba/internal/serve"
+)
+
+// serviceFixture builds a minimal clean trace: one charged run, one
+// free cache hit, one well-formed shed.
+func serviceFixture() ServiceTrace {
+	nan := math.NaN()
+	led := api.NewLedger(1000)
+	led.Register(0, 600)
+	led.Register(1, 400)
+	led.Reserve(0, 100)
+	led.Commit(0, 100)
+	return ServiceTrace{
+		Requests: []serve.Request{
+			{ID: "a", Tenant: "gold"}, {ID: "b", Tenant: "gold"}, {ID: "c", Tenant: "bronze"},
+		},
+		Responses: []serve.Response{
+			{ID: "a", Tenant: "gold", Status: serve.StatusOK, Budget: 100, Cost: 100, Charged: 100,
+				Estimate: 4.5, EstimateBits: math.Float64bits(4.5)},
+			{ID: "b", Tenant: "gold", Status: serve.StatusOK, Budget: 100, CacheHit: true,
+				Estimate: 4.5, EstimateBits: math.Float64bits(4.5)},
+			{ID: "c", Tenant: "bronze", Status: serve.StatusShed, Reason: serve.ShedOverload,
+				Degraded: true, Estimate: serve.Float(nan), EstimateBits: math.Float64bits(nan)},
+		},
+		Ledger:  led.Snapshot(),
+		Quota:   map[string]int{"gold": 600, "bronze": 400},
+		Account: map[string]int{"gold": 0, "bronze": 1},
+		OfflineBits: map[string]uint64{
+			"a": math.Float64bits(4.5),
+		},
+		OfflineCost: map[string]int{"a": 100},
+	}
+}
+
+func TestCheckServiceClean(t *testing.T) {
+	r := Auditor{}.CheckService(serviceFixture())
+	if !r.OK() {
+		t.Fatalf("clean trace flagged: %v", r.Violations)
+	}
+	if r.Checks == 0 {
+		t.Fatal("no checks ran")
+	}
+}
+
+func TestCheckServiceCatches(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*ServiceTrace)
+		keyword string
+	}{
+		{"dropped response", func(tr *ServiceTrace) {
+			tr.Responses = tr.Responses[:2]
+		}, "serve-no-silent-drop"},
+		{"duplicate id", func(tr *ServiceTrace) {
+			tr.Responses[1].ID = "a"
+		}, "serve-no-silent-drop"},
+		{"unknown status", func(tr *ServiceTrace) {
+			tr.Responses[0].Status = "meh"
+		}, "serve-no-silent-drop"},
+		{"charged shed", func(tr *ServiceTrace) {
+			tr.Responses[2].Charged = 5
+		}, "serve-shed-wellformed"},
+		{"shed without reason", func(tr *ServiceTrace) {
+			tr.Responses[2].Reason = ""
+		}, "serve-shed-wellformed"},
+		{"shed with estimate", func(tr *ServiceTrace) {
+			tr.Responses[2].EstimateBits = math.Float64bits(3.0)
+		}, "serve-shed-wellformed"},
+		{"charged cache hit", func(tr *ServiceTrace) {
+			tr.Responses[1].Charged = 10
+		}, "serve-free-riders"},
+		{"charge beyond grant", func(tr *ServiceTrace) {
+			tr.Responses[0].Charged = 150
+		}, "serve-budget-bound"},
+		{"bit divergence", func(tr *ServiceTrace) {
+			tr.OfflineBits["a"] = math.Float64bits(9.9)
+		}, "serve-bit-identity"},
+		{"cost divergence", func(tr *ServiceTrace) {
+			tr.OfflineCost["a"] = 99
+		}, "serve-bit-identity"},
+		{"quota overrun", func(tr *ServiceTrace) {
+			tr.Quota["gold"] = 50
+		}, "serve-quota"},
+		{"ledger drift", func(tr *ServiceTrace) {
+			tr.Responses[0].Charged = 90
+			tr.Responses[0].Budget = 90
+			tr.Responses[0].Cost = 90
+		}, "ledger-"},
+	}
+	for _, tc := range cases {
+		tr := serviceFixture()
+		tc.mutate(&tr)
+		r := Auditor{}.CheckService(tr)
+		if r.OK() {
+			t.Errorf("%s: not flagged", tc.name)
+			continue
+		}
+		found := false
+		for _, v := range r.Violations {
+			if strings.HasPrefix(v.Invariant, tc.keyword) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: flagged but not as %s*: %v", tc.name, tc.keyword, r.Violations)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/audit"
+	"mba/internal/query"
+	"mba/internal/serve"
+	"mba/internal/stats"
+	"mba/internal/workload"
+)
+
+// serveTier is one load level of the service sweep: a request count
+// and a mean virtual inter-arrival gap, optionally under injected
+// faults. Gaps are chosen against the ~5s-per-call Twitter preset: an
+// 800-call request is ~4000 virtual seconds of busy time, so the calm
+// tier arrives well under the four workers' service rate and the
+// overload tier arrives an order of magnitude above it.
+type serveTier struct {
+	name    string
+	n       int
+	gap     time.Duration
+	hotFrac float64
+	faults  api.Faults
+	// expectSheds: the shed-don't-collapse tier must actually shed and
+	// degrade; the calm tiers must not be forced to.
+	expectSheds bool
+}
+
+func serveTiers(seed int64) []serveTier {
+	return []serveTier{
+		{name: "calm", n: 24, gap: 4000 * time.Second, hotFrac: 0.7},
+		{name: "busy", n: 36, gap: 1200 * time.Second, hotFrac: 0.7},
+		{name: "overload", n: 60, gap: 40 * time.Second, hotFrac: 0.5, expectSheds: true},
+		{name: "faults", n: 24, gap: 4000 * time.Second, hotFrac: 0.7, faults: api.Faults{
+			TransientProb:   0.08,
+			RateLimitProb:   0.04,
+			OutageMeanGap:   5000,
+			OutageLength:    20,
+			SlowCallProb:    0.05,
+			SlowCallLatency: 2 * time.Second,
+			TruncateProb:    0.02,
+			PrivateProb:     0.05,
+			Seed:            seed,
+		}},
+	}
+}
+
+// ServeRecord is the deterministic per-tier telemetry ServeSweep emits
+// as BENCH_serve.json.
+type ServeRecord struct {
+	Tier         string
+	Requests     int
+	Admitted     int
+	Ok           int
+	Degraded     int
+	Shed         int
+	Errors       int
+	ShedBy       map[string]int
+	CacheHits    int
+	Resumed      int
+	BreakerTrips int
+	TotalCharged int
+	TotalCost    int
+	OfflineRuns  int
+	P99SojournNs int64
+	MaxSojournNs int64
+	SojournBound int64
+	AuditChecks  int
+	AuditOK      bool
+}
+
+// ServeSweep drives the multi-tenant estimation service through rising
+// load tiers — calm, busy, overload, and a fault storm — with a
+// seed-deterministic request mix, and audits every tier against the
+// serving contract: no silent drops, free well-formed sheds, conserved
+// ledgers, per-tenant quotas respected, and executed responses
+// bit-identical to offline runs of the same plan (the oracle is
+// recomputed here, independently of the service's own cache). The
+// overload tier must shed rather than collapse: nonzero sheds AND
+// nonzero completions AND the p99 admitted sojourn bounded by the
+// backlog watermark times the slowest single request.
+func ServeSweep(opts Options) (Table, []ServeRecord, error) {
+	opts = opts.withDefaults()
+	p, err := workload.Get(opts.Scale)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	// Quotas derive from the sweep budget: gold is provisioned at the
+	// full budget with double fair-share weight, silver at half, bronze
+	// at a quarter.
+	quota := opts.Budget
+	tenants := []serve.TenantConfig{
+		{Name: "gold", Quota: quota, Weight: 2, Depth: 16},
+		{Name: "silver", Quota: quota / 2, Weight: 1, Depth: 16},
+		{Name: "bronze", Quota: quota / 4, Weight: 1, Depth: 16},
+	}
+	quotaOf := map[string]int{}
+	names := make([]string, len(tenants))
+	for i, tc := range tenants {
+		quotaOf[tc.Name] = tc.Quota
+		names[i] = tc.Name
+	}
+
+	t := Table{
+		ID:    "serve",
+		Title: "mba-serve under rising load: fair admission, shed-don't-collapse, bit-identical answers (virtual time)",
+		Columns: []string{"tier", "requests", "admitted", "ok", "degraded", "shed", "cache",
+			"resumed", "p99 sojourn", "audit"},
+	}
+
+	aud := audit.Auditor{}
+	var violations []string
+	var records []ServeRecord
+	const workers = 4
+
+	for ti, tier := range serveTiers(opts.Seed) {
+		items, err := workload.Mix(workload.MixConfig{
+			Seed:      opts.Seed*1000 + int64(ti),
+			N:         tier.n,
+			Tenants:   names,
+			HotFrac:   tier.hotFrac,
+			MeanGapNs: tier.gap.Nanoseconds(),
+		})
+		if err != nil {
+			return t, nil, err
+		}
+		reqs := make([]serve.Request, len(items))
+		for i, it := range items {
+			reqs[i] = serve.Request{
+				Tenant:    it.Tenant,
+				Query:     it.Query,
+				Budget:    it.Budget,
+				ArrivalNs: it.ArrivalNs,
+			}
+		}
+
+		svc, err := serve.New(serve.Config{
+			Platform: p,
+			Faults:   tier.faults,
+			Tenants:  tenants,
+			Workers:  workers,
+		})
+		if err != nil {
+			return t, nil, err
+		}
+		resps := svc.Play(reqs)
+		met, ledger := svc.Snapshot()
+
+		// Recompute the offline oracle for every executed response:
+		// same query, algorithm, granted budget, seed, deadline
+		// headroom, and fault profile, run uninterrupted outside the
+		// service. Memoised — cache hits repeat plans by construction.
+		offlineBits := map[string]uint64{}
+		offlineCost := map[string]int{}
+		type planKey struct {
+			q, algo string
+			budget  int
+			seed    int64
+		}
+		memoRes := map[planKey][2]uint64{}
+		offlineRuns := 0
+		for _, resp := range resps {
+			if resp.Status != serve.StatusOK && resp.Status != serve.StatusDegraded {
+				continue
+			}
+			if resp.DeadlineLeftNs != 0 {
+				continue // deadline headroom depends on queueing, not part of this oracle
+			}
+			q, err := query.ParseQuery(resp.Query)
+			if err != nil {
+				return t, nil, fmt.Errorf("serve: response %s has unparsable query: %w", resp.ID, err)
+			}
+			key := planKey{resp.Query, resp.Algo, resp.Budget, resp.Seed}
+			if _, ok := memoRes[key]; !ok {
+				res, err := serve.RunOffline(serve.OfflineSpec{
+					Platform: p,
+					Faults:   tier.faults,
+					Query:    q,
+					Algo:     resp.Algo,
+					Budget:   resp.Budget,
+					Seed:     resp.Seed,
+				})
+				if err != nil {
+					// The service reported success for this plan; the
+					// oracle failing is itself a divergence.
+					violations = append(violations,
+						fmt.Sprintf("%s/%s: offline oracle failed: %v", tier.name, resp.ID, err))
+					continue
+				}
+				memoRes[key] = [2]uint64{math.Float64bits(res.Estimate), uint64(res.Cost)}
+				offlineRuns++
+			}
+			pair := memoRes[key]
+			offlineBits[resp.ID] = pair[0]
+			offlineCost[resp.ID] = int(pair[1])
+		}
+
+		accountOf := map[string]int{}
+		for _, tc := range tenants {
+			if id, ok := svc.Account(tc.Name); ok {
+				accountOf[tc.Name] = id
+			}
+		}
+		rep := aud.CheckService(audit.ServiceTrace{
+			Requests:    reqs,
+			Responses:   resps,
+			Ledger:      ledger,
+			Quota:       quotaOf,
+			Account:     accountOf,
+			OfflineBits: offlineBits,
+			OfflineCost: offlineCost,
+		})
+		for _, v := range rep.Violations {
+			violations = append(violations, fmt.Sprintf("%s: %s", tier.name, v))
+		}
+
+		rec := ServeRecord{
+			Tier:         tier.name,
+			Requests:     len(resps),
+			Admitted:     met.Admitted,
+			Ok:           met.Ok,
+			Degraded:     met.Degraded,
+			Shed:         met.Shed,
+			Errors:       met.Errors,
+			ShedBy:       met.ShedBy,
+			CacheHits:    met.CacheHits,
+			Resumed:      met.Resumed,
+			BreakerTrips: met.BreakerTrips,
+			OfflineRuns:  offlineRuns,
+			AuditChecks:  rep.Checks,
+			AuditOK:      rep.OK(),
+		}
+
+		// Shed-don't-collapse: the p99 sojourn (arrival to completion,
+		// virtual time) of admitted requests must stay within what the
+		// bounded backlog allows — the watermark depth of maximal
+		// requests draining through the workers, plus the request's own
+		// service time. An unbounded queue would blow through this.
+		var sojourns []float64
+		var maxBusy int64
+		for i, resp := range resps {
+			rec.TotalCharged += resp.Charged
+			rec.TotalCost += resp.Cost
+			if resp.Status == serve.StatusOK || resp.Status == serve.StatusDegraded {
+				sj := resp.DoneNs - reqs[i].ArrivalNs
+				sojourns = append(sojourns, float64(sj))
+				if sj > rec.MaxSojournNs {
+					rec.MaxSojournNs = sj
+				}
+				if resp.BusyNs > maxBusy {
+					maxBusy = resp.BusyNs
+				}
+			}
+		}
+		if len(sojourns) > 0 {
+			p99, err := stats.Quantile(sojourns, 0.99)
+			if err != nil {
+				return t, nil, err
+			}
+			rec.P99SojournNs = int64(p99)
+			shedDepth := int64(4 * workers) // Config default watermark
+			rec.SojournBound = (shedDepth/workers + 2) * maxBusy
+			if rec.P99SojournNs > rec.SojournBound {
+				violations = append(violations, fmt.Sprintf(
+					"%s: queue collapse: p99 sojourn %s exceeds backlog bound %s",
+					tier.name, time.Duration(rec.P99SojournNs), time.Duration(rec.SojournBound)))
+			}
+		}
+		if tier.expectSheds {
+			if rec.Shed == 0 {
+				violations = append(violations, fmt.Sprintf("%s: overload tier shed nothing", tier.name))
+			}
+			if rec.Degraded == 0 {
+				violations = append(violations, fmt.Sprintf("%s: overload tier produced no degraded partials", tier.name))
+			}
+			if rec.Ok == 0 {
+				violations = append(violations, fmt.Sprintf("%s: overload tier collapsed: no completions", tier.name))
+			}
+		}
+
+		audCell := fmt.Sprintf("ok(%d)", rep.Checks)
+		if !rep.OK() {
+			audCell = fmt.Sprintf("FAIL(%d)", len(rep.Violations))
+		}
+		t.Rows = append(t.Rows, []string{
+			tier.name,
+			fmt.Sprintf("%d", rec.Requests),
+			fmt.Sprintf("%d", rec.Admitted),
+			fmt.Sprintf("%d", rec.Ok),
+			fmt.Sprintf("%d", rec.Degraded),
+			fmt.Sprintf("%d", rec.Shed),
+			fmt.Sprintf("%d", rec.CacheHits),
+			fmt.Sprintf("%d", rec.Resumed),
+			time.Duration(rec.P99SojournNs).Round(time.Second).String(),
+			audCell,
+		})
+		records = append(records, rec)
+		opts.logf("serve/%s: %d reqs, %d ok, %d degraded, %d shed, %d cache hits, %d offline oracle runs",
+			tier.name, rec.Requests, rec.Ok, rec.Degraded, rec.Shed, rec.CacheHits, offlineRuns)
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		return t, records, fmt.Errorf("serve: %d contract violations; first: %s",
+			len(violations), violations[0])
+	}
+	return t, records, nil
+}
+
+// Serve adapts ServeSweep to the bench runner signature, discarding
+// the records (cmd/mba-bench re-runs via its JSON-writing wrapper).
+func Serve(opts Options) (Table, error) {
+	t, _, err := ServeSweep(opts)
+	return t, err
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mba/internal/workload"
+)
+
+// TestServeSweep: the service sweep runs clean at test scale — every
+// tier audits with zero violations — the overload tier sheds without
+// collapsing, and the whole record set is byte-deterministic across
+// fresh runs (the bench artifact contract).
+func TestServeSweep(t *testing.T) {
+	opts := Options{Scale: workload.Test, Budget: 40000, Seed: 1}
+	tab, recs, err := ServeSweep(opts)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(tab.Rows) != len(recs) || len(recs) != 4 {
+		t.Fatalf("got %d rows / %d records, want 4", len(tab.Rows), len(recs))
+	}
+	var overload *ServeRecord
+	for i := range recs {
+		r := &recs[i]
+		if !r.AuditOK {
+			t.Errorf("tier %s failed its audit", r.Tier)
+		}
+		if r.Tier == "overload" {
+			overload = r
+		}
+		if r.TotalCharged > opts.Budget+opts.Budget/2+opts.Budget/4 {
+			t.Errorf("tier %s charged %d beyond the provisioned quotas", r.Tier, r.TotalCharged)
+		}
+		if r.P99SojournNs > r.SojournBound {
+			t.Errorf("tier %s p99 sojourn %d beyond bound %d", r.Tier, r.P99SojournNs, r.SojournBound)
+		}
+	}
+	if overload == nil {
+		t.Fatal("no overload tier")
+	}
+	if overload.Shed == 0 || overload.Degraded == 0 || overload.Ok == 0 {
+		t.Errorf("overload tier did not shed-without-collapsing: %+v", overload)
+	}
+
+	// Byte determinism: a second sweep from a fresh service must
+	// produce the identical artifact.
+	_, recs2, err := ServeSweep(opts)
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	a, _ := json.Marshal(recs)
+	b, _ := json.Marshal(recs2)
+	if string(a) != string(b) {
+		t.Fatalf("sweep records not deterministic:\n%s\n%s", a, b)
+	}
+	if !reflect.DeepEqual(recs, recs2) {
+		t.Fatal("sweep records differ structurally")
+	}
+}

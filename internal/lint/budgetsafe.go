@@ -18,7 +18,7 @@ var chargedEndpoints = map[string]bool{
 // fresher state than the estimator ever paid for.
 var budgetsafePkgs = map[string]bool{
 	"core": true, "walk": true, "experiments": true, "audit": true, "fleet": true,
-	"store": true,
+	"store": true, "serve": true,
 }
 
 // BudgetSafe forbids estimator and experiment packages from invoking

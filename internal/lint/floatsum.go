@@ -11,6 +11,7 @@ import (
 // in reported estimates.
 var floatsumPkgs = map[string]bool{
 	"stats": true, "core": true, "walk": true, "fleet": true, "store": true,
+	"serve": true,
 }
 
 // FloatSum flags naive `sum += x` accumulation over float64 slices in

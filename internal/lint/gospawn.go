@@ -7,24 +7,33 @@ import (
 // waitGroupJoin is the sanctioned join primitive.
 var waitGroupJoin = map[string]bool{"Wait": true}
 
-// GoSpawn confines goroutine creation to internal/fleet, the one
-// package whose job is concurrency, and requires every spawn there to
-// be structurally joined. Estimators, the API simulator, experiment
-// runners, and the CLIs are written single-threaded on purpose: their
-// determinism argument is "no interleaving exists", which a stray `go`
-// statement silently destroys. Inside fleet, a spawned goroutine must
-// be joined with sync.WaitGroup.Wait in the same function declaration —
+// goSpawnPkgs are the package basenames allowed to create goroutines:
+// fleet (walker orchestration) and serve (the request-serving worker
+// pool). Everything else stays single-threaded.
+var goSpawnPkgs = map[string]bool{
+	"fleet": true,
+	"serve": true,
+}
+
+// GoSpawn confines goroutine creation to internal/fleet and
+// internal/serve, the two packages whose job is concurrency, and
+// requires every spawn there to be structurally joined. Estimators,
+// the API simulator, experiment runners, and the CLIs are written
+// single-threaded on purpose: their determinism argument is "no
+// interleaving exists", which a stray `go` statement silently
+// destroys. Inside the allowed packages, a spawned goroutine must be
+// joined with sync.WaitGroup.Wait in the same function declaration —
 // fire-and-forget goroutines outlive the result merge and turn the
 // deterministic fold into a data race.
 var GoSpawn = &Analyzer{
 	Name: "gospawn",
-	Doc: "confine go statements to internal/fleet and require each spawn to be " +
-		"WaitGroup-joined in the same function",
+	Doc: "confine go statements to internal/fleet and internal/serve and require " +
+		"each spawn to be WaitGroup-joined in the same function",
 	Run: runGoSpawn,
 }
 
 func runGoSpawn(pass *Pass) error {
-	inFleet := pass.PkgBase(pass.Pkg.Path()) == "fleet"
+	inFleet := goSpawnPkgs[pass.PkgBase(pass.Pkg.Path())]
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -48,7 +57,7 @@ func runGoSpawn(pass *Pass) error {
 				switch {
 				case !inFleet:
 					pass.Reportf(g.Pos(),
-						"go statement outside internal/fleet; single-threaded packages stay deterministic by construction — orchestrate concurrency through the fleet package")
+						"go statement outside internal/fleet or internal/serve; single-threaded packages stay deterministic by construction — orchestrate concurrency through those packages")
 				case !joined:
 					pass.Reportf(g.Pos(),
 						"unjoined goroutine; call sync.WaitGroup.Wait in the same function so no spawn outlives the deterministic merge")

@@ -34,7 +34,7 @@ func TestFloatSum(t *testing.T) {
 }
 
 func TestGoSpawn(t *testing.T) {
-	linttest.Run(t, "testdata", lint.GoSpawn, "gospawn", "gospawn/fleet")
+	linttest.Run(t, "testdata", lint.GoSpawn, "gospawn", "gospawn/fleet", "gospawn/serve")
 }
 
 func TestCtxFlow(t *testing.T) {

@@ -1,0 +1,30 @@
+// Fixture for the gospawn analyzer: the package basename is "serve",
+// the request-serving worker pool, so go statements are allowed — but
+// the WaitGroup-join invariant applies exactly as in fleet.
+package serve
+
+import "sync"
+
+func joinedWorkerPool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func unjoinedWorker() {
+	go handle() // want "unjoined goroutine"
+}
+
+func unjoinedDespiteWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go handle() // want "unjoined goroutine"
+	_ = wg
+}
+
+func handle() {}

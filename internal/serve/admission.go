@@ -1,0 +1,209 @@
+package serve
+
+import "math"
+
+// admit runs the admission state machine for a normalized task. It
+// must be called with s.mu held. The outcome is one of:
+//
+//   - final == true: tk.resp is complete (shed, error, or served from
+//     the completed-result cache) and the task never queues;
+//   - final == false: the task was admitted — its budget reservation
+//     is held on the ledger and it sits in its tenant's queue.
+//
+// Admission order: unknown tenant → cache fast path → circuit breaker
+// → global shed watermark → per-tenant depth → pressure tier sizing →
+// all-or-nothing quota reservation. The cache is consulted before the
+// watermarks on purpose: answering a hot query from cache costs
+// nothing, so overload and even an open breaker are no reason to
+// refuse it.
+func (s *Service) admit(tk *task) (final bool) {
+	s.met.Requests++
+	tk.resp = tk.baseResponse()
+	if tk.ten == nil {
+		tk.resp.Status = StatusError
+		tk.resp.Err = "unknown tenant"
+		s.met.Errors++
+		return true
+	}
+	ten := tk.ten
+
+	// Cache fast path: a completed identical run at the same budget.
+	if !tk.req.NoCache {
+		if e := s.cache.completed(tk.key, tk.req.Budget, tk.req.DeadlineNs); e != nil {
+			s.met.Admitted++
+			s.fillFromCache(tk, e)
+			return true
+		}
+	}
+
+	// Circuit breaker: open sheds and burns cooldown; half-open admits
+	// a single probe at a time.
+	switch ten.breaker {
+	case breakerOpen:
+		ten.cooldownLeft--
+		if ten.cooldownLeft <= 0 {
+			ten.breaker = breakerHalfOpen
+		}
+		s.shed(tk, ShedBreaker)
+		return true
+	case breakerHalfOpen:
+		if ten.probing {
+			s.shed(tk, ShedBreaker)
+			return true
+		}
+		ten.probing = true
+	}
+
+	// Watermarks: shed outright past ShedDepth, degrade past
+	// DegradeDepth.
+	if s.backlog >= s.cfg.ShedDepth {
+		s.unprobe(ten)
+		s.shed(tk, ShedOverload)
+		return true
+	}
+	if len(ten.queue) >= ten.cfg.Depth {
+		s.unprobe(ten)
+		s.shed(tk, ShedTenantQueue)
+		return true
+	}
+	tk.granted = tk.req.Budget
+	if s.cfg.DegradeDepth >= 0 && s.backlog >= s.cfg.DegradeDepth {
+		tk.pressure = true
+		tk.granted = int(math.Ceil(float64(tk.req.Budget) * s.cfg.DegradeFrac))
+		if tk.granted < s.cfg.MinBudget {
+			tk.granted = s.cfg.MinBudget
+		}
+		if tk.granted > tk.req.Budget {
+			tk.granted = tk.req.Budget
+		}
+	}
+
+	// All-or-nothing quota reservation: a partial grant would make the
+	// effective budget depend on scheduling order, so refuse instead.
+	grant, err := s.ledger.Reserve(ten.account, tk.granted)
+	if err != nil || grant < tk.granted {
+		s.ledger.Refund(ten.account, grant)
+		s.unprobe(ten)
+		s.shed(tk, ShedQuota)
+		return true
+	}
+	// The task now owns the reservation; execute settles it (commit
+	// what the walk spent, refund the rest) when the task completes.
+	tk.granted = grant
+
+	s.met.Admitted++
+	ten.queue = append(ten.queue, tk)
+	s.backlog++
+	return false
+}
+
+// unprobe releases a half-open probe slot the task claimed but will
+// not use (it was shed for an unrelated reason).
+func (s *Service) unprobe(ten *tenant) {
+	if ten.breaker == breakerHalfOpen && ten.probing {
+		ten.probing = false
+	}
+}
+
+// shed finalizes a task as refused: a well-formed Degraded partial
+// with nothing spent and nothing charged.
+func (s *Service) shed(tk *task, reason string) {
+	tk.resp.Status = StatusShed
+	tk.resp.Reason = reason
+	tk.resp.Degraded = true
+	s.met.Shed++
+	s.met.ShedBy[reason]++
+}
+
+// fillFromCache completes a task from a cached finished run. Nothing
+// is charged: the run that populated the entry already paid.
+func (s *Service) fillFromCache(tk *task, e *cacheEntry) {
+	tk.resp.Status = e.status
+	tk.resp.Reason = e.reason
+	tk.resp.Estimate = Float(math.Float64frombits(e.bits))
+	tk.resp.EstimateBits = e.bits
+	tk.resp.Variance = Float(e.variance)
+	tk.resp.Budget = e.budget
+	tk.resp.Cost = e.cost
+	tk.resp.Samples = e.samples
+	tk.resp.Degraded = e.degraded
+	tk.resp.Retries = e.retries
+	tk.resp.RateLimitHits = e.rateLimitHits
+	tk.resp.CacheHit = true
+	tk.resp.Charged = 0
+	if e.degraded {
+		s.met.Degraded++
+	} else {
+		s.met.Ok++
+	}
+	s.met.CacheHits++
+}
+
+// nextTask picks the next queued task by smooth weighted round-robin
+// over tenants with backlog: each contender earns its weight, the
+// richest credit wins (ties break in registration order) and pays the
+// contenders' total weight. Must be called with s.mu held; returns nil
+// when every queue is empty.
+func (s *Service) nextTask() *task {
+	var pick *tenant
+	totalWeight := 0
+	for _, ten := range s.order {
+		if len(ten.queue) == 0 {
+			continue
+		}
+		totalWeight += ten.cfg.Weight
+		ten.credit += ten.cfg.Weight
+		if pick == nil || ten.credit > pick.credit {
+			pick = ten
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	pick.credit -= totalWeight
+	tk := pick.queue[0]
+	pick.queue = pick.queue[1:]
+	s.backlog--
+	return tk
+}
+
+// dropQueued removes a still-queued task (live-path cancellation),
+// refunding its reservation. Returns false if the task already left
+// the queue. Must be called with s.mu held.
+func (s *Service) dropQueued(tk *task) bool {
+	ten := tk.ten
+	for i, q := range ten.queue {
+		if q == tk {
+			ten.queue = append(ten.queue[:i], ten.queue[i+1:]...)
+			s.backlog--
+			s.ledger.Refund(ten.account, tk.granted)
+			return true
+		}
+	}
+	return false
+}
+
+// breakerNote records a completed execution's backend health for the
+// tenant's circuit breaker. Deadline, cancellation and budget-bounded
+// outcomes say nothing about the backend and leave the breaker alone.
+// Must be called with s.mu held.
+func (s *Service) breakerNote(ten *tenant, backendFault bool) {
+	if backendFault {
+		ten.consecFaults++
+		if ten.breaker == breakerHalfOpen || ten.consecFaults >= s.cfg.BreakerThreshold {
+			if ten.breaker != breakerOpen {
+				s.met.BreakerTrips++
+			}
+			ten.breaker = breakerOpen
+			ten.cooldownLeft = s.cfg.BreakerCooldown
+			ten.probing = false
+			ten.consecFaults = 0
+		}
+		return
+	}
+	ten.consecFaults = 0
+	if ten.breaker == breakerHalfOpen {
+		ten.breaker = breakerClosed
+		ten.probing = false
+	}
+}

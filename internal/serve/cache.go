@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"math"
+
+	"mba/internal/api"
+	"mba/internal/core"
+)
+
+// cacheEntry is one completed run, stored under (key, budget).
+type cacheEntry struct {
+	budget        int
+	bits          uint64
+	variance      float64
+	cost          int
+	samples       int
+	degraded      bool
+	status        string
+	reason        string
+	retries       int
+	rateLimitHits int
+	// virtualNs is the run's total virtual duration: a cached answer is
+	// only valid for a request whose deadline headroom covers it (the
+	// offline-equivalent run would have completed in time).
+	virtualNs int64
+	// deadlined marks runs cut short by their own deadline; they are
+	// never served as exact hits (a different headroom would have cut
+	// elsewhere) but still contribute their checkpoint as a partial.
+	deadlined bool
+}
+
+// partialEntry is the pilot-walk half of the cache: the deepest
+// checkpoint seen for a key. A later identical query with a larger
+// budget resumes from Rebase()d state — the warm response cache
+// replays the paid prefix free, so the resumed run is bit-identical
+// to an uninterrupted one and never repays spent budget.
+type partialEntry struct {
+	ck    *core.Checkpoint
+	cost  int
+	stats api.Stats
+}
+
+// resultCache is the result + pilot-walk cache. Keys already encode
+// (normalized query, algorithm, seed, snapshot epoch, tenant class);
+// the completed map adds the granted budget. It is not safe for
+// concurrent use — callers hold Service.mu.
+type resultCache struct {
+	done     map[string]map[int]*cacheEntry
+	partials map[string]*partialEntry
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		done:     make(map[string]map[int]*cacheEntry),
+		partials: make(map[string]*partialEntry),
+	}
+}
+
+// completed returns the cached finished run for (key, budget) if one
+// exists and the request's virtual-deadline headroom (0 = none) covers
+// its duration.
+func (c *resultCache) completed(key string, budget int, headroomNs int64) *cacheEntry {
+	e := c.done[key][budget]
+	if e == nil || e.deadlined {
+		return nil
+	}
+	if headroomNs > 0 && e.virtualNs > headroomNs {
+		return nil
+	}
+	return e
+}
+
+// bestPartial returns the deepest cached checkpoint strictly cheaper
+// than the budget about to run, or nil. The caller Rebase()s it.
+func (c *resultCache) bestPartial(key string, budget int) *partialEntry {
+	p := c.partials[key]
+	if p == nil || p.cost <= 0 || p.cost >= budget {
+		return nil
+	}
+	return p
+}
+
+// store records a finished execution: the completed entry under its
+// granted budget, and — when the run left a checkpoint deeper than
+// what is already cached — the partial for future resumes.
+func (c *resultCache) store(key string, budget int, res core.Result, virtualNs int64, deadlined bool, status, reason string) {
+	byBudget := c.done[key]
+	if byBudget == nil {
+		byBudget = make(map[int]*cacheEntry)
+		c.done[key] = byBudget
+	}
+	if byBudget[budget] == nil {
+		byBudget[budget] = &cacheEntry{
+			budget:        budget,
+			bits:          math.Float64bits(res.Estimate),
+			variance:      tailVariance(res.Trajectory),
+			cost:          res.Cost,
+			samples:       res.Samples,
+			degraded:      res.Degraded,
+			status:        status,
+			reason:        reason,
+			retries:       res.Stats.Retries,
+			rateLimitHits: res.Stats.RateLimitHits,
+			virtualNs:     virtualNs,
+			deadlined:     deadlined,
+		}
+	}
+	if res.Checkpoint != nil {
+		p := c.partials[key]
+		if p == nil || res.Cost > p.cost {
+			c.partials[key] = &partialEntry{ck: res.Checkpoint, cost: res.Cost, stats: res.Stats}
+		}
+	}
+}
+
+// flight is one in-flight execution identical concurrent requests
+// coalesce onto (live path only): followers wait on done and copy the
+// leader's outcome with nothing charged.
+type flight struct {
+	done chan struct{}
+	resp Response
+}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+)
+
+// faultSeedStride decorrelates per-request fault schedules, the same
+// way internal/fleet derives per-walker fault seeds: each request gets
+// its own api.Server whose fault RNG is a function of the request
+// seed, so fault schedules replay identically at any parallelism and
+// an offline rerun of the same request observes the same faults.
+const faultSeedStride = 7368787
+
+// walkSpec is everything that determines a walk's outcome. Service
+// execution and RunOffline share it, which is what makes the audit's
+// bit-identity check meaningful: the service promises that an admitted
+// request returns exactly what this spec returns offline.
+type walkSpec struct {
+	platform *platform.Platform
+	preset   api.Preset
+	faults   api.Faults
+	q        query.Query
+	algo     string
+	budget   int
+	seed     int64
+	interval model.Tick
+	// deadline bounds the walk in virtual time (0 = none).
+	deadline time.Duration
+	// maxResumes bounds the automatic fault ride-out loop.
+	maxResumes int
+	// resume continues from a cached partial: a Rebase()d checkpoint
+	// whose warm response cache replays the paid prefix free.
+	resume *core.Checkpoint
+}
+
+// backend builds the request's own fault-seeded server over the shared
+// read-only platform.
+func (w walkSpec) backend() *api.Server {
+	f := w.faults
+	if f != (api.Faults{}) {
+		f.Seed = f.Seed + w.seed*faultSeedStride
+	}
+	return api.NewServer(w.platform, w.preset, f)
+}
+
+// runAlgo dispatches one walk segment, mirroring the mba facade's
+// algorithm switch (MA-TARW with the paper's COUNT/SUM lattice
+// settings, MA-SRW and M&R over the level view). The interval is
+// pinned — never pilot-selected — so resumed replays stay
+// bit-identical across segments.
+func runAlgo(ctx context.Context, s *core.Session, algo string, seed int64, ck *core.Checkpoint, agg query.Aggregate) (core.Result, error) {
+	switch algo {
+	case AlgoSRW:
+		return core.RunSRW(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+	case AlgoMR:
+		return core.RunMR(s, core.SRWOptions{View: core.LevelView, Seed: seed, Resume: ck, Ctx: ctx})
+	default:
+		tarw := core.TARWOptions{Seed: seed, Resume: ck, Ctx: ctx}
+		if agg != query.Avg {
+			tarw.AllowCrossLevel = true
+			tarw.WeightClip = 100
+			tarw.PEstimates = 5
+		}
+		return core.RunTARW(s, tarw)
+	}
+}
+
+// run executes the spec to completion: an initial segment plus the
+// bounded fault ride-out loop (degraded segments resume from their
+// checkpoint on a fresh client while budget and deadline headroom
+// remain — cached responses replay free, so spent calls are never
+// repaid). Budget exhaustion is a clean outcome, not an error.
+func (w walkSpec) run(ctx context.Context) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	srv := w.backend()
+	recovered := 0
+	if w.resume != nil {
+		recovered = w.resume.SpentCost()
+	}
+	newClient := func(spent int, stats api.Stats) (*api.Client, bool) {
+		budget := w.budget - spent
+		if budget <= 0 {
+			return nil, false
+		}
+		c := api.NewClient(srv, budget)
+		if w.deadline > 0 {
+			left := w.deadline - api.VirtualOf(w.preset, stats)
+			if left <= 0 {
+				return nil, false
+			}
+			c.Deadline = left
+		}
+		c.WithContext(ctx)
+		return c, true
+	}
+
+	var prior api.Stats
+	if w.resume != nil {
+		prior = w.resume.SpentStats()
+	}
+	client, ok := newClient(recovered, prior)
+	if !ok {
+		// The cached prefix alone overruns the budget or deadline; the
+		// caller should retry without the resume.
+		return core.Result{}, errNoHeadroom
+	}
+	session, err := core.NewSession(client, w.q, w.interval)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := runAlgo(ctx, session, w.algo, w.seed, w.resume, w.q.Agg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	for resumes := 0; res.Degraded && res.Cost < w.budget && resumes < w.maxResumes; resumes++ {
+		if errors.Is(res.DegradedBy, api.ErrCanceled) || errors.Is(res.DegradedBy, api.ErrDeadlineExceeded) {
+			break
+		}
+		client, ok = newClient(res.Cost, res.Stats)
+		if !ok {
+			break
+		}
+		session, err = core.NewSession(client, w.q, w.interval)
+		if err != nil {
+			break
+		}
+		prev := res
+		res, err = runAlgo(ctx, session, w.algo, w.seed, prev.Checkpoint, w.q.Agg)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if res.Cost <= prev.Cost && res.Samples <= prev.Samples {
+			break // no progress; report the degraded partial
+		}
+	}
+	return res, nil
+}
+
+// errNoHeadroom reports that a cached prefix already covers the
+// request's whole budget or deadline; the walk must run fresh.
+var errNoHeadroom = errors.New("serve: resume prefix exceeds budget or deadline headroom")
+
+// OfflineSpec describes an offline rerun of one admitted request, for
+// audits: same platform, same fault derivation, same granted budget
+// and deadline headroom as the service run.
+type OfflineSpec struct {
+	Platform *platform.Platform
+	Preset   api.Preset
+	// Faults is the service's base fault profile; the per-request
+	// derivation is applied internally, exactly as the service does.
+	Faults api.Faults
+	Query  query.Query
+	// Algo, Budget, Seed and Deadline come from the service Response
+	// (Budget is the granted budget; Deadline the headroom at
+	// dispatch).
+	Algo     string
+	Budget   int
+	Seed     int64
+	Deadline time.Duration
+	// Interval and MaxResumes must match the service Config (their
+	// zero values resolve to the same defaults).
+	Interval   model.Tick
+	MaxResumes int
+}
+
+// RunOffline executes a request the way the service would, minus the
+// service: no queueing, no cache, no quota. audit.CheckService
+// compares its estimate bits and cost against the served response.
+func RunOffline(spec OfflineSpec) (core.Result, error) {
+	if spec.Platform == nil {
+		return core.Result{}, fmt.Errorf("serve: OfflineSpec.Platform is required")
+	}
+	if spec.Preset.Name == "" {
+		spec.Preset = api.Twitter()
+	}
+	if spec.Interval <= 0 {
+		spec.Interval = model.Day
+	}
+	if spec.MaxResumes <= 0 {
+		spec.MaxResumes = 3
+	}
+	if spec.Algo == "" {
+		spec.Algo = AlgoTARW
+	}
+	w := walkSpec{
+		platform:   spec.Platform,
+		preset:     spec.Preset,
+		faults:     spec.Faults,
+		q:          spec.Query,
+		algo:       spec.Algo,
+		budget:     spec.Budget,
+		seed:       spec.Seed,
+		interval:   spec.Interval,
+		deadline:   spec.Deadline,
+		maxResumes: spec.MaxResumes,
+	}
+	return w.run(context.Background())
+}
+
+// execute runs an admitted task: dispatch-time cache re-check, partial
+// resume, the walk itself, then settlement (ledger commit/refund,
+// breaker note, cache store, metrics). headroom is the virtual
+// deadline budget left at dispatch. It takes and releases s.mu around
+// the walk so live workers execute in parallel.
+func (s *Service) execute(ctx context.Context, tk *task, headroom time.Duration) {
+	s.mu.Lock()
+	// The queue may have outlived the answer: an identical request
+	// completed while this one waited.
+	if !tk.req.NoCache {
+		if e := s.cache.completed(tk.key, tk.granted, int64(headroom)); e != nil {
+			s.ledger.Refund(tk.ten.account, tk.granted)
+			s.fillFromCache(tk, e)
+			s.breakerNote(tk.ten, false)
+			s.mu.Unlock()
+			return
+		}
+	}
+	var resume *core.Checkpoint
+	recovered := 0
+	var recoveredStats api.Stats
+	// Partial resume is only sound fault-free: under injected faults
+	// the replayed suffix would meet a different fault schedule than
+	// the uninterrupted run it must stay bit-identical to.
+	if !tk.req.NoCache && s.cfg.Faults == (api.Faults{}) {
+		if p := s.cache.bestPartial(tk.key, tk.granted); p != nil {
+			resume = p.ck.Rebase()
+			recovered = resume.SpentCost()
+			recoveredStats = resume.SpentStats()
+		}
+	}
+	s.mu.Unlock()
+
+	w := walkSpec{
+		platform:   s.cfg.Platform,
+		preset:     s.preset,
+		faults:     s.cfg.Faults,
+		q:          tk.q,
+		algo:       tk.req.Algo,
+		budget:     tk.granted,
+		seed:       tk.req.Seed,
+		interval:   s.cfg.Interval,
+		deadline:   headroom,
+		maxResumes: s.cfg.MaxResumes,
+		resume:     resume,
+	}
+	res, err := w.run(ctx)
+	if err != nil && errors.Is(err, errNoHeadroom) && resume != nil {
+		// The cached prefix is deeper than this request's headroom
+		// allows; run fresh so the deadline semantics match offline.
+		w.resume = nil
+		recovered, recoveredStats = 0, api.Stats{}
+		res, err = w.run(ctx)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ten := tk.ten
+	if err != nil {
+		s.ledger.Refund(ten.account, tk.granted)
+		s.unprobe(ten)
+		tk.resp.Status = StatusError
+		tk.resp.Err = err.Error()
+		tk.resp.Budget = tk.granted
+		s.met.Errors++
+		return
+	}
+
+	charged := res.Cost - recovered
+	if charged < 0 {
+		charged = 0
+	}
+	if charged > tk.granted {
+		charged = tk.granted
+	}
+	s.ledger.Commit(ten.account, charged)
+	if rest := tk.granted - charged; rest > 0 {
+		s.ledger.Refund(ten.account, rest)
+	}
+
+	reason := degradeReason(res)
+	backendFault := reason == ReasonBackend
+	s.breakerNote(ten, backendFault)
+
+	// busy time is the virtual duration of the new work only; the
+	// recovered prefix was already served (and waited for) by the run
+	// that cached it.
+	busy := s.virtualNs(res.Stats) - s.virtualNs(recoveredStats)
+	if busy < 0 {
+		busy = 0
+	}
+
+	tk.resp.Budget = tk.granted
+	tk.resp.Estimate = Float(res.Estimate)
+	tk.resp.EstimateBits = math.Float64bits(res.Estimate)
+	tk.resp.Variance = Float(tailVariance(res.Trajectory))
+	tk.resp.Cost = res.Cost
+	tk.resp.Charged = charged
+	tk.resp.Samples = res.Samples
+	tk.resp.Retries = res.Stats.Retries
+	tk.resp.RateLimitHits = res.Stats.RateLimitHits
+	tk.resp.BusyNs = busy
+	tk.resp.Resumed = recovered > 0
+	if tk.resp.Resumed {
+		s.met.Resumed++
+	}
+	switch {
+	case res.Degraded:
+		tk.resp.Status = StatusDegraded
+		tk.resp.Reason = reason
+		tk.resp.Degraded = true
+		s.met.Degraded++
+	case tk.pressure:
+		// The walk finished cleanly, but on a pressure-tier budget: the
+		// answer is a deliberate partial of what was asked for.
+		tk.resp.Status = StatusDegraded
+		tk.resp.Reason = ReasonPressure
+		tk.resp.Degraded = true
+		s.met.Degraded++
+	default:
+		tk.resp.Status = StatusOK
+		s.met.Ok++
+	}
+
+	if !tk.req.NoCache {
+		deadlined := errors.Is(res.DegradedBy, api.ErrDeadlineExceeded) || errors.Is(res.DegradedBy, api.ErrCanceled)
+		s.cache.store(tk.key, tk.granted, res, s.virtualNs(res.Stats), deadlined, tk.resp.Status, tk.resp.Reason)
+	}
+}
+
+// degradeReason classifies what degraded a result ("" when clean).
+func degradeReason(res core.Result) string {
+	if !res.Degraded {
+		return ""
+	}
+	switch {
+	case errors.Is(res.DegradedBy, api.ErrDeadlineExceeded):
+		return ReasonDeadline
+	case errors.Is(res.DegradedBy, api.ErrCanceled):
+		return ReasonCanceled
+	default:
+		return ReasonBackend
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mba/internal/model"
+	"mba/internal/query"
+)
+
+// fuzzSeedQueries mirrors the FuzzParseQuery corpus (every aggregate,
+// measure and predicate constructor) so the decoder fuzzer starts from
+// the same well-formed inputs the parser fuzzer does.
+var fuzzSeedQueries = []query.Query{
+	{Agg: query.Count, Measure: query.One, Keyword: "privacy"},
+	{Agg: query.Sum, Measure: query.KeywordPostCount, Keyword: "obama"},
+	{Agg: query.Avg, Measure: query.Followers, Keyword: "privacy",
+		Where: []query.Predicate{query.MaleOnly}},
+	{Agg: query.Avg, Measure: query.DisplayNameLength, Keyword: "nba",
+		Window: model.Window{From: 0, To: 7 * model.Day}},
+	{Agg: query.Avg, Measure: query.Age, Keyword: "election",
+		Window: model.Window{From: 2 * model.Day, To: 30 * model.Day},
+		Where:  []query.Predicate{query.FemaleOnly, query.AgeBetween(18, 34), query.MinFollowers(100)}},
+	{Agg: query.Sum, Measure: query.KeywordPostLikes, Keyword: "with \"quotes\" and \t escapes"},
+	{Agg: query.Avg, Measure: query.KeywordPostMeanLikes, Keyword: ""},
+}
+
+// FuzzServeRequestDecode asserts the HTTP request decoder never panics
+// on arbitrary bodies, and that any body it accepts normalizes to a
+// canonical query that re-decodes to the identical request — the same
+// idempotence contract FuzzParseQuery enforces one layer down.
+func FuzzServeRequestDecode(f *testing.F) {
+	wrap := func(q string) string {
+		b, _ := json.Marshal(Request{Tenant: "gold", Query: q, Budget: 100})
+		return string(b)
+	}
+	for _, q := range fuzzSeedQueries {
+		f.Add(wrap(q.String()))
+	}
+	f.Add(wrap("SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"\\u00e9\""))
+	f.Add(wrap("SELECT AVG(age) FROM users WHERE timeline CONTAINS \"x\" IN [d-1h-3,d304h0)"))
+	f.Add(wrap("SELECT SUM(keyword-posts) FROM users WHERE timeline CONTAINS \"x\" AND followers>=007"))
+	f.Add(`{"tenant":"gold","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"privacy\"","algo":"MA-SRW","budget":50,"seed":3,"deadline_ns":100,"arrival_ns":7,"no_cache":true}`)
+	f.Add(`{"tenant":""}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"tenant":"gold","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"x\"","budget":-1}`)
+	f.Add(`{"tenant":"gold","query":"DROP TABLE users"}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req, q, err := DecodeRequest(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if req.Query != q.String() {
+			t.Fatalf("accepted request not normalized: %q vs %q", req.Query, q.String())
+		}
+		// Re-encoding the normalized request must decode to the same
+		// normalized query.
+		again, _ := json.Marshal(req)
+		req2, q2, err := DecodeRequest(strings.NewReader(string(again)))
+		if err != nil {
+			t.Fatalf("normalized request %s does not re-decode: %v", again, err)
+		}
+		if req2.Query != req.Query || q2.String() != q.String() {
+			t.Fatalf("normalization not idempotent: %q -> %q", req.Query, req2.Query)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mba/internal/query"
+)
+
+// maxRequestBody bounds how much of a request body the decoder reads;
+// a query request is a few hundred bytes, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// DecodeRequest parses one JSON estimation request from r. It is the
+// single entry point for untrusted bytes: a malformed body — invalid
+// JSON, an unparsable query, an unknown algorithm, negative budgets or
+// clocks — returns an error, never a panic, and never reads more than
+// maxRequestBody bytes. On success the request's query text is
+// normalized to its canonical form.
+func DecodeRequest(r io.Reader) (Request, query.Query, error) {
+	var req Request
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		return req, query.Query{}, fmt.Errorf("serve: malformed request body: %w", err)
+	}
+	if req.Tenant == "" {
+		return req, query.Query{}, fmt.Errorf("serve: request names no tenant")
+	}
+	q, err := parseFor(req)
+	if err != nil {
+		return req, query.Query{}, err
+	}
+	req.Query = q.String()
+	return req, q, nil
+}
+
+// parseFor validates the request's query and scalar fields.
+func parseFor(req Request) (query.Query, error) {
+	q, err := query.ParseQuery(req.Query)
+	if err != nil {
+		return query.Query{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return query.Query{}, err
+	}
+	switch req.Algo {
+	case "", AlgoTARW, AlgoSRW, AlgoMR:
+	default:
+		return query.Query{}, fmt.Errorf("serve: unknown algorithm %q", req.Algo)
+	}
+	if req.Budget < 0 {
+		return query.Query{}, fmt.Errorf("serve: negative budget %d", req.Budget)
+	}
+	if req.Seed < 0 {
+		return query.Query{}, fmt.Errorf("serve: negative seed %d", req.Seed)
+	}
+	if req.DeadlineNs < 0 || req.ArrivalNs < 0 {
+		return query.Query{}, fmt.Errorf("serve: negative virtual clock")
+	}
+	return q, nil
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/query   — submit a request, block for its Response
+//	GET  /v1/stats   — service metrics and ledger accounting
+//	GET  /healthz    — liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		req, _, err := DecodeRequest(r.Body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		resp := s.Do(r.Context(), req)
+		status := http.StatusOK
+		switch resp.Status {
+		case StatusShed:
+			status = http.StatusTooManyRequests
+		case StatusError:
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		met, led := s.Snapshot()
+		writeJSON(w, http.StatusOK, struct {
+			Metrics Metrics     `json:"metrics"`
+			Ledger  interface{} `json:"ledger"`
+		}{met, led})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mba/internal/query"
+)
+
+// liveService spins up a service with a running pool and an HTTP test
+// server, torn down with the test.
+func liveService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Platform: testPlatform(t),
+		Tenants:  twoTenants(8000),
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Run(ctx)
+	}()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		wg.Wait()
+	})
+	return s, ts
+}
+
+// TestHTTPQueryRoundTrip: a query POSTed over HTTP returns a JSON
+// response that decodes back, including its NaN fields.
+func TestHTTPQueryRoundTrip(t *testing.T) {
+	_, ts := liveService(t)
+
+	// A one-call budget cannot even finish the first API call — the
+	// walk errors out and the response carries NaN fields, which must
+	// still marshal and decode — the round-trip satellite.
+	body := `{"tenant":"gold","query":"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"privacy\"","budget":1,"no_cache":true}`
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("response did not decode: %v", err)
+	}
+	if !math.IsNaN(float64(r.Estimate)) {
+		t.Errorf("1-call budget formed estimate %v", r.Estimate)
+	}
+	if r.EstimateBits != math.Float64bits(math.NaN()) {
+		t.Errorf("estimate bits %#x lost NaN", r.EstimateBits)
+	}
+	if want := query.AvgQuery("privacy", query.Followers).String(); r.Query != want {
+		t.Errorf("query not normalized: %q != %q", r.Query, want)
+	}
+
+	// A real budget returns a finite estimate.
+	body = `{"tenant":"bronze","query":"SELECT AVG(followers) FROM users WHERE timeline CONTAINS \"boston\"","budget":2000}`
+	resp2, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var r2 Response
+	if err := json.NewDecoder(resp2.Body).Decode(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Status != StatusOK || math.IsNaN(float64(r2.Estimate)) {
+		t.Errorf("want finite ok estimate, got %+v", r2)
+	}
+	if r2.Charged == 0 {
+		t.Errorf("fresh run charged nothing: %+v", r2)
+	}
+}
+
+// TestHTTPRejectsMalformed: bad bodies are 4xx responses, never
+// panics, and unknown tenants are well-formed errors.
+func TestHTTPRejectsMalformed(t *testing.T) {
+	_, ts := liveService(t)
+	for _, body := range []string{
+		``,
+		`{`,
+		`[]`,
+		`{"tenant":"gold"}`,
+		`{"tenant":"gold","query":"DROP TABLE users"}`,
+		`{"tenant":"gold","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"privacy\"","budget":-5}`,
+		`{"tenant":"gold","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"privacy\"","algo":"QUANTUM"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Unknown tenant parses fine but resolves to an error response.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"tenant":"nobody","query":"SELECT COUNT(1) FROM users WHERE timeline CONTAINS \"privacy\""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown tenant: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestHTTPStats: the stats endpoint serves metrics and ledger books.
+func TestHTTPStats(t *testing.T) {
+	_, ts := liveService(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Metrics Metrics `json:"metrics"`
+		Ledger  struct {
+			Total int `json:"Total"`
+		} `json:"ledger"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ledger.Total != 24000 {
+		t.Errorf("ledger total %d, want 24000", out.Ledger.Total)
+	}
+}

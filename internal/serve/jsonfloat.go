@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Float is a float64 that survives JSON round-trips when non-finite.
+// encoding/json refuses to marshal NaN and ±Inf (it returns an
+// UnsupportedValueError), but Degraded partial estimates legitimately
+// carry them: a shed query has no estimate (NaN), and the trajectory
+// dispersion of a two-sample partial can overflow. Following the
+// internal/store convention (RunSummary.EstimateBits), non-finite
+// values are encoded as the strings "NaN", "+Inf" and "-Inf"; finite
+// values marshal as ordinary JSON numbers, which Go already prints
+// with a shortest round-trip representation. Responses additionally
+// carry the raw IEEE-754 bits (see Response.EstimateBits) so auditors
+// can compare estimates bit for bit without parsing decimals.
+type Float float64
+
+// MarshalJSON encodes non-finite values as strings and finite values
+// as JSON numbers.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts JSON numbers, the non-finite sentinels, and
+// (for lenient clients) stringified finite numbers.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = Float(math.NaN())
+			return nil
+		case "+Inf", "Inf":
+			*f = Float(math.Inf(1))
+			return nil
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("serve: malformed float %q", s)
+		}
+		*f = Float(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}

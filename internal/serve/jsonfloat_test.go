@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestFloatRoundTrip: every float64 class survives a JSON round trip,
+// including the values encoding/json rejects outright (NaN, ±Inf).
+func TestFloatRoundTrip(t *testing.T) {
+	cases := []float64{
+		0, -0.0, 1, -1, 0.5, 1e300, -1e-300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	}
+	for _, v := range cases {
+		b, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", b, err)
+		}
+		got, want := float64(back), v
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Errorf("NaN round-tripped to %v via %s", got, b)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("%v round-tripped to %v via %s", want, got, b)
+		}
+	}
+}
+
+// TestFloatSentinels: the wire encoding of non-finite values is the
+// quoted sentinel form, so documents stay valid JSON.
+func TestFloatSentinels(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), `"NaN"`},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+		{2.5, `2.5`},
+	} {
+		b, err := json.Marshal(Float(tc.v))
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", tc.v, err)
+		}
+		if string(b) != tc.want {
+			t.Errorf("Marshal(%v) = %s, want %s", tc.v, b, tc.want)
+		}
+	}
+}
+
+// TestFloatDecodeForms: the decoder accepts plain numbers, sentinel
+// strings, and stringified finite numbers, and rejects garbage.
+func TestFloatDecodeForms(t *testing.T) {
+	good := map[string]float64{
+		`3.25`:   3.25,
+		`"3.25"`: 3.25,
+		`"Inf"`:  math.Inf(1),
+		`"+Inf"`: math.Inf(1),
+		`"-Inf"`: math.Inf(-1),
+		`"1e4"`:  1e4,
+	}
+	for in, want := range good {
+		var f Float
+		if err := json.Unmarshal([]byte(in), &f); err != nil {
+			t.Errorf("Unmarshal(%s): %v", in, err)
+			continue
+		}
+		if float64(f) != want {
+			t.Errorf("Unmarshal(%s) = %v, want %v", in, float64(f), want)
+		}
+	}
+	var f Float
+	if err := json.Unmarshal([]byte(`"nan"`), &f); err != nil {
+		t.Errorf(`lower-case "nan" rejected: %v`, err)
+	} else if !math.IsNaN(float64(f)) {
+		t.Errorf(`"nan" decoded to %v`, float64(f))
+	}
+	for _, in := range []string{`"pancake"`, `{}`, `[1]`, `true`, `""`} {
+		var g Float
+		if err := json.Unmarshal([]byte(in), &g); err == nil {
+			t.Errorf("Unmarshal(%s) unexpectedly succeeded with %v", in, float64(g))
+		}
+	}
+}

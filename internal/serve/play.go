@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mba/internal/query"
+)
+
+// Play replays a request trace through a simulated machine room: the
+// same admission, execution, caching and settlement state machine the
+// live worker pool runs, driven by a sequential discrete-event loop
+// over Config.Workers virtual workers on the virtual clock. Requests
+// are processed strictly in (ArrivalNs, input order); admission
+// happens at arrival, dispatch when a worker frees up, and a worker
+// stays busy for the walk's virtual duration. Because no goroutines
+// are involved, Play is bit-deterministic in (Config, trace) — it is
+// the harness experiments.ServeSweep and audit.CheckService drive.
+//
+// Responses are returned in input order, one per request, no matter
+// what happens to each (the no-silent-drop invariant).
+func (s *Service) Play(reqs []Request) []Response {
+	type arrival struct {
+		idx int
+		tk  *task
+	}
+	arrivals := make([]arrival, 0, len(reqs))
+	responses := make([]Response, len(reqs))
+	for i, req := range reqs {
+		if req.ID == "" {
+			req.ID = fmt.Sprintf("r%04d", i)
+		}
+		q, err := query.ParseQuery(req.Query)
+		if err != nil {
+			tk := s.normalizeUnparsed(req)
+			tk.resp = tk.baseResponse()
+			tk.resp.Status = StatusError
+			tk.resp.Err = err.Error()
+			s.mu.Lock()
+			s.met.Requests++
+			s.met.Errors++
+			s.mu.Unlock()
+			responses[i] = tk.resp
+			continue
+		}
+		arrivals = append(arrivals, arrival{idx: i, tk: s.normalize(req, q)})
+	}
+	sort.SliceStable(arrivals, func(a, b int) bool {
+		return arrivals[a].tk.arrival < arrivals[b].tk.arrival
+	})
+
+	freeAt := make([]int64, s.cfg.Workers)
+	pendingIdx := make(map[*task]int, len(arrivals))
+	next := 0
+	pending := 0
+
+	admitOne := func(a arrival) {
+		s.mu.Lock()
+		final := s.admit(a.tk)
+		s.mu.Unlock()
+		if final {
+			if a.tk.resp.CacheHit {
+				a.tk.resp.DoneNs = a.tk.arrival
+			}
+			responses[a.idx] = a.tk.resp
+			return
+		}
+		pendingIdx[a.tk] = a.idx
+		pending++
+	}
+
+	for next < len(arrivals) || pending > 0 {
+		if pending == 0 {
+			admitOne(arrivals[next])
+			next++
+			continue
+		}
+		// Earliest free worker defines the next dispatch instant;
+		// arrivals strictly before it are admitted first.
+		w := 0
+		for i := 1; i < len(freeAt); i++ {
+			if freeAt[i] < freeAt[w] {
+				w = i
+			}
+		}
+		if next < len(arrivals) && arrivals[next].tk.arrival <= freeAt[w] {
+			admitOne(arrivals[next])
+			next++
+			continue
+		}
+
+		s.mu.Lock()
+		tk := s.nextTask()
+		s.mu.Unlock()
+		if tk == nil {
+			continue // unreachable: pending > 0 implies a queued task
+		}
+		idx := pendingIdx[tk]
+		delete(pendingIdx, tk)
+		pending--
+
+		start := freeAt[w]
+		if tk.arrival > start {
+			start = tk.arrival
+		}
+		queueNs := start - tk.arrival
+		tk.resp.QueueNs = queueNs
+		headroom, ok := deadlineLeft(tk.req, queueNs)
+		if !ok {
+			// The deadline lapsed in the queue: shed at dispatch, refund
+			// the reservation untouched, occupy no worker time.
+			s.mu.Lock()
+			s.ledger.Refund(tk.ten.account, tk.granted)
+			s.unprobe(tk.ten)
+			s.met.Admitted-- // it never ran; reclassify as shed
+			s.shed(tk, ShedDeadline)
+			s.mu.Unlock()
+			tk.resp.DoneNs = start
+			responses[idx] = tk.resp
+			continue
+		}
+		tk.resp.DeadlineLeftNs = int64(headroom)
+		s.execute(context.Background(), tk, headroom)
+		tk.resp.DoneNs = start + tk.resp.BusyNs
+		freeAt[w] = tk.resp.DoneNs
+		responses[idx] = tk.resp
+	}
+	return responses
+}
+
+// normalizeUnparsed builds a task shell for a request whose query did
+// not parse, so its error response still carries the identity fields.
+func (s *Service) normalizeUnparsed(req Request) *task {
+	if req.Algo == "" {
+		req.Algo = AlgoTARW
+	}
+	return &task{req: req, arrival: req.ArrivalNs}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Run operates the live worker pool until ctx is canceled: Workers
+// executor goroutines plus one watcher that wakes blocked takers on
+// cancellation. Every goroutine spawned here is joined before Run
+// returns (the gospawn invariant), so no execution outlives the
+// service shutdown. Use Do (or the HTTP handler) to submit requests
+// while Run is active.
+func (s *Service) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerLoop(ctx)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ListenAndServe runs the worker pool and an HTTP server on addr until
+// ctx is canceled, then drains both. It exists so cmd/mba-serve needs
+// no goroutines of its own; like Run, every spawn is joined before
+// returning.
+func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Run(runCtx)
+	}()
+	go func() {
+		defer wg.Done()
+		<-runCtx.Done()
+		hs.Shutdown(context.Background())
+	}()
+	err = hs.Serve(ln)
+	cancel()
+	wg.Wait()
+	if errors.Is(err, http.ErrServerClosed) {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// workerLoop pulls admitted tasks and executes them until shutdown.
+func (s *Service) workerLoop(ctx context.Context) {
+	for {
+		tk := s.take()
+		if tk == nil {
+			return
+		}
+		s.process(ctx, tk)
+		close(tk.done)
+	}
+}
+
+// take blocks for the next dispatchable task (nil on shutdown).
+func (s *Service) take() *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if tk := s.nextTask(); tk != nil {
+			return tk
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// process executes one dispatched task on the live path, coalescing
+// identical concurrent requests single-flight: the first becomes the
+// leader and runs the walk; followers wait for its outcome, inherit
+// the result, refund their reservation and charge nothing.
+func (s *Service) process(ctx context.Context, tk *task) {
+	if tk.ctx != nil {
+		ctx = tk.ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	headroom, ok := deadlineLeft(tk.req, 0)
+	if !ok {
+		headroom = 0
+	}
+	flightKey := ""
+	if !tk.req.NoCache {
+		flightKey = fmt.Sprintf("%s|%d", tk.key, tk.granted)
+	}
+	if flightKey != "" {
+		s.mu.Lock()
+		if f := s.flights[flightKey]; f != nil {
+			s.mu.Unlock()
+			<-f.done
+			s.mu.Lock()
+			s.ledger.Refund(tk.ten.account, tk.granted)
+			s.unprobe(tk.ten)
+			resp := tk.baseResponse()
+			resp.Status = f.resp.Status
+			resp.Reason = f.resp.Reason
+			resp.Estimate = f.resp.Estimate
+			resp.EstimateBits = f.resp.EstimateBits
+			resp.Variance = f.resp.Variance
+			resp.Budget = f.resp.Budget
+			resp.Cost = f.resp.Cost
+			resp.Samples = f.resp.Samples
+			resp.Degraded = f.resp.Degraded
+			resp.Err = f.resp.Err
+			resp.Charged = 0
+			resp.Coalesced = true
+			tk.resp = resp
+			s.met.Coalesced++
+			switch resp.Status {
+			case StatusDegraded:
+				s.met.Degraded++
+			case StatusOK:
+				s.met.Ok++
+			case StatusError:
+				s.met.Errors++
+			}
+			s.mu.Unlock()
+			return
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[flightKey] = f
+		s.mu.Unlock()
+		s.execute(ctx, tk, headroom)
+		s.mu.Lock()
+		f.resp = tk.resp
+		delete(s.flights, flightKey)
+		s.mu.Unlock()
+		close(f.done)
+		return
+	}
+	s.execute(ctx, tk, headroom)
+}
+
+// Do submits one request on the live path and blocks for its
+// response. Cancellation of ctx while the request is still queued
+// sheds it; once executing, the context is threaded into the walk and
+// a canceled walk returns a Degraded partial.
+func (s *Service) Do(ctx context.Context, req Request) Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if req.ID == "" {
+		s.nextID++
+		req.ID = fmt.Sprintf("live-%06d", s.nextID)
+	}
+	q, err := parseFor(req)
+	if err != nil {
+		tk := s.normalizeUnparsed(req)
+		tk.resp = tk.baseResponse()
+		tk.resp.Status = StatusError
+		tk.resp.Err = err.Error()
+		s.met.Requests++
+		s.met.Errors++
+		s.mu.Unlock()
+		return tk.resp
+	}
+	tk := s.normalize(req, q)
+	tk.ctx = ctx
+	if s.closed {
+		tk.resp = tk.baseResponse()
+		tk.resp.Status = StatusError
+		tk.resp.Err = "serve: service is shut down"
+		s.met.Requests++
+		s.met.Errors++
+		s.mu.Unlock()
+		return tk.resp
+	}
+	final := s.admit(tk)
+	if !final {
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	if final {
+		return tk.resp
+	}
+	select {
+	case <-tk.done:
+		return tk.resp
+	case <-ctx.Done():
+		s.mu.Lock()
+		dropped := s.dropQueued(tk)
+		if dropped {
+			s.unprobe(tk.ten)
+			s.met.Admitted--
+			s.shed(tk, ReasonCanceled)
+			s.mu.Unlock()
+			return tk.resp
+		}
+		s.mu.Unlock()
+		// Already executing: the walk sees the same ctx and degrades.
+		<-tk.done
+		return tk.resp
+	}
+}

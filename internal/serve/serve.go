@@ -1,0 +1,500 @@
+// Package serve is the overload-resilient multi-tenant estimation
+// service behind cmd/mba-serve. It front-ends the estimation stack
+// (core walks over the rate-limited api simulator) with an HTTP/JSON
+// API executed by a bounded worker pool, organized around one
+// principle: shed, don't collapse.
+//
+//   - Admission control: every tenant holds an api.Ledger quota and a
+//     bounded FIFO queue; dispatch is smooth weighted round-robin, so a
+//     hot tenant cannot starve the rest. Budget is reserved
+//     all-or-nothing at admission and committed/refunded at completion,
+//     so Σ charged cost per tenant can never exceed its quota.
+//   - Deadline propagation: requests carry a virtual-clock deadline
+//     (the clock api.VirtualOf reports); queue wait is charged against
+//     it, the remainder is threaded into the walk via api.Client.
+//     Deadline, and a request whose deadline lapsed while queued is
+//     shed without spending a call.
+//   - Load shedding: when the queue backlog crosses the degrade
+//     watermark new requests are admitted at a fraction of their
+//     budget (a Degraded partial answer now beats a full answer
+//     never); past the shed watermark they are refused outright. A
+//     per-tenant circuit breaker trips after repeated backend-fault
+//     degradations and sheds that tenant's requests for a cooldown,
+//     then half-opens with a single probe.
+//   - Result + pilot-walk cache: completed runs are cached on
+//     (normalized query, algorithm, seed, snapshot epoch, tenant
+//     class, budget); partial runs cache their checkpoint, and a later
+//     identical query with a larger budget resumes from the rebased
+//     checkpoint — the warm response cache replays the already-paid
+//     prefix free (core.Checkpoint.Rebase), so a shed query's spent
+//     budget is never repaid and the resumed result is bit-identical
+//     to an uninterrupted run. Identical concurrent queries are
+//     coalesced single-flight.
+//
+// Everything is virtual-time and seed-deterministic: Play replays a
+// request trace through a simulated worker pool with no goroutines at
+// all, which is what experiments.ServeSweep and audit.CheckService
+// drive; Run/Do execute the same admission/execution state machine on
+// a real WaitGroup-joined worker pool for cmd/mba-serve.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/core"
+	"mba/internal/model"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/stats"
+)
+
+// Algorithm names accepted in Request.Algo (mba.Algorithm spellings).
+const (
+	AlgoTARW = "MA-TARW"
+	AlgoSRW  = "MA-SRW"
+	AlgoMR   = "M&R"
+)
+
+// Response statuses.
+const (
+	StatusOK       = "ok"       // clean completion (budget exhaustion included)
+	StatusDegraded = "degraded" // partial estimate: pressure tier, deadline, or backend faults
+	StatusShed     = "shed"     // refused at admission or dispatch; nothing spent
+	StatusError    = "error"    // malformed request or execution failure
+)
+
+// Shed and degradation reasons.
+const (
+	ShedOverload    = "overload"          // global backlog past the shed watermark
+	ShedTenantQueue = "tenant-queue-full" // per-tenant queue depth exceeded
+	ShedQuota       = "quota-exhausted"   // ledger could not reserve the budget
+	ShedBreaker     = "breaker-open"      // tenant circuit breaker cooling down
+	ShedDeadline    = "deadline-lapsed"   // virtual deadline expired while queued
+	ReasonPressure  = "budget-pressure"   // admitted past the degrade watermark at reduced budget
+	ReasonBackend   = "backend-fault"     // unrecoverable API faults degraded the walk
+	ReasonDeadline  = "deadline-exceeded" // the walk ran out of virtual deadline
+	ReasonCanceled  = "canceled"          // caller context canceled
+)
+
+// TenantConfig declares one tenant of the service.
+type TenantConfig struct {
+	// Name identifies the tenant in requests and the ledger account.
+	Name string
+	// Quota is the tenant's total API-call budget (ledger account).
+	Quota int
+	// Weight is the tenant's fair-share weight (default 1).
+	Weight int
+	// Depth bounds the tenant's admission queue (default 8).
+	Depth int
+	// Class keys the result cache; tenants sharing a class share cached
+	// results (default: the tenant's own name, i.e. no sharing).
+	Class string
+}
+
+// Config configures a Service.
+type Config struct {
+	// Platform is the shared read-only simulated platform.
+	Platform *platform.Platform
+	// Preset is the API interface preset (default api.Twitter()).
+	Preset api.Preset
+	// Faults is the base fault profile. Like internal/fleet, each
+	// request gets its own api.Server with a fault seed derived from
+	// the request seed, so fault schedules are per-request deterministic
+	// at any worker parallelism.
+	Faults api.Faults
+	// Tenants declares the tenants; at least one is required.
+	Tenants []TenantConfig
+	// Workers sizes the worker pool — both the real goroutine pool
+	// (Run) and the virtual machine-room Play simulates (default 4).
+	Workers int
+	// Epoch is the platform snapshot epoch baked into cache keys; bump
+	// it to invalidate every cached result (default 1).
+	Epoch int64
+	// Interval is the level-by-level interval T for the walks (default
+	// model.Day). Serve pins it rather than pilot-selecting per request
+	// so resumed replays stay bit-identical (interval re-selection
+	// would draw fresh RNG per incarnation).
+	Interval model.Tick
+	// DefaultBudget is granted to requests that do not name one
+	// (default 2000).
+	DefaultBudget int
+	// DegradeDepth is the total-backlog watermark past which new
+	// requests are admitted at DegradeFrac of their budget (default
+	// 2×Workers; negative disables the pressure tier).
+	DegradeDepth int
+	// ShedDepth is the total-backlog watermark past which new requests
+	// are shed outright (default 4×Workers).
+	ShedDepth int
+	// DegradeFrac is the budget fraction granted in the pressure tier
+	// (default 0.5).
+	DegradeFrac float64
+	// MinBudget floors the pressure-tier grant (default 200).
+	MinBudget int
+	// BreakerThreshold trips a tenant's circuit breaker after that many
+	// consecutive backend-fault degradations (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how many admissions the tripped breaker sheds
+	// before half-opening with a probe (default 4).
+	BreakerCooldown int
+	// MaxResumes bounds the automatic fault ride-out resumes per
+	// request (default 3; mba.Estimate uses 100, but a service bounds
+	// per-request latency).
+	MaxResumes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset.Name == "" {
+		c.Preset = api.Twitter()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = model.Day
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2000
+	}
+	if c.DegradeDepth == 0 {
+		c.DegradeDepth = 2 * c.Workers
+	}
+	if c.ShedDepth <= 0 {
+		c.ShedDepth = 4 * c.Workers
+	}
+	if c.DegradeFrac <= 0 || c.DegradeFrac > 1 {
+		c.DegradeFrac = 0.5
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 200
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 4
+	}
+	if c.MaxResumes <= 0 {
+		c.MaxResumes = 3
+	}
+	return c
+}
+
+// Request is one aggregate estimation request.
+type Request struct {
+	// ID names the request in responses and audits (default: assigned
+	// sequentially).
+	ID string `json:"id,omitempty"`
+	// Tenant names the paying tenant (required).
+	Tenant string `json:"tenant"`
+	// Query is the aggregate query text (see query.ParseQuery).
+	Query string `json:"query"`
+	// Algo selects the algorithm: MA-TARW (default), MA-SRW, or M&R.
+	Algo string `json:"algo,omitempty"`
+	// Budget is the API-call budget (default Config.DefaultBudget).
+	Budget int `json:"budget,omitempty"`
+	// Seed derandomizes the walk; 0 derives it from the normalized
+	// query, so identical queries share walks, cache entries and
+	// single-flight coalescing.
+	Seed int64 `json:"seed,omitempty"`
+	// DeadlineNs bounds the request in virtual platform time
+	// (nanoseconds), queue wait included; 0 = none.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+	// ArrivalNs is the virtual arrival time for Play traces; the live
+	// HTTP path ignores it.
+	ArrivalNs int64 `json:"arrival_ns,omitempty"`
+	// NoCache bypasses the result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Response reports the outcome of one request. All float fields use
+// the NaN-safe Float codec; Estimate additionally travels as raw
+// IEEE-754 bits so audits compare results exactly.
+type Response struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// Query is the normalized (canonical) query text.
+	Query string `json:"query"`
+	Algo  string `json:"algo"`
+	Seed  int64  `json:"seed"`
+	// Status is ok, degraded, shed, or error.
+	Status string `json:"status"`
+	// Reason qualifies degraded and shed statuses.
+	Reason string `json:"reason,omitempty"`
+	// Estimate is the aggregate estimate (NaN if none was formed).
+	Estimate     Float  `json:"estimate"`
+	EstimateBits uint64 `json:"estimate_bits"`
+	// Variance is the dispersion of the trajectory tail — an
+	// operational convergence signal, NaN when fewer than two
+	// trajectory points exist.
+	Variance Float `json:"variance"`
+	// Requested and Budget are the asked-for and granted call budgets
+	// (they differ in the pressure tier).
+	Requested int `json:"requested"`
+	Budget    int `json:"budget"`
+	// Cost is the walk's cumulative spend, cache-recovered prefix
+	// included; Charged is what this request newly committed against
+	// its tenant's quota (0 on cache hits and coalesced responses).
+	Cost    int `json:"cost"`
+	Charged int `json:"charged"`
+	Samples int `json:"samples"`
+	// Degraded marks partial results (pressure tier, deadline, backend
+	// faults) and every shed response.
+	Degraded bool `json:"degraded"`
+	// DeadlineLeftNs is the virtual deadline headroom at dispatch.
+	DeadlineLeftNs int64 `json:"deadline_left_ns,omitempty"`
+	// QueueNs, BusyNs and DoneNs are virtual-time queue wait, execution
+	// time, and completion instant (Play traces only; zero on the live
+	// path, which has no arrival clock).
+	QueueNs int64 `json:"queue_ns,omitempty"`
+	BusyNs  int64 `json:"busy_ns,omitempty"`
+	DoneNs  int64 `json:"done_ns,omitempty"`
+	// CacheHit: answered from the completed-result cache. Resumed:
+	// continued from a cached partial checkpoint. Coalesced: shared an
+	// identical in-flight execution (single-flight).
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	Resumed   bool `json:"resumed,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Retries and RateLimitHits quantify the resilience overhead paid.
+	Retries       int    `json:"retries,omitempty"`
+	RateLimitHits int    `json:"rate_limit_hits,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+// Metrics counts service outcomes.
+type Metrics struct {
+	Requests     int            `json:"requests"`
+	Admitted     int            `json:"admitted"`
+	Ok           int            `json:"ok"`
+	Degraded     int            `json:"degraded"`
+	Shed         int            `json:"shed"`
+	Errors       int            `json:"errors"`
+	ShedBy       map[string]int `json:"shed_by,omitempty"`
+	CacheHits    int            `json:"cache_hits"`
+	Resumed      int            `json:"resumed"`
+	Coalesced    int            `json:"coalesced"`
+	BreakerTrips int            `json:"breaker_trips"`
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// tenant is the per-tenant admission state.
+type tenant struct {
+	cfg     TenantConfig
+	account int
+	queue   []*task
+	// credit implements smooth weighted round-robin dispatch.
+	credit int
+	// circuit breaker: consecutive backend-fault degradations trip it;
+	// cooldownLeft admissions are shed while open; half-open admits a
+	// single probe whose outcome closes or re-trips it.
+	consecFaults int
+	breaker      int
+	cooldownLeft int
+	probing      bool
+}
+
+// task is one admitted (or about-to-be-admitted) request.
+type task struct {
+	req     Request
+	q       query.Query
+	ten     *tenant
+	key     string // cache key (sans budget)
+	granted int    // reserved budget
+	// pressure marks a degrade-watermark admission at reduced budget.
+	pressure bool
+	arrival  int64
+	// done is closed by the live worker pool when resp is final.
+	done chan struct{}
+	resp Response
+	// ctx is the live submitter's context (nil on Play traces).
+	ctx context.Context
+}
+
+// Service is the multi-tenant estimation service. One Service holds
+// one ledger epoch: construct a fresh Service to reset quotas.
+type Service struct {
+	cfg    Config
+	preset api.Preset
+	ledger *api.Ledger
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenant
+	order   []*tenant
+	backlog int
+	cache   *resultCache
+	flights map[string]*flight
+	met     Metrics
+	nextID  int
+	closed  bool
+}
+
+// New validates the configuration and builds a Service with every
+// tenant's quota registered on a fresh ledger.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("serve: Config.Platform is required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: at least one tenant is required")
+	}
+	total := 0
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("serve: tenant with empty name")
+		}
+		if tc.Quota <= 0 {
+			return nil, fmt.Errorf("serve: tenant %q needs a positive quota", tc.Name)
+		}
+		total += tc.Quota
+	}
+	s := &Service{
+		cfg:     cfg,
+		preset:  cfg.Preset,
+		ledger:  api.NewLedger(total),
+		tenants: make(map[string]*tenant, len(cfg.Tenants)),
+		cache:   newResultCache(),
+		flights: make(map[string]*flight),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.met.ShedBy = make(map[string]int)
+	for i, tc := range cfg.Tenants {
+		if tc.Weight <= 0 {
+			tc.Weight = 1
+		}
+		if tc.Depth <= 0 {
+			tc.Depth = 8
+		}
+		if tc.Class == "" {
+			tc.Class = tc.Name
+		}
+		if _, dup := s.tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+		}
+		if err := s.ledger.Register(i, tc.Quota); err != nil {
+			return nil, fmt.Errorf("serve: register tenant %q: %w", tc.Name, err)
+		}
+		t := &tenant{cfg: tc, account: i}
+		s.tenants[tc.Name] = t
+		s.order = append(s.order, t)
+	}
+	return s, nil
+}
+
+// Snapshot returns the service metrics and the ledger accounting.
+func (s *Service) Snapshot() (Metrics, api.LedgerStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.met
+	m.ShedBy = make(map[string]int, len(s.met.ShedBy))
+	for k, v := range s.met.ShedBy {
+		m.ShedBy[k] = v
+	}
+	return m, s.ledger.Snapshot()
+}
+
+// Account returns the ledger account ID backing a tenant, for audits.
+func (s *Service) Account(tenantName string) (int, bool) {
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return 0, false
+	}
+	return t.account, true
+}
+
+// querySeed derives a walk seed from the normalized query text, so
+// requests that do not pin a seed share walks (and cache entries) for
+// identical queries.
+func querySeed(canonical string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(canonical))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// normalize resolves request defaults into a task. The query must
+// already be parsed (DecodeRequest) so this cannot fail.
+func (s *Service) normalize(req Request, q query.Query) *task {
+	req.Query = q.String()
+	if req.Algo == "" {
+		req.Algo = AlgoTARW
+	}
+	if req.Budget <= 0 {
+		req.Budget = s.cfg.DefaultBudget
+	}
+	if req.Seed == 0 {
+		req.Seed = querySeed(req.Query)
+	}
+	tk := &task{req: req, q: q, arrival: req.ArrivalNs, done: make(chan struct{})}
+	if ten, ok := s.tenants[req.Tenant]; ok {
+		tk.ten = ten
+		tk.key = fmt.Sprintf("%s|%s|%d|%d|%s", req.Query, req.Algo, req.Seed, s.cfg.Epoch, ten.cfg.Class)
+	}
+	return tk
+}
+
+// baseResponse seeds a response with the request's identity fields.
+func (tk *task) baseResponse() Response {
+	return Response{
+		ID:           tk.req.ID,
+		Tenant:       tk.req.Tenant,
+		Query:        tk.req.Query,
+		Algo:         tk.req.Algo,
+		Seed:         tk.req.Seed,
+		Requested:    tk.req.Budget,
+		Estimate:     Float(math.NaN()),
+		EstimateBits: math.Float64bits(math.NaN()),
+		Variance:     Float(math.NaN()),
+	}
+}
+
+// tailVariance measures the dispersion of the trajectory's last few
+// convergence points — NaN when the run produced fewer than two.
+func tailVariance(traj []core.Point) float64 {
+	const tail = 8
+	n := len(traj)
+	if n < 2 {
+		return math.NaN()
+	}
+	lo := n - tail
+	if lo < 0 {
+		lo = 0
+	}
+	xs := make([]float64, 0, n-lo)
+	for _, p := range traj[lo:] {
+		xs = append(xs, p.Estimate)
+	}
+	return stats.Variance(xs)
+}
+
+// virtualNs converts cumulative accounting into the virtual clock.
+func (s *Service) virtualNs(st api.Stats) int64 {
+	return int64(api.VirtualOf(s.preset, st))
+}
+
+// deadlineLeft computes the virtual headroom remaining after waiting
+// queueNs against the request's deadline; ok=false means it lapsed.
+func deadlineLeft(req Request, queueNs int64) (time.Duration, bool) {
+	if req.DeadlineNs <= 0 {
+		return 0, true
+	}
+	left := req.DeadlineNs - queueNs
+	if left <= 0 {
+		return 0, false
+	}
+	return time.Duration(left), true
+}

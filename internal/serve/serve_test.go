@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"mba/internal/api"
+	"mba/internal/platform"
+	"mba/internal/query"
+	"mba/internal/workload"
+)
+
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	p, err := workload.Get(workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func twoTenants(quota int) []TenantConfig {
+	return []TenantConfig{
+		{Name: "gold", Quota: 2 * quota, Weight: 2, Depth: 8},
+		{Name: "bronze", Quota: quota, Weight: 1, Depth: 8},
+	}
+}
+
+// executed reports whether a response reflects an actual walk this
+// service ran (as opposed to a shed, an error, or a cache echo).
+func executed(r Response) bool {
+	return (r.Status == StatusOK || r.Status == StatusDegraded) && !r.CacheHit && !r.Coalesced
+}
+
+// offlineFor reruns a served response offline with the same granted
+// budget and deadline headroom.
+func offlineFor(t *testing.T, p *platform.Platform, faults api.Faults, r Response) (uint64, int) {
+	t.Helper()
+	q, err := query.ParseQuery(r.Query)
+	if err != nil {
+		t.Fatalf("served response carries unparsable query %q: %v", r.Query, err)
+	}
+	res, err := RunOffline(OfflineSpec{
+		Platform: p,
+		Faults:   faults,
+		Query:    q,
+		Algo:     r.Algo,
+		Budget:   r.Budget,
+		Seed:     r.Seed,
+		Deadline: time.Duration(r.DeadlineLeftNs),
+	})
+	if err != nil {
+		t.Fatalf("offline rerun of %s: %v", r.ID, err)
+	}
+	return math.Float64bits(res.Estimate), res.Cost
+}
+
+// calmTrace is a small multi-tenant trace with duplicate queries so
+// the cache gets exercised.
+func calmTrace(gapNs int64) []Request {
+	mk := func(i int, tenant, q string, arrive int64) Request {
+		return Request{ID: fmt.Sprintf("t%02d", i), Tenant: tenant, Query: q, Budget: 400, ArrivalNs: arrive}
+	}
+	count := query.CountQuery("privacy").String()
+	avg := query.AvgQuery("boston", query.Followers).String()
+	return []Request{
+		mk(0, "gold", count, 0),
+		mk(1, "bronze", avg, gapNs),
+		mk(2, "gold", count, 2*gapNs), // duplicate of t00: cache hit
+		mk(3, "bronze", count, 3*gapNs),
+		mk(4, "gold", avg, 4*gapNs),
+		mk(5, "bronze", avg, 5*gapNs), // duplicate of t01
+	}
+}
+
+// TestPlayDeterministicAndBitIdenticalToOffline is the service's core
+// promise: a replayed trace is bit-deterministic, and every executed
+// fault-free response equals an offline rerun of the same request.
+func TestPlayDeterministicAndBitIdenticalToOffline(t *testing.T) {
+	p := testPlatform(t)
+	cfg := Config{Platform: p, Tenants: twoTenants(4000), Workers: 2}
+	trace := calmTrace(int64(time.Hour))
+
+	run := func() ([]Response, []byte) {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps := s.Play(trace)
+		b, err := json.Marshal(resps)
+		if err != nil {
+			t.Fatalf("responses must marshal (NaN-safe): %v", err)
+		}
+		return resps, b
+	}
+	resps, bytesA := run()
+	_, bytesB := run()
+	if string(bytesA) != string(bytesB) {
+		t.Fatalf("two Play replays of the same trace diverged:\n%s\n%s", bytesA, bytesB)
+	}
+
+	if len(resps) != len(trace) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(trace))
+	}
+	hits := 0
+	for _, r := range resps {
+		if r.CacheHit {
+			hits++
+			continue
+		}
+		if !executed(r) {
+			t.Fatalf("calm trace should execute everything, got %s for %s (%s)", r.Status, r.ID, r.Err)
+		}
+		bits, cost := offlineFor(t, p, api.Faults{}, r)
+		if r.EstimateBits != bits {
+			t.Errorf("%s: served bits %#x != offline %#x", r.ID, r.EstimateBits, bits)
+		}
+		if r.Cost != cost {
+			t.Errorf("%s: served cost %d != offline %d", r.ID, r.Cost, cost)
+		}
+		if r.Charged != r.Cost {
+			t.Errorf("%s: fresh run charged %d != cost %d", r.ID, r.Charged, r.Cost)
+		}
+	}
+	if hits != 2 {
+		t.Errorf("expected 2 cache hits from duplicate queries, got %d", hits)
+	}
+}
+
+// TestResumeNeverRepays: a small-budget run leaves a checkpoint; the
+// same query at a larger budget resumes from it, is bit-identical to
+// an uninterrupted large-budget run, and is charged only the delta.
+func TestResumeNeverRepays(t *testing.T) {
+	p := testPlatform(t)
+	for _, algo := range []string{AlgoSRW, AlgoTARW} {
+		t.Run(algo, func(t *testing.T) {
+			// Both tenants share a cache class, so bronze's large run can
+			// resume gold's cached partial.
+			s, err := New(Config{Platform: p, Tenants: []TenantConfig{
+				{Name: "gold", Quota: 16000, Weight: 2, Class: "std"},
+				{Name: "bronze", Quota: 8000, Weight: 1, Class: "std"},
+			}, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := query.AvgQuery("privacy", query.Followers).String()
+			gap := int64(100 * time.Hour)
+			resps := s.Play([]Request{
+				{ID: "small", Tenant: "gold", Query: q, Algo: algo, Budget: 600, ArrivalNs: 0},
+				{ID: "large", Tenant: "bronze", Query: q, Algo: algo, Budget: 1800, ArrivalNs: gap},
+			})
+			small, large := resps[0], resps[1]
+			if large.Status == StatusShed || large.Status == StatusError {
+				t.Fatalf("large run did not execute: %+v", large)
+			}
+			if !large.Resumed {
+				t.Fatal("large run should resume from the cached small-run checkpoint")
+			}
+			bits, cost := offlineFor(t, p, api.Faults{}, large)
+			if large.EstimateBits != bits {
+				t.Errorf("resumed bits %#x != uninterrupted offline %#x", large.EstimateBits, bits)
+			}
+			if large.Cost != cost {
+				t.Errorf("resumed cumulative cost %d != offline %d — replay repaid spent budget", large.Cost, cost)
+			}
+			if want := large.Cost - small.Cost; large.Charged != want {
+				t.Errorf("resumed charge %d != delta %d (small already paid %d)", large.Charged, want, small.Cost)
+			}
+			_, ls := s.Snapshot()
+			if ls.Reserved != 0 {
+				t.Errorf("ledger still holds %d reserved at rest", ls.Reserved)
+			}
+			if ls.Committed != small.Charged+large.Charged {
+				t.Errorf("ledger committed %d != charged %d+%d", ls.Committed, small.Charged, large.Charged)
+			}
+		})
+	}
+}
+
+// TestOverloadShedsNotCollapses: a burst far past the watermarks gets
+// shed (well-formed Degraded partials, nothing charged) while admitted
+// requests complete; tenants cannot exceed quota.
+func TestOverloadShedsNotCollapses(t *testing.T) {
+	p := testPlatform(t)
+	s, err := New(Config{
+		Platform: p,
+		Tenants: []TenantConfig{
+			{Name: "gold", Quota: 4000, Weight: 2, Depth: 3},
+			{Name: "bronze", Quota: 2000, Weight: 1, Depth: 3},
+		},
+		Workers:      1,
+		ShedDepth:    4,
+		DegradeDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []Request
+	for i := 0; i < 16; i++ {
+		tenant := "gold"
+		if i%2 == 1 {
+			tenant = "bronze"
+		}
+		q := query.AvgQuery("new york", query.Age)
+		trace = append(trace, Request{
+			ID:     fmt.Sprintf("b%02d", i),
+			Tenant: tenant,
+			Query:  q.String(),
+			Budget: 400,
+			Seed:   int64(1000 + i), // distinct walks: no cache shortcuts
+		})
+	}
+	resps := s.Play(trace)
+	met, ls := s.Snapshot()
+	if met.Shed == 0 {
+		t.Fatal("a 16-request burst into a depth-4 queue must shed")
+	}
+	if met.Ok+met.Degraded == 0 {
+		t.Fatal("shedding everything is a collapse of its own")
+	}
+	if met.Degraded == 0 {
+		t.Error("backlog past the degrade watermark should yield pressure-tier partials")
+	}
+	charged := map[string]int{}
+	for _, r := range resps {
+		if r.Status == StatusShed {
+			if !r.Degraded || r.Reason == "" || r.Charged != 0 || r.Cost != 0 {
+				t.Errorf("malformed shed response: %+v", r)
+			}
+			if !math.IsNaN(float64(r.Estimate)) {
+				t.Errorf("shed response carries an estimate: %+v", r)
+			}
+		}
+		charged[r.Tenant] += r.Charged
+	}
+	if charged["gold"] > 4000 || charged["bronze"] > 2000 {
+		t.Errorf("quota exceeded: charged %v", charged)
+	}
+	if ls.Available+ls.Reserved+ls.Committed != ls.Total {
+		t.Errorf("ledger leaked: %+v", ls)
+	}
+	// Pressure-tier responses answer with less than asked.
+	for _, r := range resps {
+		if r.Reason == ReasonPressure && r.Budget >= r.Requested {
+			t.Errorf("pressure tier granted %d >= requested %d", r.Budget, r.Requested)
+		}
+	}
+}
+
+// TestDeadlineShedsInQueue: a request whose virtual deadline lapses
+// while it waits is shed at dispatch without spending a call.
+func TestDeadlineShedsInQueue(t *testing.T) {
+	p := testPlatform(t)
+	s, err := New(Config{Platform: p, Tenants: twoTenants(8000), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := query.CountQuery("privacy").String()
+	avg := query.AvgQuery("privacy", query.Followers).String()
+	resps := s.Play([]Request{
+		// A long run occupies the only worker...
+		{ID: "long", Tenant: "gold", Query: count, Budget: 2000, ArrivalNs: 0},
+		// ...so a tight-deadline request times out in the queue.
+		{ID: "tight", Tenant: "bronze", Query: avg, Budget: 400, ArrivalNs: 1, DeadlineNs: int64(time.Minute)},
+	})
+	tight := resps[1]
+	if tight.Status != StatusShed || tight.Reason != ShedDeadline {
+		t.Fatalf("want deadline shed, got %+v", tight)
+	}
+	if tight.Charged != 0 || tight.Cost != 0 {
+		t.Errorf("deadline shed spent budget: %+v", tight)
+	}
+}
+
+// TestBreakerTripsAndRecovers: repeated backend-fault degradations
+// trip the tenant's breaker (subsequent requests shed), and the
+// half-open probe path exists.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	p := testPlatform(t)
+	faults := api.Faults{OutageMeanGap: 60, OutageLength: 400, Seed: 7}
+	s, err := New(Config{
+		Platform:         p,
+		Faults:           faults,
+		Tenants:          twoTenants(40000),
+		Workers:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  2,
+		MaxResumes:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []Request
+	gap := int64(1000 * time.Hour)
+	for i := 0; i < 10; i++ {
+		trace = append(trace, Request{
+			ID:        fmt.Sprintf("f%02d", i),
+			Tenant:    "gold",
+			Query:     query.CountQuery("privacy").String(),
+			Budget:    300,
+			Seed:      int64(100 + i),
+			ArrivalNs: int64(i) * gap,
+		})
+	}
+	resps := s.Play(trace)
+	met, _ := s.Snapshot()
+	if met.BreakerTrips == 0 {
+		t.Fatalf("outage storm never tripped the breaker: %+v", met)
+	}
+	breakerSheds := 0
+	for _, r := range resps {
+		if r.Reason == ShedBreaker {
+			breakerSheds++
+		}
+	}
+	if breakerSheds == 0 {
+		t.Error("tripped breaker never shed a request")
+	}
+	if met.BreakerTrips > 0 && breakerSheds >= len(resps)-1 {
+		t.Error("breaker never let a probe through")
+	}
+}
+
+// TestLiveConservationUnderRace drives the concurrent pool with many
+// identical and distinct requests across tenants and verifies the
+// books: every request answered, per-tenant charges within quota,
+// ledger conserved, coalesced/cached requests free. Run with -race.
+func TestLiveConservationUnderRace(t *testing.T) {
+	p := testPlatform(t)
+	s, err := New(Config{
+		Platform: p,
+		Tenants: []TenantConfig{
+			{Name: "gold", Quota: 9000, Weight: 2, Depth: 16},
+			{Name: "silver", Quota: 6000, Weight: 1, Depth: 16},
+			{Name: "bronze", Quota: 3000, Weight: 1, Depth: 16},
+		},
+		Workers:   4,
+		ShedDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var pool sync.WaitGroup
+	pool.Add(1)
+	go func() {
+		defer pool.Done()
+		s.Run(ctx)
+	}()
+
+	tenants := []string{"gold", "silver", "bronze"}
+	queries := []string{
+		query.CountQuery("privacy").String(),
+		query.AvgQuery("boston", query.Followers).String(),
+		query.CountQuery("new york").String(),
+	}
+	const submitters = 8
+	const perSubmitter = 6
+	resCh := make(chan Response, submitters*perSubmitter)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				req := Request{
+					Tenant: tenants[(g+i)%len(tenants)],
+					Query:  queries[i%len(queries)],
+					Budget: 300,
+				}
+				resCh <- s.Do(context.Background(), req)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(resCh)
+	cancel()
+	pool.Wait()
+
+	charged := map[string]int{}
+	n := 0
+	for r := range resCh {
+		n++
+		if r.Status == StatusError {
+			t.Errorf("unexpected error response: %+v", r)
+		}
+		if (r.CacheHit || r.Coalesced) && r.Charged != 0 {
+			t.Errorf("free response was charged: %+v", r)
+		}
+		charged[r.Tenant] += r.Charged
+	}
+	if n != submitters*perSubmitter {
+		t.Fatalf("silent drop: %d responses for %d requests", n, submitters*perSubmitter)
+	}
+	_, ls := s.Snapshot()
+	if ls.Available+ls.Reserved+ls.Committed != ls.Total {
+		t.Errorf("ledger not conserved: %+v", ls)
+	}
+	if ls.Reserved != 0 {
+		t.Errorf("reservations leaked: %+v", ls)
+	}
+	quota := map[string]int{"gold": 9000, "silver": 6000, "bronze": 3000}
+	total := 0
+	for ten, c := range charged {
+		if c > quota[ten] {
+			t.Errorf("tenant %s charged %d over quota %d", ten, c, quota[ten])
+		}
+		total += c
+	}
+	if ls.Committed != total {
+		t.Errorf("ledger committed %d != responses' charges %d", ls.Committed, total)
+	}
+}

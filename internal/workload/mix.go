@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mba/internal/query"
+)
+
+// MixConfig parameterises a deterministic multi-tenant query mix for
+// service experiments. The same config always yields the same items.
+type MixConfig struct {
+	// Seed drives every random choice in the mix.
+	Seed int64
+	// N is the number of requests to generate.
+	N int
+	// Tenants are cycled through pseudo-randomly; must be non-empty.
+	Tenants []string
+	// HotFrac is the fraction of requests drawn from the three hot
+	// figure keywords; the remainder walks the catalog's long tail.
+	// Hot traffic concentrates on a small query space, which is what
+	// gives result caches and single-flight coalescing something to do.
+	HotFrac float64
+	// MeanGapNs is the mean virtual inter-arrival gap in nanoseconds;
+	// each gap is jittered uniformly in [gap/2, 3*gap/2).
+	MeanGapNs int64
+	// Budgets are the candidate per-request budgets; defaults to
+	// {400, 800, 1600} when empty.
+	Budgets []int
+}
+
+// MixItem is one generated request: tenant, canonical query text,
+// budget, and virtual arrival time. It deliberately avoids importing
+// the serving layer so the generator stays dependency-light.
+type MixItem struct {
+	Tenant    string
+	Query     string
+	Budget    int
+	ArrivalNs int64
+}
+
+// hotKeywords are the three figure keywords — the head of the
+// popularity distribution.
+var hotKeywords = []string{"privacy", "new york", "boston"}
+
+// Mix generates a seed-deterministic multi-tenant request stream with
+// rising virtual arrival times.
+func Mix(cfg MixConfig) ([]MixItem, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: mix needs N > 0, got %d", cfg.N)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("workload: mix needs at least one tenant")
+	}
+	if cfg.HotFrac < 0 || cfg.HotFrac > 1 {
+		return nil, fmt.Errorf("workload: HotFrac %v outside [0,1]", cfg.HotFrac)
+	}
+	if cfg.MeanGapNs < 0 {
+		return nil, fmt.Errorf("workload: negative MeanGapNs %d", cfg.MeanGapNs)
+	}
+	budgets := cfg.Budgets
+	if len(budgets) == 0 {
+		budgets = []int{400, 800, 1600}
+	}
+	tail := append(Table2Keywords(), Table3Keywords()...)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	items := make([]MixItem, 0, cfg.N)
+	var clock int64
+	for i := 0; i < cfg.N; i++ {
+		kw := tail[rng.Intn(len(tail))]
+		if rng.Float64() < cfg.HotFrac {
+			kw = hotKeywords[rng.Intn(len(hotKeywords))]
+		}
+		// Two aggregate forms keep the query space small enough that
+		// hot keywords repeat exactly — COUNT of the subgraph and AVG
+		// follower count, the paper's two headline aggregates.
+		var q query.Query
+		if rng.Intn(2) == 0 {
+			q = query.CountQuery(kw)
+		} else {
+			q = query.AvgQuery(kw, query.Followers)
+		}
+		if cfg.MeanGapNs > 0 {
+			clock += cfg.MeanGapNs/2 + rng.Int63n(cfg.MeanGapNs)
+		}
+		items = append(items, MixItem{
+			Tenant:    cfg.Tenants[rng.Intn(len(cfg.Tenants))],
+			Query:     q.String(),
+			Budget:    budgets[rng.Intn(len(budgets))],
+			ArrivalNs: clock,
+		})
+	}
+	return items, nil
+}

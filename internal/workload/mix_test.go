@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mba/internal/query"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	cfg := MixConfig{Seed: 42, N: 200, Tenants: []string{"gold", "silver", "bronze"},
+		HotFrac: 0.7, MeanGapNs: 1e9}
+	a, err := Mix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different mixes")
+	}
+	cfg.Seed = 43
+	c, err := Mix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical mixes")
+	}
+}
+
+func TestMixShape(t *testing.T) {
+	cfg := MixConfig{Seed: 7, N: 500, Tenants: []string{"gold", "bronze"},
+		HotFrac: 0.8, MeanGapNs: 1e9}
+	items, err := Mix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != cfg.N {
+		t.Fatalf("got %d items, want %d", len(items), cfg.N)
+	}
+	hot := 0
+	var prev int64
+	tenants := map[string]int{}
+	uniq := map[string]bool{}
+	for _, it := range items {
+		if it.ArrivalNs < prev {
+			t.Fatalf("arrivals not monotone: %d after %d", it.ArrivalNs, prev)
+		}
+		prev = it.ArrivalNs
+		q, err := query.ParseQuery(it.Query)
+		if err != nil {
+			t.Fatalf("generated unparsable query %q: %v", it.Query, err)
+		}
+		if q.String() != it.Query {
+			t.Fatalf("generated non-canonical query %q", it.Query)
+		}
+		for _, kw := range []string{"privacy", "new york", "boston"} {
+			if strings.Contains(it.Query, `"`+kw+`"`) {
+				hot++
+				break
+			}
+		}
+		if it.Budget <= 0 {
+			t.Fatalf("non-positive budget %d", it.Budget)
+		}
+		tenants[it.Tenant]++
+		uniq[it.Query] = true
+	}
+	// 80% hot traffic over 500 draws: allow generous slack but make
+	// sure the head/tail split is real. "new york" also appears in the
+	// tail tables, so hot can exceed the nominal fraction.
+	if hot < 300 {
+		t.Errorf("hot keywords on %d/%d requests, want >= 300", hot, len(items))
+	}
+	for _, tn := range cfg.Tenants {
+		if tenants[tn] == 0 {
+			t.Errorf("tenant %s never drawn", tn)
+		}
+	}
+	// The point of hot traffic: far fewer unique queries than requests,
+	// so caches and coalescing see repeats.
+	if len(uniq) >= len(items)/2 {
+		t.Errorf("%d unique queries out of %d requests — no repeats to cache", len(uniq), len(items))
+	}
+}
+
+func TestMixRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []MixConfig{
+		{N: 0, Tenants: []string{"a"}},
+		{N: 5},
+		{N: 5, Tenants: []string{"a"}, HotFrac: 1.5},
+		{N: 5, Tenants: []string{"a"}, MeanGapNs: -1},
+	} {
+		if _, err := Mix(cfg); err == nil {
+			t.Errorf("Mix(%+v) unexpectedly succeeded", cfg)
+		}
+	}
+}
