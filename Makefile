@@ -1,6 +1,6 @@
 # Tier-1 gate: what CI runs (.github/workflows/ci.yml) and what every
 # change must keep green.
-.PHONY: ci build vet lint lint-dataflow fmt-check test race bench chaos churn crash fuzz parallel ratelimit serve
+.PHONY: ci build vet lint lint-dataflow lint-pointsto fmt-check test race bench chaos churn crash fuzz parallel ratelimit serve
 
 ci: build vet lint race
 
@@ -37,6 +37,12 @@ lint: fmt-check
 lint-dataflow:
 	go run ./cmd/mba-lint -only dettaint,unlockpath,budgetpath ./...
 
+# Just the points-to-backed concurrency analyzers (DESIGN.md §16):
+# consistent locksets on goroutine-shared state and channel/WaitGroup
+# lifecycle. -timings shows where the whole-program solve goes.
+lint-pointsto:
+	go run ./cmd/mba-lint -only sharedguard,chanlife -timings ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -47,13 +53,16 @@ test:
 race:
 	go test -race ./...
 
-# Short fuzz sessions (CI runs the same): the query parser and the
+# Short fuzz sessions (CI runs the same): the query parser, the
 # checkpoint decoder (every decode failure must be a typed error —
-# ErrCorruptCheckpoint / ErrCheckpointMismatch — never a panic).
+# ErrCorruptCheckpoint / ErrCheckpointMismatch — never a panic), and
+# the Andersen points-to solver (termination, determinism, closed
+# subset fixpoint on arbitrary constraint graphs).
 fuzz:
 	go test ./internal/query -run='^$$' -fuzz=FuzzParseQuery -fuzztime=10s
 	go test ./internal/store -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	go test ./internal/serve -run='^$$' -fuzz=FuzzServeRequestDecode -fuzztime=10s
+	go test ./internal/lint -run='^$$' -fuzz=FuzzPointsToSolver -fuzztime=10s
 
 # Full evaluation regeneration (bench scale; slow).
 bench:

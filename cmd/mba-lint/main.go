@@ -45,7 +45,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"mba/internal/lint"
 )
@@ -71,9 +73,10 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline file; new findings AND stale entries fail the run")
 		updateBl  = flag.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit")
 		factCache = flag.String("factcache", "", "content-hash fact cache file (accelerator; safe to delete)")
+		timings   = flag.Bool("timings", false, "print per-analyzer wall-clock totals to stderr after the run")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mba-lint [-only a,b] [-json|-sarif] [-baseline file [-update-baseline]] [-factcache file] [-list] [./...]\n       (as vet tool) go vet -vettool=$(command -v mba-lint) ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: mba-lint [-only a,b] [-json|-sarif] [-baseline file [-update-baseline]] [-factcache file] [-timings] [-list] [./...]\n       (as vet tool) go vet -vettool=$(command -v mba-lint) ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,6 +107,7 @@ func main() {
 		baselinePath:   *baseline,
 		updateBaseline: *updateBl,
 		factCachePath:  *factCache,
+		timings:        *timings,
 	}))
 }
 
@@ -138,6 +142,7 @@ type standaloneOptions struct {
 	baselinePath   string
 	updateBaseline bool
 	factCachePath  string
+	timings        bool
 }
 
 // jsonDiagnostic is the -json line format: stable field order, module-
@@ -175,10 +180,35 @@ func runStandalone(analyzers []*lint.Analyzer, opts standaloneOptions) int {
 	} else {
 		prog = lint.NewProgram(pkgs)
 	}
-	diags, err := lint.RunAllProgram(analyzers, pkgs, prog)
+	// The lint package never reads the wall clock itself (nowallclock
+	// applies to it too); timings inject a monotonic reading from this
+	// allowlisted main package.
+	var clock func() time.Duration
+	if opts.timings {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	diags, perAnalyzer, err := lint.RunAllProgramTimed(analyzers, pkgs, prog, clock)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mba-lint:", err)
 		return 2
+	}
+	if opts.timings {
+		sorted := append([]lint.AnalyzerTiming(nil), perAnalyzer...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Elapsed != sorted[j].Elapsed {
+				return sorted[i].Elapsed > sorted[j].Elapsed
+			}
+			return sorted[i].Name < sorted[j].Name
+		})
+		var total time.Duration
+		for _, tm := range sorted {
+			total += tm.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "mba-lint: per-analyzer wall clock (%d packages, cumulative %v):\n", len(pkgs), total.Round(time.Millisecond))
+		for _, tm := range sorted {
+			fmt.Fprintf(os.Stderr, "  %-14s %8v\n", tm.Name, tm.Elapsed.Round(time.Microsecond*100))
+		}
 	}
 	if cache != nil {
 		if err := cache.Save(); err != nil {

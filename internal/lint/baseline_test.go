@@ -2,7 +2,9 @@ package lint_test
 
 import (
 	"go/token"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mba/internal/lint"
@@ -85,6 +87,21 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
 		t.Fatalf("round trip = %+v, want %+v", got.Entries, b.Entries)
+	}
+}
+
+// TestBaselineStaleVersionRejected: a baseline written before the
+// points-to analyzers joined the suite (v1) must be regenerated, not
+// silently accepted as covering the larger suite.
+func TestBaselineStaleVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 1, "entries": []}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Fatal("v1 baseline loaded without error; want a version mismatch")
+	} else if !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("error %v does not name the stale version", err)
 	}
 }
 

@@ -350,9 +350,15 @@ func (b *budgetCtx) scanNode(n ast.Node, st *budgetState) {
 // calls on failed-reservation paths.
 func (b *budgetCtx) oneCall(call *ast.CallExpr, st *budgetState) {
 	if root := b.isLedgerCall(call, ledgerSettleMethods); root != nil {
+		pt := b.prog.PointsToInfo()
 		for _, p := range st.sortedTokPos() {
 			tok := st.toks[p]
-			if tok.recvRoot == root || tok.recvRoot == universeNil || root == universeNil {
+			// A settlement discharges a token when it runs against the
+			// same ledger variable, when either side is unresolvable, or
+			// — alias-sharpened — when points-to says the two receiver
+			// roots may denote the same ledger object (`led2 := led`).
+			if tok.recvRoot == root || tok.recvRoot == universeNil || root == universeNil ||
+				(pt != nil && pt.MayAliasVars(tok.recvRoot, root)) {
 				delete(st.toks, p)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // This file builds the whole-program layer the interprocedural
@@ -48,6 +49,10 @@ type Func struct {
 
 	calls     []*callSite
 	addrTaken bool
+	// addrSigs are the signature keys this function was registered
+	// under as an address-taken candidate (feeds the fact cache's
+	// per-package dynamic-surface hash).
+	addrSigs []string
 }
 
 // Name returns a human-readable name for diagnostics.
@@ -75,6 +80,12 @@ type callSite struct {
 	dynamic bool
 	// unresolved marks dynamic calls with zero program candidates.
 	unresolved bool
+	// dynSig is the signature key a function-value call resolved
+	// against ("" for static and interface calls).
+	dynSig string
+	// ifaceMethod is the method name an interface call dispatched on
+	// ("" otherwise). Both feed the per-package dynamic-surface hash.
+	ifaceMethod string
 }
 
 // Program is the whole-program view shared by every interprocedural
@@ -106,6 +117,19 @@ type Program struct {
 	// taintCtxs memoizes per-function taint analysis contexts (CFG +
 	// syntactic source/sink facts), built lazily by taintContext.
 	taintCtxs map[*Func]*taintCtx
+	// taintMu guards taintCtxs: analyzer passes run concurrently in
+	// RunAllProgram's worker pool and dettaint contexts build lazily.
+	taintMu sync.Mutex
+
+	// pointsTo is the whole-program points-to solution (pointsto.go).
+	pointsTo *PointsTo
+	// escape is the goroutine-reachability layer over pointsTo
+	// (escape.go), feeding sharedguard and chanlife.
+	escape *escapeInfo
+	// sharedOnce/sharedDiags memoize sharedguard's whole-program
+	// detection, which runs once and is filtered per package pass.
+	sharedOnce  sync.Once
+	sharedDiags []sharedFinding
 }
 
 // lockEdge is one "lock From held while acquiring lock To" witness.
@@ -145,6 +169,8 @@ func newProgram(pkgs []*Package, cache *FactCache) *Program {
 	p.collectFuncs()
 	p.collectSentinels()
 	p.resolveCalls()
+	p.buildPointsTo(cache)
+	p.buildEscape()
 	p.computeSummaries(cache)
 	p.computeLockEdges()
 	return p
@@ -317,6 +343,7 @@ func (p *Program) resolveCalls() {
 		}
 		f.addrTaken = true
 		key := sigKey(valueSig)
+		f.addrSigs = append(f.addrSigs, key)
 		addrBySig[key] = append(addrBySig[key], f)
 	}
 	for _, pkg := range p.Pkgs {
@@ -492,8 +519,9 @@ func (p *Program) dynamicSite(pkg *Package, call *ast.CallExpr, addrBySig map[st
 	if !ok {
 		return nil
 	}
-	cands := addrBySig[sigKey(sig)]
-	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: len(cands) == 0}
+	key := sigKey(sig)
+	cands := addrBySig[key]
+	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: len(cands) == 0, dynSig: key}
 }
 
 // interfaceSite resolves an interface method call to every program
@@ -519,5 +547,5 @@ func (p *Program) interfaceSite(call *ast.CallExpr, name string, iface *types.In
 			}
 		}
 	}
-	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: false}
+	return &callSite{expr: call, callees: cands, dynamic: true, unresolved: false, ifaceMethod: name}
 }

@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLife checks channel and WaitGroup lifecycle discipline on every
+// CFG path:
+//
+//   - a channel is closed at most once (double close panics);
+//   - no send can follow a close of the same channel (send on closed
+//     channel panics);
+//   - WaitGroup.Add happens before the go statement whose goroutine
+//     calls Done on the same group (Add after go races the Wait);
+//   - a spawned function that calls Done reaches it on every non-panic
+//     exit path (a missed Done deadlocks the Wait forever).
+//
+// Channels are named by their access path rooted at a variable
+// (tk.done, s.flights[…]); reassigning the root or a path prefix kills
+// the close fact, so `for { tk := next(); …; close(tk.done) }` is one
+// close per channel value, not a double close. Closes hidden behind
+// helper calls are conservatively treated as keeping the channel open
+// (a documented miss, never a false positive).
+var ChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc: "channels close at most once with no send after close; " +
+		"WaitGroup Add dominates the go statement and Done is reached " +
+		"on all non-panic paths",
+	Run: runChanLife,
+}
+
+// chanCloseVal records the first close of one channel path.
+type chanCloseVal struct {
+	pos token.Pos
+}
+
+// chanState is the forward may-closed state: path key → first close.
+type chanState struct {
+	closed map[string]chanCloseVal
+	// added is the must-Added set of WaitGroup roots (join =
+	// intersection), keyed like channels.
+	added map[string]bool
+}
+
+func newChanState() *chanState {
+	return &chanState{closed: map[string]chanCloseVal{}, added: map[string]bool{}}
+}
+
+func (s *chanState) Clone() FlowState {
+	c := newChanState()
+	for k, v := range s.closed {
+		c.closed[k] = v
+	}
+	for k := range s.added {
+		c.added[k] = true
+	}
+	return c
+}
+
+func (s *chanState) JoinFrom(src FlowState) bool {
+	o := src.(*chanState)
+	changed := false
+	// closed is a MAY property: union, keep earliest witness.
+	for k, ov := range o.closed {
+		cur, ok := s.closed[k]
+		if !ok || (ov.pos != token.NoPos && ov.pos < cur.pos) {
+			s.closed[k] = ov
+			changed = true
+		}
+	}
+	// added is a MUST property: intersect.
+	for k := range s.added {
+		if !o.added[k] {
+			delete(s.added, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// chanCtx is the per-function analysis context.
+type chanCtx struct {
+	prog *Program
+	fn   *Func
+	pkg  *Package
+	// events collects reports during replay (nil while solving).
+	events *[]chanEvent
+}
+
+type chanEvent struct {
+	pos token.Pos
+	msg string
+}
+
+func (cc *chanCtx) Direction() FlowDirection { return FlowForward }
+func (cc *chanCtx) Boundary() FlowState      { return newChanState() }
+
+func (cc *chanCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*chanState)
+	cc.transferNode(n, st)
+	return st
+}
+
+func (cc *chanCtx) emit(pos token.Pos, format string, args ...interface{}) {
+	if cc.events != nil {
+		*cc.events = append(*cc.events, chanEvent{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// pathKey canonicalizes a channel/WaitGroup access path rooted at a
+// variable; "" when the expression has no stable name.
+func (cc *chanCtx) pathKey(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := cc.pkg.Info.ObjectOf(x)
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("v%d/%s", obj.Pos(), obj.Name())
+	case *ast.SelectorExpr:
+		if s, ok := cc.pkg.Info.Selections[x]; !ok || s.Kind() != types.FieldVal {
+			// Qualified package var.
+			if obj, ok := cc.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+				return fmt.Sprintf("v%d/%s", obj.Pos(), obj.Name())
+			}
+			return ""
+		}
+		base := cc.pathKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := cc.pathKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	case *ast.StarExpr:
+		return cc.pathKey(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return cc.pathKey(x.X)
+		}
+	}
+	return ""
+}
+
+// killPath removes close/added facts for a reassigned path and all its
+// descendants.
+func killPath(st *chanState, key string) {
+	if key == "" {
+		return
+	}
+	for k := range st.closed {
+		if k == key || pathHasPrefix(k, key) {
+			delete(st.closed, k)
+		}
+	}
+	for k := range st.added {
+		if k == key || pathHasPrefix(k, key) {
+			delete(st.added, k)
+		}
+	}
+}
+
+func pathHasPrefix(k, prefix string) bool {
+	if len(k) <= len(prefix) || k[:len(prefix)] != prefix {
+		return false
+	}
+	switch k[len(prefix)] {
+	case '.', '[':
+		return true
+	}
+	return false
+}
+
+func (cc *chanCtx) transferNode(n ast.Node, st *chanState) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			killPath(st, cc.pathKey(lhs))
+		}
+		for _, rhs := range x.Rhs {
+			cc.scanExpr(rhs, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						killPath(st, cc.pathKey(name))
+					}
+					for _, v := range vs.Values {
+						cc.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		killPath(st, cc.pathKey(x.Key))
+		killPath(st, cc.pathKey(x.Value))
+		cc.scanExpr(x.X, st)
+	case *ast.SendStmt:
+		key := cc.pathKey(x.Chan)
+		if key != "" {
+			if cv, ok := st.closed[key]; ok {
+				cc.emit(x.Pos(), "send on %s which may already be closed (close at %s)",
+					renderChan(cc.pkg, x.Chan), cc.prog.Fset.Position(cv.pos))
+			}
+		}
+		cc.scanExpr(x.Value, st)
+	case *ast.GoStmt:
+		cc.checkGoStmt(x, st)
+	case *ast.DeferStmt:
+		// A deferred close runs once at exit; model it as a close at
+		// the defer site (a second close on any path is still fatal).
+		cc.oneCall(x.Call, st)
+	case *ast.ExprStmt:
+		cc.scanExpr(x.X, st)
+	case ast.Expr:
+		cc.scanExpr(x, st)
+	case ast.Stmt:
+		ast.Inspect(x, func(m ast.Node) bool {
+			switch y := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				cc.oneCall(y, st)
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr applies close/Add effects of calls inside an expression.
+func (cc *chanCtx) scanExpr(e ast.Expr, st *chanState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(m ast.Node) bool {
+		switch y := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			cc.oneCall(y, st)
+		}
+		return true
+	})
+}
+
+func (cc *chanCtx) oneCall(call *ast.CallExpr, st *chanState) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := cc.pkg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			key := cc.pathKey(call.Args[0])
+			if key == "" {
+				return
+			}
+			if cv, ok := st.closed[key]; ok {
+				cc.emit(call.Pos(), "%s may be closed twice on this path (first close at %s)",
+					renderChan(cc.pkg, call.Args[0]), cc.prog.Fset.Position(cv.pos))
+				return
+			}
+			st.closed[key] = chanCloseVal{pos: call.Pos()}
+			return
+		}
+	}
+	if isWaitGroupMethod(cc.pkg.Info, call, "Add") {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if key := cc.pathKey(sel.X); key != "" {
+				st.added[key] = true
+			}
+		}
+	}
+}
+
+// checkGoStmt enforces Add-dominates-go for every WaitGroup the
+// spawned function Dones.
+func (cc *chanCtx) checkGoStmt(g *ast.GoStmt, st *chanState) {
+	// Operands of the go call still evaluate here.
+	for _, a := range g.Call.Args {
+		cc.scanExpr(a, st)
+	}
+	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	for _, wg := range cc.doneGroups(lit) {
+		if !st.added[wg.key] {
+			cc.emit(g.Pos(), "WaitGroup.Add for %s must happen before this go statement (the spawned goroutine calls Done); Add after go races Wait",
+				wg.name)
+		}
+	}
+}
+
+// doneGroup is one WaitGroup a spawned closure calls Done on.
+type doneGroup struct {
+	key  string
+	name string
+}
+
+// doneGroups lists the WaitGroups lit's body calls Done on (directly
+// or deferred), keyed as the spawner sees them (captured variables
+// share the types.Object, so the keys line up).
+func (cc *chanCtx) doneGroups(lit *ast.FuncLit) []doneGroup {
+	seen := map[string]bool{}
+	var out []doneGroup
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || !isWaitGroupMethod(cc.pkg.Info, call, "Done") {
+			return true
+		}
+		sel := unparen(call.Fun).(*ast.SelectorExpr)
+		key := cc.pathKey(sel.X)
+		if key == "" || seen[key] {
+			return true
+		}
+		seen[key] = true
+		out = append(out, doneGroup{key: key, name: renderChan(cc.pkg, sel.X)})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// renderChan prints an expression for diagnostics.
+func renderChan(pkg *Package, e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderChan(pkg, x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return renderChan(pkg, x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderChan(pkg, x.X)
+	case *ast.UnaryExpr:
+		return renderChan(pkg, x.X)
+	}
+	return "channel"
+}
+
+// ── must-Done analysis for spawned goroutine bodies ────────────────
+
+// doneState: WaitGroup key → Done guaranteed (directly or deferred).
+type doneState struct {
+	done map[string]bool
+}
+
+func (s *doneState) Clone() FlowState {
+	c := &doneState{done: make(map[string]bool, len(s.done))}
+	for k := range s.done {
+		c.done[k] = true
+	}
+	return c
+}
+
+func (s *doneState) JoinFrom(src FlowState) bool {
+	o := src.(*doneState)
+	changed := false
+	for k := range s.done {
+		if !o.done[k] {
+			delete(s.done, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+type doneCtx struct {
+	pkg *Package
+}
+
+func (dc *doneCtx) Direction() FlowDirection { return FlowForward }
+func (dc *doneCtx) Boundary() FlowState      { return &doneState{done: map[string]bool{}} }
+
+func (dc *doneCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*doneState)
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch y := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			dc.markDone(y.Call, st)
+			return false
+		case *ast.CallExpr:
+			dc.markDone(y, st)
+		}
+		return true
+	})
+	return st
+}
+
+func (dc *doneCtx) markDone(call *ast.CallExpr, st *doneState) {
+	if !isWaitGroupMethod(dc.pkg.Info, call, "Done") {
+		return
+	}
+	sel := unparen(call.Fun).(*ast.SelectorExpr)
+	cc := &chanCtx{pkg: dc.pkg}
+	if key := cc.pathKey(sel.X); key != "" {
+		st.done[key] = true
+	}
+}
+
+func runChanLife(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil || prog.escape == nil {
+		return nil
+	}
+	for _, f := range prog.Funcs {
+		if f.Pkg.Types != pass.Pkg || f.Body == nil {
+			continue
+		}
+		cc := &chanCtx{prog: prog, fn: f, pkg: f.Pkg}
+		cfg := prog.CFGOf(f)
+		sol := SolveDataflow(cfg, cc)
+		var events []chanEvent
+		cc.events = &events
+		for _, b := range cfg.Blocks {
+			in := sol.In[b]
+			if in == nil {
+				continue
+			}
+			st := in.Clone().(*chanState)
+			for _, n := range b.Nodes {
+				cc.transferNode(n, st)
+			}
+		}
+		cc.events = nil
+		reported := map[string]bool{}
+		for _, ev := range events {
+			k := fmt.Sprintf("%d\x00%s", ev.pos, ev.msg)
+			if reported[k] {
+				continue
+			}
+			reported[k] = true
+			pass.Reportf(ev.pos, "%s", ev.msg)
+		}
+
+		checkDoneAllPaths(pass, prog, f)
+	}
+	return nil
+}
+
+// checkDoneAllPaths verifies that a go-spawned closure that calls
+// WaitGroup.Done reaches it on every non-panic exit path.
+func checkDoneAllPaths(pass *Pass, prog *Program, f *Func) {
+	if f.Lit == nil {
+		return
+	}
+	spawned := false
+	for _, s := range prog.escape.sites {
+		for _, g := range s.callees {
+			if g == f {
+				spawned = true
+				break
+			}
+		}
+	}
+	if !spawned {
+		return
+	}
+	cc := &chanCtx{prog: prog, pkg: f.Pkg}
+	groups := cc.doneGroups(f.Lit)
+	if len(groups) == 0 {
+		return
+	}
+	cfg := prog.CFGOf(f)
+	if cfg == nil {
+		return
+	}
+	sol := SolveDataflow(cfg, &doneCtx{pkg: f.Pkg})
+	reported := map[string]bool{}
+	for _, e := range cfg.Exit.Preds {
+		if e.Panic {
+			continue // Done via defer covers panics; plain misses there are unreachable-in-practice
+		}
+		out := sol.Out[e.From]
+		if out == nil {
+			continue
+		}
+		st := out.(*doneState)
+		for _, wg := range groups {
+			if st.done[wg.key] || reported[wg.key] {
+				continue
+			}
+			reported[wg.key] = true
+			pass.Reportf(f.Lit.Pos(),
+				"goroutine calls %s.Done but can exit without reaching it on some path; call Done on every path or defer it",
+				wg.name)
+		}
+	}
+}

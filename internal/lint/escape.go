@@ -1,0 +1,911 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// This file is the goroutine-escape layer over the points-to analysis:
+// which goroutines can a function (and so an access site in it) run
+// on, and which locks are provably held at each program point. The
+// sharedguard analyzer combines the two: an object reachable from two
+// concurrent contexts must see a consistent lockset at every mutable
+// access.
+//
+// Contexts are bitsets: bit 0 is the main context (everything
+// reachable from program roots without crossing a `go`), bit i+1 is
+// spawn site i (one per `go` statement, in sorted source order). A
+// spawn site lexically inside a loop — or one whose spawner itself
+// runs multi-instance — is "multi": two instances of its spawned
+// function can run concurrently with each other.
+
+// spawnSite is one `go` statement.
+type spawnSite struct {
+	index   int // bit index+1 in context bitsets
+	fn      *Func
+	stmt    *ast.GoStmt
+	callees []*Func
+	inLoop  bool
+	multi   bool
+}
+
+// ctxBits is a goroutine-context bitset.
+type ctxBits []uint64
+
+func newCtxBits(n int) ctxBits { return make(ctxBits, (n+63)/64) }
+
+func (c ctxBits) set(i int) bool {
+	w, b := i/64, uint(i%64)
+	if c[w]&(1<<b) != 0 {
+		return false
+	}
+	c[w] |= 1 << b
+	return true
+}
+
+func (c ctxBits) has(i int) bool { return c[i/64]&(1<<uint(i%64)) != 0 }
+
+func (c ctxBits) orFrom(o ctxBits) bool {
+	changed := false
+	for i, w := range o {
+		if c[i]|w != c[i] {
+			c[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (c ctxBits) count() int {
+	n := 0
+	for _, w := range c {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// union returns a fresh bitset c ∪ o.
+func (c ctxBits) union(o ctxBits) ctxBits {
+	u := make(ctxBits, len(c))
+	copy(u, c)
+	u.orFrom(o)
+	return u
+}
+
+// spawn-status lattice: where is a spawn site relative to a program
+// point in its spawner?
+const (
+	spawnNotYet = iota // the go statement has not executed
+	spawnLive          // launched (or unknown): the goroutine may run
+	spawnJoined        // a WaitGroup.Wait joined it
+)
+
+// escapeInfo is the program-wide escape/lockset layer.
+type escapeInfo struct {
+	prog    *Program
+	sites   []*spawnSite
+	goCalls map[*ast.CallExpr]bool
+	// ctxs maps every Func to the contexts it may run on.
+	ctxs map[*Func]ctxBits
+	// entryLocks maps every reached Func to the lock keys provably
+	// held at its entry on every static call path (nil = ⊤, never
+	// constrained — treated as empty).
+	entryLocks map[*Func]map[string]bool
+	// mu guards nodeLocks and spawnStatus: the replay memos fill
+	// lazily from analyzer passes, which run on worker goroutines.
+	mu sync.Mutex
+	// nodeLocks / spawnStatus memoize per-function replays.
+	nodeLocks   map[*Func]map[ast.Node]map[string]bool
+	spawnStatus map[*Func]map[ast.Node]map[*spawnSite]int
+	// onceFns marks closures passed to (*sync.Once).Do: their bodies
+	// execute at most once per Once value, so two accesses inside the
+	// same Once'd function cannot be concurrent.
+	onceFns map[*Func]bool
+	// sharedObj[i] reports whether abstract object i is reachable from
+	// more than one goroutine (see computeSharedObjects).
+	sharedObj []bool
+}
+
+// buildEscape computes spawn sites, contexts, and entry locksets.
+func (p *Program) buildEscape() {
+	esc := &escapeInfo{
+		prog:        p,
+		goCalls:     map[*ast.CallExpr]bool{},
+		ctxs:        map[*Func]ctxBits{},
+		entryLocks:  map[*Func]map[string]bool{},
+		nodeLocks:   map[*Func]map[ast.Node]map[string]bool{},
+		spawnStatus: map[*Func]map[ast.Node]map[*spawnSite]int{},
+		onceFns:     map[*Func]bool{},
+	}
+	esc.collectSites()
+	esc.computeContexts()
+	esc.computeEntryLocks()
+	esc.computeSharedObjects()
+	esc.collectOnceFns()
+	p.escape = esc
+}
+
+// collectOnceFns records every closure passed directly to
+// (*sync.Once).Do.
+func (esc *escapeInfo) collectOnceFns() {
+	for _, f := range esc.prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		info := f.Pkg.Info
+		inspectShallow(f.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Do" {
+				return
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return
+			}
+			n2 := namedRecv(s.Recv())
+			if n2 == nil || n2.Obj().Pkg() == nil ||
+				n2.Obj().Pkg().Path() != "sync" || n2.Obj().Name() != "Once" {
+				return
+			}
+			if lit, ok := unparen(call.Args[0]).(*ast.FuncLit); ok {
+				if g := esc.prog.byNode[lit]; g != nil {
+					esc.onceFns[g] = true
+				}
+			}
+		})
+	}
+}
+
+// ── object escape ───────────────────────────────────────────────────
+
+// computeSharedObjects marks every abstract object reachable from more
+// than one goroutine. The roots of sharing are:
+//
+//   - package-level objects (any goroutine can name a global);
+//   - variables referenced inside a spawned closure but declared
+//     outside it (captures cross the goroutine boundary);
+//   - everything a spawned function's parameters and receiver point to
+//     (the spawner handed those objects over at the go statement).
+//
+// Sharing then propagates through field and element cells: whatever a
+// shared object's cells point to is reachable from the same goroutines.
+// Channel element cells are deliberately NOT propagated through: an
+// object that moves between goroutines only inside a channel is
+// ownership transfer, the sanctioned alternative to locking
+// (DESIGN.md §16 records the assumption).
+//
+// Everything else — locals, per-invocation allocations, objects passed
+// only down synchronous calls — stays private: the points-to
+// abstraction merges all invocations of a function into one object, but
+// each invocation owns a fresh instance, so a helper running on two
+// goroutines does not by itself share its callers' data.
+func (esc *escapeInfo) computeSharedObjects() {
+	pt := esc.prog.pointsTo
+	if pt == nil {
+		return
+	}
+	s := pt.Solver
+	shared := make([]bool, len(s.objects))
+	esc.sharedObj = shared
+	if len(esc.sites) == 0 {
+		return
+	}
+	var work []int
+	mark := func(o int) {
+		if o >= 0 && o < len(shared) && !shared[o] {
+			shared[o] = true
+			work = append(work, o)
+		}
+	}
+
+	for i, o := range s.objects {
+		if o.Fn == nil && o.Kind != "param" {
+			mark(i)
+		}
+	}
+	for _, site := range esc.sites {
+		for _, g := range site.callees {
+			esc.markSpawnRoots(g, mark)
+		}
+	}
+
+	// cells[o] lists the nodes of o's field/element cells, minus the
+	// element cell of channels (ownership transfer).
+	cells := map[int][]int{}
+	for k, n := range s.fields {
+		if k.field == ptElemField && isChanObject(s.objects[k.obj]) {
+			continue
+		}
+		cells[k.obj] = append(cells[k.obj], n)
+	}
+	for o, n := range s.elemOf {
+		if isChanObject(s.objects[o]) {
+			continue
+		}
+		cells[o] = append(cells[o], n)
+	}
+
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, n := range cells[o] {
+			for _, x := range s.PointsTo(n) {
+				mark(x)
+			}
+		}
+	}
+}
+
+// markSpawnRoots marks the sharing roots contributed by one spawned
+// function: captured outer variables and parameter/receiver pointees.
+func (esc *escapeInfo) markSpawnRoots(g *Func, mark func(int)) {
+	pt := esc.prog.pointsTo
+	if g.Sig != nil {
+		var params []*types.Var
+		if r := g.Sig.Recv(); r != nil {
+			params = append(params, r)
+		}
+		tup := g.Sig.Params()
+		for i := 0; i < tup.Len(); i++ {
+			params = append(params, tup.At(i))
+		}
+		for _, v := range params {
+			if n, ok := pt.varNodes[v]; ok {
+				for _, o := range pt.Solver.PointsTo(n) {
+					mark(o)
+				}
+			}
+		}
+	}
+	if g.Lit == nil {
+		return
+	}
+	lo, hi := g.Lit.Pos(), g.Lit.End()
+	ast.Inspect(g.Lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := g.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lo && v.Pos() <= hi {
+			return true // declared inside the goroutine: private to it
+		}
+		if o, ok := pt.varObjs[v]; ok {
+			mark(o)
+		}
+		return true
+	})
+}
+
+// isChanObject reports whether the object is a channel (or pointer to
+// one).
+func isChanObject(o *PTObject) bool {
+	if o.Type == nil {
+		return false
+	}
+	t := o.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// collectSites finds every `go` statement, in deterministic order.
+func (esc *escapeInfo) collectSites() {
+	for _, f := range esc.prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		esc.walkSites(f, f.Body, false)
+	}
+	sort.Slice(esc.sites, func(i, j int) bool { return esc.sites[i].stmt.Pos() < esc.sites[j].stmt.Pos() })
+	for i, s := range esc.sites {
+		s.index = i
+	}
+}
+
+// walkSites walks one function body tracking lexical loop depth,
+// without descending into nested closures (their go statements belong
+// to the closure Func).
+func (esc *escapeInfo) walkSites(f *Func, n ast.Node, inLoop bool) {
+	switch x := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		// Nested closure: its go statements belong to the closure Func.
+		return
+	case *ast.GoStmt:
+		esc.goCalls[x.Call] = true
+		esc.sites = append(esc.sites, &spawnSite{
+			fn:      f,
+			stmt:    x,
+			callees: esc.prog.CalleesOf(x.Call),
+			inLoop:  inLoop,
+		})
+		// The call's operands still evaluate in the spawner.
+		for _, a := range x.Call.Args {
+			esc.walkSites(f, a, inLoop)
+		}
+		return
+	case *ast.ForStmt:
+		esc.walkSites(f, x.Init, inLoop)
+		esc.walkSites(f, x.Cond, inLoop)
+		esc.walkSites(f, x.Post, inLoop)
+		esc.walkSites(f, x.Body, true)
+		return
+	case *ast.RangeStmt:
+		esc.walkSites(f, x.X, inLoop)
+		esc.walkSites(f, x.Body, true)
+		return
+	}
+	children(n, func(c ast.Node) { esc.walkSites(f, c, inLoop) })
+}
+
+// children invokes fn once per direct-ish child; implemented with a
+// depth-guarded Inspect.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		fn(c)
+		return false
+	})
+}
+
+// computeContexts assigns every Func its context bitset: main from the
+// roots, one bit per spawn site, propagated along non-go call edges to
+// a fixpoint. A site is multi when it sits in a loop or its spawner
+// already runs multi-instance.
+func (esc *escapeInfo) computeContexts() {
+	nbits := len(esc.sites) + 1
+	for _, f := range esc.prog.Funcs {
+		esc.ctxs[f] = newCtxBits(nbits)
+	}
+
+	// Roots: functions no in-program call (static or go) targets.
+	called := map[*Func]bool{}
+	for _, f := range esc.prog.Funcs {
+		for _, cs := range f.calls {
+			for _, g := range cs.callees {
+				called[g] = true
+			}
+		}
+	}
+	var seed []*Func
+	for _, f := range esc.prog.Funcs {
+		if !called[f] {
+			esc.ctxs[f].set(0)
+			seed = append(seed, f)
+		}
+	}
+	for _, s := range esc.sites {
+		for _, g := range s.callees {
+			esc.ctxs[g].set(s.index + 1)
+		}
+	}
+	if len(seed) == 0 && len(esc.prog.Funcs) > 0 {
+		// Pure call cycles with no external entry: treat everything as
+		// main-reachable rather than invisible.
+		for _, f := range esc.prog.Funcs {
+			esc.ctxs[f].set(0)
+		}
+	}
+
+	// Propagate along non-go edges until stable (deterministic sweep
+	// over the sorted Funcs slice).
+	for changed := true; changed; {
+		changed = false
+		for _, f := range esc.prog.Funcs {
+			src := esc.ctxs[f]
+			for _, cs := range f.calls {
+				if esc.goCalls[cs.expr] {
+					continue
+				}
+				for _, g := range cs.callees {
+					if esc.ctxs[g].orFrom(src) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Multi refinement: spawner runs on ≥2 contexts, or on a multi
+	// site, or the go sits in a loop.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range esc.sites {
+			if s.multi {
+				continue
+			}
+			m := s.inLoop
+			sc := esc.ctxs[s.fn]
+			if !m && sc.count() >= 2 {
+				m = true
+			}
+			if !m {
+				for _, o := range esc.sites {
+					if o.multi && sc.has(o.index+1) {
+						m = true
+						break
+					}
+				}
+			}
+			if m {
+				s.multi = true
+				changed = true
+			}
+		}
+	}
+}
+
+// contextOf returns f's context bitset (empty slice if unknown).
+func (esc *escapeInfo) contextOf(f *Func) ctxBits {
+	if f == nil {
+		// Package-level initializers run in the main context.
+		c := newCtxBits(len(esc.sites) + 1)
+		c.set(0)
+		return c
+	}
+	return esc.ctxs[f]
+}
+
+// ── must-held lockset analysis ──────────────────────────────────────
+
+// mustLockState is a must-held set of lock keys; joins intersect.
+type mustLockState struct {
+	held map[string]bool
+}
+
+func (s *mustLockState) Clone() FlowState {
+	c := &mustLockState{held: make(map[string]bool, len(s.held))}
+	for k := range s.held {
+		c.held[k] = true
+	}
+	return c
+}
+
+func (s *mustLockState) JoinFrom(src FlowState) bool {
+	o := src.(*mustLockState)
+	changed := false
+	for k := range s.held {
+		if !o.held[k] {
+			delete(s.held, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mustLockCtx runs the must-held analysis for one function given its
+// converged entry lockset.
+type mustLockCtx struct {
+	prog  *Program
+	pkg   *Package
+	entry map[string]bool
+}
+
+func (u *mustLockCtx) Direction() FlowDirection { return FlowForward }
+
+func (u *mustLockCtx) Boundary() FlowState {
+	st := &mustLockState{held: map[string]bool{}}
+	for k := range u.entry {
+		st.held[k] = true
+	}
+	return st
+}
+
+func (u *mustLockCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*mustLockState)
+	u.applyNode(n, st)
+	return st
+}
+
+// applyNode applies one node's lock effects in source order.
+func (u *mustLockCtx) applyNode(n ast.Node, st *mustLockState) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch y := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock releases at exit only: the lock stays
+			// held at every later node. A deferred helper call keeps
+			// must-held sound the same way.
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			u.oneCall(y, st)
+		}
+		return true
+	})
+}
+
+func (u *mustLockCtx) lockKeyOf(call *ast.CallExpr, names map[string]bool) (string, bool) {
+	e, ok := syncLockCall(u.pkg.Info, call, names)
+	if !ok {
+		return "", false
+	}
+	id := lockID(u.pkg, e)
+	if id == "" {
+		return "", false
+	}
+	sel := unparen(call.Fun).(*ast.SelectorExpr)
+	if len(sel.Sel.Name) > 0 && sel.Sel.Name[0] == 'R' {
+		id += "#r"
+	}
+	return id, true
+}
+
+func (u *mustLockCtx) oneCall(call *ast.CallExpr, st *mustLockState) {
+	if key, ok := u.lockKeyOf(call, lockNames); ok {
+		st.held[key] = true
+		return
+	}
+	if key, ok := u.lockKeyOf(call, unlockNames); ok {
+		delete(st.held, key)
+		return
+	}
+	// A callee that may release one of our held locks voids the
+	// must-held claim from this point on.
+	callees := u.prog.CalleesOf(call)
+	if len(callees) == 0 {
+		return
+	}
+	for _, g := range callees {
+		gs := u.prog.SummaryOf(g)
+		for id := range gs.Releases {
+			delete(st.held, id)
+			delete(st.held, id+"#r")
+		}
+	}
+}
+
+// computeEntryLocks converges entry locksets over the call graph:
+// entry(f) = ∩ over static call sites of the caller's must-held set at
+// the site; roots and go-spawned functions start with ∅ (a goroutine
+// inherits no locks). The iteration only shrinks sets, so it
+// terminates; unreached functions keep ⊤ and read as ∅.
+func (esc *escapeInfo) computeEntryLocks() {
+	p := esc.prog
+	goTargets := map[*Func]bool{}
+	for _, s := range esc.sites {
+		for _, g := range s.callees {
+			goTargets[g] = true
+		}
+	}
+	called := map[*Func]bool{}
+	for _, f := range p.Funcs {
+		for _, cs := range f.calls {
+			for _, g := range cs.callees {
+				called[g] = true
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		if !called[f] || goTargets[f] {
+			esc.entryLocks[f] = map[string]bool{}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			entry, known := esc.entryLocks[f]
+			if !known || f.Body == nil {
+				continue
+			}
+			callLocks := esc.callSiteLocks(f, entry)
+			for _, cs := range f.calls {
+				if esc.goCalls[cs.expr] {
+					continue
+				}
+				siteSet := callLocks[cs.expr]
+				for _, g := range cs.callees {
+					cur, ok := esc.entryLocks[g]
+					if !ok {
+						esc.entryLocks[g] = copyLockSet(siteSet)
+						changed = true
+						continue
+					}
+					for k := range cur {
+						if !siteSet[k] {
+							delete(cur, k)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func copyLockSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// callSiteLocks solves f's must-held analysis under entry and returns
+// the held set in force at each call expression.
+func (esc *escapeInfo) callSiteLocks(f *Func, entry map[string]bool) map[*ast.CallExpr]map[string]bool {
+	out := map[*ast.CallExpr]map[string]bool{}
+	u := &mustLockCtx{prog: esc.prog, pkg: f.Pkg, entry: entry}
+	cfg := esc.prog.CFGOf(f)
+	if cfg == nil {
+		return out
+	}
+	sol := SolveDataflow(cfg, u)
+	for _, b := range cfg.Blocks {
+		in := sol.In[b]
+		if in == nil {
+			continue
+		}
+		st := in.Clone().(*mustLockState)
+		for _, n := range b.Nodes {
+			snap := copyLockSet(st.held)
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch y := m.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					out[y] = snap
+				}
+				return true
+			})
+			u.applyNode(n, st)
+		}
+	}
+	return out
+}
+
+// locksHeldAt returns the sorted lock keys provably held at pos inside
+// f (entry lockset plus locally held locks at the containing node).
+func (esc *escapeInfo) locksHeldAt(f *Func, pos token.Pos) []string {
+	if f == nil {
+		return nil
+	}
+	esc.mu.Lock()
+	nodes, ok := esc.nodeLocks[f]
+	esc.mu.Unlock()
+	if !ok {
+		// Replay outside the lock: it re-solves a dataflow problem, and
+		// two workers replaying the same function race only on who
+		// installs the (identical, deterministic) result.
+		nodes = esc.replayLocks(f)
+		esc.mu.Lock()
+		if old, ok := esc.nodeLocks[f]; ok {
+			nodes = old
+		} else {
+			esc.nodeLocks[f] = nodes
+		}
+		esc.mu.Unlock()
+	}
+	var best ast.Node
+	for n := range nodes {
+		if n.Pos() <= pos && pos <= n.End() {
+			if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+				best = n
+			}
+		}
+	}
+	var held map[string]bool
+	if best != nil {
+		held = nodes[best]
+	} else {
+		held = esc.entryLocks[f]
+	}
+	return sortedKeys(held)
+}
+
+// replayLocks solves and replays the must-held analysis of f, keeping
+// the pre-state of every CFG node.
+func (esc *escapeInfo) replayLocks(f *Func) map[ast.Node]map[string]bool {
+	out := map[ast.Node]map[string]bool{}
+	cfg := esc.prog.CFGOf(f)
+	if cfg == nil {
+		return out
+	}
+	u := &mustLockCtx{prog: esc.prog, pkg: f.Pkg, entry: esc.entryLocks[f]}
+	sol := SolveDataflow(cfg, u)
+	for _, b := range cfg.Blocks {
+		in := sol.In[b]
+		if in == nil {
+			continue
+		}
+		st := in.Clone().(*mustLockState)
+		for _, n := range b.Nodes {
+			out[n] = copyLockSet(st.held)
+			u.applyNode(n, st)
+		}
+	}
+	return out
+}
+
+// ── spawn-status analysis ───────────────────────────────────────────
+
+// spawnState tracks, per spawn site of the function under analysis,
+// whether the go statement has run and whether a Wait joined it.
+type spawnState struct {
+	status map[*spawnSite]int
+}
+
+func (s *spawnState) Clone() FlowState {
+	c := &spawnState{status: make(map[*spawnSite]int, len(s.status))}
+	for k, v := range s.status {
+		c.status[k] = v
+	}
+	return c
+}
+
+func (s *spawnState) JoinFrom(src FlowState) bool {
+	o := src.(*spawnState)
+	changed := false
+	for k, ov := range o.status {
+		cur, ok := s.status[k]
+		merged := cur
+		if !ok {
+			merged = ov
+		} else if cur != ov {
+			// Disagreeing paths: the goroutine may be running.
+			merged = spawnLive
+		}
+		if !ok || merged != cur {
+			s.status[k] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// spawnCtx is the per-spawner analysis.
+type spawnCtx struct {
+	esc   *escapeInfo
+	pkg   *Package
+	sites []*spawnSite // sites whose stmt lives in this function
+}
+
+func (sc *spawnCtx) Direction() FlowDirection { return FlowForward }
+
+func (sc *spawnCtx) Boundary() FlowState {
+	st := &spawnState{status: map[*spawnSite]int{}}
+	for _, s := range sc.sites {
+		st.status[s] = spawnNotYet
+	}
+	return st
+}
+
+func (sc *spawnCtx) Transfer(n ast.Node, f FlowState) FlowState {
+	st := f.(*spawnState)
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch y := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, s := range sc.sites {
+				if s.stmt == y {
+					st.status[s] = spawnLive
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupMethod(sc.pkg.Info, y, "Wait") {
+				// Joining the WaitGroup joins every goroutine launched
+				// so far in this function (the repo's spawn pattern:
+				// Add/go/.../Wait on one group).
+				for s, v := range st.status {
+					if v == spawnLive {
+						st.status[s] = spawnJoined
+					}
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// isWaitGroupMethod reports whether call is wg.<name>() on a
+// sync.WaitGroup receiver.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	n := namedRecv(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// statusAt returns site's spawn status at pos inside its spawner
+// (spawnLive when the position cannot be resolved).
+func (esc *escapeInfo) statusAt(site *spawnSite, pos token.Pos) int {
+	f := site.fn
+	esc.mu.Lock()
+	nodes, ok := esc.spawnStatus[f]
+	esc.mu.Unlock()
+	if !ok {
+		nodes = esc.replaySpawn(f)
+		esc.mu.Lock()
+		if old, ok := esc.spawnStatus[f]; ok {
+			nodes = old
+		} else {
+			esc.spawnStatus[f] = nodes
+		}
+		esc.mu.Unlock()
+	}
+	var best ast.Node
+	for n := range nodes {
+		if n.Pos() <= pos && pos <= n.End() {
+			if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+				best = n
+			}
+		}
+	}
+	if best == nil {
+		return spawnLive
+	}
+	st, ok := nodes[best][site]
+	if !ok {
+		return spawnLive
+	}
+	return st
+}
+
+func (esc *escapeInfo) replaySpawn(f *Func) map[ast.Node]map[*spawnSite]int {
+	out := map[ast.Node]map[*spawnSite]int{}
+	cfg := esc.prog.CFGOf(f)
+	if cfg == nil {
+		return out
+	}
+	var own []*spawnSite
+	for _, s := range esc.sites {
+		if s.fn == f {
+			own = append(own, s)
+		}
+	}
+	sc := &spawnCtx{esc: esc, pkg: f.Pkg, sites: own}
+	sol := SolveDataflow(cfg, sc)
+	for _, b := range cfg.Blocks {
+		in := sol.In[b]
+		if in == nil {
+			continue
+		}
+		st := in.Clone().(*spawnState)
+		for _, n := range b.Nodes {
+			snap := make(map[*spawnSite]int, len(st.status))
+			for k, v := range st.status {
+				snap[k] = v
+			}
+			out[n] = snap
+			sc.Transfer(n, st)
+		}
+	}
+	return out
+}

@@ -16,7 +16,12 @@ import (
 // v2: the CFG/dataflow layer added taint facts (TaintsReturn,
 // ParamTaintToReturn, ParamTaintToSink) and Releases to the Summary;
 // v1 entries lack them and must not be silently reused.
-const factCacheVersion = 2
+//
+// v3: the points-to layer added a memoized whole-program solution, and
+// the dynamic-surface key component became per-package (a package's
+// key now covers only the address-taken functions its own dynamic
+// calls can reach, so edits elsewhere no longer invalidate it).
+const factCacheVersion = 3
 
 // FactCache memoizes per-package function summaries keyed by a content
 // hash, so a repo-wide mba-lint run only recomputes the interprocedural
@@ -26,17 +31,25 @@ const factCacheVersion = 2
 // Soundness of the key: a package's hash covers its own file contents,
 // the hashes of its in-program imports (recursively), and — for
 // packages that make dynamic calls (function values, interface
-// dispatch) — the program's whole "dynamic surface": the IDs and
-// defining-package hashes of every address-taken function. Dynamic
-// callees need not be imported by the caller, so without that last
-// component a cached caller could keep facts from a deleted callee.
+// dispatch) — the package's "dynamic surface": the IDs and
+// defining-package hashes of every address-taken function whose
+// signature one of the package's own function-value calls resolves
+// against, plus every method whose name one of its interface calls
+// dispatches on. Dynamic callees need not be imported by the caller,
+// so without that component a cached caller could keep facts from a
+// deleted callee; keeping it per-package (rather than program-wide)
+// means editing one package does not invalidate the others.
 type FactCache struct {
-	path    string
-	entries map[string]*factCacheEntry
-	hashes  map[string]string // pkg path -> content hash, memoized
-	dynHash string
+	path      string
+	entries   map[string]*factCacheEntry
+	hashes    map[string]string // pkg path -> content hash, memoized
+	dynHashes map[string]string // pkg path -> dynamic-surface hash
+	pointsTo  *ptCacheEntry
 	// Hits and Misses count lookups, for tests and -v reporting.
 	Hits, Misses int
+	// PointsToHit reports whether the last program build reused the
+	// memoized points-to solution.
+	PointsToHit bool
 }
 
 type factCacheEntry struct {
@@ -61,15 +74,34 @@ type cachedSummary struct {
 	ParamTaintToSink   uint64 `json:"taintP2S,omitempty"`
 }
 
+// ptFieldCache is one field-node creation during the points-to solve,
+// replayed in order on a cache hit so node indices line up.
+type ptFieldCache struct {
+	Obj   int    `json:"obj"`
+	Field string `json:"field"`
+}
+
+// ptCacheEntry memoizes the whole-program points-to solution: the
+// abstract-object table, the field-node creation log, and every
+// node's solved set, all in deterministic index order. Hash covers
+// every package hash, so any source edit invalidates it.
+type ptCacheEntry struct {
+	Hash    string         `json:"hash"`
+	Objects []string       `json:"objects"`
+	Fields  []ptFieldCache `json:"fields"`
+	Sets    [][]int        `json:"sets"`
+}
+
 type factCacheFile struct {
 	Version  int                        `json:"version"`
 	Packages map[string]*factCacheEntry `json:"packages"`
+	PointsTo *ptCacheEntry              `json:"pointsTo,omitempty"`
 }
 
 // OpenFactCache loads the cache at path (a missing or corrupt file
 // yields an empty cache; the cache is an accelerator, never a gate).
 func OpenFactCache(path string) *FactCache {
-	c := &FactCache{path: path, entries: map[string]*factCacheEntry{}, hashes: map[string]string{}}
+	c := &FactCache{path: path, entries: map[string]*factCacheEntry{}, hashes: map[string]string{}, dynHashes: map[string]string{}}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return c
@@ -81,6 +113,7 @@ func OpenFactCache(path string) *FactCache {
 	if f.Packages != nil {
 		c.entries = f.Packages
 	}
+	c.pointsTo = f.PointsTo
 	return c
 }
 
@@ -92,7 +125,7 @@ func (c *FactCache) Save() error {
 	if err := os.MkdirAll(filepath.Dir(c.path), 0o777); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(factCacheFile{Version: factCacheVersion, Packages: c.entries}, "", "\t")
+	data, err := json.MarshalIndent(factCacheFile{Version: factCacheVersion, Packages: c.entries, PointsTo: c.pointsTo}, "", "\t")
 	if err != nil {
 		return err
 	}
@@ -138,42 +171,146 @@ func (c *FactCache) pkgHash(p *Program, pkg *Package) string {
 	return sum
 }
 
-// dynamicHash hashes the program's address-taken surface.
-func (c *FactCache) dynamicHash(p *Program) string {
-	if c.dynHash != "" {
-		return c.dynHash
+// dynSurfaceHash hashes the slice of the program's address-taken
+// surface that pkg's own dynamic calls can actually reach: functions
+// registered under a signature key one of pkg's function-value calls
+// uses, and methods named like one of pkg's interface dispatches.
+// Returns "" for packages with no dynamic calls.
+func (c *FactCache) dynSurfaceHash(p *Program, pkg *Package) string {
+	if h, ok := c.dynHashes[pkg.Path]; ok {
+		return h
 	}
-	h := sha256.New()
-	for _, f := range p.Funcs {
-		if f.addrTaken {
-			fmt.Fprintf(h, "%s %s\n", f.ID, c.pkgHash(p, f.Pkg))
-		}
-	}
-	c.dynHash = hex.EncodeToString(h.Sum(nil))
-	return c.dynHash
-}
-
-// key is the full cache key of a package within a program.
-func (c *FactCache) key(p *Program, pkg *Package) string {
-	k := c.pkgHash(p, pkg)
-	if pkgMakesDynamicCalls(p, pkg) {
-		k += ":" + c.dynamicHash(p)
-	}
-	return k
-}
-
-func pkgMakesDynamicCalls(p *Program, pkg *Package) bool {
+	sigs := map[string]bool{}
+	names := map[string]bool{}
+	hasDyn := false
 	for _, f := range p.Funcs {
 		if f.Pkg != pkg {
 			continue
 		}
 		for _, cs := range f.calls {
-			if cs.dynamic {
-				return true
+			if !cs.dynamic {
+				continue
+			}
+			hasDyn = true
+			if cs.dynSig != "" {
+				sigs[cs.dynSig] = true
+			}
+			if cs.ifaceMethod != "" {
+				names[cs.ifaceMethod] = true
 			}
 		}
 	}
-	return false
+	if !hasDyn {
+		c.dynHashes[pkg.Path] = ""
+		return ""
+	}
+	h := sha256.New()
+	for _, f := range p.Funcs {
+		match := false
+		for _, k := range f.addrSigs {
+			if sigs[k] {
+				match = true
+				break
+			}
+		}
+		if !match && f.Obj != nil && f.Sig.Recv() != nil && names[f.Obj.Name()] {
+			match = true
+		}
+		if match {
+			fmt.Fprintf(h, "%s %s\n", f.ID, c.pkgHash(p, f.Pkg))
+		}
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.dynHashes[pkg.Path] = sum
+	return sum
+}
+
+// key is the full cache key of a package within a program.
+func (c *FactCache) key(p *Program, pkg *Package) string {
+	k := c.pkgHash(p, pkg)
+	if dh := c.dynSurfaceHash(p, pkg); dh != "" {
+		k += ":" + dh
+	}
+	return k
+}
+
+// programHash covers every analyzed package (the points-to solution is
+// whole-program: any edit anywhere invalidates it).
+func (c *FactCache) programHash(p *Program) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", factCacheVersion)
+	for _, pkg := range p.Pkgs {
+		fmt.Fprintf(h, "%s %s\n", pkg.Path, c.pkgHash(p, pkg))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// storePointsTo memoizes the solved constraint system.
+func (c *FactCache) storePointsTo(p *Program, s *PTSolver) {
+	if !s.solved {
+		return
+	}
+	e := &ptCacheEntry{Hash: c.programHash(p)}
+	for _, o := range s.objects {
+		e.Objects = append(e.Objects, o.ID)
+	}
+	e.Fields = append(e.Fields, s.fieldLog...)
+	e.Sets = make([][]int, len(s.nodes))
+	for i := range s.nodes {
+		e.Sets[i] = sortedIntKeys(s.nodes[i].pts)
+	}
+	c.pointsTo = e
+}
+
+// loadPointsTo tries to reuse a memoized solution for a solver whose
+// constraints have just been generated (but not solved). On a hit it
+// replays the field-node creation log, fills every node's set, and
+// verifies the result is a closed fixpoint; any mismatch falls back to
+// a full solve. Returns true when the solution was installed.
+func (c *FactCache) loadPointsTo(p *Program, s *PTSolver) bool {
+	c.PointsToHit = false
+	e := c.pointsTo
+	if e == nil || e.Hash != c.programHash(p) {
+		return false
+	}
+	// The generated (pre-solve) object table must be a prefix of the
+	// cached one; the rest is created by the field-log replay.
+	if len(e.Objects) < len(s.objects) {
+		return false
+	}
+	for i, o := range s.objects {
+		if e.Objects[i] != o.ID {
+			return false
+		}
+	}
+	n0 := len(s.nodes)
+	if len(e.Sets) < n0 {
+		return false
+	}
+	for i, fc := range e.Fields {
+		if fc.Obj < 0 || fc.Obj >= len(s.objects) {
+			return false
+		}
+		if got := s.fieldNode(fc.Obj, fc.Field); got != n0+i {
+			return false
+		}
+	}
+	if len(s.nodes) != len(e.Sets) || len(s.objects) != len(e.Objects) {
+		return false
+	}
+	for i, o := range s.objects {
+		if e.Objects[i] != o.ID {
+			return false
+		}
+	}
+	// Verify the candidate is a closed fixpoint containing the freshly
+	// generated seeds BEFORE installing it; a corrupt or hand-edited
+	// cache then falls back to the normal solve untouched.
+	if !s.installVerified(e.Sets) {
+		return false
+	}
+	c.PointsToHit = true
+	return true
 }
 
 // lookup returns the cached summaries for pkg if its key matches.

@@ -91,6 +91,91 @@ func TestFactCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// copyFixtureTree copies the named fixture packages from testdata/src
+// into a fresh src root so a test can edit sources without touching
+// the committed fixtures.
+func copyFixtureTree(t *testing.T, root string, pkgs ...string) {
+	t.Helper()
+	for _, p := range pkgs {
+		srcDir := filepath.Join("testdata", "src", p)
+		dstDir := filepath.Join(root, p)
+		if err := os.MkdirAll(dstDir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		names, err := os.ReadDir(srcDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range names {
+			data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dstDir, e.Name()), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestFactCacheGranularity: editing one package invalidates exactly
+// that package's entry; every other package still hits. This is the
+// regression test for the per-package key (content hash + per-package
+// dynamic surface) — a program-wide key component would make every
+// entry miss after any edit.
+func TestFactCacheGranularity(t *testing.T) {
+	srcRoot := t.TempDir()
+	copyFixtureTree(t, srcRoot, "api", "recursion", "lockorder")
+	cachePath := filepath.Join(t.TempDir(), "factcache.json")
+
+	build := func(cache *lint.FactCache) {
+		loader := lint.NewFixtureLoader(srcRoot)
+		for _, p := range []string{"recursion", "lockorder"} {
+			if _, err := loader.Load(p); err != nil {
+				t.Fatalf("loading %s: %v", p, err)
+			}
+		}
+		lint.NewProgramCached(loader.Loaded(), cache)
+	}
+
+	cold := lint.OpenFactCache(cachePath)
+	build(cold)
+	if err := cold.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit only the recursion package: append a new function.
+	edited := filepath.Join(srcRoot, "recursion", "a.go")
+	data, err := os.ReadFile(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("\nfunc granularityProbe() int { return 1 }\n")...)
+	if err := os.WriteFile(edited, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := lint.OpenFactCache(cachePath)
+	build(warm)
+	if warm.Misses != 1 {
+		t.Errorf("after editing one package: misses=%d, want exactly 1 (only the edited package)", warm.Misses)
+	}
+	if warm.Hits < 2 {
+		t.Errorf("after editing one package: hits=%d, want >=2 (api and lockorder must survive)", warm.Hits)
+	}
+
+	// The edited package's refreshed entry must be persisted under its
+	// new key, so a third build hits everywhere.
+	if err := warm.Save(); err != nil {
+		t.Fatal(err)
+	}
+	third := lint.OpenFactCache(cachePath)
+	build(third)
+	if third.Misses != 0 {
+		t.Errorf("third build after re-save: misses=%d, want 0", third.Misses)
+	}
+}
+
 // TestFactCacheVersionInvalidates: a cache written by another schema
 // version must be ignored wholesale, not half-trusted.
 func TestFactCacheVersionInvalidates(t *testing.T) {
@@ -104,7 +189,7 @@ func TestFactCacheVersionInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stale := bytes.Replace(data, []byte(`"version": 2`), []byte(`"version": 1`), 1)
+	stale := bytes.Replace(data, []byte(`"version": 3`), []byte(`"version": 2`), 1)
 	if bytes.Equal(stale, data) {
 		t.Fatal("could not rewrite cache version; schema changed?")
 	}

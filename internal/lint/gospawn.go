@@ -8,11 +8,13 @@ import (
 var waitGroupJoin = map[string]bool{"Wait": true}
 
 // goSpawnPkgs are the package basenames allowed to create goroutines:
-// fleet (walker orchestration) and serve (the request-serving worker
-// pool). Everything else stays single-threaded.
+// fleet (walker orchestration), serve (the request-serving worker
+// pool), and lint (the parallel analyzer pass loop). Everything else
+// stays single-threaded.
 var goSpawnPkgs = map[string]bool{
 	"fleet": true,
 	"serve": true,
+	"lint":  true,
 }
 
 // GoSpawn confines goroutine creation to internal/fleet and

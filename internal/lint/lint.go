@@ -32,8 +32,11 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named invariant checker.
@@ -266,18 +269,105 @@ func RunAll(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 // RunAllProgram is RunAll with a caller-supplied Program (so the
 // driver can reuse a fact cache).
 func RunAllProgram(as []*Analyzer, pkgs []*Package, prog *Program) ([]Diagnostic, error) {
-	var all []Diagnostic
+	ds, _, err := RunAllProgramTimed(as, pkgs, prog, nil)
+	return ds, err
+}
+
+// AnalyzerTiming is one analyzer's cumulative wall clock across every
+// package of a run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAllProgramTimed runs every (package × analyzer) pass over a
+// bounded worker pool. Passes are independent (analyzers only read the
+// converged Program), so the order they execute in cannot change the
+// result; diagnostics are merged in task order and sorted, keeping
+// output byte-identical to the sequential loop. clock supplies
+// monotonic readings for the per-analyzer timings (nil: no timings
+// collected); the caller injects it so this package stays off the wall
+// clock.
+func RunAllProgramTimed(as []*Analyzer, pkgs []*Package, prog *Program, clock func() time.Duration) ([]Diagnostic, []AnalyzerTiming, error) {
+	type task struct {
+		pkg  *Package
+		a    *Analyzer
+		idx  int
+		aIdx int
+	}
+	var tasks []task
 	for _, pkg := range pkgs {
-		for _, a := range as {
-			ds, err := RunAnalyzer(a, pkg, prog)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, ds...)
+		for j, a := range as {
+			tasks = append(tasks, task{pkg: pkg, a: a, idx: len(tasks), aIdx: j})
 		}
 	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		results = make([][]Diagnostic, len(tasks))
+		errs    = make([]error, len(tasks))
+		elapsed = make([]time.Duration, len(as))
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(tasks) {
+					mu.Unlock()
+					return
+				}
+				t := tasks[next]
+				next++
+				mu.Unlock()
+				var t0 time.Duration
+				if clock != nil {
+					t0 = clock()
+				}
+				ds, err := RunAnalyzer(t.a, t.pkg, prog)
+				mu.Lock()
+				if clock != nil {
+					elapsed[t.aIdx] += clock() - t0
+				}
+				results[t.idx] = ds
+				errs[t.idx] = err
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var all []Diagnostic
+	for _, ds := range results {
+		all = append(all, ds...)
+	}
 	sortDiagnostics(all)
-	return all, nil
+	var timings []AnalyzerTiming
+	if clock != nil {
+		for j, a := range as {
+			timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[j]})
+		}
+	}
+	return all, timings, nil
 }
 
 // sortDiagnostics orders diagnostics for byte-identical output across
@@ -327,6 +417,7 @@ func All() []*Analyzer {
 		BudgetFlow,
 		BudgetPath,
 		BudgetSafe,
+		ChanLife,
 		CheckedCost,
 		CtxFlow,
 		DetRange,
@@ -338,6 +429,7 @@ func All() []*Analyzer {
 		LockOrder,
 		NoRawRand,
 		NoWallClock,
+		SharedGuard,
 		UnlockPath,
 	}
 }
@@ -346,7 +438,13 @@ func All() []*Analyzer {
 // the whole-program layer (PR 5) and the CFG/dataflow layer on top of
 // it.
 func Interprocedural() []*Analyzer {
-	return []*Analyzer{BudgetFlow, BudgetPath, CtxFlow, DetTaint, ErrSentinel, LockOrder, UnlockPath}
+	return []*Analyzer{BudgetFlow, BudgetPath, ChanLife, CtxFlow, DetTaint, ErrSentinel, LockOrder, SharedGuard, UnlockPath}
+}
+
+// PointsToSuite returns the analyzers built on the points-to + escape
+// layer (PR 10).
+func PointsToSuite() []*Analyzer {
+	return []*Analyzer{ChanLife, SharedGuard}
 }
 
 // Dataflow returns the CFG-based flow-sensitive analyzers.

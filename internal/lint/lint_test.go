@@ -65,6 +65,14 @@ func TestBudgetPath(t *testing.T) {
 	linttest.Run(t, "testdata", lint.BudgetPath, "budgetpath")
 }
 
+func TestSharedGuard(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SharedGuard, "sharedguard")
+}
+
+func TestChanLife(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ChanLife, "chanlife")
+}
+
 // TestLintDirective checks rejection of malformed lint:ignore
 // directives directly (the diagnostics land on the directive lines
 // themselves, where a `// want` comment cannot sit).
@@ -129,7 +137,7 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 	for _, e := range base.Entries {
 		switch e.Analyzer {
-		case "budgetflow", "budgetpath", "ctxflow", "dettaint", "errsentinel", "lockorder", "unlockpath":
+		case "budgetflow", "budgetpath", "chanlife", "ctxflow", "dettaint", "errsentinel", "lockorder", "sharedguard", "unlockpath":
 			t.Errorf("committed baseline carries %s debt: %+v", e.Analyzer, e)
 		}
 	}

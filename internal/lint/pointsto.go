@@ -1,0 +1,1419 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program points-to analysis (PR 10): an
+// inclusion-based (Andersen-style) constraint system solved once per
+// Program with a deterministic worklist. The escape layer (escape.go)
+// and the sharedguard/chanlife analyzers consume its solution, and the
+// dettaint/budgetpath analyzers use it to sharpen facts across pointer
+// aliases.
+//
+// The model:
+//
+//   - Abstract objects live at allocation sites (&T{}, new(T), make,
+//     composite literals, append growth, closures) plus one storage
+//     object per variable whose address is taken or that is accessed
+//     as an aggregate, and one synthetic object per pointer-ish
+//     parameter (standing for whatever unknown callers pass).
+//   - Nodes hold points-to sets: one per variable (keyed by its
+//     types.Object, which makes closure captures alias for free), one
+//     per intermediate expression, one per function result, and one
+//     per (object, field) pair, created on demand during solving.
+//   - Constraints are the classic four: alloc (o ∈ pts(n)), copy
+//     (pts(dst) ⊇ pts(src)), load (∀o ∈ pts(base): pts(dst) ⊇
+//     pts(fld(o,f))) and store (∀o ∈ pts(base): pts(fld(o,f)) ⊇
+//     pts(src)). Channel element transfer is a load/store on the
+//     pseudo-field "*"; map/slice elements use "[]".
+//   - Calls ride the existing call graph: arguments copy into
+//     parameter nodes of every resolved candidate (including closure
+//     and interface candidates), results copy back. Calls that leave
+//     the program neither produce nor consume points-to information.
+//
+// Soundness caveats (documented in DESIGN.md §16): reflection and
+// unsafe are out of scope; aggregate values are approximated by
+// reference (a struct copy aliases its source); pointers into external
+// libraries return empty sets; &x.f aliases x rather than a distinct
+// field cell.
+
+// ptElemField is the pseudo-field for pointer/channel element cells.
+const ptElemField = "*"
+
+// ptIndexField is the pseudo-field for map/slice/array element cells.
+const ptIndexField = "[]"
+
+// PTObject is one abstract memory object.
+type PTObject struct {
+	// ID is the stable identity used by the fact cache:
+	// "kind@file:line:col" (plus a field path for sub-objects).
+	ID string
+	// Kind is "lit", "new", "make", "closure", "append", "var",
+	// "param", or "field" (an aggregate sub-object).
+	Kind string
+	// Type is the allocated type (nil when unknown, e.g. fuzz graphs).
+	Type types.Type
+	// Pos is the allocation site (or declaration for var/param kinds).
+	Pos token.Pos
+	// Fn is the function the allocation site lives in; nil for
+	// package-level allocations and parameter summaries.
+	Fn *Func
+	// Var is the variable this object is the storage of (var kind).
+	Var types.Object
+}
+
+// ptDeref is one pending load/store constraint hanging off a base node.
+type ptDeref struct {
+	other int // dst for loads, src for stores
+	field string
+}
+
+// ptNode is one points-to set with its outgoing constraints.
+type ptNode struct {
+	id     string
+	pts    map[int]bool
+	succs  map[int]bool // copy edges: pts(succ) ⊇ pts(this)
+	loads  []ptDeref
+	stores []ptDeref
+}
+
+// PTSolver is the constraint system. It is AST-agnostic — the fuzz
+// target builds synthetic graphs directly against this API.
+type PTSolver struct {
+	nodes   []*ptNode
+	objects []*PTObject
+	// fields maps (object, field) to the node holding that cell.
+	fields map[ptFieldKey]int
+	// elemOf overrides the "*" cell of variable objects: dereferencing
+	// a pointer to variable x must read/write x's own node.
+	elemOf map[int]int
+	// fieldSeed, when set, may seed a freshly created field cell (the
+	// AST layer plants sub-objects for aggregate-typed fields there).
+	fieldSeed func(obj int, field string, node int)
+	// fieldLog records field-node creations in order, so a memoized
+	// solution can replay them and line node indices up (factcache.go).
+	fieldLog []ptFieldCache
+	queued   []bool
+	solved   bool
+}
+
+type ptFieldKey struct {
+	obj   int
+	field string
+}
+
+// NewPTSolver returns an empty constraint system.
+func NewPTSolver() *PTSolver {
+	return &PTSolver{fields: map[ptFieldKey]int{}, elemOf: map[int]int{}}
+}
+
+// NewNode creates a node and returns its index.
+func (s *PTSolver) NewNode(id string) int {
+	s.nodes = append(s.nodes, &ptNode{id: id, pts: map[int]bool{}, succs: map[int]bool{}})
+	if s.queued != nil {
+		s.queued = append(s.queued, true)
+	}
+	return len(s.nodes) - 1
+}
+
+// NewObject registers an abstract object and returns its index.
+func (s *PTSolver) NewObject(o *PTObject) int {
+	s.objects = append(s.objects, o)
+	return len(s.objects) - 1
+}
+
+// AddAlloc seeds obj into pts(node).
+func (s *PTSolver) AddAlloc(node, obj int) {
+	if !s.nodes[node].pts[obj] {
+		s.nodes[node].pts[obj] = true
+		if s.queued != nil {
+			s.queued[node] = true
+		}
+	}
+}
+
+// AddCopy adds the subset edge pts(dst) ⊇ pts(src).
+func (s *PTSolver) AddCopy(dst, src int) {
+	if dst == src || s.nodes[src].succs[dst] {
+		return
+	}
+	s.nodes[src].succs[dst] = true
+	if s.queued != nil {
+		s.queued[src] = true
+	}
+}
+
+// AddLoad adds pts(dst) ⊇ pts(fld(o, field)) for every o ∈ pts(base).
+func (s *PTSolver) AddLoad(dst, base int, field string) {
+	s.nodes[base].loads = append(s.nodes[base].loads, ptDeref{other: dst, field: field})
+	if s.queued != nil {
+		s.queued[base] = true
+	}
+}
+
+// AddStore adds pts(fld(o, field)) ⊇ pts(src) for every o ∈ pts(base).
+func (s *PTSolver) AddStore(base int, field string, src int) {
+	s.nodes[base].stores = append(s.nodes[base].stores, ptDeref{other: src, field: field})
+	if s.queued != nil {
+		s.queued[base] = true
+	}
+}
+
+// SetElem declares that the "*" cell of obj IS the given node (used
+// for variable objects, whose contents already live in the variable's
+// own node).
+func (s *PTSolver) SetElem(obj, node int) { s.elemOf[obj] = node }
+
+// fieldNode returns (creating on demand) the node of one object cell.
+func (s *PTSolver) fieldNode(obj int, field string) int {
+	if field == ptElemField {
+		if n, ok := s.elemOf[obj]; ok {
+			return n
+		}
+	}
+	key := ptFieldKey{obj: obj, field: field}
+	if n, ok := s.fields[key]; ok {
+		return n
+	}
+	n := s.NewNode("f@" + s.objects[obj].ID + "." + field)
+	s.fields[key] = n
+	s.fieldLog = append(s.fieldLog, ptFieldCache{Obj: obj, Field: field})
+	if s.fieldSeed != nil {
+		s.fieldSeed(obj, field, n)
+	}
+	return n
+}
+
+// fieldNodeIfExists looks a cell node up without creating it.
+func (s *PTSolver) fieldNodeIfExists(obj int, field string) (int, bool) {
+	if field == ptElemField {
+		if n, ok := s.elemOf[obj]; ok {
+			return n, true
+		}
+	}
+	n, ok := s.fields[ptFieldKey{obj: obj, field: field}]
+	return n, ok
+}
+
+// installVerified installs candidate per-node sets if and only if they
+// form a closed fixpoint of the constraint system that contains every
+// generated alloc seed. Returns false (leaving the solver untouched)
+// otherwise.
+func (s *PTSolver) installVerified(sets [][]int) bool {
+	if len(sets) != len(s.nodes) {
+		return false
+	}
+	cand := make([]map[int]bool, len(sets))
+	for i, set := range sets {
+		m := make(map[int]bool, len(set))
+		for _, o := range set {
+			if o < 0 || o >= len(s.objects) {
+				return false
+			}
+			m[o] = true
+		}
+		cand[i] = m
+	}
+	for i, n := range s.nodes {
+		for o := range n.pts { // generated seeds must survive
+			if !cand[i][o] {
+				return false
+			}
+		}
+		for d := range n.succs {
+			for o := range cand[i] {
+				if !cand[d][o] {
+					return false
+				}
+			}
+		}
+		for o := range cand[i] {
+			for _, ld := range n.loads {
+				fn, ok := s.fieldNodeIfExists(o, ld.field)
+				if !ok {
+					return false
+				}
+				for x := range cand[fn] {
+					if !cand[ld.other][x] {
+						return false
+					}
+				}
+			}
+			for _, st := range n.stores {
+				fn, ok := s.fieldNodeIfExists(o, st.field)
+				if !ok {
+					return false
+				}
+				for x := range cand[st.other] {
+					if !cand[fn][x] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	for i := range s.nodes {
+		s.nodes[i].pts = cand[i]
+	}
+	s.solved = true
+	return true
+}
+
+// Solve runs the inclusion constraints to their least fixpoint. The
+// worklist drains in ascending node order, so cell-node creation order
+// — and with it every node index and ID — is deterministic across
+// runs; the solution itself is the unique least fixpoint regardless.
+func (s *PTSolver) Solve() {
+	s.queued = make([]bool, len(s.nodes))
+	for i := range s.queued {
+		s.queued[i] = true
+	}
+	for {
+		idx := -1
+		for i, q := range s.queued {
+			if q {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		s.queued[idx] = false
+		n := s.nodes[idx]
+
+		if len(n.loads) > 0 || len(n.stores) > 0 {
+			for _, o := range sortedIntKeys(n.pts) {
+				for _, ld := range n.loads {
+					s.AddCopy(ld.other, s.fieldNode(o, ld.field))
+				}
+				for _, st := range n.stores {
+					s.AddCopy(s.fieldNode(o, st.field), st.other)
+				}
+			}
+		}
+		for _, d := range sortedIntKeys(n.succs) {
+			dst := s.nodes[d]
+			changed := false
+			for o := range n.pts {
+				if !dst.pts[o] {
+					dst.pts[o] = true
+					changed = true
+				}
+			}
+			if changed {
+				s.queued[d] = true
+			}
+		}
+	}
+	s.queued = nil
+	s.solved = true
+}
+
+// PointsTo returns the sorted object indices of one node's solution.
+func (s *PTSolver) PointsTo(node int) []int {
+	if node < 0 || node >= len(s.nodes) {
+		return nil
+	}
+	return sortedIntKeys(s.nodes[node].pts)
+}
+
+// NumNodes and NumObjects expose graph sizes (tests, fuzzing).
+func (s *PTSolver) NumNodes() int   { return len(s.nodes) }
+func (s *PTSolver) NumObjects() int { return len(s.objects) }
+
+func sortedIntKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ptAccessKind classifies how an access site touches memory.
+type ptAccessKind int
+
+const (
+	ptRead ptAccessKind = iota
+	ptWrite
+	// ptChanOp marks channel sends/receives — ownership transfer, not
+	// shared-state access; sharedguard exempts them.
+	ptChanOp
+)
+
+// ptAccess is one recorded memory access: the base node whose objects
+// are touched, the cell within them, and where/by whom.
+type ptAccess struct {
+	node  int
+	field string
+	kind  ptAccessKind
+	pos   token.Pos
+	// fn is the accessing function (nil: package-level initializer).
+	fn *Func
+	// pkg is the package the access site lives in.
+	pkg *Package
+}
+
+// PointsTo is the Program-level analysis result.
+type PointsTo struct {
+	Solver *PTSolver
+	// varNodes maps variables to their value nodes.
+	varNodes map[types.Object]int
+	// varAddrs maps variables to address nodes (pts = {storage obj}).
+	varAddrs map[types.Object]int
+	// varAccs maps aggregate variables to pure access-recording nodes
+	// (pts = {storage obj} only, never merged with copied-in objects).
+	varAccs map[types.Object]int
+	// varObjs maps variables to their storage object index.
+	varObjs  map[types.Object]int
+	accesses []ptAccess
+	// objEnclosing[i] is the Func whose body allocates object i.
+	prog *Program
+}
+
+// Objects returns the abstract object table.
+func (pt *PointsTo) Objects() []*PTObject { return pt.Solver.objects }
+
+// VarPointsTo returns the objects a variable may point to.
+func (pt *PointsTo) VarPointsTo(v types.Object) []int {
+	n, ok := pt.varNodes[v]
+	if !ok {
+		return nil
+	}
+	return pt.Solver.PointsTo(n)
+}
+
+// MayAliasVars reports whether two pointer variables may point to a
+// common object.
+func (pt *PointsTo) MayAliasVars(a, b types.Object) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	pa, pb := pt.VarPointsTo(a), pt.VarPointsTo(b)
+	if len(pa) == 0 || len(pb) == 0 {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i] == pb[j]:
+			return true
+		case pa[i] < pb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// AliasedVars returns, in declaration-position order, the variables
+// whose storage object is in pts(v) — the set an indirect store
+// through v may write. v's own storage (if it has one) is excluded.
+func (pt *PointsTo) AliasedVars(v types.Object) []types.Object {
+	var out []types.Object
+	for _, o := range pt.VarPointsTo(v) {
+		obj := pt.Solver.objects[o]
+		if obj.Var != nil && obj.Var != v {
+			out = append(out, obj.Var)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// buildPointsTo generates constraints for every function and
+// package-level initializer, then solves (or reloads a memoized
+// solution from the fact cache).
+func (p *Program) buildPointsTo(cache *FactCache) {
+	b := &ptBuilder{
+		prog: p,
+		pt: &PointsTo{
+			Solver:   NewPTSolver(),
+			varNodes: map[types.Object]int{},
+			varAddrs: map[types.Object]int{},
+			varAccs:  map[types.Object]int{},
+			varObjs:  map[types.Object]int{},
+			prog:     p,
+		},
+		tmps:         map[ast.Node]int{},
+		rets:         map[string][]int{},
+		callTmpExtra: map[*ast.CallExpr][]int{},
+	}
+	b.pt.Solver.fieldSeed = b.seedField
+	b.generate()
+	if cache == nil || !cache.loadPointsTo(p, b.pt.Solver) {
+		b.pt.Solver.Solve()
+	}
+	p.pointsTo = b.pt
+	if cache != nil {
+		cache.storePointsTo(p, b.pt.Solver)
+	}
+}
+
+// PointsToInfo returns the program's solved points-to analysis.
+func (p *Program) PointsToInfo() *PointsTo { return p.pointsTo }
+
+// ptBuilder walks every body once, generating constraints and
+// recording accesses.
+type ptBuilder struct {
+	prog *Program
+	pt   *PointsTo
+	// tmps memoizes expression nodes so a single walk cannot generate
+	// a constraint twice.
+	tmps map[ast.Node]int
+	// rets maps Func.ID to its result nodes.
+	rets map[string][]int
+	// callTmpExtra remembers the full result-node list of multi-result
+	// call sites (tmps only keeps the first).
+	callTmpExtra map[*ast.CallExpr][]int
+	// cur is the function being generated (nil at package level).
+	cur *Func
+	pkg *Package
+}
+
+func (b *ptBuilder) posID(pos token.Pos) string {
+	p := b.prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// isAggregate reports whether values of t are structs/arrays — the
+// types whose storage we model by reference.
+func isAggregate(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+// varNode returns the value node of a variable.
+func (b *ptBuilder) varNode(v types.Object) int {
+	if n, ok := b.pt.varNodes[v]; ok {
+		return n
+	}
+	n := b.pt.Solver.NewNode("v@" + b.posID(v.Pos()) + "/" + v.Name())
+	b.pt.varNodes[v] = n
+	if isAggregate(v.Type()) {
+		// Aggregate variables are their own storage: the value node
+		// holds the storage object, so x.f, (&x).f and p.f (p = &x)
+		// all resolve to the same cells.
+		b.pt.Solver.AddAlloc(n, b.varObj(v))
+	}
+	return n
+}
+
+// varObj returns (creating on demand) the storage object of v.
+func (b *ptBuilder) varObj(v types.Object) int {
+	if o, ok := b.pt.varObjs[v]; ok {
+		return o
+	}
+	o := b.pt.Solver.NewObject(&PTObject{
+		ID:   "var@" + b.posID(v.Pos()) + "/" + v.Name(),
+		Kind: "var",
+		Type: v.Type(),
+		Pos:  v.Pos(),
+		Fn:   b.enclosingFuncOfVar(v),
+		Var:  v,
+	})
+	b.pt.varObjs[v] = o
+	if !isAggregate(v.Type()) {
+		// Dereferencing a pointer to a scalar-ish variable reads and
+		// writes the variable's own node.
+		b.pt.Solver.SetElem(o, b.varNode(v))
+	}
+	return o
+}
+
+// enclosingFuncOfVar finds the Func whose body declares v (nil for
+// package-level variables). Used by the ownership exemption.
+func (b *ptBuilder) enclosingFuncOfVar(v types.Object) *Func {
+	if v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != nil && v.Pkg().Scope() == v.Parent() {
+		return nil
+	}
+	// The builder only ever creates storage while generating some
+	// function; a local var's storage is first touched from its own
+	// function (or a closure, which still pins ownership correctly
+	// for the alloc-site exemption: closures are separate Funcs).
+	return b.cur
+}
+
+// varAddr returns a node whose solution is exactly {storage of v}.
+func (b *ptBuilder) varAddr(v types.Object) int {
+	if isAggregate(v.Type()) {
+		return b.varNode(v)
+	}
+	if n, ok := b.pt.varAddrs[v]; ok {
+		return n
+	}
+	n := b.pt.Solver.NewNode("a@" + b.posID(v.Pos()) + "/" + v.Name())
+	b.pt.varAddrs[v] = n
+	b.pt.Solver.AddAlloc(n, b.varObj(v))
+	return n
+}
+
+// varAccess returns a node holding exactly v's storage object, used
+// only for recording accesses. For aggregate variables varAddr aliases
+// the value node, which accumulates every object copied in — but Go
+// struct assignment copies, so writing the variable (or one of its
+// fields through the value, not through a pointer) touches only the
+// variable's own storage. Recording on the merged node would smear the
+// write onto other functions' objects and defeat sharedguard's
+// ownership reasoning.
+func (b *ptBuilder) varAccess(v types.Object) int {
+	if !isAggregate(v.Type()) {
+		return b.varAddr(v)
+	}
+	if n, ok := b.pt.varAccs[v]; ok {
+		return n
+	}
+	n := b.pt.Solver.NewNode("w@" + b.posID(v.Pos()) + "/" + v.Name())
+	b.pt.varAccs[v] = n
+	b.pt.Solver.AddAlloc(n, b.varObj(v))
+	return n
+}
+
+// accessBase returns the node to record an access against for a
+// selector/index base expression: an aggregate value variable resolves
+// to its own storage only (value semantics), anything else to the full
+// points-to expansion of the expression.
+func (b *ptBuilder) accessBase(x ast.Expr, full int) int {
+	if id, ok := unparen(x).(*ast.Ident); ok {
+		if v, ok := b.pkg.Info.Uses[id].(*types.Var); ok && isAggregate(v.Type()) {
+			return b.varAccess(v)
+		}
+	}
+	return full
+}
+
+// newTmp returns the memoized temp node of an expression.
+func (b *ptBuilder) newTmp(e ast.Node, tag string) (int, bool) {
+	if n, ok := b.tmps[e]; ok {
+		return n, false
+	}
+	n := b.pt.Solver.NewNode(tag + "@" + b.posID(e.Pos()))
+	b.tmps[e] = n
+	return n, true
+}
+
+// allocObj creates an allocation-site object.
+func (b *ptBuilder) allocObj(kind string, e ast.Node, t types.Type) int {
+	return b.pt.Solver.NewObject(&PTObject{
+		ID:   kind + "@" + b.posID(e.Pos()),
+		Kind: kind,
+		Type: t,
+		Pos:  e.Pos(),
+		Fn:   b.cur,
+	})
+}
+
+// seedField plants a sub-object into aggregate-typed field cells so
+// chained selections (s.met.Requests) resolve to stable cells.
+func (b *ptBuilder) seedField(obj int, field string, node int) {
+	parent := b.pt.Solver.objects[obj]
+	ft := fieldTypeOf(parent.Type, field)
+	if !isAggregate(ft) && !(parent.Kind == "param" && pointerLike(ft)) {
+		// Under a parameter summary, pointer-carrying sub-cells also
+		// get summaries: loading cache[u] from a parameter map must
+		// yield a caller-owned stand-in, not only the concrete objects
+		// other functions happened to store into aliased maps.
+		return
+	}
+	id := parent.ID + "." + field
+	kind := "field"
+	if parent.Kind == "param" {
+		// Sub-objects of parameter summaries are summaries themselves:
+		// they stand for unknown caller state and carry the same
+		// caller-ownership treatment (see sharedguard). The "~" chain
+		// separator doubles as a depth counter: recursive types
+		// (p = p.next loops) would otherwise grow summary chains
+		// without bound once a chain object flows back into its own
+		// base node.
+		if strings.Count(parent.ID, "~") >= 4 {
+			return
+		}
+		id = parent.ID + "~" + field
+		kind = "param"
+	}
+	sub := b.pt.Solver.NewObject(&PTObject{
+		ID:   id,
+		Kind: kind,
+		Type: ft,
+		Pos:  parent.Pos,
+		Fn:   parent.Fn,
+	})
+	b.pt.Solver.AddAlloc(node, sub)
+}
+
+// pointerLike reports whether t can carry object identity across a
+// call boundary (the types parameter summaries are seeded for).
+func pointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// fieldTypeOf resolves a named field's type on t (nil if unknown).
+func fieldTypeOf(t types.Type, field string) types.Type {
+	if t == nil || field == ptElemField || field == ptIndexField {
+		return elemTypeOf(t, field)
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return st.Field(i).Type()
+		}
+		if st.Field(i).Embedded() {
+			if ft := fieldTypeOf(st.Field(i).Type(), field); ft != nil {
+				return ft
+			}
+		}
+	}
+	return nil
+}
+
+func elemTypeOf(t types.Type, field string) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		if field == ptElemField {
+			return u.Elem()
+		}
+	case *types.Chan:
+		if field == ptElemField {
+			return u.Elem()
+		}
+	case *types.Slice:
+		if field == ptIndexField {
+			return u.Elem()
+		}
+	case *types.Array:
+		if field == ptIndexField {
+			return u.Elem()
+		}
+	case *types.Map:
+		if field == ptIndexField {
+			return u.Elem()
+		}
+	}
+	return nil
+}
+
+// access records one memory access site.
+func (b *ptBuilder) access(node int, field string, kind ptAccessKind, pos token.Pos) {
+	b.pt.accesses = append(b.pt.accesses, ptAccess{node: node, field: field, kind: kind, pos: pos, fn: b.cur, pkg: b.pkg})
+}
+
+// generate walks every package-level initializer and function body.
+func (b *ptBuilder) generate() {
+	// Result nodes first, so returns and call results can meet: named
+	// results alias their variable node directly.
+	for _, f := range b.prog.Funcs {
+		rs := f.Sig.Results()
+		nodes := make([]int, rs.Len())
+		for i := 0; i < rs.Len(); i++ {
+			if v := rs.At(i); v.Name() != "" && v.Name() != "_" {
+				nodes[i] = b.varNode(v)
+			} else {
+				nodes[i] = b.pt.Solver.NewNode(fmt.Sprintf("r@%s#%d", f.ID, i))
+			}
+		}
+		b.rets[f.ID] = nodes
+		// Parameter summary objects: stand-ins for whatever unknown
+		// callers pass, so alias queries work without whole-world
+		// knowledge. Excluded from sharedguard grouping (Kind param).
+		b.seedParams(f)
+	}
+	for _, pkg := range b.prog.Pkgs {
+		b.pkg = pkg
+		b.cur = nil
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(vs)
+					}
+				}
+			}
+		}
+	}
+	for _, f := range b.prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		b.pkg = f.Pkg
+		b.cur = f
+		b.funcBody(f)
+	}
+}
+
+// seedParams gives every pointer-carrying parameter (and receiver) a
+// synthetic summary object.
+func (b *ptBuilder) seedParams(f *Func) {
+	seed := func(v *types.Var, i int) {
+		if v == nil || isAggregate(v.Type()) {
+			return
+		}
+		switch v.Type().Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Slice, *types.Interface, *types.Signature:
+		default:
+			return
+		}
+		o := b.pt.Solver.NewObject(&PTObject{
+			ID:   fmt.Sprintf("param@%s#%d", f.ID, i),
+			Kind: "param",
+			Type: v.Type(),
+			Pos:  v.Pos(),
+			Fn:   f,
+		})
+		b.pt.Solver.AddAlloc(b.varNode(v), o)
+	}
+	if recv := f.Sig.Recv(); recv != nil {
+		seed(recv, -1)
+	}
+	for i := 0; i < f.Sig.Params().Len(); i++ {
+		seed(f.Sig.Params().At(i), i)
+	}
+}
+
+// funcBody generates constraints for one function body (shallow: a
+// nested closure's statements belong to the closure's own Func).
+func (b *ptBuilder) funcBody(f *Func) {
+	inspectShallow(f.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			b.assign(x)
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(vs)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			ch := b.expr(x.Chan)
+			b.pt.Solver.AddStore(ch, ptElemField, b.expr(x.Value))
+			b.access(ch, ptElemField, ptChanOp, x.Pos())
+		case *ast.IncDecStmt:
+			b.lvalue(x.X, -1, x.Pos())
+		case *ast.ReturnStmt:
+			b.returnStmt(f, x)
+		case *ast.RangeStmt:
+			b.rangeStmt(x)
+		case *ast.TypeSwitchStmt:
+			b.typeSwitch(x)
+		case *ast.CallExpr:
+			b.expr(x)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				b.expr(x)
+			}
+		}
+	})
+}
+
+// valueSpec handles `var a, b T = e1, e2` and tuple forms.
+func (b *ptBuilder) valueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		// var a, b = f()
+		if call, ok := unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			results := b.callResults(call)
+			for i, name := range vs.Names {
+				if obj := b.pkg.Info.Defs[name]; obj != nil && i < len(results) {
+					b.pt.Solver.AddCopy(b.varNode(obj), results[i])
+					b.access(b.varAccess(obj), ptElemField, ptWrite, name.Pos())
+				}
+			}
+			return
+		}
+	}
+	for i, name := range vs.Names {
+		obj := b.pkg.Info.Defs[name]
+		if obj == nil || name.Name == "_" {
+			continue
+		}
+		if i < len(vs.Values) {
+			b.pt.Solver.AddCopy(b.varNode(obj), b.expr(vs.Values[i]))
+			b.access(b.varAccess(obj), ptElemField, ptWrite, name.Pos())
+		}
+	}
+}
+
+// assign handles every assignment form.
+func (b *ptBuilder) assign(as *ast.AssignStmt) {
+	// Tuple: x, y := f()  /  v, ok := m[k]  /  v, ok := <-ch  /  x.(T)
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		rhs := unparen(as.Rhs[0])
+		var results []int
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			results = b.callResults(r)
+		case *ast.IndexExpr, *ast.UnaryExpr, *ast.TypeAssertExpr:
+			results = []int{b.expr(rhs)}
+		default:
+			results = []int{b.expr(rhs)}
+		}
+		for i, lhs := range as.Lhs {
+			src := -1
+			if i < len(results) {
+				src = results[i]
+			}
+			b.lvalue(lhs, src, as.Pos())
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		b.lvalue(lhs, b.expr(as.Rhs[i]), as.Pos())
+	}
+}
+
+// lvalue stores src (a node, or -1 for a value-less effect like ++)
+// into the location lhs denotes, recording the write access.
+func (b *ptBuilder) lvalue(lhs ast.Expr, src int, pos token.Pos) {
+	switch x := unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := b.pkg.Info.Defs[x]
+		if obj == nil {
+			obj = b.pkg.Info.Uses[x]
+		}
+		if obj == nil {
+			return
+		}
+		if src >= 0 {
+			b.pt.Solver.AddCopy(b.varNode(obj), src)
+		}
+		b.access(b.varAccess(obj), ptElemField, ptWrite, pos)
+	case *ast.SelectorExpr:
+		if sel, ok := b.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			base := b.expr(x.X)
+			if src >= 0 {
+				b.pt.Solver.AddStore(base, x.Sel.Name, src)
+			}
+			b.access(b.accessBase(x.X, base), x.Sel.Name, ptWrite, pos)
+			return
+		}
+		// Qualified package-level var (otherpkg.V = e).
+		if obj, ok := b.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			if src >= 0 {
+				b.pt.Solver.AddCopy(b.varNode(obj), src)
+			}
+			b.access(b.varAccess(obj), ptElemField, ptWrite, pos)
+		}
+	case *ast.StarExpr:
+		base := b.expr(x.X)
+		if src >= 0 {
+			b.pt.Solver.AddStore(base, ptElemField, src)
+		}
+		b.access(base, ptElemField, ptWrite, pos)
+	case *ast.IndexExpr:
+		base := b.expr(x.X)
+		b.expr(x.Index)
+		if src >= 0 {
+			b.pt.Solver.AddStore(base, ptIndexField, src)
+		}
+		b.access(b.accessBase(x.X, base), ptIndexField, ptWrite, pos)
+	}
+}
+
+// returnStmt copies results into the function's result nodes.
+func (b *ptBuilder) returnStmt(f *Func, rs *ast.ReturnStmt) {
+	nodes := b.rets[f.ID]
+	if len(rs.Results) == 1 && len(nodes) > 1 {
+		if call, ok := unparen(rs.Results[0]).(*ast.CallExpr); ok {
+			for i, r := range b.callResults(call) {
+				if i < len(nodes) {
+					b.pt.Solver.AddCopy(nodes[i], r)
+				}
+			}
+			return
+		}
+	}
+	for i, res := range rs.Results {
+		if i < len(nodes) {
+			b.pt.Solver.AddCopy(nodes[i], b.expr(res))
+		}
+	}
+}
+
+// rangeStmt binds the iteration variables.
+func (b *ptBuilder) rangeStmt(rs *ast.RangeStmt) {
+	x := b.expr(rs.X)
+	tv, _ := b.pkg.Info.Types[rs.X]
+	var elemField string
+	kind := ptRead
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		elemField = ptIndexField
+	case *types.Pointer: // *[N]T
+		elemField = ptIndexField
+	case *types.Chan:
+		elemField = ptElemField
+		kind = ptChanOp
+	default:
+		return
+	}
+	bind := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		tmp, fresh := b.newTmp(e, "t")
+		if fresh {
+			b.pt.Solver.AddLoad(tmp, x, elemField)
+		}
+		b.lvalue(e, tmp, e.Pos())
+	}
+	b.access(x, elemField, kind, rs.Pos())
+	if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+		bind(rs.Key)
+		return
+	}
+	// Keys of maps/slices carry no tracked pointers here (documented
+	// approximation); values do.
+	if rs.Key != nil {
+		b.lvalue(rs.Key, -1, rs.Key.Pos())
+	}
+	bind(rs.Value)
+}
+
+// typeSwitch binds the per-clause implicit variables of
+// `switch v := x.(type)`.
+func (b *ptBuilder) typeSwitch(ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := unparen(a.X).(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return
+	}
+	src := b.expr(x)
+	for _, cl := range ts.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := b.pkg.Info.Implicits[cc]; obj != nil {
+			b.pt.Solver.AddCopy(b.varNode(obj), src)
+		}
+	}
+}
+
+// expr returns the node holding e's value, generating constraints on
+// first visit (memoized per AST node).
+func (b *ptBuilder) expr(e ast.Expr) int {
+	e2 := unparen(e)
+	if n, ok := b.tmps[e2]; ok {
+		return n
+	}
+	n := b.exprFresh(e2)
+	b.tmps[e2] = n
+	return n
+}
+
+func (b *ptBuilder) exprFresh(e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := b.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = b.pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			n := b.varNode(v)
+			b.access(b.varAddr(v), ptElemField, ptRead, x.Pos())
+			return n
+		}
+		return b.pt.Solver.NewNode("x@" + b.posID(x.Pos()))
+	case *ast.SelectorExpr:
+		if sel, ok := b.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			base := b.expr(x.X)
+			tmp, fresh := b.newTmp(x, "t")
+			if fresh {
+				b.pt.Solver.AddLoad(tmp, base, x.Sel.Name)
+				b.access(base, x.Sel.Name, ptRead, x.Pos())
+			}
+			return tmp
+		}
+		if v, ok := b.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			// Qualified package-level var.
+			n := b.varNode(v)
+			b.access(b.varAddr(v), ptElemField, ptRead, x.Pos())
+			return n
+		}
+		return b.pt.Solver.NewNode("x@" + b.posID(x.Pos()))
+	case *ast.StarExpr:
+		base := b.expr(x.X)
+		tv, _ := b.pkg.Info.Types[x]
+		if isAggregate(tv.Type) {
+			// Dereferencing to an aggregate VALUE keeps reference
+			// semantics: *p aliases p's target.
+			return base
+		}
+		tmp, fresh := b.newTmp(x, "t")
+		if fresh {
+			b.pt.Solver.AddLoad(tmp, base, ptElemField)
+			b.access(base, ptElemField, ptRead, x.Pos())
+		}
+		return tmp
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return b.addressOf(x.X)
+		case token.ARROW:
+			base := b.expr(x.X)
+			tmp, fresh := b.newTmp(x, "t")
+			if fresh {
+				b.pt.Solver.AddLoad(tmp, base, ptElemField)
+				b.access(base, ptElemField, ptChanOp, x.Pos())
+			}
+			return tmp
+		default:
+			return b.expr(x.X)
+		}
+	case *ast.IndexExpr:
+		base := b.expr(x.X)
+		b.expr(x.Index)
+		tmp, fresh := b.newTmp(x, "t")
+		if fresh {
+			b.pt.Solver.AddLoad(tmp, base, ptIndexField)
+			b.access(base, ptIndexField, ptRead, x.Pos())
+		}
+		return tmp
+	case *ast.SliceExpr:
+		return b.expr(x.X)
+	case *ast.TypeAssertExpr:
+		if x.Type == nil {
+			return b.expr(x.X)
+		}
+		return b.expr(x.X)
+	case *ast.BinaryExpr:
+		l, r := b.expr(x.X), b.expr(x.Y)
+		tmp, fresh := b.newTmp(x, "t")
+		if fresh {
+			b.pt.Solver.AddCopy(tmp, l)
+			b.pt.Solver.AddCopy(tmp, r)
+		}
+		return tmp
+	case *ast.CompositeLit:
+		return b.compositeLit(x)
+	case *ast.FuncLit:
+		tmp, fresh := b.newTmp(x, "t")
+		if fresh {
+			b.pt.Solver.AddAlloc(tmp, b.allocObj("closure", x, nil))
+		}
+		return tmp
+	case *ast.CallExpr:
+		results := b.callResults(x)
+		if len(results) > 0 {
+			return results[0]
+		}
+		tmp, _ := b.newTmp(x, "t")
+		return tmp
+	}
+	return b.pt.Solver.NewNode("x@" + b.posID(e.Pos()))
+}
+
+// addressOf models &e.
+func (b *ptBuilder) addressOf(e ast.Expr) int {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := b.objectOfIdent(x).(*types.Var); ok {
+			return b.varAddr(v)
+		}
+	case *ast.CompositeLit:
+		return b.expr(x)
+	case *ast.SelectorExpr:
+		// &x.f: approximate as a pointer to x's object (the field cell
+		// has no address identity of its own; DESIGN.md §16 caveat).
+		if sel, ok := b.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return b.expr(x.X)
+		}
+		if v, ok := b.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return b.varAddr(v)
+		}
+	case *ast.IndexExpr:
+		// &a[i]: points into a's backing object.
+		return b.expr(x.X)
+	case *ast.StarExpr:
+		return b.expr(x.X)
+	}
+	return b.pt.Solver.NewNode("x@" + b.posID(e.Pos()))
+}
+
+func (b *ptBuilder) objectOfIdent(id *ast.Ident) types.Object {
+	if obj := b.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return b.pkg.Info.Defs[id]
+}
+
+// compositeLit allocates the literal's object and stores its elements.
+func (b *ptBuilder) compositeLit(cl *ast.CompositeLit) int {
+	tmp, fresh := b.newTmp(cl, "t")
+	if !fresh {
+		return tmp
+	}
+	tv, _ := b.pkg.Info.Types[cl]
+	obj := b.allocObj("lit", cl, tv.Type)
+	b.pt.Solver.AddAlloc(tmp, obj)
+	lt := tv.Type
+	if lt != nil {
+		if ptr, ok := lt.Underlying().(*types.Pointer); ok {
+			lt = ptr.Elem()
+		}
+	}
+	_, isStruct := underlyingStruct(lt)
+	for i, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			field := ptIndexField
+			if isStruct {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					field = id.Name
+				}
+			} else {
+				b.expr(kv.Key)
+			}
+			b.pt.Solver.AddStore(tmp, field, b.expr(kv.Value))
+			continue
+		}
+		field := ptIndexField
+		if isStruct {
+			if st, ok := underlyingStruct(lt); ok && i < st.NumFields() {
+				field = st.Field(i).Name()
+			}
+		}
+		b.pt.Solver.AddStore(tmp, field, b.expr(el))
+	}
+	return tmp
+}
+
+func underlyingStruct(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// callResults generates a call's constraints (argument/parameter and
+// result binding, builtins, conversions) and returns its result nodes.
+func (b *ptBuilder) callResults(call *ast.CallExpr) []int {
+	if n, ok := b.tmps[call]; ok {
+		// Memoized: result nodes were registered on first visit.
+		return b.callTmpResults(call, n)
+	}
+
+	fun := unparen(call.Fun)
+
+	// Conversion: T(x) aliases x.
+	if tv, ok := b.pkg.Info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			n := b.expr(call.Args[0])
+			b.tmps[call] = n
+			return []int{n}
+		}
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := b.pkg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return b.builtinCall(id.Name, call)
+		}
+	}
+	if id, ok := fun.(*ast.SelectorExpr); ok {
+		_ = id // method values etc. handled below via call graph
+	}
+
+	// Evaluate operands.
+	var argNodes []int
+	for _, a := range call.Args {
+		argNodes = append(argNodes, b.expr(a))
+	}
+	var recvNode = -1
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := b.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvNode = b.expr(sel.X)
+		}
+	}
+	if _, ok := fun.(*ast.FuncLit); ok {
+		b.expr(fun)
+	}
+
+	// Result nodes.
+	tmp, _ := b.newTmp(call, "c")
+	var results []int
+	nres := 0
+	if tv, ok := b.pkg.Info.Types[call]; ok && tv.Type != nil {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		} else {
+			nres = 1
+		}
+	}
+	if nres <= 1 {
+		results = []int{tmp}
+	} else {
+		results = make([]int, nres)
+		results[0] = tmp
+		for i := 1; i < nres; i++ {
+			results[i] = b.pt.Solver.NewNode(fmt.Sprintf("c@%s#%d", b.posID(call.Pos()), i))
+		}
+	}
+	b.callTmpExtra[call] = results
+
+	// Bind candidates through the call graph.
+	for _, g := range b.prog.CalleesOf(call) {
+		if recvNode >= 0 {
+			if rv := g.Sig.Recv(); rv != nil {
+				b.pt.Solver.AddCopy(b.varNode(rv), recvNode)
+			}
+		}
+		np := g.Sig.Params().Len()
+		for i, an := range argNodes {
+			pi := i
+			if pi >= np {
+				if np == 0 {
+					break
+				}
+				pi = np - 1
+			}
+			b.pt.Solver.AddCopy(b.varNode(g.Sig.Params().At(pi)), an)
+		}
+		for i, rn := range b.rets[g.ID] {
+			if i < len(results) {
+				b.pt.Solver.AddCopy(results[i], rn)
+			}
+		}
+	}
+	return results
+}
+
+// builtinCall models append/copy/new/make; other builtins are inert.
+func (b *ptBuilder) builtinCall(name string, call *ast.CallExpr) []int {
+	switch name {
+	case "new":
+		tmp, fresh := b.newTmp(call, "c")
+		if fresh {
+			var et types.Type
+			if tv, ok := b.pkg.Info.Types[call]; ok && tv.Type != nil {
+				if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+					et = ptr.Elem()
+				}
+			}
+			b.pt.Solver.AddAlloc(tmp, b.allocObj("new", call, et))
+		}
+		return []int{tmp}
+	case "make":
+		tmp, fresh := b.newTmp(call, "c")
+		if fresh {
+			var t types.Type
+			if tv, ok := b.pkg.Info.Types[call]; ok {
+				t = tv.Type
+			}
+			b.pt.Solver.AddAlloc(tmp, b.allocObj("make", call, t))
+		}
+		return []int{tmp}
+	case "append":
+		tmp, fresh := b.newTmp(call, "c")
+		if !fresh {
+			return []int{tmp}
+		}
+		var t types.Type
+		if tv, ok := b.pkg.Info.Types[call]; ok {
+			t = tv.Type
+		}
+		b.pt.Solver.AddAlloc(tmp, b.allocObj("append", call, t))
+		if len(call.Args) > 0 {
+			b.pt.Solver.AddCopy(tmp, b.expr(call.Args[0]))
+		}
+		for _, a := range call.Args[1:] {
+			b.pt.Solver.AddStore(tmp, ptIndexField, b.expr(a))
+		}
+		return []int{tmp}
+	case "copy":
+		if len(call.Args) == 2 {
+			dst, src := b.expr(call.Args[0]), b.expr(call.Args[1])
+			tmp, fresh := b.newTmp(call, "c")
+			if fresh {
+				b.pt.Solver.AddLoad(tmp, src, ptIndexField)
+				b.pt.Solver.AddStore(dst, ptIndexField, tmp)
+			}
+			return []int{tmp}
+		}
+	case "delete", "len", "cap", "close", "min", "max", "clear", "print", "println", "panic", "recover":
+		for _, a := range call.Args {
+			b.expr(a)
+		}
+	}
+	tmp, _ := b.newTmp(call, "c")
+	return []int{tmp}
+}
+
+// callTmpResults reconstructs a memoized call's result node list.
+func (b *ptBuilder) callTmpResults(call *ast.CallExpr, first int) []int {
+	if extra, ok := b.callTmpExtra[call]; ok {
+		return extra
+	}
+	return []int{first}
+}
+
+// syncTypeName reports whether t (or its pointer elem) is a sync /
+// sync/atomic primitive — those objects synchronize, they are not data.
+func syncTypeName(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}

@@ -1,0 +1,265 @@
+package lint
+
+// Fuzz and unit coverage for the Andersen solver in isolation: the
+// PTSolver is AST-agnostic, so synthetic constraint graphs can probe
+// the three properties every consumer relies on — termination,
+// run-to-run determinism, and subset-closure soundness of the solved
+// fixpoint — without building any Go program.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fuzzFields is the cell vocabulary for synthetic graphs: the two
+// pseudo-fields plus a named field.
+var fuzzFields = []string{ptElemField, ptIndexField, "f"}
+
+// buildFuzzSolver decodes data into a constraint graph over a fixed
+// node/object population. Every 3-byte word is one constraint; the
+// decoder is total (any byte string is a valid graph).
+func buildFuzzSolver(data []byte) *PTSolver {
+	const nNodes, nObjs = 12, 5
+	s := NewPTSolver()
+	for i := 0; i < nNodes; i++ {
+		s.NewNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < nObjs; i++ {
+		s.NewObject(&PTObject{ID: fmt.Sprintf("o%d", i), Kind: "new"})
+	}
+	for len(data) >= 3 {
+		op, a, b := data[0], int(data[1]), int(data[2])
+		data = data[3:]
+		field := fuzzFields[int(op/5)%len(fuzzFields)]
+		switch op % 5 {
+		case 0:
+			s.AddAlloc(a%nNodes, b%nObjs)
+		case 1:
+			s.AddCopy(a%nNodes, b%nNodes)
+		case 2:
+			s.AddLoad(a%nNodes, b%nNodes, field)
+		case 3:
+			s.AddStore(a%nNodes, field, b%nNodes)
+		case 4:
+			// Alias an object's element cell to an existing node, the
+			// way variable storage objects are wired.
+			s.SetElem(a%nObjs, b%nNodes)
+		}
+	}
+	return s
+}
+
+// checkClosure fails the test unless the solved sets are a closed
+// fixpoint: every copy edge is a subset edge, and every load/store has
+// been expanded against every object of its base.
+func checkClosure(t *testing.T, s *PTSolver) {
+	t.Helper()
+	for i, n := range s.nodes {
+		for d := range n.succs {
+			for o := range n.pts {
+				if !s.nodes[d].pts[o] {
+					t.Errorf("copy edge %d->%d not closed: object %d missing from dst", i, d, o)
+				}
+			}
+		}
+		for o := range n.pts {
+			for _, ld := range n.loads {
+				fn, ok := s.fieldNodeIfExists(o, ld.field)
+				if !ok {
+					t.Errorf("load on node %d: cell (%d,%q) never materialized", i, o, ld.field)
+					continue
+				}
+				for x := range s.nodes[fn].pts {
+					if !s.nodes[ld.other].pts[x] {
+						t.Errorf("load not closed: pts(n%d) missing %d from cell (%d,%q)", ld.other, x, o, ld.field)
+					}
+				}
+			}
+			for _, st := range n.stores {
+				fn, ok := s.fieldNodeIfExists(o, st.field)
+				if !ok {
+					t.Errorf("store on node %d: cell (%d,%q) never materialized", i, o, st.field)
+					continue
+				}
+				for x := range s.nodes[st.other].pts {
+					if !s.nodes[fn].pts[x] {
+						t.Errorf("store not closed: cell (%d,%q) missing %d from pts(n%d)", o, st.field, x, st.other)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPointsToSolver checks, on arbitrary constraint graphs, that the
+// solver terminates (the driver's timeout is the only clock), that two
+// independent solves of the same graph are bit-identical (node count,
+// node IDs, and every solved set), and that the result is a closed
+// subset fixpoint that still contains every alloc seed.
+func FuzzPointsToSolver(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 1, 0})                              // alloc + copy
+	f.Add([]byte{0, 0, 0, 2, 1, 0, 3, 0, 2})                     // load/store mix
+	f.Add([]byte{0, 0, 1, 4, 1, 3, 2, 5, 0, 3, 0, 6})            // SetElem aliasing
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 1, 2, 0, 0, 0, 0})            // copy cycle
+	f.Add([]byte{0, 2, 2, 7, 3, 2, 8, 4, 3, 12, 5, 4, 13, 6, 5}) // field fan-out
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1 := buildFuzzSolver(data)
+		seeds := make([][]int, s1.NumNodes())
+		for i := range s1.nodes {
+			seeds[i] = sortedIntKeys(s1.nodes[i].pts)
+		}
+		s1.Solve()
+		if !s1.solved {
+			t.Fatal("Solve returned without marking the system solved")
+		}
+
+		// Determinism: an independent build+solve of the same bytes must
+		// agree on every node index, ID, and solved set.
+		s2 := buildFuzzSolver(data)
+		s2.Solve()
+		if s1.NumNodes() != s2.NumNodes() || s1.NumObjects() != s2.NumObjects() {
+			t.Fatalf("nondeterministic graph size: %d/%d nodes, %d/%d objects",
+				s1.NumNodes(), s2.NumNodes(), s1.NumObjects(), s2.NumObjects())
+		}
+		for i := range s1.nodes {
+			if s1.nodes[i].id != s2.nodes[i].id {
+				t.Fatalf("node %d id diverges: %q vs %q", i, s1.nodes[i].id, s2.nodes[i].id)
+			}
+			p1, p2 := s1.PointsTo(i), s2.PointsTo(i)
+			if len(p1) != len(p2) {
+				t.Fatalf("node %d set diverges: %v vs %v", i, p1, p2)
+			}
+			for j := range p1 {
+				if p1[j] != p2[j] {
+					t.Fatalf("node %d set diverges: %v vs %v", i, p1, p2)
+				}
+			}
+		}
+
+		// Soundness: the solution is a closed subset fixpoint...
+		checkClosure(t, s1)
+		// ...that kept every alloc seed (solving only ever grows sets).
+		for i, set := range seeds {
+			for _, o := range set {
+				if !s1.nodes[i].pts[o] {
+					t.Errorf("node %d lost alloc seed %d", i, o)
+				}
+			}
+		}
+
+		// The cache-replay verifier must accept the genuine solution
+		// after a field-log replay on a fresh pre-solve system...
+		s3 := buildFuzzSolver(data)
+		for _, fc := range s1.fieldLog {
+			s3.fieldNode(fc.Obj, fc.Field)
+		}
+		sets := make([][]int, s1.NumNodes())
+		for i := range s1.nodes {
+			sets[i] = s1.PointsTo(i)
+		}
+		if !s3.installVerified(sets) {
+			t.Error("installVerified rejected the solver's own fixpoint")
+		}
+		// ...and reject it once a seeded object is dropped.
+		for i, set := range seeds {
+			if len(set) == 0 {
+				continue
+			}
+			s4 := buildFuzzSolver(data)
+			for _, fc := range s1.fieldLog {
+				s4.fieldNode(fc.Obj, fc.Field)
+			}
+			broken := make([][]int, len(sets))
+			copy(broken, sets)
+			broken[i] = broken[i][:0]
+			if s4.installVerified(broken) {
+				t.Errorf("installVerified accepted a solution missing node %d's seeds", i)
+			}
+			break
+		}
+	})
+}
+
+// TestPTSolverBasics pins the four constraint kinds on a hand-built
+// graph: alloc seeds, transitive copies, and load/store through a
+// field cell.
+func TestPTSolverBasics(t *testing.T) {
+	s := NewPTSolver()
+	a, b, c := s.NewNode("a"), s.NewNode("b"), s.NewNode("c")
+	o1 := s.NewObject(&PTObject{ID: "o1", Kind: "new"})
+	o2 := s.NewObject(&PTObject{ID: "o2", Kind: "new"})
+	s.AddAlloc(a, o1)
+	s.AddCopy(b, a) // b ⊇ a
+	ptr := s.NewNode("ptr")
+	s.AddAlloc(ptr, o2)
+	s.AddStore(ptr, "f", b) // o2.f ⊇ b
+	s.AddLoad(c, ptr, "f")  // c ⊇ o2.f
+	s.Solve()
+
+	want := func(node int, objs ...int) {
+		t.Helper()
+		got := s.PointsTo(node)
+		if len(got) != len(objs) {
+			t.Fatalf("node %d: pts = %v, want %v", node, got, objs)
+		}
+		for i := range objs {
+			if got[i] != objs[i] {
+				t.Fatalf("node %d: pts = %v, want %v", node, got, objs)
+			}
+		}
+	}
+	want(a, o1)
+	want(b, o1)
+	want(c, o1) // flowed a -> b -> o2.f -> c
+}
+
+// TestPTSolverSetElem pins the element-cell override: dereferencing a
+// pointer to a variable's storage object must read the variable's own
+// node, not a fresh cell.
+func TestPTSolverSetElem(t *testing.T) {
+	s := NewPTSolver()
+	x := s.NewNode("x") // the variable's value node
+	ov := s.NewObject(&PTObject{ID: "var:x", Kind: "var"})
+	s.SetElem(ov, x)
+	heap := s.NewObject(&PTObject{ID: "heap", Kind: "new"})
+	s.AddAlloc(x, heap)
+
+	p := s.NewNode("p") // p = &x
+	s.AddAlloc(p, ov)
+	got := s.NewNode("got") // got = *p
+	s.AddLoad(got, p, ptElemField)
+	s.Solve()
+
+	pts := s.PointsTo(got)
+	if len(pts) != 1 || pts[0] != heap {
+		t.Fatalf("*p = %v, want [%d] (x's own contents)", pts, heap)
+	}
+}
+
+// TestPTSolverCycleConverges pins termination and the least fixpoint
+// on a copy cycle feeding a store/load pair.
+func TestPTSolverCycleConverges(t *testing.T) {
+	s := NewPTSolver()
+	n := []int{s.NewNode("0"), s.NewNode("1"), s.NewNode("2")}
+	o := s.NewObject(&PTObject{ID: "o", Kind: "new"})
+	s.AddCopy(n[1], n[0])
+	s.AddCopy(n[2], n[1])
+	s.AddCopy(n[0], n[2])
+	s.AddAlloc(n[0], o)
+	base := s.NewNode("base")
+	s.AddAlloc(base, o)
+	s.AddStore(base, ptElemField, n[2])
+	back := s.NewNode("back")
+	s.AddLoad(back, base, ptElemField)
+	s.Solve()
+	for _, i := range n {
+		if pts := s.PointsTo(i); len(pts) != 1 || pts[0] != o {
+			t.Fatalf("cycle node %d: pts = %v, want [%d]", i, pts, o)
+		}
+	}
+	if pts := s.PointsTo(back); len(pts) != 1 || pts[0] != o {
+		t.Fatalf("load through cell: pts = %v, want [%d]", pts, o)
+	}
+	checkClosure(t, s)
+}

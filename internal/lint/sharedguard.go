@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SharedGuard is the static race certifier: every mutable abstract
+// object reachable from more than one goroutine context must be
+// accessed under a consistent lockset, or only through channel
+// transfer. It combines the points-to solution (pointsto.go) with the
+// escape layer (escape.go):
+//
+//   - accesses are grouped per (object, field) cell after expanding
+//     each access expression through the points-to sets;
+//   - two accesses conflict when their functions' goroutine contexts
+//     can run concurrently (distinct spawn sites, or one self-
+//     concurrent "multi" site), BOTH sides write, and their must-held
+//     locksets share no lock.
+//
+// Write-write only: read-write races are real but drown the signal
+// under a flow-insensitive solver, and the certification claim is
+// that no two goroutines mutate the same object unordered. Ownership
+// shapes are exempt rather than reported: channel operations (they
+// ARE the synchronization), sync/sync.atomic-typed cells, accesses
+// that provably happen before the spawn or after its WaitGroup join,
+// pairs where both sides reach the object only through their own
+// function's parameters (the caller owns the discipline — viaParam),
+// same-function pairs inside a sync.Once body, and the allocating
+// function's own accesses while the object is still private. Each
+// precision choice is recorded in DESIGN.md §16.
+var SharedGuard = &Analyzer{
+	Name: "sharedguard",
+	Doc: "multi-goroutine-reachable objects must be accessed under a " +
+		"consistent lockset or only via channel transfer",
+	Run: runSharedGuard,
+}
+
+// sharedFinding is one whole-program diagnostic, filtered per package
+// pass.
+type sharedFinding struct {
+	pos     token.Pos
+	pkgPath string
+	msg     string
+}
+
+func runSharedGuard(pass *Pass) error {
+	prog := pass.Prog
+	if prog == nil || prog.pointsTo == nil || prog.escape == nil {
+		return nil
+	}
+	prog.sharedOnce.Do(func() { prog.sharedDiags = detectShared(prog) })
+	for _, f := range prog.sharedDiags {
+		if f.pkgPath == pass.Pkg.Path() {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// sharedAccess is one grouped access with its precomputed facts.
+type sharedAccess struct {
+	fn    *Func
+	pkg   *Package
+	pos   token.Pos
+	write bool
+	ctx   ctxBits
+	locks []string
+	// viaParam: the access expression reaches the object through a
+	// parameter (or receiver) of its own function. Instance identity is
+	// then the call site's responsibility — the caller may hand every
+	// invocation a distinct object the abstraction merged (the fleet's
+	// per-unit runners). Pairs where both sides are parameter-mediated
+	// are exempt; the publishing function's own direct accesses remain
+	// checked. DESIGN.md §16 records the caller-ownership caveat.
+	viaParam bool
+}
+
+func detectShared(prog *Program) []sharedFinding {
+	pt := prog.pointsTo
+	esc := prog.escape
+
+	type cellKey struct {
+		obj   int
+		field string
+	}
+	groups := map[cellKey][]*sharedAccess{}
+	order := []cellKey{}
+	accCache := map[accCacheKey]*sharedAccess{}
+
+	for _, a := range pt.accesses {
+		if a.kind == ptChanOp {
+			continue
+		}
+		if a.fn == nil {
+			// Package-level initializers complete before main starts,
+			// which happens before any goroutine spawns.
+			continue
+		}
+		for _, o := range pt.Solver.PointsTo(a.node) {
+			obj := pt.Solver.objects[o]
+			if obj.Kind == "param" {
+				// Summary objects stand for unknown caller state; the
+				// callers' own objects are analyzed directly.
+				continue
+			}
+			if syncTypeName(obj.Type) || syncTypeName(fieldTypeOf(obj.Type, a.field)) {
+				continue
+			}
+			k := cellKey{obj: o, field: a.field}
+			sa := sharedAccessOf(pt, esc, accCache, a)
+			if len(groups[k]) == 0 {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], sa)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].obj != order[j].obj {
+			return order[i].obj < order[j].obj
+		}
+		return order[i].field < order[j].field
+	})
+
+	var out []sharedFinding
+	seen := map[string]bool{}
+	for _, k := range order {
+		accs := groups[k]
+		if f := checkCell(prog, k.obj, k.field, accs); f != nil {
+			if !seen[f.msg] {
+				seen[f.msg] = true
+				out = append(out, *f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	return out
+}
+
+type accCacheKey struct {
+	pos  token.Pos
+	node int
+	kind ptAccessKind
+}
+
+func sharedAccessOf(pt *PointsTo, esc *escapeInfo, cache map[accCacheKey]*sharedAccess, a ptAccess) *sharedAccess {
+	k := accCacheKey{pos: a.pos, node: a.node, kind: a.kind}
+	if sa, ok := cache[k]; ok {
+		return sa
+	}
+	sa := &sharedAccess{
+		fn:    a.fn,
+		pkg:   a.pkg,
+		pos:   a.pos,
+		write: a.kind == ptWrite,
+		ctx:   esc.contextOf(a.fn),
+		locks: esc.locksHeldAt(a.fn, a.pos),
+	}
+	for _, o := range pt.Solver.PointsTo(a.node) {
+		obj := pt.Solver.objects[o]
+		if obj.Kind == "param" && (obj.Fn == a.fn || enclosesLexically(obj.Fn, a.fn)) {
+			sa.viaParam = true
+			break
+		}
+	}
+	cache[k] = sa
+	return sa
+}
+
+// checkCell examines one (object, field) cell's accesses and returns
+// at most one finding.
+func checkCell(prog *Program, objIdx int, field string, accs []*sharedAccess) *sharedFinding {
+	esc := prog.escape
+	obj := prog.pointsTo.Solver.objects[objIdx]
+	if objIdx >= len(esc.sharedObj) || !esc.sharedObj[objIdx] {
+		return nil // private to one goroutine: cannot race
+	}
+
+	// Fast path: all accesses on one non-multi context → sequential.
+	union := newCtxBits(len(esc.sites) + 1)
+	anyWrite := false
+	for _, a := range accs {
+		union.orFrom(a.ctx)
+		anyWrite = anyWrite || a.write
+	}
+	if !anyWrite {
+		return nil
+	}
+	if union.count() <= 1 && !hasMultiBit(esc, union) {
+		return nil
+	}
+
+	sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+	for i, a1 := range accs {
+		for _, a2 := range accs[i:] {
+			// Only write-write conflicts clear the confidence bar: a
+			// read racing a write is overwhelmingly the channel-handoff
+			// idiom (requester reads a response object after <-done) or
+			// a context-merging artifact, and flagging those would bury
+			// the real findings. DESIGN.md §16 records the choice.
+			if !a1.write || !a2.write {
+				continue
+			}
+			// Caller-ownership: both sides reach the object through
+			// their own function's parameters — each invocation may have
+			// been handed a distinct instance (see sharedAccess.viaParam).
+			if a1.viaParam && a2.viaParam {
+				continue
+			}
+			// A function run under sync.Once.Do executes at most once
+			// per Once value: two accesses inside it cannot overlap.
+			if a1.fn == a2.fn && esc.onceFns[a1.fn] {
+				continue
+			}
+			// Ownership: the points-to abstraction merges every
+			// invocation of the allocating function into one abstract
+			// object, but each invocation really owns a fresh instance.
+			// When both accesses sit inside that same function, they see
+			// their own copy; only accesses from OTHER functions (the
+			// object escaped through a closure, channel, or store) can
+			// race against it.
+			if obj.Fn != nil && obj.Fn == a1.fn && obj.Fn == a2.fn {
+				continue
+			}
+			// Allocator-context ownership: when the allocating function
+			// itself runs in every context the accesses run in, each
+			// context allocated its own instance (worker-side
+			// allocations reached through a shared collection); the
+			// abstraction merged them, but no single instance is
+			// reachable from two goroutines. Instance sharing that
+			// matters allocates on one side and publishes to more
+			// contexts than the allocator runs in.
+			if obj.Fn != nil {
+				alloc := esc.contextOf(obj.Fn)
+				if ctxContains(alloc, a1.ctx) && ctxContains(alloc, a2.ctx) {
+					continue
+				}
+			}
+			if !concurrentPair(esc, a1, a2) {
+				continue
+			}
+			if locksIntersect(a1.locks, a2.locks) {
+				continue
+			}
+			return &sharedFinding{
+				pos:     a1.pos,
+				pkgPath: a1.pkg.Path,
+				msg:     cellMessage(prog, obj, field, a1, a2),
+			}
+		}
+	}
+	return nil
+}
+
+// enclosesLexically reports whether inner is a closure declared inside
+// outer's body: a capture of outer's parameter keeps caller-ownership
+// semantics inside the closure (the deferred recover block writing a
+// handed-in runner's fields is the canonical shape).
+func enclosesLexically(outer, inner *Func) bool {
+	if outer == nil || inner == nil || inner.Lit == nil || outer.Body == nil {
+		return false
+	}
+	if outer.Pkg != inner.Pkg {
+		return false
+	}
+	return outer.Body.Pos() <= inner.Lit.Pos() && inner.Lit.End() <= outer.Body.End()
+}
+
+// ctxContains reports whether every context bit of b is set in a.
+func ctxContains(a, b ctxBits) bool {
+	for i, w := range b {
+		if i >= len(a) {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^a[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func hasMultiBit(esc *escapeInfo, c ctxBits) bool {
+	for _, s := range esc.sites {
+		if s.multi && c.has(s.index+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// concurrentPair reports whether the two accesses can execute on
+// concurrently running goroutines.
+func concurrentPair(esc *escapeInfo, a1, a2 *sharedAccess) bool {
+	u := a1.ctx.union(a2.ctx)
+	n := u.count()
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		// Same single context for both: concurrent only when it is a
+		// self-concurrent (multi) spawn site — two instances of the
+		// same goroutine body.
+		return hasMultiBit(esc, u)
+	}
+	// Spawner-side happens-before: if one side's contexts are entirely
+	// goroutines the other side's function spawns, and at the other
+	// side's position every one of those spawns is not yet launched or
+	// already joined, the accesses are ordered, not concurrent.
+	if spawnOrdered(esc, a1, a2) || spawnOrdered(esc, a2, a1) {
+		return false
+	}
+	// Setup/teardown convention: an access that only ever runs on the
+	// main goroutine, in a function that is not itself the spawner of
+	// the other side, is assumed ordered against spawned work (the
+	// repo's pattern is build → spawn → Wait → read; the spawner's own
+	// body is the place overlap happens and is checked precisely above
+	// via the spawn-status lattice). DESIGN.md §16 records the
+	// unsoundness: a main-context helper called between go and Wait is
+	// not seen.
+	if mainSetupOrdered(esc, a1, a2) || mainSetupOrdered(esc, a2, a1) {
+		return false
+	}
+	return true
+}
+
+// mainSetupOrdered reports whether m runs only on main, w runs only on
+// spawned goroutines, and m's function spawns none of w's live sites.
+func mainSetupOrdered(esc *escapeInfo, m, w *sharedAccess) bool {
+	if !(m.ctx.count() == 1 && m.ctx.has(0)) {
+		return false
+	}
+	if w.ctx.has(0) || w.ctx.count() == 0 {
+		return false
+	}
+	for _, s := range esc.sites {
+		if !w.ctx.has(s.index + 1) {
+			continue
+		}
+		if s.fn == m.fn && esc.statusAt(s, m.pos) == spawnLive {
+			return false // m overlaps a goroutine it spawned itself
+		}
+	}
+	return true
+}
+
+// spawnOrdered reports whether every context of spawnee is a spawn
+// site of spawner.fn whose goroutine provably is not running at
+// spawner.pos.
+func spawnOrdered(esc *escapeInfo, spawner, spawnee *sharedAccess) bool {
+	if spawner.fn == nil {
+		return false
+	}
+	if spawnee.ctx.count() == 0 {
+		return false
+	}
+	if spawnee.ctx.has(0) {
+		return false // spawnee also runs on main: never fully ordered
+	}
+	for _, s := range esc.sites {
+		if !spawnee.ctx.has(s.index + 1) {
+			continue
+		}
+		if s.fn != spawner.fn {
+			return false
+		}
+		if esc.statusAt(s, spawner.pos) == spawnLive {
+			return false
+		}
+	}
+	return true
+}
+
+// locksIntersect reports whether the two sorted locksets share a lock
+// (the RWMutex read side counts as its base lock: cross-mode pairs are
+// treated as consistent discipline rather than racy, a documented
+// precision choice).
+func locksIntersect(a, b []string) bool {
+	for _, x := range a {
+		bx := strings.TrimSuffix(x, "#r")
+		for _, y := range b {
+			if strings.TrimSuffix(y, "#r") == bx {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cellMessage(prog *Program, obj *PTObject, field string, a1, a2 *sharedAccess) string {
+	cell := describeCell(obj, field)
+	return fmt.Sprintf("%s is reachable from multiple goroutines but accessed without a consistent lockset: %s and %s; guard both with one mutex or hand the object over a channel",
+		cell, describeAccess(prog, a1), describeAccess(prog, a2))
+}
+
+func describeCell(obj *PTObject, field string) string {
+	what := obj.Kind
+	if obj.Var != nil {
+		what = "variable " + obj.Var.Name()
+	} else if obj.Type != nil {
+		what = obj.Kind + " of " + obj.Type.String()
+	}
+	switch field {
+	case ptElemField:
+		return what
+	case ptIndexField:
+		return "elements of " + what
+	default:
+		return "field " + field + " of " + what
+	}
+}
+
+func describeAccess(prog *Program, a *sharedAccess) string {
+	kind := "read"
+	if a.write {
+		kind = "write"
+	}
+	p := prog.Fset.Position(a.pos)
+	where := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	if len(a.locks) == 0 {
+		return fmt.Sprintf("unlocked %s at %s", kind, where)
+	}
+	return fmt.Sprintf("%s at %s (holding %s)", kind, where, strings.Join(a.locks, ", "))
+}

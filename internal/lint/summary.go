@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -198,8 +200,16 @@ func lockID(pkg *Package, e ast.Expr) string {
 		}
 		return ""
 	case *ast.Ident:
-		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-			return v.Pkg().Name() + "." + v.Name()
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// Local mutex: name it by declaration site so must-held
+			// analysis sees Lock/Unlock pairs on function-local and
+			// closure-captured mutexes (same-named locals in different
+			// functions stay distinct).
+			p := pkg.Fset.Position(v.Pos())
+			return fmt.Sprintf("%s.%s@%s:%d", v.Pkg().Name(), v.Name(), filepath.Base(p.Filename), p.Line)
 		}
 		return ""
 	default:

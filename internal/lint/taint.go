@@ -185,12 +185,17 @@ func (p *Program) taintContext(f *Func) *taintCtx {
 	if f.Body == nil {
 		return nil
 	}
+	p.taintMu.Lock()
 	if p.taintCtxs == nil {
 		p.taintCtxs = map[*Func]*taintCtx{}
 	}
 	if tc, ok := p.taintCtxs[f]; ok {
+		p.taintMu.Unlock()
 		return tc
 	}
+	p.taintMu.Unlock()
+	// Build outside the lock: context construction is pure and two
+	// workers building the same context race only on who installs it.
 	tc := &taintCtx{prog: p, fn: f, pkg: f.Pkg, cfg: BuildCFG(f.Body)}
 	info := f.Pkg.Info
 	inspectShallow(f.Body, func(n ast.Node) {
@@ -230,6 +235,11 @@ func (p *Program) taintContext(f *Func) *taintCtx {
 				tc.resultObjs = append(tc.resultObjs, v)
 			}
 		}
+	}
+	p.taintMu.Lock()
+	defer p.taintMu.Unlock()
+	if old, ok := p.taintCtxs[f]; ok {
+		return old
 	}
 	p.taintCtxs[f] = tc
 	return tc
@@ -386,6 +396,18 @@ func (tc *taintCtx) transferAssign(as *ast.AssignStmt, st *taintState) {
 			// Field/element store or op-assign: taint accumulates on the
 			// root variable.
 			st.set(root, st.get(root).withSource(v))
+			// Alias sharpening (points-to): a store through a pointer
+			// also taints every variable the pointer may point to, so a
+			// later direct read of the pointee sees the taint.
+			if v.mask != 0 && root.Type() != nil {
+				if _, isPtr := root.Type().Underlying().(*types.Pointer); isPtr {
+					if pt := tc.prog.PointsToInfo(); pt != nil {
+						for _, av := range pt.AliasedVars(root) {
+							st.set(av, st.get(av).withSource(v))
+						}
+					}
+				}
+			}
 		}
 	}
 }
@@ -475,7 +497,18 @@ func (tc *taintCtx) taintOf(e ast.Expr, st *taintState) taintVal {
 	case *ast.SliceExpr:
 		return tc.taintOf(x.X, st)
 	case *ast.StarExpr:
-		return tc.taintOf(x.X, st)
+		// Alias sharpening (points-to): reading through a pointer reads
+		// the pointees — fold in the taint of every variable it may
+		// point to.
+		v := tc.taintOf(x.X, st)
+		if id, ok := unparen(x.X).(*ast.Ident); ok {
+			if pt := tc.prog.PointsToInfo(); pt != nil {
+				for _, av := range pt.AliasedVars(tc.pkg.Info.ObjectOf(id)) {
+					v = v.withSource(st.get(av))
+				}
+			}
+		}
+		return v
 	case *ast.UnaryExpr:
 		return tc.taintOf(x.X, st)
 	case *ast.BinaryExpr:

@@ -1,0 +1,32 @@
+// Alias-sharpened settlement: a token reserved on one ledger variable
+// is discharged by a settlement call through an alias of that same
+// ledger, but NOT through an unrelated ledger.
+package budgetpath
+
+import "api"
+
+// settleThroughAlias reserves on led and refunds through led2, a copy
+// of the same pointer. Points-to proves the two receivers denote the
+// same ledger object, so the token is settled on every path: clean.
+func settleThroughAlias(led *api.Ledger, short bool) error {
+	grant, err := led.Reserve(4, 6)
+	if err != nil {
+		return err
+	}
+	led2 := led
+	if short {
+		return led2.Refund(4, grant)
+	}
+	return led2.Commit(4, grant)
+}
+
+// settleWrongLedger settles a different ledger than it reserved on;
+// the points-to sets of the two parameters are disjoint, so the grant
+// on led is still outstanding.
+func settleWrongLedger(led, other *api.Ledger) error {
+	grant, err := led.Reserve(5, 6) // want `ledger reservation can reach a return without Commit/Refund/Release on some path`
+	if err != nil {
+		return err
+	}
+	return other.Refund(5, grant)
+}

@@ -1,0 +1,66 @@
+// Package chanlife exercises the channel/WaitGroup lifecycle analyzer:
+// close-at-most-once, no send-after-close, Add-dominates-go, and Done
+// on every non-panic path.
+package chanlife
+
+import "sync"
+
+func doubleClose(flag bool) {
+	ch := make(chan int)
+	close(ch)
+	if flag {
+		close(ch) // want "may be closed twice"
+	}
+}
+
+func closeInLoop() {
+	ch := make(chan int)
+	for i := 0; i < 3; i++ {
+		close(ch) // want "may be closed twice"
+	}
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "may already be closed"
+}
+
+func closeOnceClean(flag bool) {
+	ch := make(chan int)
+	if flag {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+func addAfterGo() {
+	var wg sync.WaitGroup
+	go func() { // want "must happen before this go statement"
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+func missingDone(flag bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "can exit without reaching it"
+		if flag {
+			wg.Done()
+			return
+		}
+	}()
+	wg.Wait()
+}
+
+func deferredDoneClean() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

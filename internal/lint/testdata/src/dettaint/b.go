@@ -1,0 +1,49 @@
+// Alias-sharpened cases: taint that flows through a pointer must land
+// on (and be read from) the pointee variable the points-to analysis
+// says it aliases.
+package dettaint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// storeThroughAlias writes the nondet-ordered slice through *p; the
+// points-to layer knows p aliases keys, so reading keys afterward is
+// still tainted.
+func storeThroughAlias(m map[string]int) {
+	var keys []string
+	p := &keys
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	*p = tmp
+	fmt.Println(keys) // want `value ordered by map iteration order at b\.go:\d+ reaches fmt\.Println`
+}
+
+// readThroughAlias taints keys directly and reads it back through a
+// pointer dereference; the StarExpr read folds in the aliased
+// variable's taint.
+func readThroughAlias(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	p := &keys
+	fmt.Println(*p) // want `value ordered by map iteration order at b\.go:\d+ reaches fmt\.Println`
+}
+
+// sortAfterAliasStore cleans the pointee after the aliased store, so
+// the publish is deterministic.
+func sortAfterAliasStore(m map[string]int) {
+	var keys []string
+	p := &keys
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	*p = tmp
+	sort.Strings(keys)
+	fmt.Println(keys)
+}

@@ -1,0 +1,56 @@
+package sharedguard
+
+import "sync"
+
+type condBox struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// condDefer: a defer mu.Unlock() sitting inside a conditional. The
+// must-held analysis keeps the lock held after the DeferStmt (release
+// happens at exit), so both the early-return arm and the fall-through
+// write stay guarded — no findings.
+func condDefer(flag bool) int {
+	b := &condBox{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.hits++
+	}()
+	b.mu.Lock()
+	if flag {
+		defer b.mu.Unlock()
+		b.hits++
+		wg.Wait()
+		return b.hits
+	}
+	b.hits++
+	b.mu.Unlock()
+	wg.Wait()
+	return 0
+}
+
+// condDeferMissed: the lock is acquired only inside the conditional;
+// the write after the merge point is unguarded on the other arm.
+func condDeferMissed(flag bool) int {
+	b := &condBox{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if flag {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+		}
+		b.hits++ // want "reachable from multiple goroutines"
+	}()
+	b.mu.Lock()
+	b.hits++
+	b.mu.Unlock()
+	wg.Wait()
+	return b.hits
+}

@@ -1,0 +1,95 @@
+// Package sharedguard exercises the static race certifier: objects
+// reachable from more than one goroutine must see a consistent lockset
+// at every write.
+package sharedguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badUnlocked: the spawner and its goroutine both write c.n with no
+// lock while the goroutine is live.
+func badUnlocked() int {
+	c := &counter{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++ // want "reachable from multiple goroutines"
+	}()
+	c.n++
+	wg.Wait()
+	return c.n
+}
+
+// goodLocked: both sides hold c.mu — consistent discipline, no report.
+func goodLocked() int {
+	c := &counter{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	wg.Wait()
+	return c.n
+}
+
+// badLoopSpawn: a multi-instance spawn site racing against itself on a
+// captured variable.
+func badLoopSpawn() int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want "reachable from multiple goroutines"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// goodSetupThenSpawn: writes that happen strictly before the spawn (or
+// after the join) are ordered, not concurrent.
+func goodSetupThenSpawn() int {
+	c := &counter{}
+	c.n = 1 // before the go statement: ordered
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	wg.Wait()
+	c.n++ // after the join: ordered
+	return c.n
+}
+
+// goodChannelHandoff: ownership moves over a channel; the receiver's
+// writes are sanctioned.
+func goodChannelHandoff() int {
+	ch := make(chan *counter, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := <-ch
+		c.n++
+	}()
+	c := &counter{}
+	ch <- c
+	wg.Wait()
+	return 0
+}

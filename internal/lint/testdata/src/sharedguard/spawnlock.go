@@ -1,0 +1,50 @@
+package sharedguard
+
+import "sync"
+
+type slBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// spawnLockClean: two distinct spawn sites whose bodies both take the
+// mutex before writing — consistent lockset, no finding.
+func spawnLockClean() int {
+	b := &slBox{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n++
+	}()
+	wg.Wait()
+	return b.n
+}
+
+// spawnLockMixed: one spawned body locks, the other writes bare — the
+// locksets share nothing, so the discipline is inconsistent.
+func spawnLockMixed() int {
+	b := &slBox{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		b.mu.Lock()
+		b.n++ // want "reachable from multiple goroutines"
+		b.mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		b.n++
+	}()
+	wg.Wait()
+	return b.n
+}

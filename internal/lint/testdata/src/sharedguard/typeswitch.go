@@ -1,0 +1,53 @@
+package sharedguard
+
+import "sync"
+
+type tsBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// typeSwitchLock: the lock is taken in only one arm of a type switch,
+// so the write after the merge is unguarded on every other arm. The
+// self-concurrent loop spawn makes the write race its own instances.
+func typeSwitchLock(v interface{}) int {
+	b := &tsBox{}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch v.(type) {
+			case int:
+				b.mu.Lock()
+				defer b.mu.Unlock()
+			}
+			b.n++ // want "reachable from multiple goroutines"
+		}()
+	}
+	wg.Wait()
+	return b.n
+}
+
+// typeSwitchLockAll: every arm (including default) locks before the
+// shared write — consistent on all paths, no finding.
+func typeSwitchLockAll(v interface{}) int {
+	b := &tsBox{}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch v.(type) {
+			case int:
+				b.mu.Lock()
+			default:
+				b.mu.Lock()
+			}
+			b.n++
+			b.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return b.n
+}
